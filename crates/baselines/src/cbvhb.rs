@@ -1,0 +1,217 @@
+//! cBV-HB behind the common [`Linker`] interface, so the experiment harness
+//! can run the paper's method and the baselines uniformly.
+//!
+//! The wrapper does what the paper's linkage unit does end-to-end: samples
+//! the incoming values to estimate `b^(f_i)`, sizes the c-vectors by
+//! Theorem 1, embeds both data sets, blocks (record-level HB for the PL
+//! scheme; rule-aware attribute-level blocking for PH, rule
+//! `C1 = (u¹≤θ¹) ∧ (u²≤θ²) ∧ (u³≤θ³)`), and classifies candidates.
+
+use crate::common::{LinkOutcome, Linker};
+use cbv_hb::pipeline::BlockingMode;
+use cbv_hb::{
+    AttributeSpec, LinkageConfig, LinkagePipeline, Record, RecordSchema, Rule,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Instant;
+use textdist::Alphabet;
+
+/// Configuration and state of a cBV-HB run.
+#[derive(Debug, Clone)]
+pub struct CbvHbLinker {
+    /// q-gram length (bigrams).
+    pub q: usize,
+    /// Collision tolerance ρ for Theorem 1 (paper: 1).
+    pub rho: f64,
+    /// Confidence ratio r for Theorem 1 (paper: 1/3).
+    pub r: f64,
+    /// Per-attribute base-hash counts `K^(f_i)` (Table 3).
+    pub ks: Vec<u32>,
+    /// Failure budget δ.
+    pub delta: f64,
+    /// Per-attribute Hamming thresholds `θ^(f_i)` for classification.
+    pub thetas: Vec<u32>,
+    /// Blocking mode: `None` → rule-aware over the classification rule;
+    /// `Some((theta, k))` → record-level HB with those parameters.
+    pub record_level: Option<(u32, u32)>,
+    /// Attributes participating in the classification rule (indices).
+    /// Attributes outside the rule still embed (and consume space) but do
+    /// not constrain blocking or matching — mirroring the paper's rules,
+    /// which cover only the perturbed attributes.
+    pub rule_attrs: Vec<usize>,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl CbvHbLinker {
+    /// The paper's PL configuration: record-level HB with `θ = 4`, `K = 30`,
+    /// classification `u^(f_i) ≤ 4` on every attribute.
+    pub fn paper_pl(num_fields: usize, seed: u64) -> Self {
+        Self {
+            q: 2,
+            rho: 1.0,
+            r: 1.0 / 3.0,
+            ks: default_ks(num_fields),
+            delta: 0.1,
+            thetas: vec![4; num_fields],
+            record_level: Some((4, 30)),
+            rule_attrs: (0..num_fields).collect(),
+            seed,
+        }
+    }
+
+    /// The paper's PH configuration: attribute-level blocking under
+    /// `C1 = (u¹≤4) ∧ (u²≤4) ∧ (u³≤8)`.
+    pub fn paper_ph(num_fields: usize, seed: u64) -> Self {
+        let mut thetas = vec![4; num_fields];
+        if num_fields > 2 {
+            thetas[2] = 8;
+        }
+        Self {
+            q: 2,
+            rho: 1.0,
+            r: 1.0 / 3.0,
+            ks: default_ks(num_fields),
+            delta: 0.1,
+            thetas,
+            record_level: None,
+            rule_attrs: vec![0, 1, 2],
+            seed,
+        }
+    }
+
+    /// The classification rule: conjunction over the participating
+    /// attributes.
+    pub fn rule(&self) -> Rule {
+        Rule::and(
+            self.rule_attrs
+                .iter()
+                .map(|&i| Rule::pred(i, self.thetas[i])),
+        )
+    }
+
+    /// Builds the fitted schema from samples of both data sets.
+    fn build_schema(&self, a: &[Record], b: &[Record], rng: &mut StdRng) -> RecordSchema {
+        let num_fields = self.thetas.len();
+        let alphabet = Alphabet::linkage();
+        let specs: Vec<AttributeSpec> = (0..num_fields)
+            .map(|f| {
+                let sample = a.iter().chain(b).take(5_000).map(|r| r.field(f));
+                AttributeSpec::fitted(
+                    format!("f{f}"),
+                    self.q,
+                    sample,
+                    self.rho,
+                    self.r,
+                    false,
+                    self.ks[f],
+                )
+            })
+            .collect();
+        RecordSchema::build(alphabet, specs, rng)
+    }
+}
+
+fn default_ks(num_fields: usize) -> Vec<u32> {
+    // Table 3 (NCVR): K = 5, 5, 10 for the rule attributes; reuse 10 for any
+    // further attribute.
+    let mut ks = vec![10; num_fields];
+    if num_fields > 0 {
+        ks[0] = 5;
+    }
+    if num_fields > 1 {
+        ks[1] = 5;
+    }
+    ks
+}
+
+impl Linker for CbvHbLinker {
+    fn name(&self) -> &'static str {
+        "cBV-HB"
+    }
+
+    fn link(&mut self, a: &[Record], b: &[Record]) -> LinkOutcome {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let t0 = Instant::now();
+        let schema = self.build_schema(a, b, &mut rng);
+        let fit_nanos = t0.elapsed().as_nanos();
+        let config = LinkageConfig {
+            delta: self.delta,
+            mode: match self.record_level {
+                Some((theta, k)) => BlockingMode::RecordLevel { theta, k },
+                None => BlockingMode::RuleAware,
+            },
+            rule: self.rule(),
+        };
+        let mut pipeline =
+            LinkagePipeline::new(schema, config, &mut rng).expect("valid paper configuration");
+        pipeline.index(a).expect("records match schema");
+        let result = pipeline.link(b).expect("records match schema");
+        let idx = pipeline.index_timings();
+        LinkOutcome {
+            matches: result.matches,
+            candidates: result.stats.candidates,
+            embed_nanos: fit_nanos + idx.embed_nanos + result.timings.embed_nanos,
+            block_nanos: idx.block_nanos,
+            match_nanos: result.timings.match_nanos,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(id: u64, f: [&str; 4]) -> Record {
+        Record::new(id, f)
+    }
+
+    fn sets() -> (Vec<Record>, Vec<Record>) {
+        let a = vec![
+            rec(1, ["JOHN", "SMITH", "12 OAK STREET", "DURHAM"]),
+            rec(2, ["MARY", "JONES", "4 ELM AVENUE", "RALEIGH"]),
+            rec(3, ["PETER", "WRIGHT", "77 PINE ROAD", "CARY"]),
+        ];
+        let b = vec![
+            rec(10, ["JOHM", "SMITH", "12 OAK STREET", "DURHAM"]), // 1 sub f0
+            rec(11, ["AGNES", "WINTERBOTTOM", "900 CEDAR COURT", "SHELBY"]),
+        ];
+        (a, b)
+    }
+
+    #[test]
+    fn pl_configuration_finds_light_perturbation() {
+        let (a, b) = sets();
+        let mut l = CbvHbLinker::paper_pl(4, 1);
+        let out = l.link(&a, &b);
+        assert_eq!(out.matches, vec![(1, 10)]);
+    }
+
+    #[test]
+    fn ph_configuration_finds_heavy_perturbation() {
+        let a = vec![rec(1, ["JOHN", "SMITH", "12 OAK STREET", "DURHAM"])];
+        // PH-style: 1 error in f0, 1 in f1, 2 in f2.
+        let b = vec![rec(10, ["JOHM", "SMITN", "12 OK STREST", "DURHAM"])];
+        let mut l = CbvHbLinker::paper_ph(4, 2);
+        let out = l.link(&a, &b);
+        assert_eq!(out.matches, vec![(1, 10)]);
+    }
+
+    #[test]
+    fn rule_shape_matches_configuration() {
+        let l = CbvHbLinker::paper_ph(4, 0);
+        let rule = l.rule();
+        assert!(rule.evaluate(&[4, 4, 8, 999]));
+        assert!(!rule.evaluate(&[5, 4, 8, 0]));
+    }
+
+    #[test]
+    fn outcome_counters_populate() {
+        let (a, b) = sets();
+        let mut l = CbvHbLinker::paper_pl(4, 3);
+        let out = l.link(&a, &b);
+        assert!(out.candidates >= 1);
+        assert!(out.embed_nanos > 0);
+    }
+}

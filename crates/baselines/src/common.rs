@@ -1,0 +1,52 @@
+//! The common linkage interface shared by cBV-HB and the baselines.
+
+use cbv_hb::Record;
+use serde::{Deserialize, Serialize};
+
+/// Outcome of one two-party linkage run, with the phase timings the paper's
+/// Figures 8(b) and 12(b) report.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct LinkOutcome {
+    /// Identified matching `(id_A, id_B)` pairs, de-duplicated.
+    pub matches: Vec<(u64, u64)>,
+    /// Candidate pairs compared (`|CR|`).
+    pub candidates: u64,
+    /// Time converting both data sets into the method's embedding, ns.
+    pub embed_nanos: u128,
+    /// Time hashing into blocking structures, ns.
+    pub block_nanos: u128,
+    /// Time formulating and classifying pairs, ns.
+    pub match_nanos: u128,
+}
+
+impl LinkOutcome {
+    /// Total running time across phases, ns.
+    pub fn total_nanos(&self) -> u128 {
+        self.embed_nanos + self.block_nanos + self.match_nanos
+    }
+}
+
+/// A two-party record-linkage method.
+pub trait Linker {
+    /// Method name as used in the paper's figures.
+    fn name(&self) -> &'static str;
+
+    /// Links data sets A and B, returning identified pairs and counters.
+    fn link(&mut self, a: &[Record], b: &[Record]) -> LinkOutcome;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn total_sums_phases() {
+        let o = LinkOutcome {
+            embed_nanos: 1,
+            block_nanos: 2,
+            match_nanos: 3,
+            ..Default::default()
+        };
+        assert_eq!(o.total_nanos(), 6);
+    }
+}

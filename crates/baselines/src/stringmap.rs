@@ -1,0 +1,253 @@
+//! StringMap (Jin, Li & Mehrotra, DASFAA 2003): a FastMap-style embedding
+//! of strings into a Euclidean space under the edit distance.
+//!
+//! For each of `d` axes, two far-apart **pivot** strings are selected by
+//! the choose-farthest-pair heuristic; every string's coordinate on the
+//! axis is the cosine-law projection
+//! `x = (D(o,p₁)² + D(p₁,p₂)² − D(o,p₂)²) / (2·D(p₁,p₂))`, where `D` is the
+//! *residual* distance — the edit distance deflated by the coordinates of
+//! earlier axes. Pivot selection repeatedly scans the data set computing
+//! edit distances, which is why the paper observes that SM-EB "exhibits a
+//! large amount of time" for embedding (Figure 8(b)).
+
+use rand::{Rng, RngExt};
+use textdist::levenshtein;
+
+/// A fitted StringMap embedding for one attribute.
+#[derive(Debug, Clone)]
+pub struct StringMap {
+    /// Pivot string pairs per axis.
+    pivots: Vec<(String, String)>,
+    /// `D(p₁, p₂)` per axis (residual at fit time).
+    pivot_gaps: Vec<f64>,
+    /// Coordinates of each pivot pair across *earlier* axes, needed to
+    /// compute residual distances for queries: `(coords of p₁, coords of p₂)`.
+    pivot_coords: Vec<(Vec<f64>, Vec<f64>)>,
+}
+
+/// Residual squared distance after removing `k` coordinates.
+fn residual_sq(edit: f64, xs: &[f64], ys: &[f64], k: usize) -> f64 {
+    let mut d2 = edit * edit;
+    for j in 0..k {
+        let diff = xs[j] - ys[j];
+        d2 -= diff * diff;
+    }
+    d2.max(0.0)
+}
+
+impl StringMap {
+    /// Fits a `d`-dimensional embedding on a sample of strings.
+    ///
+    /// `pivot_scans` controls the farthest-pair refinement (2 suffices in
+    /// practice). Duplicates in `sample` are tolerated but wasteful — pass
+    /// distinct values.
+    ///
+    /// # Panics
+    /// Panics if `sample` is empty or `d == 0`.
+    pub fn fit<R: Rng + ?Sized>(
+        sample: &[&str],
+        d: usize,
+        pivot_scans: usize,
+        rng: &mut R,
+    ) -> Self {
+        assert!(!sample.is_empty(), "need a non-empty sample");
+        assert!(d > 0, "need at least one axis");
+        let n = sample.len();
+        // coords[i] = coordinates of sample[i] over fitted axes so far.
+        let mut coords: Vec<Vec<f64>> = vec![Vec::with_capacity(d); n];
+        let mut pivots = Vec::with_capacity(d);
+        let mut pivot_gaps = Vec::with_capacity(d);
+        let mut pivot_coords = Vec::with_capacity(d);
+        for axis in 0..d {
+            // Choose-farthest-pair heuristic under the residual distance.
+            let mut p1 = rng.random_range(0..n);
+            let mut p2 = p1;
+            for _ in 0..pivot_scans.max(1) {
+                p2 = Self::farthest(sample, &coords, axis, p1);
+                p1 = Self::farthest(sample, &coords, axis, p2);
+            }
+            let gap_sq = residual_sq(
+                f64::from(levenshtein(sample[p1], sample[p2])),
+                &coords[p1],
+                &coords[p2],
+                axis,
+            );
+            let gap = gap_sq.sqrt();
+            pivots.push((sample[p1].to_string(), sample[p2].to_string()));
+            pivot_gaps.push(gap);
+            pivot_coords.push((coords[p1].clone(), coords[p2].clone()));
+            // Project every sample string onto the new axis.
+            for i in 0..n {
+                let x = if gap <= f64::EPSILON {
+                    0.0
+                } else {
+                    let d1 = residual_sq(
+                        f64::from(levenshtein(sample[i], sample[p1])),
+                        &coords[i],
+                        &coords[p1],
+                        axis,
+                    );
+                    let d2 = residual_sq(
+                        f64::from(levenshtein(sample[i], sample[p2])),
+                        &coords[i],
+                        &coords[p2],
+                        axis,
+                    );
+                    (d1 + gap * gap - d2) / (2.0 * gap)
+                };
+                coords[i].push(x);
+            }
+        }
+        Self {
+            pivots,
+            pivot_gaps,
+            pivot_coords,
+        }
+    }
+
+    fn farthest(sample: &[&str], coords: &[Vec<f64>], axis: usize, from: usize) -> usize {
+        let mut best = from;
+        let mut best_d = -1.0f64;
+        for (i, s) in sample.iter().enumerate() {
+            if i == from {
+                continue;
+            }
+            let d = residual_sq(
+                f64::from(levenshtein(s, sample[from])),
+                &coords[i],
+                &coords[from],
+                axis,
+            );
+            if d > best_d {
+                best_d = d;
+                best = i;
+            }
+        }
+        best
+    }
+
+    /// Number of axes.
+    pub fn dim(&self) -> usize {
+        self.pivots.len()
+    }
+
+    /// Embeds a string into ℝ^d.
+    pub fn embed(&self, s: &str) -> Vec<f64> {
+        let mut out = Vec::with_capacity(self.dim());
+        for axis in 0..self.dim() {
+            let (p1, p2) = &self.pivots[axis];
+            let gap = self.pivot_gaps[axis];
+            let x = if gap <= f64::EPSILON {
+                0.0
+            } else {
+                let (c1, c2) = &self.pivot_coords[axis];
+                let d1 = residual_sq(f64::from(levenshtein(s, p1)), &out, c1, axis);
+                let d2 = residual_sq(f64::from(levenshtein(s, p2)), &out, c2, axis);
+                (d1 + gap * gap - d2) / (2.0 * gap)
+            };
+            out.push(x);
+        }
+        out
+    }
+}
+
+/// Euclidean distance between two embedded points.
+pub fn euclidean(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "dimension mismatch");
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (x - y) * (x - y))
+        .sum::<f64>()
+        .sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    const NAMES: &[&str] = &[
+        "JONES", "JONAS", "JOHNSON", "JOHNSTON", "SMITH", "SMYTH", "SMITHSON", "WILLIAMS",
+        "WILLIAMSON", "BROWN", "BROWNE", "TAYLOR", "TAILOR", "ANDERSON", "ANDERSEN",
+        "WRIGHT", "WHITE", "WALKER", "WATKINS", "MARTINEZ",
+    ];
+
+    fn fit(seed: u64, d: usize) -> StringMap {
+        let mut rng = StdRng::seed_from_u64(seed);
+        StringMap::fit(NAMES, d, 2, &mut rng)
+    }
+
+    #[test]
+    fn identical_strings_embed_identically() {
+        let sm = fit(1, 10);
+        assert_eq!(sm.embed("JONES"), sm.embed("JONES"));
+        assert_eq!(euclidean(&sm.embed("JONES"), &sm.embed("JONES")), 0.0);
+    }
+
+    #[test]
+    fn similar_strings_are_closer_than_dissimilar() {
+        let sm = fit(2, 10);
+        let jones = sm.embed("JONES");
+        let jonas = sm.embed("JONAS");
+        let williamson = sm.embed("WILLIAMSON");
+        assert!(euclidean(&jones, &jonas) < euclidean(&jones, &williamson));
+    }
+
+    #[test]
+    fn embedding_has_requested_dimension() {
+        let sm = fit(3, 20);
+        assert_eq!(sm.dim(), 20);
+        assert_eq!(sm.embed("ANYTHING").len(), 20);
+    }
+
+    #[test]
+    fn out_of_sample_strings_embed_sanely() {
+        let sm = fit(4, 10);
+        let v = sm.embed("JOHNSTONE"); // not in the sample
+        assert!(v.iter().all(|x| x.is_finite()));
+        let close = euclidean(&v, &sm.embed("JOHNSTON"));
+        let far = euclidean(&v, &sm.embed("SMITH"));
+        assert!(close < far);
+    }
+
+    #[test]
+    fn contractive_tendency_on_average() {
+        // FastMap under a non-Euclidean metric is approximately
+        // distance-preserving; verify the embedded distance correlates with
+        // edit distance over many pairs (Spearman-lite: means ordering).
+        let sm = fit(5, 15);
+        let mut close_pairs = 0.0;
+        let mut far_pairs = 0.0;
+        let mut n_close = 0;
+        let mut n_far = 0;
+        for (i, a) in NAMES.iter().enumerate() {
+            for b in NAMES.iter().skip(i + 1) {
+                let ed = levenshtein(a, b);
+                let em = euclidean(&sm.embed(a), &sm.embed(b));
+                if ed <= 2 {
+                    close_pairs += em;
+                    n_close += 1;
+                } else if ed >= 6 {
+                    far_pairs += em;
+                    n_far += 1;
+                }
+            }
+        }
+        let avg_close = close_pairs / f64::from(n_close.max(1));
+        let avg_far = far_pairs / f64::from(n_far.max(1));
+        assert!(
+            avg_close < avg_far,
+            "close pairs ({avg_close}) should embed closer than far pairs ({avg_far})"
+        );
+    }
+
+    #[test]
+    fn single_string_sample_degenerates_gracefully() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let sm = StringMap::fit(&["ONLY"], 5, 2, &mut rng);
+        let v = sm.embed("OTHER");
+        assert_eq!(v.len(), 5);
+        assert!(v.iter().all(|x| x.is_finite()));
+    }
+}

@@ -1,0 +1,116 @@
+//! Blocking-mechanism benchmarks: indexing and probing the HB structures,
+//! the K trade-off behind Figure 8(a), and rule compilation.
+
+use cbv_hb::blocking::BlockingPlan;
+use cbv_hb::pipeline::BlockingMode;
+use cbv_hb::{AttributeSpec, LinkageConfig, LinkagePipeline, RecordSchema, Rule};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rl_datagen::{DatasetPair, NcvrSource, PairConfig, PerturbationScheme};
+use std::hint::black_box;
+use textdist::Alphabet;
+
+fn schema(rng: &mut StdRng) -> RecordSchema {
+    RecordSchema::build(
+        Alphabet::linkage(),
+        vec![
+            AttributeSpec::new("FirstName", 2, 15, false, 5),
+            AttributeSpec::new("LastName", 2, 15, false, 5),
+            AttributeSpec::new("Address", 2, 68, false, 10),
+            AttributeSpec::new("Town", 2, 22, false, 10),
+        ],
+        rng,
+    )
+}
+
+fn pair(n: usize, seed: u64) -> DatasetPair {
+    let mut rng = StdRng::seed_from_u64(seed);
+    DatasetPair::generate(
+        &NcvrSource,
+        PairConfig::new(n, PerturbationScheme::Light),
+        &mut rng,
+    )
+}
+
+/// Index + probe cost as K varies (the Figure 8(a) trade-off: larger K →
+/// more selective buckets but more tables L).
+fn bench_k_tradeoff(c: &mut Criterion) {
+    let p = pair(2_000, 1);
+    let mut group = c.benchmark_group("hb_link_vs_k");
+    group.sample_size(10);
+    for k in [20u32, 30, 40] {
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
+            b.iter(|| {
+                let mut rng = StdRng::seed_from_u64(2);
+                let s = schema(&mut rng);
+                let rule = Rule::and((0..4).map(|i| Rule::pred(i, 4)));
+                let config = LinkageConfig {
+                    delta: 0.1,
+                    mode: BlockingMode::RecordLevel { theta: 4, k },
+                    rule,
+                };
+                let mut pipe = LinkagePipeline::new(s, config, &mut rng).unwrap();
+                pipe.index(&p.a).unwrap();
+                black_box(pipe.link(&p.b).unwrap())
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Rule → blocking-plan compilation cost for the paper's three rules.
+fn bench_rule_compilation(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(3);
+    let s = schema(&mut rng);
+    let rules = [
+        ("C1", Rule::and([Rule::pred(0, 4), Rule::pred(1, 4), Rule::pred(2, 8)])),
+        (
+            "C2",
+            Rule::or([
+                Rule::and([Rule::pred(0, 4), Rule::pred(1, 4)]),
+                Rule::pred(2, 8),
+            ]),
+        ),
+        ("C3", Rule::and([Rule::pred(0, 4), Rule::not(Rule::pred(1, 4))])),
+    ];
+    let mut group = c.benchmark_group("rule_compile");
+    for (name, rule) in rules {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let mut rng = StdRng::seed_from_u64(4);
+                black_box(BlockingPlan::compile(&s, black_box(&rule), 0.1, &mut rng).unwrap())
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Probe-side candidate generation once the index is built.
+fn bench_candidates(c: &mut Criterion) {
+    let p = pair(5_000, 5);
+    let mut rng = StdRng::seed_from_u64(6);
+    let s = schema(&mut rng);
+    let rule = Rule::and([Rule::pred(0, 4), Rule::pred(1, 4), Rule::pred(2, 8)]);
+    let mut plan = BlockingPlan::compile(&s, &rule, 0.1, &mut rng).unwrap();
+    let embedded_a: Vec<_> = p.a.iter().map(|r| s.embed(r).unwrap()).collect();
+    for e in &embedded_a {
+        plan.insert(e);
+    }
+    let probes: Vec<_> = p.b.iter().take(100).map(|r| s.embed(r).unwrap()).collect();
+    c.bench_function("candidates_100probes_5000indexed", |b| {
+        b.iter(|| {
+            for probe in &probes {
+                black_box(plan.candidates(black_box(probe)));
+            }
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_k_tradeoff,
+    bench_rule_compilation,
+    bench_candidates
+);
+criterion_main!(benches);

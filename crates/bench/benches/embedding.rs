@@ -1,0 +1,103 @@
+//! Per-method embedding throughput — the microbenchmark behind Figure 8(b)
+//! (time to convert data sets into each method's representation).
+
+use cbv_hb::{AttributeSpec, Record, RecordSchema};
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rl_baselines::bloom::BloomEncoder;
+use rl_baselines::stringmap::StringMap;
+use rl_datagen::{NcvrSource, RecordSource};
+use std::hint::black_box;
+use textdist::{Alphabet, QGramSet};
+
+fn sample_records(n: usize, seed: u64) -> Vec<Record> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    NcvrSource.sample_many(n, &mut rng)
+}
+
+fn bench_cvector_embedding(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let schema = RecordSchema::build(
+        Alphabet::linkage(),
+        vec![
+            AttributeSpec::new("FirstName", 2, 15, false, 5),
+            AttributeSpec::new("LastName", 2, 15, false, 5),
+            AttributeSpec::new("Address", 2, 68, false, 10),
+            AttributeSpec::new("Town", 2, 22, false, 10),
+        ],
+        &mut rng,
+    );
+    let records = sample_records(1_000, 2);
+    c.bench_function("embed_cvector_record_x1000", |b| {
+        b.iter(|| {
+            for r in &records {
+                black_box(schema.embed(black_box(r)).unwrap());
+            }
+        })
+    });
+}
+
+fn bench_bloom_embedding(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(3);
+    let encoders: Vec<BloomEncoder> = (0..4)
+        .map(|_| BloomEncoder::random(Alphabet::linkage(), 2, 500, 15, &mut rng))
+        .collect();
+    let records = sample_records(1_000, 4);
+    c.bench_function("embed_bloom_record_x1000", |b| {
+        b.iter(|| {
+            for r in &records {
+                for (e, f) in encoders.iter().zip(&r.fields) {
+                    black_box(e.encode(black_box(f)));
+                }
+            }
+        })
+    });
+}
+
+fn bench_harra_embedding(c: &mut Criterion) {
+    let alphabet = Alphabet::linkage();
+    let records = sample_records(1_000, 5);
+    c.bench_function("embed_harra_record_set_x1000", |b| {
+        b.iter(|| {
+            for r in &records {
+                let mut all: Vec<u64> = Vec::new();
+                for f in &r.fields {
+                    all.extend_from_slice(
+                        QGramSet::build_unpadded(black_box(f), 2, &alphabet).indexes(),
+                    );
+                }
+                all.sort_unstable();
+                all.dedup();
+                black_box(all);
+            }
+        })
+    });
+}
+
+fn bench_stringmap_embedding(c: &mut Criterion) {
+    // StringMap embedding of a single value (the fit is amortized).
+    let mut rng = StdRng::seed_from_u64(6);
+    let records = sample_records(300, 7);
+    let names: Vec<&str> = records.iter().map(|r| r.field(1)).collect();
+    let map = StringMap::fit(&names, 20, 2, &mut rng);
+    c.bench_function("embed_stringmap_value", |b| {
+        b.iter(|| black_box(map.embed(black_box("WINTERBOTTOM"))))
+    });
+    // And the fit itself at a modest sample size — the expensive part.
+    c.bench_function("fit_stringmap_300values_d20", |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(8);
+            black_box(StringMap::fit(black_box(&names), 20, 2, &mut rng))
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_cvector_embedding,
+    bench_bloom_embedding,
+    bench_harra_embedding,
+    bench_stringmap_embedding
+);
+criterion_main!(benches);

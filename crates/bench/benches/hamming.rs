@@ -1,0 +1,97 @@
+//! Distance-kernel benchmarks: the "Hamming distance can be computed very
+//! fast" claim (Section 1) that underpins the compact-embedding design.
+//!
+//! Covers the paper's three vector regimes: the 120-bit NCVR record-level
+//! c-vector, the 267-bit DBLP one, and the 2000-bit BfH Bloom-filter
+//! record, plus the edit distance they replace.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use rl_bitvec::{naive_hamming, BitVec};
+use std::hint::black_box;
+use textdist::{levenshtein, levenshtein_within};
+
+fn random_bitvec(len: usize, density: f64, rng: &mut StdRng) -> BitVec {
+    let mut v = BitVec::zeros(len);
+    for i in 0..len {
+        if rng.random::<f64>() < density {
+            v.set(i);
+        }
+    }
+    v
+}
+
+fn bench_hamming(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let mut group = c.benchmark_group("hamming_distance");
+    for bits in [120usize, 267, 2000] {
+        let a = random_bitvec(bits, 0.3, &mut rng);
+        let b = random_bitvec(bits, 0.3, &mut rng);
+        group.bench_with_input(BenchmarkId::new("packed_popcount", bits), &bits, |bench, _| {
+            bench.iter(|| black_box(&a).hamming(black_box(&b)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_edit_distance(c: &mut Criterion) {
+    let mut group = c.benchmark_group("edit_distance");
+    let pairs = [
+        ("JONES", "JONAS", "name"),
+        (
+            "EFFICIENT RECORD LINKAGE USING A COMPACT HAMMING SPACE",
+            "EFFICIENT RECORD LINKAGE USING A COMPACT HAMMINF SPACE",
+            "title",
+        ),
+    ];
+    for (a, b, label) in pairs {
+        group.bench_function(BenchmarkId::new("levenshtein", label), |bench| {
+            bench.iter(|| levenshtein(black_box(a), black_box(b)))
+        });
+        group.bench_function(BenchmarkId::new("levenshtein_within_2", label), |bench| {
+            bench.iter(|| levenshtein_within(black_box(a), black_box(b), 2))
+        });
+    }
+    group.finish();
+}
+
+/// The distance-computation gap the embedding buys: one 120-bit popcount
+/// distance versus one edit distance on the original strings.
+fn bench_embedding_payoff(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(2);
+    let a = random_bitvec(120, 0.3, &mut rng);
+    let b = random_bitvec(120, 0.3, &mut rng);
+    let mut group = c.benchmark_group("embedding_payoff");
+    group.bench_function("cvector_120bit_distance", |bench| {
+        bench.iter(|| black_box(&a).hamming(black_box(&b)))
+    });
+    group.bench_function("record_edit_distance_4_fields", |bench| {
+        bench.iter(|| {
+            levenshtein(black_box("JOHN"), black_box("JOHM"))
+                + levenshtein(black_box("SMITH"), black_box("SMITH"))
+                + levenshtein(black_box("12 OAK STREET"), black_box("12 OAK STREET"))
+                + levenshtein(black_box("DURHAM"), black_box("DURHAM"))
+        })
+    });
+    group.finish();
+}
+
+/// Reference kernel (per-bit loop) for the popcount ablation.
+fn bench_naive_reference(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(3);
+    let a = random_bitvec(120, 0.3, &mut rng);
+    let b = random_bitvec(120, 0.3, &mut rng);
+    c.bench_function("naive_hamming_120bit", |bench| {
+        bench.iter(|| naive_hamming(black_box(&a), black_box(&b)))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_hamming,
+    bench_edit_distance,
+    bench_embedding_payoff,
+    bench_naive_reference
+);
+criterion_main!(benches);

@@ -1,0 +1,14 @@
+//! Fixed-width bit vectors with fast Hamming distance.
+//!
+//! This crate is the substrate for both Hamming spaces of the paper: the
+//! deterministic q-gram-vector space ℋ (`|S|^q` bits per attribute) and the
+//! compact c-vector space Ĥ (`m_opt` bits per attribute). Bits are packed
+//! into `u64` words so that Hamming distance is a word-wise XOR + `popcount`
+//! loop — the "computed very fast" property the paper relies on for
+//! real-time settings.
+
+pub mod bitvec;
+pub mod ops;
+
+pub use bitvec::BitVec;
+pub use ops::{hamming_words, jaccard_bits, naive_hamming};

@@ -1,0 +1,1034 @@
+//! Blocking structures and the rule-aware blocking plan compiler
+//! (Sections 4.2, 5.3, 5.4).
+//!
+//! Two blocking modes are provided:
+//!
+//! * **Record-level HB** (Section 4.2): one [`BlockingStructure`] whose
+//!   composite hashes sample bits uniformly from the whole record-level
+//!   c-vector. This is the paper's baseline blocking mode ("standard
+//!   LSH-based approach").
+//! * **Attribute-level, rule-aware blocking** (Section 5.4): a
+//!   classification [`Rule`] is compiled by [`BlockingPlan::compile`] into a
+//!   set of structures plus a set-algebra expression over their candidate
+//!   sets:
+//!   - a conjunction of predicates fuses into **one** structure whose keys
+//!     concatenate per-attribute samples (`p_∧ = Π p_i^{K_i}`, Definition 4);
+//!   - a disjunction of predicates builds one structure per attribute, all
+//!     sharing `L = ⌈ln δ / ln(1 − p_∨)⌉` with `p_∨` from
+//!     inclusion–exclusion (Definition 5);
+//!   - a negated conjunct builds its own structure whose co-blocked set is
+//!     *subtracted* from the candidates (Definition 6 / rule C3) — such
+//!     pairs "are not formulated at all and are never brought for
+//!     comparison";
+//!   - compound rules (the paper's C1/C2/C3) compose recursively: union for
+//!     OR of subrules, intersection for AND of subrules.
+
+use crate::error::{Error, Result};
+use crate::rule::{Pred, Rule};
+use crate::schema::{EmbeddedRecord, RecordSchema};
+use rand::Rng;
+use rl_lsh::hashfn::KeyAccumulator;
+use rl_lsh::params::{and_probability, base_success_probability, optimal_l, or_probability};
+use rl_lsh::{BitSampler, BlockingTable};
+use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+
+/// Where a composite hash samples its bits from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+enum Source {
+    /// The conceptual record-level concatenation.
+    Record,
+    /// A single attribute's c-vector.
+    Attr(usize),
+}
+
+/// One sub-hash of a composite key: a bit sampler over one source.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct SubHash {
+    source: Source,
+    sampler: BitSampler,
+}
+
+impl SubHash {
+    fn key(&self, rec: &EmbeddedRecord) -> u128 {
+        match self.source {
+            Source::Record => self.sampler.key_concat(&rec.attr_refs()),
+            Source::Attr(i) => self.sampler.key(&rec.attrs[i]),
+        }
+    }
+}
+
+/// A blocking structure: `L` hash tables `T_l`, each keyed by a composite
+/// hash built from one or more sub-hashes (one per fused conjunct).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BlockingStructure {
+    /// Human-readable description (for stats / debugging).
+    label: String,
+    /// `per_table[l]` holds the sub-hashes whose keys are concatenated to
+    /// form table `l`'s composite key.
+    per_table: Vec<Vec<SubHash>>,
+    tables: Vec<BlockingTable>,
+    /// Per-table collision probability for a pair within the thresholds.
+    p_collide: f64,
+    /// The `(attr, θ)` conjuncts this structure was built for (empty for a
+    /// record-level structure). Used to verify NOT-exclusion hints.
+    conjuncts: Vec<Pred>,
+    /// Multi-probe budget: when probing, also look up keys with up to this
+    /// many flipped bits (0 = exact probing).
+    #[serde(default)]
+    probe_flips: u32,
+}
+
+impl BlockingStructure {
+    /// Builds the record-level HB structure: keys sample `k` bits uniformly
+    /// from the `m̄`-bit record-level c-vector; `theta` is the record-level
+    /// Hamming threshold used for the `L` computation.
+    pub fn record_level<R: Rng + ?Sized>(
+        schema: &RecordSchema,
+        theta: u32,
+        k: u32,
+        delta: f64,
+        rng: &mut R,
+    ) -> Result<Self> {
+        let m = schema.total_size();
+        if theta as usize > m {
+            return Err(Error::ThresholdTooLarge {
+                attr: usize::MAX,
+                theta,
+                m,
+            });
+        }
+        check_delta(delta)?;
+        let p = base_success_probability(theta, m);
+        let p_collide = p.powi(k as i32);
+        if p_collide <= 0.0 {
+            return Err(Error::InvalidParameter(format!(
+                "record-level p^K underflowed to 0 (theta={theta}, m={m}, k={k})"
+            )));
+        }
+        let l = optimal_l(p_collide, delta);
+        let per_table = (0..l)
+            .map(|_| {
+                vec![SubHash {
+                    source: Source::Record,
+                    sampler: BitSampler::random(m, k as usize, rng),
+                }]
+            })
+            .collect();
+        Ok(Self {
+            label: format!("record-level(theta={theta},K={k},L={l})"),
+            per_table,
+            tables: (0..l).map(|_| BlockingTable::new()).collect(),
+            p_collide,
+            conjuncts: Vec::new(),
+            probe_flips: 0,
+        })
+    }
+
+    /// As [`Self::record_level`], but with a fixed number of blocking
+    /// groups instead of deriving `L` from Equation 2 — used by parameter
+    /// sweeps (Figure 7) where `L` must stay constant while the embedding
+    /// geometry changes.
+    pub fn record_level_with_l<R: Rng + ?Sized>(
+        schema: &RecordSchema,
+        theta: u32,
+        k: u32,
+        l: usize,
+        rng: &mut R,
+    ) -> Result<Self> {
+        let m = schema.total_size();
+        if theta as usize > m {
+            return Err(Error::ThresholdTooLarge {
+                attr: usize::MAX,
+                theta,
+                m,
+            });
+        }
+        if l == 0 {
+            return Err(Error::InvalidParameter("L must be positive".into()));
+        }
+        let p = base_success_probability(theta, m);
+        let per_table = (0..l)
+            .map(|_| {
+                vec![SubHash {
+                    source: Source::Record,
+                    sampler: BitSampler::random(m, k as usize, rng),
+                }]
+            })
+            .collect();
+        Ok(Self {
+            label: format!("record-level(theta={theta},K={k},L={l},fixed)"),
+            per_table,
+            tables: (0..l).map(|_| BlockingTable::new()).collect(),
+            p_collide: p.powi(k as i32),
+            conjuncts: Vec::new(),
+            probe_flips: 0,
+        })
+    }
+
+    /// Multi-probe record-level HB (Lv et al., adapted): each probe also
+    /// looks up the buckets of keys with up to `flips` bits toggled, which
+    /// boosts the per-table success probability and shrinks `L`
+    /// (`rl_lsh::params::multiprobe_collision_probability`).
+    pub fn record_level_multiprobe<R: Rng + ?Sized>(
+        schema: &RecordSchema,
+        theta: u32,
+        k: u32,
+        delta: f64,
+        flips: u32,
+        rng: &mut R,
+    ) -> Result<Self> {
+        if flips > k {
+            return Err(Error::InvalidParameter(format!(
+                "cannot flip {flips} bits of a {k}-bit key"
+            )));
+        }
+        let m = schema.total_size();
+        if theta as usize > m {
+            return Err(Error::ThresholdTooLarge {
+                attr: usize::MAX,
+                theta,
+                m,
+            });
+        }
+        check_delta(delta)?;
+        let p = base_success_probability(theta, m);
+        let p_collide =
+            rl_lsh::params::multiprobe_collision_probability(p, k, flips);
+        if p_collide <= 0.0 {
+            return Err(Error::InvalidParameter(
+                "multiprobe collision probability underflowed to 0".into(),
+            ));
+        }
+        let l = optimal_l(p_collide, delta);
+        let per_table = (0..l)
+            .map(|_| {
+                vec![SubHash {
+                    source: Source::Record,
+                    sampler: BitSampler::random(m, k as usize, rng),
+                }]
+            })
+            .collect();
+        Ok(Self {
+            label: format!("record-level-mp(theta={theta},K={k},L={l},t={flips})"),
+            per_table,
+            tables: (0..l).map(|_| BlockingTable::new()).collect(),
+            p_collide,
+            conjuncts: Vec::new(),
+            probe_flips: flips,
+        })
+    }
+
+    /// Builds a fused conjunction structure over `(attr, θ)` conjuncts:
+    /// per-attribute samplers of `K^(f_i)` bits (taken from the schema
+    /// spec), keys concatenated, `L` from `p_∧` (Definition 4).
+    pub fn conjunction<R: Rng + ?Sized>(
+        schema: &RecordSchema,
+        conjuncts: &[Pred],
+        delta: f64,
+        rng: &mut R,
+    ) -> Result<Self> {
+        check_delta(delta)?;
+        let p_collide = conjunction_probability(schema, conjuncts)?;
+        let l = optimal_l(p_collide, delta);
+        Self::conjunction_with_l(schema, conjuncts, l, p_collide, rng)
+    }
+
+    /// As [`Self::conjunction`], but with an externally fixed `L` — used by
+    /// the OR compiler, which shares one `L` across the disjunct structures
+    /// (Definition 5).
+    fn conjunction_with_l<R: Rng + ?Sized>(
+        schema: &RecordSchema,
+        conjuncts: &[Pred],
+        l: usize,
+        p_collide: f64,
+        rng: &mut R,
+    ) -> Result<Self> {
+        if conjuncts.is_empty() {
+            return Err(Error::InvalidRule("empty conjunction".into()));
+        }
+        let per_table = (0..l)
+            .map(|_| {
+                conjuncts
+                    .iter()
+                    .map(|c| {
+                        let spec = &schema.specs()[c.attr];
+                        SubHash {
+                            source: Source::Attr(c.attr),
+                            sampler: BitSampler::random(spec.m, spec.k as usize, rng),
+                        }
+                    })
+                    .collect()
+            })
+            .collect();
+        let label = conjuncts
+            .iter()
+            .map(|c| format!("f{}<={}", c.attr, c.theta))
+            .collect::<Vec<_>>()
+            .join("&");
+        Ok(Self {
+            label: format!("attr-level({label},L={l})"),
+            per_table,
+            tables: (0..l).map(|_| BlockingTable::new()).collect(),
+            p_collide,
+            conjuncts: conjuncts.to_vec(),
+            probe_flips: 0,
+        })
+    }
+
+    /// Number of blocking groups `L`.
+    pub fn l(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// Per-table collision probability for an in-threshold pair.
+    pub fn p_collide(&self) -> f64 {
+        self.p_collide
+    }
+
+    /// Structure label.
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
+    /// The `(attr, θ)` conjuncts this structure covers (empty for
+    /// record-level structures).
+    pub fn conjuncts(&self) -> &[Pred] {
+        &self.conjuncts
+    }
+
+    /// True when `a` and `b` satisfy every conjunct of this structure
+    /// (single-attribute popcounts — the cheap verification used for
+    /// NOT-exclusion hints).
+    pub fn conjuncts_hold(&self, a: &EmbeddedRecord, b: &EmbeddedRecord) -> bool {
+        self.conjuncts
+            .iter()
+            .all(|c| a.attr_distance(b, c.attr) <= c.theta)
+    }
+
+    /// Composite key of `rec` for table `l`.
+    fn key(&self, rec: &EmbeddedRecord, l: usize) -> u128 {
+        let subs = &self.per_table[l];
+        if subs.len() == 1 {
+            subs[0].key(rec)
+        } else {
+            // Concatenate sub-keys when they fit in 128 bits; fold through
+            // the accumulator otherwise (merging buckets is harmless).
+            let total_k: usize = subs.iter().map(|s| s.sampler.k()).sum();
+            if total_k <= 128 {
+                let mut key: u128 = 0;
+                let mut shift = 0;
+                for s in subs {
+                    key |= s.key(rec) << shift;
+                    shift += s.sampler.k();
+                }
+                key
+            } else {
+                let mut acc = KeyAccumulator::new();
+                for s in subs {
+                    let k = s.key(rec);
+                    acc.push(k as u64);
+                    acc.push((k >> 64) as u64);
+                }
+                acc.finish()
+            }
+        }
+    }
+
+    /// Hashes `rec` into all `L` tables (the indexing pass for data set A).
+    pub fn insert(&mut self, rec: &EmbeddedRecord) {
+        for l in 0..self.per_table.len() {
+            let key = self.key(rec, l);
+            self.tables[l].insert(key, rec.id);
+        }
+    }
+
+    /// Ids co-blocked with `rec` in table `l` (the bucket `rec` maps to).
+    pub fn bucket(&self, rec: &EmbeddedRecord, l: usize) -> &[u64] {
+        self.tables[l].get(self.key(rec, l))
+    }
+
+    /// The de-duplicated union of co-blocked ids across all tables
+    /// (including multi-probe neighbours when configured).
+    pub fn candidates(&self, rec: &EmbeddedRecord) -> HashSet<u64> {
+        let mut out = HashSet::new();
+        self.candidates_into(rec, &mut out);
+        out
+    }
+
+    /// Extends `out` with co-blocked ids (avoids re-allocating per call).
+    pub fn candidates_into(&self, rec: &EmbeddedRecord, out: &mut HashSet<u64>) {
+        for l in 0..self.per_table.len() {
+            out.extend(self.bucket(rec, l).iter().copied());
+            if self.probe_flips > 0 {
+                let base = self.key(rec, l);
+                let k_bits: usize = self.per_table[l].iter().map(|s| s.sampler.k()).sum();
+                self.probe_neighbours(l, base, k_bits, self.probe_flips, 0, out);
+            }
+        }
+    }
+
+    /// Recursively visits keys with up to `budget` more flipped bits,
+    /// starting from bit `from` (each combination visited once).
+    fn probe_neighbours(
+        &self,
+        l: usize,
+        key: u128,
+        k_bits: usize,
+        budget: u32,
+        from: usize,
+        out: &mut HashSet<u64>,
+    ) {
+        if budget == 0 {
+            return;
+        }
+        for i in from..k_bits {
+            let flipped = key ^ (1u128 << i);
+            out.extend(self.tables[l].get(flipped).iter().copied());
+            self.probe_neighbours(l, flipped, k_bits, budget - 1, i + 1, out);
+        }
+    }
+
+    /// Read access to the underlying tables (profiling/diagnostics).
+    pub fn tables(&self) -> &[BlockingTable] {
+        &self.tables
+    }
+
+    /// Total non-empty buckets across tables (diagnostics).
+    pub fn num_buckets(&self) -> usize {
+        self.tables.iter().map(BlockingTable::num_buckets).sum()
+    }
+
+    /// Largest bucket across tables (the paper's over-population
+    /// diagnostic).
+    pub fn max_bucket(&self) -> usize {
+        self.tables.iter().map(BlockingTable::max_bucket).max().unwrap_or(0)
+    }
+}
+
+fn check_delta(delta: f64) -> Result<()> {
+    if delta <= 0.0 || delta >= 1.0 {
+        return Err(Error::InvalidParameter(format!(
+            "delta must lie in (0, 1), got {delta}"
+        )));
+    }
+    Ok(())
+}
+
+/// `p_∧` for a set of conjuncts, validating thresholds against the schema.
+fn conjunction_probability(schema: &RecordSchema, conjuncts: &[Pred]) -> Result<f64> {
+    let mut terms = Vec::with_capacity(conjuncts.len());
+    for c in conjuncts {
+        let spec = schema
+            .specs()
+            .get(c.attr)
+            .ok_or(Error::AttributeOutOfRange {
+                attr: c.attr,
+                num_attributes: schema.num_attributes(),
+            })?;
+        if c.theta as usize > spec.m {
+            return Err(Error::ThresholdTooLarge {
+                attr: c.attr,
+                theta: c.theta,
+                m: spec.m,
+            });
+        }
+        terms.push((base_success_probability(c.theta, spec.m), spec.k));
+    }
+    let p = and_probability(terms);
+    if p <= 0.0 {
+        return Err(Error::InvalidParameter(
+            "conjunction collision probability underflowed to 0".into(),
+        ));
+    }
+    Ok(p)
+}
+
+/// Set-algebra expression over structure candidate sets.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+enum PlanExpr {
+    /// Candidates of one structure.
+    Leaf(usize),
+    /// Intersection of children, minus the co-blocked sets of the negated
+    /// structures (empty `negated` for a plain AND).
+    And {
+        children: Vec<PlanExpr>,
+        negated: Vec<usize>,
+    },
+    /// Union of children.
+    Or(Vec<PlanExpr>),
+}
+
+/// A compiled blocking plan: structures plus the candidate-set expression.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BlockingPlan {
+    structures: Vec<BlockingStructure>,
+    expr: PlanExpr,
+}
+
+impl BlockingPlan {
+    /// Compiles a validated classification rule into blocking structures
+    /// (Section 5.4). `delta` is the per-rule failure budget δ.
+    ///
+    /// Following the paper's compound-rule treatment, each subrule's
+    /// structure receives the full δ budget; nested disjunctions of
+    /// predicates share one `L` per Definition 5.
+    pub fn compile<R: Rng + ?Sized>(
+        schema: &RecordSchema,
+        rule: &Rule,
+        delta: f64,
+        rng: &mut R,
+    ) -> Result<Self> {
+        let sizes: Vec<usize> = schema.specs().iter().map(|s| s.m).collect();
+        rule.validate(&sizes)?;
+        check_delta(delta)?;
+        let mut structures = Vec::new();
+        let expr = compile_node(schema, rule, delta, &mut structures, rng)?;
+        Ok(Self { structures, expr })
+    }
+
+    /// Wraps a single record-level structure as a plan (standard HB mode).
+    pub fn record_level<R: Rng + ?Sized>(
+        schema: &RecordSchema,
+        theta: u32,
+        k: u32,
+        delta: f64,
+        rng: &mut R,
+    ) -> Result<Self> {
+        let s = BlockingStructure::record_level(schema, theta, k, delta, rng)?;
+        Ok(Self {
+            structures: vec![s],
+            expr: PlanExpr::Leaf(0),
+        })
+    }
+
+    /// Record-level plan with a fixed `L` (parameter-sweep harnesses).
+    pub fn record_level_with_l<R: Rng + ?Sized>(
+        schema: &RecordSchema,
+        theta: u32,
+        k: u32,
+        l: usize,
+        rng: &mut R,
+    ) -> Result<Self> {
+        let s = BlockingStructure::record_level_with_l(schema, theta, k, l, rng)?;
+        Ok(Self {
+            structures: vec![s],
+            expr: PlanExpr::Leaf(0),
+        })
+    }
+
+    /// The compiled structures.
+    pub fn structures(&self) -> &[BlockingStructure] {
+        &self.structures
+    }
+
+    /// Total number of hash tables across structures (`Σ L`).
+    pub fn total_tables(&self) -> usize {
+        self.structures.iter().map(BlockingStructure::l).sum()
+    }
+
+    /// Indexes a record from data set A into every structure.
+    pub fn insert(&mut self, rec: &EmbeddedRecord) {
+        for s in &mut self.structures {
+            s.insert(rec);
+        }
+    }
+
+    /// Indexes a batch.
+    pub fn insert_all(&mut self, recs: &[EmbeddedRecord]) {
+        for r in recs {
+            self.insert(r);
+        }
+    }
+
+    /// The candidate id set for a probe record, per the rule's logic, using
+    /// the paper's literal NOT semantics: a candidate is excluded when it is
+    /// co-blocked with the probe in *any* table of a negated structure.
+    ///
+    /// Caveat: with small `K` the negated structure's tables have few
+    /// buckets, so unrelated records co-block by chance and true matches
+    /// are over-excluded. Prefer [`Self::candidates_verified`], which
+    /// confirms each exclusion hint with a cheap single-attribute distance.
+    pub fn candidates(&self, rec: &EmbeddedRecord) -> HashSet<u64> {
+        self.eval(
+            &self.expr,
+            rec,
+            None::<&fn(u64) -> Option<&'static EmbeddedRecord>>,
+        )
+    }
+
+    /// As [`Self::candidates`], but each NOT-exclusion hint is verified: a
+    /// co-blocked candidate is only excluded when the negated structure's
+    /// conjuncts actually hold for the pair (one popcount per conjunct).
+    /// This keeps the paper's "never brought for comparison" pruning while
+    /// avoiding chance-collision over-exclusion.
+    pub fn candidates_verified<'s, F>(&self, rec: &EmbeddedRecord, lookup: F) -> HashSet<u64>
+    where
+        F: Fn(u64) -> Option<&'s EmbeddedRecord>,
+    {
+        self.eval(&self.expr, rec, Some(&lookup))
+    }
+
+    fn eval<'s, F>(
+        &self,
+        expr: &PlanExpr,
+        rec: &EmbeddedRecord,
+        lookup: Option<&F>,
+    ) -> HashSet<u64>
+    where
+        F: Fn(u64) -> Option<&'s EmbeddedRecord>,
+    {
+        match expr {
+            PlanExpr::Leaf(i) => self.structures[*i].candidates(rec),
+            PlanExpr::Or(children) => {
+                let mut out = HashSet::new();
+                for c in children {
+                    out.extend(self.eval(c, rec, lookup));
+                }
+                out
+            }
+            PlanExpr::And { children, negated } => {
+                let mut sets: Vec<HashSet<u64>> =
+                    children.iter().map(|c| self.eval(c, rec, lookup)).collect();
+                // Intersect starting from the smallest set.
+                sets.sort_by_key(HashSet::len);
+                let mut iter = sets.into_iter();
+                let mut acc = iter.next().unwrap_or_default();
+                for s in iter {
+                    acc.retain(|id| s.contains(id));
+                }
+                if !acc.is_empty() {
+                    for &n in negated {
+                        let structure = &self.structures[n];
+                        let excl = structure.candidates(rec);
+                        acc.retain(|id| {
+                            if !excl.contains(id) {
+                                return true;
+                            }
+                            match lookup {
+                                // Verified mode: only exclude when the
+                                // negated conjuncts truly hold.
+                                Some(f) => f(*id)
+                                    .is_none_or(|a| !structure.conjuncts_hold(a, rec)),
+                                // Literal mode: any co-block excludes.
+                                None => false,
+                            }
+                        });
+                        if acc.is_empty() {
+                            break;
+                        }
+                    }
+                }
+                acc
+            }
+        }
+    }
+}
+
+/// Recursive compiler: returns the expression for `rule`, appending any new
+/// structures to `structures`.
+fn compile_node<R: Rng + ?Sized>(
+    schema: &RecordSchema,
+    rule: &Rule,
+    delta: f64,
+    structures: &mut Vec<BlockingStructure>,
+    rng: &mut R,
+) -> Result<PlanExpr> {
+    match rule {
+        Rule::Pred(p) => {
+            let s = BlockingStructure::conjunction(schema, &[*p], delta, rng)?;
+            structures.push(s);
+            Ok(PlanExpr::Leaf(structures.len() - 1))
+        }
+        Rule::And(children) => {
+            // Partition: fuse predicate conjuncts into one structure; compile
+            // compound conjuncts recursively; negations become exclusions.
+            let mut preds: Vec<Pred> = Vec::new();
+            let mut compound: Vec<&Rule> = Vec::new();
+            let mut negations: Vec<&Rule> = Vec::new();
+            for c in children {
+                match c {
+                    Rule::Pred(p) => preds.push(*p),
+                    Rule::Not(inner) => negations.push(inner),
+                    other => compound.push(other),
+                }
+            }
+            let mut sub_exprs = Vec::new();
+            if !preds.is_empty() {
+                let s = BlockingStructure::conjunction(schema, &preds, delta, rng)?;
+                structures.push(s);
+                sub_exprs.push(PlanExpr::Leaf(structures.len() - 1));
+            }
+            for c in compound {
+                sub_exprs.push(compile_node(schema, c, delta, structures, rng)?);
+            }
+            let mut negated = Vec::new();
+            for n in negations {
+                // The negated subrule's structure is built exactly like a
+                // positive one (Definition 6 "does not include any
+                // modifications"); only its set role flips.
+                let preds = match n {
+                    Rule::Pred(p) => vec![*p],
+                    Rule::And(inner) => {
+                        let mut ps = Vec::new();
+                        for r in inner {
+                            match r {
+                                Rule::Pred(p) => ps.push(*p),
+                                _ => {
+                                    return Err(Error::InvalidRule(
+                                        "NOT supports a predicate or a conjunction of predicates"
+                                            .into(),
+                                    ))
+                                }
+                            }
+                        }
+                        ps
+                    }
+                    _ => {
+                        return Err(Error::InvalidRule(
+                            "NOT supports a predicate or a conjunction of predicates".into(),
+                        ))
+                    }
+                };
+                let s = BlockingStructure::conjunction(schema, &preds, delta, rng)?;
+                structures.push(s);
+                negated.push(structures.len() - 1);
+            }
+            if sub_exprs.is_empty() {
+                return Err(Error::InvalidRule(
+                    "AND must contain at least one non-negated conjunct".into(),
+                ));
+            }
+            Ok(PlanExpr::And {
+                children: sub_exprs,
+                negated,
+            })
+        }
+        Rule::Or(children) => {
+            let all_preds: Option<Vec<Pred>> = children
+                .iter()
+                .map(|c| match c {
+                    Rule::Pred(p) => Some(*p),
+                    _ => None,
+                })
+                .collect();
+            if let Some(preds) = all_preds {
+                // Definition 5: one structure per disjunct attribute, all
+                // sharing L computed from p_∨.
+                let mut terms = Vec::new();
+                for p in &preds {
+                    let spec = schema.specs().get(p.attr).ok_or(Error::AttributeOutOfRange {
+                        attr: p.attr,
+                        num_attributes: schema.num_attributes(),
+                    })?;
+                    terms.push((base_success_probability(p.theta, spec.m), spec.k));
+                }
+                let p_or = or_probability(terms.iter().copied());
+                if p_or <= 0.0 {
+                    return Err(Error::InvalidParameter(
+                        "disjunction collision probability underflowed to 0".into(),
+                    ));
+                }
+                let l = optimal_l(p_or, delta);
+                let mut leaves = Vec::new();
+                for (p, term) in preds.iter().zip(terms) {
+                    let s = BlockingStructure::conjunction_with_l(
+                        schema,
+                        &[*p],
+                        l,
+                        term.0.powi(term.1 as i32),
+                        rng,
+                    )?;
+                    structures.push(s);
+                    leaves.push(PlanExpr::Leaf(structures.len() - 1));
+                }
+                Ok(PlanExpr::Or(leaves))
+            } else {
+                // Compound OR (the paper's C1): each subrule keeps its own
+                // structures with the full δ budget; a pair is returned if it
+                // is formulated in either blocking structure.
+                let mut exprs = Vec::new();
+                for c in children {
+                    exprs.push(compile_node(schema, c, delta, structures, rng)?);
+                }
+                Ok(PlanExpr::Or(exprs))
+            }
+        }
+        Rule::Not(_) => Err(Error::InvalidRule(
+            "NOT is only valid as a direct conjunct of an AND".into(),
+        )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::AttributeSpec;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use textdist::Alphabet;
+
+    fn schema(seed: u64) -> RecordSchema {
+        let mut rng = StdRng::seed_from_u64(seed);
+        RecordSchema::build(
+            Alphabet::linkage(),
+            vec![
+                AttributeSpec::new("FirstName", 2, 15, false, 5),
+                AttributeSpec::new("LastName", 2, 15, false, 5),
+                AttributeSpec::new("Address", 2, 68, false, 10),
+                AttributeSpec::new("Town", 2, 22, false, 10),
+            ],
+            &mut rng,
+        )
+    }
+
+    fn embed(s: &RecordSchema, id: u64, f: [&str; 4]) -> EmbeddedRecord {
+        s.embed(&crate::Record::new(id, f)).unwrap()
+    }
+
+    #[test]
+    fn record_level_l_matches_equation_2() {
+        let s = schema(1);
+        let mut rng = StdRng::seed_from_u64(9);
+        let b = BlockingStructure::record_level(&s, 4, 30, 0.1, &mut rng).unwrap();
+        assert_eq!(b.l(), 6); // §6.2: NCVR PL parameters give L = 6
+    }
+
+    #[test]
+    fn identical_records_are_always_candidates() {
+        let s = schema(2);
+        let mut rng = StdRng::seed_from_u64(10);
+        let mut b = BlockingStructure::record_level(&s, 4, 30, 0.1, &mut rng).unwrap();
+        let e1 = embed(&s, 1, ["JOHN", "SMITH", "12 OAK ST", "DURHAM"]);
+        let e2 = embed(&s, 2, ["JOHN", "SMITH", "12 OAK ST", "DURHAM"]);
+        b.insert(&e1);
+        assert!(b.candidates(&e2).contains(&1));
+    }
+
+    #[test]
+    fn conjunction_structure_blocks_per_rule() {
+        let s = schema(3);
+        let mut rng = StdRng::seed_from_u64(11);
+        let rule = Rule::and([Rule::pred(0, 4), Rule::pred(1, 4)]);
+        let mut plan = BlockingPlan::compile(&s, &rule, 0.1, &mut rng).unwrap();
+        assert_eq!(plan.structures().len(), 1); // fused conjunction
+        let a = embed(&s, 1, ["JOHN", "SMITH", "X", "Y"]);
+        let probe = embed(&s, 2, ["JOHN", "SMITH", "COMPLETELY", "DIFFERENT"]);
+        plan.insert(&a);
+        // Names match exactly → must be co-blocked regardless of address.
+        assert!(plan.candidates(&probe).contains(&1));
+    }
+
+    #[test]
+    fn or_plan_unions_candidates() {
+        let s = schema(4);
+        let mut rng = StdRng::seed_from_u64(12);
+        let rule = Rule::or([Rule::pred(0, 4), Rule::pred(2, 8)]);
+        let mut plan = BlockingPlan::compile(&s, &rule, 0.1, &mut rng).unwrap();
+        assert_eq!(plan.structures().len(), 2);
+        // Shared L per Definition 5.
+        assert_eq!(plan.structures()[0].l(), plan.structures()[1].l());
+        let a = embed(&s, 1, ["JOHN", "X", "12 OAK STREET", "Y"]);
+        plan.insert(&a);
+        // Probe matches only on the address attribute.
+        let probe = embed(&s, 2, ["WILHELMINA", "Z", "12 OAK STREET", "W"]);
+        assert!(plan.candidates(&probe).contains(&1));
+    }
+
+    #[test]
+    fn not_excludes_co_blocked_pairs() {
+        let s = schema(5);
+        let mut rng = StdRng::seed_from_u64(13);
+        // C3: first name close AND last name NOT close.
+        let rule = Rule::and([Rule::pred(0, 4), Rule::not(Rule::pred(1, 4))]);
+        let mut plan = BlockingPlan::compile(&s, &rule, 0.1, &mut rng).unwrap();
+        assert_eq!(plan.structures().len(), 2);
+        let same_both = embed(&s, 1, ["JOHN", "SMITH", "A", "B"]);
+        let same_first = embed(&s, 2, ["JOHN", "WINTERBOTTOM", "A", "B"]);
+        plan.insert(&same_both);
+        plan.insert(&same_first);
+        let probe = embed(&s, 3, ["JOHN", "SMITH", "A", "B"]);
+        let cands = plan.candidates(&probe);
+        // Record 1 shares both names with the probe → excluded by the NOT.
+        assert!(!cands.contains(&1));
+        // Record 2 shares only the first name → kept.
+        assert!(cands.contains(&2));
+    }
+
+    #[test]
+    fn compound_c1_unions_subrule_structures() {
+        let s = schema(6);
+        let mut rng = StdRng::seed_from_u64(14);
+        let rule = Rule::or([
+            Rule::and([Rule::pred(0, 4), Rule::pred(1, 4)]),
+            Rule::and([Rule::pred(2, 8), Rule::pred(3, 4)]),
+        ]);
+        let plan = BlockingPlan::compile(&s, &rule, 0.1, &mut rng).unwrap();
+        assert_eq!(plan.structures().len(), 2);
+    }
+
+    #[test]
+    fn compound_c2_intersects_or_structures() {
+        let s = schema(7);
+        let mut rng = StdRng::seed_from_u64(15);
+        let rule = Rule::and([
+            Rule::or([Rule::pred(0, 4), Rule::pred(1, 4)]),
+            Rule::or([Rule::pred(2, 8), Rule::pred(3, 4)]),
+        ]);
+        let mut plan = BlockingPlan::compile(&s, &rule, 0.1, &mut rng).unwrap();
+        // Four structures: one per OR disjunct (paper: "four separate
+        // blocking structures").
+        assert_eq!(plan.structures().len(), 4);
+        let a = embed(&s, 1, ["JOHN", "X", "12 OAK STREET", "Y"]);
+        plan.insert(&a);
+        // Matches first name (subrule 1) and address (subrule 2) → candidate.
+        let both = embed(&s, 2, ["JOHN", "Q", "12 OAK STREET", "Z"]);
+        assert!(plan.candidates(&both).contains(&1));
+    }
+
+    #[test]
+    fn and_l_exceeds_or_l() {
+        // §5.4: "The new value of L is larger using an AND rule, and smaller
+        // using an OR rule".
+        let s = schema(8);
+        let mut rng = StdRng::seed_from_u64(16);
+        let and_plan = BlockingPlan::compile(
+            &s,
+            &Rule::and([Rule::pred(0, 4), Rule::pred(1, 4)]),
+            0.1,
+            &mut rng,
+        )
+        .unwrap();
+        let or_plan = BlockingPlan::compile(
+            &s,
+            &Rule::or([Rule::pred(0, 4), Rule::pred(1, 4)]),
+            0.1,
+            &mut rng,
+        )
+        .unwrap();
+        let single = BlockingPlan::compile(&s, &Rule::pred(0, 4), 0.1, &mut rng).unwrap();
+        assert!(and_plan.structures()[0].l() > single.structures()[0].l());
+        assert!(or_plan.structures()[0].l() < single.structures()[0].l());
+    }
+
+    #[test]
+    fn invalid_rules_rejected_at_compile() {
+        let s = schema(9);
+        let mut rng = StdRng::seed_from_u64(17);
+        let bare_not = Rule::not(Rule::pred(0, 4));
+        assert!(BlockingPlan::compile(&s, &bare_not, 0.1, &mut rng).is_err());
+        let bad_attr = Rule::pred(7, 4);
+        assert!(BlockingPlan::compile(&s, &bad_attr, 0.1, &mut rng).is_err());
+        let bad_delta = Rule::pred(0, 4);
+        assert!(BlockingPlan::compile(&s, &bad_delta, 0.0, &mut rng).is_err());
+    }
+
+    #[test]
+    fn candidates_empty_when_nothing_indexed() {
+        let s = schema(10);
+        let mut rng = StdRng::seed_from_u64(18);
+        let plan =
+            BlockingPlan::compile(&s, &Rule::pred(0, 4), 0.1, &mut rng).unwrap();
+        let probe = embed(&s, 1, ["A", "B", "C", "D"]);
+        assert!(plan.candidates(&probe).is_empty());
+    }
+
+    #[test]
+    fn total_tables_accounts_all_structures() {
+        let s = schema(11);
+        let mut rng = StdRng::seed_from_u64(19);
+        let rule = Rule::or([Rule::pred(0, 4), Rule::pred(1, 4)]);
+        let plan = BlockingPlan::compile(&s, &rule, 0.1, &mut rng).unwrap();
+        let per = plan.structures()[0].l();
+        assert_eq!(plan.total_tables(), per * 2);
+    }
+}
+
+#[cfg(test)]
+mod multiprobe_tests {
+    use super::*;
+    use crate::schema::AttributeSpec;
+    use crate::Record;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use textdist::Alphabet;
+
+    fn schema(seed: u64) -> RecordSchema {
+        let mut rng = StdRng::seed_from_u64(seed);
+        RecordSchema::build(
+            Alphabet::linkage(),
+            vec![
+                AttributeSpec::new("FirstName", 2, 15, false, 5),
+                AttributeSpec::new("LastName", 2, 15, false, 5),
+                AttributeSpec::new("Address", 2, 68, false, 10),
+                AttributeSpec::new("Town", 2, 22, false, 10),
+            ],
+            &mut rng,
+        )
+    }
+
+    #[test]
+    fn multiprobe_uses_fewer_tables() {
+        let s = schema(1);
+        let mut rng = StdRng::seed_from_u64(2);
+        let exact = BlockingStructure::record_level(&s, 4, 30, 0.1, &mut rng).unwrap();
+        let mp1 =
+            BlockingStructure::record_level_multiprobe(&s, 4, 30, 0.1, 1, &mut rng).unwrap();
+        let mp2 =
+            BlockingStructure::record_level_multiprobe(&s, 4, 30, 0.1, 2, &mut rng).unwrap();
+        assert!(mp1.l() < exact.l(), "t=1: {} vs {}", mp1.l(), exact.l());
+        assert!(mp2.l() <= mp1.l());
+    }
+
+    #[test]
+    fn multiprobe_finds_identical_records() {
+        let s = schema(3);
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut mp =
+            BlockingStructure::record_level_multiprobe(&s, 4, 30, 0.1, 1, &mut rng).unwrap();
+        let rec = |id| {
+            s.embed(&Record::new(id, ["JOHN", "SMITH", "12 OAK STREET", "DURHAM"]))
+                .unwrap()
+        };
+        mp.insert(&rec(1));
+        assert!(mp.candidates(&rec(2)).contains(&1));
+    }
+
+    #[test]
+    fn multiprobe_recall_matches_guarantee_on_perturbed_pairs() {
+        // Statistical check: pairs at θ = 4 must be found ≥ 90% of the time
+        // with δ = 0.1, despite the smaller L.
+        let s = schema(5);
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut found = 0u32;
+        let trials = 200u64;
+        let mut pairs = Vec::new();
+        for i in 0..trials {
+            let a = Record::new(i, ["JOHN", "SMITH", "12 OAK STREET", "DURHAM"]);
+            // One substitute in the town (≤ 4 differing bits).
+            let b = Record::new(10_000 + i, ["JOHN", "SMITH", "12 OAK STREET", "DURHAX"]);
+            let ea = s.embed(&a).unwrap();
+            let eb = s.embed(&b).unwrap();
+            // Re-randomize the structure per trial for independence.
+            let mut mp =
+                BlockingStructure::record_level_multiprobe(&s, 4, 30, 0.1, 1, &mut rng)
+                    .unwrap();
+            mp.insert(&ea);
+            pairs.push((ea, eb.clone()));
+            if mp.candidates(&eb).contains(&i) {
+                found += 1;
+            }
+        }
+        let recall = f64::from(found) / trials as f64;
+        assert!(recall >= 0.9, "multiprobe recall {recall}");
+    }
+
+    #[test]
+    fn excess_flip_budget_rejected() {
+        let s = schema(7);
+        let mut rng = StdRng::seed_from_u64(8);
+        assert!(
+            BlockingStructure::record_level_multiprobe(&s, 4, 10, 0.1, 11, &mut rng).is_err()
+        );
+    }
+}

@@ -1,0 +1,97 @@
+//! Error types for configuration and pipeline construction.
+
+use std::fmt;
+
+/// Errors raised while building or running a linkage pipeline.
+///
+/// Hot-path operations (distances, hashing) use panics for programmer
+/// errors (length mismatches); `Error` covers user-facing configuration
+/// problems that a caller can meaningfully handle.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Error {
+    /// A rule references an attribute index outside the schema.
+    AttributeOutOfRange {
+        /// The offending attribute index.
+        attr: usize,
+        /// Number of attributes in the schema.
+        num_attributes: usize,
+    },
+    /// A rule's structure cannot be compiled into a blocking plan
+    /// (e.g. a bare NOT with no positive conjunct).
+    InvalidRule(String),
+    /// A threshold exceeds the attribute's c-vector size, making the base
+    /// success probability undefined.
+    ThresholdTooLarge {
+        /// The offending attribute index.
+        attr: usize,
+        /// The threshold requested.
+        theta: u32,
+        /// The attribute's c-vector size.
+        m: usize,
+    },
+    /// Invalid parameter value (δ, K, ρ, r, …).
+    InvalidParameter(String),
+    /// A record's field count does not match the schema.
+    FieldCountMismatch {
+        /// Fields found on the record.
+        found: usize,
+        /// Fields required by the schema.
+        expected: usize,
+    },
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::AttributeOutOfRange {
+                attr,
+                num_attributes,
+            } => write!(
+                f,
+                "rule references attribute {attr}, but the schema has only {num_attributes}"
+            ),
+            Error::InvalidRule(msg) => write!(f, "invalid classification rule: {msg}"),
+            Error::ThresholdTooLarge { attr, theta, m } => write!(
+                f,
+                "threshold {theta} for attribute {attr} exceeds its c-vector size {m}"
+            ),
+            Error::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
+            Error::FieldCountMismatch { found, expected } => write!(
+                f,
+                "record has {found} fields but the schema defines {expected}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, Error>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = Error::AttributeOutOfRange {
+            attr: 5,
+            num_attributes: 4,
+        };
+        assert!(e.to_string().contains("attribute 5"));
+        let e = Error::ThresholdTooLarge {
+            attr: 1,
+            theta: 200,
+            m: 15,
+        };
+        assert!(e.to_string().contains("200"));
+        assert!(e.to_string().contains("15"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn takes_err(_: &dyn std::error::Error) {}
+        takes_err(&Error::InvalidRule("x".into()));
+    }
+}

@@ -1,0 +1,278 @@
+//! CSV import/export for records and match results.
+//!
+//! Real deployments receive records as delimited files (the NCVR extract
+//! the paper uses is a CSV). This module provides a dependency-free CSV
+//! reader/writer supporting quoted fields, embedded separators, and quote
+//! escaping — enough for the linkage CLI and downstream adopters.
+
+use crate::error::{Error, Result};
+use crate::record::Record;
+use std::io::{BufRead, BufReader, Read, Write};
+
+/// Parses one CSV line into fields (RFC-4180 quoting).
+///
+/// Returns `None` for lines with unterminated quotes.
+pub fn parse_csv_line(line: &str, sep: char) -> Option<Vec<String>> {
+    let mut fields = Vec::new();
+    let mut cur = String::new();
+    let mut chars = line.chars().peekable();
+    let mut in_quotes = false;
+    while let Some(c) = chars.next() {
+        if in_quotes {
+            if c == '"' {
+                if chars.peek() == Some(&'"') {
+                    chars.next();
+                    cur.push('"');
+                } else {
+                    in_quotes = false;
+                }
+            } else {
+                cur.push(c);
+            }
+        } else if c == '"' && cur.is_empty() {
+            in_quotes = true;
+        } else if c == sep {
+            fields.push(std::mem::take(&mut cur));
+        } else {
+            cur.push(c);
+        }
+    }
+    if in_quotes {
+        return None;
+    }
+    fields.push(cur);
+    Some(fields)
+}
+
+/// Serializes fields as one CSV line, quoting when needed.
+pub fn write_csv_line(fields: &[String], sep: char) -> String {
+    fields
+        .iter()
+        .map(|f| {
+            if f.contains(sep) || f.contains('"') || f.contains('\n') {
+                format!("\"{}\"", f.replace('"', "\"\""))
+            } else {
+                f.clone()
+            }
+        })
+        .collect::<Vec<_>>()
+        .join(&sep.to_string())
+}
+
+/// Reads records from CSV.
+///
+/// * `has_header` — skip (and return) the first line as attribute names.
+/// * `id_column` — which column holds the record id; `None` assigns
+///   sequential ids starting at 0 and treats every column as an attribute.
+///
+/// # Errors
+/// Returns [`Error::InvalidParameter`] on malformed CSV, unparsable ids, or
+/// ragged rows.
+pub fn read_records<R: Read>(
+    reader: R,
+    sep: char,
+    has_header: bool,
+    id_column: Option<usize>,
+) -> Result<(Option<Vec<String>>, Vec<Record>)> {
+    let buf = BufReader::new(reader);
+    let mut header: Option<Vec<String>> = None;
+    let mut records = Vec::new();
+    let mut width: Option<usize> = None;
+    for (lineno, line) in buf.lines().enumerate() {
+        let line =
+            line.map_err(|e| Error::InvalidParameter(format!("I/O error reading CSV: {e}")))?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let fields = parse_csv_line(&line, sep).ok_or_else(|| {
+            Error::InvalidParameter(format!("line {}: unterminated quote", lineno + 1))
+        })?;
+        if has_header && header.is_none() && records.is_empty() {
+            header = Some(fields);
+            continue;
+        }
+        match width {
+            None => width = Some(fields.len()),
+            Some(w) if w != fields.len() => {
+                return Err(Error::InvalidParameter(format!(
+                    "line {}: expected {} fields, found {}",
+                    lineno + 1,
+                    w,
+                    fields.len()
+                )))
+            }
+            _ => {}
+        }
+        let (id, attrs) = match id_column {
+            Some(col) => {
+                let id_str = fields.get(col).ok_or_else(|| {
+                    Error::InvalidParameter(format!("line {}: no id column {col}", lineno + 1))
+                })?;
+                let id: u64 = id_str.trim().parse().map_err(|_| {
+                    Error::InvalidParameter(format!(
+                        "line {}: id {id_str:?} is not an unsigned integer",
+                        lineno + 1
+                    ))
+                })?;
+                let attrs: Vec<String> = fields
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, _)| *i != col)
+                    .map(|(_, f)| f.clone())
+                    .collect();
+                (id, attrs)
+            }
+            None => (records.len() as u64, fields),
+        };
+        records.push(Record { id, fields: attrs });
+    }
+    Ok((header, records))
+}
+
+/// Writes records as CSV (id first, then attributes).
+///
+/// # Errors
+/// Returns [`Error::InvalidParameter`] on I/O failure.
+pub fn write_records<W: Write>(
+    mut writer: W,
+    records: &[Record],
+    header: Option<&[String]>,
+    sep: char,
+) -> Result<()> {
+    let io_err = |e: std::io::Error| Error::InvalidParameter(format!("I/O error: {e}"));
+    if let Some(h) = header {
+        let mut cols = vec![String::from("id")];
+        cols.extend(h.iter().cloned());
+        writeln!(writer, "{}", write_csv_line(&cols, sep)).map_err(io_err)?;
+    }
+    for r in records {
+        let mut cols = vec![r.id.to_string()];
+        cols.extend(r.fields.iter().cloned());
+        writeln!(writer, "{}", write_csv_line(&cols, sep)).map_err(io_err)?;
+    }
+    Ok(())
+}
+
+/// Writes identified match pairs as a two-column CSV.
+///
+/// # Errors
+/// Returns [`Error::InvalidParameter`] on I/O failure.
+pub fn write_matches<W: Write>(mut writer: W, matches: &[(u64, u64)]) -> Result<()> {
+    let io_err = |e: std::io::Error| Error::InvalidParameter(format!("I/O error: {e}"));
+    writeln!(writer, "id_a,id_b").map_err(io_err)?;
+    for (a, b) in matches {
+        writeln!(writer, "{a},{b}").map_err(io_err)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_simple_line() {
+        assert_eq!(
+            parse_csv_line("JOHN,SMITH,12 OAK ST", ',').unwrap(),
+            vec!["JOHN", "SMITH", "12 OAK ST"]
+        );
+    }
+
+    #[test]
+    fn parse_quoted_fields() {
+        assert_eq!(
+            parse_csv_line("\"SMITH, JR\",\"SAY \"\"HI\"\"\",PLAIN", ',').unwrap(),
+            vec!["SMITH, JR", "SAY \"HI\"", "PLAIN"]
+        );
+    }
+
+    #[test]
+    fn parse_empty_fields() {
+        assert_eq!(parse_csv_line(",,", ',').unwrap(), vec!["", "", ""]);
+    }
+
+    #[test]
+    fn unterminated_quote_is_none() {
+        assert!(parse_csv_line("\"OPEN", ',').is_none());
+    }
+
+    #[test]
+    fn write_then_parse_roundtrip() {
+        let fields = vec![
+            "PLAIN".to_string(),
+            "WITH,SEP".to_string(),
+            "WITH\"QUOTE".to_string(),
+        ];
+        let line = write_csv_line(&fields, ',');
+        assert_eq!(parse_csv_line(&line, ',').unwrap(), fields);
+    }
+
+    #[test]
+    fn read_records_with_header_and_id() {
+        let csv = "id,first,last\n7,JOHN,SMITH\n9,MARY,JONES\n";
+        let (header, recs) = read_records(csv.as_bytes(), ',', true, Some(0)).unwrap();
+        assert_eq!(header.unwrap(), vec!["id", "first", "last"]);
+        assert_eq!(recs.len(), 2);
+        assert_eq!(recs[0].id, 7);
+        assert_eq!(recs[0].fields, vec!["JOHN", "SMITH"]);
+        assert_eq!(recs[1].id, 9);
+    }
+
+    #[test]
+    fn read_records_sequential_ids() {
+        let csv = "JOHN,SMITH\nMARY,JONES\n";
+        let (header, recs) = read_records(csv.as_bytes(), ',', false, None).unwrap();
+        assert!(header.is_none());
+        assert_eq!(recs[0].id, 0);
+        assert_eq!(recs[1].id, 1);
+        assert_eq!(recs[1].fields, vec!["MARY", "JONES"]);
+    }
+
+    #[test]
+    fn ragged_rows_are_rejected() {
+        let csv = "A,B\nC\n";
+        assert!(read_records(csv.as_bytes(), ',', false, None).is_err());
+    }
+
+    #[test]
+    fn bad_id_is_rejected() {
+        let csv = "x,JOHN\n";
+        assert!(read_records(csv.as_bytes(), ',', false, Some(0)).is_err());
+    }
+
+    #[test]
+    fn blank_lines_are_skipped() {
+        let csv = "JOHN,SMITH\n\n\nMARY,JONES\n";
+        let (_, recs) = read_records(csv.as_bytes(), ',', false, None).unwrap();
+        assert_eq!(recs.len(), 2);
+    }
+
+    #[test]
+    fn write_records_roundtrip() {
+        let records = vec![
+            Record::new(1, ["JOHN", "SMITH, JR"]),
+            Record::new(2, ["MARY", "JONES"]),
+        ];
+        let mut out = Vec::new();
+        let header = vec!["first".to_string(), "last".to_string()];
+        write_records(&mut out, &records, Some(&header), ',').unwrap();
+        let (h, back) = read_records(out.as_slice(), ',', true, Some(0)).unwrap();
+        assert_eq!(h.unwrap()[0], "id");
+        assert_eq!(back, records);
+    }
+
+    #[test]
+    fn write_matches_format() {
+        let mut out = Vec::new();
+        write_matches(&mut out, &[(1, 10), (2, 20)]).unwrap();
+        let s = String::from_utf8(out).unwrap();
+        assert_eq!(s, "id_a,id_b\n1,10\n2,20\n");
+    }
+
+    #[test]
+    fn semicolon_separator() {
+        let csv = "JOHN;SMITH\n";
+        let (_, recs) = read_records(csv.as_bytes(), ';', false, None).unwrap();
+        assert_eq!(recs[0].fields, vec!["JOHN", "SMITH"]);
+    }
+}

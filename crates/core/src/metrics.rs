@@ -1,0 +1,206 @@
+//! Linkage quality measures: Pairs Completeness, Pairs Quality, and
+//! Reduction Ratio (Section 6, "Quality measures").
+//!
+//! With `M` the truly matching pairs, `M̂` the identified matching pairs,
+//! and `CR` the candidate pairs formulated by blocking:
+//!
+//! * `PC = |M̂ ∩ M| / |M|` — accuracy in finding the matching pairs;
+//! * `PQ = |M̂ ∩ M| / |CR|` — efficiency of candidate generation;
+//! * `RR = 1 − |CR| / |A × B|` — reduction of the comparison space.
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+
+/// The three quality measures for one linkage run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LinkageQuality {
+    /// Pairs Completeness.
+    pub pc: f64,
+    /// Pairs Quality.
+    pub pq: f64,
+    /// Reduction Ratio.
+    pub rr: f64,
+    /// `|M̂ ∩ M|` — true matches identified.
+    pub true_matches_found: u64,
+    /// `|M|` — ground-truth matches.
+    pub ground_truth_size: u64,
+    /// `|CR|` — candidate pairs compared.
+    pub candidates: u64,
+}
+
+impl LinkageQuality {
+    /// Precision of the *identified* pairs: `|M̂ ∩ M| / |M̂|`. Needs the
+    /// count of identified pairs, which [`evaluate`] does not retain; use
+    /// [`evaluate_full`] to get it.
+    pub fn precision(&self, identified: u64) -> f64 {
+        if identified == 0 {
+            0.0
+        } else {
+            self.true_matches_found as f64 / identified as f64
+        }
+    }
+
+    /// F1 over the classification decision (harmonic mean of PC acting as
+    /// recall and the given precision).
+    pub fn f1(&self, precision: f64) -> f64 {
+        if self.pc + precision == 0.0 {
+            0.0
+        } else {
+            2.0 * self.pc * precision / (self.pc + precision)
+        }
+    }
+}
+
+/// Classification-quality measures computed alongside the blocking ones.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FullQuality {
+    /// The paper's blocking measures.
+    pub blocking: LinkageQuality,
+    /// `|M̂ ∩ M| / |M̂|`.
+    pub precision: f64,
+    /// `|M̂ ∩ M| / |M|` (equals PC).
+    pub recall: f64,
+    /// Harmonic mean of precision and recall.
+    pub f1: f64,
+}
+
+/// Computes both the paper's measures and precision/recall/F1.
+pub fn evaluate_full(
+    identified: &[(u64, u64)],
+    ground_truth: &HashSet<(u64, u64)>,
+    candidates: u64,
+    cross_size: u128,
+) -> FullQuality {
+    let blocking = evaluate(identified, ground_truth, candidates, cross_size);
+    let precision = blocking.precision(identified.len() as u64);
+    let recall = blocking.pc;
+    FullQuality {
+        blocking,
+        precision,
+        recall,
+        f1: blocking.f1(precision),
+    }
+}
+
+/// Computes the quality measures.
+///
+/// `identified` holds `(id_A, id_B)` pairs classified as matches,
+/// `ground_truth` the true matching pairs, `candidates` is `|CR|`, and
+/// `cross_size` is `|A| · |B|`.
+pub fn evaluate(
+    identified: &[(u64, u64)],
+    ground_truth: &HashSet<(u64, u64)>,
+    candidates: u64,
+    cross_size: u128,
+) -> LinkageQuality {
+    let found = identified
+        .iter()
+        .filter(|p| ground_truth.contains(p))
+        .count() as u64;
+    let pc = if ground_truth.is_empty() {
+        1.0
+    } else {
+        found as f64 / ground_truth.len() as f64
+    };
+    let pq = if candidates == 0 {
+        0.0
+    } else {
+        found as f64 / candidates as f64
+    };
+    let rr = if cross_size == 0 {
+        0.0
+    } else {
+        1.0 - candidates as f64 / cross_size as f64
+    };
+    LinkageQuality {
+        pc,
+        pq,
+        rr,
+        true_matches_found: found,
+        ground_truth_size: ground_truth.len() as u64,
+        candidates,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gt(pairs: &[(u64, u64)]) -> HashSet<(u64, u64)> {
+        pairs.iter().copied().collect()
+    }
+
+    #[test]
+    fn perfect_linkage() {
+        let truth = gt(&[(1, 10), (2, 20)]);
+        let q = evaluate(&[(1, 10), (2, 20)], &truth, 2, 100);
+        assert_eq!(q.pc, 1.0);
+        assert_eq!(q.pq, 1.0);
+        assert!((q.rr - 0.98).abs() < 1e-12);
+        assert_eq!(q.true_matches_found, 2);
+    }
+
+    #[test]
+    fn half_recall() {
+        let truth = gt(&[(1, 10), (2, 20)]);
+        let q = evaluate(&[(1, 10), (3, 30)], &truth, 10, 100);
+        assert_eq!(q.pc, 0.5);
+        assert!((q.pq - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn false_positives_do_not_count_toward_pc() {
+        let truth = gt(&[(1, 10)]);
+        let q = evaluate(&[(9, 99)], &truth, 5, 100);
+        assert_eq!(q.pc, 0.0);
+        assert_eq!(q.pq, 0.0);
+    }
+
+    #[test]
+    fn empty_ground_truth_is_vacuously_complete() {
+        let q = evaluate(&[], &gt(&[]), 0, 100);
+        assert_eq!(q.pc, 1.0);
+        assert_eq!(q.pq, 0.0);
+        assert_eq!(q.rr, 1.0);
+    }
+
+    #[test]
+    fn rr_degrades_with_more_candidates() {
+        let truth = gt(&[(1, 10)]);
+        let all_pairs = evaluate(&[(1, 10)], &truth, 100, 100);
+        assert_eq!(all_pairs.rr, 0.0);
+        let blocked = evaluate(&[(1, 10)], &truth, 10, 100);
+        assert!((blocked.rr - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn full_quality_precision_recall_f1() {
+        let truth = gt(&[(1, 10), (2, 20), (3, 30), (4, 40)]);
+        // 3 true + 1 false positive identified.
+        let q = evaluate_full(&[(1, 10), (2, 20), (3, 30), (9, 99)], &truth, 8, 100);
+        assert!((q.recall - 0.75).abs() < 1e-12);
+        assert!((q.precision - 0.75).abs() < 1e-12);
+        assert!((q.f1 - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn full_quality_degenerate_cases() {
+        let truth = gt(&[(1, 10)]);
+        let q = evaluate_full(&[], &truth, 0, 100);
+        assert_eq!(q.precision, 0.0);
+        assert_eq!(q.f1, 0.0);
+        let all_wrong = evaluate_full(&[(9, 99)], &truth, 1, 100);
+        assert_eq!(all_wrong.precision, 0.0);
+        assert_eq!(all_wrong.f1, 0.0);
+    }
+
+    #[test]
+    fn duplicate_identified_pairs_count_once_in_spirit() {
+        // evaluate counts per entry; callers pass de-duplicated match lists
+        // (the pipeline guarantees this). Duplicates inflate the filter
+        // count, so verify the contract documented here.
+        let truth = gt(&[(1, 10)]);
+        let q = evaluate(&[(1, 10), (1, 10)], &truth, 2, 100);
+        assert_eq!(q.true_matches_found, 2); // documents the contract
+    }
+}

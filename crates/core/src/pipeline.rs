@@ -1,0 +1,560 @@
+//! End-to-end linkage pipeline: embed → block → match.
+//!
+//! [`LinkagePipeline`] plays the role of the paper's linkage unit
+//! ("Charlie", Section 3): it receives records from the data custodians,
+//! embeds them into Ĥ under one shared schema, hashes data set A into the
+//! blocking structures, and probes each record of data set B, classifying
+//! the formulated pairs. It supports the standard record-level HB mode and
+//! the rule-aware attribute-level mode of Section 5.4, plus multi-party
+//! linkage (Section 5.3 notes the method handles an arbitrary number of
+//! data sets).
+
+use crate::blocking::BlockingPlan;
+use crate::error::Result;
+use crate::matcher::{match_record, Classifier, MatchStats, RecordStore};
+use crate::record::Record;
+use crate::rule::Rule;
+use crate::schema::RecordSchema;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use std::time::Instant;
+
+/// Blocking mode selection.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum BlockingMode {
+    /// Standard HB (Section 4.2): sample bits uniformly from the whole
+    /// record-level c-vector, with a record-level Hamming threshold and `K`.
+    RecordLevel {
+        /// Record-level Hamming threshold `θ_Ĥ`.
+        theta: u32,
+        /// Base hash functions per composite key.
+        k: u32,
+    },
+    /// Standard HB with an explicitly fixed number of blocking groups —
+    /// for parameter sweeps where `L` must not track Equation 2.
+    RecordLevelFixedL {
+        /// Record-level Hamming threshold `θ_Ĥ`.
+        theta: u32,
+        /// Base hash functions per composite key.
+        k: u32,
+        /// Number of blocking groups.
+        l: usize,
+    },
+    /// Attribute-level rule-aware blocking (Section 5.4): compile the
+    /// classification rule; per-attribute `K^(f_i)` come from the schema.
+    RuleAware,
+}
+
+/// Pipeline configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LinkageConfig {
+    /// Failure budget δ of Equation 2 (the paper uses 0.1).
+    pub delta: f64,
+    /// Blocking mode.
+    pub mode: BlockingMode,
+    /// Classification rule applied to candidate pairs — and, in
+    /// [`BlockingMode::RuleAware`], compiled into the blocking plan.
+    pub rule: Rule,
+}
+
+impl LinkageConfig {
+    /// Rule-aware configuration with the paper's default δ = 0.1.
+    pub fn rule_aware(rule: Rule) -> Self {
+        Self {
+            delta: 0.1,
+            mode: BlockingMode::RuleAware,
+            rule,
+        }
+    }
+
+    /// Record-level configuration with the paper's default δ = 0.1.
+    pub fn record_level(rule: Rule, theta: u32, k: u32) -> Self {
+        Self {
+            delta: 0.1,
+            mode: BlockingMode::RecordLevel { theta, k },
+            rule,
+        }
+    }
+}
+
+/// Timings of the pipeline phases, in nanoseconds.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PhaseTimings {
+    /// Embedding records into Ĥ.
+    pub embed_nanos: u128,
+    /// Hashing into the blocking tables.
+    pub block_nanos: u128,
+    /// Candidate formulation + classification.
+    pub match_nanos: u128,
+}
+
+impl PhaseTimings {
+    /// Total wall time across phases.
+    pub fn total_nanos(&self) -> u128 {
+        self.embed_nanos + self.block_nanos + self.match_nanos
+    }
+}
+
+/// Matches plus counters produced by one probe worker.
+type WorkerOutput = (Vec<(u64, u64)>, MatchStats);
+
+/// On-disk form of a pipeline (see [`LinkagePipeline::save`]).
+#[derive(Serialize, Deserialize)]
+struct PersistedPipeline {
+    schema: RecordSchema,
+    config: LinkageConfig,
+    plan: BlockingPlan,
+    store: RecordStore,
+    indexed: usize,
+}
+
+/// Output of a linkage run.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct LinkageResult {
+    /// Identified matching pairs `(id_A, id_B)` (de-duplicated).
+    pub matches: Vec<(u64, u64)>,
+    /// Matching counters (`|CR|`, computations, `|M̂|`).
+    pub stats: MatchStats,
+    /// Phase timings.
+    pub timings: PhaseTimings,
+}
+
+/// The end-to-end linkage engine.
+#[derive(Debug)]
+pub struct LinkagePipeline {
+    schema: RecordSchema,
+    config: LinkageConfig,
+    plan: BlockingPlan,
+    store: RecordStore,
+    classifier: Classifier,
+    indexed: usize,
+    index_timings: PhaseTimings,
+}
+
+impl LinkagePipeline {
+    /// Builds a pipeline: validates the rule and compiles the blocking plan.
+    ///
+    /// # Errors
+    /// Returns configuration errors from rule validation or plan
+    /// compilation.
+    pub fn new<R: Rng + ?Sized>(
+        schema: RecordSchema,
+        config: LinkageConfig,
+        rng: &mut R,
+    ) -> Result<Self> {
+        let sizes: Vec<usize> = schema.specs().iter().map(|s| s.m).collect();
+        config.rule.validate(&sizes)?;
+        let plan = match config.mode {
+            BlockingMode::RecordLevel { theta, k } => {
+                BlockingPlan::record_level(&schema, theta, k, config.delta, rng)?
+            }
+            BlockingMode::RecordLevelFixedL { theta, k, l } => {
+                BlockingPlan::record_level_with_l(&schema, theta, k, l, rng)?
+            }
+            BlockingMode::RuleAware => {
+                BlockingPlan::compile(&schema, &config.rule, config.delta, rng)?
+            }
+        };
+        let classifier = Classifier::Rule(config.rule.clone());
+        Ok(Self {
+            schema,
+            config,
+            plan,
+            store: RecordStore::new(),
+            classifier,
+            indexed: 0,
+            index_timings: PhaseTimings::default(),
+        })
+    }
+
+    /// The schema in use.
+    pub fn schema(&self) -> &RecordSchema {
+        &self.schema
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &LinkageConfig {
+        &self.config
+    }
+
+    /// The compiled blocking plan (introspection: structures, L values).
+    pub fn plan(&self) -> &BlockingPlan {
+        &self.plan
+    }
+
+    /// Number of records indexed so far.
+    pub fn indexed_len(&self) -> usize {
+        self.indexed
+    }
+
+    /// Timings of the indexing side (embedding + hashing of data set A).
+    pub fn index_timings(&self) -> PhaseTimings {
+        self.index_timings
+    }
+
+    /// Embeds and indexes data set A into the blocking structures.
+    ///
+    /// # Errors
+    /// Returns [`crate::Error::FieldCountMismatch`] on malformed records.
+    pub fn index(&mut self, records: &[Record]) -> Result<()> {
+        let t0 = Instant::now();
+        let embedded = self.schema.embed_all(records)?;
+        self.index_timings.embed_nanos += t0.elapsed().as_nanos();
+        let t1 = Instant::now();
+        for rec in embedded {
+            self.plan.insert(&rec);
+            self.store.insert(rec);
+        }
+        self.index_timings.block_nanos += t1.elapsed().as_nanos();
+        self.indexed += records.len();
+        Ok(())
+    }
+
+    /// Probes data set B against the indexed data set A.
+    ///
+    /// # Errors
+    /// Returns [`crate::Error::FieldCountMismatch`] on malformed records.
+    pub fn link(&self, records: &[Record]) -> Result<LinkageResult> {
+        let mut result = LinkageResult::default();
+        let t0 = Instant::now();
+        let embedded = self.schema.embed_all(records)?;
+        result.timings.embed_nanos = t0.elapsed().as_nanos();
+        let t1 = Instant::now();
+        for probe in &embedded {
+            let matched = match_record(
+                &self.plan,
+                &self.store,
+                probe,
+                &self.classifier,
+                &mut result.stats,
+            );
+            result
+                .matches
+                .extend(matched.into_iter().map(|a| (a, probe.id)));
+        }
+        result.timings.match_nanos = t1.elapsed().as_nanos();
+        Ok(result)
+    }
+
+    /// As [`Self::link`], but probes records across `threads` worker
+    /// threads (crossbeam scoped threads over chunks of B). The blocking
+    /// plan and store are read-only during probing, so this is safe
+    /// sharing; results are merged deterministically in chunk order.
+    ///
+    /// # Errors
+    /// Returns [`crate::Error::FieldCountMismatch`] on malformed records.
+    pub fn link_parallel(&self, records: &[Record], threads: usize) -> Result<LinkageResult> {
+        let threads = threads.max(1);
+        if threads == 1 || records.len() < 2 * threads {
+            return self.link(records);
+        }
+        let mut result = LinkageResult::default();
+        let t0 = Instant::now();
+        // Both phases parallelize: each worker embeds its chunk (typically
+        // the dominant cost) and then probes it.
+        let chunk_size = records.len().div_ceil(threads);
+        let chunks: Vec<&[Record]> = records.chunks(chunk_size).collect();
+        let outputs: Vec<Result<WorkerOutput>> =
+            crossbeam::thread::scope(|scope| {
+                let handles: Vec<_> = chunks
+                    .iter()
+                    .map(|chunk| {
+                        scope.spawn(move |_| {
+                            let embedded = self.schema.embed_all(chunk)?;
+                            let mut stats = MatchStats::default();
+                            let mut matches = Vec::new();
+                            for probe in &embedded {
+                                let matched = match_record(
+                                    &self.plan,
+                                    &self.store,
+                                    probe,
+                                    &self.classifier,
+                                    &mut stats,
+                                );
+                                matches.extend(matched.into_iter().map(|a| (a, probe.id)));
+                            }
+                            Ok((matches, stats))
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("probe worker panicked"))
+                    .collect()
+            })
+            .expect("crossbeam scope");
+        for output in outputs {
+            let (matches, stats) = output?;
+            result.matches.extend(matches);
+            result.stats.candidates += stats.candidates;
+            result.stats.distance_computations += stats.distance_computations;
+            result.stats.matched += stats.matched;
+        }
+        result.timings.match_nanos = t0.elapsed().as_nanos();
+        Ok(result)
+    }
+
+    /// Serializes the full pipeline state — schema (hash coefficients
+    /// included), configuration, compiled plan with populated tables, and
+    /// record store — so an index built once can be probed by a later
+    /// process.
+    ///
+    /// # Errors
+    /// Returns [`crate::Error::InvalidParameter`] on I/O failure.
+    pub fn save<W: std::io::Write>(&self, writer: W) -> Result<()> {
+        let state = PersistedPipeline {
+            schema: self.schema.clone(),
+            config: self.config.clone(),
+            plan: self.plan.clone(),
+            store: self.store.clone(),
+            indexed: self.indexed,
+        };
+        serde_json::to_writer(writer, &state)
+            .map_err(|e| crate::Error::InvalidParameter(format!("serialize pipeline: {e}")))
+    }
+
+    /// Restores a pipeline saved by [`Self::save`].
+    ///
+    /// # Errors
+    /// Returns [`crate::Error::InvalidParameter`] on malformed input.
+    pub fn load<Rd: std::io::Read>(reader: Rd) -> Result<Self> {
+        let state: PersistedPipeline = serde_json::from_reader(reader)
+            .map_err(|e| crate::Error::InvalidParameter(format!("deserialize pipeline: {e}")))?;
+        let classifier = Classifier::Rule(state.config.rule.clone());
+        Ok(Self {
+            schema: state.schema,
+            config: state.config,
+            plan: state.plan,
+            store: state.store,
+            classifier,
+            indexed: state.indexed,
+            index_timings: PhaseTimings::default(),
+        })
+    }
+
+    /// Multi-party linkage: links every later data set against all earlier
+    /// ones, returning `(set_a, id_a, set_b, id_b)` matches. Ids need only
+    /// be unique within each data set.
+    ///
+    /// # Errors
+    /// Returns embedding errors from malformed records.
+    pub fn link_many(
+        schema: RecordSchema,
+        config: LinkageConfig,
+        sets: &[&[Record]],
+        rng: &mut impl Rng,
+    ) -> Result<Vec<(usize, u64, usize, u64)>> {
+        let mut out = Vec::new();
+        let mut pipeline = LinkagePipeline::new(schema, config, rng)?;
+        // Tag ids with their data-set index to keep them globally unique.
+        let tag = |set: usize, id: u64| ((set as u64) << 48) | id;
+        let untag = |id: u64| ((id >> 48) as usize, id & ((1 << 48) - 1));
+        for (si, set) in sets.iter().enumerate() {
+            // Probe against everything indexed so far (earlier sets only).
+            let tagged: Vec<Record> = set
+                .iter()
+                .map(|r| Record {
+                    id: tag(si, r.id),
+                    fields: r.fields.clone(),
+                })
+                .collect();
+            if si > 0 {
+                let result = pipeline.link(&tagged)?;
+                for (a, b) in result.matches {
+                    let (sa, ida) = untag(a);
+                    let (sb, idb) = untag(b);
+                    out.push((sa, ida, sb, idb));
+                }
+            }
+            pipeline.index(&tagged)?;
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::AttributeSpec;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use textdist::Alphabet;
+
+    fn schema(rng: &mut StdRng) -> RecordSchema {
+        RecordSchema::build(
+            Alphabet::linkage(),
+            vec![
+                AttributeSpec::new("FirstName", 2, 15, false, 5),
+                AttributeSpec::new("LastName", 2, 15, false, 5),
+                AttributeSpec::new("Town", 2, 22, false, 10),
+            ],
+            rng,
+        )
+    }
+
+    fn rule() -> Rule {
+        Rule::and([Rule::pred(0, 4), Rule::pred(1, 4), Rule::pred(2, 4)])
+    }
+
+    #[test]
+    fn end_to_end_rule_aware() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let s = schema(&mut rng);
+        let mut p =
+            LinkagePipeline::new(s, LinkageConfig::rule_aware(rule()), &mut rng).unwrap();
+        let a = vec![
+            Record::new(1, ["JOHN", "SMITH", "DURHAM"]),
+            Record::new(2, ["MARY", "JONES", "RALEIGH"]),
+            Record::new(3, ["PETER", "WRIGHT", "CARY"]),
+        ];
+        p.index(&a).unwrap();
+        assert_eq!(p.indexed_len(), 3);
+        let b = vec![
+            Record::new(10, ["JON", "SMITH", "DURHAM"]),   // 1 delete on f1
+            Record::new(11, ["MARY", "JONES", "RALEIGH"]), // exact
+            Record::new(12, ["AGNES", "OTHER", "NOWHERE"]),
+        ];
+        let r = p.link(&b).unwrap();
+        let mut matches = r.matches.clone();
+        matches.sort_unstable();
+        assert_eq!(matches, vec![(1, 10), (2, 11)]);
+        assert_eq!(r.stats.matched, 2);
+        assert!(r.stats.candidates >= 2);
+    }
+
+    #[test]
+    fn end_to_end_record_level() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let s = schema(&mut rng);
+        let mut p = LinkagePipeline::new(
+            s,
+            LinkageConfig::record_level(rule(), 4, 30),
+            &mut rng,
+        )
+        .unwrap();
+        p.index(&[Record::new(1, ["JOHN", "SMITH", "DURHAM"])]).unwrap();
+        let r = p
+            .link(&[Record::new(10, ["JOHN", "SMYTH", "DURHAM"])])
+            .unwrap();
+        assert_eq!(r.matches, vec![(1, 10)]);
+    }
+
+    #[test]
+    fn timings_are_recorded() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let s = schema(&mut rng);
+        let mut p =
+            LinkagePipeline::new(s, LinkageConfig::rule_aware(rule()), &mut rng).unwrap();
+        p.index(&[Record::new(1, ["A", "B", "C"])]).unwrap();
+        let r = p.link(&[Record::new(2, ["A", "B", "C"])]).unwrap();
+        assert!(p.index_timings().total_nanos() > 0);
+        assert!(r.timings.total_nanos() > 0);
+    }
+
+    #[test]
+    fn malformed_record_is_an_error() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let s = schema(&mut rng);
+        let mut p =
+            LinkagePipeline::new(s, LinkageConfig::rule_aware(rule()), &mut rng).unwrap();
+        assert!(p.index(&[Record::new(1, ["ONLY", "TWO"])]).is_err());
+    }
+
+    #[test]
+    fn link_parallel_matches_sequential() {
+        let mut rng = StdRng::seed_from_u64(21);
+        let s = schema(&mut rng);
+        let mut p =
+            LinkagePipeline::new(s, LinkageConfig::rule_aware(rule()), &mut rng).unwrap();
+        let a: Vec<Record> = (0..50)
+            .map(|i| Record::new(i, [format!("NAME{i}"), "SMITH".into(), "DURHAM".into()]))
+            .collect();
+        p.index(&a).unwrap();
+        let b: Vec<Record> = (0..50)
+            .map(|i| {
+                Record::new(
+                    1000 + i,
+                    [format!("NAME{i}"), "SMITH".into(), "DURHAM".into()],
+                )
+            })
+            .collect();
+        let seq = p.link(&b).unwrap();
+        let par = p.link_parallel(&b, 4).unwrap();
+        let mut m1 = seq.matches.clone();
+        let mut m2 = par.matches.clone();
+        m1.sort_unstable();
+        m2.sort_unstable();
+        assert_eq!(m1, m2);
+        assert_eq!(seq.stats.candidates, par.stats.candidates);
+    }
+
+    #[test]
+    fn link_parallel_single_thread_falls_back() {
+        let mut rng = StdRng::seed_from_u64(22);
+        let s = schema(&mut rng);
+        let mut p =
+            LinkagePipeline::new(s, LinkageConfig::rule_aware(rule()), &mut rng).unwrap();
+        p.index(&[Record::new(1, ["A", "B", "C"])]).unwrap();
+        let r = p
+            .link_parallel(&[Record::new(2, ["A", "B", "C"])], 1)
+            .unwrap();
+        assert_eq!(r.matches, vec![(1, 2)]);
+    }
+
+    #[test]
+    fn save_load_roundtrip_preserves_behaviour() {
+        let mut rng = StdRng::seed_from_u64(31);
+        let s = schema(&mut rng);
+        let mut p =
+            LinkagePipeline::new(s, LinkageConfig::rule_aware(rule()), &mut rng).unwrap();
+        p.index(&[
+            Record::new(1, ["JOHN", "SMITH", "DURHAM"]),
+            Record::new(2, ["MARY", "JONES", "RALEIGH"]),
+        ])
+        .unwrap();
+        let mut buf = Vec::new();
+        p.save(&mut buf).unwrap();
+        let restored = LinkagePipeline::load(buf.as_slice()).unwrap();
+        assert_eq!(restored.indexed_len(), 2);
+        let probe = vec![Record::new(10, ["JON", "SMITH", "DURHAM"])];
+        let before = p.link(&probe).unwrap();
+        let after = restored.link(&probe).unwrap();
+        assert_eq!(before.matches, after.matches);
+        assert_eq!(before.stats.candidates, after.stats.candidates);
+    }
+
+    #[test]
+    fn load_rejects_garbage() {
+        assert!(LinkagePipeline::load(&b"not json"[..]).is_err());
+    }
+
+    #[test]
+    fn link_many_three_parties() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let s = schema(&mut rng);
+        let a = vec![Record::new(1, ["JOHN", "SMITH", "DURHAM"])];
+        let b = vec![Record::new(1, ["JOHN", "SMITH", "DURHAM"])];
+        let c = vec![Record::new(1, ["JOHN", "SMYTH", "DURHAM"])];
+        let matches = LinkagePipeline::link_many(
+            s,
+            LinkageConfig::rule_aware(rule()),
+            &[&a, &b, &c],
+            &mut rng,
+        )
+        .unwrap();
+        // Pairs: (0,1)-(1,1), (0,1)-(2,1), (1,1)-(2,1).
+        assert_eq!(matches.len(), 3);
+        for (sa, _, sb, _) in &matches {
+            assert_ne!(sa, sb, "matches must span different data sets");
+        }
+    }
+
+    #[test]
+    fn plan_introspection() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let s = schema(&mut rng);
+        let p = LinkagePipeline::new(s, LinkageConfig::rule_aware(rule()), &mut rng).unwrap();
+        assert_eq!(p.plan().structures().len(), 1); // fused AND
+        assert!(p.plan().total_tables() > 0);
+    }
+}

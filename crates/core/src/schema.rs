@@ -1,0 +1,358 @@
+//! Record schemas: per-attribute embedding configuration and embedded
+//! records.
+//!
+//! A [`RecordSchema`] fixes, for each of the `n_f` common attributes, the
+//! q-gram length, padding mode, c-vector size `m_opt^(f_i)`, and the number
+//! of base hash functions `K^(f_i)` used by attribute-level blocking
+//! (Table 3 of the paper is exactly such a schema). Embedding a [`Record`]
+//! yields an [`EmbeddedRecord`]: one c-vector per attribute, conceptually
+//! concatenated into the record-level c-vector of size `m̄_opt`.
+
+use crate::cvector::{optimal_m, CVectorEmbedder};
+use crate::error::{Error, Result};
+use crate::record::Record;
+use rand::Rng;
+use rl_bitvec::BitVec;
+use serde::{Deserialize, Serialize};
+use textdist::qgram::average_qgram_count;
+use textdist::{qgrams, qgrams_unpadded, Alphabet};
+
+/// Configuration of one linkage attribute `f_i`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AttributeSpec {
+    /// Human-readable attribute name (e.g. `"LastName"`).
+    pub name: String,
+    /// q-gram length (the paper uses bigrams, `q = 2`).
+    pub q: usize,
+    /// c-vector size `m_opt` in bits.
+    pub m: usize,
+    /// Whether values are padded with `_` before q-gram extraction.
+    ///
+    /// Padding makes the error → distance correspondence of Section 5.1
+    /// uniform at string boundaries; the paper's Table 3 statistics are
+    /// consistent with unpadded counting (a 4-character year has `b = 3`),
+    /// so the paper-parameter presets use `padded = false`.
+    pub padded: bool,
+    /// Number of base hash functions `K^(f_i)` for attribute-level blocking.
+    pub k: u32,
+}
+
+impl AttributeSpec {
+    /// Creates a spec with an explicit c-vector size.
+    pub fn new(name: impl Into<String>, q: usize, m: usize, padded: bool, k: u32) -> Self {
+        Self {
+            name: name.into(),
+            q,
+            m,
+            padded,
+            k,
+        }
+    }
+
+    /// Creates a spec whose size is derived from the attribute's average
+    /// q-gram count `b` via Theorem 1 (`m_opt = ⌈(b − ρ)/(1 − e^{−r})⌉`).
+    pub fn sized_for(
+        name: impl Into<String>,
+        q: usize,
+        b: f64,
+        rho: f64,
+        r: f64,
+        padded: bool,
+        k: u32,
+    ) -> Self {
+        Self::new(name, q, optimal_m(b, rho, r), padded, k)
+    }
+
+    /// Estimates `b` from a sample of values and derives the size, the way
+    /// the paper's linkage unit does ("by sampling randomly and uniformly
+    /// strings from the data sets and computing b", Section 5.2).
+    pub fn fitted<'a, I>(
+        name: impl Into<String>,
+        q: usize,
+        sample: I,
+        rho: f64,
+        r: f64,
+        padded: bool,
+        k: u32,
+    ) -> Self
+    where
+        I: IntoIterator<Item = &'a str>,
+    {
+        let b = if padded {
+            average_qgram_count(sample, q)
+        } else {
+            let mut total = 0usize;
+            let mut n = 0usize;
+            for v in sample {
+                total += qgrams_unpadded(v, q).len();
+                n += 1;
+            }
+            if n == 0 {
+                0.0
+            } else {
+                total as f64 / n as f64
+            }
+        };
+        Self::sized_for(name, q, b, rho, r, padded, k)
+    }
+}
+
+/// Average q-gram count of a sample under a padding mode — exposed for the
+/// Table 3 experiment.
+pub fn measure_b<'a, I>(sample: I, q: usize, padded: bool) -> f64
+where
+    I: IntoIterator<Item = &'a str>,
+{
+    let mut total = 0usize;
+    let mut n = 0usize;
+    for v in sample {
+        total += if padded {
+            qgrams(v, q).len()
+        } else {
+            qgrams_unpadded(v, q).len()
+        };
+        n += 1;
+    }
+    if n == 0 {
+        0.0
+    } else {
+        total as f64 / n as f64
+    }
+}
+
+/// A complete schema: the alphabet, the attribute specs, and the drawn
+/// per-attribute embedders.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RecordSchema {
+    alphabet: Alphabet,
+    specs: Vec<AttributeSpec>,
+    embedders: Vec<CVectorEmbedder>,
+}
+
+impl RecordSchema {
+    /// Builds a schema, drawing one position hash per attribute.
+    ///
+    /// # Panics
+    /// Panics if `specs` is empty.
+    pub fn build<R: Rng + ?Sized>(
+        alphabet: Alphabet,
+        specs: Vec<AttributeSpec>,
+        rng: &mut R,
+    ) -> Self {
+        assert!(!specs.is_empty(), "schema needs at least one attribute");
+        let embedders = specs
+            .iter()
+            .map(|s| CVectorEmbedder::random(alphabet.clone(), s.q, s.m, s.padded, rng))
+            .collect();
+        Self {
+            alphabet,
+            specs,
+            embedders,
+        }
+    }
+
+    /// The attribute specs.
+    pub fn specs(&self) -> &[AttributeSpec] {
+        &self.specs
+    }
+
+    /// Number of attributes `n_f`.
+    pub fn num_attributes(&self) -> usize {
+        self.specs.len()
+    }
+
+    /// The record-level c-vector size `m̄_opt = Σ_i m_opt^(f_i)`.
+    pub fn total_size(&self) -> usize {
+        self.specs.iter().map(|s| s.m).sum()
+    }
+
+    /// Bit offset of attribute `i` within the record-level concatenation.
+    pub fn attr_offset(&self, i: usize) -> usize {
+        self.specs[..i].iter().map(|s| s.m).sum()
+    }
+
+    /// The alphabet shared by all attributes.
+    pub fn alphabet(&self) -> &Alphabet {
+        &self.alphabet
+    }
+
+    /// The per-attribute embedders.
+    pub fn embedders(&self) -> &[CVectorEmbedder] {
+        &self.embedders
+    }
+
+    /// Embeds a record into per-attribute c-vectors.
+    ///
+    /// # Errors
+    /// Returns [`Error::FieldCountMismatch`] when the record's field count
+    /// differs from the schema's attribute count.
+    pub fn embed(&self, record: &Record) -> Result<EmbeddedRecord> {
+        if record.fields.len() != self.specs.len() {
+            return Err(Error::FieldCountMismatch {
+                found: record.fields.len(),
+                expected: self.specs.len(),
+            });
+        }
+        let attrs = self
+            .embedders
+            .iter()
+            .zip(&record.fields)
+            .map(|(e, v)| e.embed(v))
+            .collect();
+        Ok(EmbeddedRecord {
+            id: record.id,
+            attrs,
+        })
+    }
+
+    /// Embeds a batch of records.
+    pub fn embed_all(&self, records: &[Record]) -> Result<Vec<EmbeddedRecord>> {
+        records.iter().map(|r| self.embed(r)).collect()
+    }
+}
+
+/// A record embedded into Ĥ: one c-vector per attribute.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EmbeddedRecord {
+    /// The source record's identifier.
+    pub id: u64,
+    /// Attribute-level c-vectors, in schema order.
+    pub attrs: Vec<BitVec>,
+}
+
+impl EmbeddedRecord {
+    /// Hamming distance on attribute `i`: `u_Ĥ^(f_i)`.
+    #[inline]
+    pub fn attr_distance(&self, other: &Self, i: usize) -> u32 {
+        self.attrs[i].hamming(&other.attrs[i])
+    }
+
+    /// All attribute distances at once.
+    pub fn distances(&self, other: &Self) -> Vec<u32> {
+        (0..self.attrs.len())
+            .map(|i| self.attr_distance(other, i))
+            .collect()
+    }
+
+    /// Record-level Hamming distance (sum over attributes — identical to
+    /// the distance between the concatenated vectors).
+    pub fn total_distance(&self, other: &Self) -> u32 {
+        (0..self.attrs.len())
+            .map(|i| self.attr_distance(other, i))
+            .sum()
+    }
+
+    /// Materializes the record-level c-vector (size `m̄_opt`).
+    pub fn concat(&self) -> BitVec {
+        BitVec::concat(self.attrs.iter())
+    }
+
+    /// Borrowed attribute vectors in concatenation order (for samplers that
+    /// address the conceptual record-level vector).
+    pub fn attr_refs(&self) -> Vec<&BitVec> {
+        self.attrs.iter().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn ncvr_like_schema(seed: u64) -> RecordSchema {
+        let mut rng = StdRng::seed_from_u64(seed);
+        RecordSchema::build(
+            Alphabet::linkage(),
+            vec![
+                AttributeSpec::new("FirstName", 2, 15, false, 5),
+                AttributeSpec::new("LastName", 2, 15, false, 5),
+                AttributeSpec::new("Address", 2, 68, false, 10),
+                AttributeSpec::new("Town", 2, 22, false, 10),
+            ],
+            &mut rng,
+        )
+    }
+
+    #[test]
+    fn paper_record_size_is_120_bits() {
+        let s = ncvr_like_schema(1);
+        assert_eq!(s.total_size(), 120);
+        assert_eq!(s.num_attributes(), 4);
+        assert_eq!(s.attr_offset(0), 0);
+        assert_eq!(s.attr_offset(2), 30);
+        assert_eq!(s.attr_offset(3), 98);
+    }
+
+    #[test]
+    fn embed_produces_one_vector_per_attribute() {
+        let s = ncvr_like_schema(2);
+        let r = Record::new(1, ["JOHN", "SMITH", "12 OAK STREET", "DURHAM"]);
+        let e = s.embed(&r).unwrap();
+        assert_eq!(e.attrs.len(), 4);
+        assert_eq!(e.attrs[0].len(), 15);
+        assert_eq!(e.attrs[2].len(), 68);
+        assert_eq!(e.concat().len(), 120);
+    }
+
+    #[test]
+    fn field_count_mismatch_is_error() {
+        let s = ncvr_like_schema(3);
+        let r = Record::new(1, ["JOHN", "SMITH"]);
+        assert!(matches!(
+            s.embed(&r),
+            Err(Error::FieldCountMismatch {
+                found: 2,
+                expected: 4
+            })
+        ));
+    }
+
+    #[test]
+    fn total_distance_decomposes_per_attribute() {
+        let s = ncvr_like_schema(4);
+        let r1 = Record::new(1, ["JOHN", "SMITH", "12 OAK STREET", "DURHAM"]);
+        let r2 = Record::new(2, ["JOHN", "SMYTH", "12 OAK STREET", "DURAM"]);
+        let e1 = s.embed(&r1).unwrap();
+        let e2 = s.embed(&r2).unwrap();
+        let per_attr: u32 = e1.distances(&e2).iter().sum();
+        assert_eq!(e1.total_distance(&e2), per_attr);
+        assert_eq!(e1.concat().hamming(&e2.concat()), per_attr);
+        assert_eq!(e1.attr_distance(&e2, 0), 0);
+        assert!(e1.attr_distance(&e2, 1) > 0);
+    }
+
+    #[test]
+    fn fitted_spec_reproduces_table3_first_name() {
+        // Average unpadded bigram count 5.1 → m_opt = 15.
+        // Sample engineered to have mean 5.1: lengths 6.1 on average.
+        let mut sample: Vec<&str> = vec!["ABCDEFG"; 9]; // 6 bigrams each
+        sample.push("ABC"); // 2 bigrams → mean (54+2)/10 = 5.6
+        let spec = AttributeSpec::fitted("F", 2, sample.iter().copied(), 1.0, 1.0 / 3.0, false, 5);
+        assert_eq!(spec.m, optimal_m(5.6, 1.0, 1.0 / 3.0));
+    }
+
+    #[test]
+    fn measure_b_modes() {
+        // "YEAR" → padded 5 bigrams, unpadded 3 (Table 3's Year b = 3.0).
+        assert_eq!(measure_b(["1998"], 2, true), 5.0);
+        assert_eq!(measure_b(["1998"], 2, false), 3.0);
+    }
+
+    #[test]
+    fn embedding_is_stable_within_schema() {
+        let s = ncvr_like_schema(5);
+        let r = Record::new(9, ["MARY", "JONES", "4 ELM AVENUE", "CARY"]);
+        assert_eq!(s.embed(&r).unwrap(), s.embed(&r).unwrap());
+    }
+
+    #[test]
+    fn different_schemas_differ() {
+        // Different seeds draw different position hashes, so embeddings are
+        // schema-specific (Charlie must use one schema for both data sets).
+        let s1 = ncvr_like_schema(6);
+        let s2 = ncvr_like_schema(7);
+        let r = Record::new(9, ["MARY", "JONES", "4 ELM AVENUE", "CARY"]);
+        assert_ne!(s1.embed(&r).unwrap(), s2.embed(&r).unwrap());
+    }
+}

@@ -1,0 +1,365 @@
+//! Sharded linkage: data-partitioned HB across worker threads.
+//!
+//! The paper's authors scale LSH-based linkage by distributing blocking
+//! groups over workers (their refs [15, 16]). This module provides the
+//! standard data-partitioned variant of that architecture as an in-process
+//! service: `n` shard workers each own a full blocking plan (identical hash
+//! functions) over a partition of data set A; probes fan out to all shards
+//! and the matched ids are unioned. The per-pair recall guarantee is
+//! unchanged — a pair's A-side lives in exactly one shard, whose plan
+//! delivers the usual `1 − δ` bound.
+//!
+//! Communication is message-passing over crossbeam channels, so the same
+//! shape lifts directly to a networked deployment.
+
+use crate::blocking::BlockingPlan;
+use crate::error::{Error, Result};
+use crate::matcher::{match_record, Classifier, MatchStats, RecordStore};
+use crate::pipeline::{BlockingMode, LinkageConfig};
+use crate::record::Record;
+use crate::schema::{EmbeddedRecord, RecordSchema};
+use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
+use rand::Rng;
+use std::thread::JoinHandle;
+
+enum Command {
+    Index(Vec<EmbeddedRecord>),
+    Probe {
+        batch: Vec<EmbeddedRecord>,
+        reply: Sender<(Vec<(u64, u64)>, MatchStats)>,
+    },
+    Stop,
+}
+
+struct Shard {
+    sender: Sender<Command>,
+    handle: JoinHandle<()>,
+}
+
+/// A sharded linkage service: partitioned index, fan-out probes.
+pub struct ShardedPipeline {
+    schema: RecordSchema,
+    classifier: Classifier,
+    shards: Vec<Shard>,
+    next_shard: usize,
+    indexed: usize,
+}
+
+impl std::fmt::Debug for ShardedPipeline {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardedPipeline")
+            .field("shards", &self.shards.len())
+            .field("indexed", &self.indexed)
+            .finish()
+    }
+}
+
+fn shard_worker(plan: BlockingPlan, classifier: Classifier, rx: Receiver<Command>) {
+    let mut plan = plan;
+    let mut store = RecordStore::new();
+    while let Ok(cmd) = rx.recv() {
+        match cmd {
+            Command::Index(batch) => {
+                for rec in batch {
+                    plan.insert(&rec);
+                    store.insert(rec);
+                }
+            }
+            Command::Probe { batch, reply } => {
+                let mut stats = MatchStats::default();
+                let mut matches = Vec::new();
+                for probe in &batch {
+                    let matched =
+                        match_record(&plan, &store, probe, &classifier, &mut stats);
+                    matches.extend(matched.into_iter().map(|a| (a, probe.id)));
+                }
+                // The gatherer may have hung up on error paths; ignore.
+                let _ = reply.send((matches, stats));
+            }
+            Command::Stop => break,
+        }
+    }
+}
+
+impl ShardedPipeline {
+    /// Builds the service with `num_shards` workers. Every shard gets a
+    /// clone of one compiled plan, so hash functions are identical across
+    /// shards and results are independent of the partitioning.
+    ///
+    /// # Errors
+    /// Returns configuration errors from rule validation / plan compilation.
+    pub fn new<R: Rng + ?Sized>(
+        schema: RecordSchema,
+        config: LinkageConfig,
+        num_shards: usize,
+        rng: &mut R,
+    ) -> Result<Self> {
+        if num_shards == 0 {
+            return Err(Error::InvalidParameter("need at least one shard".into()));
+        }
+        let sizes: Vec<usize> = schema.specs().iter().map(|s| s.m).collect();
+        config.rule.validate(&sizes)?;
+        let plan = match config.mode {
+            BlockingMode::RecordLevel { theta, k } => {
+                BlockingPlan::record_level(&schema, theta, k, config.delta, rng)?
+            }
+            BlockingMode::RecordLevelFixedL { theta, k, l } => {
+                BlockingPlan::record_level_with_l(&schema, theta, k, l, rng)?
+            }
+            BlockingMode::RuleAware => {
+                BlockingPlan::compile(&schema, &config.rule, config.delta, rng)?
+            }
+        };
+        let classifier = Classifier::Rule(config.rule);
+        Ok(Self::from_parts(schema, plan, classifier, num_shards))
+    }
+
+    /// Builds the service from an already-compiled plan (e.g. to mirror an
+    /// existing [`crate::pipeline::LinkagePipeline`] exactly, hash
+    /// functions included).
+    pub fn from_parts(
+        schema: RecordSchema,
+        plan: BlockingPlan,
+        classifier: Classifier,
+        num_shards: usize,
+    ) -> Self {
+        assert!(num_shards > 0, "need at least one shard");
+        let shards = (0..num_shards)
+            .map(|i| {
+                let (tx, rx) = unbounded();
+                let plan = plan.clone();
+                let classifier = classifier.clone();
+                let handle = std::thread::Builder::new()
+                    .name(format!("rl-shard-{i}"))
+                    .spawn(move || shard_worker(plan, classifier, rx))
+                    .expect("spawn shard worker");
+                Shard { sender: tx, handle }
+            })
+            .collect();
+        Self {
+            schema,
+            classifier,
+            shards,
+            next_shard: 0,
+            indexed: 0,
+        }
+    }
+
+    /// Number of shards.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Records indexed so far (across shards).
+    pub fn indexed_len(&self) -> usize {
+        self.indexed
+    }
+
+    /// Indexes data set A: records are embedded here and dispatched
+    /// round-robin in batches.
+    ///
+    /// # Errors
+    /// Returns [`Error::FieldCountMismatch`] on malformed records.
+    pub fn index(&mut self, records: &[Record]) -> Result<()> {
+        let embedded = self.schema.embed_all(records)?;
+        let n = self.shards.len();
+        let mut batches: Vec<Vec<EmbeddedRecord>> = vec![Vec::new(); n];
+        for rec in embedded {
+            batches[self.next_shard].push(rec);
+            self.next_shard = (self.next_shard + 1) % n;
+        }
+        for (shard, batch) in self.shards.iter().zip(batches) {
+            if !batch.is_empty() {
+                shard
+                    .sender
+                    .send(Command::Index(batch))
+                    .map_err(|_| Error::InvalidParameter("shard worker died".into()))?;
+            }
+        }
+        self.indexed += records.len();
+        Ok(())
+    }
+
+    /// Probes data set B: every shard receives the full probe batch; the
+    /// matched `(id_A, id_B)` pairs are unioned (partitions are disjoint,
+    /// so no duplicates arise).
+    ///
+    /// # Errors
+    /// Returns [`Error::FieldCountMismatch`] on malformed records, or an
+    /// internal error if a shard worker died.
+    pub fn link(&self, records: &[Record]) -> Result<(Vec<(u64, u64)>, MatchStats)> {
+        let embedded = self.schema.embed_all(records)?;
+        let (reply_tx, reply_rx) = bounded(self.shards.len());
+        for shard in &self.shards {
+            shard
+                .sender
+                .send(Command::Probe {
+                    batch: embedded.clone(),
+                    reply: reply_tx.clone(),
+                })
+                .map_err(|_| Error::InvalidParameter("shard worker died".into()))?;
+        }
+        drop(reply_tx);
+        let mut matches = Vec::new();
+        let mut stats = MatchStats::default();
+        for _ in 0..self.shards.len() {
+            let (m, s) = reply_rx
+                .recv()
+                .map_err(|_| Error::InvalidParameter("shard worker died".into()))?;
+            matches.extend(m);
+            stats.candidates += s.candidates;
+            stats.distance_computations += s.distance_computations;
+            stats.matched += s.matched;
+        }
+        matches.sort_unstable();
+        Ok((matches, stats))
+    }
+
+    /// The classifier in use (for introspection).
+    pub fn classifier(&self) -> &Classifier {
+        &self.classifier
+    }
+
+    /// Stops the workers and waits for them to exit.
+    pub fn shutdown(self) {
+        for shard in &self.shards {
+            let _ = shard.sender.send(Command::Stop);
+        }
+        for shard in self.shards {
+            let _ = shard.handle.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::LinkagePipeline;
+    use crate::schema::AttributeSpec;
+    use crate::Rule;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use textdist::Alphabet;
+
+    fn schema(rng: &mut StdRng) -> RecordSchema {
+        RecordSchema::build(
+            Alphabet::linkage(),
+            vec![
+                AttributeSpec::new("FirstName", 2, 15, false, 5),
+                AttributeSpec::new("LastName", 2, 15, false, 5),
+            ],
+            rng,
+        )
+    }
+
+    fn rule() -> Rule {
+        Rule::and([Rule::pred(0, 4), Rule::pred(1, 4)])
+    }
+
+    /// A well-spread synthetic name: 6 letters from a multiplicative hash,
+    /// so distinct indices share few bigrams (plain `NAME{i}` prefixes
+    /// would legitimately all match one another).
+    fn synth_name(salt: u64, i: u64) -> String {
+        let mut x = (i + 1)
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(salt.wrapping_mul(0xA24B_AED4_963E_E407));
+        (0..6)
+            .map(|_| {
+                let c = (b'A' + (x % 26) as u8) as char;
+                x /= 26;
+                c
+            })
+            .collect()
+    }
+
+    fn records(salt: u64, base: u64, n: u64) -> Vec<Record> {
+        (0..n)
+            .map(|i| {
+                Record::new(
+                    base + i,
+                    [synth_name(salt, i), synth_name(salt ^ 0xF00, i)],
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn sharded_matches_single_pipeline() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let s = schema(&mut rng);
+        let config = LinkageConfig::rule_aware(rule());
+        // Mirror one compiled plan into the sharded service so both engines
+        // use identical hash functions — results must then agree exactly.
+        let mut single = LinkagePipeline::new(s.clone(), config.clone(), &mut rng).unwrap();
+        let mut sharded = ShardedPipeline::from_parts(
+            s,
+            single.plan().clone(),
+            Classifier::Rule(config.rule),
+            4,
+        );
+        let a = records(1, 0, 40);
+        sharded.index(&a).unwrap();
+        single.index(&a).unwrap();
+        assert_eq!(sharded.indexed_len(), 40);
+        let b = records(1, 1000, 40); // same salt → same names, exact copies
+        let (m_sharded, stats) = sharded.link(&b).unwrap();
+        let mut m_single = single.link(&b).unwrap().matches;
+        m_single.sort_unstable();
+        assert_eq!(m_sharded, m_single);
+        // All 40 exact copies must be found (plus possible near-threshold
+        // extras among random names).
+        for i in 0..40u64 {
+            assert!(m_sharded.contains(&(i, 1000 + i)), "missing pair {i}");
+        }
+        assert!(stats.candidates >= 40);
+        sharded.shutdown();
+    }
+
+    #[test]
+    fn single_shard_degenerates_to_pipeline() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let s = schema(&mut rng);
+        let mut p =
+            ShardedPipeline::new(s, LinkageConfig::rule_aware(rule()), 1, &mut rng).unwrap();
+        p.index(&[Record::new(1, ["JOHN", "SMITH"])]).unwrap();
+        let (m, _) = p.link(&[Record::new(10, ["JON", "SMITH"])]).unwrap();
+        assert_eq!(m, vec![(1, 10)]);
+        p.shutdown();
+    }
+
+    #[test]
+    fn zero_shards_rejected() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let s = schema(&mut rng);
+        assert!(
+            ShardedPipeline::new(s, LinkageConfig::rule_aware(rule()), 0, &mut rng).is_err()
+        );
+    }
+
+    #[test]
+    fn incremental_indexing_across_batches() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let s = schema(&mut rng);
+        let mut p =
+            ShardedPipeline::new(s, LinkageConfig::rule_aware(rule()), 3, &mut rng).unwrap();
+        for batch in records(2, 0, 30).chunks(7) {
+            p.index(batch).unwrap();
+        }
+        assert_eq!(p.indexed_len(), 30);
+        let (m, _) = p.link(&records(2, 500, 30)).unwrap();
+        for i in 0..30u64 {
+            assert!(m.contains(&(i, 500 + i)), "missing pair {i}");
+        }
+        p.shutdown();
+    }
+
+    #[test]
+    fn malformed_probe_is_error() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let s = schema(&mut rng);
+        let p =
+            ShardedPipeline::new(s, LinkageConfig::rule_aware(rule()), 2, &mut rng).unwrap();
+        assert!(p.link(&[Record::new(1, ["ONLY"])]).is_err());
+        p.shutdown();
+    }
+}

@@ -1,0 +1,158 @@
+//! Embedded corpora for the synthetic generators.
+//!
+//! The lists are sized so that the *average unpadded bigram count* of each
+//! generated attribute tracks Table 3 of the paper (first names ≈ 5.1,
+//! last names ≈ 5.0–6.2, addresses ≈ 20, towns ≈ 7.2, titles ≈ 64.8).
+
+/// Common given names (average length ≈ 6.1 characters).
+pub const FIRST_NAMES: &[&str] = &[
+    "JAMES", "MARY", "ROBERT", "PATRICIA", "JOHN", "JENNIFER", "MICHAEL", "LINDA", "DAVID",
+    "ELIZABETH", "WILLIAM", "BARBARA", "RICHARD", "SUSAN", "JOSEPH", "JESSICA", "THOMAS",
+    "SARAH", "CHARLES", "KAREN", "CHRISTOPHER", "LISA", "DANIEL", "NANCY", "MATTHEW", "BETTY",
+    "ANTHONY", "MARGARET", "MARK", "SANDRA", "DONALD", "ASHLEY", "STEVEN", "KIMBERLY", "PAUL",
+    "EMILY", "ANDREW", "DONNA", "JOSHUA", "MICHELLE", "KENNETH", "DOROTHY", "KEVIN", "CAROL",
+    "BRIAN", "AMANDA", "GEORGE", "MELISSA", "EDWARD", "DEBORAH", "RONALD", "STEPHANIE",
+    "TIMOTHY", "REBECCA", "JASON", "SHARON", "JEFFREY", "LAURA", "RYAN", "CYNTHIA", "JACOB",
+    "KATHLEEN", "GARY", "AMY", "NICHOLAS", "ANGELA", "ERIC", "SHIRLEY", "JONATHAN", "ANNA",
+    "STEPHEN", "BRENDA", "LARRY", "PAMELA", "JUSTIN", "EMMA", "SCOTT", "NICOLE", "BRANDON",
+    "HELEN", "BENJAMIN", "SAMANTHA", "SAMUEL", "KATHERINE", "GREGORY", "CHRISTINE", "FRANK",
+    "DEBRA", "ALEXANDER", "RACHEL", "RAYMOND", "CAROLYN", "PATRICK", "JANET", "JACK", "MARIA",
+    "DENNIS", "OLIVIA", "JERRY", "HEATHER", "TYLER", "DIANE", "AARON", "JULIE", "JOSE",
+    "JOYCE", "HENRY", "VIRGINIA", "DOUGLAS", "VICTORIA", "ADAM", "KELLY", "PETER", "LAUREN",
+    "NATHAN", "CHRISTINA", "ZACHARY", "JOAN", "WALTER", "EVELYN", "KYLE", "JUDITH", "HAROLD",
+    "ANDREA", "CARL", "HANNAH", "JEREMY", "MEGAN", "GERALD", "CHERYL", "KEITH", "JACQUELINE",
+    "ROGER", "MARTHA", "ARTHUR", "GLORIA", "TERRY", "TERESA", "LAWRENCE", "ANN", "SEAN",
+    "SARA", "CHRISTIAN", "MADISON", "ALBERT", "FRANCES", "JOE", "KATHRYN", "ETHAN", "JANICE",
+    "AUSTIN", "JEAN", "JESSE", "ABIGAIL", "WILLIE", "ALICE", "BILLY", "JULIA", "BRYAN",
+    "JUDY", "BRUCE", "SOPHIA", "JORDAN", "GRACE", "RALPH", "DENISE", "ROY", "AMBER", "NOAH",
+    "DORIS", "DYLAN", "MARILYN", "EUGENE", "DANIELLE", "WAYNE", "BEVERLY", "ALAN", "ISABELLA",
+    "JUAN", "THERESA", "LOUIS", "DIANA", "RUSSELL", "NATALIE", "GABRIEL", "BRITTANY", "RANDY",
+    "CHARLOTTE", "PHILIP", "MARIE", "HARRY", "KAYLA", "VINCENT", "ALEXIS", "BOBBY", "LORI",
+];
+
+/// Common surnames (average length ≈ 6.0 characters).
+pub const LAST_NAMES: &[&str] = &[
+    "SMITH", "JOHNSON", "WILLIAMS", "BROWN", "JONES", "GARCIA", "MILLER", "DAVIS",
+    "RODRIGUEZ", "MARTINEZ", "HERNANDEZ", "LOPEZ", "GONZALEZ", "WILSON", "ANDERSON",
+    "THOMAS", "TAYLOR", "MOORE", "JACKSON", "MARTIN", "LEE", "PEREZ", "THOMPSON", "WHITE",
+    "HARRIS", "SANCHEZ", "CLARK", "RAMIREZ", "LEWIS", "ROBINSON", "WALKER", "YOUNG",
+    "ALLEN", "KING", "WRIGHT", "SCOTT", "TORRES", "NGUYEN", "HILL", "FLORES", "GREEN",
+    "ADAMS", "NELSON", "BAKER", "HALL", "RIVERA", "CAMPBELL", "MITCHELL", "CARTER",
+    "ROBERTS", "GOMEZ", "PHILLIPS", "EVANS", "TURNER", "DIAZ", "PARKER", "CRUZ", "EDWARDS",
+    "COLLINS", "REYES", "STEWART", "MORRIS", "MORALES", "MURPHY", "COOK", "ROGERS",
+    "GUTIERREZ", "ORTIZ", "MORGAN", "COOPER", "PETERSON", "BAILEY", "REED", "KELLY",
+    "HOWARD", "RAMOS", "KIM", "COX", "WARD", "RICHARDSON", "WATSON", "BROOKS", "CHAVEZ",
+    "WOOD", "JAMES", "BENNETT", "GRAY", "MENDOZA", "RUIZ", "HUGHES", "PRICE", "ALVAREZ",
+    "CASTILLO", "SANDERS", "PATEL", "MYERS", "LONG", "ROSS", "FOSTER", "JIMENEZ", "POWELL",
+    "JENKINS", "PERRY", "RUSSELL", "SULLIVAN", "BELL", "COLEMAN", "BUTLER", "HENDERSON",
+    "BARNES", "GONZALES", "FISHER", "VASQUEZ", "SIMMONS", "ROMERO", "JORDAN", "PATTERSON",
+    "ALEXANDER", "HAMILTON", "GRAHAM", "REYNOLDS", "GRIFFIN", "WALLACE", "MORENO", "WEST",
+    "COLE", "HAYES", "BRYANT", "HERRERA", "GIBSON", "ELLIS", "TRAN", "MEDINA", "AGUILAR",
+    "STEVENS", "MURRAY", "FORD", "CASTRO", "MARSHALL", "OWENS", "HARRISON", "FERNANDEZ",
+    "MCDONALD", "WOODS", "WASHINGTON", "KENNEDY", "WELLS", "VARGAS", "HENRY", "CHEN",
+    "FREEMAN", "WEBB", "TUCKER", "GUZMAN", "BURNS", "CRAWFORD", "OLSON", "SIMPSON",
+    "PORTER", "HUNTER", "GORDON", "MENDEZ", "SILVA", "SHAW", "SNYDER", "MASON", "DIXON",
+    "MUNOZ", "HUNT", "HICKS", "HOLMES", "PALMER", "WAGNER", "BLACK", "ROBERTSON", "BOYD",
+    "ROSE", "STONE", "SALAZAR", "FOX", "WARREN", "MILLS", "MEYER", "RICE", "SCHMIDT",
+];
+
+/// Street base names used to synthesize addresses.
+pub const STREET_NAMES: &[&str] = &[
+    "MAIN", "OAK", "PINE", "MAPLE", "CEDAR", "ELM", "WASHINGTON", "LAKE", "HILL", "PARK",
+    "RIVER", "CHURCH", "SPRING", "RIDGE", "FOREST", "HIGHLAND", "MEADOW", "SUNSET",
+    "WILLOW", "CHESTNUT", "FRANKLIN", "JEFFERSON", "MADISON", "LINCOLN", "JACKSON",
+    "DOGWOOD", "MAGNOLIA", "HICKORY", "JUNIPER", "SYCAMORE", "COUNTRY CLUB", "UNIVERSITY",
+    "CHAPEL HILL", "GLENWOOD", "MILLBROOK", "FAIRVIEW", "WESTMORELAND", "BROOKSIDE",
+    "TIMBERLINE", "STONEBRIDGE", "WINDSOR", "CAROLINA", "PIEDMONT", "HARRINGTON",
+    "LAKEVIEW", "CLEARWATER", "SPRINGFIELD", "HUNTINGTON", "WILLOWBROOK", "CRESTWOOD",
+];
+
+/// Street suffixes.
+pub const STREET_SUFFIXES: &[&str] = &[
+    "STREET", "AVENUE", "ROAD", "DRIVE", "LANE", "COURT", "PLACE", "BOULEVARD", "CIRCLE",
+    "TRAIL",
+];
+
+/// North-Carolina-flavoured town names (average length ≈ 8.2 characters).
+pub const TOWNS: &[&str] = &[
+    "RALEIGH", "CHARLOTTE", "DURHAM", "GREENSBORO", "WILMINGTON", "ASHEVILLE", "CARY",
+    "FAYETTEVILLE", "CONCORD", "GASTONIA", "JACKSONVILLE", "CHAPEL HILL", "ROCKY MOUNT",
+    "BURLINGTON", "WILSON", "HUNTERSVILLE", "KANNAPOLIS", "APEX", "HICKORY", "GOLDSBORO",
+    "GREENVILLE", "MOORESVILLE", "SALISBURY", "MONROE", "NEW BERN", "SANFORD", "MATTHEWS",
+    "THOMASVILLE", "ASHEBORO", "STATESVILLE", "CORNELIUS", "GARNER", "MINT HILL",
+    "KERNERSVILLE", "LUMBERTON", "KINSTON", "CARRBORO", "HAVELOCK", "SHELBY", "CLEMMONS",
+    "LEXINGTON", "CLAYTON", "BOONE", "ELIZABETH CITY", "ALBEMARLE", "MORGANTON", "LENOIR",
+    "GRAHAM", "EDEN", "HENDERSON", "LAURINBURG", "NEWTON", "SMITHFIELD", "MEBANE",
+    "WAKE FOREST", "PINEHURST", "OXFORD", "TARBORO", "HOPE MILLS", "ROCKINGHAM",
+];
+
+/// Vocabulary for synthetic publication titles (database/IR flavoured, as in
+/// DBLP).
+pub const TITLE_WORDS: &[&str] = &[
+    "EFFICIENT", "SCALABLE", "DISTRIBUTED", "PARALLEL", "ADAPTIVE", "INCREMENTAL",
+    "APPROXIMATE", "OPTIMAL", "ROBUST", "PRIVACY", "PRESERVING", "RECORD", "LINKAGE",
+    "ENTITY", "RESOLUTION", "DUPLICATE", "DETECTION", "SIMILARITY", "JOINS", "QUERY",
+    "PROCESSING", "INDEXING", "HASHING", "BLOCKING", "MATCHING", "CLUSTERING",
+    "CLASSIFICATION", "LEARNING", "MINING", "STREAMS", "DATABASES", "SYSTEMS", "NETWORKS",
+    "GRAPHS", "TREES", "STRINGS", "SEQUENCES", "VECTORS", "SPACES", "METRIC", "HAMMING",
+    "EUCLIDEAN", "EDIT", "DISTANCE", "NEAREST", "NEIGHBOR", "SEARCH", "RETRIEVAL",
+    "INFORMATION", "KNOWLEDGE", "DISCOVERY", "INTEGRATION", "CLEANING", "QUALITY",
+    "UNCERTAIN", "PROBABILISTIC", "RANDOMIZED", "ALGORITHMS", "COMPLEXITY", "ANALYSIS",
+    "EVALUATION", "BENCHMARKING", "FRAMEWORK", "ARCHITECTURE", "IMPLEMENTATION", "MODEL",
+    "LANGUAGE", "SEMANTICS", "OPTIMIZATION", "COMPRESSION", "ENCODING", "SAMPLING",
+    "SKETCHING", "FILTERING", "PARTITIONING", "REPLICATION", "CONSISTENCY", "TRANSACTIONS",
+    "CONCURRENCY", "RECOVERY", "STORAGE", "MEMORY", "CACHE", "DISK", "CLOUD", "FEDERATED",
+    "RELATIONAL", "SPATIAL", "TEMPORAL", "MULTIDIMENSIONAL", "HIGH", "DIMENSIONAL",
+    "LARGE", "SCALE", "REAL", "TIME", "ONLINE", "DYNAMIC", "STATIC", "HYBRID",
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn avg_len(list: &[&str]) -> f64 {
+        list.iter().map(|s| s.len()).sum::<usize>() as f64 / list.len() as f64
+    }
+
+    #[test]
+    fn first_names_average_length_near_table3() {
+        // Unpadded bigram count = len − 1; target b ≈ 5.1 → len ≈ 6.1.
+        let l = avg_len(FIRST_NAMES);
+        assert!((5.2..=7.0).contains(&l), "avg first-name length {l}");
+    }
+
+    #[test]
+    fn last_names_average_length_near_table3() {
+        let l = avg_len(LAST_NAMES);
+        assert!((5.2..=7.4).contains(&l), "avg last-name length {l}");
+    }
+
+    #[test]
+    fn towns_average_length_near_table3() {
+        // Target b ≈ 7.2 → len ≈ 8.2.
+        let l = avg_len(TOWNS);
+        assert!((7.2..=9.4).contains(&l), "avg town length {l}");
+    }
+
+    #[test]
+    fn corpora_are_upper_case_alphabet() {
+        for list in [FIRST_NAMES, LAST_NAMES, STREET_NAMES, TOWNS, TITLE_WORDS] {
+            for s in list {
+                assert!(
+                    s.chars().all(|c| c.is_ascii_uppercase() || c == ' '),
+                    "{s} contains non-alphabet characters"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn corpora_have_no_duplicates() {
+        for list in [FIRST_NAMES, LAST_NAMES, TOWNS, TITLE_WORDS] {
+            let mut set = std::collections::HashSet::new();
+            for s in list {
+                assert!(set.insert(s), "duplicate corpus entry {s}");
+            }
+        }
+    }
+}

@@ -1,0 +1,407 @@
+//! The perturbation engine (Section 6).
+//!
+//! Implements the three basic edit operations of Section 5.1 — substitute,
+//! insert, delete — and the paper's two schemes:
+//!
+//! * **PL** (light): one operation applied to the value of one randomly
+//!   chosen attribute;
+//! * **PH** (heavy): one operation applied to each of the first two
+//!   attributes and two operations to the third attribute.
+
+use cbv_hb::Record;
+use rand::{Rng, RngExt};
+use serde::{Deserialize, Serialize};
+
+/// A basic perturbation operation (error type).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Op {
+    /// Replace one character with a different random letter.
+    Substitute,
+    /// Insert a random letter at a random position.
+    Insert,
+    /// Delete the character at a random position.
+    Delete,
+}
+
+impl Op {
+    /// All operation kinds.
+    pub const ALL: [Op; 3] = [Op::Substitute, Op::Insert, Op::Delete];
+
+    /// Draws a uniformly random operation kind.
+    pub fn random<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        Self::ALL[rng.random_range(0..3)]
+    }
+
+    /// Short label for reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            Op::Substitute => "substitute",
+            Op::Insert => "insert",
+            Op::Delete => "delete",
+        }
+    }
+}
+
+fn random_letter<R: Rng + ?Sized>(rng: &mut R) -> char {
+    (b'A' + rng.random_range(0..26u8)) as char
+}
+
+/// QWERTY neighbourhoods: realistic typing errors substitute an *adjacent*
+/// key far more often than a random letter (Christen's error taxonomy).
+const QWERTY_NEIGHBOURS: &[(&str, char)] = &[
+    ("QSZ", 'A'),
+    ("GNV", 'B'),
+    ("DVX", 'C'),
+    ("CEFS", 'D'),
+    ("DRW", 'E'),
+    ("DGRV", 'F'),
+    ("BFHT", 'G'),
+    ("GJNY", 'H'),
+    ("KOU", 'I'),
+    ("HKMU", 'J'),
+    ("IJL", 'K'),
+    ("KO", 'L'),
+    ("JN", 'M'),
+    ("BHM", 'N'),
+    ("ILP", 'O'),
+    ("O", 'P'),
+    ("AW", 'Q'),
+    ("EFT", 'R'),
+    ("ADWX", 'S'),
+    ("GRY", 'T'),
+    ("IJY", 'U'),
+    ("BCF", 'V'),
+    ("EQS", 'W'),
+    ("CSZ", 'X'),
+    ("HTU", 'Y'),
+    ("AX", 'Z'),
+];
+
+/// A random key adjacent to `c` on a QWERTY layout (falls back to a random
+/// letter for non-letters).
+pub fn adjacent_key<R: Rng + ?Sized>(c: char, rng: &mut R) -> char {
+    let upper = c.to_ascii_uppercase();
+    for (neighbours, key) in QWERTY_NEIGHBOURS {
+        if *key == upper {
+            let bytes = neighbours.as_bytes();
+            return bytes[rng.random_range(0..bytes.len())] as char;
+        }
+    }
+    random_letter(rng)
+}
+
+/// Substitutes one character with a QWERTY-adjacent key — the realistic
+/// variant of [`Op::Substitute`]. Returns the perturbed string (unchanged
+/// when the input is empty).
+pub fn apply_keyboard_substitute<R: Rng + ?Sized>(value: &str, rng: &mut R) -> String {
+    let mut chars: Vec<char> = value.chars().collect();
+    if chars.is_empty() {
+        return value.to_string();
+    }
+    // Prefer letter positions; fall back to any position.
+    let letter_positions: Vec<usize> = chars
+        .iter()
+        .enumerate()
+        .filter(|(_, c)| c.is_ascii_alphabetic())
+        .map(|(i, _)| i)
+        .collect();
+    let i = if letter_positions.is_empty() {
+        rng.random_range(0..chars.len())
+    } else {
+        letter_positions[rng.random_range(0..letter_positions.len())]
+    };
+    let old = chars[i];
+    let mut new = adjacent_key(old, rng);
+    while new == old.to_ascii_uppercase() {
+        new = adjacent_key(old, rng);
+    }
+    chars[i] = new;
+    chars.into_iter().collect()
+}
+
+/// Applies `op` to `value` in place, returning the effective operation.
+///
+/// Degenerate cases degrade gracefully: deleting from an empty string or
+/// substituting in one becomes an insert, so a requested error always
+/// changes the value.
+pub fn apply_op<R: Rng + ?Sized>(value: &str, op: Op, rng: &mut R) -> (String, Op) {
+    let mut chars: Vec<char> = value.chars().collect();
+    let effective = match op {
+        Op::Delete | Op::Substitute if chars.is_empty() => Op::Insert,
+        other => other,
+    };
+    match effective {
+        Op::Substitute => {
+            let i = rng.random_range(0..chars.len());
+            let old = chars[i];
+            let mut new = random_letter(rng);
+            while new == old {
+                new = random_letter(rng);
+            }
+            chars[i] = new;
+        }
+        Op::Insert => {
+            let i = rng.random_range(0..=chars.len());
+            chars.insert(i, random_letter(rng));
+        }
+        Op::Delete => {
+            let i = rng.random_range(0..chars.len());
+            chars.remove(i);
+        }
+    }
+    (chars.into_iter().collect(), effective)
+}
+
+/// Which perturbation scheme to apply when deriving B-records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PerturbationScheme {
+    /// One operation on one randomly chosen attribute.
+    Light,
+    /// One operation on each of attributes 0 and 1, two on attribute 2.
+    Heavy,
+    /// A fixed single operation kind on one random attribute — used by the
+    /// Figure 11 per-operation breakdown.
+    SingleOp(Op),
+    /// The heavy scheme with every operation forced to one kind — used by
+    /// the Figure 11(b) per-operation breakdown under PH.
+    HeavyOp(Op),
+}
+
+/// The outcome of perturbing one record: the new record plus the ops
+/// applied per attribute.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Perturbed {
+    /// The perturbed record (carries the *new* id supplied by the caller).
+    pub record: Record,
+    /// `(attribute index, effective op)` for every applied operation.
+    pub ops: Vec<(usize, Op)>,
+}
+
+impl PerturbationScheme {
+    /// Applies the scheme to `source`, producing a perturbed copy with id
+    /// `new_id`.
+    ///
+    /// # Panics
+    /// Panics if the record has no fields, or fewer than 3 fields under the
+    /// heavy scheme.
+    pub fn apply<R: Rng + ?Sized>(&self, source: &Record, new_id: u64, rng: &mut R) -> Perturbed {
+        assert!(!source.fields.is_empty(), "record must have fields");
+        let mut fields = source.fields.clone();
+        let mut ops = Vec::new();
+        match self {
+            PerturbationScheme::Light => {
+                let attr = rng.random_range(0..fields.len());
+                let (v, op) = apply_op(&fields[attr], Op::random(rng), rng);
+                fields[attr] = v;
+                ops.push((attr, op));
+            }
+            PerturbationScheme::SingleOp(op) => {
+                let attr = rng.random_range(0..fields.len());
+                let (v, eff) = apply_op(&fields[attr], *op, rng);
+                fields[attr] = v;
+                ops.push((attr, eff));
+            }
+            PerturbationScheme::Heavy | PerturbationScheme::HeavyOp(_) => {
+                assert!(
+                    fields.len() >= 3,
+                    "heavy scheme needs at least three attributes"
+                );
+                let draw = |rng: &mut R| match self {
+                    PerturbationScheme::HeavyOp(op) => *op,
+                    _ => Op::random(rng),
+                };
+                for attr in [0usize, 1] {
+                    let kind = draw(rng);
+                    let (v, op) = apply_op(&fields[attr], kind, rng);
+                    fields[attr] = v;
+                    ops.push((attr, op));
+                }
+                for _ in 0..2 {
+                    let kind = draw(rng);
+                    let (v, op) = apply_op(&fields[2], kind, rng);
+                    fields[2] = v;
+                    ops.push((2, op));
+                }
+            }
+        }
+        Perturbed {
+            record: Record { id: new_id, fields },
+            ops,
+        }
+    }
+
+    /// The per-attribute number of edit errors this scheme can introduce —
+    /// used to derive Hamming thresholds (`θ = 4 · errors` with bigrams).
+    pub fn max_errors_per_attr(&self, num_attrs: usize) -> Vec<u32> {
+        match self {
+            PerturbationScheme::Light | PerturbationScheme::SingleOp(_) => vec![1; num_attrs],
+            PerturbationScheme::Heavy | PerturbationScheme::HeavyOp(_) => {
+                let mut v = vec![0; num_attrs];
+                if num_attrs > 0 {
+                    v[0] = 1;
+                }
+                if num_attrs > 1 {
+                    v[1] = 1;
+                }
+                if num_attrs > 2 {
+                    v[2] = 2;
+                }
+                v
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use textdist::levenshtein;
+
+    #[test]
+    fn substitute_changes_exactly_one_char() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..100 {
+            let (v, op) = apply_op("JONES", Op::Substitute, &mut rng);
+            assert_eq!(op, Op::Substitute);
+            assert_eq!(v.len(), 5);
+            assert_eq!(levenshtein("JONES", &v), 1);
+        }
+    }
+
+    #[test]
+    fn insert_adds_one_char() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..100 {
+            let (v, _) = apply_op("JONES", Op::Insert, &mut rng);
+            assert_eq!(v.len(), 6);
+            assert_eq!(levenshtein("JONES", &v), 1);
+        }
+    }
+
+    #[test]
+    fn delete_removes_one_char() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..100 {
+            let (v, _) = apply_op("JONES", Op::Delete, &mut rng);
+            assert_eq!(v.len(), 4);
+            assert_eq!(levenshtein("JONES", &v), 1);
+        }
+    }
+
+    #[test]
+    fn empty_string_degrades_to_insert() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let (v, op) = apply_op("", Op::Delete, &mut rng);
+        assert_eq!(op, Op::Insert);
+        assert_eq!(v.len(), 1);
+    }
+
+    #[test]
+    fn light_scheme_perturbs_one_attribute() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let r = Record::new(1, ["JOHN", "SMITH", "12 OAK ST", "DURHAM"]);
+        for _ in 0..50 {
+            let p = PerturbationScheme::Light.apply(&r, 100, &mut rng);
+            assert_eq!(p.ops.len(), 1);
+            assert_eq!(p.record.id, 100);
+            let changed = r
+                .fields
+                .iter()
+                .zip(&p.record.fields)
+                .filter(|(a, b)| a != b)
+                .count();
+            assert_eq!(changed, 1);
+            assert_eq!(levenshtein(r.field(p.ops[0].0), p.record.field(p.ops[0].0)), 1);
+        }
+    }
+
+    #[test]
+    fn heavy_scheme_perturbs_first_three_attributes() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let r = Record::new(1, ["JOHN", "SMITH", "12 OAK STREET", "DURHAM"]);
+        for _ in 0..50 {
+            let p = PerturbationScheme::Heavy.apply(&r, 100, &mut rng);
+            assert_eq!(p.ops.len(), 4);
+            assert_eq!(levenshtein(r.field(0), p.record.field(0)), 1);
+            assert_eq!(levenshtein(r.field(1), p.record.field(1)), 1);
+            let d2 = levenshtein(r.field(2), p.record.field(2));
+            assert!((1..=2).contains(&d2), "third attribute distance {d2}");
+            assert_eq!(r.field(3), p.record.field(3));
+        }
+    }
+
+    #[test]
+    fn single_op_scheme_uses_requested_kind() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let r = Record::new(1, ["JOHN", "SMITH"]);
+        let p = PerturbationScheme::SingleOp(Op::Delete).apply(&r, 2, &mut rng);
+        assert_eq!(p.ops[0].1, Op::Delete);
+    }
+
+    #[test]
+    fn max_errors_per_attr_shapes() {
+        assert_eq!(
+            PerturbationScheme::Light.max_errors_per_attr(4),
+            vec![1, 1, 1, 1]
+        );
+        assert_eq!(
+            PerturbationScheme::Heavy.max_errors_per_attr(4),
+            vec![1, 1, 2, 0]
+        );
+    }
+}
+
+#[cfg(test)]
+mod keyboard_tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use textdist::levenshtein;
+
+    #[test]
+    fn keyboard_substitute_is_one_edit() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..100 {
+            let out = apply_keyboard_substitute("JONES", &mut rng);
+            assert_eq!(levenshtein("JONES", &out), 1);
+            assert_eq!(out.len(), 5);
+        }
+    }
+
+    #[test]
+    fn substituted_letter_is_adjacent() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..200 {
+            let out = apply_keyboard_substitute("A", &mut rng);
+            let c = out.chars().next().unwrap();
+            assert!("QSZ".contains(c), "{c} not adjacent to A");
+        }
+    }
+
+    #[test]
+    fn adjacency_table_is_symmetric() {
+        // If X lists Y as a neighbour, Y should list X — a sanity check on
+        // the hand-written table.
+        for (neighbours, key) in QWERTY_NEIGHBOURS {
+            for n in neighbours.chars() {
+                let back = QWERTY_NEIGHBOURS
+                    .iter()
+                    .find(|(_, k)| *k == n)
+                    .map(|(ns, _)| ns.contains(*key))
+                    .unwrap_or(false);
+                assert!(back, "{key} lists {n} but not vice versa");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_and_digit_inputs_degrade_gracefully() {
+        let mut rng = StdRng::seed_from_u64(3);
+        assert_eq!(apply_keyboard_substitute("", &mut rng), "");
+        let out = apply_keyboard_substitute("123", &mut rng);
+        assert_eq!(out.len(), 3);
+        assert_ne!(out, "123"); // the digit is replaced by a random letter
+    }
+}

@@ -1,0 +1,161 @@
+//! Record sources: synthetic stand-ins for the NCVR and DBLP databases.
+//!
+//! Each source draws records whose attribute-length statistics track
+//! Table 3 of the paper (see [`crate::corpus`]). Sampling is seeded, so a
+//! data set is reproducible from its seed.
+
+use crate::corpus;
+use cbv_hb::Record;
+use rand::{Rng, RngExt};
+
+/// A source of synthetic records for one database flavour.
+pub trait RecordSource {
+    /// Attribute names, in order.
+    fn attribute_names(&self) -> &'static [&'static str];
+
+    /// Number of attributes.
+    fn num_attributes(&self) -> usize {
+        self.attribute_names().len()
+    }
+
+    /// Draws one record with the given id.
+    fn sample<R: Rng + ?Sized>(&self, id: u64, rng: &mut R) -> Record;
+
+    /// Draws `n` records with ids `0..n`.
+    fn sample_many<R: Rng + ?Sized>(&self, n: usize, rng: &mut R) -> Vec<Record> {
+        (0..n as u64).map(|id| self.sample(id, rng)).collect()
+    }
+}
+
+fn pick<'a, R: Rng + ?Sized>(list: &'a [&'a str], rng: &mut R) -> &'a str {
+    list[rng.random_range(0..list.len())]
+}
+
+/// Zipf-like skewed pick: real name frequencies are heavily skewed (a few
+/// names dominate voter rolls), which produces the within-set
+/// near-duplicates that stress iterative baselines such as HARRA. The index
+/// is `⌊n·u^γ⌋` with `γ = 2.5`, concentrating mass on early (frequent)
+/// entries while keeping the tail reachable.
+fn pick_skewed<'a, R: Rng + ?Sized>(list: &'a [&'a str], rng: &mut R) -> &'a str {
+    let u = rng.random::<f64>();
+    let idx = ((list.len() as f64) * u.powf(2.5)) as usize;
+    list[idx.min(list.len() - 1)]
+}
+
+/// NCVR-flavoured records: FirstName, LastName, Address, Town.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NcvrSource;
+
+impl RecordSource for NcvrSource {
+    fn attribute_names(&self) -> &'static [&'static str] {
+        &["FirstName", "LastName", "Address", "Town"]
+    }
+
+    fn sample<R: Rng + ?Sized>(&self, id: u64, rng: &mut R) -> Record {
+        let first = pick_skewed(corpus::FIRST_NAMES, rng);
+        let last = pick_skewed(corpus::LAST_NAMES, rng);
+        let number = rng.random_range(1..10_000u32);
+        let street = pick(corpus::STREET_NAMES, rng);
+        let suffix = pick(corpus::STREET_SUFFIXES, rng);
+        let address = format!("{number} {street} {suffix}");
+        let town = pick(corpus::TOWNS, rng);
+        Record::new(id, [first, last, &address, town])
+    }
+}
+
+/// DBLP-flavoured records: FirstName, LastName, Title, Year.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DblpSource;
+
+impl RecordSource for DblpSource {
+    fn attribute_names(&self) -> &'static [&'static str] {
+        &["FirstName", "LastName", "Title", "Year"]
+    }
+
+    fn sample<R: Rng + ?Sized>(&self, id: u64, rng: &mut R) -> Record {
+        let first = pick_skewed(corpus::FIRST_NAMES, rng);
+        let last = pick_skewed(corpus::LAST_NAMES, rng);
+        // Titles average ≈ 66 characters (b ≈ 64.8 unpadded bigrams):
+        // seven words of mean length ≈ 8.5 plus six separators.
+        let num_words = rng.random_range(6..=8);
+        let mut title = String::new();
+        for w in 0..num_words {
+            if w > 0 {
+                title.push(' ');
+            }
+            title.push_str(pick(corpus::TITLE_WORDS, rng));
+        }
+        let year = rng.random_range(1960..=2015u32).to_string();
+        Record::new(id, [first, last, &title, &year])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use textdist::qgrams_unpadded;
+
+    fn avg_b(values: impl Iterator<Item = String>) -> f64 {
+        let v: Vec<String> = values.collect();
+        v.iter()
+            .map(|s| qgrams_unpadded(s, 2).len())
+            .sum::<usize>() as f64
+            / v.len() as f64
+    }
+
+    #[test]
+    fn ncvr_shape() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let r = NcvrSource.sample(7, &mut rng);
+        assert_eq!(r.id, 7);
+        assert_eq!(r.fields.len(), 4);
+        assert!(!r.field(0).is_empty());
+        assert!(r.field(2).contains(' '), "address has components");
+    }
+
+    #[test]
+    fn ncvr_bigram_statistics_track_table3() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let recs = NcvrSource.sample_many(4000, &mut rng);
+        let b0 = avg_b(recs.iter().map(|r| r.field(0).to_string()));
+        let b1 = avg_b(recs.iter().map(|r| r.field(1).to_string()));
+        let b2 = avg_b(recs.iter().map(|r| r.field(2).to_string()));
+        let b3 = avg_b(recs.iter().map(|r| r.field(3).to_string()));
+        // Table 3: 5.1, 5.0, 20.0, 7.2. Allow generous bands — the shape
+        // (short names, long address, medium town) is what matters.
+        assert!((4.0..=6.5).contains(&b0), "FirstName b = {b0}");
+        assert!((4.0..=6.5).contains(&b1), "LastName b = {b1}");
+        assert!((16.0..=24.0).contains(&b2), "Address b = {b2}");
+        assert!((6.0..=9.5).contains(&b3), "Town b = {b3}");
+    }
+
+    #[test]
+    fn dblp_bigram_statistics_track_table3() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let recs = DblpSource.sample_many(4000, &mut rng);
+        let b2 = avg_b(recs.iter().map(|r| r.field(2).to_string()));
+        let b3 = avg_b(recs.iter().map(|r| r.field(3).to_string()));
+        // Table 3: Title 64.8, Year 3.0.
+        assert!((52.0..=78.0).contains(&b2), "Title b = {b2}");
+        assert!((b3 - 3.0).abs() < 1e-9, "Year b = {b3}");
+    }
+
+    #[test]
+    fn sampling_is_reproducible_from_seed() {
+        let a = NcvrSource.sample_many(50, &mut StdRng::seed_from_u64(9));
+        let b = NcvrSource.sample_many(50, &mut StdRng::seed_from_u64(9));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn dblp_year_is_four_digits() {
+        let mut rng = StdRng::seed_from_u64(4);
+        for _ in 0..100 {
+            let r = DblpSource.sample(0, &mut rng);
+            assert_eq!(r.field(3).len(), 4);
+            assert!(r.field(3).chars().all(|c| c.is_ascii_digit()));
+        }
+    }
+}

@@ -1,0 +1,91 @@
+//! Non-standardized value perturbations (paper §7: comparing effectiveness
+//! "in identifying records with missing or non-standardized values").
+//!
+//! The canonical real-world case is address abbreviation: one source spells
+//! `12 OAK STREET`, the other `12 OAK ST`. Unlike typos, abbreviation
+//! removes several characters at once, so a per-error threshold budget
+//! (`θ = 4·errors`) does not cover it — the experiment harness uses this to
+//! show how compound rules recover what strict AND rules lose.
+
+use cbv_hb::Record;
+
+/// Common US street-suffix abbreviations (USPS style).
+pub const SUFFIX_ABBREVIATIONS: &[(&str, &str)] = &[
+    ("STREET", "ST"),
+    ("AVENUE", "AVE"),
+    ("ROAD", "RD"),
+    ("DRIVE", "DR"),
+    ("LANE", "LN"),
+    ("COURT", "CT"),
+    ("PLACE", "PL"),
+    ("BOULEVARD", "BLVD"),
+    ("CIRCLE", "CIR"),
+    ("TRAIL", "TRL"),
+];
+
+/// Abbreviates every known street suffix appearing as a whole word.
+pub fn abbreviate_address(value: &str) -> String {
+    let mut out: Vec<String> = Vec::new();
+    for word in value.split(' ') {
+        let replaced = SUFFIX_ABBREVIATIONS
+            .iter()
+            .find(|(long, _)| *long == word)
+            .map_or(word, |(_, short)| *short);
+        out.push(replaced.to_string());
+    }
+    out.join(" ")
+}
+
+/// Applies address abbreviation to attribute `attr` of a record, returning
+/// the new record (no-op when no suffix matches).
+pub fn abbreviate_attribute(record: &Record, attr: usize) -> Record {
+    let mut fields = record.fields.clone();
+    if let Some(v) = fields.get_mut(attr) {
+        *v = abbreviate_address(v);
+    }
+    Record {
+        id: record.id,
+        fields,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use textdist::levenshtein;
+
+    #[test]
+    fn abbreviates_known_suffixes() {
+        assert_eq!(abbreviate_address("12 OAK STREET"), "12 OAK ST");
+        assert_eq!(abbreviate_address("4 ELM AVENUE"), "4 ELM AVE");
+        assert_eq!(abbreviate_address("77 PINE BOULEVARD"), "77 PINE BLVD");
+    }
+
+    #[test]
+    fn leaves_unknown_words_alone() {
+        assert_eq!(abbreviate_address("12 STREETER WAY"), "12 STREETER WAY");
+        assert_eq!(abbreviate_address(""), "");
+    }
+
+    #[test]
+    fn abbreviation_is_a_large_edit() {
+        // The point of the experiment: abbreviation costs ≫ 1 edit.
+        let d = levenshtein("12 OAK STREET", &abbreviate_address("12 OAK STREET"));
+        assert!(d >= 4, "abbreviation edit distance {d}");
+    }
+
+    #[test]
+    fn abbreviate_attribute_targets_one_field() {
+        let r = Record::new(1, ["JOHN", "SMITH", "12 OAK STREET", "DURHAM"]);
+        let out = abbreviate_attribute(&r, 2);
+        assert_eq!(out.field(2), "12 OAK ST");
+        assert_eq!(out.field(0), "JOHN");
+        assert_eq!(out.id, 1);
+    }
+
+    #[test]
+    fn idempotent() {
+        let once = abbreviate_address("12 OAK STREET");
+        assert_eq!(abbreviate_address(&once), once);
+    }
+}

@@ -1,0 +1,226 @@
+//! Euclidean p-stable LSH (Datar, Immorlica, Indyk, Mirrokni, SCG 2004).
+//!
+//! Used by the SM-EB baseline: StringMap embeds attribute strings into ℝ^d
+//! and this family blocks the resulting vectors. A base function projects a
+//! point onto a Gaussian random direction and quantizes:
+//! `h(v) = ⌊(a·v + b) / w⌋`. For two points at distance `c`, the collision
+//! probability is the closed form
+//! `p(c) = 1 − 2Φ(−w/c) − (2c/(√(2π)·w))·(1 − e^{−w²/(2c²)})`.
+
+use crate::hashfn::KeyAccumulator;
+use rand::{Rng, RngExt};
+use serde::{Deserialize, Serialize};
+
+/// One base p-stable hash: a Gaussian direction, an offset, and a bucket
+/// width `w`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PStableHash {
+    direction: Vec<f64>,
+    offset: f64,
+    width: f64,
+}
+
+/// Samples a standard normal via Box–Muller (rand's distributions crate is
+/// outside the dependency budget).
+fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    loop {
+        let u1 = rng.random::<f64>();
+        let u2 = rng.random::<f64>();
+        if u1 > f64::MIN_POSITIVE {
+            return (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        }
+    }
+}
+
+impl PStableHash {
+    /// Draws a base hash for `dim`-dimensional points with bucket width `w`.
+    ///
+    /// # Panics
+    /// Panics if `dim == 0` or `w <= 0`.
+    pub fn random<R: Rng + ?Sized>(dim: usize, w: f64, rng: &mut R) -> Self {
+        assert!(dim > 0, "dimension must be positive");
+        assert!(w > 0.0, "bucket width must be positive");
+        Self {
+            direction: (0..dim).map(|_| standard_normal(rng)).collect(),
+            offset: rng.random::<f64>() * w,
+            width: w,
+        }
+    }
+
+    /// Evaluates `⌊(a·v + b)/w⌋`.
+    ///
+    /// # Panics
+    /// Panics if `v.len()` differs from the hash's dimension.
+    pub fn eval(&self, v: &[f64]) -> i64 {
+        assert_eq!(v.len(), self.direction.len(), "dimension mismatch");
+        let dot: f64 = self
+            .direction
+            .iter()
+            .zip(v.iter())
+            .map(|(a, x)| a * x)
+            .sum();
+        ((dot + self.offset) / self.width).floor() as i64
+    }
+}
+
+/// A composite Euclidean hash: `K` base functions folded into a key.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct EuclideanHasher {
+    bases: Vec<PStableHash>,
+}
+
+impl EuclideanHasher {
+    /// Draws `k` base functions over `dim` dimensions with width `w`.
+    pub fn random<R: Rng + ?Sized>(dim: usize, w: f64, k: usize, rng: &mut R) -> Self {
+        assert!(k > 0, "k must be positive");
+        Self {
+            bases: (0..k).map(|_| PStableHash::random(dim, w, rng)).collect(),
+        }
+    }
+
+    /// The composite blocking key for point `v`.
+    pub fn key(&self, v: &[f64]) -> u128 {
+        let mut acc = KeyAccumulator::new();
+        for b in &self.bases {
+            acc.push(b.eval(v) as u64);
+        }
+        acc.finish()
+    }
+}
+
+/// `L` independent composite Euclidean hashes.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct EuclideanFamily {
+    hashers: Vec<EuclideanHasher>,
+}
+
+impl EuclideanFamily {
+    /// Draws the family.
+    pub fn random<R: Rng + ?Sized>(
+        dim: usize,
+        w: f64,
+        k: usize,
+        l: usize,
+        rng: &mut R,
+    ) -> Self {
+        assert!(l > 0, "need at least one blocking group");
+        Self {
+            hashers: (0..l)
+                .map(|_| EuclideanHasher::random(dim, w, k, rng))
+                .collect(),
+        }
+    }
+
+    /// The composite functions.
+    pub fn hashers(&self) -> &[EuclideanHasher] {
+        &self.hashers
+    }
+
+    /// Number of blocking groups `L`.
+    pub fn l(&self) -> usize {
+        self.hashers.len()
+    }
+}
+
+/// Standard normal CDF Φ via the Abramowitz–Stegun erf approximation
+/// (max error ≈ 1.5e−7, ample for parameter selection).
+pub fn normal_cdf(x: f64) -> f64 {
+    0.5 * (1.0 + erf(x / std::f64::consts::SQRT_2))
+}
+
+fn erf(x: f64) -> f64 {
+    let sign = if x < 0.0 { -1.0 } else { 1.0 };
+    let x = x.abs();
+    let t = 1.0 / (1.0 + 0.327_591_1 * x);
+    let poly = t
+        * (0.254_829_592
+            + t * (-0.284_496_736 + t * (1.421_413_741 + t * (-1.453_152_027 + t * 1.061_405_429))));
+    sign * (1.0 - poly * (-x * x).exp())
+}
+
+/// Collision probability of a single p-stable base hash for two points at
+/// Euclidean distance `c` with bucket width `w` (Datar et al., Eq. for the
+/// Gaussian case).
+///
+/// # Panics
+/// Panics unless `c > 0` and `w > 0`. At `c → 0` the probability tends to 1.
+pub fn base_collision_probability(c: f64, w: f64) -> f64 {
+    assert!(c > 0.0 && w > 0.0, "distances and widths must be positive");
+    let r = w / c;
+    1.0 - 2.0 * normal_cdf(-r)
+        - (2.0 / (std::f64::consts::TAU.sqrt() * r)) * (1.0 - (-r * r / 2.0).exp())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn identical_points_collide() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let v = vec![0.3, -1.2, 4.5];
+        for _ in 0..20 {
+            let h = EuclideanHasher::random(3, 4.0, 5, &mut rng);
+            assert_eq!(h.key(&v), h.key(&v.clone()));
+        }
+    }
+
+    #[test]
+    fn normal_cdf_known_values() {
+        assert!((normal_cdf(0.0) - 0.5).abs() < 1e-7);
+        assert!((normal_cdf(1.96) - 0.975).abs() < 1e-3);
+        assert!((normal_cdf(-1.96) - 0.025).abs() < 1e-3);
+    }
+
+    #[test]
+    fn base_probability_monotone_in_distance() {
+        let w = 4.0;
+        let p1 = base_collision_probability(1.0, w);
+        let p2 = base_collision_probability(2.0, w);
+        let p4 = base_collision_probability(4.0, w);
+        assert!(p1 > p2 && p2 > p4, "{p1} {p2} {p4}");
+        assert!(p1 > 0.75, "close pairs should usually collide: {p1}");
+    }
+
+    #[test]
+    fn empirical_collision_rate_matches_formula() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let w = 4.0;
+        let c = 2.0;
+        let a = vec![0.0; 8];
+        let mut b = vec![0.0; 8];
+        b[0] = c; // distance exactly c
+        let expect = base_collision_probability(c, w);
+        let trials = 30_000;
+        let mut hits = 0u32;
+        for _ in 0..trials {
+            let h = PStableHash::random(8, w, &mut rng);
+            if h.eval(&a) == h.eval(&b) {
+                hits += 1;
+            }
+        }
+        let rate = f64::from(hits) / f64::from(trials);
+        assert!((rate - expect).abs() < 0.02, "rate {rate} vs {expect}");
+    }
+
+    #[test]
+    fn standard_normal_moments() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let n = 50_000;
+        let samples: Vec<f64> = (0..n).map(|_| standard_normal(&mut rng)).collect();
+        let mean: f64 = samples.iter().sum::<f64>() / n as f64;
+        let var: f64 = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn dim_mismatch_panics() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let h = PStableHash::random(3, 1.0, &mut rng);
+        let _ = h.eval(&[1.0, 2.0]);
+    }
+}

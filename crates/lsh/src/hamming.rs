@@ -1,0 +1,234 @@
+//! The bit-sampling Hamming LSH family (Section 4.2, Definition 3).
+//!
+//! A base hash function returns the value of a uniformly chosen bit position
+//! of a vector in ℋ; a composite function `h_l` concatenates `K` base
+//! functions into a blocking key. For a pair at Hamming distance `u_H ≤ θ_H`
+//! the composite keys collide with probability at least `p^K`,
+//! `p = 1 − θ_H/m`.
+
+use rand::{Rng, RngExt};
+use rl_bitvec::BitVec;
+use serde::{Deserialize, Serialize};
+
+/// Maximum number of base functions per composite key; keys pack one bit per
+/// base function into a `u128`.
+pub const MAX_K: usize = 128;
+
+/// A composite hash `h_l`: `K` sampled bit positions of an `m`-bit vector.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BitSampler {
+    positions: Vec<u32>,
+}
+
+impl BitSampler {
+    /// Samples `k` positions uniformly (with replacement, as in the paper's
+    /// family definition) from `{0, …, m−1}`.
+    ///
+    /// # Panics
+    /// Panics if `m == 0`, `k == 0`, or `k > MAX_K`.
+    pub fn random<R: Rng + ?Sized>(m: usize, k: usize, rng: &mut R) -> Self {
+        assert!(m > 0, "vector size must be positive");
+        assert!(k > 0 && k <= MAX_K, "k must lie in 1..={MAX_K}, got {k}");
+        let positions = (0..k).map(|_| rng.random_range(0..m) as u32).collect();
+        Self { positions }
+    }
+
+    /// Builds a sampler from explicit positions (attribute-level blocking
+    /// composes per-attribute samplers this way).
+    ///
+    /// # Panics
+    /// Panics if `positions` is empty or longer than `MAX_K`.
+    pub fn from_positions(positions: Vec<u32>) -> Self {
+        assert!(
+            !positions.is_empty() && positions.len() <= MAX_K,
+            "need 1..={MAX_K} positions"
+        );
+        Self { positions }
+    }
+
+    /// The sampled positions.
+    pub fn positions(&self) -> &[u32] {
+        &self.positions
+    }
+
+    /// Number of base functions `K`.
+    pub fn k(&self) -> usize {
+        self.positions.len()
+    }
+
+    /// Applies the composite hash: packs the sampled bits into a key.
+    ///
+    /// # Panics
+    /// Panics if any position is out of range for `v`.
+    #[inline]
+    pub fn key(&self, v: &BitVec) -> u128 {
+        let mut key: u128 = 0;
+        for (i, &p) in self.positions.iter().enumerate() {
+            key |= u128::from(v.get(p as usize)) << i;
+        }
+        key
+    }
+
+    /// Applies the composite hash to a *conceptual* concatenation of
+    /// attribute vectors without materializing it: `attrs[a]` is the vector
+    /// of attribute `a`, and the sampler's positions index the concatenation
+    /// in order.
+    pub fn key_concat(&self, attrs: &[&BitVec]) -> u128 {
+        let mut key: u128 = 0;
+        'pos: for (i, &p) in self.positions.iter().enumerate() {
+            let mut p = p as usize;
+            for v in attrs {
+                if p < v.len() {
+                    key |= u128::from(v.get(p)) << i;
+                    continue 'pos;
+                }
+                p -= v.len();
+            }
+            panic!("sampled position beyond concatenated length");
+        }
+        key
+    }
+}
+
+/// `L` independent composite hash functions — one per blocking group `T_l`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BitSampleFamily {
+    samplers: Vec<BitSampler>,
+}
+
+impl BitSampleFamily {
+    /// Draws `l` independent samplers of `k` positions over `m` bits.
+    pub fn random<R: Rng + ?Sized>(m: usize, k: usize, l: usize, rng: &mut R) -> Self {
+        assert!(l > 0, "need at least one blocking group");
+        Self {
+            samplers: (0..l).map(|_| BitSampler::random(m, k, rng)).collect(),
+        }
+    }
+
+    /// The composite functions.
+    pub fn samplers(&self) -> &[BitSampler] {
+        &self.samplers
+    }
+
+    /// Number of blocking groups `L`.
+    pub fn l(&self) -> usize {
+        self.samplers.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn key_packs_sampled_bits() {
+        let v = BitVec::from_positions(8, [1, 3, 5]);
+        let s = BitSampler::from_positions(vec![1, 2, 3, 5]);
+        // bits: pos1=1, pos2=0, pos3=1, pos5=1 → key 0b1101
+        assert_eq!(s.key(&v), 0b1101);
+    }
+
+    #[test]
+    fn equal_vectors_always_collide() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let v = BitVec::from_positions(120, [0, 3, 77, 119]);
+        for _ in 0..20 {
+            let s = BitSampler::random(120, 30, &mut rng);
+            assert_eq!(s.key(&v), s.key(&v.clone()));
+        }
+    }
+
+    #[test]
+    fn key_concat_matches_materialized_concat() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let a = BitVec::from_positions(15, [0, 7, 14]);
+        let b = BitVec::from_positions(68, [1, 40, 67]);
+        let c = BitVec::from_positions(22, [5]);
+        let cat = BitVec::concat([&a, &b, &c]);
+        for _ in 0..50 {
+            let s = BitSampler::random(cat.len(), 10, &mut rng);
+            assert_eq!(s.key(&cat), s.key_concat(&[&a, &b, &c]));
+        }
+    }
+
+    #[test]
+    fn family_has_l_groups() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let f = BitSampleFamily::random(120, 30, 6, &mut rng);
+        assert_eq!(f.l(), 6);
+        assert!(f.samplers().iter().all(|s| s.k() == 30));
+    }
+
+    #[test]
+    fn collision_probability_tracks_definition_3() {
+        // Empirical check of Pr[h(v1) = h(v2)] ≈ p^K for vectors at
+        // controlled Hamming distance.
+        let mut rng = StdRng::seed_from_u64(11);
+        let m = 120usize;
+        let theta = 4u32;
+        let k = 10usize;
+        let v1 = BitVec::from_positions(m, (0..40).map(|i| i * 3));
+        let mut v2 = v1.clone();
+        // Flip exactly theta bits.
+        for i in 0..theta as usize {
+            let pos = i * 7 + 1;
+            if v2.get(pos) {
+                v2.clear(pos);
+            } else {
+                v2.set(pos);
+            }
+        }
+        assert_eq!(v1.hamming(&v2), theta);
+        let p = crate::params::base_success_probability(theta, m);
+        let expect = p.powi(k as i32);
+        let trials = 40_000;
+        let mut hits = 0u32;
+        for _ in 0..trials {
+            let s = BitSampler::random(m, k, &mut rng);
+            if s.key(&v1) == s.key(&v2) {
+                hits += 1;
+            }
+        }
+        let rate = f64::from(hits) / f64::from(trials);
+        assert!(
+            (rate - expect).abs() < 0.05 * expect + 0.01,
+            "rate {rate} vs expected {expect}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "k must lie")]
+    fn oversized_k_panics() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let _ = BitSampler::random(100, 129, &mut rng);
+    }
+
+    proptest! {
+        #[test]
+        fn keys_deterministic(
+            ones in proptest::collection::btree_set(0usize..200, 0..30),
+            seed in any::<u64>(),
+        ) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let v = BitVec::from_positions(200, ones);
+            let s = BitSampler::random(200, 16, &mut rng);
+            prop_assert_eq!(s.key(&v), s.key(&v));
+        }
+
+        #[test]
+        fn differing_key_implies_differing_vectors(
+            ones in proptest::collection::btree_set(0usize..64, 1..20),
+            seed in any::<u64>(),
+        ) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let v1 = BitVec::from_positions(64, ones.iter().copied());
+            let v2 = v1.clone();
+            let s = BitSampler::random(64, 8, &mut rng);
+            // contrapositive of "equal vectors collide"
+            prop_assert_eq!(s.key(&v1), s.key(&v2));
+        }
+    }
+}

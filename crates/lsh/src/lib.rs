@@ -1,0 +1,28 @@
+//! Locality-sensitive hashing families and blocking tables.
+//!
+//! Implements every LSH mechanism the paper touches:
+//!
+//! * [`hamming`] — the bit-sampling Hamming family of Indyk–Motwani used by
+//!   the HB blocking/matching mechanism (Section 4.2, Definition 3).
+//! * [`minhash`] — MinHash over q-gram index sets, the Jaccard-space
+//!   mechanism used by the HARRA baseline (Section 6.1).
+//! * [`euclidean`] — the p-stable (Gaussian) family of Datar et al. used by
+//!   the SM-EB baseline.
+//! * [`params`] — the blocking-group math: base success probability
+//!   `p = 1 − θ/m` and `L = ⌈ln δ / ln(1 − p^K)⌉` (Equation 2), plus the
+//!   rule-operator bounds of Definitions 4–6.
+//! * [`table`] — key → id-list blocking tables (the `T_l` hash tables).
+//! * [`hashfn`] — pairwise-independent universal hashes
+//!   `g(x) = ((a·x + b) mod P) mod m`, shared with the c-vector embedder.
+
+pub mod euclidean;
+pub mod hamming;
+pub mod hashfn;
+pub mod minhash;
+pub mod params;
+pub mod table;
+
+pub use hamming::{BitSampleFamily, BitSampler};
+pub use hashfn::UniversalHash;
+pub use params::{base_success_probability, optimal_l};
+pub use table::BlockingTable;

@@ -1,0 +1,161 @@
+//! MinHash LSH over q-gram index sets — the Jaccard-space mechanism used by
+//! the HARRA baseline (Section 6.1).
+//!
+//! Each base function applies a random permutation-like universal hash to
+//! every element of the set `U_s` and keeps the minimum; for two sets the
+//! minima agree with probability equal to their Jaccard similarity. A
+//! composite function concatenates `K` minima into a blocking key.
+
+use crate::hashfn::{splitmix64, KeyAccumulator, UniversalHash, PRIME};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Pre-mixes an element before the linear hash. Pairwise-independent linear
+/// hashes are not min-wise independent, and q-gram indexes are small
+/// structured integers; scrambling them through SplitMix64 removes the
+/// resulting bias in the min statistic.
+#[inline]
+fn scramble(x: u64) -> u64 {
+    splitmix64(x) % PRIME
+}
+
+/// A composite MinHash function: `K` independent permutation hashes.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MinHasher {
+    hashes: Vec<UniversalHash>,
+}
+
+/// Sentinel minimum for an empty set; distinct from any real hash value
+/// because permutation hashes map into `[0, PRIME)`.
+const EMPTY_MIN: u64 = u64::MAX;
+
+impl MinHasher {
+    /// Draws a composite MinHash of `k` base permutations.
+    ///
+    /// # Panics
+    /// Panics if `k == 0`.
+    pub fn random<R: Rng + ?Sized>(k: usize, rng: &mut R) -> Self {
+        assert!(k > 0, "k must be positive");
+        Self {
+            hashes: (0..k).map(|_| UniversalHash::random(PRIME, rng)).collect(),
+        }
+    }
+
+    /// Number of base permutations `K`.
+    pub fn k(&self) -> usize {
+        self.hashes.len()
+    }
+
+    /// The `K` minima for a set of element indexes.
+    pub fn minima(&self, set: &[u64]) -> Vec<u64> {
+        self.hashes
+            .iter()
+            .map(|h| set.iter().map(|&x| h.eval(scramble(x))).min().unwrap_or(EMPTY_MIN))
+            .collect()
+    }
+
+    /// The composite blocking key: the `K` minima folded into 128 bits.
+    pub fn key(&self, set: &[u64]) -> u128 {
+        let mut acc = KeyAccumulator::new();
+        for h in &self.hashes {
+            acc.push(set.iter().map(|&x| h.eval(scramble(x))).min().unwrap_or(EMPTY_MIN));
+        }
+        acc.finish()
+    }
+}
+
+/// `L` independent composite MinHash functions.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MinHashFamily {
+    hashers: Vec<MinHasher>,
+}
+
+impl MinHashFamily {
+    /// Draws `l` composite functions of `k` permutations each.
+    pub fn random<R: Rng + ?Sized>(k: usize, l: usize, rng: &mut R) -> Self {
+        assert!(l > 0, "need at least one blocking group");
+        Self {
+            hashers: (0..l).map(|_| MinHasher::random(k, rng)).collect(),
+        }
+    }
+
+    /// The composite functions.
+    pub fn hashers(&self) -> &[MinHasher] {
+        &self.hashers
+    }
+
+    /// Number of blocking groups `L`.
+    pub fn l(&self) -> usize {
+        self.hashers.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn identical_sets_always_collide() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let set = vec![5u64, 17, 300, 4000];
+        for _ in 0..20 {
+            let h = MinHasher::random(5, &mut rng);
+            assert_eq!(h.key(&set), h.key(&set.clone()));
+        }
+    }
+
+    #[test]
+    fn empty_set_is_stable() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let h = MinHasher::random(3, &mut rng);
+        assert_eq!(h.key(&[]), h.key(&[]));
+        assert_ne!(h.key(&[]), h.key(&[1]));
+    }
+
+    #[test]
+    fn single_minhash_estimates_jaccard() {
+        // Pr[min agree] should approximate the Jaccard similarity.
+        let mut rng = StdRng::seed_from_u64(3);
+        let a: Vec<u64> = (0..60).collect();
+        let b: Vec<u64> = (30..90).collect(); // |∩|=30, |∪|=90 → J=1/3
+        let trials = 30_000;
+        let mut hits = 0u32;
+        for _ in 0..trials {
+            let h = MinHasher::random(1, &mut rng);
+            if h.minima(&a)[0] == h.minima(&b)[0] {
+                hits += 1;
+            }
+        }
+        let rate = f64::from(hits) / f64::from(trials);
+        assert!((rate - 1.0 / 3.0).abs() < 0.02, "rate {rate}");
+    }
+
+    #[test]
+    fn composite_collision_rate_is_jaccard_pow_k() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let a: Vec<u64> = (0..40).collect();
+        let b: Vec<u64> = (8..48).collect(); // |∩|=32, |∪|=48 → J=2/3
+        let k = 3;
+        let expect = (2.0f64 / 3.0).powi(k as i32);
+        let trials = 30_000;
+        let mut hits = 0u32;
+        for _ in 0..trials {
+            let h = MinHasher::random(k, &mut rng);
+            if h.key(&a) == h.key(&b) {
+                hits += 1;
+            }
+        }
+        let rate = f64::from(hits) / f64::from(trials);
+        assert!((rate - expect).abs() < 0.02, "rate {rate} vs {expect}");
+    }
+
+    #[test]
+    fn family_shape() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let f = MinHashFamily::random(5, 30, &mut rng);
+        assert_eq!(f.l(), 30);
+        assert!(f.hashers().iter().all(|h| h.k() == 5));
+    }
+}

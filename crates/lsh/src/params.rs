@@ -1,0 +1,398 @@
+//! Blocking-group parameter math (Section 4.2 and Definitions 4–6).
+//!
+//! The HB mechanism amplifies a base hash family by concatenating `K` base
+//! functions per table and running `L` independent tables. For a pair within
+//! the Hamming threshold `θ_H` on vectors of `m` bits, a base bit-sample
+//! collides with probability `p = 1 − θ_H/m`, a composite key with
+//! probability `≥ p^K`, and `L = ⌈ln δ / ln(1 − p^K)⌉` tables (Equation 2)
+//! guarantee recall `≥ 1 − δ`.
+
+/// Success probability of a single bit-sample for a pair at Hamming
+/// threshold `theta` on `m`-bit vectors: `p = 1 − θ/m` (Definition 3).
+///
+/// # Panics
+/// Panics if `m == 0` or `theta > m`.
+pub fn base_success_probability(theta: u32, m: usize) -> f64 {
+    assert!(m > 0, "vector size m must be positive");
+    assert!(
+        theta as usize <= m,
+        "threshold {theta} exceeds vector size {m}"
+    );
+    1.0 - f64::from(theta) / m as f64
+}
+
+/// Number of blocking groups `L = ⌈ln δ / ln(1 − p_collide)⌉` (Equation 2)
+/// for a composite collision probability `p_collide` and failure budget `δ`.
+///
+/// `p_collide` is the probability that *one* table's composite key collides
+/// for a truly similar pair — `p^K` for record-level HB, or the rule-adjusted
+/// `p_∧` / `p_∨` bounds of Definitions 4–5.
+///
+/// # Panics
+/// Panics unless `0 < delta < 1` and `0 < p_collide ≤ 1`.
+pub fn optimal_l(p_collide: f64, delta: f64) -> usize {
+    assert!(
+        delta > 0.0 && delta < 1.0,
+        "delta must lie in (0, 1), got {delta}"
+    );
+    assert!(
+        p_collide > 0.0 && p_collide <= 1.0,
+        "collision probability must lie in (0, 1], got {p_collide}"
+    );
+    if p_collide >= 1.0 {
+        return 1;
+    }
+    let l = delta.ln() / (1.0 - p_collide).ln();
+    (l.ceil() as usize).max(1)
+}
+
+/// Recall guarantee delivered by `l` tables at per-table collision
+/// probability `p_collide`: `1 − (1 − p_collide)^l`.
+pub fn recall_lower_bound(p_collide: f64, l: usize) -> f64 {
+    1.0 - (1.0 - p_collide).powf(l as f64)
+}
+
+/// Definition 4 (AND operator): the composite collision probability for a
+/// conjunction over attributes, `p_∧ = Π_i p_i^{K_i}`.
+///
+/// `terms` yields `(p_i, K_i)` pairs.
+pub fn and_probability<I>(terms: I) -> f64
+where
+    I: IntoIterator<Item = (f64, u32)>,
+{
+    terms
+        .into_iter()
+        .map(|(p, k)| p.powi(k as i32))
+        .product()
+}
+
+/// Definition 5 (OR operator): collision probability in *any* structure via
+/// inclusion–exclusion, `p_∨ = 1 − Π_i (1 − p_i^{K_i})`.
+pub fn or_probability<I>(terms: I) -> f64
+where
+    I: IntoIterator<Item = (f64, u32)>,
+{
+    1.0 - terms
+        .into_iter()
+        .map(|(p, k)| 1.0 - p.powi(k as i32))
+        .product::<f64>()
+}
+
+/// Definition 6 (NOT operator): probability of a pair *not* colliding in a
+/// structure, `p_¬ = 1 − p^K`.
+pub fn not_probability(p: f64, k: u32) -> f64 {
+    1.0 - p.powi(k as i32)
+}
+
+/// Cost model for the optimal-K selection of Karapiperis & Verykios
+/// (COMSIS 2014) — the method the paper cites for choosing `K` "that
+/// minimizes the estimated running time" (Section 4.2).
+#[derive(Debug, Clone, Copy)]
+pub struct KCostModel {
+    /// Records indexed per data set `n`.
+    pub n: usize,
+    /// Vector size `m` in bits.
+    pub m: usize,
+    /// Hamming threshold `θ` for similar pairs.
+    pub theta: u32,
+    /// Failure budget δ.
+    pub delta: f64,
+    /// Collision probability of a base hash for an *average dissimilar*
+    /// pair (`1 − ū/m` with ū the typical distance between random records;
+    /// estimate it by sampling pairs).
+    pub p_dissimilar: f64,
+    /// Relative cost of one candidate distance computation versus one
+    /// key-hash/insert operation (≈ 1 for compact c-vectors).
+    pub verify_cost: f64,
+}
+
+impl KCostModel {
+    /// Estimated running-time proxy at a given `K`:
+    /// `L·n·(1 + verify_cost·n·p_dissimilar^K)` — table construction plus
+    /// expected candidate verifications across probes.
+    pub fn cost(&self, k: u32) -> f64 {
+        let p1 = base_success_probability(self.theta, self.m);
+        let pk = p1.powi(k as i32);
+        if pk <= 0.0 {
+            return f64::INFINITY;
+        }
+        let l = optimal_l(pk, self.delta) as f64;
+        let n = self.n as f64;
+        let candidates_per_probe = n * self.p_dissimilar.powi(k as i32);
+        l * n * (1.0 + self.verify_cost * candidates_per_probe)
+    }
+
+    /// Scans `k_range` and returns the cost-minimizing `K`.
+    ///
+    /// # Panics
+    /// Panics on an empty range.
+    pub fn optimal_k(&self, k_range: std::ops::RangeInclusive<u32>) -> u32 {
+        k_range
+            .map(|k| (k, self.cost(k)))
+            .min_by(|a, b| a.1.total_cmp(&b.1))
+            .expect("non-empty K range")
+            .0
+    }
+}
+
+/// Per-table success probability under multi-probe querying with up to `t`
+/// flipped key bits (Lv et al., VLDB 2007, adapted to bit-sampling): a pair
+/// is found when at most `t` of the `K` sampled bits differ,
+/// `Σ_{i=0..t} C(K,i) · p^{K−i} · (1−p)^i`.
+///
+/// # Panics
+/// Panics if `t > k`.
+pub fn multiprobe_collision_probability(p: f64, k: u32, t: u32) -> f64 {
+    assert!(t <= k, "cannot flip more bits than the key has");
+    let mut total = 0.0;
+    let mut binom = 1.0f64; // C(k, i)
+    for i in 0..=t {
+        total += binom * p.powi((k - i) as i32) * (1.0 - p).powi(i as i32);
+        binom = binom * f64::from(k - i) / f64::from(i + 1);
+    }
+    total.min(1.0)
+}
+
+/// One point of a recall-versus-distance curve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RecallPoint {
+    /// Hamming distance `u`.
+    pub distance: u32,
+    /// Probability that a pair at this distance is formulated by at least
+    /// one of the `l` tables: `1 − (1 − (1 − u/m)^K)^L`.
+    pub recall: f64,
+}
+
+/// The full amplification curve of an `(m, K, L)` configuration: recall as
+/// a function of pair distance, from 0 to `max_distance`. This is the
+/// S-curve that makes LSH a *distance-threshold* filter — steep around the
+/// design threshold, near-1 below it, near-0 far above it.
+pub fn recall_curve(m: usize, k: u32, l: usize, max_distance: u32) -> Vec<RecallPoint> {
+    assert!(m > 0, "vector size must be positive");
+    (0..=max_distance.min(m as u32))
+        .map(|u| {
+            let p = base_success_probability(u, m);
+            RecallPoint {
+                distance: u,
+                recall: recall_lower_bound(p.powi(k as i32), l),
+            }
+        })
+        .collect()
+}
+
+/// Estimates `p_dissimilar` (the average base-hash collision probability of
+/// non-matching pairs) from a sample of pairwise distances.
+pub fn estimate_p_dissimilar(distances: &[u32], m: usize) -> f64 {
+    assert!(m > 0, "vector size must be positive");
+    if distances.is_empty() {
+        return 0.5;
+    }
+    let mean = distances.iter().map(|&d| f64::from(d)).sum::<f64>() / distances.len() as f64;
+    (1.0 - mean / m as f64).clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn base_probability_matches_definition() {
+        assert!((base_success_probability(4, 120) - (1.0 - 4.0 / 120.0)).abs() < 1e-12);
+        assert_eq!(base_success_probability(0, 10), 1.0);
+        assert_eq!(base_success_probability(10, 10), 0.0);
+    }
+
+    #[test]
+    fn paper_bfh_pl_l_is_4() {
+        // §6.1: BfH with m̄ = 2000 bits, θ = 45, K = 30, δ = 0.1 → L = 4.
+        let p = base_success_probability(45, 2000);
+        let l = optimal_l(p.powi(30), 0.1);
+        assert_eq!(l, 4);
+    }
+
+    #[test]
+    fn paper_cbvhb_pl_l_is_6() {
+        // §6.2 (NCVR, PL): m̄_opt = 120, θ = 4, K = 30, δ = 0.1 → L = 6.
+        let p = base_success_probability(4, 120);
+        let l = optimal_l(p.powi(30), 0.1);
+        assert_eq!(l, 6);
+    }
+
+    #[test]
+    fn paper_cbvhb_dblp_pl_l_is_3() {
+        // §6.2 (DBLP, PL): m̄_opt = 267, θ = 4, K = 30, δ = 0.1 → L = 3.
+        let p = base_success_probability(4, 267);
+        let l = optimal_l(p.powi(30), 0.1);
+        assert_eq!(l, 3);
+    }
+
+    #[test]
+    fn certain_collision_needs_one_table() {
+        assert_eq!(optimal_l(1.0, 0.1), 1);
+    }
+
+    #[test]
+    fn recall_bound_reaches_target() {
+        let p = base_success_probability(4, 120).powi(30);
+        let l = optimal_l(p, 0.1);
+        assert!(recall_lower_bound(p, l) >= 0.9);
+        // And one fewer table would miss the target (tightness of ceil).
+        if l > 1 {
+            assert!(recall_lower_bound(p, l - 1) < 0.9);
+        }
+    }
+
+    #[test]
+    fn and_or_not_probabilities() {
+        let terms = [(0.9f64, 2u32), (0.8, 1)];
+        let p_and = and_probability(terms);
+        assert!((p_and - 0.81 * 0.8).abs() < 1e-12);
+        let p_or = or_probability(terms);
+        assert!((p_or - (0.81 + 0.8 - 0.81 * 0.8)).abs() < 1e-12);
+        assert!((not_probability(0.9, 2) - 0.19).abs() < 1e-12);
+    }
+
+    #[test]
+    fn and_l_larger_than_record_level_or_l_smaller() {
+        // §5.4: AND rules need more groups, OR rules fewer, than the same
+        // probability mass at record level.
+        let p = 0.95f64;
+        let record = optimal_l(p.powi(10), 0.1);
+        let and_rule = optimal_l(and_probability([(p, 5), (p, 5), (p, 5)]), 0.1);
+        let or_rule = optimal_l(or_probability([(p, 5), (p, 5)]), 0.1);
+        assert!(and_rule > record);
+        assert!(or_rule < record);
+    }
+
+    #[test]
+    fn k_cost_model_is_u_shaped() {
+        // At 1M-record scale the cost curve falls (bucket selectivity) then
+        // rises (table count): the paper's Figure 8(a) trade-off.
+        let model = KCostModel {
+            n: 1_000_000,
+            m: 120,
+            theta: 4,
+            delta: 0.1,
+            p_dissimilar: 0.6,
+            verify_cost: 1.0,
+        };
+        let k_opt = model.optimal_k(5..=45);
+        assert!(
+            (15..=40).contains(&k_opt),
+            "optimum {k_opt} should be interior"
+        );
+        assert!(model.cost(5) > model.cost(k_opt));
+        assert!(model.cost(45) > model.cost(k_opt));
+    }
+
+    #[test]
+    fn k_cost_model_small_n_prefers_small_k() {
+        // With few records, bucket over-population never bites, so the
+        // optimum shifts left — why Figure 8(a)'s left branch needs scale.
+        let small = KCostModel {
+            n: 1_000,
+            m: 120,
+            theta: 4,
+            delta: 0.1,
+            p_dissimilar: 0.6,
+            verify_cost: 1.0,
+        };
+        let large = KCostModel { n: 1_000_000, ..small };
+        assert!(small.optimal_k(5..=45) <= large.optimal_k(5..=45));
+    }
+
+    #[test]
+    fn multiprobe_boosts_per_table_probability() {
+        let p = 0.9f64;
+        let exact = multiprobe_collision_probability(p, 20, 0);
+        assert!((exact - p.powi(20)).abs() < 1e-12);
+        let one = multiprobe_collision_probability(p, 20, 1);
+        let two = multiprobe_collision_probability(p, 20, 2);
+        assert!(one > exact && two > one);
+        assert!(two <= 1.0);
+        // Fewer tables needed at the same δ.
+        assert!(optimal_l(one, 0.1) < optimal_l(exact, 0.1));
+    }
+
+    #[test]
+    fn multiprobe_full_flip_budget_is_certain() {
+        // Allowing all K bits to differ means every key "collides".
+        let p = 0.5f64;
+        assert!((multiprobe_collision_probability(p, 8, 8) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn recall_curve_is_a_decreasing_s_curve() {
+        let m = 120;
+        let theta = 4u32;
+        let p = base_success_probability(theta, m);
+        let k = 30u32;
+        let l = optimal_l(p.powi(k as i32), 0.1);
+        let curve = recall_curve(m, k, l, 40);
+        assert_eq!(curve[0].recall, 1.0, "distance 0 always collides");
+        // Monotone non-increasing.
+        for w in curve.windows(2) {
+            assert!(w[1].recall <= w[0].recall + 1e-12);
+        }
+        // ≥ 1−δ at the design threshold, low far beyond it.
+        assert!(curve[theta as usize].recall >= 0.9);
+        assert!(curve[40].recall < 0.1, "far pairs mostly filtered");
+    }
+
+    #[test]
+    fn estimate_p_dissimilar_from_sample() {
+        assert!((estimate_p_dissimilar(&[60, 60, 60], 120) - 0.5).abs() < 1e-12);
+        assert_eq!(estimate_p_dissimilar(&[], 120), 0.5);
+        assert_eq!(estimate_p_dissimilar(&[240], 120), 0.0); // clamped
+    }
+
+    #[test]
+    #[should_panic(expected = "delta")]
+    fn bad_delta_panics() {
+        let _ = optimal_l(0.5, 1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds vector size")]
+    fn threshold_above_m_panics() {
+        let _ = base_success_probability(11, 10);
+    }
+
+    proptest! {
+        #[test]
+        fn l_monotone_in_p(p1 in 0.01f64..0.99, dp in 0.0f64..0.5) {
+            let p2 = (p1 + dp).min(0.999);
+            prop_assert!(optimal_l(p2, 0.1) <= optimal_l(p1, 0.1));
+        }
+
+        #[test]
+        fn or_at_least_max_term(p1 in 0.01f64..0.99, p2 in 0.01f64..0.99) {
+            let or = or_probability([(p1, 3), (p2, 3)]);
+            prop_assert!(or >= p1.powi(3) - 1e-12);
+            prop_assert!(or >= p2.powi(3) - 1e-12);
+            prop_assert!(or <= 1.0 + 1e-12);
+        }
+
+        #[test]
+        fn and_at_most_min_term(p1 in 0.01f64..0.99, p2 in 0.01f64..0.99) {
+            let and = and_probability([(p1, 3), (p2, 3)]);
+            prop_assert!(and <= p1.powi(3) + 1e-12);
+            prop_assert!(and <= p2.powi(3) + 1e-12);
+            prop_assert!(and >= 0.0);
+        }
+
+        #[test]
+        fn recall_bound_met_for_any_params(theta in 0u32..20, k in 1u32..40) {
+            let m = 120usize;
+            let p = base_success_probability(theta.min(m as u32), m);
+            if p > 0.0 {
+                let pk = p.powi(k as i32);
+                if pk > 1e-6 {
+                    let l = optimal_l(pk, 0.1);
+                    prop_assert!(recall_lower_bound(pk, l) >= 0.9 - 1e-9);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,105 @@
+//! Blocking tables — the hash tables `T_l` of Section 4.2.
+//!
+//! Each table maps a composite blocking key to the list of record `Id`s that
+//! hashed to it. Following the paper (footnote 2), buckets store only ids;
+//! vectors are retrieved from the caller's store during matching.
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// A single blocking table `T_l`: key → bucket of record ids.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct BlockingTable {
+    buckets: HashMap<u128, Vec<u64>>,
+}
+
+impl BlockingTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a table sized for roughly `n` inserts.
+    pub fn with_capacity(n: usize) -> Self {
+        Self {
+            buckets: HashMap::with_capacity(n),
+        }
+    }
+
+    /// Inserts `id` into the bucket for `key`.
+    pub fn insert(&mut self, key: u128, id: u64) {
+        self.buckets.entry(key).or_default().push(id);
+    }
+
+    /// The bucket for `key` (the paper's `get(x)` primitive, Table 2).
+    pub fn get(&self, key: u128) -> &[u64] {
+        self.buckets.get(&key).map_or(&[], Vec::as_slice)
+    }
+
+    /// Number of non-empty buckets.
+    pub fn num_buckets(&self) -> usize {
+        self.buckets.len()
+    }
+
+    /// Total number of stored ids.
+    pub fn num_entries(&self) -> usize {
+        self.buckets.values().map(Vec::len).sum()
+    }
+
+    /// Size of the largest bucket — the paper's over-population diagnostic
+    /// for sparse q-gram vectors (Section 5.2).
+    pub fn max_bucket(&self) -> usize {
+        self.buckets.values().map(Vec::len).max().unwrap_or(0)
+    }
+
+    /// Iterates over `(key, bucket)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (&u128, &Vec<u64>)> {
+        self.buckets.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_and_get() {
+        let mut t = BlockingTable::new();
+        t.insert(42, 1);
+        t.insert(42, 2);
+        t.insert(7, 3);
+        assert_eq!(t.get(42), &[1, 2]);
+        assert_eq!(t.get(7), &[3]);
+        assert_eq!(t.get(99), &[] as &[u64]);
+    }
+
+    #[test]
+    fn stats() {
+        let mut t = BlockingTable::with_capacity(10);
+        for i in 0..5 {
+            t.insert(1, i);
+        }
+        t.insert(2, 100);
+        assert_eq!(t.num_buckets(), 2);
+        assert_eq!(t.num_entries(), 6);
+        assert_eq!(t.max_bucket(), 5);
+    }
+
+    #[test]
+    fn empty_table() {
+        let t = BlockingTable::new();
+        assert_eq!(t.num_buckets(), 0);
+        assert_eq!(t.num_entries(), 0);
+        assert_eq!(t.max_bucket(), 0);
+    }
+
+    #[test]
+    fn duplicate_ids_are_kept() {
+        // The table is a multiset; de-duplication happens in the matcher
+        // (Algorithm 2), not here.
+        let mut t = BlockingTable::new();
+        t.insert(1, 9);
+        t.insert(1, 9);
+        assert_eq!(t.get(1), &[9, 9]);
+    }
+}

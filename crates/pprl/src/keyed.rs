@@ -1,0 +1,241 @@
+//! Keyed c-vector embeddings.
+//!
+//! A plain c-vector is vulnerable to a dictionary attack by the linkage
+//! unit: whoever knows the position hash `g` can embed a public name
+//! dictionary and match bit patterns (see [`crate::risk`]). The fix mirrors
+//! the keyed-hash construction of Bloom-filter PPRL (Schnell et al., and
+//! the paper's references [17, 19]): each q-gram index is passed through a
+//! keyed pseudo-random mixer *before* `g`, with the key shared by the data
+//! custodians and withheld from the linkage unit.
+//!
+//! Identical q-grams still map to identical positions across custodians
+//! (they share the key), so all distance and LSH properties of Section 5
+//! carry over verbatim; the linkage unit simply cannot enumerate the
+//! mapping.
+
+use cbv_hb::Record;
+use rand::{Rng, RngExt};
+use rl_bitvec::BitVec;
+use rl_lsh::hashfn::splitmix64;
+use rl_lsh::UniversalHash;
+use serde::{Deserialize, Serialize};
+use textdist::{Alphabet, QGramSet};
+
+/// A 256-bit shared secret held by the data custodians.
+#[derive(Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SecretKey {
+    words: [u64; 4],
+}
+
+impl std::fmt::Debug for SecretKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // Never print key material.
+        write!(f, "SecretKey(****)")
+    }
+}
+
+impl SecretKey {
+    /// Draws a random key.
+    pub fn random<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        Self {
+            words: [rng.random(), rng.random(), rng.random(), rng.random()],
+        }
+    }
+
+    /// Builds a key from explicit words (tests / key escrow).
+    pub fn from_words(words: [u64; 4]) -> Self {
+        Self { words }
+    }
+
+    /// Keyed pseudo-random mix of one q-gram index: four chained
+    /// SplitMix64 rounds, each XOR-keyed with one key word. Without the
+    /// key words the mapping is unpredictable; with them it is a fixed
+    /// bijection-like scrambling shared by both custodians.
+    #[inline]
+    pub fn mix(&self, x: u64) -> u64 {
+        let mut v = x;
+        for &w in &self.words {
+            v = splitmix64(v ^ w);
+        }
+        v
+    }
+}
+
+/// Per-attribute configuration of a keyed embedder.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct KeyedAttribute {
+    /// c-vector size `m_opt` (Theorem 1).
+    pub m: usize,
+    /// q-gram length.
+    pub q: usize,
+    /// Pad values before q-gram extraction.
+    pub padded: bool,
+}
+
+/// Embeds records into keyed c-vectors. Both custodians construct this from
+/// the same shared parameters (key, per-attribute position hashes), e.g.
+/// by seeding from a jointly agreed seed.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct KeyedEmbedder {
+    key: SecretKey,
+    alphabet: Alphabet,
+    attributes: Vec<KeyedAttribute>,
+    position_hashes: Vec<UniversalHash>,
+}
+
+impl KeyedEmbedder {
+    /// Builds an embedder; the custodians must call this with identical
+    /// inputs (same key, same rng seed) to obtain interoperable encoders.
+    ///
+    /// # Panics
+    /// Panics if `attributes` is empty or any `m == 0` / `q == 0`.
+    pub fn new<R: Rng + ?Sized>(
+        key: SecretKey,
+        alphabet: Alphabet,
+        attributes: Vec<KeyedAttribute>,
+        rng: &mut R,
+    ) -> Self {
+        assert!(!attributes.is_empty(), "need at least one attribute");
+        let position_hashes = attributes
+            .iter()
+            .map(|a| {
+                assert!(a.m > 0 && a.q > 0, "invalid attribute configuration");
+                UniversalHash::random(a.m as u64, rng)
+            })
+            .collect();
+        Self {
+            key,
+            alphabet,
+            attributes,
+            position_hashes,
+        }
+    }
+
+    /// Number of attributes.
+    pub fn num_attributes(&self) -> usize {
+        self.attributes.len()
+    }
+
+    /// Total record-level size in bits.
+    pub fn total_size(&self) -> usize {
+        self.attributes.iter().map(|a| a.m).sum()
+    }
+
+    /// Embeds one attribute value.
+    pub fn embed_value(&self, attr: usize, value: &str) -> BitVec {
+        let cfg = &self.attributes[attr];
+        let set = if cfg.padded {
+            QGramSet::build(value, cfg.q, &self.alphabet)
+        } else {
+            QGramSet::build_unpadded(value, cfg.q, &self.alphabet)
+        };
+        let h = &self.position_hashes[attr];
+        BitVec::from_positions(
+            cfg.m,
+            set.indexes().iter().map(|&x| h.eval(self.key.mix(x)) as usize),
+        )
+    }
+
+    /// Embeds a whole record into per-attribute keyed c-vectors.
+    ///
+    /// # Panics
+    /// Panics if the record's field count differs from the configuration.
+    pub fn embed(&self, record: &Record) -> Vec<BitVec> {
+        assert_eq!(
+            record.fields.len(),
+            self.attributes.len(),
+            "record arity mismatch"
+        );
+        (0..self.attributes.len())
+            .map(|i| self.embed_value(i, record.field(i)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn embedder(key_words: [u64; 4], seed: u64) -> KeyedEmbedder {
+        let mut rng = StdRng::seed_from_u64(seed);
+        KeyedEmbedder::new(
+            SecretKey::from_words(key_words),
+            Alphabet::linkage(),
+            vec![
+                KeyedAttribute { m: 15, q: 2, padded: false },
+                KeyedAttribute { m: 15, q: 2, padded: false },
+            ],
+            &mut rng,
+        )
+    }
+
+    #[test]
+    fn same_parameters_interoperate() {
+        // Alice and Bob build embedders independently from shared secrets.
+        let alice = embedder([1, 2, 3, 4], 99);
+        let bob = embedder([1, 2, 3, 4], 99);
+        let r = Record::new(1, ["JOHN", "SMITH"]);
+        assert_eq!(alice.embed(&r), bob.embed(&r));
+    }
+
+    #[test]
+    fn different_keys_produce_different_embeddings() {
+        let alice = embedder([1, 2, 3, 4], 99);
+        let eve = embedder([5, 6, 7, 8], 99); // same hashes, wrong key
+        let r = Record::new(1, ["JOHN", "SMITH"]);
+        assert_ne!(alice.embed(&r), eve.embed(&r));
+    }
+
+    #[test]
+    fn distances_preserved_under_keying() {
+        // The keyed mixer is a per-index bijection-like scrambling, so the
+        // symmetric-difference structure (and hence Hamming distances up to
+        // the same collision budget) is preserved.
+        let e = embedder([11, 22, 33, 44], 7);
+        let d_keyed = e.embed_value(0, "JONES").hamming(&e.embed_value(0, "JONAS"));
+        assert!((1..=4).contains(&d_keyed), "keyed distance {d_keyed}");
+        assert_eq!(
+            e.embed_value(0, "JONES").hamming(&e.embed_value(0, "JONES")),
+            0
+        );
+    }
+
+    #[test]
+    fn debug_does_not_leak_key() {
+        let k = SecretKey::from_words([0xDEAD, 0xBEEF, 0xCAFE, 0xF00D]);
+        let s = format!("{k:?}");
+        assert!(!s.contains("DEAD") && !s.contains("57005"), "{s}");
+        assert!(s.contains("****"));
+    }
+
+    #[test]
+    fn mix_is_deterministic_and_key_dependent() {
+        let k1 = SecretKey::from_words([1, 2, 3, 4]);
+        let k2 = SecretKey::from_words([1, 2, 3, 5]);
+        assert_eq!(k1.mix(42), k1.mix(42));
+        assert_ne!(k1.mix(42), k2.mix(42));
+    }
+
+    proptest! {
+        #[test]
+        fn keyed_distance_bounded_by_qgram_distance(
+            a in "[A-Z]{1,10}", b in "[A-Z]{1,10}", seed in 0u64..50
+        ) {
+            let e = embedder([seed, seed ^ 1, seed ^ 2, seed ^ 3], seed);
+            let alphabet = Alphabet::linkage();
+            let u_h = QGramSet::build_unpadded(&a, 2, &alphabet)
+                .symmetric_difference_size(&QGramSet::build_unpadded(&b, 2, &alphabet));
+            let d = e.embed_value(0, &a).hamming(&e.embed_value(0, &b));
+            prop_assert!(d as usize <= u_h);
+        }
+
+        #[test]
+        fn identical_values_always_collide(v in "[A-Z]{0,10}", seed in 0u64..50) {
+            let e = embedder([seed, 2, 3, 4], seed);
+            prop_assert_eq!(e.embed_value(0, &v).hamming(&e.embed_value(0, &v)), 0);
+        }
+    }
+}

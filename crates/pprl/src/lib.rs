@@ -1,0 +1,32 @@
+//! Privacy-preserving record linkage (PPRL) on compact Hamming embeddings.
+//!
+//! The paper's closing direction (§7): *"Another interesting research
+//! avenue could be the adaptation of our method to the privacy-preserving
+//! context … The compact data structures used for representing the records
+//! could be an ideal fit in the protocols introduced in [17, 19]."*
+//!
+//! This crate realizes that adaptation for the honest-but-curious
+//! three-party model of Section 3 (custodians Alice and Bob, linkage unit
+//! Charlie):
+//!
+//! * [`keyed`] — **keyed c-vector embeddings**: the custodians share a
+//!   secret key and scramble each q-gram index through a keyed mixer
+//!   *before* the position hash. Charlie receives only bit vectors; without
+//!   the key, a dictionary attack cannot recreate the q-gram → position
+//!   mapping. Hamming distances — and with them the entire HB
+//!   blocking/matching machinery — are unaffected.
+//! * [`party`] — a message-level simulation of the protocol: custodians
+//!   encode their records locally and ship [`party::EncodedDataset`]s
+//!   (serialized bit vectors, no strings); Charlie blocks and matches them
+//!   and returns id pairs only.
+//! * [`risk`] — empirical re-identification risk: a dictionary attack
+//!   against unkeyed versus keyed embeddings, quantifying what the key
+//!   actually buys.
+
+pub mod keyed;
+pub mod party;
+pub mod risk;
+
+pub use keyed::{KeyedEmbedder, SecretKey};
+pub use party::{DataCustodian, EncodedDataset, EncodedRecord, LinkageUnit};
+pub use risk::{dictionary_attack, frequency_attack, AttackReport};

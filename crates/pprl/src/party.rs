@@ -1,0 +1,306 @@
+//! The three-party protocol simulation (Section 3's setting, privatized).
+//!
+//! Data custodians Alice and Bob hold raw records; the linkage unit
+//! Charlie must identify cross-set matches *without ever seeing a string*.
+//! Message flow:
+//!
+//! ```text
+//! Alice ──EncodedDataset──▶
+//!                           Charlie: HB blocking + matching on bit vectors
+//! Bob   ──EncodedDataset──▶          └──▶ (id_A, id_B) pairs
+//! ```
+//!
+//! The `EncodedDataset` wire format carries only record ids and keyed
+//! c-vectors (serialized to bytes); Charlie's entire computation is the
+//! Hamming-space machinery of the base crate.
+
+use crate::keyed::KeyedEmbedder;
+use bytes::Bytes;
+use cbv_hb::matcher::MatchStats;
+use cbv_hb::schema::EmbeddedRecord;
+use cbv_hb::Record;
+use rand::Rng;
+use rl_bitvec::BitVec;
+use rl_lsh::params::{base_success_probability, optimal_l};
+use rl_lsh::{BitSampler, BlockingTable};
+use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+
+/// One encoded record on the wire: an id and per-attribute bit vectors.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EncodedRecord {
+    /// Record id (meaningful only to its custodian).
+    pub id: u64,
+    /// Keyed c-vectors per attribute.
+    pub attrs: Vec<BitVec>,
+}
+
+/// A custodian's outgoing message: the whole encoded data set.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EncodedDataset {
+    /// Custodian name (e.g. `"alice"`).
+    pub party: String,
+    /// Encoded records.
+    pub records: Vec<EncodedRecord>,
+}
+
+impl EncodedDataset {
+    /// Serializes to a wire buffer (JSON body; the format is part of the
+    /// protocol simulation, not a performance claim).
+    ///
+    /// # Panics
+    /// Panics if serialization fails (programmer error).
+    pub fn to_bytes(&self) -> Bytes {
+        Bytes::from(serde_json::to_vec(self).expect("serializable dataset"))
+    }
+
+    /// Deserializes from a wire buffer.
+    ///
+    /// # Errors
+    /// Returns a message describing the malformed payload.
+    pub fn from_bytes(bytes: &Bytes) -> Result<Self, String> {
+        serde_json::from_slice(bytes).map_err(|e| format!("malformed EncodedDataset: {e}"))
+    }
+}
+
+/// A data custodian: owns raw records and a keyed embedder.
+#[derive(Debug)]
+pub struct DataCustodian {
+    name: String,
+    embedder: KeyedEmbedder,
+}
+
+impl DataCustodian {
+    /// Creates a custodian.
+    pub fn new(name: impl Into<String>, embedder: KeyedEmbedder) -> Self {
+        Self {
+            name: name.into(),
+            embedder,
+        }
+    }
+
+    /// Encodes the custodian's records for transmission. Raw strings never
+    /// leave this function.
+    ///
+    /// # Panics
+    /// Panics if a record's arity does not match the embedder.
+    pub fn encode(&self, records: &[Record]) -> EncodedDataset {
+        EncodedDataset {
+            party: self.name.clone(),
+            records: records
+                .iter()
+                .map(|r| EncodedRecord {
+                    id: r.id,
+                    attrs: self.embedder.embed(r),
+                })
+                .collect(),
+        }
+    }
+}
+
+/// Charlie: blocks and matches encoded data sets.
+///
+/// Works directly on the attribute bit vectors with record-level HB
+/// (Section 4.2); thresholds are agreed upon by the custodians and shipped
+/// as protocol parameters, not data.
+#[derive(Debug)]
+pub struct LinkageUnit {
+    /// Per-attribute Hamming thresholds for classification.
+    pub thetas: Vec<u32>,
+    /// Record-level blocking threshold.
+    pub block_theta: u32,
+    /// Base hashes per composite key.
+    pub k: u32,
+    /// Failure budget δ.
+    pub delta: f64,
+}
+
+impl LinkageUnit {
+    /// Standard parameters: per-attribute θ = 4, K = 30, δ = 0.1.
+    pub fn with_thetas(thetas: Vec<u32>) -> Self {
+        let block_theta = thetas.iter().sum();
+        Self {
+            thetas,
+            block_theta,
+            k: 30,
+            delta: 0.1,
+        }
+    }
+
+    /// Links two encoded data sets, returning `(id_A, id_B)` pairs and
+    /// matching counters.
+    ///
+    /// # Errors
+    /// Returns a message when the data sets have inconsistent arity.
+    pub fn link<R: Rng + ?Sized>(
+        &self,
+        a: &EncodedDataset,
+        b: &EncodedDataset,
+        rng: &mut R,
+    ) -> Result<(Vec<(u64, u64)>, MatchStats), String> {
+        let arity = self.thetas.len();
+        let check = |d: &EncodedDataset| -> Result<(), String> {
+            if d.records.iter().any(|r| r.attrs.len() != arity) {
+                return Err(format!("{}: record arity != {arity}", d.party));
+            }
+            Ok(())
+        };
+        check(a)?;
+        check(b)?;
+        let to_embedded = |r: &EncodedRecord| EmbeddedRecord {
+            id: r.id,
+            attrs: r.attrs.clone(),
+        };
+        let enc_a: Vec<EmbeddedRecord> = a.records.iter().map(to_embedded).collect();
+        let enc_b: Vec<EmbeddedRecord> = b.records.iter().map(to_embedded).collect();
+        let m_bar: usize = enc_a
+            .first()
+            .or(enc_b.first())
+            .map(|r| r.attrs.iter().map(BitVec::len).sum())
+            .unwrap_or(0);
+        if m_bar == 0 {
+            return Ok((Vec::new(), MatchStats::default()));
+        }
+        let p = base_success_probability(self.block_theta.min(m_bar as u32), m_bar);
+        let l = optimal_l(p.powi(self.k as i32).max(1e-12), self.delta);
+        let samplers: Vec<BitSampler> = (0..l)
+            .map(|_| BitSampler::random(m_bar, self.k as usize, rng))
+            .collect();
+        let mut tables: Vec<BlockingTable> = (0..l).map(|_| BlockingTable::new()).collect();
+        for (idx, rec) in enc_a.iter().enumerate() {
+            let refs = rec.attr_refs();
+            for (s, t) in samplers.iter().zip(tables.iter_mut()) {
+                t.insert(s.key_concat(&refs), idx as u64);
+            }
+        }
+        let mut matches = Vec::new();
+        let mut stats = MatchStats::default();
+        for rec in &enc_b {
+            let refs = rec.attr_refs();
+            let mut seen: HashSet<u64> = HashSet::new();
+            for (s, t) in samplers.iter().zip(tables.iter()) {
+                seen.extend(t.get(s.key_concat(&refs)).iter().copied());
+            }
+            stats.candidates += seen.len() as u64;
+            for idx in seen {
+                let cand = &enc_a[idx as usize];
+                stats.distance_computations += 1;
+                let ok = cand
+                    .attrs
+                    .iter()
+                    .zip(&rec.attrs)
+                    .zip(&self.thetas)
+                    .all(|((x, y), &theta)| x.hamming(y) <= theta);
+                if ok {
+                    matches.push((cand.id, rec.id));
+                    stats.matched += 1;
+                }
+            }
+        }
+        Ok((matches, stats))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::keyed::{KeyedAttribute, SecretKey};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use textdist::Alphabet;
+
+    fn embedder(seed: u64) -> KeyedEmbedder {
+        let mut rng = StdRng::seed_from_u64(seed);
+        KeyedEmbedder::new(
+            SecretKey::from_words([9, 8, 7, 6]),
+            Alphabet::linkage(),
+            vec![
+                KeyedAttribute { m: 15, q: 2, padded: false },
+                KeyedAttribute { m: 15, q: 2, padded: false },
+                KeyedAttribute { m: 68, q: 2, padded: false },
+            ],
+            &mut rng,
+        )
+    }
+
+    #[test]
+    fn end_to_end_private_linkage() {
+        let alice = DataCustodian::new("alice", embedder(5));
+        let bob = DataCustodian::new("bob", embedder(5)); // shared params
+        let a = alice.encode(&[
+            Record::new(1, ["JOHN", "SMITH", "12 OAK STREET"]),
+            Record::new(2, ["MARY", "JONES", "4 ELM AVENUE"]),
+        ]);
+        let b = bob.encode(&[
+            Record::new(10, ["JOHN", "SMYTH", "12 OAK STREET"]),
+            Record::new(11, ["AGNES", "WINTERBOTTOM", "900 PINE COURT"]),
+        ]);
+        // Wire round trip.
+        let a = EncodedDataset::from_bytes(&a.to_bytes()).unwrap();
+        let b = EncodedDataset::from_bytes(&b.to_bytes()).unwrap();
+        let charlie = LinkageUnit::with_thetas(vec![4, 4, 8]);
+        let mut rng = StdRng::seed_from_u64(77);
+        let (matches, stats) = charlie.link(&a, &b, &mut rng).unwrap();
+        assert_eq!(matches, vec![(1, 10)]);
+        assert!(stats.candidates >= 1);
+    }
+
+    #[test]
+    fn wire_format_contains_no_strings() {
+        let alice = DataCustodian::new("alice", embedder(6));
+        let enc = alice.encode(&[Record::new(1, ["WINTERBOTTOM", "XYLOPHONE", "UNIQUEVALUE"])]);
+        let bytes = enc.to_bytes();
+        let payload = String::from_utf8_lossy(&bytes);
+        for secret in ["WINTERBOTTOM", "XYLOPHONE", "UNIQUEVALUE"] {
+            assert!(!payload.contains(secret), "payload leaks {secret}");
+        }
+    }
+
+    #[test]
+    fn mismatched_parameters_fail_to_match() {
+        // A custodian with the wrong key produces incompatible encodings —
+        // matches silently vanish rather than leak.
+        let alice = DataCustodian::new("alice", embedder(7));
+        let mut rng = StdRng::seed_from_u64(8);
+        let wrong = KeyedEmbedder::new(
+            SecretKey::from_words([0, 0, 0, 1]),
+            Alphabet::linkage(),
+            vec![
+                KeyedAttribute { m: 15, q: 2, padded: false },
+                KeyedAttribute { m: 15, q: 2, padded: false },
+                KeyedAttribute { m: 68, q: 2, padded: false },
+            ],
+            &mut rng,
+        );
+        let eve = DataCustodian::new("eve", wrong);
+        let rec = Record::new(1, ["JOHN", "SMITH", "12 OAK STREET"]);
+        let a = alice.encode(std::slice::from_ref(&rec));
+        let b = eve.encode(&[Record::new(10, ["JOHN", "SMITH", "12 OAK STREET"])]);
+        let charlie = LinkageUnit::with_thetas(vec![4, 4, 8]);
+        let mut rng = StdRng::seed_from_u64(9);
+        let (matches, _) = charlie.link(&a, &b, &mut rng).unwrap();
+        assert!(matches.is_empty());
+    }
+
+    #[test]
+    fn arity_mismatch_is_rejected() {
+        let alice = DataCustodian::new("alice", embedder(10));
+        let a = alice.encode(&[Record::new(1, ["A", "B", "C"])]);
+        let charlie = LinkageUnit::with_thetas(vec![4, 4]); // expects 2 attrs
+        let mut rng = StdRng::seed_from_u64(11);
+        assert!(charlie.link(&a, &a.clone(), &mut rng).is_err());
+    }
+
+    #[test]
+    fn empty_datasets_yield_no_matches() {
+        let charlie = LinkageUnit::with_thetas(vec![4]);
+        let empty = EncodedDataset {
+            party: "x".into(),
+            records: Vec::new(),
+        };
+        let mut rng = StdRng::seed_from_u64(12);
+        let (m, s) = charlie.link(&empty, &empty.clone(), &mut rng).unwrap();
+        assert!(m.is_empty());
+        assert_eq!(s.candidates, 0);
+    }
+}

@@ -1,0 +1,143 @@
+//! Cosine similarity over q-gram count profiles.
+//!
+//! The paper's related work (§2) lists cosine among the metrics used by
+//! similarity joins. Unlike the set-based Jaccard metric, cosine operates
+//! on q-gram *count* vectors, so repeated q-grams contribute weight.
+
+use crate::alphabet::Alphabet;
+use crate::qgram::qgrams_unpadded;
+use std::collections::HashMap;
+
+/// A sparse q-gram count profile of a string.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct QGramProfile {
+    counts: HashMap<u64, u32>,
+    norm_sq: u64,
+}
+
+impl QGramProfile {
+    /// Builds the profile over unpadded q-grams.
+    pub fn build(s: &str, q: usize, alphabet: &Alphabet) -> Self {
+        let norm = alphabet.normalize(s);
+        let mut counts: HashMap<u64, u32> = HashMap::new();
+        for gram in qgrams_unpadded(&norm, q) {
+            let idx = alphabet
+                .qgram_index(&gram)
+                .expect("normalized string stays in alphabet");
+            *counts.entry(idx).or_default() += 1;
+        }
+        let norm_sq = counts.values().map(|&c| u64::from(c) * u64::from(c)).sum();
+        Self { counts, norm_sq }
+    }
+
+    /// Number of distinct q-grams.
+    pub fn len(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// True when the string produced no q-grams.
+    pub fn is_empty(&self) -> bool {
+        self.counts.is_empty()
+    }
+
+    /// Dot product with another profile.
+    pub fn dot(&self, other: &Self) -> u64 {
+        // Iterate the smaller map.
+        let (small, large) = if self.counts.len() <= other.counts.len() {
+            (&self.counts, &other.counts)
+        } else {
+            (&other.counts, &self.counts)
+        };
+        small
+            .iter()
+            .filter_map(|(k, &a)| large.get(k).map(|&b| u64::from(a) * u64::from(b)))
+            .sum()
+    }
+}
+
+/// Cosine similarity between the q-gram count profiles of two strings.
+///
+/// Two empty profiles are defined as similarity 1; one empty profile gives 0.
+pub fn cosine_similarity(a: &QGramProfile, b: &QGramProfile) -> f64 {
+    if a.is_empty() && b.is_empty() {
+        return 1.0;
+    }
+    if a.is_empty() || b.is_empty() {
+        return 0.0;
+    }
+    a.dot(b) as f64 / ((a.norm_sq as f64).sqrt() * (b.norm_sq as f64).sqrt())
+}
+
+/// Cosine distance `1 − similarity`.
+pub fn cosine_distance(a: &QGramProfile, b: &QGramProfile) -> f64 {
+    1.0 - cosine_similarity(a, b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn profile(s: &str) -> QGramProfile {
+        QGramProfile::build(s, 2, &Alphabet::upper())
+    }
+
+    #[test]
+    fn identical_strings_have_similarity_one() {
+        let p = profile("JONES");
+        assert!((cosine_similarity(&p, &p) - 1.0).abs() < 1e-12);
+        assert!(cosine_distance(&p, &p).abs() < 1e-12);
+    }
+
+    #[test]
+    fn disjoint_strings_have_similarity_zero() {
+        assert_eq!(cosine_similarity(&profile("ABAB"), &profile("XYXY")), 0.0);
+    }
+
+    #[test]
+    fn repeated_qgrams_count() {
+        // 'AAAA' has bigram AA ×3; 'AA' has AA ×1 — cosine is still 1
+        // (same direction), unlike Jaccard which also gives 1 but for a
+        // different reason (same set). 'AABB' diverges.
+        let s = cosine_similarity(&profile("AAAA"), &profile("AA"));
+        assert!((s - 1.0).abs() < 1e-12);
+        let t = cosine_similarity(&profile("AAAA"), &profile("AABB"));
+        assert!(t < 1.0 && t > 0.0);
+    }
+
+    #[test]
+    fn empty_handling() {
+        assert_eq!(cosine_similarity(&profile(""), &profile("")), 1.0);
+        assert_eq!(cosine_similarity(&profile(""), &profile("AB")), 0.0);
+    }
+
+    #[test]
+    fn close_strings_more_similar_than_far() {
+        let base = profile("WASHINGTON");
+        let close = cosine_similarity(&base, &profile("WASHANGTON"));
+        let far = cosine_similarity(&base, &profile("JONES"));
+        assert!(close > 0.6);
+        assert!(close > far);
+    }
+
+    proptest! {
+        #[test]
+        fn similarity_in_unit_interval(a in "[A-Z]{0,12}", b in "[A-Z]{0,12}") {
+            let s = cosine_similarity(&profile(&a), &profile(&b));
+            prop_assert!((0.0..=1.0 + 1e-12).contains(&s));
+        }
+
+        #[test]
+        fn symmetric(a in "[A-Z]{0,12}", b in "[A-Z]{0,12}") {
+            let s1 = cosine_similarity(&profile(&a), &profile(&b));
+            let s2 = cosine_similarity(&profile(&b), &profile(&a));
+            prop_assert!((s1 - s2).abs() < 1e-12);
+        }
+
+        #[test]
+        fn self_similarity_is_one(a in "[A-Z]{2,12}") {
+            let p = profile(&a);
+            prop_assert!((cosine_similarity(&p, &p) - 1.0).abs() < 1e-9);
+        }
+    }
+}

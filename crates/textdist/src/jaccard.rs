@@ -1,0 +1,86 @@
+//! Jaccard similarity/distance over q-gram sets — the space 𝒥 of Section 5.1.
+//!
+//! The paper contrasts 𝒥 with the Hamming space ℋ: a single character error
+//! shifts the Jaccard distance by an amount that *depends on string length*
+//! (`JONES`/`JONAS` ≈ 0.667 but `WASHINGTON`/`WASHANGTON` ≈ 0.364), which
+//! makes thresholds hard to set. The HARRA baseline operates here.
+
+use crate::qgram::QGramSet;
+
+/// Jaccard similarity `|U₁ ∩ U₂| / |U₁ ∪ U₂|` between two q-gram sets.
+///
+/// Two empty sets are defined to have similarity 1 (identical empty values).
+pub fn jaccard_similarity(a: &QGramSet, b: &QGramSet) -> f64 {
+    let union = a.union_size(b);
+    if union == 0 {
+        return 1.0;
+    }
+    a.intersection_size(b) as f64 / union as f64
+}
+
+/// Jaccard distance `1 − similarity`.
+pub fn jaccard_distance(a: &QGramSet, b: &QGramSet) -> f64 {
+    1.0 - jaccard_similarity(a, b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alphabet::Alphabet;
+    use proptest::prelude::*;
+
+    fn set(s: &str) -> QGramSet {
+        QGramSet::build(s, 2, &Alphabet::upper())
+    }
+
+    fn uset(s: &str) -> QGramSet {
+        QGramSet::build_unpadded(s, 2, &Alphabet::upper())
+    }
+
+    #[test]
+    fn paper_jones_jonas() {
+        // §5.1 computes Jaccard on unpadded bigrams: u_J ≈ 0.667.
+        let d = jaccard_distance(&uset("JONES"), &uset("JONAS"));
+        assert!((d - 2.0 / 3.0).abs() < 1e-3, "got {d}");
+    }
+
+    #[test]
+    fn paper_washington_washangton() {
+        // §5.1: u_J ≈ 0.364 — same single error, smaller distance.
+        let d = jaccard_distance(&uset("WASHINGTON"), &uset("WASHANGTON"));
+        assert!((d - 4.0 / 11.0).abs() < 1e-3, "got {d}");
+    }
+
+    #[test]
+    fn identical_and_disjoint() {
+        assert_eq!(jaccard_distance(&set("JONES"), &set("JONES")), 0.0);
+        let d = jaccard_distance(&set("AB"), &set("XY"));
+        assert_eq!(d, 1.0);
+    }
+
+    #[test]
+    fn empty_sets_are_identical() {
+        assert_eq!(jaccard_similarity(&set(""), &set("")), 1.0);
+        assert_eq!(jaccard_distance(&set(""), &set("A")), 1.0);
+    }
+
+    proptest! {
+        #[test]
+        fn distance_in_unit_interval(a in "[A-Z]{0,12}", b in "[A-Z]{0,12}") {
+            let d = jaccard_distance(&set(&a), &set(&b));
+            prop_assert!((0.0..=1.0).contains(&d));
+        }
+
+        #[test]
+        fn symmetric(a in "[A-Z]{0,12}", b in "[A-Z]{0,12}") {
+            let d1 = jaccard_distance(&set(&a), &set(&b));
+            let d2 = jaccard_distance(&set(&b), &set(&a));
+            prop_assert!((d1 - d2).abs() < 1e-15);
+        }
+
+        #[test]
+        fn zero_iff_same_set(a in "[A-Z]{1,12}") {
+            prop_assert_eq!(jaccard_distance(&set(&a), &set(&a)), 0.0);
+        }
+    }
+}

@@ -1,0 +1,128 @@
+//! Jaro and Jaro–Winkler similarity.
+//!
+//! The paper's conclusions (§7) name a distance-preserving embedding for the
+//! Jaro–Winkler metric as future work; we provide the metric itself so the
+//! library can evaluate that direction. Jaro–Winkler was designed for short
+//! personal-name attributes and boosts similarity for common prefixes.
+
+/// Jaro similarity in `[0, 1]`; 1 means identical.
+pub fn jaro_similarity(a: &str, b: &str) -> f64 {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    if a.is_empty() && b.is_empty() {
+        return 1.0;
+    }
+    if a.is_empty() || b.is_empty() {
+        return 0.0;
+    }
+    let window = (a.len().max(b.len()) / 2).saturating_sub(1);
+    let mut b_used = vec![false; b.len()];
+    let mut matches_a: Vec<char> = Vec::new();
+    for (i, &ca) in a.iter().enumerate() {
+        let lo = i.saturating_sub(window);
+        let hi = (i + window + 1).min(b.len());
+        for j in lo..hi {
+            if !b_used[j] && b[j] == ca {
+                b_used[j] = true;
+                matches_a.push(ca);
+                break;
+            }
+        }
+    }
+    let m = matches_a.len();
+    if m == 0 {
+        return 0.0;
+    }
+    let matches_b: Vec<char> = b
+        .iter()
+        .zip(b_used.iter())
+        .filter_map(|(&c, &u)| u.then_some(c))
+        .collect();
+    let transpositions = matches_a
+        .iter()
+        .zip(matches_b.iter())
+        .filter(|(x, y)| x != y)
+        .count()
+        / 2;
+    let m = m as f64;
+    let t = transpositions as f64;
+    (m / a.len() as f64 + m / b.len() as f64 + (m - t) / m) / 3.0
+}
+
+/// Jaro–Winkler similarity with the standard prefix scale `p = 0.1` and a
+/// prefix length capped at 4.
+pub fn jaro_winkler_similarity(a: &str, b: &str) -> f64 {
+    const PREFIX_SCALE: f64 = 0.1;
+    const MAX_PREFIX: usize = 4;
+    let jaro = jaro_similarity(a, b);
+    let prefix = a
+        .chars()
+        .zip(b.chars())
+        .take(MAX_PREFIX)
+        .take_while(|(x, y)| x == y)
+        .count();
+    jaro + prefix as f64 * PREFIX_SCALE * (1.0 - jaro)
+}
+
+/// Jaro–Winkler distance `1 − similarity`.
+pub fn jaro_winkler_distance(a: &str, b: &str) -> f64 {
+    1.0 - jaro_winkler_similarity(a, b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn close(x: f64, y: f64) -> bool {
+        (x - y).abs() < 1e-3
+    }
+
+    #[test]
+    fn identical_is_one() {
+        assert_eq!(jaro_similarity("MARTHA", "MARTHA"), 1.0);
+        assert_eq!(jaro_winkler_similarity("MARTHA", "MARTHA"), 1.0);
+    }
+
+    #[test]
+    fn textbook_martha_marhta() {
+        assert!(close(jaro_similarity("MARTHA", "MARHTA"), 0.944));
+        assert!(close(jaro_winkler_similarity("MARTHA", "MARHTA"), 0.961));
+    }
+
+    #[test]
+    fn textbook_dixon_dicksonx() {
+        assert!(close(jaro_similarity("DIXON", "DICKSONX"), 0.767));
+        assert!(close(jaro_winkler_similarity("DIXON", "DICKSONX"), 0.813));
+    }
+
+    #[test]
+    fn disjoint_is_zero() {
+        assert_eq!(jaro_similarity("ABC", "XYZ"), 0.0);
+        assert_eq!(jaro_winkler_distance("ABC", "XYZ"), 1.0);
+    }
+
+    #[test]
+    fn empty_handling() {
+        assert_eq!(jaro_similarity("", ""), 1.0);
+        assert_eq!(jaro_similarity("", "A"), 0.0);
+    }
+
+    proptest! {
+        #[test]
+        fn similarity_in_unit_interval(a in "[A-Z]{0,12}", b in "[A-Z]{0,12}") {
+            let s = jaro_winkler_similarity(&a, &b);
+            prop_assert!((0.0..=1.0 + 1e-12).contains(&s));
+        }
+
+        #[test]
+        fn symmetric_jaro(a in "[A-Z]{0,12}", b in "[A-Z]{0,12}") {
+            prop_assert!((jaro_similarity(&a, &b) - jaro_similarity(&b, &a)).abs() < 1e-12);
+        }
+
+        #[test]
+        fn winkler_at_least_jaro(a in "[A-Z]{0,12}", b in "[A-Z]{0,12}") {
+            prop_assert!(jaro_winkler_similarity(&a, &b) >= jaro_similarity(&a, &b) - 1e-12);
+        }
+    }
+}

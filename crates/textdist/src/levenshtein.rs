@@ -1,0 +1,180 @@
+//! Levenshtein edit distance — the metric `d_ℰ` on the original space ℰ.
+//!
+//! The paper (Definition 1) classifies a record pair as similar when every
+//! attribute's edit distance is within its threshold. We provide the classic
+//! O(|a|·|b|) two-row dynamic program and a threshold-bounded variant
+//! ([`levenshtein_within`]) that restricts work to a diagonal band of width
+//! `2k + 1` (Ukkonen's cutoff), which the evaluation harness uses when
+//! computing ground-truth distances over many pairs.
+
+/// Edit distance between `a` and `b` with unit-cost substitute, insert, and
+/// delete operations (Levenshtein, 1966).
+///
+/// ```
+/// use textdist::levenshtein;
+/// assert_eq!(levenshtein("JONES", "JONAS"), 1); // one substitution
+/// assert_eq!(levenshtein("KITTEN", "SITTING"), 3);
+/// ```
+pub fn levenshtein(a: &str, b: &str) -> u32 {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    if a.is_empty() {
+        return b.len() as u32;
+    }
+    if b.is_empty() {
+        return a.len() as u32;
+    }
+    // Keep the shorter string as the row for cache friendliness.
+    let (row_src, col_src) = if a.len() <= b.len() { (&a, &b) } else { (&b, &a) };
+    let mut prev: Vec<u32> = (0..=row_src.len() as u32).collect();
+    let mut curr: Vec<u32> = vec![0; row_src.len() + 1];
+    for (i, &cb) in col_src.iter().enumerate() {
+        curr[0] = i as u32 + 1;
+        for (j, &ca) in row_src.iter().enumerate() {
+            let cost = u32::from(ca != cb);
+            curr[j + 1] = (prev[j] + cost).min(prev[j + 1] + 1).min(curr[j] + 1);
+        }
+        std::mem::swap(&mut prev, &mut curr);
+    }
+    prev[row_src.len()]
+}
+
+/// Edit distance if it is at most `k`, otherwise `None`.
+///
+/// Runs in O(k·min(|a|,|b|)) time by confining the dynamic program to a band
+/// of diagonals at offset ≤ `k`.
+pub fn levenshtein_within(a: &str, b: &str, k: u32) -> Option<u32> {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    let (a, b) = if a.len() <= b.len() { (a, b) } else { (b, a) };
+    let (n, m) = (a.len(), b.len());
+    if (m - n) as u32 > k {
+        return None;
+    }
+    if n == 0 {
+        return (m as u32 <= k).then_some(m as u32);
+    }
+    let k = k as usize;
+    const INF: u32 = u32::MAX / 2;
+    // prev[j] holds D[i-1][j]; band over j ∈ [lo, hi].
+    let mut prev = vec![INF; m + 1];
+    for (j, p) in prev.iter_mut().enumerate().take(k.min(m) + 1) {
+        *p = j as u32;
+    }
+    let mut curr = vec![INF; m + 1];
+    for i in 1..=n {
+        let lo = i.saturating_sub(k);
+        let hi = (i + k).min(m);
+        curr[lo.saturating_sub(1)] = INF;
+        if lo == 0 {
+            curr[0] = i as u32;
+        }
+        let mut row_min = INF;
+        for j in lo.max(1)..=hi {
+            let cost = u32::from(a[i - 1] != b[j - 1]);
+            let diag = prev[j - 1].saturating_add(cost);
+            let up = prev[j].saturating_add(1);
+            let left = if j >= 1 { curr[j - 1].saturating_add(1) } else { INF };
+            let v = diag.min(up).min(left);
+            curr[j] = v;
+            row_min = row_min.min(v);
+        }
+        if lo == 0 {
+            row_min = row_min.min(curr[0]);
+        }
+        if row_min > k as u32 {
+            return None;
+        }
+        std::mem::swap(&mut prev, &mut curr);
+        // Reset cells outside next band to INF lazily: band moves right by 1,
+        // so clearing the two boundary cells suffices.
+        if hi < m {
+            prev[hi + 1] = INF;
+        }
+    }
+    let d = prev[m];
+    (d <= k as u32).then_some(d)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn identical_strings_are_zero() {
+        assert_eq!(levenshtein("JONES", "JONES"), 0);
+        assert_eq!(levenshtein("", ""), 0);
+    }
+
+    #[test]
+    fn paper_examples() {
+        assert_eq!(levenshtein("JONES", "JONAS"), 1); // substitute
+        assert_eq!(levenshtein("JONES", "JONS"), 1); // delete
+        assert_eq!(levenshtein("JONES", "JONEAS"), 1); // insert
+        assert_eq!(levenshtein("SHANNEN", "SHENNEN"), 1);
+        assert_eq!(levenshtein("WASHINGTON", "WASHANGTON"), 1);
+    }
+
+    #[test]
+    fn classic_cases() {
+        assert_eq!(levenshtein("KITTEN", "SITTING"), 3);
+        assert_eq!(levenshtein("FLAW", "LAWN"), 2);
+        assert_eq!(levenshtein("", "ABC"), 3);
+        assert_eq!(levenshtein("ABC", ""), 3);
+    }
+
+    #[test]
+    fn within_matches_full_when_close() {
+        assert_eq!(levenshtein_within("KITTEN", "SITTING", 3), Some(3));
+        assert_eq!(levenshtein_within("KITTEN", "SITTING", 2), None);
+        assert_eq!(levenshtein_within("A", "A", 0), Some(0));
+        assert_eq!(levenshtein_within("", "AB", 1), None);
+        assert_eq!(levenshtein_within("", "AB", 2), Some(2));
+    }
+
+    #[test]
+    fn within_length_gap_shortcut() {
+        assert_eq!(levenshtein_within("AB", "ABCDEFG", 3), None);
+    }
+
+    proptest! {
+        #[test]
+        fn symmetric(a in "[A-Z]{0,12}", b in "[A-Z]{0,12}") {
+            prop_assert_eq!(levenshtein(&a, &b), levenshtein(&b, &a));
+        }
+
+        #[test]
+        fn triangle_inequality(
+            a in "[A-Z]{0,8}", b in "[A-Z]{0,8}", c in "[A-Z]{0,8}"
+        ) {
+            let ab = levenshtein(&a, &b);
+            let bc = levenshtein(&b, &c);
+            let ac = levenshtein(&a, &c);
+            prop_assert!(ac <= ab + bc);
+        }
+
+        #[test]
+        fn bounded_by_longer_length(a in "[A-Z]{0,12}", b in "[A-Z]{0,12}") {
+            let d = levenshtein(&a, &b) as usize;
+            prop_assert!(d <= a.len().max(b.len()));
+            prop_assert!(d >= a.len().abs_diff(b.len()));
+        }
+
+        #[test]
+        fn within_agrees_with_full(a in "[A-Z]{0,10}", b in "[A-Z]{0,10}", k in 0u32..6) {
+            let full = levenshtein(&a, &b);
+            let banded = levenshtein_within(&a, &b, k);
+            if full <= k {
+                prop_assert_eq!(banded, Some(full));
+            } else {
+                prop_assert_eq!(banded, None);
+            }
+        }
+
+        #[test]
+        fn zero_iff_equal(a in "[A-Z]{0,10}", b in "[A-Z]{0,10}") {
+            prop_assert_eq!(levenshtein(&a, &b) == 0, a == b);
+        }
+    }
+}

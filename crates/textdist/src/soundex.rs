@@ -1,0 +1,125 @@
+//! Soundex phonetic encoding.
+//!
+//! The oldest blocking key in record linkage (used since the U.S. census
+//! era, surveyed in the paper's reference \[3\]): names that sound alike
+//! encode to the same 4-character code, so "standard blocking" groups
+//! records by `soundex(LastName)`. The `rl-baselines` crate uses it as the
+//! blocking key of its `StandardBlockingLinker`.
+
+/// American Soundex code of a word: an initial letter plus three digits
+/// (e.g. `ROBERT` → `R163`). Non-letters are ignored; an empty input maps
+/// to `0000`.
+///
+/// ```
+/// use textdist::soundex;
+/// assert_eq!(soundex("ROBERT"), "R163");
+/// assert_eq!(soundex("SMITH"), soundex("SMYTH"));
+/// ```
+pub fn soundex(s: &str) -> String {
+    fn digit(c: char) -> Option<char> {
+        match c.to_ascii_uppercase() {
+            'B' | 'F' | 'P' | 'V' => Some('1'),
+            'C' | 'G' | 'J' | 'K' | 'Q' | 'S' | 'X' | 'Z' => Some('2'),
+            'D' | 'T' => Some('3'),
+            'L' => Some('4'),
+            'M' | 'N' => Some('5'),
+            'R' => Some('6'),
+            _ => None, // vowels + H, W, Y
+        }
+    }
+    let letters: Vec<char> = s
+        .chars()
+        .filter(|c| c.is_ascii_alphabetic())
+        .map(|c| c.to_ascii_uppercase())
+        .collect();
+    let Some(&first) = letters.first() else {
+        return "0000".to_string();
+    };
+    let mut code = String::new();
+    code.push(first);
+    let mut last_digit = digit(first);
+    for &c in &letters[1..] {
+        let d = digit(c);
+        match d {
+            Some(d) => {
+                // Adjacent same-coded letters collapse; H/W between two
+                // same-coded letters also collapse (classic rule: H and W
+                // do not reset `last_digit`).
+                if Some(d) != last_digit {
+                    code.push(d);
+                    if code.len() == 4 {
+                        break;
+                    }
+                }
+                last_digit = Some(d);
+            }
+            None => {
+                if c != 'H' && c != 'W' {
+                    last_digit = None; // vowels reset the separator rule
+                }
+            }
+        }
+    }
+    while code.len() < 4 {
+        code.push('0');
+    }
+    code
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn textbook_codes() {
+        assert_eq!(soundex("ROBERT"), "R163");
+        assert_eq!(soundex("RUPERT"), "R163");
+        assert_eq!(soundex("ASHCRAFT"), "A261"); // H does not separate
+        assert_eq!(soundex("ASHCROFT"), "A261");
+        assert_eq!(soundex("TYMCZAK"), "T522");
+        assert_eq!(soundex("PFISTER"), "P236");
+        assert_eq!(soundex("HONEYMAN"), "H555");
+    }
+
+    #[test]
+    fn sound_alike_names_share_codes() {
+        assert_eq!(soundex("SMITH"), soundex("SMYTH"));
+        assert_eq!(soundex("JOHNSON"), soundex("JONSON"));
+        // Note: Soundex keeps the initial letter, so CATHERINE (C…) and
+        // KATHRYN (K…) differ by design despite sounding alike.
+        assert_eq!(soundex("MARTHA"), soundex("MARHTA"));
+    }
+
+    #[test]
+    fn different_names_usually_differ() {
+        assert_ne!(soundex("SMITH"), soundex("JONES"));
+        assert_ne!(soundex("WASHINGTON"), soundex("JEFFERSON"));
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert_eq!(soundex(""), "0000");
+        assert_eq!(soundex("123"), "0000");
+        assert_eq!(soundex("A"), "A000");
+        assert_eq!(soundex("a b c"), soundex("ABC"));
+    }
+
+    proptest! {
+        #[test]
+        fn always_four_chars(s in "[A-Za-z ]{0,20}") {
+            let code = soundex(&s);
+            prop_assert_eq!(code.len(), 4);
+        }
+
+        #[test]
+        fn case_insensitive(s in "[A-Za-z]{1,12}") {
+            prop_assert_eq!(soundex(&s.to_lowercase()), soundex(&s.to_uppercase()));
+        }
+
+        #[test]
+        fn deterministic(s in "[A-Z]{0,12}") {
+            prop_assert_eq!(soundex(&s), soundex(&s));
+        }
+    }
+}

@@ -1,0 +1,110 @@
+//! Parameter tuning with the analytical toolkit: size the embedding from
+//! data (Theorem 1), pick K with the cost model of the paper's reference
+//! [16], inspect the recall S-curve, and profile the populated blocking
+//! structures.
+//!
+//! ```text
+//! cargo run --release --example parameter_tuning
+//! ```
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use record_linkage::cbv_hb::analysis::analyze;
+use record_linkage::cbv_hb::profiler::profile_plan;
+use record_linkage::cbv_hb::AttributeSpec;
+use record_linkage::datagen::{NcvrSource, RecordSource};
+use record_linkage::lsh::params::{
+    base_success_probability, estimate_p_dissimilar, optimal_l, recall_curve, KCostModel,
+};
+use record_linkage::prelude::*;
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(7);
+    let records = NcvrSource.sample_many(5_000, &mut rng);
+
+    // 1. Fit c-vector sizes from the data (Theorem 1, ρ = 1, r = 1/3).
+    let ks = [5u32, 5, 10, 10];
+    let specs: Vec<AttributeSpec> = (0..4)
+        .map(|f| {
+            AttributeSpec::fitted(
+                NcvrSource.attribute_names()[f],
+                2,
+                records.iter().map(|r| r.field(f)),
+                1.0,
+                1.0 / 3.0,
+                false,
+                ks[f],
+            )
+        })
+        .collect();
+    for s in &specs {
+        println!("{:<12} m_opt = {:>3} bits", s.name, s.m);
+    }
+    let schema = RecordSchema::build(Alphabet::linkage(), specs, &mut rng);
+    let m_bar = schema.total_size();
+    println!("record-level: {m_bar} bits\n");
+
+    // 2. Estimate the dissimilar-pair collision probability and pick K.
+    use rand::RngExt;
+    let embedded: Vec<_> = records
+        .iter()
+        .take(400)
+        .map(|r| schema.embed(r).unwrap())
+        .collect();
+    let mut dists = Vec::new();
+    for _ in 0..2_000 {
+        let (i, j) = (
+            rng.random_range(0..embedded.len()),
+            rng.random_range(0..embedded.len()),
+        );
+        if i != j {
+            dists.push(embedded[i].total_distance(&embedded[j]));
+        }
+    }
+    let p_dis = estimate_p_dissimilar(&dists, m_bar);
+    let theta = 4u32;
+    let model = KCostModel {
+        n: records.len(),
+        m: m_bar,
+        theta,
+        delta: 0.1,
+        p_dissimilar: p_dis,
+        verify_cost: 1.0,
+    };
+    let k_star = model.optimal_k(5..=45);
+    let p = base_success_probability(theta, m_bar);
+    let l = optimal_l(p.powi(k_star as i32), 0.1);
+    println!("p_dissimilar ≈ {p_dis:.3}; cost-optimal K* = {k_star}, L = {l}\n");
+
+    // 3. The recall S-curve this configuration buys.
+    println!("recall vs distance (K = {k_star}, L = {l}):");
+    for point in recall_curve(m_bar, k_star, l, 16).iter().step_by(2) {
+        let bar: String = "#".repeat((point.recall * 40.0) as usize);
+        println!("  u = {:>2}  {:>6.3}  {bar}", point.distance, point.recall);
+    }
+
+    // 4. Build, index, and profile the plan.
+    let rule = Rule::and((0..4).map(|i| Rule::pred(i, theta)));
+    let mut pipeline = LinkagePipeline::new(
+        schema,
+        LinkageConfig::record_level(rule, theta, k_star),
+        &mut rng,
+    )
+    .expect("valid configuration");
+    pipeline.index(&records).unwrap();
+    println!("\nanalytical plan report:");
+    let report = analyze(pipeline.plan());
+    for s in &report.structures {
+        println!(
+            "  {:<44} L = {:<3} recall bound {:.3}",
+            s.label, s.l, s.recall_bound
+        );
+    }
+    println!("\nmeasured bucket profile:");
+    for p in profile_plan(pipeline.plan()) {
+        println!(
+            "  buckets {:>6}  mean {:>6.1}  max {:>5}  skew {:>6.1}  E[cand/probe] {:>8.1}",
+            p.buckets, p.mean_bucket, p.max_bucket, p.skew, p.expected_candidates_per_probe
+        );
+    }
+}

@@ -1,0 +1,471 @@
+//! `rl` — command-line record linkage with cBV-HB.
+//!
+//! ```text
+//! rl generate --source ncvr --records 10000 --scheme pl --seed 1 \
+//!             --out-a a.csv --out-b b.csv --out-truth truth.csv
+//!
+//! rl link --a a.csv --b b.csv --rule "0<=4 & 1<=4 & 2<=8" \
+//!         --out matches.csv [--header] [--id-column 0] [--delta 0.1] \
+//!         [--k 5,5,10,10] [--record-level THETA:K] [--threads 4] [--report]
+//! ```
+//!
+//! `generate` emits a synthetic data-set pair with ground truth; `link`
+//! reads two CSVs, fits c-vector sizes from the data (Theorem 1), compiles
+//! the rule into blocking structures, and writes the identified pairs.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use record_linkage::cbv_hb::analysis::analyze;
+use record_linkage::cbv_hb::io::{read_records, write_matches, write_records};
+use record_linkage::cbv_hb::pipeline::BlockingMode;
+use record_linkage::cbv_hb::{parse_rule, AttributeSpec};
+use record_linkage::datagen::{DblpSource, NcvrSource, RecordSource};
+use record_linkage::prelude::*;
+use std::collections::HashMap;
+use std::fs::File;
+use std::process::exit;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage:\n  rl generate --source ncvr|dblp --records N --scheme pl|ph \
+         [--seed S] --out-a A.csv --out-b B.csv [--out-truth T.csv]\n  \
+         rl link --a A.csv --b B.csv --rule EXPR --out M.csv [--header] \
+         [--id-column N] [--delta D] [--k K1,K2,...] [--record-level THETA:K] \
+         [--threads N] [--seed S] [--report]\n  \
+         rl dedup --input D.csv --rule EXPR --out CLUSTERS.csv [--header] \
+         [--id-column N] [--delta D] [--k K1,K2,...] [--seed S]\n  \
+         rl calibrate --input D.csv [--header] [--id-column N] [--theta T] \
+         [--delta D] [--seed S]"
+    );
+    exit(2)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else { usage() };
+    let flags = parse_flags(&args[1..]);
+    let result = match cmd.as_str() {
+        "generate" => generate(&flags),
+        "link" => link(&flags),
+        "dedup" => dedup(&flags),
+        "calibrate" => calibrate(&flags),
+        _ => usage(),
+    };
+    if let Err(e) = result {
+        eprintln!("error: {e}");
+        exit(1);
+    }
+}
+
+fn parse_flags(args: &[String]) -> HashMap<String, String> {
+    let mut flags = HashMap::new();
+    let mut i = 0;
+    while i < args.len() {
+        let key = args[i].trim_start_matches("--").to_string();
+        if !args[i].starts_with("--") {
+            eprintln!("unexpected argument {:?}", args[i]);
+            usage();
+        }
+        // Boolean flags take no value.
+        if matches!(key.as_str(), "header" | "report") {
+            flags.insert(key, "true".into());
+            i += 1;
+        } else {
+            let Some(value) = args.get(i + 1) else {
+                eprintln!("missing value for --{key}");
+                usage();
+            };
+            flags.insert(key, value.clone());
+            i += 2;
+        }
+    }
+    flags
+}
+
+fn req<'a>(flags: &'a HashMap<String, String>, key: &str) -> Result<&'a str, String> {
+    flags
+        .get(key)
+        .map(String::as_str)
+        .ok_or_else(|| format!("missing required flag --{key}"))
+}
+
+fn generate(flags: &HashMap<String, String>) -> Result<(), String> {
+    let source = req(flags, "source")?;
+    let records: usize = req(flags, "records")?
+        .parse()
+        .map_err(|_| "--records must be an integer".to_string())?;
+    let scheme = match req(flags, "scheme")? {
+        "pl" => PerturbationScheme::Light,
+        "ph" => PerturbationScheme::Heavy,
+        other => return Err(format!("unknown scheme {other:?} (pl|ph)")),
+    };
+    let seed: u64 = flags
+        .get("seed")
+        .map(|s| s.parse())
+        .transpose()
+        .map_err(|_| "--seed must be an integer".to_string())?
+        .unwrap_or(42);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let config = PairConfig::new(records, scheme);
+    let (pair, header): (DatasetPair, Vec<String>) = match source {
+        "ncvr" => (
+            DatasetPair::generate(&NcvrSource, config, &mut rng),
+            NcvrSource
+                .attribute_names()
+                .iter()
+                .map(ToString::to_string)
+                .collect(),
+        ),
+        "dblp" => (
+            DatasetPair::generate(&DblpSource, config, &mut rng),
+            DblpSource
+                .attribute_names()
+                .iter()
+                .map(ToString::to_string)
+                .collect(),
+        ),
+        other => return Err(format!("unknown source {other:?} (ncvr|dblp)")),
+    };
+    let io_err = |e: record_linkage::cbv_hb::Error| e.to_string();
+    let open = |key: &str| -> Result<Option<File>, String> {
+        flags
+            .get(key)
+            .map(|p| File::create(p).map_err(|e| format!("cannot create {p}: {e}")))
+            .transpose()
+    };
+    if let Some(f) = open("out-a")? {
+        write_records(f, &pair.a, Some(&header), ',').map_err(io_err)?;
+    } else {
+        return Err("missing required flag --out-a".into());
+    }
+    if let Some(f) = open("out-b")? {
+        write_records(f, &pair.b, Some(&header), ',').map_err(io_err)?;
+    } else {
+        return Err("missing required flag --out-b".into());
+    }
+    if let Some(f) = open("out-truth")? {
+        let mut truth: Vec<(u64, u64)> = pair.ground_truth.iter().copied().collect();
+        truth.sort_unstable();
+        write_matches(f, &truth).map_err(io_err)?;
+    }
+    eprintln!(
+        "generated {} + {} records, {} true matches (seed {seed})",
+        pair.a.len(),
+        pair.b.len(),
+        pair.ground_truth.len()
+    );
+    Ok(())
+}
+
+fn link(flags: &HashMap<String, String>) -> Result<(), String> {
+    let path_a = req(flags, "a")?;
+    let path_b = req(flags, "b")?;
+    let rule_text = req(flags, "rule")?;
+    let out_path = req(flags, "out")?;
+    let has_header = flags.contains_key("header");
+    let id_column: Option<usize> = flags
+        .get("id-column")
+        .map(|s| s.parse())
+        .transpose()
+        .map_err(|_| "--id-column must be an integer".to_string())?;
+    let delta: f64 = flags
+        .get("delta")
+        .map(|s| s.parse())
+        .transpose()
+        .map_err(|_| "--delta must be a number".to_string())?
+        .unwrap_or(0.1);
+    let seed: u64 = flags
+        .get("seed")
+        .map(|s| s.parse())
+        .transpose()
+        .map_err(|_| "--seed must be an integer".to_string())?
+        .unwrap_or(42);
+    let threads: usize = flags
+        .get("threads")
+        .map(|s| s.parse())
+        .transpose()
+        .map_err(|_| "--threads must be an integer".to_string())?
+        .unwrap_or(1);
+
+    let rule = parse_rule(rule_text).map_err(|e| e.to_string())?;
+
+    let open = |p: &str| File::open(p).map_err(|e| format!("cannot open {p}: {e}"));
+    let (_, a) = read_records(open(path_a)?, ',', has_header, id_column)
+        .map_err(|e| format!("{path_a}: {e}"))?;
+    let (_, b) = read_records(open(path_b)?, ',', has_header, id_column)
+        .map_err(|e| format!("{path_b}: {e}"))?;
+    if a.is_empty() || b.is_empty() {
+        return Err("both data sets must be non-empty".into());
+    }
+    let num_fields = a[0].fields.len();
+
+    // Per-attribute K values.
+    let ks: Vec<u32> = match flags.get("k") {
+        Some(spec) => spec
+            .split(',')
+            .map(|s| s.trim().parse())
+            .collect::<Result<_, _>>()
+            .map_err(|_| "--k must be a comma-separated integer list".to_string())?,
+        None => vec![10; num_fields],
+    };
+    if ks.len() != num_fields {
+        return Err(format!(
+            "--k has {} entries but records have {num_fields} attributes",
+            ks.len()
+        ));
+    }
+
+    // Fit c-vector sizes from the data (Theorem 1, ρ = 1, r = 1/3).
+    let mut rng = StdRng::seed_from_u64(seed);
+    let specs: Vec<AttributeSpec> = (0..num_fields)
+        .map(|f| {
+            AttributeSpec::fitted(
+                format!("f{f}"),
+                2,
+                a.iter().chain(&b).take(10_000).map(|r| r.field(f)),
+                1.0,
+                1.0 / 3.0,
+                false,
+                ks[f],
+            )
+        })
+        .collect();
+    let schema = RecordSchema::build(Alphabet::linkage(), specs, &mut rng);
+
+    let mode = match flags.get("record-level") {
+        Some(spec) => {
+            let (theta, k) = spec
+                .split_once(':')
+                .ok_or_else(|| "--record-level expects THETA:K".to_string())?;
+            BlockingMode::RecordLevel {
+                theta: theta.parse().map_err(|_| "bad THETA".to_string())?,
+                k: k.parse().map_err(|_| "bad K".to_string())?,
+            }
+        }
+        None => BlockingMode::RuleAware,
+    };
+    let config = LinkageConfig { delta, mode, rule };
+    let mut pipeline =
+        LinkagePipeline::new(schema, config, &mut rng).map_err(|e| e.to_string())?;
+
+    if flags.contains_key("report") {
+        let report = analyze(pipeline.plan());
+        eprintln!("blocking plan:");
+        for s in &report.structures {
+            eprintln!(
+                "  {:<44} L={:<4} recall bound {:.3}",
+                s.label, s.l, s.recall_bound
+            );
+        }
+        eprintln!(
+            "  total tables {} | combined recall bound {:.3}",
+            report.total_tables, report.combined_recall_bound
+        );
+    }
+
+    pipeline.index(&a).map_err(|e| e.to_string())?;
+    let result = pipeline
+        .link_parallel(&b, threads)
+        .map_err(|e| e.to_string())?;
+    let mut matches = result.matches;
+    matches.sort_unstable();
+
+    let out = File::create(out_path).map_err(|e| format!("cannot create {out_path}: {e}"))?;
+    write_matches(out, &matches).map_err(|e| e.to_string())?;
+    eprintln!(
+        "indexed {} records, probed {}, compared {} candidates, wrote {} matches to {out_path}",
+        a.len(),
+        b.len(),
+        result.stats.candidates,
+        matches.len()
+    );
+    Ok(())
+}
+
+fn dedup(flags: &HashMap<String, String>) -> Result<(), String> {
+    use record_linkage::cbv_hb::dedup::deduplicate;
+    let input = req(flags, "input")?;
+    let rule_text = req(flags, "rule")?;
+    let out_path = req(flags, "out")?;
+    let has_header = flags.contains_key("header");
+    let id_column: Option<usize> = flags
+        .get("id-column")
+        .map(|s| s.parse())
+        .transpose()
+        .map_err(|_| "--id-column must be an integer".to_string())?;
+    let delta: f64 = flags
+        .get("delta")
+        .map(|s| s.parse())
+        .transpose()
+        .map_err(|_| "--delta must be a number".to_string())?
+        .unwrap_or(0.1);
+    let seed: u64 = flags
+        .get("seed")
+        .map(|s| s.parse())
+        .transpose()
+        .map_err(|_| "--seed must be an integer".to_string())?
+        .unwrap_or(42);
+    let rule = parse_rule(rule_text).map_err(|e| e.to_string())?;
+    let file = File::open(input).map_err(|e| format!("cannot open {input}: {e}"))?;
+    let (_, records) = read_records(file, ',', has_header, id_column)
+        .map_err(|e| format!("{input}: {e}"))?;
+    if records.is_empty() {
+        return Err("data set must be non-empty".into());
+    }
+    let num_fields = records[0].fields.len();
+    let ks: Vec<u32> = match flags.get("k") {
+        Some(spec) => spec
+            .split(',')
+            .map(|s| s.trim().parse())
+            .collect::<Result<_, _>>()
+            .map_err(|_| "--k must be a comma-separated integer list".to_string())?,
+        None => vec![10; num_fields],
+    };
+    if ks.len() != num_fields {
+        return Err(format!(
+            "--k has {} entries but records have {num_fields} attributes",
+            ks.len()
+        ));
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let specs: Vec<AttributeSpec> = (0..num_fields)
+        .map(|f| {
+            AttributeSpec::fitted(
+                format!("f{f}"),
+                2,
+                records.iter().take(10_000).map(|r| r.field(f)),
+                1.0,
+                1.0 / 3.0,
+                false,
+                ks[f],
+            )
+        })
+        .collect();
+    let schema = RecordSchema::build(Alphabet::linkage(), specs, &mut rng);
+    let config = LinkageConfig {
+        delta,
+        mode: BlockingMode::RuleAware,
+        rule,
+    };
+    let result =
+        deduplicate(&schema, &config, &records, &mut rng).map_err(|e| e.to_string())?;
+    // One cluster per line: comma-separated member ids.
+    let mut out = String::from("cluster_members\n");
+    for cluster in &result.clusters {
+        let line: Vec<String> = cluster.iter().map(ToString::to_string).collect();
+        out.push_str(&line.join(";"));
+        out.push('\n');
+    }
+    std::fs::write(out_path, out).map_err(|e| format!("cannot write {out_path}: {e}"))?;
+    eprintln!(
+        "scanned {} records, compared {} pairs, found {} duplicate clusters",
+        records.len(),
+        result.stats.candidates,
+        result.clusters.len()
+    );
+    Ok(())
+}
+
+/// Data-driven parameter advice: measures per-attribute bigram statistics,
+/// sizes c-vectors by Theorem 1, estimates `p_dissimilar` from sampled
+/// pairs, and recommends `K` (cost model of the paper's reference \[16\])
+/// and `L` (Equation 2).
+fn calibrate(flags: &HashMap<String, String>) -> Result<(), String> {
+    use record_linkage::cbv_hb::schema::measure_b;
+    use record_linkage::cbv_hb::cvector::optimal_m;
+    use record_linkage::lsh::params::{
+        base_success_probability, estimate_p_dissimilar, optimal_l, KCostModel,
+    };
+    use rand::RngExt;
+
+    let input = req(flags, "input")?;
+    let has_header = flags.contains_key("header");
+    let id_column: Option<usize> = flags
+        .get("id-column")
+        .map(|s| s.parse())
+        .transpose()
+        .map_err(|_| "--id-column must be an integer".to_string())?;
+    let theta: u32 = flags
+        .get("theta")
+        .map(|s| s.parse())
+        .transpose()
+        .map_err(|_| "--theta must be an integer".to_string())?
+        .unwrap_or(4);
+    let delta: f64 = flags
+        .get("delta")
+        .map(|s| s.parse())
+        .transpose()
+        .map_err(|_| "--delta must be a number".to_string())?
+        .unwrap_or(0.1);
+    let seed: u64 = flags
+        .get("seed")
+        .map(|s| s.parse())
+        .transpose()
+        .map_err(|_| "--seed must be an integer".to_string())?
+        .unwrap_or(42);
+
+    let file = File::open(input).map_err(|e| format!("cannot open {input}: {e}"))?;
+    let (header, records) = read_records(file, ',', has_header, id_column)
+        .map_err(|e| format!("{input}: {e}"))?;
+    if records.is_empty() {
+        return Err("data set must be non-empty".into());
+    }
+    let num_fields = records[0].fields.len();
+
+    println!("records: {}", records.len());
+    println!("\nper-attribute sizing (ρ = 1, r = 1/3, unpadded bigrams):");
+    let mut m_total = 0usize;
+    let mut ms = Vec::new();
+    for f in 0..num_fields {
+        let b = measure_b(records.iter().take(10_000).map(|r| r.field(f)), 2, false);
+        let m = optimal_m(b, 1.0, 1.0 / 3.0);
+        m_total += m;
+        ms.push(m);
+        let name = header
+            .as_ref()
+            .and_then(|h| h.get(f + usize::from(id_column.is_some())))
+            .cloned()
+            .unwrap_or_else(|| format!("f{f}"));
+        println!("  {name:<16} b = {b:>6.1}   m_opt = {m:>4} bits");
+    }
+    println!("record-level c-vector: {m_total} bits");
+
+    // Estimate p_dissimilar by embedding a sample and measuring distances.
+    let mut rng = StdRng::seed_from_u64(seed);
+    let specs: Vec<AttributeSpec> = ms
+        .iter()
+        .enumerate()
+        .map(|(f, &m)| AttributeSpec::new(format!("f{f}"), 2, m, false, 10))
+        .collect();
+    let schema = RecordSchema::build(Alphabet::linkage(), specs, &mut rng);
+    let sample: Vec<_> = records
+        .iter()
+        .take(500)
+        .map(|r| schema.embed(r).map_err(|e| e.to_string()))
+        .collect::<Result<_, _>>()?;
+    let mut dists = Vec::new();
+    for _ in 0..2_000.min(sample.len() * sample.len()) {
+        let i = rng.random_range(0..sample.len());
+        let j = rng.random_range(0..sample.len());
+        if i != j {
+            dists.push(sample[i].total_distance(&sample[j]));
+        }
+    }
+    let p_dis = estimate_p_dissimilar(&dists, m_total);
+    let model = KCostModel {
+        n: records.len(),
+        m: m_total,
+        theta,
+        delta,
+        p_dissimilar: p_dis,
+        verify_cost: 1.0,
+    };
+    let k_star = model.optimal_k(5..=45);
+    let p = base_success_probability(theta, m_total);
+    let l = optimal_l(p.powi(k_star as i32), delta);
+    println!("\nblocking recommendation (θ = {theta}, δ = {delta}):");
+    println!("  p_dissimilar ≈ {p_dis:.3} (sampled)");
+    println!("  K* = {k_star} (cost-model optimum), L = {l} blocking groups");
+    println!("  per-pair recall guarantee ≥ {:.3}", 1.0 - delta);
+    Ok(())
+}

@@ -1,0 +1,100 @@
+//! Integration: all four methods on the same generated pair, asserting the
+//! paper's qualitative orderings at test scale.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use record_linkage::cbv_hb::metrics::evaluate;
+use record_linkage::datagen::NcvrSource;
+use record_linkage::prelude::*;
+
+fn pair(seed: u64, scheme: PerturbationScheme, n: usize, dup: f64) -> DatasetPair {
+    let mut rng = StdRng::seed_from_u64(seed);
+    DatasetPair::generate(
+        &NcvrSource,
+        PairConfig::new(n, scheme).with_duplicates(dup),
+        &mut rng,
+    )
+}
+
+fn pc_of(outcome: &LinkOutcome, p: &DatasetPair) -> f64 {
+    evaluate(&outcome.matches, &p.ground_truth, outcome.candidates, p.cross_size()).pc
+}
+
+#[test]
+fn all_methods_find_most_light_perturbations() {
+    let p = pair(1, PerturbationScheme::Light, 800, 0.0);
+    let mut cbv = CbvHbLinker::paper_pl(4, 1);
+    let mut bfh = BfhLinker::paper_pl(4, 1);
+    let mut harra = HarraLinker::paper_pl(1);
+    let mut smeb = SmEbLinker::paper_pl(4, 1);
+    for (name, pc) in [
+        ("cBV-HB", pc_of(&cbv.link(&p.a, &p.b), &p)),
+        ("BfH", pc_of(&bfh.link(&p.a, &p.b), &p)),
+        ("HARRA", pc_of(&harra.link(&p.a, &p.b), &p)),
+        ("SM-EB", pc_of(&smeb.link(&p.a, &p.b), &p)),
+    ] {
+        assert!(pc > 0.8, "{name} PC {pc} too low on clean PL data");
+    }
+}
+
+#[test]
+fn cbvhb_pc_stays_at_least_095_on_both_schemes() {
+    // The paper's headline claim (Figure 9): cBV-HB PC constantly ≥ 0.95.
+    for (scheme, seed) in [
+        (PerturbationScheme::Light, 2u64),
+        (PerturbationScheme::Heavy, 3),
+    ] {
+        let p = pair(seed, scheme, 800, 0.1);
+        let mut l = match scheme {
+            PerturbationScheme::Heavy => CbvHbLinker::paper_ph(4, seed),
+            _ => CbvHbLinker::paper_pl(4, seed),
+        };
+        let pc = pc_of(&l.link(&p.a, &p.b), &p);
+        assert!(pc >= 0.95, "cBV-HB PC {pc} for {scheme:?}");
+    }
+}
+
+#[test]
+fn harra_early_removal_hurts_with_near_duplicates() {
+    // With within-set near-duplicates, HARRA's iterative early removal
+    // misses pairs that cBV-HB keeps (the paper's explanation for HARRA's
+    // lower PC).
+    let p = pair(4, PerturbationScheme::Light, 1_200, 0.15);
+    let mut harra = HarraLinker::paper_pl(4);
+    let mut cbv = CbvHbLinker::paper_pl(4, 4);
+    let pc_harra = pc_of(&harra.link(&p.a, &p.b), &p);
+    let pc_cbv = pc_of(&cbv.link(&p.a, &p.b), &p);
+    assert!(
+        pc_cbv > pc_harra,
+        "cBV-HB ({pc_cbv}) should beat HARRA ({pc_harra}) under duplicates"
+    );
+}
+
+#[test]
+fn smeb_is_slowest_method() {
+    // Figure 12(b): SM-EB's running time dominates by a large margin.
+    let p = pair(5, PerturbationScheme::Light, 500, 0.0);
+    let mut cbv = CbvHbLinker::paper_pl(4, 5);
+    let mut smeb = SmEbLinker::paper_pl(4, 5);
+    let t_cbv = cbv.link(&p.a, &p.b).total_nanos();
+    let t_smeb = smeb.link(&p.a, &p.b).total_nanos();
+    assert!(
+        t_smeb > t_cbv,
+        "SM-EB ({t_smeb}ns) should be slower than cBV-HB ({t_cbv}ns)"
+    );
+}
+
+#[test]
+fn every_method_reduces_the_comparison_space() {
+    let p = pair(6, PerturbationScheme::Light, 800, 0.0);
+    let runs: Vec<(&str, LinkOutcome)> = vec![
+        ("cBV-HB", CbvHbLinker::paper_pl(4, 6).link(&p.a, &p.b)),
+        ("BfH", BfhLinker::paper_pl(4, 6).link(&p.a, &p.b)),
+        ("HARRA", HarraLinker::paper_pl(6).link(&p.a, &p.b)),
+        ("SM-EB", SmEbLinker::paper_pl(4, 6).link(&p.a, &p.b)),
+    ];
+    for (name, out) in runs {
+        let q = evaluate(&out.matches, &p.ground_truth, out.candidates, p.cross_size());
+        assert!(q.rr > 0.8, "{name} RR {} too low", q.rr);
+    }
+}

@@ -1,0 +1,121 @@
+//! The paper's distance-correspondence chain, verified end-to-end with
+//! property-based tests:
+//!
+//! ```text
+//! u_Ĥ  ≤  u_ℋ  ≤  α · u_ℰ      (α = 4 for substitute, 3 for delete/insert)
+//! ```
+//!
+//! i.e. an edit error in the original space ℰ moves the q-gram vector by a
+//! bounded number of bits (Section 5.1), and the compact c-vector can only
+//! shrink distances further (collisions merge positions, Section 5.2).
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use record_linkage::cbv_hb::cvector::CVectorEmbedder;
+use record_linkage::cbv_hb::qvector::QGramVectorEmbedder;
+use record_linkage::datagen::{Op, PerturbationScheme};
+use record_linkage::prelude::*;
+use record_linkage::textdist::{levenshtein, QGramSet};
+
+fn perturb(s: &str, op: Op, seed: u64) -> String {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let r = Record::new(0, [s]);
+    let p = PerturbationScheme::SingleOp(op).apply(&r, 1, &mut rng);
+    p.record.field(0).to_string()
+}
+
+proptest! {
+    #[test]
+    fn substitute_moves_qgram_vector_at_most_4_bits(
+        s in "[A-Z]{2,12}", seed in 0u64..500
+    ) {
+        let e = QGramVectorEmbedder::new(Alphabet::upper(), 2, true);
+        let t = perturb(&s, Op::Substitute, seed);
+        let d = e.embed(&s).hamming(&e.embed(&t));
+        prop_assert!(d <= 4, "{s} vs {t}: u_H = {d}");
+        prop_assert!(d >= 1, "a substitution must change at least one bigram");
+    }
+
+    #[test]
+    fn delete_moves_qgram_vector_at_most_3_bits(
+        s in "[A-Z]{2,12}", seed in 0u64..500
+    ) {
+        let e = QGramVectorEmbedder::new(Alphabet::upper(), 2, true);
+        let t = perturb(&s, Op::Delete, seed);
+        let d = e.embed(&s).hamming(&e.embed(&t));
+        prop_assert!(d <= 3, "{s} vs {t}: u_H = {d}");
+    }
+
+    #[test]
+    fn insert_moves_qgram_vector_at_most_3_bits(
+        s in "[A-Z]{2,12}", seed in 0u64..500
+    ) {
+        let e = QGramVectorEmbedder::new(Alphabet::upper(), 2, true);
+        let t = perturb(&s, Op::Insert, seed);
+        let d = e.embed(&s).hamming(&e.embed(&t));
+        prop_assert!(d <= 3, "{s} vs {t}: u_H = {d}");
+    }
+
+    #[test]
+    fn general_bound_u_h_at_most_4_u_e(
+        a in "[A-Z]{1,10}", b in "[A-Z]{1,10}"
+    ) {
+        // Equation 3 with the loosest α: u_ℋ ≤ 4·u_ℰ for any string pair.
+        let e = QGramVectorEmbedder::new(Alphabet::upper(), 2, true);
+        let u_h = e.embed(&a).hamming(&e.embed(&b));
+        let u_e = levenshtein(&a, &b);
+        prop_assert!(u_h <= 4 * u_e, "{a} vs {b}: u_H={u_h}, u_E={u_e}");
+    }
+
+    #[test]
+    fn cvector_distance_bounded_by_qgram_distance(
+        a in "[A-Z]{1,10}", b in "[A-Z]{1,10}", seed in 0u64..100
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let c = CVectorEmbedder::random(Alphabet::upper(), 2, 15, true, &mut rng);
+        let u_hat = c.embed(&a).hamming(&c.embed(&b));
+        let u_h = QGramSet::build(&a, 2, &Alphabet::upper())
+            .symmetric_difference_size(&QGramSet::build(&b, 2, &Alphabet::upper()));
+        prop_assert!(u_hat as usize <= u_h, "{a} vs {b}: u_hat={u_hat} > u_H={u_h}");
+    }
+
+    #[test]
+    fn full_chain_for_single_errors(
+        s in "[A-Z]{3,10}", seed in 0u64..200
+    ) {
+        // One edit error stays within the θ = 4 budget through the whole
+        // chain: ℰ → ℋ → Ĥ.
+        let mut rng = StdRng::seed_from_u64(seed);
+        let c = CVectorEmbedder::random(Alphabet::upper(), 2, 15, true, &mut rng);
+        let op = Op::ALL[(seed % 3) as usize];
+        let t = perturb(&s, op, seed);
+        prop_assert_eq!(levenshtein(&s, &t), 1);
+        let u_hat = c.embed(&s).hamming(&c.embed(&t));
+        prop_assert!(u_hat <= 4, "{} vs {}: u_hat = {}", s, t, u_hat);
+    }
+}
+
+#[test]
+fn hamming_distance_is_length_invariant_unlike_jaccard() {
+    // §5.1's argument for ℋ over 𝒥, verified over many lengths: the same
+    // mid-string substitution always costs 4 bits in ℋ, while the Jaccard
+    // distance shrinks as the strings grow.
+    let e = QGramVectorEmbedder::new(Alphabet::upper(), 2, true);
+    let mut last_jaccard = f64::MAX;
+    for len in [5usize, 8, 12, 16, 20] {
+        let s: String = "ABCDEFGHIJKLMNOPQRST"[..len].to_string();
+        let mut t: Vec<char> = s.chars().collect();
+        t[2] = 'Z';
+        let t: String = t.into_iter().collect();
+        let u_h = e.embed(&s).hamming(&e.embed(&t));
+        assert_eq!(u_h, 4, "len {len}");
+        let a = Alphabet::upper();
+        let j = record_linkage::textdist::jaccard_distance(
+            &QGramSet::build_unpadded(&s, 2, &a),
+            &QGramSet::build_unpadded(&t, 2, &a),
+        );
+        assert!(j < last_jaccard, "Jaccard distance should shrink with length");
+        last_jaccard = j;
+    }
+}

@@ -1,0 +1,127 @@
+//! End-to-end integration: generated data sets → pipeline → quality
+//! measures, exercising every crate together.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use record_linkage::cbv_hb::metrics::evaluate;
+use record_linkage::cbv_hb::AttributeSpec;
+use record_linkage::datagen::NcvrSource;
+use record_linkage::prelude::*;
+
+fn fitted_schema(pair: &DatasetPair, rng: &mut StdRng) -> RecordSchema {
+    let ks = [5u32, 5, 10, 10];
+    let specs: Vec<AttributeSpec> = (0..4)
+        .map(|f| {
+            AttributeSpec::fitted(
+                format!("f{f}"),
+                2,
+                pair.a.iter().chain(&pair.b).take(2000).map(|r| r.field(f)),
+                1.0,
+                1.0 / 3.0,
+                false,
+                ks[f],
+            )
+        })
+        .collect();
+    RecordSchema::build(Alphabet::linkage(), specs, rng)
+}
+
+fn generate(scheme: PerturbationScheme, n: usize, seed: u64) -> DatasetPair {
+    let mut rng = StdRng::seed_from_u64(seed);
+    DatasetPair::generate(&NcvrSource, PairConfig::new(n, scheme), &mut rng)
+}
+
+#[test]
+fn light_scheme_record_level_recall_exceeds_guarantee() {
+    // δ = 0.1 → expected PC ≥ 0.9; in practice well above.
+    let pair = generate(PerturbationScheme::Light, 1_500, 1);
+    let mut rng = StdRng::seed_from_u64(10);
+    let schema = fitted_schema(&pair, &mut rng);
+    let rule = Rule::and((0..4).map(|i| Rule::pred(i, 4)));
+    let mut p = LinkagePipeline::new(
+        schema,
+        LinkageConfig::record_level(rule, 4, 30),
+        &mut rng,
+    )
+    .unwrap();
+    p.index(&pair.a).unwrap();
+    let r = p.link(&pair.b).unwrap();
+    let q = evaluate(&r.matches, &pair.ground_truth, r.stats.candidates, pair.cross_size());
+    assert!(q.pc >= 0.9, "PC {} below the 1-δ guarantee", q.pc);
+    assert!(q.rr > 0.99, "blocking should prune almost everything: RR {}", q.rr);
+}
+
+#[test]
+fn heavy_scheme_rule_aware_recall_exceeds_guarantee() {
+    let pair = generate(PerturbationScheme::Heavy, 1_500, 2);
+    let mut rng = StdRng::seed_from_u64(11);
+    let schema = fitted_schema(&pair, &mut rng);
+    let rule = Rule::and([Rule::pred(0, 4), Rule::pred(1, 4), Rule::pred(2, 8)]);
+    let mut p =
+        LinkagePipeline::new(schema, LinkageConfig::rule_aware(rule), &mut rng).unwrap();
+    p.index(&pair.a).unwrap();
+    let r = p.link(&pair.b).unwrap();
+    let q = evaluate(&r.matches, &pair.ground_truth, r.stats.candidates, pair.cross_size());
+    assert!(q.pc >= 0.9, "PC {} below the 1-δ guarantee", q.pc);
+}
+
+#[test]
+fn identified_matches_satisfy_the_rule() {
+    // Soundness: every reported pair really is within the thresholds in Ĥ.
+    let pair = generate(PerturbationScheme::Light, 800, 3);
+    let mut rng = StdRng::seed_from_u64(12);
+    let schema = fitted_schema(&pair, &mut rng);
+    let rule = Rule::and((0..4).map(|i| Rule::pred(i, 4)));
+    let mut p = LinkagePipeline::new(
+        schema.clone(),
+        LinkageConfig::rule_aware(rule.clone()),
+        &mut rng,
+    )
+    .unwrap();
+    p.index(&pair.a).unwrap();
+    let r = p.link(&pair.b).unwrap();
+    let a_by_id: std::collections::HashMap<u64, &Record> =
+        pair.a.iter().map(|x| (x.id, x)).collect();
+    let b_by_id: std::collections::HashMap<u64, &Record> =
+        pair.b.iter().map(|x| (x.id, x)).collect();
+    assert!(!r.matches.is_empty());
+    for (ia, ib) in &r.matches {
+        let ea = schema.embed(a_by_id[ia]).unwrap();
+        let eb = schema.embed(b_by_id[ib]).unwrap();
+        assert!(
+            rule.evaluate(&ea.distances(&eb)),
+            "reported pair ({ia},{ib}) violates the rule"
+        );
+    }
+}
+
+#[test]
+fn candidates_never_exceed_cross_product() {
+    let pair = generate(PerturbationScheme::Light, 300, 4);
+    let mut rng = StdRng::seed_from_u64(13);
+    let schema = fitted_schema(&pair, &mut rng);
+    let rule = Rule::and((0..4).map(|i| Rule::pred(i, 4)));
+    let mut p =
+        LinkagePipeline::new(schema, LinkageConfig::rule_aware(rule), &mut rng).unwrap();
+    p.index(&pair.a).unwrap();
+    let r = p.link(&pair.b).unwrap();
+    assert!(u128::from(r.stats.candidates) <= pair.cross_size());
+    assert_eq!(r.stats.candidates, r.stats.distance_computations);
+}
+
+#[test]
+fn empty_datasets_are_fine() {
+    let mut rng = StdRng::seed_from_u64(14);
+    let schema = RecordSchema::build(
+        Alphabet::linkage(),
+        vec![AttributeSpec::new("f0", 2, 15, false, 5)],
+        &mut rng,
+    );
+    let rule = Rule::pred(0, 4);
+    let mut p =
+        LinkagePipeline::new(schema, LinkageConfig::rule_aware(rule), &mut rng).unwrap();
+    p.index(&[]).unwrap();
+    let r = p.link(&[]).unwrap();
+    assert!(r.matches.is_empty());
+    assert_eq!(r.stats.candidates, 0);
+}

@@ -1,0 +1,103 @@
+//! Randomized pipeline properties: arbitrary valid rules over arbitrary
+//! schemas must (a) compile, (b) classify exactly per the rule, and
+//! (c) always surface exact-duplicate records for positive rules.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use record_linkage::cbv_hb::{AttributeSpec, Record, RecordSchema, Rule};
+use record_linkage::prelude::*;
+
+/// Strategy for a random *positive* rule (no NOT) over `n_attrs` attributes
+/// with thresholds below `max_theta`.
+fn positive_rule(n_attrs: usize, max_theta: u32) -> impl Strategy<Value = Rule> {
+    let pred = (0..n_attrs, 1..=max_theta).prop_map(|(a, t)| Rule::pred(a, t));
+    pred.prop_recursive(2, 6, 3, |inner| {
+        prop_oneof![
+            proptest::collection::vec(inner.clone(), 1..3).prop_map(Rule::And),
+            proptest::collection::vec(inner, 1..3).prop_map(Rule::Or),
+        ]
+    })
+}
+
+fn schema(seed: u64, n_attrs: usize) -> RecordSchema {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let specs = (0..n_attrs)
+        .map(|i| AttributeSpec::new(format!("f{i}"), 2, 15 + 5 * i, false, 5))
+        .collect();
+    RecordSchema::build(Alphabet::linkage(), specs, &mut rng)
+}
+
+fn record(id: u64, fields: &[String]) -> Record {
+    Record::new(id, fields.iter().cloned())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn random_positive_rules_compile_and_classify(
+        rule in positive_rule(3, 10),
+        seed in 0u64..50,
+        fields_a in proptest::collection::vec("[A-Z]{2,8}", 3),
+        fields_b in proptest::collection::vec("[A-Z]{2,8}", 3),
+    ) {
+        let s = schema(seed, 3);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xABC);
+        let mut pipeline = LinkagePipeline::new(
+            s.clone(),
+            LinkageConfig::rule_aware(rule.clone()),
+            &mut rng,
+        ).expect("positive rules always compile");
+        let a = record(1, &fields_a);
+        let b = record(100, &fields_b);
+        pipeline.index(std::slice::from_ref(&a)).unwrap();
+        let result = pipeline.link(std::slice::from_ref(&b)).unwrap();
+        // Soundness: a reported match must satisfy the rule on the shared
+        // embedding.
+        let ea = s.embed(&a).unwrap();
+        let eb = s.embed(&b).unwrap();
+        let truth = rule.evaluate(&ea.distances(&eb));
+        if result.matches.contains(&(1, 100)) {
+            prop_assert!(truth, "reported match violates the rule");
+        }
+    }
+
+    #[test]
+    fn exact_duplicates_always_match(
+        rule in positive_rule(3, 10),
+        seed in 0u64..50,
+        fields in proptest::collection::vec("[A-Z]{2,8}", 3),
+    ) {
+        // A record and its exact copy have all distances 0, satisfying any
+        // positive rule, and collide in every table — the plan must always
+        // surface the pair.
+        let s = schema(seed, 3);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xDEF);
+        let mut pipeline = LinkagePipeline::new(
+            s,
+            LinkageConfig::rule_aware(rule),
+            &mut rng,
+        ).unwrap();
+        pipeline.index(&[record(1, &fields)]).unwrap();
+        let result = pipeline.link(&[record(100, &fields)]).unwrap();
+        prop_assert!(
+            result.matches.contains(&(1, 100)),
+            "exact duplicate missed"
+        );
+    }
+
+    #[test]
+    fn parsed_rules_equal_constructed(
+        a0 in 0usize..3, t0 in 1u32..15,
+        a1 in 0usize..3, t1 in 1u32..15,
+    ) {
+        let text = format!("{a0}<={t0} & !({a1}<={t1})");
+        let parsed = record_linkage::cbv_hb::parse_rule(&text).unwrap();
+        let built = Rule::and([
+            Rule::pred(a0, t0),
+            Rule::not(Rule::pred(a1, t1)),
+        ]);
+        prop_assert_eq!(parsed, built);
+    }
+}

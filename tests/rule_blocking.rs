@@ -1,0 +1,187 @@
+//! Integration tests for rule-aware blocking versus the standard
+//! record-level approach (the Figure 6 phenomena, asserted statistically).
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use record_linkage::cbv_hb::metrics::evaluate;
+use record_linkage::cbv_hb::AttributeSpec;
+use record_linkage::datagen::perturb::apply_op;
+use record_linkage::datagen::{NcvrSource, Op};
+use record_linkage::prelude::*;
+use std::collections::HashSet;
+
+fn schema(rng: &mut StdRng) -> RecordSchema {
+    RecordSchema::build(
+        Alphabet::linkage(),
+        vec![
+            AttributeSpec::new("FirstName", 2, 15, false, 5),
+            AttributeSpec::new("LastName", 2, 15, false, 5),
+            AttributeSpec::new("Address", 2, 68, false, 10),
+            AttributeSpec::new("Town", 2, 22, false, 10),
+        ],
+        rng,
+    )
+}
+
+/// Builds a C3-style pair: matched records share a lightly perturbed first
+/// name but a *replaced* last name (the married-name scenario NOT rules
+/// model — the new surname is a different corpus name, far beyond θ¹).
+fn c3_pair(n: usize, seed: u64) -> DatasetPair {
+    use rand::RngExt;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut pair = DatasetPair::generate(
+        &NcvrSource,
+        PairConfig::new(n, PerturbationScheme::SingleOp(Op::Substitute)),
+        &mut rng,
+    );
+    let a_by_id: std::collections::HashMap<u64, Record> =
+        pair.a.iter().map(|r| (r.id, r.clone())).collect();
+    let mut gt: Vec<(u64, u64)> = pair.ground_truth.iter().copied().collect();
+    gt.sort_unstable(); // HashSet order varies per process; keep rng stream stable
+    let surnames = record_linkage::datagen::corpus::LAST_NAMES;
+    for (ia, ib) in gt {
+        let src = &a_by_id[&ia];
+        let mut fields = src.fields.clone();
+        let (v0, _) = apply_op(&fields[0], Op::Substitute, &mut rng);
+        fields[0] = v0;
+        fields[1] = loop {
+            let cand = surnames[rng.random_range(0..surnames.len())];
+            if cand != src.field(1) {
+                break cand.to_string();
+            }
+        };
+        pair.b.iter_mut().find(|r| r.id == ib).unwrap().fields = fields;
+    }
+    pair
+}
+
+/// Ground truth restricted to pairs that satisfy `rule` in Ĥ.
+fn rule_truth(schema: &RecordSchema, pair: &DatasetPair, rule: &Rule) -> HashSet<(u64, u64)> {
+    let a: std::collections::HashMap<u64, &Record> =
+        pair.a.iter().map(|r| (r.id, r)).collect();
+    let b: std::collections::HashMap<u64, &Record> =
+        pair.b.iter().map(|r| (r.id, r)).collect();
+    pair.ground_truth
+        .iter()
+        .filter(|(ia, ib)| {
+            let ea = schema.embed(a[ia]).unwrap();
+            let eb = schema.embed(b[ib]).unwrap();
+            rule.evaluate(&ea.distances(&eb))
+        })
+        .copied()
+        .collect()
+}
+
+#[test]
+fn c3_rule_aware_blocking_beats_standard() {
+    // The paper's headline Figure 6 claim: the standard approach cannot
+    // articulate the NOT operator, so its PC collapses on C3, while the
+    // rule-aware plan excludes NOT pairs at blocking time and keeps PC high.
+    let mut rng = StdRng::seed_from_u64(77);
+    let s = schema(&mut rng);
+    let rule = Rule::and([Rule::pred(0, 4), Rule::not(Rule::pred(1, 4))]);
+    let pair = c3_pair(600, 7);
+    let truth = rule_truth(&s, &pair, &rule);
+    assert!(truth.len() > 100, "C3 generator must produce rule-true pairs");
+
+    let mut aware = LinkagePipeline::new(
+        s.clone(),
+        LinkageConfig::rule_aware(rule.clone()),
+        &mut rng,
+    )
+    .unwrap();
+    aware.index(&pair.a).unwrap();
+    let r_aware = aware.link(&pair.b).unwrap();
+    let q_aware = evaluate(&r_aware.matches, &truth, r_aware.stats.candidates, pair.cross_size());
+
+    // Standard blocking: record-level sampling with the positive budget
+    // θ = 4 + 4 (it is unaware the second predicate is negated).
+    let mut std_p = LinkagePipeline::new(
+        s,
+        LinkageConfig::record_level(rule, 8, 30),
+        &mut rng,
+    )
+    .unwrap();
+    std_p.index(&pair.a).unwrap();
+    let r_std = std_p.link(&pair.b).unwrap();
+    let q_std = evaluate(&r_std.matches, &truth, r_std.stats.candidates, pair.cross_size());
+
+    assert!(q_aware.pc >= 0.9, "rule-aware PC {}", q_aware.pc);
+    assert!(
+        q_aware.pc > q_std.pc + 0.05,
+        "rule-aware ({}) should clearly beat standard ({}) on C3",
+        q_aware.pc,
+        q_std.pc
+    );
+}
+
+#[test]
+fn or_rule_finds_pairs_matching_either_subrule() {
+    let mut rng = StdRng::seed_from_u64(88);
+    let s = schema(&mut rng);
+    let rule = Rule::or([
+        Rule::and([Rule::pred(0, 4), Rule::pred(1, 4)]),
+        Rule::pred(2, 8),
+    ]);
+    let mut p =
+        LinkagePipeline::new(s, LinkageConfig::rule_aware(rule), &mut rng).unwrap();
+    p.index(&[
+        Record::new(1, ["JOHN", "SMITH", "1 OAK ST", "CARY"]),
+        Record::new(2, ["ALICE", "KRAMER", "42 PINE DRIVE", "APEX"]),
+    ])
+    .unwrap();
+    // Probe 10 matches record 1 on names only; probe 11 matches record 2 on
+    // address only.
+    let r = p
+        .link(&[
+            Record::new(10, ["JOHN", "SMITH", "999 UNKNOWN BLVD", "ZEBULON"]),
+            Record::new(11, ["GERTRUDE", "OBOYLE", "42 PINE DRIVE", "APEX"]),
+        ])
+        .unwrap();
+    let mut m = r.matches.clone();
+    m.sort_unstable();
+    assert_eq!(m, vec![(1, 10), (2, 11)]);
+}
+
+#[test]
+fn and_rule_requires_all_predicates() {
+    let mut rng = StdRng::seed_from_u64(99);
+    let s = schema(&mut rng);
+    let rule = Rule::and([Rule::pred(0, 4), Rule::pred(1, 4)]);
+    let mut p =
+        LinkagePipeline::new(s, LinkageConfig::rule_aware(rule), &mut rng).unwrap();
+    p.index(&[Record::new(1, ["JOHN", "SMITH", "1 OAK ST", "CARY"])])
+        .unwrap();
+    let r = p
+        .link(&[Record::new(10, ["JOHN", "COMPLETELYOTHER", "1 OAK ST", "CARY"])])
+        .unwrap();
+    assert!(r.matches.is_empty(), "one failed predicate must reject");
+}
+
+#[test]
+fn compound_rule_c1_paper_shape_end_to_end() {
+    // (f0 ∧ f1) ∨ (f2 ∧ f3): two fused AND structures, union of candidates.
+    let mut rng = StdRng::seed_from_u64(111);
+    let s = schema(&mut rng);
+    let rule = Rule::or([
+        Rule::and([Rule::pred(0, 4), Rule::pred(1, 4)]),
+        Rule::and([Rule::pred(2, 8), Rule::pred(3, 4)]),
+    ]);
+    let mut p =
+        LinkagePipeline::new(s, LinkageConfig::rule_aware(rule), &mut rng).unwrap();
+    assert_eq!(p.plan().structures().len(), 2);
+    p.index(&[Record::new(1, ["JOHN", "SMITH", "1 OAK ST", "CARY"])])
+        .unwrap();
+    // Filler values must be long enough to carry bigrams — empty bigram
+    // sets embed to zero vectors and trivially sit within any threshold.
+    let r = p
+        .link(&[
+            Record::new(10, ["JOHN", "SMITH", "900 UNKNOWN BOULEVARD", "ZEBULON"]),
+            Record::new(11, ["GERTRUDE", "WAKEFIELD", "1 OAK ST", "CARY"]),
+            Record::new(12, ["GERTRUDE", "WAKEFIELD", "900 UNKNOWN BOULEVARD", "ZEBULON"]),
+        ])
+        .unwrap();
+    let mut m = r.matches.clone();
+    m.sort_unstable();
+    assert_eq!(m, vec![(1, 10), (1, 11)]);
+}
