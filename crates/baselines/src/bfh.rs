@@ -119,10 +119,8 @@ impl Linker for BfhLinker {
         let mut out = LinkOutcome::default();
 
         let t0 = Instant::now();
-        let enc_a: Vec<(u64, Vec<BitVec>)> =
-            a.iter().map(|r| self.encode(&encoders, r)).collect();
-        let enc_b: Vec<(u64, Vec<BitVec>)> =
-            b.iter().map(|r| self.encode(&encoders, r)).collect();
+        let enc_a: Vec<(u64, Vec<BitVec>)> = a.iter().map(|r| self.encode(&encoders, r)).collect();
+        let enc_b: Vec<(u64, Vec<BitVec>)> = b.iter().map(|r| self.encode(&encoders, r)).collect();
         out.embed_nanos = t0.elapsed().as_nanos();
 
         // Record-level HB: L from the blocking threshold over the

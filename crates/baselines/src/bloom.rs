@@ -97,7 +97,10 @@ mod tests {
         let e = encoder(3);
         let v = e.encode("JOHN"); // 5 padded bigrams × 15 hashes
         assert!(v.count_ones() <= 75);
-        assert!(v.count_ones() > 50, "collisions should be limited at 500 bits");
+        assert!(
+            v.count_ones() > 50,
+            "collisions should be limited at 500 bits"
+        );
     }
 
     #[test]

@@ -9,9 +9,7 @@
 
 use crate::common::{LinkOutcome, Linker};
 use cbv_hb::pipeline::BlockingMode;
-use cbv_hb::{
-    AttributeSpec, LinkageConfig, LinkagePipeline, Record, RecordSchema, Rule,
-};
+use cbv_hb::{AttributeSpec, LinkageConfig, LinkagePipeline, Record, RecordSchema, Rule};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::time::Instant;

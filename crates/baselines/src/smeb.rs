@@ -124,10 +124,8 @@ impl Linker for SmEbLinker {
                 distinct.clone()
             };
             let map = StringMap::fit(&fit_sample, self.dim, self.pivot_scans, &mut rng);
-            let coords: HashMap<&str, Vec<f64>> = distinct
-                .into_iter()
-                .map(|v| (v, map.embed(v)))
-                .collect();
+            let coords: HashMap<&str, Vec<f64>> =
+                distinct.into_iter().map(|v| (v, map.embed(v))).collect();
             maps.push(map);
             value_coords.push(coords);
         }

@@ -168,9 +168,26 @@ mod tests {
     use rand::SeedableRng;
 
     const NAMES: &[&str] = &[
-        "JONES", "JONAS", "JOHNSON", "JOHNSTON", "SMITH", "SMYTH", "SMITHSON", "WILLIAMS",
-        "WILLIAMSON", "BROWN", "BROWNE", "TAYLOR", "TAILOR", "ANDERSON", "ANDERSEN",
-        "WRIGHT", "WHITE", "WALKER", "WATKINS", "MARTINEZ",
+        "JONES",
+        "JONAS",
+        "JOHNSON",
+        "JOHNSTON",
+        "SMITH",
+        "SMYTH",
+        "SMITHSON",
+        "WILLIAMS",
+        "WILLIAMSON",
+        "BROWN",
+        "BROWNE",
+        "TAYLOR",
+        "TAILOR",
+        "ANDERSON",
+        "ANDERSEN",
+        "WRIGHT",
+        "WHITE",
+        "WALKER",
+        "WATKINS",
+        "MARTINEZ",
     ];
 
     fn fit(seed: u64, d: usize) -> StringMap {

@@ -64,7 +64,12 @@ fn bench_dedup(c: &mut Criterion) {
             let mut stats = MatchStats::default();
             for probe in &probes {
                 black_box(match_structure_literal(
-                    structure, &store, probe, &classifier, true, &mut stats,
+                    structure,
+                    &store,
+                    probe,
+                    &classifier,
+                    true,
+                    &mut stats,
                 ));
             }
             stats
@@ -75,7 +80,12 @@ fn bench_dedup(c: &mut Criterion) {
             let mut stats = MatchStats::default();
             for probe in &probes {
                 black_box(match_structure_literal(
-                    structure, &store, probe, &classifier, false, &mut stats,
+                    structure,
+                    &store,
+                    probe,
+                    &classifier,
+                    false,
+                    &mut stats,
                 ));
             }
             stats
@@ -118,12 +128,11 @@ fn bench_sparsity(c: &mut Criterion) {
     for (i, v) in full_a.iter().enumerate() {
         table_full.insert(sampler_full.key(v), i as u64);
     }
-    let full_b: Vec<BitVec> = p
-        .b
-        .iter()
-        .take(200)
-        .map(|r| full.embed(r.field(1)))
-        .collect();
+    let full_b: Vec<BitVec> =
+        p.b.iter()
+            .take(200)
+            .map(|r| full.embed(r.field(1)))
+            .collect();
     group.bench_function("probe_full_qgram_vector", |bench| {
         bench.iter(|| {
             let mut touched = 0usize;
@@ -143,12 +152,11 @@ fn bench_sparsity(c: &mut Criterion) {
     for (i, v) in compact_a.iter().enumerate() {
         table_compact.insert(sampler_compact.key(v), i as u64);
     }
-    let compact_b: Vec<BitVec> = p
-        .b
-        .iter()
-        .take(200)
-        .map(|r| compact.embed(r.field(1)))
-        .collect();
+    let compact_b: Vec<BitVec> =
+        p.b.iter()
+            .take(200)
+            .map(|r| compact.embed(r.field(1)))
+            .collect();
     group.bench_function("probe_compact_cvector", |bench| {
         bench.iter(|| {
             let mut touched = 0usize;

@@ -64,7 +64,10 @@ fn bench_rule_compilation(c: &mut Criterion) {
     let mut rng = StdRng::seed_from_u64(3);
     let s = schema(&mut rng);
     let rules = [
-        ("C1", Rule::and([Rule::pred(0, 4), Rule::pred(1, 4), Rule::pred(2, 8)])),
+        (
+            "C1",
+            Rule::and([Rule::pred(0, 4), Rule::pred(1, 4), Rule::pred(2, 8)]),
+        ),
         (
             "C2",
             Rule::or([
@@ -72,7 +75,10 @@ fn bench_rule_compilation(c: &mut Criterion) {
                 Rule::pred(2, 8),
             ]),
         ),
-        ("C3", Rule::and([Rule::pred(0, 4), Rule::not(Rule::pred(1, 4))])),
+        (
+            "C3",
+            Rule::and([Rule::pred(0, 4), Rule::not(Rule::pred(1, 4))]),
+        ),
     ];
     let mut group = c.benchmark_group("rule_compile");
     for (name, rule) in rules {

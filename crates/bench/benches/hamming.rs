@@ -28,9 +28,11 @@ fn bench_hamming(c: &mut Criterion) {
     for bits in [120usize, 267, 2000] {
         let a = random_bitvec(bits, 0.3, &mut rng);
         let b = random_bitvec(bits, 0.3, &mut rng);
-        group.bench_with_input(BenchmarkId::new("packed_popcount", bits), &bits, |bench, _| {
-            bench.iter(|| black_box(&a).hamming(black_box(&b)))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("packed_popcount", bits),
+            &bits,
+            |bench, _| bench.iter(|| black_box(&a).hamming(black_box(&b))),
+        );
     }
     group.finish();
 }

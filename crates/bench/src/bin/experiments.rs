@@ -16,10 +16,9 @@
 //!   all       everything above
 //! ```
 
-
 use cbv_hb::{
-    cvector::optimal_m, metrics::evaluate, AttributeSpec, LinkageConfig, LinkagePipeline,
-    Record, RecordSchema, Rule,
+    cvector::optimal_m, metrics::evaluate, AttributeSpec, LinkageConfig, LinkagePipeline, Record,
+    RecordSchema, Rule,
 };
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -186,11 +185,29 @@ fn table3(opts: &Opts) {
     let mut out_rows = Vec::new();
     let mut t = Table::new(
         "Table 3 reproduction",
-        ["source", "attribute", "b (measured)", "m_opt", "K", "b (paper)", "m_opt (paper)"],
+        [
+            "source",
+            "attribute",
+            "b (measured)",
+            "m_opt",
+            "K",
+            "b (paper)",
+            "m_opt (paper)",
+        ],
     );
     let paper = [
-        ("NCVR", ["FirstName", "LastName", "Address", "Town"], [5.1, 5.0, 20.0, 7.2], [15usize, 15, 68, 22]),
-        ("DBLP", ["FirstName", "LastName", "Title", "Year"], [4.8, 6.2, 64.8, 3.0], [14, 19, 226, 8]),
+        (
+            "NCVR",
+            ["FirstName", "LastName", "Address", "Town"],
+            [5.1, 5.0, 20.0, 7.2],
+            [15usize, 15, 68, 22],
+        ),
+        (
+            "DBLP",
+            ["FirstName", "LastName", "Title", "Year"],
+            [4.8, 6.2, 64.8, 3.0],
+            [14, 19, 226, 8],
+        ),
     ];
     for (src, names, b_paper, m_paper) in paper {
         let mut rng = StdRng::seed_from_u64(opts.seed);
@@ -226,7 +243,11 @@ fn table3(opts: &Opts) {
             total_m.to_string(),
             String::new(),
             String::new(),
-            if src == "NCVR" { "120".into() } else { "267".to_string() },
+            if src == "NCVR" {
+                "120".into()
+            } else {
+                "267".to_string()
+            },
         ]);
     }
     t.print();
@@ -410,13 +431,8 @@ fn fig7(opts: &Opts) {
                 },
                 rule,
             };
-            let (res, _) = run_pipeline(
-                schema,
-                config,
-                &pair,
-                &pair.ground_truth.clone(),
-                &mut rng,
-            );
+            let (res, _) =
+                run_pipeline(schema, config, &pair, &pair.ground_truth.clone(), &mut rng);
             results.push(res);
         }
         let avg = average(&results);
@@ -456,9 +472,10 @@ fn fig8a(opts: &Opts) {
                 let pair = ncvr_pair(opts.records, scheme, seed);
                 let mut rng = StdRng::seed_from_u64(seed ^ u64::from(k));
                 let schema = fitted_schema(&pair, &paper_ks(), 1.0 / 3.0, &mut rng);
-                let rule = Rule::and((0..4).map(|i| {
-                    Rule::pred(i, if i == 2 && scheme_name == "PH" { 8 } else { 4 })
-                }));
+                let rule = Rule::and(
+                    (0..4)
+                        .map(|i| Rule::pred(i, if i == 2 && scheme_name == "PH" { 8 } else { 4 })),
+                );
                 let config = LinkageConfig::record_level(rule, theta, k);
                 let t0 = Instant::now();
                 let mut p = LinkagePipeline::new(schema, config, &mut rng).expect("valid");
@@ -466,7 +483,12 @@ fn fig8a(opts: &Opts) {
                 p.index(&pair.a).expect("ok");
                 let r = p.link(&pair.b).expect("ok");
                 let total = t0.elapsed().as_secs_f64();
-                let q = evaluate(&r.matches, &pair.ground_truth, r.stats.candidates, pair.cross_size());
+                let q = evaluate(
+                    &r.matches,
+                    &pair.ground_truth,
+                    r.stats.candidates,
+                    pair.cross_size(),
+                );
                 results.push(MethodResult {
                     name: "cBV-HB".into(),
                     quality: q,
@@ -513,11 +535,7 @@ fn fig8b(opts: &Opts) {
 
 // ------------------------------------------------- figures 9, 10, 12
 
-fn run_all_methods(
-    pair: &DatasetPair,
-    scheme: PerturbationScheme,
-    seed: u64,
-) -> Vec<MethodResult> {
+fn run_all_methods(pair: &DatasetPair, scheme: PerturbationScheme, seed: u64) -> Vec<MethodResult> {
     let heavy = matches!(
         scheme,
         PerturbationScheme::Heavy | PerturbationScheme::HeavyOp(_)
@@ -554,7 +572,10 @@ fn compare(opts: &Opts) {
     println!("\n## Figures 9 / 10 / 12 — method comparison");
     let mut by_cell: HashMap<(String, String, String), MethodResult> = HashMap::new();
     for (src_name, make) in [
-        ("NCVR", ncvr_pair as fn(usize, PerturbationScheme, u64) -> DatasetPair),
+        (
+            "NCVR",
+            ncvr_pair as fn(usize, PerturbationScheme, u64) -> DatasetPair,
+        ),
         ("DBLP", dblp_pair),
     ] {
         for (scheme_name, scheme) in [
@@ -649,7 +670,10 @@ fn fig11(opts: &Opts) {
     );
     let mut json = Vec::new();
     for (scheme_name, make_scheme) in [
-        ("PL", PerturbationScheme::SingleOp as fn(Op) -> PerturbationScheme),
+        (
+            "PL",
+            PerturbationScheme::SingleOp as fn(Op) -> PerturbationScheme,
+        ),
         ("PH", PerturbationScheme::HeavyOp),
     ] {
         for op in Op::ALL {
@@ -776,7 +800,12 @@ fn guarantee(opts: &Opts) {
             p.index(&pair.a).expect("ok");
             let r = p.link(&pair.b).expect("ok");
             let _ = t0;
-            let q = evaluate(&r.matches, &pair.ground_truth, r.stats.candidates, pair.cross_size());
+            let q = evaluate(
+                &r.matches,
+                &pair.ground_truth,
+                r.stats.candidates,
+                pair.cross_size(),
+            );
             results.push(MethodResult {
                 name: "cBV-HB".into(),
                 quality: q,
@@ -822,17 +851,8 @@ fn rho_sweep(opts: &Opts) {
             let ks = paper_ks();
             let specs: Vec<AttributeSpec> = (0..4)
                 .map(|f| {
-                    let sample =
-                        pair.a.iter().chain(&pair.b).take(5_000).map(|x| x.field(f));
-                    AttributeSpec::fitted(
-                        format!("f{f}"),
-                        2,
-                        sample,
-                        rho,
-                        1.0 / 3.0,
-                        false,
-                        ks[f],
-                    )
+                    let sample = pair.a.iter().chain(&pair.b).take(5_000).map(|x| x.field(f));
+                    AttributeSpec::fitted(format!("f{f}"), 2, sample, rho, 1.0 / 3.0, false, ks[f])
                 })
                 .collect();
             let schema = RecordSchema::build(Alphabet::linkage(), specs, &mut rng);
@@ -962,10 +982,26 @@ fn privacy(opts: &Opts) {
         opts.seed ^ 0xC4A12,
     ]);
     let attrs = vec![
-        KeyedAttribute { m: 15, q: 2, padded: false },
-        KeyedAttribute { m: 15, q: 2, padded: false },
-        KeyedAttribute { m: 68, q: 2, padded: false },
-        KeyedAttribute { m: 22, q: 2, padded: false },
+        KeyedAttribute {
+            m: 15,
+            q: 2,
+            padded: false,
+        },
+        KeyedAttribute {
+            m: 15,
+            q: 2,
+            padded: false,
+        },
+        KeyedAttribute {
+            m: 68,
+            q: 2,
+            padded: false,
+        },
+        KeyedAttribute {
+            m: 22,
+            q: 2,
+            padded: false,
+        },
     ];
     let make_embedder = |key: SecretKey, seed: u64| {
         let mut rng = StdRng::seed_from_u64(seed);
@@ -981,7 +1017,12 @@ fn privacy(opts: &Opts) {
     let enc_a = EncodedDataset::from_bytes(&enc_a.to_bytes()).expect("wire roundtrip");
     let charlie = LinkageUnit::with_thetas(vec![4, 4, 8, 4]);
     let (matches, stats) = charlie.link(&enc_a, &enc_b, &mut rng).expect("link");
-    let q = evaluate(&matches, &pair.ground_truth, stats.candidates, pair.cross_size());
+    let q = evaluate(
+        &matches,
+        &pair.ground_truth,
+        stats.candidates,
+        pair.cross_size(),
+    );
 
     // Dictionary attack on the last-name attribute (index 1).
     let victim = make_embedder(key.clone(), shared_seed);
@@ -1065,7 +1106,11 @@ fn privacy(opts: &Opts) {
 fn kopt(opts: &Opts) {
     use rl_lsh::params::{estimate_p_dissimilar, KCostModel};
     println!("\n## Extension — predicted optimal K (cost model of [16])");
-    let pair = ncvr_pair(opts.records.max(1_000), PerturbationScheme::Light, opts.seed);
+    let pair = ncvr_pair(
+        opts.records.max(1_000),
+        PerturbationScheme::Light,
+        opts.seed,
+    );
     let mut rng = StdRng::seed_from_u64(opts.seed ^ 0x40B7);
     let schema = fitted_schema(&pair, &paper_ks(), 1.0 / 3.0, &mut rng);
     let m = schema.total_size();
@@ -1145,14 +1190,21 @@ fn scale(opts: &Opts) {
         let rp = p.link_parallel(&pair.b, 4).expect("ok");
         let par = t_par.elapsed().as_secs_f64();
         assert_eq!(r.stats.candidates, rp.stats.candidates);
-        let q = evaluate(&r.matches, &pair.ground_truth, r.stats.candidates, pair.cross_size());
+        let q = evaluate(
+            &r.matches,
+            &pair.ground_truth,
+            r.stats.candidates,
+            pair.cross_size(),
+        );
         t.row([n.to_string(), f3(q.pc), secs(seq), secs(par)]);
         json.push(serde_json::json!({
             "records": n, "pc": q.pc, "seq_secs": seq, "par_secs": par,
         }));
     }
     t.print();
-    let cores = std::thread::available_parallelism().map(usize::from).unwrap_or(1);
+    let cores = std::thread::available_parallelism()
+        .map(usize::from)
+        .unwrap_or(1);
     println!("host exposes {cores} core(s); parallel gains require >1");
     write_json(&opts.out, "scale", &json);
 }
@@ -1181,10 +1233,9 @@ fn multiprobe(opts: &Opts) {
             let mut rng = StdRng::seed_from_u64(seed ^ 0x3117);
             let schema = fitted_schema(&pair, &paper_ks(), 1.0 / 3.0, &mut rng);
             let t0 = Instant::now();
-            let mut structure = BlockingStructure::record_level_multiprobe(
-                &schema, 4, 30, 0.1, flips, &mut rng,
-            )
-            .expect("valid");
+            let mut structure =
+                BlockingStructure::record_level_multiprobe(&schema, 4, 30, 0.1, flips, &mut rng)
+                    .expect("valid");
             l_used = structure.l();
             let mut store = RecordStore::new();
             for r in &pair.a {
@@ -1315,17 +1366,8 @@ fn qsweep(opts: &Opts) {
             let ks = paper_ks();
             let specs: Vec<AttributeSpec> = (0..4)
                 .map(|f| {
-                    let sample =
-                        pair.a.iter().chain(&pair.b).take(5_000).map(|x| x.field(f));
-                    AttributeSpec::fitted(
-                        format!("f{f}"),
-                        q,
-                        sample,
-                        1.0,
-                        1.0 / 3.0,
-                        false,
-                        ks[f],
-                    )
+                    let sample = pair.a.iter().chain(&pair.b).take(5_000).map(|x| x.field(f));
+                    AttributeSpec::fitted(format!("f{f}"), q, sample, 1.0, 1.0 / 3.0, false, ks[f])
                 })
                 .collect();
             let schema = RecordSchema::build(Alphabet::linkage(), specs, &mut rng);
@@ -1372,14 +1414,16 @@ fn nonstd(opts: &Opts) {
         ["rule", "PC"],
     );
     let mut json = Vec::new();
-    for (name, rule) in [("AND over all attributes", &and_rule), ("compound OR", &compound)] {
+    for (name, rule) in [
+        ("AND over all attributes", &and_rule),
+        ("compound OR", &compound),
+    ] {
         let mut results = Vec::new();
         for trial in 0..opts.trials {
             let seed = opts.seed + trial;
             let mut pair = ncvr_pair(opts.records, PerturbationScheme::Light, seed);
             // Abbreviate the address of every matched B record.
-            let matched: HashSet<u64> =
-                pair.ground_truth.iter().map(|&(_, b)| b).collect();
+            let matched: HashSet<u64> = pair.ground_truth.iter().map(|&(_, b)| b).collect();
             for rec in &mut pair.b {
                 if matched.contains(&rec.id) {
                     *rec = abbreviate_attribute(rec, 2);

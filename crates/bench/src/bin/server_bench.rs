@@ -1,0 +1,188 @@
+//! Server round-trip throughput: probes/sec over loopback TCP.
+//!
+//! ```text
+//! server_bench [--records N] [--probes P] [--clients C] [--seed S] [--out DIR]
+//! ```
+//!
+//! For each shard count in {1, 4, 8} the harness spawns an `rl-server`
+//! over a freshly indexed `ShardedPipeline`, then drives `--probes`
+//! single-record probe round trips from `--clients` concurrent
+//! connections and reports wall-clock throughput. Results land in
+//! `<out>/results/BENCH_server.json`, so the perf trajectory tracks the
+//! serving path alongside the paper experiments.
+
+use cbv_hb::sharded::ShardedPipeline;
+use cbv_hb::{AttributeSpec, LinkageConfig, Record, RecordSchema, Rule};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rl_bench::report::write_json;
+use rl_server::{Client, Server, ServerConfig};
+use serde::Serialize;
+use std::path::PathBuf;
+use std::time::Instant;
+use textdist::Alphabet;
+
+const SHARD_COUNTS: [usize; 3] = [1, 4, 8];
+
+#[derive(Debug, Clone, Serialize)]
+struct Row {
+    shards: usize,
+    workers: usize,
+    records_indexed: u64,
+    probes: u64,
+    clients: u64,
+    matched: u64,
+    elapsed_secs: f64,
+    probes_per_sec: f64,
+}
+
+#[derive(Debug, Clone)]
+struct Opts {
+    records: u64,
+    probes: u64,
+    clients: u64,
+    seed: u64,
+    out: PathBuf,
+}
+
+fn main() {
+    let mut opts = Opts {
+        records: 10_000,
+        probes: 2_000,
+        clients: 4,
+        seed: 42,
+        out: PathBuf::from("."),
+    };
+    let rest: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < rest.len() {
+        let need = |i: usize| {
+            rest.get(i + 1)
+                .unwrap_or_else(|| panic!("missing value for {}", rest[i]))
+        };
+        match rest[i].as_str() {
+            "--records" => opts.records = need(i).parse().expect("--records N"),
+            "--probes" => opts.probes = need(i).parse().expect("--probes P"),
+            "--clients" => opts.clients = need(i).parse().expect("--clients C"),
+            "--seed" => opts.seed = need(i).parse().expect("--seed S"),
+            "--out" => opts.out = PathBuf::from(need(i)),
+            other => panic!("unknown flag {other}"),
+        }
+        i += 2;
+    }
+
+    let mut rows = Vec::new();
+    println!("| shards | workers | indexed | probes | clients | secs | probes/sec |");
+    println!("|---|---|---|---|---|---|---|");
+    for shards in SHARD_COUNTS {
+        let row = run_one(&opts, shards);
+        println!(
+            "| {} | {} | {} | {} | {} | {:.3} | {:.0} |",
+            shards,
+            shards,
+            opts.records,
+            opts.probes,
+            opts.clients,
+            row.elapsed_secs,
+            row.probes_per_sec,
+        );
+        rows.push(row);
+    }
+    write_json(&opts.out, "BENCH_server", &rows);
+}
+
+fn run_one(opts: &Opts, shards: usize) -> Row {
+    let mut rng = StdRng::seed_from_u64(opts.seed);
+    let schema = RecordSchema::build(
+        Alphabet::linkage(),
+        vec![
+            AttributeSpec::new("FirstName", 2, 64, false, 5),
+            AttributeSpec::new("LastName", 2, 64, false, 5),
+        ],
+        &mut rng,
+    );
+    let rule = Rule::and([Rule::pred(0, 4), Rule::pred(1, 4)]);
+    let pipeline = ShardedPipeline::new(schema, LinkageConfig::rule_aware(rule), shards, &mut rng)
+        .expect("build pipeline");
+    let server = Server::spawn(
+        pipeline,
+        ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            workers: shards,
+            queue_capacity: 256,
+            snapshot_path: None,
+        },
+    )
+    .expect("spawn server");
+    let addr = server.local_addr();
+
+    // Index the corpus in batches over one connection, then time probe
+    // round trips from concurrent clients.
+    let mut client = Client::connect(addr).expect("connect");
+    let corpus: Vec<Record> = (0..opts.records).map(|i| record(i, i)).collect();
+    for chunk in corpus.chunks(1_000) {
+        client.index(chunk).expect("index");
+    }
+
+    let per_client = opts.probes / opts.clients;
+    let opts_records = opts.records;
+    let start = Instant::now();
+    let handles: Vec<_> = (0..opts.clients)
+        .map(|c| {
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr).expect("connect");
+                let mut matched = 0u64;
+                for i in 0..per_client {
+                    // Probe an exact copy of an indexed record under a
+                    // fresh id, so every round trip does real blocking
+                    // plus classification work and finds its twin.
+                    let src = (c * per_client + i) % opts_records;
+                    let probe = record(1_000_000 + src, src);
+                    let (pairs, _) = client.probe(&[probe]).expect("probe");
+                    matched += u64::from(!pairs.is_empty());
+                }
+                matched
+            })
+        })
+        .collect();
+    let matched: u64 = handles.into_iter().map(|h| h.join().unwrap()).sum();
+    let elapsed = start.elapsed().as_secs_f64();
+    let done = per_client * opts.clients;
+    assert!(
+        matched >= done / 2,
+        "probes stopped matching: {matched}/{done}"
+    );
+
+    client.shutdown().expect("shutdown");
+    server.wait();
+
+    Row {
+        shards,
+        workers: shards,
+        records_indexed: opts.records,
+        probes: done,
+        clients: opts.clients,
+        matched,
+        elapsed_secs: elapsed,
+        probes_per_sec: done as f64 / elapsed,
+    }
+}
+
+/// A well-spread synthetic record: distinct source indices share few
+/// bigrams, so probe cost reflects real candidate filtering.
+fn record(id: u64, source: u64) -> Record {
+    Record::new(id, [synth_name(9, source), synth_name(9 ^ 0xF00, source)])
+}
+
+fn synth_name(salt: u64, i: u64) -> String {
+    let mut x = (i + 1)
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(salt.wrapping_mul(0xA24B_AED4_963E_E407));
+    (0..6)
+        .map(|_| {
+            let c = (b'A' + (x % 26) as u8) as char;
+            x /= 26;
+            c
+        })
+        .collect()
+}

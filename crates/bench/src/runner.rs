@@ -53,7 +53,12 @@ pub fn score(
 /// Runs a linker over a pair and scores it.
 pub fn run_linker<L: Linker>(linker: &mut L, pair: &DatasetPair) -> MethodResult {
     let outcome = linker.link(&pair.a, &pair.b);
-    score(linker.name(), &outcome, &pair.ground_truth, pair.cross_size())
+    score(
+        linker.name(),
+        &outcome,
+        &pair.ground_truth,
+        pair.cross_size(),
+    )
 }
 
 /// Averages several trials of the same method.

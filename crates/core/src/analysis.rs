@@ -117,9 +117,7 @@ mod tests {
         let s = schema(&mut rng);
         let rule = Rule::pred(0, 4);
         let mut plan = BlockingPlan::compile(&s, &rule, 0.1, &mut rng).unwrap();
-        let rec = s
-            .embed(&crate::Record::new(1, ["JOHN", "SMITH"]))
-            .unwrap();
+        let rec = s.embed(&crate::Record::new(1, ["JOHN", "SMITH"])).unwrap();
         plan.insert(&rec);
         let report = analyze(&plan);
         assert!(report.structures[0].buckets > 0);

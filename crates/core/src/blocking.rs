@@ -193,8 +193,7 @@ impl BlockingStructure {
         }
         check_delta(delta)?;
         let p = base_success_probability(theta, m);
-        let p_collide =
-            rl_lsh::params::multiprobe_collision_probability(p, k, flips);
+        let p_collide = rl_lsh::params::multiprobe_collision_probability(p, k, flips);
         if p_collide <= 0.0 {
             return Err(Error::InvalidParameter(
                 "multiprobe collision probability underflowed to 0".into(),
@@ -402,7 +401,11 @@ impl BlockingStructure {
     /// Largest bucket across tables (the paper's over-population
     /// diagnostic).
     pub fn max_bucket(&self) -> usize {
-        self.tables.iter().map(BlockingTable::max_bucket).max().unwrap_or(0)
+        self.tables
+            .iter()
+            .map(BlockingTable::max_bucket)
+            .max()
+            .unwrap_or(0)
     }
 }
 
@@ -569,12 +572,7 @@ impl BlockingPlan {
         self.eval(&self.expr, rec, Some(&lookup))
     }
 
-    fn eval<'s, F>(
-        &self,
-        expr: &PlanExpr,
-        rec: &EmbeddedRecord,
-        lookup: Option<&F>,
-    ) -> HashSet<u64>
+    fn eval<'s, F>(&self, expr: &PlanExpr, rec: &EmbeddedRecord, lookup: Option<&F>) -> HashSet<u64>
     where
         F: Fn(u64) -> Option<&'s EmbeddedRecord>,
     {
@@ -608,8 +606,7 @@ impl BlockingPlan {
                             match lookup {
                                 // Verified mode: only exclude when the
                                 // negated conjuncts truly hold.
-                                Some(f) => f(*id)
-                                    .is_none_or(|a| !structure.conjuncts_hold(a, rec)),
+                                Some(f) => f(*id).is_none_or(|a| !structure.conjuncts_hold(a, rec)),
                                 // Literal mode: any co-block excludes.
                                 None => false,
                             }
@@ -667,29 +664,28 @@ fn compile_node<R: Rng + ?Sized>(
                 // The negated subrule's structure is built exactly like a
                 // positive one (Definition 6 "does not include any
                 // modifications"); only its set role flips.
-                let preds = match n {
-                    Rule::Pred(p) => vec![*p],
-                    Rule::And(inner) => {
-                        let mut ps = Vec::new();
-                        for r in inner {
-                            match r {
-                                Rule::Pred(p) => ps.push(*p),
-                                _ => {
-                                    return Err(Error::InvalidRule(
+                let preds =
+                    match n {
+                        Rule::Pred(p) => vec![*p],
+                        Rule::And(inner) => {
+                            let mut ps = Vec::new();
+                            for r in inner {
+                                match r {
+                                    Rule::Pred(p) => ps.push(*p),
+                                    _ => return Err(Error::InvalidRule(
                                         "NOT supports a predicate or a conjunction of predicates"
                                             .into(),
-                                    ))
+                                    )),
                                 }
                             }
+                            ps
                         }
-                        ps
-                    }
-                    _ => {
-                        return Err(Error::InvalidRule(
-                            "NOT supports a predicate or a conjunction of predicates".into(),
-                        ))
-                    }
-                };
+                        _ => {
+                            return Err(Error::InvalidRule(
+                                "NOT supports a predicate or a conjunction of predicates".into(),
+                            ))
+                        }
+                    };
                 let s = BlockingStructure::conjunction(schema, &preds, delta, rng)?;
                 structures.push(s);
                 negated.push(structures.len() - 1);
@@ -717,10 +713,13 @@ fn compile_node<R: Rng + ?Sized>(
                 // sharing L computed from p_∨.
                 let mut terms = Vec::new();
                 for p in &preds {
-                    let spec = schema.specs().get(p.attr).ok_or(Error::AttributeOutOfRange {
-                        attr: p.attr,
-                        num_attributes: schema.num_attributes(),
-                    })?;
+                    let spec = schema
+                        .specs()
+                        .get(p.attr)
+                        .ok_or(Error::AttributeOutOfRange {
+                            attr: p.attr,
+                            num_attributes: schema.num_attributes(),
+                        })?;
                     terms.push((base_success_probability(p.theta, spec.m), spec.k));
                 }
                 let p_or = or_probability(terms.iter().copied());
@@ -927,8 +926,7 @@ mod tests {
     fn candidates_empty_when_nothing_indexed() {
         let s = schema(10);
         let mut rng = StdRng::seed_from_u64(18);
-        let plan =
-            BlockingPlan::compile(&s, &Rule::pred(0, 4), 0.1, &mut rng).unwrap();
+        let plan = BlockingPlan::compile(&s, &Rule::pred(0, 4), 0.1, &mut rng).unwrap();
         let probe = embed(&s, 1, ["A", "B", "C", "D"]);
         assert!(plan.candidates(&probe).is_empty());
     }
@@ -972,10 +970,8 @@ mod multiprobe_tests {
         let s = schema(1);
         let mut rng = StdRng::seed_from_u64(2);
         let exact = BlockingStructure::record_level(&s, 4, 30, 0.1, &mut rng).unwrap();
-        let mp1 =
-            BlockingStructure::record_level_multiprobe(&s, 4, 30, 0.1, 1, &mut rng).unwrap();
-        let mp2 =
-            BlockingStructure::record_level_multiprobe(&s, 4, 30, 0.1, 2, &mut rng).unwrap();
+        let mp1 = BlockingStructure::record_level_multiprobe(&s, 4, 30, 0.1, 1, &mut rng).unwrap();
+        let mp2 = BlockingStructure::record_level_multiprobe(&s, 4, 30, 0.1, 2, &mut rng).unwrap();
         assert!(mp1.l() < exact.l(), "t=1: {} vs {}", mp1.l(), exact.l());
         assert!(mp2.l() <= mp1.l());
     }
@@ -987,8 +983,11 @@ mod multiprobe_tests {
         let mut mp =
             BlockingStructure::record_level_multiprobe(&s, 4, 30, 0.1, 1, &mut rng).unwrap();
         let rec = |id| {
-            s.embed(&Record::new(id, ["JOHN", "SMITH", "12 OAK STREET", "DURHAM"]))
-                .unwrap()
+            s.embed(&Record::new(
+                id,
+                ["JOHN", "SMITH", "12 OAK STREET", "DURHAM"],
+            ))
+            .unwrap()
         };
         mp.insert(&rec(1));
         assert!(mp.candidates(&rec(2)).contains(&1));
@@ -1011,8 +1010,7 @@ mod multiprobe_tests {
             let eb = s.embed(&b).unwrap();
             // Re-randomize the structure per trial for independence.
             let mut mp =
-                BlockingStructure::record_level_multiprobe(&s, 4, 30, 0.1, 1, &mut rng)
-                    .unwrap();
+                BlockingStructure::record_level_multiprobe(&s, 4, 30, 0.1, 1, &mut rng).unwrap();
             mp.insert(&ea);
             pairs.push((ea, eb.clone()));
             if mp.candidates(&eb).contains(&i) {
@@ -1027,8 +1025,6 @@ mod multiprobe_tests {
     fn excess_flip_budget_rejected() {
         let s = schema(7);
         let mut rng = StdRng::seed_from_u64(8);
-        assert!(
-            BlockingStructure::record_level_multiprobe(&s, 4, 10, 0.1, 11, &mut rng).is_err()
-        );
+        assert!(BlockingStructure::record_level_multiprobe(&s, 4, 10, 0.1, 11, &mut rng).is_err());
     }
 }

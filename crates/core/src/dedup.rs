@@ -138,9 +138,7 @@ pub fn deduplicate<R: Rng + ?Sized>(
         BlockingMode::RecordLevelFixedL { theta, k, l } => {
             BlockingPlan::record_level_with_l(schema, theta, k, l, rng)?
         }
-        BlockingMode::RuleAware => {
-            BlockingPlan::compile(schema, &config.rule, config.delta, rng)?
-        }
+        BlockingMode::RuleAware => BlockingPlan::compile(schema, &config.rule, config.delta, rng)?,
     };
     let classifier = Classifier::Rule(config.rule.clone());
     let embedded = schema.embed_all(records)?;
@@ -220,8 +218,7 @@ mod tests {
     #[test]
     fn finds_duplicate_clusters() {
         let s = schema(1);
-        let config =
-            LinkageConfig::rule_aware(Rule::and([Rule::pred(0, 4), Rule::pred(1, 4)]));
+        let config = LinkageConfig::rule_aware(Rule::and([Rule::pred(0, 4), Rule::pred(1, 4)]));
         let records = vec![
             Record::new(0, ["JOHN", "SMITH"]),
             Record::new(1, ["JON", "SMITH"]),  // dup of 0
@@ -238,8 +235,7 @@ mod tests {
     #[test]
     fn distinct_records_form_no_clusters() {
         let s = schema(3);
-        let config =
-            LinkageConfig::rule_aware(Rule::and([Rule::pred(0, 4), Rule::pred(1, 4)]));
+        let config = LinkageConfig::rule_aware(Rule::and([Rule::pred(0, 4), Rule::pred(1, 4)]));
         let records = vec![
             Record::new(0, ["ALPHA", "QUEBEC"]),
             Record::new(1, ["BRAVO", "WHISKEY"]),
@@ -253,8 +249,7 @@ mod tests {
     #[test]
     fn pairs_are_unordered_and_unique() {
         let s = schema(5);
-        let config =
-            LinkageConfig::rule_aware(Rule::and([Rule::pred(0, 4), Rule::pred(1, 4)]));
+        let config = LinkageConfig::rule_aware(Rule::and([Rule::pred(0, 4), Rule::pred(1, 4)]));
         let records = vec![
             Record::new(0, ["JOHN", "SMITH"]),
             Record::new(1, ["JOHN", "SMITH"]),

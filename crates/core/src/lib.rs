@@ -54,3 +54,5 @@ pub use record::Record;
 pub use rule::Rule;
 pub use rule_parser::parse_rule;
 pub use schema::{AttributeSpec, EmbeddedRecord, RecordSchema};
+pub use sharded::{ShardState, ShardedPipeline, ShardedState};
+pub use stream::{SharedStreamMatcher, StreamMatcher};

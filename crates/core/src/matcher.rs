@@ -284,8 +284,7 @@ mod tests {
         let structure = &plan.structures()[0];
         let classifier = Classifier::Rule(rule);
         let mut with = MatchStats::default();
-        let m1 =
-            match_structure_literal(structure, &store, &probe, &classifier, true, &mut with);
+        let m1 = match_structure_literal(structure, &store, &probe, &classifier, true, &mut with);
         let mut without = MatchStats::default();
         let m2 =
             match_structure_literal(structure, &store, &probe, &classifier, false, &mut without);

@@ -254,35 +254,34 @@ impl LinkagePipeline {
         // the dominant cost) and then probes it.
         let chunk_size = records.len().div_ceil(threads);
         let chunks: Vec<&[Record]> = records.chunks(chunk_size).collect();
-        let outputs: Vec<Result<WorkerOutput>> =
-            crossbeam::thread::scope(|scope| {
-                let handles: Vec<_> = chunks
-                    .iter()
-                    .map(|chunk| {
-                        scope.spawn(move |_| {
-                            let embedded = self.schema.embed_all(chunk)?;
-                            let mut stats = MatchStats::default();
-                            let mut matches = Vec::new();
-                            for probe in &embedded {
-                                let matched = match_record(
-                                    &self.plan,
-                                    &self.store,
-                                    probe,
-                                    &self.classifier,
-                                    &mut stats,
-                                );
-                                matches.extend(matched.into_iter().map(|a| (a, probe.id)));
-                            }
-                            Ok((matches, stats))
-                        })
+        let outputs: Vec<Result<WorkerOutput>> = crossbeam::thread::scope(|scope| {
+            let handles: Vec<_> = chunks
+                .iter()
+                .map(|chunk| {
+                    scope.spawn(move |_| {
+                        let embedded = self.schema.embed_all(chunk)?;
+                        let mut stats = MatchStats::default();
+                        let mut matches = Vec::new();
+                        for probe in &embedded {
+                            let matched = match_record(
+                                &self.plan,
+                                &self.store,
+                                probe,
+                                &self.classifier,
+                                &mut stats,
+                            );
+                            matches.extend(matched.into_iter().map(|a| (a, probe.id)));
+                        }
+                        Ok((matches, stats))
                     })
-                    .collect();
-                handles
-                    .into_iter()
-                    .map(|h| h.join().expect("probe worker panicked"))
-                    .collect()
-            })
-            .expect("crossbeam scope");
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("probe worker panicked"))
+                .collect()
+        })
+        .expect("crossbeam scope");
         for output in outputs {
             let (matches, stats) = output?;
             result.matches.extend(matches);
@@ -400,8 +399,7 @@ mod tests {
     fn end_to_end_rule_aware() {
         let mut rng = StdRng::seed_from_u64(1);
         let s = schema(&mut rng);
-        let mut p =
-            LinkagePipeline::new(s, LinkageConfig::rule_aware(rule()), &mut rng).unwrap();
+        let mut p = LinkagePipeline::new(s, LinkageConfig::rule_aware(rule()), &mut rng).unwrap();
         let a = vec![
             Record::new(1, ["JOHN", "SMITH", "DURHAM"]),
             Record::new(2, ["MARY", "JONES", "RALEIGH"]),
@@ -410,7 +408,7 @@ mod tests {
         p.index(&a).unwrap();
         assert_eq!(p.indexed_len(), 3);
         let b = vec![
-            Record::new(10, ["JON", "SMITH", "DURHAM"]),   // 1 delete on f1
+            Record::new(10, ["JON", "SMITH", "DURHAM"]), // 1 delete on f1
             Record::new(11, ["MARY", "JONES", "RALEIGH"]), // exact
             Record::new(12, ["AGNES", "OTHER", "NOWHERE"]),
         ];
@@ -426,13 +424,10 @@ mod tests {
     fn end_to_end_record_level() {
         let mut rng = StdRng::seed_from_u64(2);
         let s = schema(&mut rng);
-        let mut p = LinkagePipeline::new(
-            s,
-            LinkageConfig::record_level(rule(), 4, 30),
-            &mut rng,
-        )
-        .unwrap();
-        p.index(&[Record::new(1, ["JOHN", "SMITH", "DURHAM"])]).unwrap();
+        let mut p =
+            LinkagePipeline::new(s, LinkageConfig::record_level(rule(), 4, 30), &mut rng).unwrap();
+        p.index(&[Record::new(1, ["JOHN", "SMITH", "DURHAM"])])
+            .unwrap();
         let r = p
             .link(&[Record::new(10, ["JOHN", "SMYTH", "DURHAM"])])
             .unwrap();
@@ -443,8 +438,7 @@ mod tests {
     fn timings_are_recorded() {
         let mut rng = StdRng::seed_from_u64(3);
         let s = schema(&mut rng);
-        let mut p =
-            LinkagePipeline::new(s, LinkageConfig::rule_aware(rule()), &mut rng).unwrap();
+        let mut p = LinkagePipeline::new(s, LinkageConfig::rule_aware(rule()), &mut rng).unwrap();
         p.index(&[Record::new(1, ["A", "B", "C"])]).unwrap();
         let r = p.link(&[Record::new(2, ["A", "B", "C"])]).unwrap();
         assert!(p.index_timings().total_nanos() > 0);
@@ -455,8 +449,7 @@ mod tests {
     fn malformed_record_is_an_error() {
         let mut rng = StdRng::seed_from_u64(4);
         let s = schema(&mut rng);
-        let mut p =
-            LinkagePipeline::new(s, LinkageConfig::rule_aware(rule()), &mut rng).unwrap();
+        let mut p = LinkagePipeline::new(s, LinkageConfig::rule_aware(rule()), &mut rng).unwrap();
         assert!(p.index(&[Record::new(1, ["ONLY", "TWO"])]).is_err());
     }
 
@@ -464,8 +457,7 @@ mod tests {
     fn link_parallel_matches_sequential() {
         let mut rng = StdRng::seed_from_u64(21);
         let s = schema(&mut rng);
-        let mut p =
-            LinkagePipeline::new(s, LinkageConfig::rule_aware(rule()), &mut rng).unwrap();
+        let mut p = LinkagePipeline::new(s, LinkageConfig::rule_aware(rule()), &mut rng).unwrap();
         let a: Vec<Record> = (0..50)
             .map(|i| Record::new(i, [format!("NAME{i}"), "SMITH".into(), "DURHAM".into()]))
             .collect();
@@ -492,8 +484,7 @@ mod tests {
     fn link_parallel_single_thread_falls_back() {
         let mut rng = StdRng::seed_from_u64(22);
         let s = schema(&mut rng);
-        let mut p =
-            LinkagePipeline::new(s, LinkageConfig::rule_aware(rule()), &mut rng).unwrap();
+        let mut p = LinkagePipeline::new(s, LinkageConfig::rule_aware(rule()), &mut rng).unwrap();
         p.index(&[Record::new(1, ["A", "B", "C"])]).unwrap();
         let r = p
             .link_parallel(&[Record::new(2, ["A", "B", "C"])], 1)
@@ -505,8 +496,7 @@ mod tests {
     fn save_load_roundtrip_preserves_behaviour() {
         let mut rng = StdRng::seed_from_u64(31);
         let s = schema(&mut rng);
-        let mut p =
-            LinkagePipeline::new(s, LinkageConfig::rule_aware(rule()), &mut rng).unwrap();
+        let mut p = LinkagePipeline::new(s, LinkageConfig::rule_aware(rule()), &mut rng).unwrap();
         p.index(&[
             Record::new(1, ["JOHN", "SMITH", "DURHAM"]),
             Record::new(2, ["MARY", "JONES", "RALEIGH"]),

@@ -46,10 +46,7 @@ pub fn profile_structure(s: &BlockingStructure) -> StructureProfile {
         entries += table_entries;
         max_bucket = max_bucket.max(table.max_bucket());
         if table_entries > 0 {
-            let sum_sq: f64 = table
-                .iter()
-                .map(|(_, b)| (b.len() * b.len()) as f64)
-                .sum();
+            let sum_sq: f64 = table.iter().map(|(_, b)| (b.len() * b.len()) as f64).sum();
             expected += sum_sq / table_entries as f64;
         }
     }
@@ -97,8 +94,8 @@ mod tests {
             &mut rng,
         );
         let theta = (m as u32 / 4).clamp(1, 4);
-        let mut plan = BlockingPlan::compile(&schema, &Rule::pred(0, theta), 0.1, &mut rng)
-            .unwrap();
+        let mut plan =
+            BlockingPlan::compile(&schema, &Rule::pred(0, theta), 0.1, &mut rng).unwrap();
         for i in 0..n as u64 {
             // Spread names via a multiplicative hash.
             let x = (i + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15);

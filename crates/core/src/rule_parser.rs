@@ -146,9 +146,8 @@ impl Parser<'_> {
                 }
                 match self.next() {
                     Some(Token::Number(theta)) => {
-                        let theta = u32::try_from(theta).map_err(|_| {
-                            Error::InvalidRule("threshold exceeds u32".into())
-                        })?;
+                        let theta = u32::try_from(theta)
+                            .map_err(|_| Error::InvalidRule("threshold exceeds u32".into()))?;
                         Ok(Rule::pred(attr as usize, theta))
                     }
                     _ => Err(Error::InvalidRule("expected threshold number".into())),
@@ -261,8 +260,18 @@ mod tests {
     #[test]
     fn malformed_inputs_rejected() {
         for bad in [
-            "", "0<4", "0<=", "<=4", "0<=4 &", "& 0<=4", "(0<=4", "0<=4)", "0<=4 1<=4",
-            "a<=4", "0<=4 ; 1<=4", "99999999999999999999<=4",
+            "",
+            "0<4",
+            "0<=",
+            "<=4",
+            "0<=4 &",
+            "& 0<=4",
+            "(0<=4",
+            "0<=4)",
+            "0<=4 1<=4",
+            "a<=4",
+            "0<=4 ; 1<=4",
+            "99999999999999999999<=4",
         ] {
             assert!(parse_rule(bad).is_err(), "{bad:?} should be rejected");
         }

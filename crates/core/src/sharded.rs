@@ -20,6 +20,7 @@ use crate::record::Record;
 use crate::schema::{EmbeddedRecord, RecordSchema};
 use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
 use rand::Rng;
+use serde::{Deserialize, Serialize};
 use std::thread::JoinHandle;
 
 enum Command {
@@ -28,12 +29,57 @@ enum Command {
         batch: Vec<EmbeddedRecord>,
         reply: Sender<(Vec<(u64, u64)>, MatchStats)>,
     },
+    Export {
+        reply: Sender<ShardState>,
+    },
     Stop,
+}
+
+/// One shard's complete indexed state: its blocking plan (tables populated)
+/// plus the embedded records it owns. Serializable, so a sharded index can
+/// be snapshotted to disk and restored by a later process (see
+/// [`ShardedPipeline::export_state`] / [`ShardedPipeline::from_state`]).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ShardState {
+    /// The shard's blocking plan with populated hash tables.
+    pub plan: BlockingPlan,
+    /// The embedded records partitioned onto this shard.
+    pub store: RecordStore,
+}
+
+/// The full serializable state of a [`ShardedPipeline`]: schema (hash
+/// coefficients included), classifier, and per-shard plan + store.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ShardedState {
+    /// The embedding schema shared by all shards.
+    pub schema: RecordSchema,
+    /// The classifier applied to candidate pairs.
+    pub classifier: Classifier,
+    /// Per-shard indexed state, in shard order.
+    pub shards: Vec<ShardState>,
+    /// Records indexed so far (across shards).
+    pub indexed: usize,
+    /// Round-robin cursor, so restored pipelines keep partitioning evenly.
+    pub next_shard: usize,
 }
 
 struct Shard {
     sender: Sender<Command>,
     handle: JoinHandle<()>,
+}
+
+fn spawn_shard(
+    index: usize,
+    plan: BlockingPlan,
+    store: RecordStore,
+    classifier: Classifier,
+) -> Shard {
+    let (tx, rx) = unbounded();
+    let handle = std::thread::Builder::new()
+        .name(format!("rl-shard-{index}"))
+        .spawn(move || shard_worker(plan, store, classifier, rx))
+        .expect("spawn shard worker");
+    Shard { sender: tx, handle }
 }
 
 /// A sharded linkage service: partitioned index, fan-out probes.
@@ -54,9 +100,14 @@ impl std::fmt::Debug for ShardedPipeline {
     }
 }
 
-fn shard_worker(plan: BlockingPlan, classifier: Classifier, rx: Receiver<Command>) {
+fn shard_worker(
+    plan: BlockingPlan,
+    store: RecordStore,
+    classifier: Classifier,
+    rx: Receiver<Command>,
+) {
     let mut plan = plan;
-    let mut store = RecordStore::new();
+    let mut store = store;
     while let Ok(cmd) = rx.recv() {
         match cmd {
             Command::Index(batch) => {
@@ -69,12 +120,17 @@ fn shard_worker(plan: BlockingPlan, classifier: Classifier, rx: Receiver<Command
                 let mut stats = MatchStats::default();
                 let mut matches = Vec::new();
                 for probe in &batch {
-                    let matched =
-                        match_record(&plan, &store, probe, &classifier, &mut stats);
+                    let matched = match_record(&plan, &store, probe, &classifier, &mut stats);
                     matches.extend(matched.into_iter().map(|a| (a, probe.id)));
                 }
                 // The gatherer may have hung up on error paths; ignore.
                 let _ = reply.send((matches, stats));
+            }
+            Command::Export { reply } => {
+                let _ = reply.send(ShardState {
+                    plan: plan.clone(),
+                    store: store.clone(),
+                });
             }
             Command::Stop => break,
         }
@@ -125,16 +181,7 @@ impl ShardedPipeline {
     ) -> Self {
         assert!(num_shards > 0, "need at least one shard");
         let shards = (0..num_shards)
-            .map(|i| {
-                let (tx, rx) = unbounded();
-                let plan = plan.clone();
-                let classifier = classifier.clone();
-                let handle = std::thread::Builder::new()
-                    .name(format!("rl-shard-{i}"))
-                    .spawn(move || shard_worker(plan, classifier, rx))
-                    .expect("spawn shard worker");
-                Shard { sender: tx, handle }
-            })
+            .map(|i| spawn_shard(i, plan.clone(), RecordStore::new(), classifier.clone()))
             .collect();
         Self {
             schema,
@@ -143,6 +190,70 @@ impl ShardedPipeline {
             next_shard: 0,
             indexed: 0,
         }
+    }
+
+    /// Restores a service from a previously exported
+    /// [`ShardedState`] — each shard worker starts preloaded with its
+    /// snapshotted plan and store, so probe results are identical to the
+    /// pipeline the state was exported from.
+    ///
+    /// # Errors
+    /// Returns [`Error::InvalidParameter`] when the state has no shards.
+    pub fn from_state(state: ShardedState) -> Result<Self> {
+        if state.shards.is_empty() {
+            return Err(Error::InvalidParameter(
+                "sharded state has no shards".into(),
+            ));
+        }
+        let num_shards = state.shards.len();
+        let shards = state
+            .shards
+            .into_iter()
+            .enumerate()
+            .map(|(i, s)| spawn_shard(i, s.plan, s.store, state.classifier.clone()))
+            .collect();
+        Ok(Self {
+            schema: state.schema,
+            classifier: state.classifier,
+            shards,
+            next_shard: state.next_shard % num_shards,
+            indexed: state.indexed,
+        })
+    }
+
+    /// Exports the full pipeline state (schema, classifier, and every
+    /// shard's populated plan + store) for serialization. The workers stay
+    /// running; indexing concurrently with an export yields a snapshot
+    /// that is consistent per shard but may stagger across shards.
+    ///
+    /// # Errors
+    /// Returns [`Error::InvalidParameter`] if a shard worker died.
+    pub fn export_state(&self) -> Result<ShardedState> {
+        // One reply channel per shard keeps states in shard order, so a
+        // restored pipeline reproduces the exact partitioning.
+        let mut pending = Vec::with_capacity(self.shards.len());
+        for shard in &self.shards {
+            let (reply_tx, reply_rx) = bounded(1);
+            shard
+                .sender
+                .send(Command::Export { reply: reply_tx })
+                .map_err(|_| Error::InvalidParameter("shard worker died".into()))?;
+            pending.push(reply_rx);
+        }
+        let mut states = Vec::with_capacity(self.shards.len());
+        for reply_rx in pending {
+            let state = reply_rx
+                .recv()
+                .map_err(|_| Error::InvalidParameter("shard worker died".into()))?;
+            states.push(state);
+        }
+        Ok(ShardedState {
+            schema: self.schema.clone(),
+            classifier: self.classifier.clone(),
+            shards: states,
+            indexed: self.indexed,
+            next_shard: self.next_shard,
+        })
     }
 
     /// Number of shards.
@@ -215,6 +326,11 @@ impl ShardedPipeline {
         Ok((matches, stats))
     }
 
+    /// The embedding schema shared by all shards.
+    pub fn schema(&self) -> &RecordSchema {
+        &self.schema
+    }
+
     /// The classifier in use (for introspection).
     pub fn classifier(&self) -> &Classifier {
         &self.classifier
@@ -274,12 +390,7 @@ mod tests {
 
     fn records(salt: u64, base: u64, n: u64) -> Vec<Record> {
         (0..n)
-            .map(|i| {
-                Record::new(
-                    base + i,
-                    [synth_name(salt, i), synth_name(salt ^ 0xF00, i)],
-                )
-            })
+            .map(|i| Record::new(base + i, [synth_name(salt, i), synth_name(salt ^ 0xF00, i)]))
             .collect()
     }
 
@@ -291,12 +402,8 @@ mod tests {
         // Mirror one compiled plan into the sharded service so both engines
         // use identical hash functions — results must then agree exactly.
         let mut single = LinkagePipeline::new(s.clone(), config.clone(), &mut rng).unwrap();
-        let mut sharded = ShardedPipeline::from_parts(
-            s,
-            single.plan().clone(),
-            Classifier::Rule(config.rule),
-            4,
-        );
+        let mut sharded =
+            ShardedPipeline::from_parts(s, single.plan().clone(), Classifier::Rule(config.rule), 4);
         let a = records(1, 0, 40);
         sharded.index(&a).unwrap();
         single.index(&a).unwrap();
@@ -331,9 +438,7 @@ mod tests {
     fn zero_shards_rejected() {
         let mut rng = StdRng::seed_from_u64(3);
         let s = schema(&mut rng);
-        assert!(
-            ShardedPipeline::new(s, LinkageConfig::rule_aware(rule()), 0, &mut rng).is_err()
-        );
+        assert!(ShardedPipeline::new(s, LinkageConfig::rule_aware(rule()), 0, &mut rng).is_err());
     }
 
     #[test]
@@ -354,11 +459,72 @@ mod tests {
     }
 
     #[test]
+    fn export_restore_preserves_probe_results() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let s = schema(&mut rng);
+        let mut p =
+            ShardedPipeline::new(s, LinkageConfig::rule_aware(rule()), 3, &mut rng).unwrap();
+        p.index(&records(3, 0, 30)).unwrap();
+        let b = records(3, 700, 30);
+        let (before, _) = p.link(&b).unwrap();
+
+        // Round-trip the full state through JSON, as a snapshot file would.
+        let state = p.export_state().unwrap();
+        assert_eq!(state.shards.len(), 3);
+        let json = serde_json::to_string(&state).unwrap();
+        p.shutdown();
+
+        let restored: ShardedState = serde_json::from_str(&json).unwrap();
+        let q = ShardedPipeline::from_state(restored).unwrap();
+        assert_eq!(q.indexed_len(), 30);
+        let (after, _) = q.link(&b).unwrap();
+        assert_eq!(before, after);
+        q.shutdown();
+    }
+
+    #[test]
+    fn restore_continues_indexing() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let s = schema(&mut rng);
+        let mut p =
+            ShardedPipeline::new(s, LinkageConfig::rule_aware(rule()), 2, &mut rng).unwrap();
+        p.index(&records(4, 0, 10)).unwrap();
+        let state = p.export_state().unwrap();
+        p.shutdown();
+
+        let mut q = ShardedPipeline::from_state(state).unwrap();
+        // records() derives names from the index 0..n, so this second batch
+        // (ids 10..20) repeats the names of ids 0..10: each probe must now
+        // hit both its pre-snapshot and its post-restore copy.
+        q.index(&records(4, 10, 10)).unwrap();
+        assert_eq!(q.indexed_len(), 20);
+        let (m, _) = q.link(&records(4, 900, 10)).unwrap();
+        for i in 0..10u64 {
+            assert!(m.contains(&(i, 900 + i)), "missing pre-snapshot pair {i}");
+            assert!(
+                m.contains(&(10 + i, 900 + i)),
+                "missing post-restore pair {i}"
+            );
+        }
+        q.shutdown();
+    }
+
+    #[test]
+    fn empty_state_rejected() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let s = schema(&mut rng);
+        let p = ShardedPipeline::new(s, LinkageConfig::rule_aware(rule()), 1, &mut rng).unwrap();
+        let mut state = p.export_state().unwrap();
+        p.shutdown();
+        state.shards.clear();
+        assert!(ShardedPipeline::from_state(state).is_err());
+    }
+
+    #[test]
     fn malformed_probe_is_error() {
         let mut rng = StdRng::seed_from_u64(5);
         let s = schema(&mut rng);
-        let p =
-            ShardedPipeline::new(s, LinkageConfig::rule_aware(rule()), 2, &mut rng).unwrap();
+        let p = ShardedPipeline::new(s, LinkageConfig::rule_aware(rule()), 2, &mut rng).unwrap();
         assert!(p.link(&[Record::new(1, ["ONLY"])]).is_err());
         p.shutdown();
     }

@@ -87,9 +87,26 @@ impl StreamMatcher {
         self.observed
     }
 
+    /// Records currently held in the index. Equals [`Self::observed`]
+    /// unless ids repeated (the store keeps one record per id).
+    pub fn len(&self) -> usize {
+        self.store.len()
+    }
+
+    /// True when no records have been indexed.
+    pub fn is_empty(&self) -> bool {
+        self.store.is_empty()
+    }
+
     /// Accumulated matching counters.
     pub fn stats(&self) -> MatchStats {
         self.stats
+    }
+
+    /// Resets the matching counters to zero (e.g. at the start of a
+    /// measurement window); the index itself is untouched.
+    pub fn reset_stats(&mut self) {
+        self.stats = MatchStats::default();
     }
 }
 
@@ -153,9 +170,24 @@ impl SharedStreamMatcher {
         self.inner.read().observed
     }
 
+    /// Records currently held in the index.
+    pub fn len(&self) -> usize {
+        self.inner.read().len()
+    }
+
+    /// True when no records have been indexed.
+    pub fn is_empty(&self) -> bool {
+        self.inner.read().is_empty()
+    }
+
     /// Accumulated matching counters.
     pub fn stats(&self) -> MatchStats {
         self.inner.read().stats
+    }
+
+    /// Resets the matching counters to zero; the index is untouched.
+    pub fn reset_stats(&self) {
+        self.inner.write().reset_stats();
     }
 }
 
@@ -188,8 +220,14 @@ mod tests {
     #[test]
     fn stream_matches_against_history() {
         let mut m = matcher(1);
-        assert!(m.observe(&Record::new(1, ["JOHN", "SMITH"])).unwrap().is_empty());
-        assert!(m.observe(&Record::new(2, ["MARY", "JONES"])).unwrap().is_empty());
+        assert!(m
+            .observe(&Record::new(1, ["JOHN", "SMITH"]))
+            .unwrap()
+            .is_empty());
+        assert!(m
+            .observe(&Record::new(2, ["MARY", "JONES"]))
+            .unwrap()
+            .is_empty());
         let hits = m.observe(&Record::new(3, ["JON", "SMITH"])).unwrap();
         assert_eq!(hits, vec![1]);
         assert_eq!(m.observed(), 3);
@@ -203,6 +241,23 @@ mod tests {
         let hits = m.observe(&Record::new(3, ["ANNA", "LEE"])).unwrap();
         assert_eq!(hits.len(), 2);
         assert!(m.stats().matched >= 3);
+    }
+
+    #[test]
+    fn len_and_reset_stats() {
+        let mut m = matcher(6);
+        assert!(m.is_empty());
+        m.observe(&Record::new(1, ["JOHN", "SMITH"])).unwrap();
+        m.observe(&Record::new(2, ["JON", "SMITH"])).unwrap();
+        assert_eq!(m.len(), 2);
+        assert!(!m.is_empty());
+        assert!(m.stats().matched >= 1);
+        m.reset_stats();
+        assert_eq!(m.stats(), crate::matcher::MatchStats::default());
+        // The index survives a stats reset.
+        assert_eq!(m.len(), 2);
+        let hits = m.observe(&Record::new(3, ["JOHN", "SMITH"])).unwrap();
+        assert!(hits.contains(&1));
     }
 
     #[test]
@@ -229,7 +284,10 @@ mod tests {
     #[test]
     fn shared_matcher_basic_flow() {
         let m = shared_matcher(4);
-        assert!(m.observe(&Record::new(1, ["JOHN", "SMITH"])).unwrap().is_empty());
+        assert!(m
+            .observe(&Record::new(1, ["JOHN", "SMITH"]))
+            .unwrap()
+            .is_empty());
         let hits = m.observe(&Record::new(2, ["JON", "SMITH"])).unwrap();
         assert_eq!(hits, vec![1]);
         assert_eq!(m.observed(), 2);
@@ -239,7 +297,8 @@ mod tests {
     fn shared_matcher_concurrent_ingest() {
         let m = shared_matcher(5);
         // Seed one known record, then ingest concurrently from 4 feeds.
-        m.observe(&Record::new(0, ["MARTHA", "WASHINGTON"])).unwrap();
+        m.observe(&Record::new(0, ["MARTHA", "WASHINGTON"]))
+            .unwrap();
         let found = std::sync::atomic::AtomicUsize::new(0);
         crossbeam::thread::scope(|scope| {
             for t in 0..4u64 {

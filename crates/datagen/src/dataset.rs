@@ -184,9 +184,7 @@ mod tests {
         let b_by_id: HashMap<u64, &Record> = p.b.iter().map(|r| (r.id, r)).collect();
         for (ia, ib) in &p.ground_truth {
             let (ra, rb) = (a_by_id[ia], b_by_id[ib]);
-            let total: u32 = (0..4)
-                .map(|i| levenshtein(ra.field(i), rb.field(i)))
-                .sum();
+            let total: u32 = (0..4).map(|i| levenshtein(ra.field(i), rb.field(i))).sum();
             assert_eq!(total, 1, "PL pair must differ by exactly one edit");
         }
     }

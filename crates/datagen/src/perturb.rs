@@ -313,7 +313,10 @@ mod tests {
                 .filter(|(a, b)| a != b)
                 .count();
             assert_eq!(changed, 1);
-            assert_eq!(levenshtein(r.field(p.ops[0].0), p.record.field(p.ops[0].0)), 1);
+            assert_eq!(
+                levenshtein(r.field(p.ops[0].0), p.record.field(p.ops[0].0)),
+                1
+            );
         }
     }
 

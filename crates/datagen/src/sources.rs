@@ -99,10 +99,7 @@ mod tests {
 
     fn avg_b(values: impl Iterator<Item = String>) -> f64 {
         let v: Vec<String> = values.collect();
-        v.iter()
-            .map(|s| qgrams_unpadded(s, 2).len())
-            .sum::<usize>() as f64
-            / v.len() as f64
+        v.iter().map(|s| qgrams_unpadded(s, 2).len()).sum::<usize>() as f64 / v.len() as f64
     }
 
     #[test]

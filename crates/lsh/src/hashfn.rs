@@ -53,8 +53,7 @@ impl UniversalHash {
     /// Evaluates the hash.
     #[inline]
     pub fn eval(&self, x: u64) -> u64 {
-        let v = (u128::from(self.a) * u128::from(x) + u128::from(self.b))
-            % u128::from(PRIME);
+        let v = (u128::from(self.a) * u128::from(x) + u128::from(self.b)) % u128::from(PRIME);
         (v % u128::from(self.m)) as u64
     }
 

@@ -50,7 +50,12 @@ impl MinHasher {
     pub fn minima(&self, set: &[u64]) -> Vec<u64> {
         self.hashes
             .iter()
-            .map(|h| set.iter().map(|&x| h.eval(scramble(x))).min().unwrap_or(EMPTY_MIN))
+            .map(|h| {
+                set.iter()
+                    .map(|&x| h.eval(scramble(x)))
+                    .min()
+                    .unwrap_or(EMPTY_MIN)
+            })
             .collect()
     }
 
@@ -58,7 +63,12 @@ impl MinHasher {
     pub fn key(&self, set: &[u64]) -> u128 {
         let mut acc = KeyAccumulator::new();
         for h in &self.hashes {
-            acc.push(set.iter().map(|&x| h.eval(scramble(x))).min().unwrap_or(EMPTY_MIN));
+            acc.push(
+                set.iter()
+                    .map(|&x| h.eval(scramble(x)))
+                    .min()
+                    .unwrap_or(EMPTY_MIN),
+            );
         }
         acc.finish()
     }

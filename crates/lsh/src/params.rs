@@ -60,10 +60,7 @@ pub fn and_probability<I>(terms: I) -> f64
 where
     I: IntoIterator<Item = (f64, u32)>,
 {
-    terms
-        .into_iter()
-        .map(|(p, k)| p.powi(k as i32))
-        .product()
+    terms.into_iter().map(|(p, k)| p.powi(k as i32)).product()
 }
 
 /// Definition 5 (OR operator): collision probability in *any* structure via
@@ -298,7 +295,10 @@ mod tests {
             p_dissimilar: 0.6,
             verify_cost: 1.0,
         };
-        let large = KCostModel { n: 1_000_000, ..small };
+        let large = KCostModel {
+            n: 1_000_000,
+            ..small
+        };
         assert!(small.optimal_k(5..=45) <= large.optimal_k(5..=45));
     }
 

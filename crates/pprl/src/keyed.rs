@@ -132,7 +132,9 @@ impl KeyedEmbedder {
         let h = &self.position_hashes[attr];
         BitVec::from_positions(
             cfg.m,
-            set.indexes().iter().map(|&x| h.eval(self.key.mix(x)) as usize),
+            set.indexes()
+                .iter()
+                .map(|&x| h.eval(self.key.mix(x)) as usize),
         )
     }
 
@@ -165,8 +167,16 @@ mod tests {
             SecretKey::from_words(key_words),
             Alphabet::linkage(),
             vec![
-                KeyedAttribute { m: 15, q: 2, padded: false },
-                KeyedAttribute { m: 15, q: 2, padded: false },
+                KeyedAttribute {
+                    m: 15,
+                    q: 2,
+                    padded: false,
+                },
+                KeyedAttribute {
+                    m: 15,
+                    q: 2,
+                    padded: false,
+                },
             ],
             &mut rng,
         )
@@ -195,10 +205,13 @@ mod tests {
         // symmetric-difference structure (and hence Hamming distances up to
         // the same collision budget) is preserved.
         let e = embedder([11, 22, 33, 44], 7);
-        let d_keyed = e.embed_value(0, "JONES").hamming(&e.embed_value(0, "JONAS"));
+        let d_keyed = e
+            .embed_value(0, "JONES")
+            .hamming(&e.embed_value(0, "JONAS"));
         assert!((1..=4).contains(&d_keyed), "keyed distance {d_keyed}");
         assert_eq!(
-            e.embed_value(0, "JONES").hamming(&e.embed_value(0, "JONES")),
+            e.embed_value(0, "JONES")
+                .hamming(&e.embed_value(0, "JONES")),
             0
         );
     }

@@ -215,9 +215,21 @@ mod tests {
             SecretKey::from_words([9, 8, 7, 6]),
             Alphabet::linkage(),
             vec![
-                KeyedAttribute { m: 15, q: 2, padded: false },
-                KeyedAttribute { m: 15, q: 2, padded: false },
-                KeyedAttribute { m: 68, q: 2, padded: false },
+                KeyedAttribute {
+                    m: 15,
+                    q: 2,
+                    padded: false,
+                },
+                KeyedAttribute {
+                    m: 15,
+                    q: 2,
+                    padded: false,
+                },
+                KeyedAttribute {
+                    m: 68,
+                    q: 2,
+                    padded: false,
+                },
             ],
             &mut rng,
         )
@@ -266,9 +278,21 @@ mod tests {
             SecretKey::from_words([0, 0, 0, 1]),
             Alphabet::linkage(),
             vec![
-                KeyedAttribute { m: 15, q: 2, padded: false },
-                KeyedAttribute { m: 15, q: 2, padded: false },
-                KeyedAttribute { m: 68, q: 2, padded: false },
+                KeyedAttribute {
+                    m: 15,
+                    q: 2,
+                    padded: false,
+                },
+                KeyedAttribute {
+                    m: 15,
+                    q: 2,
+                    padded: false,
+                },
+                KeyedAttribute {
+                    m: 68,
+                    q: 2,
+                    padded: false,
+                },
             ],
             &mut rng,
         );

@@ -42,10 +42,8 @@ pub fn dictionary_attack(
     attacker_embed: impl Fn(&str) -> BitVec,
 ) -> AttackReport {
     // Pre-embed the dictionary once.
-    let embedded_dict: Vec<(&str, BitVec)> = dictionary
-        .iter()
-        .map(|v| (*v, attacker_embed(v)))
-        .collect();
+    let embedded_dict: Vec<(&str, BitVec)> =
+        dictionary.iter().map(|v| (*v, attacker_embed(v))).collect();
     let mut reidentified = 0usize;
     for (truth, vector) in observed {
         let mut best: Option<(&str, u32)> = None;
@@ -141,7 +139,9 @@ pub fn frequency_attack(observed: &[(String, BitVec)], dictionary: &[&str]) -> A
     ranked.sort_by_key(|(count, _)| std::cmp::Reverse(*count));
     let mut reidentified = 0usize;
     for (rank, (_, members)) in ranked.iter().enumerate() {
-        let Some(guess) = dictionary.get(rank) else { break };
+        let Some(guess) = dictionary.get(rank) else {
+            break;
+        };
         for &idx in members {
             if observed[idx].0 == *guess {
                 reidentified += 1;
@@ -168,9 +168,9 @@ mod tests {
     use textdist::Alphabet;
 
     const NAMES: &[&str] = &[
-        "SMITH", "JOHNSON", "WILLIAMS", "BROWN", "JONES", "GARCIA", "MILLER", "DAVIS",
-        "WILSON", "ANDERSON", "TAYLOR", "MOORE", "JACKSON", "MARTIN", "THOMPSON", "WHITE",
-        "HARRIS", "CLARK", "LEWIS", "WALKER", "HALL", "ALLEN", "YOUNG", "KING", "WRIGHT",
+        "SMITH", "JOHNSON", "WILLIAMS", "BROWN", "JONES", "GARCIA", "MILLER", "DAVIS", "WILSON",
+        "ANDERSON", "TAYLOR", "MOORE", "JACKSON", "MARTIN", "THOMPSON", "WHITE", "HARRIS", "CLARK",
+        "LEWIS", "WALKER", "HALL", "ALLEN", "YOUNG", "KING", "WRIGHT",
     ];
 
     fn embedder(words: [u64; 4], seed: u64, m: usize) -> KeyedEmbedder {
@@ -178,7 +178,11 @@ mod tests {
         KeyedEmbedder::new(
             SecretKey::from_words(words),
             Alphabet::linkage(),
-            vec![KeyedAttribute { m, q: 2, padded: false }],
+            vec![KeyedAttribute {
+                m,
+                q: 2,
+                padded: false,
+            }],
             &mut rng,
         )
     }
@@ -208,13 +212,8 @@ mod tests {
         // Attacker guesses a wrong key (same position hashes — worst case
         // for the defender).
         let guess = embedder([9, 9, 9, 9], 5, 64);
-        let (report, exact) = attack_attribute(
-            NAMES,
-            0,
-            &victim,
-            |v| guess.embed_value(0, v),
-            NAMES,
-        );
+        let (report, exact) =
+            attack_attribute(NAMES, 0, &victim, |v| guess.embed_value(0, v), NAMES);
         let chance = 2.0 / NAMES.len() as f64;
         assert!(
             report.accuracy <= chance + 0.15,
@@ -279,9 +278,7 @@ mod tests {
     fn ties_count_as_failures() {
         // Two dictionary entries embedding identically → tie → no credit.
         let observed = vec![("A".to_string(), BitVec::from_positions(8, [1]))];
-        let report = dictionary_attack(&observed, &["A", "B"], |_| {
-            BitVec::from_positions(8, [1])
-        });
+        let report = dictionary_attack(&observed, &["A", "B"], |_| BitVec::from_positions(8, [1]));
         assert_eq!(report.reidentified, 0);
     }
 }

@@ -1,0 +1,184 @@
+//! A typed client for the rl-server protocol.
+//!
+//! One [`Client`] owns one TCP connection; requests are synchronous
+//! (send one line, read one line). The connection is persistent, so a
+//! client can issue many requests without reconnecting.
+
+use crate::protocol::{Reply, Request, RequestError, Response, StatsReply};
+use cbv_hb::matcher::MatchStats;
+use cbv_hb::Record;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// Client-side failures.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Connection or socket failure.
+    Io(std::io::Error),
+    /// The server's response line was not valid protocol JSON, or the
+    /// reply kind did not match the request.
+    Protocol(String),
+    /// The server rejected the request (typed: backpressure, parse, …).
+    Server(RequestError),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "connection: {e}"),
+            ClientError::Protocol(msg) => write!(f, "protocol: {msg}"),
+            ClientError::Server(e) => write!(f, "server: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+/// A connected client.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    /// Connects to a running server.
+    ///
+    /// # Errors
+    /// Returns [`ClientError::Io`] when the connection cannot be made.
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> Result<Self, ClientError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        let writer = stream.try_clone()?;
+        Ok(Self {
+            reader: BufReader::new(stream),
+            writer,
+        })
+    }
+
+    /// Sends one request and reads its reply. Exposed so callers can
+    /// drive the raw protocol (the bench and the backpressure test do).
+    ///
+    /// # Errors
+    /// Returns [`ClientError::Server`] for typed rejections, otherwise
+    /// I/O or protocol errors.
+    pub fn call(&mut self, request: &Request) -> Result<Reply, ClientError> {
+        let mut line = serde_json::to_string(request)
+            .map_err(|e| ClientError::Protocol(format!("encode request: {e}")))?;
+        line.push('\n');
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.flush()?;
+        let mut response_line = String::new();
+        let n = self.reader.read_line(&mut response_line)?;
+        if n == 0 {
+            return Err(ClientError::Protocol("server closed the connection".into()));
+        }
+        let response: Response = serde_json::from_str(response_line.trim())
+            .map_err(|e| ClientError::Protocol(format!("decode response: {e}")))?;
+        response.into_result().map_err(ClientError::Server)
+    }
+
+    /// Indexes records into data set A. Returns `(accepted, total_indexed)`.
+    ///
+    /// # Errors
+    /// See [`Self::call`].
+    pub fn index(&mut self, records: &[Record]) -> Result<(usize, usize), ClientError> {
+        match self.call(&Request::Index {
+            records: records.to_vec(),
+        })? {
+            Reply::Indexed {
+                accepted,
+                total_indexed,
+            } => Ok((accepted, total_indexed)),
+            other => Err(unexpected("Indexed", &other)),
+        }
+    }
+
+    /// Probes records against the index. Returns sorted `(id_A, id_B)`
+    /// pairs plus matching counters.
+    ///
+    /// # Errors
+    /// See [`Self::call`].
+    pub fn probe(
+        &mut self,
+        records: &[Record],
+    ) -> Result<(Vec<(u64, u64)>, MatchStats), ClientError> {
+        match self.call(&Request::Probe {
+            records: records.to_vec(),
+        })? {
+            Reply::Matches { pairs, stats } => Ok((pairs, stats)),
+            other => Err(unexpected("Matches", &other)),
+        }
+    }
+
+    /// Streaming observe: returns ids of previously indexed records that
+    /// match, then the record joins the index.
+    ///
+    /// # Errors
+    /// See [`Self::call`].
+    pub fn stream(&mut self, record: &Record) -> Result<Vec<u64>, ClientError> {
+        match self.call(&Request::Stream {
+            record: record.clone(),
+        })? {
+            Reply::Observed { matches } => Ok(matches),
+            other => Err(unexpected("Observed", &other)),
+        }
+    }
+
+    /// Duplicate clusters accumulated from streaming matches.
+    ///
+    /// # Errors
+    /// See [`Self::call`].
+    pub fn dedup_status(&mut self) -> Result<Vec<Vec<u64>>, ClientError> {
+        match self.call(&Request::DedupStatus)? {
+            Reply::DedupStatus { clusters, .. } => Ok(clusters),
+            other => Err(unexpected("DedupStatus", &other)),
+        }
+    }
+
+    /// Service counters.
+    ///
+    /// # Errors
+    /// See [`Self::call`].
+    pub fn stats(&mut self) -> Result<StatsReply, ClientError> {
+        match self.call(&Request::Stats)? {
+            Reply::Stats(stats) => Ok(stats),
+            other => Err(unexpected("Stats", &other)),
+        }
+    }
+
+    /// Persists the index; `path` overrides the server's configured
+    /// snapshot path. Returns the path written.
+    ///
+    /// # Errors
+    /// See [`Self::call`].
+    pub fn snapshot(&mut self, path: Option<&str>) -> Result<String, ClientError> {
+        match self.call(&Request::Snapshot {
+            path: path.map(str::to_owned),
+        })? {
+            Reply::Snapshotted { path, .. } => Ok(path),
+            other => Err(unexpected("Snapshotted", &other)),
+        }
+    }
+
+    /// Asks the server to shut down gracefully; consumes the client (the
+    /// server closes this connection after acknowledging).
+    ///
+    /// # Errors
+    /// See [`Self::call`].
+    pub fn shutdown(mut self) -> Result<(), ClientError> {
+        match self.call(&Request::Shutdown)? {
+            Reply::ShuttingDown => Ok(()),
+            other => Err(unexpected("ShuttingDown", &other)),
+        }
+    }
+}
+
+fn unexpected(expected: &str, got: &Reply) -> ClientError {
+    ClientError::Protocol(format!("expected {expected} reply, got {got:?}"))
+}

@@ -1,0 +1,62 @@
+//! # rl-server — a persistent network linkage service
+//!
+//! Turns the in-process [`cbv_hb::sharded::ShardedPipeline`] into a
+//! long-running TCP service: the index is built once (or restored from a
+//! snapshot) and then served to many clients over a newline-delimited
+//! JSON protocol — the operational mode the paper's linkage unit implies,
+//! where data custodians submit records to a central service that holds
+//! the compact Hamming-space index.
+//!
+//! ## Pieces
+//!
+//! - [`protocol`] — the request/response wire types (`Index`, `Probe`,
+//!   `Stream`, `DedupStatus`, `Stats`, `Snapshot`, `Shutdown`).
+//! - [`server`] — [`Server`]: accept loop, bounded worker pool with typed
+//!   backpressure, graceful drain on shutdown.
+//! - [`snapshot`] — [`Snapshot`]: atomic (temp + rename), versioned
+//!   (magic + format version + schema hash) index persistence.
+//! - [`client`] — [`Client`]: a typed synchronous client.
+//!
+//! ## Loopback example
+//!
+//! ```
+//! use rand::rngs::StdRng;
+//! use rand::SeedableRng;
+//! use cbv_hb::sharded::ShardedPipeline;
+//! use cbv_hb::{AttributeSpec, LinkageConfig, Record, RecordSchema, Rule};
+//! use rl_server::{Client, Server, ServerConfig};
+//! use textdist::Alphabet;
+//!
+//! let mut rng = StdRng::seed_from_u64(7);
+//! let schema = RecordSchema::build(
+//!     Alphabet::linkage(),
+//!     vec![
+//!         AttributeSpec::new("FirstName", 2, 64, false, 5),
+//!         AttributeSpec::new("LastName", 2, 64, false, 5),
+//!     ],
+//!     &mut rng,
+//! );
+//! let rule = Rule::and([Rule::pred(0, 4), Rule::pred(1, 4)]);
+//! let pipeline =
+//!     ShardedPipeline::new(schema, LinkageConfig::rule_aware(rule), 2, &mut rng).unwrap();
+//!
+//! let server = Server::spawn(pipeline, ServerConfig::default()).unwrap();
+//! let mut client = Client::connect(server.local_addr()).unwrap();
+//! client.index(&[Record::new(1, ["JOHN", "SMITH"])]).unwrap();
+//! let (pairs, _) = client.probe(&[Record::new(10, ["JON", "SMITH"])]).unwrap();
+//! assert_eq!(pairs, vec![(1, 10)]);
+//! client.shutdown().unwrap();
+//! server.wait();
+//! ```
+
+pub mod client;
+pub mod protocol;
+pub mod server;
+pub mod snapshot;
+
+pub use client::{Client, ClientError};
+pub use protocol::{
+    ErrorCode, Reply, Request, RequestError, Response, StatsReply, PROTOCOL_VERSION,
+};
+pub use server::{Server, ServerConfig};
+pub use snapshot::{Snapshot, SnapshotError, SNAPSHOT_MAGIC, SNAPSHOT_VERSION};

@@ -1,0 +1,231 @@
+//! The wire protocol: newline-delimited JSON over TCP.
+//!
+//! Every request is one JSON object on one line; the server answers with
+//! exactly one JSON object on one line. Requests are externally tagged by
+//! command name (`{"Probe": {...}}`); responses are an envelope with an
+//! `ok` discriminator so clients can branch before deserializing the
+//! payload. See `docs/SERVER.md` for the full reference with examples.
+
+use cbv_hb::matcher::MatchStats;
+use cbv_hb::Record;
+use serde::{Deserialize, Serialize};
+
+/// Protocol version spoken by this build (bumped on breaking changes;
+/// reported in [`StatsReply`]).
+pub const PROTOCOL_VERSION: u32 = 1;
+
+/// A client request.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Request {
+    /// Index records into data set A (round-robin across shards).
+    Index { records: Vec<Record> },
+    /// Probe records (data set B) against the index; does not modify it.
+    Probe { records: Vec<Record> },
+    /// Streaming observe: match one record against everything indexed so
+    /// far, then index it (the paper's insert-and-query mode).
+    Stream { record: Record },
+    /// Duplicate clusters accumulated from `Stream` matches so far.
+    DedupStatus,
+    /// Service counters and configuration.
+    Stats,
+    /// Persist the index to the server's snapshot path (or an explicit
+    /// override) atomically.
+    Snapshot { path: Option<String> },
+    /// Stop accepting connections, drain queued requests, and exit.
+    Shutdown,
+}
+
+/// Why a request was rejected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ErrorCode {
+    /// The request line was not valid JSON for [`Request`].
+    Parse,
+    /// The bounded work queue is full; retry after backing off.
+    Backpressure,
+    /// The server is shutting down and no longer accepts work.
+    ShuttingDown,
+    /// The linkage engine rejected the request (e.g. malformed records).
+    Linkage,
+    /// Snapshot I/O failed.
+    Snapshot,
+    /// The command is valid but not available (e.g. no snapshot path
+    /// configured).
+    Unavailable,
+}
+
+impl std::fmt::Display for ErrorCode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            ErrorCode::Parse => "parse",
+            ErrorCode::Backpressure => "backpressure",
+            ErrorCode::ShuttingDown => "shutting-down",
+            ErrorCode::Linkage => "linkage",
+            ErrorCode::Snapshot => "snapshot",
+            ErrorCode::Unavailable => "unavailable",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A typed request failure.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RequestError {
+    /// Machine-readable category.
+    pub code: ErrorCode,
+    /// Human-readable detail.
+    pub message: String,
+}
+
+impl RequestError {
+    pub(crate) fn new(code: ErrorCode, message: impl Into<String>) -> Self {
+        Self {
+            code,
+            message: message.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for RequestError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}: {}", self.code, self.message)
+    }
+}
+
+impl std::error::Error for RequestError {}
+
+/// A successful reply payload, tagged by kind.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Reply {
+    /// Response to `Index`.
+    Indexed {
+        /// Records accepted in this request.
+        accepted: usize,
+        /// Records indexed since startup (restored records included).
+        total_indexed: usize,
+    },
+    /// Response to `Probe`.
+    Matches {
+        /// Matched `(id_A, id_B)` pairs, sorted.
+        pairs: Vec<(u64, u64)>,
+        /// Matching counters for this probe.
+        stats: MatchStats,
+    },
+    /// Response to `Stream`.
+    Observed {
+        /// Ids of previously indexed records matching the observed one.
+        matches: Vec<u64>,
+    },
+    /// Response to `DedupStatus`.
+    DedupStatus {
+        /// Records involved in at least one stream match.
+        linked_records: usize,
+        /// Duplicate clusters (size ≥ 2), each sorted.
+        clusters: Vec<Vec<u64>>,
+    },
+    /// Response to `Stats`.
+    Stats(StatsReply),
+    /// Response to `Snapshot`.
+    Snapshotted {
+        /// Where the snapshot was written.
+        path: String,
+        /// Records captured in the snapshot.
+        indexed: usize,
+    },
+    /// Response to `Shutdown`.
+    ShuttingDown,
+}
+
+/// Service counters reported by the `Stats` command.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StatsReply {
+    /// Protocol version (see [`PROTOCOL_VERSION`]).
+    pub protocol_version: u32,
+    /// Number of index shards.
+    pub shards: usize,
+    /// Worker threads executing requests.
+    pub workers: usize,
+    /// Bounded work-queue capacity.
+    pub queue_capacity: usize,
+    /// Records indexed (including restored and streamed ones).
+    pub indexed: usize,
+    /// Records observed through `Stream`.
+    pub streamed: u64,
+    /// Requests executed since startup (rejected ones excluded).
+    pub requests_served: u64,
+    /// Requests rejected with `Backpressure` since startup.
+    pub rejected_backpressure: u64,
+    /// Seconds since the server started.
+    pub uptime_secs: u64,
+}
+
+/// The one-line response envelope.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Response {
+    /// The request succeeded.
+    Ok(Reply),
+    /// The request failed.
+    Err(RequestError),
+}
+
+impl Response {
+    /// Converts the envelope into a result.
+    pub fn into_result(self) -> Result<Reply, RequestError> {
+        match self {
+            Response::Ok(reply) => Ok(reply),
+            Response::Err(e) => Err(e),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_roundtrip() {
+        let reqs = [
+            Request::Index {
+                records: vec![Record::new(1, ["JOHN", "SMITH"])],
+            },
+            Request::Probe { records: vec![] },
+            Request::Stream {
+                record: Record::new(2, ["MARY", "JONES"]),
+            },
+            Request::DedupStatus,
+            Request::Stats,
+            Request::Snapshot {
+                path: Some("/tmp/x.snap".into()),
+            },
+            Request::Snapshot { path: None },
+            Request::Shutdown,
+        ];
+        for req in reqs {
+            let line = serde_json::to_string(&req).unwrap();
+            assert!(!line.contains('\n'), "one request per line: {line}");
+            let back: Request = serde_json::from_str(&line).unwrap();
+            assert_eq!(back, req);
+        }
+    }
+
+    #[test]
+    fn response_roundtrip() {
+        let resps = [
+            Response::Ok(Reply::Matches {
+                pairs: vec![(1, 10)],
+                stats: MatchStats::default(),
+            }),
+            Response::Err(RequestError::new(ErrorCode::Backpressure, "queue full")),
+        ];
+        for resp in resps {
+            let line = serde_json::to_string(&resp).unwrap();
+            let back: Response = serde_json::from_str(&line).unwrap();
+            assert_eq!(back, resp);
+        }
+    }
+
+    #[test]
+    fn error_codes_display_kebab() {
+        assert_eq!(ErrorCode::Backpressure.to_string(), "backpressure");
+        assert_eq!(ErrorCode::ShuttingDown.to_string(), "shutting-down");
+    }
+}

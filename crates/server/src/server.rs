@@ -1,0 +1,437 @@
+//! The TCP service: accept loop, bounded worker pool, graceful shutdown.
+//!
+//! Architecture (std networking only):
+//!
+//! ```text
+//!  client ──TCP──▶ connection thread ──try_send──▶ bounded job queue
+//!                        ▲                              │
+//!                        └────── reply channel ◀── worker pool (N threads)
+//!                                                       │
+//!                                              RwLock<ServerState>
+//!                                               (ShardedPipeline, dedup)
+//! ```
+//!
+//! One thread per connection parses newline-delimited JSON requests and
+//! enqueues jobs; when the bounded queue is full the request is rejected
+//! immediately with a typed [`ErrorCode::Backpressure`] error rather than
+//! blocking the socket. Workers execute jobs against the shared state —
+//! probes under a read lock (concurrent), index/stream under a write lock.
+//! `Shutdown` stops the accept loop, lets connection threads finish their
+//! in-flight request, drains the queue, and joins the workers.
+
+use crate::protocol::{
+    ErrorCode, Reply, Request, RequestError, Response, StatsReply, PROTOCOL_VERSION,
+};
+use crate::snapshot::{Snapshot, SnapshotError};
+use cbv_hb::dedup::UnionFind;
+use cbv_hb::sharded::ShardedPipeline;
+use cbv_hb::Record;
+use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
+use parking_lot::RwLock;
+use std::io::{BufRead, BufReader, ErrorKind, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Tuning knobs for [`Server::spawn`].
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Address to bind (use port 0 for an ephemeral port).
+    pub addr: String,
+    /// Worker threads executing requests.
+    pub workers: usize,
+    /// Bounded job-queue capacity; beyond it requests are rejected with
+    /// [`ErrorCode::Backpressure`].
+    pub queue_capacity: usize,
+    /// Where `Snapshot` requests persist the index by default, and where
+    /// the server snapshots once more during shutdown.
+    pub snapshot_path: Option<PathBuf>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:0".into(),
+            workers: 2,
+            queue_capacity: 64,
+            snapshot_path: None,
+        }
+    }
+}
+
+/// Everything a request can touch, behind one lock.
+struct ServerState {
+    pipeline: ShardedPipeline,
+    /// Union-find over stream-matched record ids (the dedup view).
+    dedup: UnionFind,
+    /// Pairs feeding `dedup`, kept for snapshots.
+    stream_pairs: Vec<(u64, u64)>,
+    streamed: u64,
+}
+
+/// A unit of work: the parsed request plus where to send the response.
+struct Job {
+    request: Request,
+    reply: Sender<Response>,
+}
+
+struct Inner {
+    state: RwLock<ServerState>,
+    config: ServerConfig,
+    shutdown: AtomicBool,
+    started: Instant,
+    requests_served: AtomicU64,
+    rejected_backpressure: AtomicU64,
+    local_addr: SocketAddr,
+}
+
+/// A running linkage service. Dropping the handle does not stop the
+/// server; send a `Shutdown` request (or call [`Server::shutdown`]) and
+/// then [`Server::wait`].
+pub struct Server {
+    inner: Arc<Inner>,
+    jobs: Sender<Job>,
+    accept_handle: Option<std::thread::JoinHandle<()>>,
+    worker_handles: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds the listener, spawns the worker pool and the accept loop, and
+    /// returns immediately. `pipeline` may be freshly built or restored
+    /// from a snapshot ([`crate::snapshot::Snapshot`]).
+    ///
+    /// # Errors
+    /// Returns I/O errors from binding the address.
+    pub fn spawn(pipeline: ShardedPipeline, config: ServerConfig) -> std::io::Result<Self> {
+        Self::spawn_with_history(pipeline, Vec::new(), 0, config)
+    }
+
+    /// Like [`Self::spawn`], but seeds the dedup union-find and stream
+    /// counter from a restored snapshot.
+    ///
+    /// # Errors
+    /// Returns I/O errors from binding the address.
+    pub fn spawn_with_history(
+        pipeline: ShardedPipeline,
+        stream_pairs: Vec<(u64, u64)>,
+        streamed: u64,
+        config: ServerConfig,
+    ) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let local_addr = listener.local_addr()?;
+        let mut dedup = UnionFind::new();
+        for &(a, b) in &stream_pairs {
+            dedup.union(a, b);
+        }
+        let workers = config.workers.max(1);
+        let queue_capacity = config.queue_capacity.max(1);
+        let inner = Arc::new(Inner {
+            state: RwLock::new(ServerState {
+                pipeline,
+                dedup,
+                stream_pairs,
+                streamed,
+            }),
+            config,
+            shutdown: AtomicBool::new(false),
+            started: Instant::now(),
+            requests_served: AtomicU64::new(0),
+            rejected_backpressure: AtomicU64::new(0),
+            local_addr,
+        });
+
+        let (job_tx, job_rx) = bounded::<Job>(queue_capacity);
+        let worker_handles = (0..workers)
+            .map(|i| {
+                let inner = Arc::clone(&inner);
+                let rx: Receiver<Job> = job_rx.clone();
+                std::thread::Builder::new()
+                    .name(format!("rl-worker-{i}"))
+                    .spawn(move || worker_loop(&inner, &rx))
+                    .expect("spawn worker")
+            })
+            .collect();
+        drop(job_rx);
+
+        let accept_handle = {
+            let inner = Arc::clone(&inner);
+            let job_tx = job_tx.clone();
+            std::thread::Builder::new()
+                .name("rl-accept".into())
+                .spawn(move || accept_loop(&inner, &listener, &job_tx))
+                .expect("spawn accept loop")
+        };
+
+        Ok(Self {
+            inner,
+            jobs: job_tx,
+            accept_handle: Some(accept_handle),
+            worker_handles,
+        })
+    }
+
+    /// The bound address (useful with an ephemeral port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.inner.local_addr
+    }
+
+    /// Requests shutdown from the owning process (equivalent to a client
+    /// sending `Shutdown`).
+    pub fn shutdown(&self) {
+        begin_shutdown(&self.inner);
+    }
+
+    /// Blocks until the accept loop has stopped and all queued requests
+    /// have drained through the workers. Takes a final snapshot if a
+    /// snapshot path is configured.
+    pub fn wait(mut self) {
+        if let Some(handle) = self.accept_handle.take() {
+            let _ = handle.join();
+        }
+        // Closing the job channel lets workers finish the backlog and exit.
+        drop(self.jobs);
+        for handle in self.worker_handles.drain(..) {
+            let _ = handle.join();
+        }
+        if let Some(path) = self.inner.config.snapshot_path.clone() {
+            let state = self.inner.state.read();
+            if let Err(e) = write_snapshot(&state, &path) {
+                eprintln!("rl-server: shutdown snapshot failed: {e}");
+            }
+        }
+    }
+}
+
+fn begin_shutdown(inner: &Inner) {
+    if inner.shutdown.swap(true, Ordering::SeqCst) {
+        return;
+    }
+    // Wake the accept loop: it blocks in accept(), so poke it with a
+    // throwaway connection to make it observe the flag.
+    let _ = TcpStream::connect(inner.local_addr);
+}
+
+fn accept_loop(inner: &Arc<Inner>, listener: &TcpListener, job_tx: &Sender<Job>) {
+    let mut conn_handles: Vec<std::thread::JoinHandle<()>> = Vec::new();
+    for stream in listener.incoming() {
+        if inner.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        let inner = Arc::clone(inner);
+        let job_tx = job_tx.clone();
+        conn_handles.retain(|h| !h.is_finished());
+        let handle = std::thread::Builder::new()
+            .name("rl-conn".into())
+            .spawn(move || handle_connection(&inner, stream, &job_tx))
+            .expect("spawn connection handler");
+        conn_handles.push(handle);
+    }
+    for handle in conn_handles {
+        let _ = handle.join();
+    }
+}
+
+fn handle_connection(inner: &Arc<Inner>, stream: TcpStream, job_tx: &Sender<Job>) {
+    // A short read timeout lets idle connections notice server shutdown
+    // without disturbing active clients (timeouts just re-poll the flag).
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(200)));
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    loop {
+        line.clear();
+        match reader.read_line(&mut line) {
+            Ok(0) => return, // client closed
+            Ok(_) => {}
+            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+                if inner.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                continue;
+            }
+            Err(_) => return,
+        }
+        if line.trim().is_empty() {
+            continue;
+        }
+        let response = dispatch_line(inner, job_tx, line.trim());
+        let is_shutdown_ack = matches!(response, Response::Ok(Reply::ShuttingDown));
+        if write_response(&mut writer, &response).is_err() {
+            return;
+        }
+        if is_shutdown_ack {
+            return;
+        }
+    }
+}
+
+fn write_response(writer: &mut TcpStream, response: &Response) -> std::io::Result<()> {
+    let mut json = serde_json::to_string(response)
+        .unwrap_or_else(|_| "{\"Err\":{\"code\":\"Parse\",\"message\":\"encode\"}}".into());
+    json.push('\n');
+    writer.write_all(json.as_bytes())?;
+    writer.flush()
+}
+
+fn dispatch_line(inner: &Arc<Inner>, job_tx: &Sender<Job>, line: &str) -> Response {
+    let request: Request = match serde_json::from_str(line) {
+        Ok(req) => req,
+        Err(e) => {
+            return Response::Err(RequestError::new(
+                ErrorCode::Parse,
+                format!("bad request: {e}"),
+            ))
+        }
+    };
+    if inner.shutdown.load(Ordering::SeqCst) {
+        return Response::Err(RequestError::new(
+            ErrorCode::ShuttingDown,
+            "server is shutting down",
+        ));
+    }
+    let (reply_tx, reply_rx) = bounded(1);
+    let job = Job {
+        request,
+        reply: reply_tx,
+    };
+    match job_tx.try_send(job) {
+        Ok(()) => {}
+        Err(TrySendError::Full(_)) => {
+            inner.rejected_backpressure.fetch_add(1, Ordering::Relaxed);
+            return Response::Err(RequestError::new(
+                ErrorCode::Backpressure,
+                format!(
+                    "work queue full ({} pending); retry later",
+                    inner.config.queue_capacity
+                ),
+            ));
+        }
+        Err(TrySendError::Disconnected(_)) => {
+            return Response::Err(RequestError::new(
+                ErrorCode::ShuttingDown,
+                "worker pool stopped",
+            ));
+        }
+    }
+    match reply_rx.recv() {
+        Ok(response) => response,
+        Err(_) => Response::Err(RequestError::new(
+            ErrorCode::ShuttingDown,
+            "worker dropped the request during shutdown",
+        )),
+    }
+}
+
+fn worker_loop(inner: &Arc<Inner>, rx: &Receiver<Job>) {
+    while let Ok(job) = rx.recv() {
+        let response = execute(inner, job.request);
+        inner.requests_served.fetch_add(1, Ordering::Relaxed);
+        let _ = job.reply.send(response);
+    }
+}
+
+fn execute(inner: &Arc<Inner>, request: Request) -> Response {
+    match request {
+        Request::Index { records } => {
+            let mut state = inner.state.write();
+            match state.pipeline.index(&records) {
+                Ok(()) => Response::Ok(Reply::Indexed {
+                    accepted: records.len(),
+                    total_indexed: state.pipeline.indexed_len(),
+                }),
+                Err(e) => Response::Err(RequestError::new(ErrorCode::Linkage, e.to_string())),
+            }
+        }
+        Request::Probe { records } => {
+            let state = inner.state.read();
+            match state.pipeline.link(&records) {
+                Ok((pairs, stats)) => Response::Ok(Reply::Matches { pairs, stats }),
+                Err(e) => Response::Err(RequestError::new(ErrorCode::Linkage, e.to_string())),
+            }
+        }
+        Request::Stream { record } => {
+            let mut state = inner.state.write();
+            match observe(&mut state, &record) {
+                Ok(matches) => Response::Ok(Reply::Observed { matches }),
+                Err(e) => Response::Err(RequestError::new(ErrorCode::Linkage, e.to_string())),
+            }
+        }
+        Request::DedupStatus => {
+            let mut state = inner.state.write();
+            let clusters = state.dedup.clusters(2);
+            Response::Ok(Reply::DedupStatus {
+                linked_records: clusters.iter().map(Vec::len).sum(),
+                clusters,
+            })
+        }
+        Request::Stats => {
+            let state = inner.state.read();
+            Response::Ok(Reply::Stats(StatsReply {
+                protocol_version: PROTOCOL_VERSION,
+                shards: state.pipeline.num_shards(),
+                workers: inner.config.workers.max(1),
+                queue_capacity: inner.config.queue_capacity.max(1),
+                indexed: state.pipeline.indexed_len(),
+                streamed: state.streamed,
+                requests_served: inner.requests_served.load(Ordering::Relaxed),
+                rejected_backpressure: inner.rejected_backpressure.load(Ordering::Relaxed),
+                uptime_secs: inner.started.elapsed().as_secs(),
+            }))
+        }
+        Request::Snapshot { path } => {
+            let target = path
+                .map(PathBuf::from)
+                .or_else(|| inner.config.snapshot_path.clone());
+            let Some(target) = target else {
+                return Response::Err(RequestError::new(
+                    ErrorCode::Unavailable,
+                    "no snapshot path configured; pass one in the request or start \
+                     the server with --snapshot",
+                ));
+            };
+            let state = inner.state.read();
+            match write_snapshot(&state, &target) {
+                Ok(indexed) => Response::Ok(Reply::Snapshotted {
+                    path: target.to_string_lossy().into_owned(),
+                    indexed,
+                }),
+                Err(e) => Response::Err(RequestError::new(ErrorCode::Snapshot, e.to_string())),
+            }
+        }
+        Request::Shutdown => {
+            begin_shutdown(inner);
+            Response::Ok(Reply::ShuttingDown)
+        }
+    }
+}
+
+/// Streaming observe against the sharded index: probe the single record,
+/// record matched pairs in the dedup forest, then index it.
+fn observe(state: &mut ServerState, record: &Record) -> cbv_hb::error::Result<Vec<u64>> {
+    let batch = std::slice::from_ref(record).to_vec();
+    let (pairs, _) = state.pipeline.link(&batch)?;
+    let matches: Vec<u64> = pairs.into_iter().map(|(a, _)| a).collect();
+    state.pipeline.index(&batch)?;
+    for &a in &matches {
+        state.dedup.union(a, record.id);
+        state.stream_pairs.push((a, record.id));
+    }
+    state.streamed += 1;
+    Ok(matches)
+}
+
+fn write_snapshot(state: &ServerState, path: &std::path::Path) -> Result<usize, SnapshotError> {
+    let exported = state
+        .pipeline
+        .export_state()
+        .map_err(|e| SnapshotError::Format(e.to_string()))?;
+    let indexed = exported.indexed;
+    Snapshot::new(exported, state.stream_pairs.clone(), state.streamed)?.save(path)?;
+    Ok(indexed)
+}

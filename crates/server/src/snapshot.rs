@@ -1,0 +1,286 @@
+//! Atomic, versioned index snapshots.
+//!
+//! A snapshot is one JSON document holding the full [`ShardedState`] —
+//! schema (hash coefficients included), classifier, and every shard's
+//! populated blocking plan + record store — plus the server's streaming
+//! side state. The header carries a format magic, a format version, and a
+//! hash of the serialized schema, so a reload can reject files from a
+//! different format or an incompatible index before touching any state.
+//!
+//! Writes are atomic: the document is written to a sibling temp file and
+//! `rename`d over the destination, so a crash mid-write never corrupts an
+//! existing snapshot.
+
+use cbv_hb::sharded::ShardedState;
+use cbv_hb::RecordSchema;
+use serde::{Deserialize, Serialize};
+use std::io::Write;
+use std::path::Path;
+
+/// Format magic: identifies a file as an rl-server snapshot.
+pub const SNAPSHOT_MAGIC: &str = "RLSNAP1";
+
+/// Current snapshot format version.
+pub const SNAPSHOT_VERSION: u32 = 1;
+
+/// Errors raised while saving or loading snapshots.
+#[derive(Debug)]
+pub enum SnapshotError {
+    /// Filesystem failure (create, write, rename, read).
+    Io(std::io::Error),
+    /// The file is not a snapshot, or is from an incompatible format
+    /// version, or its schema hash does not match its schema.
+    Format(String),
+    /// JSON (de)serialization failure.
+    Serde(String),
+}
+
+impl std::fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SnapshotError::Io(e) => write!(f, "snapshot I/O: {e}"),
+            SnapshotError::Format(msg) => write!(f, "snapshot format: {msg}"),
+            SnapshotError::Serde(msg) => write!(f, "snapshot encoding: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+impl From<std::io::Error> for SnapshotError {
+    fn from(e: std::io::Error) -> Self {
+        SnapshotError::Io(e)
+    }
+}
+
+/// The on-disk snapshot document.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Snapshot {
+    /// Must equal [`SNAPSHOT_MAGIC`].
+    pub magic: String,
+    /// Must equal [`SNAPSHOT_VERSION`].
+    pub version: u32,
+    /// FNV-1a hash of the serialized schema, hex-encoded. Verified on
+    /// load so a snapshot cannot silently pair records with the wrong
+    /// embedding coefficients.
+    pub schema_hash: String,
+    /// The sharded pipeline state.
+    pub state: ShardedState,
+    /// Matched pairs accumulated by `Stream` requests (rebuilds the
+    /// dedup union-find on restore).
+    pub stream_pairs: Vec<(u64, u64)>,
+    /// Records observed through `Stream`.
+    pub streamed: u64,
+}
+
+/// Hex-encoded FNV-1a 64 over the schema's canonical JSON form. The serde
+/// shim serializes maps with sorted keys, so the encoding is deterministic
+/// for equal schemas.
+pub fn schema_hash(schema: &RecordSchema) -> Result<String, SnapshotError> {
+    let json = serde_json::to_string(schema).map_err(|e| SnapshotError::Serde(e.to_string()))?;
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in json.as_bytes() {
+        hash ^= u64::from(*byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    Ok(format!("{hash:016x}"))
+}
+
+impl Snapshot {
+    /// Wraps a pipeline state into a versioned snapshot document.
+    pub fn new(
+        state: ShardedState,
+        stream_pairs: Vec<(u64, u64)>,
+        streamed: u64,
+    ) -> Result<Self, SnapshotError> {
+        Ok(Self {
+            magic: SNAPSHOT_MAGIC.to_string(),
+            version: SNAPSHOT_VERSION,
+            schema_hash: schema_hash(&state.schema)?,
+            state,
+            stream_pairs,
+            streamed,
+        })
+    }
+
+    /// Writes the snapshot atomically: serialize to `<path>.tmp`, then
+    /// rename over `path`. Readers either see the old complete snapshot or
+    /// the new complete snapshot, never a torn write.
+    pub fn save(&self, path: &Path) -> Result<(), SnapshotError> {
+        let json = serde_json::to_string(self).map_err(|e| SnapshotError::Serde(e.to_string()))?;
+        let tmp = temp_sibling(path);
+        {
+            let mut file = std::fs::File::create(&tmp)?;
+            file.write_all(json.as_bytes())?;
+            file.write_all(b"\n")?;
+            file.sync_all()?;
+        }
+        if let Err(e) = std::fs::rename(&tmp, path) {
+            let _ = std::fs::remove_file(&tmp);
+            return Err(e.into());
+        }
+        Ok(())
+    }
+
+    /// Loads and validates a snapshot: magic, version, and schema hash
+    /// must all check out.
+    pub fn load(path: &Path) -> Result<Self, SnapshotError> {
+        let json = std::fs::read_to_string(path)?;
+        let snapshot: Snapshot =
+            serde_json::from_str(&json).map_err(|e| SnapshotError::Serde(e.to_string()))?;
+        if snapshot.magic != SNAPSHOT_MAGIC {
+            return Err(SnapshotError::Format(format!(
+                "bad magic {:?} (expected {SNAPSHOT_MAGIC:?})",
+                snapshot.magic
+            )));
+        }
+        if snapshot.version != SNAPSHOT_VERSION {
+            return Err(SnapshotError::Format(format!(
+                "unsupported version {} (this build reads {SNAPSHOT_VERSION})",
+                snapshot.version
+            )));
+        }
+        let actual = schema_hash(&snapshot.state.schema)?;
+        if actual != snapshot.schema_hash {
+            return Err(SnapshotError::Format(format!(
+                "schema hash mismatch: header {} vs content {actual}",
+                snapshot.schema_hash
+            )));
+        }
+        Ok(snapshot)
+    }
+}
+
+/// A temp path next to the destination, so the final rename stays on one
+/// filesystem (rename across mount points is not atomic — or possible).
+fn temp_sibling(path: &Path) -> std::path::PathBuf {
+    let mut name = path
+        .file_name()
+        .map(|n| n.to_string_lossy().into_owned())
+        .unwrap_or_else(|| "snapshot".to_string());
+    name.push_str(&format!(".tmp-{}", std::process::id()));
+    path.with_file_name(name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cbv_hb::sharded::ShardedPipeline;
+    use cbv_hb::{AttributeSpec, LinkageConfig, Record, Rule};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use textdist::Alphabet;
+
+    fn sample_state() -> ShardedState {
+        let mut rng = StdRng::seed_from_u64(3);
+        let schema = RecordSchema::build(
+            Alphabet::linkage(),
+            vec![
+                AttributeSpec::new("FirstName", 2, 15, false, 5),
+                AttributeSpec::new("LastName", 2, 15, false, 5),
+            ],
+            &mut rng,
+        );
+        let rule = Rule::and([Rule::pred(0, 4), Rule::pred(1, 4)]);
+        let mut p =
+            ShardedPipeline::new(schema, LinkageConfig::rule_aware(rule), 2, &mut rng).unwrap();
+        p.index(&[
+            Record::new(1, ["JOHN", "SMITH"]),
+            Record::new(2, ["MARY", "JONES"]),
+        ])
+        .unwrap();
+        let state = p.export_state().unwrap();
+        p.shutdown();
+        state
+    }
+
+    #[test]
+    fn save_load_roundtrip() {
+        let state = sample_state();
+        let dir = std::env::temp_dir().join("rl-server-snap-test-roundtrip");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("index.snap");
+        let snap = Snapshot::new(state, vec![(1, 2)], 3).unwrap();
+        snap.save(&path).unwrap();
+        let loaded = Snapshot::load(&path).unwrap();
+        assert_eq!(loaded.stream_pairs, vec![(1, 2)]);
+        assert_eq!(loaded.streamed, 3);
+        assert_eq!(loaded.state.indexed, 2);
+        // The restored pipeline must answer probes like the original.
+        let p = ShardedPipeline::from_state(loaded.state).unwrap();
+        let (m, _) = p.link(&[Record::new(10, ["JON", "SMITH"])]).unwrap();
+        assert_eq!(m, vec![(1, 10)]);
+        p.shutdown();
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn rejects_bad_magic_version_and_hash() {
+        let state = sample_state();
+        let dir = std::env::temp_dir().join("rl-server-snap-test-reject");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("index.snap");
+        let good = Snapshot::new(state, vec![], 0).unwrap();
+
+        let mut bad = good.clone();
+        bad.magic = "NOTASNAP".into();
+        bad.save(&path).unwrap();
+        assert!(matches!(
+            Snapshot::load(&path),
+            Err(SnapshotError::Format(_))
+        ));
+
+        let mut bad = good.clone();
+        bad.version = SNAPSHOT_VERSION + 1;
+        bad.save(&path).unwrap();
+        assert!(matches!(
+            Snapshot::load(&path),
+            Err(SnapshotError::Format(_))
+        ));
+
+        let mut bad = good.clone();
+        bad.schema_hash = "0".repeat(16);
+        bad.save(&path).unwrap();
+        assert!(matches!(
+            Snapshot::load(&path),
+            Err(SnapshotError::Format(_))
+        ));
+
+        good.save(&path).unwrap();
+        assert!(Snapshot::load(&path).is_ok());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn save_is_atomic_no_temp_left_behind() {
+        let state = sample_state();
+        let dir = std::env::temp_dir().join("rl-server-snap-test-atomic");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("index.snap");
+        Snapshot::new(state, vec![], 0)
+            .unwrap()
+            .save(&path)
+            .unwrap();
+        let entries: Vec<String> = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+            .collect();
+        assert_eq!(entries, vec!["index.snap"]);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn schema_hash_is_stable_and_discriminating() {
+        let state_a = sample_state();
+        let state_b = sample_state(); // same seed → identical schema
+        let ha = schema_hash(&state_a.schema).unwrap();
+        assert_eq!(ha, schema_hash(&state_b.schema).unwrap());
+        let mut rng = StdRng::seed_from_u64(99);
+        let other = RecordSchema::build(
+            Alphabet::linkage(),
+            vec![AttributeSpec::new("X", 2, 20, false, 5)],
+            &mut rng,
+        );
+        assert_ne!(ha, schema_hash(&other).unwrap());
+    }
+}

@@ -150,7 +150,6 @@ impl Alphabet {
             })
             .collect()
     }
-
 }
 
 #[cfg(test)]

@@ -28,9 +28,7 @@ pub fn damerau_levenshtein(a: &str, b: &str) -> u32 {
         curr[0] = i as u32;
         for j in 1..=m {
             let cost = u32::from(a[i - 1] != b[j - 1]);
-            let mut best = (prev[j - 1] + cost)
-                .min(prev[j] + 1)
-                .min(curr[j - 1] + 1);
+            let mut best = (prev[j - 1] + cost).min(prev[j] + 1).min(curr[j - 1] + 1);
             if i > 1 && j > 1 && a[i - 1] == b[j - 2] && a[i - 2] == b[j - 1] {
                 best = best.min(prev2[j - 2] + 1);
             }
@@ -64,11 +62,7 @@ mod tests {
             ("KITTEN", "SITTING"),
             ("", "ABC"),
         ] {
-            assert_eq!(
-                damerau_levenshtein(a, b),
-                levenshtein(a, b),
-                "{a} vs {b}"
-            );
+            assert_eq!(damerau_levenshtein(a, b), levenshtein(a, b), "{a} vs {b}");
         }
     }
 

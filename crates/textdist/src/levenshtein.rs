@@ -25,7 +25,11 @@ pub fn levenshtein(a: &str, b: &str) -> u32 {
         return a.len() as u32;
     }
     // Keep the shorter string as the row for cache friendliness.
-    let (row_src, col_src) = if a.len() <= b.len() { (&a, &b) } else { (&b, &a) };
+    let (row_src, col_src) = if a.len() <= b.len() {
+        (&a, &b)
+    } else {
+        (&b, &a)
+    };
     let mut prev: Vec<u32> = (0..=row_src.len() as u32).collect();
     let mut curr: Vec<u32> = vec![0; row_src.len() + 1];
     for (i, &cb) in col_src.iter().enumerate() {
@@ -74,7 +78,11 @@ pub fn levenshtein_within(a: &str, b: &str, k: u32) -> Option<u32> {
             let cost = u32::from(a[i - 1] != b[j - 1]);
             let diag = prev[j - 1].saturating_add(cost);
             let up = prev[j].saturating_add(1);
-            let left = if j >= 1 { curr[j - 1].saturating_add(1) } else { INF };
+            let left = if j >= 1 {
+                curr[j - 1].saturating_add(1)
+            } else {
+                INF
+            };
             let v = diag.min(up).min(left);
             curr[j] = v;
             row_min = row_min.min(v);

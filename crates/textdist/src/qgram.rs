@@ -78,7 +78,11 @@ impl QGramSet {
 
     fn build_inner(s: &str, q: usize, alphabet: &Alphabet, padded: bool) -> Self {
         let norm = alphabet.normalize(s);
-        let grams = if padded { qgrams(&norm, q) } else { qgrams_unpadded(&norm, q) };
+        let grams = if padded {
+            qgrams(&norm, q)
+        } else {
+            qgrams_unpadded(&norm, q)
+        };
         let raw_count = grams.len();
         let mut indexes: Vec<u64> = grams
             .iter()

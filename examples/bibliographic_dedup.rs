@@ -62,13 +62,9 @@ fn main() {
     ]);
 
     let sets: Vec<&[Record]> = libraries.iter().map(Vec::as_slice).collect();
-    let matches = LinkagePipeline::link_many(
-        schema,
-        LinkageConfig::rule_aware(rule),
-        &sets,
-        &mut rng,
-    )
-    .expect("valid configuration");
+    let matches =
+        LinkagePipeline::link_many(schema, LinkageConfig::rule_aware(rule), &sets, &mut rng)
+            .expect("valid configuration");
 
     // Score against ground truth: records with the same canonical id.
     let mut truth = 0usize;
@@ -89,5 +85,8 @@ fn main() {
     let recall = correct as f64 / truth as f64;
     let precision = correct as f64 / matches.len().max(1) as f64;
     println!("recall {recall:.3}  precision {precision:.3}");
-    assert!(recall > 0.9, "multi-party linkage should find most duplicates");
+    assert!(
+        recall > 0.9,
+        "multi-party linkage should find most duplicates"
+    );
 }

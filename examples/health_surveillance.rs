@@ -73,5 +73,8 @@ fn main() {
     let expected = stream.iter().filter(|(o, _)| *o == "pharmacy").count();
     let recall = alerts as f64 / expected as f64;
     println!("stream recall    : {recall:.3}");
-    assert!(recall > 0.9, "stream matching should catch most dirty copies");
+    assert!(
+        recall > 0.9,
+        "stream matching should catch most dirty copies"
+    );
 }

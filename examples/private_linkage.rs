@@ -18,10 +18,26 @@ fn main() {
     //     parameters out of band; Charlie gets neither the key nor strings.
     let key = SecretKey::from_words([0x5EC2E7, 0x1234, 0x5678, 0x9ABC]);
     let attrs = vec![
-        KeyedAttribute { m: 15, q: 2, padded: false },
-        KeyedAttribute { m: 15, q: 2, padded: false },
-        KeyedAttribute { m: 68, q: 2, padded: false },
-        KeyedAttribute { m: 22, q: 2, padded: false },
+        KeyedAttribute {
+            m: 15,
+            q: 2,
+            padded: false,
+        },
+        KeyedAttribute {
+            m: 15,
+            q: 2,
+            padded: false,
+        },
+        KeyedAttribute {
+            m: 68,
+            q: 2,
+            padded: false,
+        },
+        KeyedAttribute {
+            m: 22,
+            q: 2,
+            padded: false,
+        },
     ];
     let shared_seed = 2016u64;
     let embedder = |key: SecretKey| {

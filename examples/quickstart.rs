@@ -6,8 +6,8 @@
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use record_linkage::prelude::*;
 use record_linkage::cbv_hb::AttributeSpec;
+use record_linkage::prelude::*;
 
 fn main() {
     let mut rng = StdRng::seed_from_u64(2016);
@@ -34,9 +34,8 @@ fn main() {
     let rule = Rule::and([Rule::pred(0, 4), Rule::pred(1, 4), Rule::pred(2, 8)]);
 
     // 3. Build the rule-aware pipeline (attribute-level LSH blocking).
-    let mut pipeline =
-        LinkagePipeline::new(schema, LinkageConfig::rule_aware(rule), &mut rng)
-            .expect("valid configuration");
+    let mut pipeline = LinkagePipeline::new(schema, LinkageConfig::rule_aware(rule), &mut rng)
+        .expect("valid configuration");
 
     // 4. Index data set A.
     let a = vec![
@@ -58,10 +57,7 @@ fn main() {
     for (ia, ib) in &result.matches {
         let ra = a.iter().find(|r| r.id == *ia).unwrap();
         let rb = b.iter().find(|r| r.id == *ib).unwrap();
-        println!(
-            "match: A#{ia} {:?} <-> B#{ib} {:?}",
-            ra.fields, rb.fields
-        );
+        println!("match: A#{ia} {:?} <-> B#{ib} {:?}", ra.fields, rb.fields);
     }
     assert_eq!(result.matches.len(), 2, "both dirty copies are found");
 }

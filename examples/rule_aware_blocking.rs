@@ -44,8 +44,8 @@ fn main() {
     ];
 
     for (label, rule) in &rules {
-        let plan = BlockingPlan::compile(&schema, rule, 0.1, &mut rng)
-            .expect("paper rules compile");
+        let plan =
+            BlockingPlan::compile(&schema, rule, 0.1, &mut rng).expect("paper rules compile");
         println!("\n{label}");
         for s in plan.structures() {
             println!(
@@ -63,12 +63,8 @@ fn main() {
     // tracing).
     println!("\nC3 end-to-end: first name close, last name NOT close");
     let rule = rules[2].1.clone();
-    let mut pipeline = LinkagePipeline::new(
-        schema,
-        LinkageConfig::rule_aware(rule),
-        &mut rng,
-    )
-    .expect("valid");
+    let mut pipeline =
+        LinkagePipeline::new(schema, LinkageConfig::rule_aware(rule), &mut rng).expect("valid");
     pipeline
         .index(&[
             Record::new(1, ["MARTHA", "JONES", "1 OAK ST", "CARY"]),

@@ -1,0 +1,219 @@
+//! Offline shim for `criterion`.
+//!
+//! A minimal wall-clock micro-benchmark harness exposing the criterion
+//! API surface used by `crates/bench`: `Criterion::bench_function`,
+//! `benchmark_group` (+ `bench_function` / `bench_with_input` /
+//! `sample_size` / `finish`), `BenchmarkId`, `black_box`, and the
+//! `criterion_group!` / `criterion_main!` macros. Each benchmark warms
+//! up briefly, then runs timed batches and reports the median ns/iter to
+//! stdout. There are no HTML reports, baselines, or statistics.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Identifier combining a function name and a parameter, e.g.
+/// `BenchmarkId::new("probe", 4)` → `probe/4`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            label: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+/// Anything acceptable as a benchmark label.
+pub trait IntoLabel {
+    fn into_label(self) -> String;
+}
+
+impl IntoLabel for &str {
+    fn into_label(self) -> String {
+        self.to_owned()
+    }
+}
+
+impl IntoLabel for String {
+    fn into_label(self) -> String {
+        self
+    }
+}
+
+impl IntoLabel for BenchmarkId {
+    fn into_label(self) -> String {
+        self.label
+    }
+}
+
+/// Passed to benchmark closures; `iter` runs and times the payload.
+pub struct Bencher {
+    sample_size: usize,
+    result_ns: Option<f64>,
+}
+
+impl Bencher {
+    /// Times `f`, storing the median ns/iter across timed batches.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warmup: let caches/branch predictors settle and estimate cost.
+        let warmup_deadline = Instant::now() + Duration::from_millis(20);
+        let mut warmup_iters: u64 = 0;
+        let warmup_start = Instant::now();
+        while Instant::now() < warmup_deadline {
+            black_box(f());
+            warmup_iters += 1;
+        }
+        let est_ns = warmup_start.elapsed().as_nanos() as f64 / warmup_iters.max(1) as f64;
+
+        // Pick a batch size aiming at ~2ms per batch.
+        let batch = ((2_000_000.0 / est_ns.max(0.5)) as u64).clamp(1, 1_000_000);
+        let samples = self.sample_size.clamp(3, 100);
+        let mut per_iter: Vec<f64> = Vec::with_capacity(samples);
+        for _ in 0..samples {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            per_iter.push(start.elapsed().as_nanos() as f64 / batch as f64);
+        }
+        per_iter.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        self.result_ns = Some(per_iter[per_iter.len() / 2]);
+    }
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(label: &str, sample_size: usize, mut f: F) {
+    let mut bencher = Bencher {
+        sample_size,
+        result_ns: None,
+    };
+    f(&mut bencher);
+    match bencher.result_ns {
+        Some(ns) => {
+            let (value, unit) = if ns >= 1_000_000.0 {
+                (ns / 1_000_000.0, "ms")
+            } else if ns >= 1_000.0 {
+                (ns / 1_000.0, "µs")
+            } else {
+                (ns, "ns")
+            };
+            println!("bench: {label:<50} {value:>10.3} {unit}/iter");
+        }
+        None => println!("bench: {label:<50} (no measurement)"),
+    }
+}
+
+/// Top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl IntoLabel,
+        f: F,
+    ) -> &mut Self {
+        run_bench(&id.into_label(), 20, f);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: name.into(),
+            sample_size: 20,
+        }
+    }
+}
+
+/// Named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl IntoLabel,
+        f: F,
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id.into_label());
+        run_bench(&label, self.sample_size, f);
+        self
+    }
+
+    pub fn bench_with_input<I, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: impl IntoLabel,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id.into_label());
+        run_bench(&label, self.sample_size, |b| f(b, input));
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Declares a function running the listed benchmark targets.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        c.bench_function("sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        let mut group = c.benchmark_group("grp");
+        group.sample_size(5);
+        group.bench_function(BenchmarkId::new("with_id", 4), |b| {
+            b.iter(|| black_box(4u64) * 2)
+        });
+        group.bench_with_input(BenchmarkId::from_parameter(8), &8u64, |b, &n| {
+            b.iter(|| n * 2)
+        });
+        group.finish();
+    }
+
+    criterion_group!(benches, sample_bench);
+
+    #[test]
+    fn harness_runs() {
+        benches();
+    }
+}

@@ -1,0 +1,324 @@
+//! Offline shim for the `rand` crate.
+//!
+//! Provides the subset of the rand 0.10 API this workspace uses: the
+//! [`Rng`] extension trait with `random`, `random_range`, and
+//! `random_bool`, the [`SeedableRng`] constructor trait, and
+//! [`rngs::StdRng`] — a xoshiro256++ generator seeded through SplitMix64.
+//! The generated stream differs from upstream `StdRng` (which is fine for
+//! this workspace: all seeded tests assert statistical or structural
+//! properties, not exact draws).
+
+use std::ops::{Range, RangeInclusive};
+
+/// Low-level uniform word source.
+pub trait RngCore {
+    /// Returns the next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Types samplable uniformly over their whole domain via `Rng::random`.
+pub trait Random: Sized {
+    fn random<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+macro_rules! impl_random_int {
+    ($($t:ty),*) => {$(
+        impl Random for $t {
+            fn random<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_random_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Random for u128 {
+    fn random<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128
+    }
+}
+
+impl Random for i128 {
+    fn random<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        u128::random(rng) as i128
+    }
+}
+
+impl Random for bool {
+    fn random<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Random for f64 {
+    fn random<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // 53 uniform mantissa bits in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Random for f32 {
+    fn random<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+/// Ranges samplable via `RngExt::random_range`.
+pub trait SampleRange<T> {
+    fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+/// Types with uniform range sampling.
+///
+/// The `SampleRange` impls below are generic over `T: SampleUniform`
+/// (one impl per range shape, as upstream) so that type inference can
+/// tie the range's element type to `random_range`'s return type.
+pub trait SampleUniform: Sized + PartialOrd {
+    /// Samples from `[start, end)` (`inclusive == false`) or
+    /// `[start, end]` (`inclusive == true`).
+    fn sample_uniform<R: RngCore + ?Sized>(
+        rng: &mut R,
+        start: Self,
+        end: Self,
+        inclusive: bool,
+    ) -> Self;
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_uniform(rng, self.start, self.end, false)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+    fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        let (start, end) = self.into_inner();
+        T::sample_uniform(rng, start, end, true)
+    }
+}
+
+/// Unbiased integer in `[0, span)` by rejection sampling.
+fn uniform_u64<R: RngCore + ?Sized>(rng: &mut R, span: u64) -> u64 {
+    debug_assert!(span > 0);
+    if span.is_power_of_two() {
+        return rng.next_u64() & (span - 1);
+    }
+    let zone = u64::MAX - (u64::MAX % span);
+    loop {
+        let v = rng.next_u64();
+        if v < zone {
+            return v % span;
+        }
+    }
+}
+
+fn uniform_u128<R: RngCore + ?Sized>(rng: &mut R, span: u128) -> u128 {
+    debug_assert!(span > 0);
+    if span <= u64::MAX as u128 {
+        return uniform_u64(rng, span as u64) as u128;
+    }
+    let zone = u128::MAX - (u128::MAX % span);
+    loop {
+        let v = u128::random(rng);
+        if v < zone {
+            return v % span;
+        }
+    }
+}
+
+macro_rules! impl_sample_uniform_int {
+    ($($t:ty => $wide:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_uniform<R: RngCore + ?Sized>(
+                rng: &mut R,
+                start: Self,
+                end: Self,
+                inclusive: bool,
+            ) -> Self {
+                if inclusive {
+                    assert!(start <= end, "empty range in random_range");
+                    let span = (end as $wide).wrapping_sub(start as $wide) as u128 + 1;
+                    let draw = uniform_u128(rng, span) as $wide;
+                    (start as $wide).wrapping_add(draw) as $t
+                } else {
+                    assert!(start < end, "empty range in random_range");
+                    let span = (end as $wide).wrapping_sub(start as $wide);
+                    let draw = uniform_u128(rng, span as u128) as $wide;
+                    (start as $wide).wrapping_add(draw) as $t
+                }
+            }
+        }
+    )*};
+}
+impl_sample_uniform_int!(
+    u8 => u64, u16 => u64, u32 => u64, u64 => u64, usize => u64,
+    i8 => u64, i16 => u64, i32 => u64, i64 => u64, isize => u64,
+    u128 => u128, i128 => u128
+);
+
+macro_rules! impl_sample_uniform_float {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_uniform<R: RngCore + ?Sized>(
+                rng: &mut R,
+                start: Self,
+                end: Self,
+                _inclusive: bool,
+            ) -> Self {
+                assert!(start < end, "empty range in random_range");
+                start + <$t>::random(rng) * (end - start)
+            }
+        }
+    )*};
+}
+impl_sample_uniform_float!(f32, f64);
+
+/// Marker trait naming a random generator (the usual generic bound);
+/// the sampling methods live on [`RngExt`], matching how this
+/// workspace imports the two.
+pub trait Rng: RngCore {}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// User-facing random sampling methods, implemented for every [`Rng`].
+pub trait RngExt: Rng {
+    /// Uniform sample over a type's full domain (`[0, 1)` for floats).
+    fn random<T: Random>(&mut self) -> T {
+        T::random(self)
+    }
+
+    /// Uniform sample from a half-open or inclusive range.
+    fn random_range<T, Rg: SampleRange<T>>(&mut self, range: Rg) -> T {
+        range.sample(self)
+    }
+
+    /// Bernoulli draw with probability `p` of `true`.
+    fn random_bool(&mut self, p: f64) -> bool {
+        f64::random(self) < p
+    }
+}
+
+impl<R: Rng + ?Sized> RngExt for R {}
+
+/// Construction of reproducible generators from small seeds.
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// SplitMix64 — used to expand a 64-bit seed into generator state.
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// The workspace's standard generator: xoshiro256++.
+    ///
+    /// Not the same stream as upstream `rand::rngs::StdRng` (ChaCha12),
+    /// but an equally uniform, fast, reproducible PRNG.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut sm = seed;
+            let s = [
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ];
+            StdRng { s }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{RngExt, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.random::<u64>(), b.random::<u64>());
+        }
+        let mut c = StdRng::seed_from_u64(43);
+        assert_ne!(
+            (0..8).map(|_| a.random::<u64>()).collect::<Vec<_>>(),
+            (0..8).map(|_| c.random::<u64>()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn range_bounds_respected() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let x = rng.random_range(3u64..17);
+            assert!((3..17).contains(&x));
+            let y = rng.random_range(-5i32..=5);
+            assert!((-5..=5).contains(&y));
+            let f = rng.random::<f64>();
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn range_covers_all_values() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut seen = [false; 10];
+        for _ in 0..1000 {
+            seen[rng.random_range(0usize..10)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn uniformity_rough() {
+        let mut rng = StdRng::seed_from_u64(23);
+        let n = 100_000;
+        let mean = (0..n).map(|_| rng.random::<f64>()).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn works_through_dyn_and_generic_bounds() {
+        fn take_generic<R: super::RngExt + ?Sized>(rng: &mut R) -> u64 {
+            rng.random_range(1..100u64)
+        }
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!((1..100).contains(&take_generic(&mut rng)));
+    }
+}

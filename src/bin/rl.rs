@@ -35,7 +35,13 @@ fn usage() -> ! {
          rl dedup --input D.csv --rule EXPR --out CLUSTERS.csv [--header] \
          [--id-column N] [--delta D] [--k K1,K2,...] [--seed S]\n  \
          rl calibrate --input D.csv [--header] [--id-column N] [--theta T] \
-         [--delta D] [--seed S]"
+         [--delta D] [--seed S]\n  \
+         rl serve --rule EXPR --fields N [--addr HOST:PORT] [--m-bits M] \
+         [--k K] [--delta D] [--shards N] [--workers N] [--queue N] \
+         [--snapshot PATH] [--seed S]\n  \
+         rl client --cmd stats|dedup-status|shutdown|snapshot|index|probe|stream \
+         [--addr HOST:PORT] [--input F.csv] [--out M.csv] [--path SNAP] \
+         [--header] [--id-column N]"
     );
     exit(2)
 }
@@ -49,6 +55,8 @@ fn main() {
         "link" => link(&flags),
         "dedup" => dedup(&flags),
         "calibrate" => calibrate(&flags),
+        "serve" => serve(&flags),
+        "client" => client(&flags),
         _ => usage(),
     };
     if let Err(e) = result {
@@ -245,8 +253,7 @@ fn link(flags: &HashMap<String, String>) -> Result<(), String> {
         None => BlockingMode::RuleAware,
     };
     let config = LinkageConfig { delta, mode, rule };
-    let mut pipeline =
-        LinkagePipeline::new(schema, config, &mut rng).map_err(|e| e.to_string())?;
+    let mut pipeline = LinkagePipeline::new(schema, config, &mut rng).map_err(|e| e.to_string())?;
 
     if flags.contains_key("report") {
         let report = analyze(pipeline.plan());
@@ -307,8 +314,8 @@ fn dedup(flags: &HashMap<String, String>) -> Result<(), String> {
         .unwrap_or(42);
     let rule = parse_rule(rule_text).map_err(|e| e.to_string())?;
     let file = File::open(input).map_err(|e| format!("cannot open {input}: {e}"))?;
-    let (_, records) = read_records(file, ',', has_header, id_column)
-        .map_err(|e| format!("{input}: {e}"))?;
+    let (_, records) =
+        read_records(file, ',', has_header, id_column).map_err(|e| format!("{input}: {e}"))?;
     if records.is_empty() {
         return Err("data set must be non-empty".into());
     }
@@ -347,8 +354,7 @@ fn dedup(flags: &HashMap<String, String>) -> Result<(), String> {
         mode: BlockingMode::RuleAware,
         rule,
     };
-    let result =
-        deduplicate(&schema, &config, &records, &mut rng).map_err(|e| e.to_string())?;
+    let result = deduplicate(&schema, &config, &records, &mut rng).map_err(|e| e.to_string())?;
     // One cluster per line: comma-separated member ids.
     let mut out = String::from("cluster_members\n");
     for cluster in &result.clusters {
@@ -366,17 +372,215 @@ fn dedup(flags: &HashMap<String, String>) -> Result<(), String> {
     Ok(())
 }
 
+/// Runs the persistent linkage service: builds a fresh sharded index (or
+/// restores it from `--snapshot` when the file exists) and serves the
+/// newline-delimited JSON protocol until a client sends `Shutdown`.
+fn serve(flags: &HashMap<String, String>) -> Result<(), String> {
+    use record_linkage::cbv_hb::sharded::ShardedPipeline;
+    use record_linkage::server::{Server, ServerConfig, Snapshot};
+
+    let addr = flags
+        .get("addr")
+        .cloned()
+        .unwrap_or_else(|| "127.0.0.1:7878".into());
+    let parse_or = |key: &str, default: usize| -> Result<usize, String> {
+        flags
+            .get(key)
+            .map(|s| s.parse())
+            .transpose()
+            .map_err(|_| format!("--{key} must be an integer"))
+            .map(|v| v.unwrap_or(default))
+    };
+    let shards = parse_or("shards", 4)?.max(1);
+    let workers = parse_or("workers", 2)?;
+    let queue = parse_or("queue", 64)?;
+    let seed: u64 = flags
+        .get("seed")
+        .map(|s| s.parse())
+        .transpose()
+        .map_err(|_| "--seed must be an integer".to_string())?
+        .unwrap_or(42);
+    let snapshot_path = flags.get("snapshot").map(std::path::PathBuf::from);
+
+    let config = ServerConfig {
+        addr,
+        workers,
+        queue_capacity: queue,
+        snapshot_path: snapshot_path.clone(),
+    };
+
+    // Restore when a snapshot exists; otherwise build from flags.
+    let restored = match &snapshot_path {
+        Some(path) if path.exists() => {
+            let snap = Snapshot::load(path).map_err(|e| e.to_string())?;
+            eprintln!(
+                "restored snapshot {} ({} records, {} shards)",
+                path.display(),
+                snap.state.indexed,
+                snap.state.shards.len()
+            );
+            Some(snap)
+        }
+        _ => None,
+    };
+    let server = match restored {
+        Some(snap) => {
+            let pipeline = ShardedPipeline::from_state(snap.state).map_err(|e| e.to_string())?;
+            Server::spawn_with_history(pipeline, snap.stream_pairs, snap.streamed, config)
+        }
+        None => {
+            let rule_text = req(flags, "rule")?;
+            let fields: usize = req(flags, "fields")?
+                .parse()
+                .map_err(|_| "--fields must be an integer".to_string())?;
+            if fields == 0 {
+                return Err("--fields must be positive".into());
+            }
+            let m_bits = parse_or("m-bits", 64)?;
+            let k: u32 = parse_or("k", 5)? as u32;
+            let delta: f64 = flags
+                .get("delta")
+                .map(|s| s.parse())
+                .transpose()
+                .map_err(|_| "--delta must be a number".to_string())?
+                .unwrap_or(0.1);
+            let rule = parse_rule(rule_text).map_err(|e| e.to_string())?;
+            let mut rng = StdRng::seed_from_u64(seed);
+            let specs: Vec<AttributeSpec> = (0..fields)
+                .map(|f| AttributeSpec::new(format!("f{f}"), 2, m_bits, false, k))
+                .collect();
+            let schema = RecordSchema::build(Alphabet::linkage(), specs, &mut rng);
+            let link_config = LinkageConfig {
+                delta,
+                mode: BlockingMode::RuleAware,
+                rule,
+            };
+            let pipeline = ShardedPipeline::new(schema, link_config, shards, &mut rng)
+                .map_err(|e| e.to_string())?;
+            Server::spawn(pipeline, config)
+        }
+    }
+    .map_err(|e| format!("cannot start server: {e}"))?;
+
+    eprintln!(
+        "rl-server listening on {} ({shards} shards); send {{\"Shutdown\":null}} to stop",
+        server.local_addr()
+    );
+    server.wait();
+    eprintln!("rl-server stopped");
+    Ok(())
+}
+
+/// One-shot protocol client: connects, issues a single command, prints the
+/// reply as JSON on stdout (matches as CSV with --out).
+fn client(flags: &HashMap<String, String>) -> Result<(), String> {
+    use record_linkage::server::Client;
+
+    let addr = flags
+        .get("addr")
+        .cloned()
+        .unwrap_or_else(|| "127.0.0.1:7878".into());
+    let cmd = req(flags, "cmd")?;
+    let mut client = Client::connect(&*addr).map_err(|e| e.to_string())?;
+
+    let read_file = |key: &str| -> Result<Vec<Record>, String> {
+        let path = req(flags, key)?;
+        let has_header = flags.contains_key("header");
+        let id_column: Option<usize> = flags
+            .get("id-column")
+            .map(|s| s.parse())
+            .transpose()
+            .map_err(|_| "--id-column must be an integer".to_string())?;
+        let file = File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
+        let (_, records) =
+            read_records(file, ',', has_header, id_column).map_err(|e| format!("{path}: {e}"))?;
+        Ok(records)
+    };
+
+    match cmd {
+        "stats" => {
+            let stats = client.stats().map_err(|e| e.to_string())?;
+            println!(
+                "{}",
+                serde_json::to_string(&stats).map_err(|e| e.to_string())?
+            );
+        }
+        "dedup-status" => {
+            let clusters = client.dedup_status().map_err(|e| e.to_string())?;
+            println!(
+                "{}",
+                serde_json::to_string(&clusters).map_err(|e| e.to_string())?
+            );
+        }
+        "shutdown" => {
+            client.shutdown().map_err(|e| e.to_string())?;
+            eprintln!("server acknowledged shutdown");
+        }
+        "snapshot" => {
+            let path = client
+                .snapshot(flags.get("path").map(String::as_str))
+                .map_err(|e| e.to_string())?;
+            eprintln!("snapshot written to {path}");
+        }
+        "index" => {
+            let records = read_file("input")?;
+            let (accepted, total) = client.index(&records).map_err(|e| e.to_string())?;
+            eprintln!("indexed {accepted} records ({total} total)");
+        }
+        "probe" => {
+            let records = read_file("input")?;
+            let (pairs, stats) = client.probe(&records).map_err(|e| e.to_string())?;
+            match flags.get("out") {
+                Some(out_path) => {
+                    let out = File::create(out_path)
+                        .map_err(|e| format!("cannot create {out_path}: {e}"))?;
+                    write_matches(out, &pairs).map_err(|e| e.to_string())?;
+                    eprintln!(
+                        "probed {} records, {} candidates, wrote {} matches to {out_path}",
+                        records.len(),
+                        stats.candidates,
+                        pairs.len()
+                    );
+                }
+                None => {
+                    for (a, b) in &pairs {
+                        println!("{a},{b}");
+                    }
+                }
+            }
+        }
+        "stream" => {
+            let records = read_file("input")?;
+            let mut total_matches = 0usize;
+            for record in &records {
+                let matches = client.stream(record).map_err(|e| e.to_string())?;
+                total_matches += matches.len();
+                if !matches.is_empty() {
+                    let ids: Vec<String> = matches.iter().map(ToString::to_string).collect();
+                    println!("{} -> {}", record.id, ids.join(";"));
+                }
+            }
+            eprintln!(
+                "streamed {} records, {total_matches} matches against history",
+                records.len()
+            );
+        }
+        other => return Err(format!("unknown client command {other:?}")),
+    }
+    Ok(())
+}
+
 /// Data-driven parameter advice: measures per-attribute bigram statistics,
 /// sizes c-vectors by Theorem 1, estimates `p_dissimilar` from sampled
 /// pairs, and recommends `K` (cost model of the paper's reference \[16\])
 /// and `L` (Equation 2).
 fn calibrate(flags: &HashMap<String, String>) -> Result<(), String> {
-    use record_linkage::cbv_hb::schema::measure_b;
+    use rand::RngExt;
     use record_linkage::cbv_hb::cvector::optimal_m;
+    use record_linkage::cbv_hb::schema::measure_b;
     use record_linkage::lsh::params::{
         base_success_probability, estimate_p_dissimilar, optimal_l, KCostModel,
     };
-    use rand::RngExt;
 
     let input = req(flags, "input")?;
     let has_header = flags.contains_key("header");
@@ -405,8 +609,8 @@ fn calibrate(flags: &HashMap<String, String>) -> Result<(), String> {
         .unwrap_or(42);
 
     let file = File::open(input).map_err(|e| format!("cannot open {input}: {e}"))?;
-    let (header, records) = read_records(file, ',', has_header, id_column)
-        .map_err(|e| format!("{input}: {e}"))?;
+    let (header, records) =
+        read_records(file, ',', has_header, id_column).map_err(|e| format!("{input}: {e}"))?;
     if records.is_empty() {
         return Err("data set must be non-empty".into());
     }

@@ -49,13 +49,15 @@
 //! | [`datagen`] | `rl-datagen` | synthetic NCVR/DBLP pairs + ground truth |
 //! | [`baselines`] | `rl-baselines` | HARRA, BfH, SM-EB |
 //! | [`pprl`] | `rl-pprl` | privacy-preserving linkage (keyed embeddings) |
+//! | [`server`] | `rl-server` | TCP linkage service over the sharded index |
 
 pub use cbv_hb;
 pub use rl_baselines as baselines;
-pub use rl_pprl as pprl;
 pub use rl_bitvec as bitvec;
 pub use rl_datagen as datagen;
 pub use rl_lsh as lsh;
+pub use rl_pprl as pprl;
+pub use rl_server as server;
 pub use textdist;
 
 /// Most-used types, one `use` away.
@@ -69,5 +71,6 @@ pub mod prelude {
     };
     pub use rl_baselines::{BfhLinker, CbvHbLinker, HarraLinker, LinkOutcome, Linker, SmEbLinker};
     pub use rl_datagen::{DatasetPair, PairConfig, PerturbationScheme};
+    pub use rl_server::{Client, Server, ServerConfig};
     pub use textdist::Alphabet;
 }

@@ -17,7 +17,13 @@ fn pair(seed: u64, scheme: PerturbationScheme, n: usize, dup: f64) -> DatasetPai
 }
 
 fn pc_of(outcome: &LinkOutcome, p: &DatasetPair) -> f64 {
-    evaluate(&outcome.matches, &p.ground_truth, outcome.candidates, p.cross_size()).pc
+    evaluate(
+        &outcome.matches,
+        &p.ground_truth,
+        outcome.candidates,
+        p.cross_size(),
+    )
+    .pc
 }
 
 #[test]
@@ -94,7 +100,12 @@ fn every_method_reduces_the_comparison_space() {
         ("SM-EB", SmEbLinker::paper_pl(4, 6).link(&p.a, &p.b)),
     ];
     for (name, out) in runs {
-        let q = evaluate(&out.matches, &p.ground_truth, out.candidates, p.cross_size());
+        let q = evaluate(
+            &out.matches,
+            &p.ground_truth,
+            out.candidates,
+            p.cross_size(),
+        );
         assert!(q.rr > 0.8, "{name} RR {} too low", q.rr);
     }
 }

@@ -115,7 +115,10 @@ fn hamming_distance_is_length_invariant_unlike_jaccard() {
             &QGramSet::build_unpadded(&s, 2, &a),
             &QGramSet::build_unpadded(&t, 2, &a),
         );
-        assert!(j < last_jaccard, "Jaccard distance should shrink with length");
+        assert!(
+            j < last_jaccard,
+            "Jaccard distance should shrink with length"
+        );
         last_jaccard = j;
     }
 }

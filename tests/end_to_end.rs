@@ -38,17 +38,22 @@ fn light_scheme_record_level_recall_exceeds_guarantee() {
     let mut rng = StdRng::seed_from_u64(10);
     let schema = fitted_schema(&pair, &mut rng);
     let rule = Rule::and((0..4).map(|i| Rule::pred(i, 4)));
-    let mut p = LinkagePipeline::new(
-        schema,
-        LinkageConfig::record_level(rule, 4, 30),
-        &mut rng,
-    )
-    .unwrap();
+    let mut p =
+        LinkagePipeline::new(schema, LinkageConfig::record_level(rule, 4, 30), &mut rng).unwrap();
     p.index(&pair.a).unwrap();
     let r = p.link(&pair.b).unwrap();
-    let q = evaluate(&r.matches, &pair.ground_truth, r.stats.candidates, pair.cross_size());
+    let q = evaluate(
+        &r.matches,
+        &pair.ground_truth,
+        r.stats.candidates,
+        pair.cross_size(),
+    );
     assert!(q.pc >= 0.9, "PC {} below the 1-δ guarantee", q.pc);
-    assert!(q.rr > 0.99, "blocking should prune almost everything: RR {}", q.rr);
+    assert!(
+        q.rr > 0.99,
+        "blocking should prune almost everything: RR {}",
+        q.rr
+    );
 }
 
 #[test]
@@ -57,11 +62,15 @@ fn heavy_scheme_rule_aware_recall_exceeds_guarantee() {
     let mut rng = StdRng::seed_from_u64(11);
     let schema = fitted_schema(&pair, &mut rng);
     let rule = Rule::and([Rule::pred(0, 4), Rule::pred(1, 4), Rule::pred(2, 8)]);
-    let mut p =
-        LinkagePipeline::new(schema, LinkageConfig::rule_aware(rule), &mut rng).unwrap();
+    let mut p = LinkagePipeline::new(schema, LinkageConfig::rule_aware(rule), &mut rng).unwrap();
     p.index(&pair.a).unwrap();
     let r = p.link(&pair.b).unwrap();
-    let q = evaluate(&r.matches, &pair.ground_truth, r.stats.candidates, pair.cross_size());
+    let q = evaluate(
+        &r.matches,
+        &pair.ground_truth,
+        r.stats.candidates,
+        pair.cross_size(),
+    );
     assert!(q.pc >= 0.9, "PC {} below the 1-δ guarantee", q.pc);
 }
 
@@ -101,8 +110,7 @@ fn candidates_never_exceed_cross_product() {
     let mut rng = StdRng::seed_from_u64(13);
     let schema = fitted_schema(&pair, &mut rng);
     let rule = Rule::and((0..4).map(|i| Rule::pred(i, 4)));
-    let mut p =
-        LinkagePipeline::new(schema, LinkageConfig::rule_aware(rule), &mut rng).unwrap();
+    let mut p = LinkagePipeline::new(schema, LinkageConfig::rule_aware(rule), &mut rng).unwrap();
     p.index(&pair.a).unwrap();
     let r = p.link(&pair.b).unwrap();
     assert!(u128::from(r.stats.candidates) <= pair.cross_size());
@@ -118,8 +126,7 @@ fn empty_datasets_are_fine() {
         &mut rng,
     );
     let rule = Rule::pred(0, 4);
-    let mut p =
-        LinkagePipeline::new(schema, LinkageConfig::rule_aware(rule), &mut rng).unwrap();
+    let mut p = LinkagePipeline::new(schema, LinkageConfig::rule_aware(rule), &mut rng).unwrap();
     p.index(&[]).unwrap();
     let r = p.link(&[]).unwrap();
     assert!(r.matches.is_empty());

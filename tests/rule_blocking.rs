@@ -57,10 +57,8 @@ fn c3_pair(n: usize, seed: u64) -> DatasetPair {
 
 /// Ground truth restricted to pairs that satisfy `rule` in Ĥ.
 fn rule_truth(schema: &RecordSchema, pair: &DatasetPair, rule: &Rule) -> HashSet<(u64, u64)> {
-    let a: std::collections::HashMap<u64, &Record> =
-        pair.a.iter().map(|r| (r.id, r)).collect();
-    let b: std::collections::HashMap<u64, &Record> =
-        pair.b.iter().map(|r| (r.id, r)).collect();
+    let a: std::collections::HashMap<u64, &Record> = pair.a.iter().map(|r| (r.id, r)).collect();
+    let b: std::collections::HashMap<u64, &Record> = pair.b.iter().map(|r| (r.id, r)).collect();
     pair.ground_truth
         .iter()
         .filter(|(ia, ib)| {
@@ -82,29 +80,34 @@ fn c3_rule_aware_blocking_beats_standard() {
     let rule = Rule::and([Rule::pred(0, 4), Rule::not(Rule::pred(1, 4))]);
     let pair = c3_pair(600, 7);
     let truth = rule_truth(&s, &pair, &rule);
-    assert!(truth.len() > 100, "C3 generator must produce rule-true pairs");
+    assert!(
+        truth.len() > 100,
+        "C3 generator must produce rule-true pairs"
+    );
 
-    let mut aware = LinkagePipeline::new(
-        s.clone(),
-        LinkageConfig::rule_aware(rule.clone()),
-        &mut rng,
-    )
-    .unwrap();
+    let mut aware =
+        LinkagePipeline::new(s.clone(), LinkageConfig::rule_aware(rule.clone()), &mut rng).unwrap();
     aware.index(&pair.a).unwrap();
     let r_aware = aware.link(&pair.b).unwrap();
-    let q_aware = evaluate(&r_aware.matches, &truth, r_aware.stats.candidates, pair.cross_size());
+    let q_aware = evaluate(
+        &r_aware.matches,
+        &truth,
+        r_aware.stats.candidates,
+        pair.cross_size(),
+    );
 
     // Standard blocking: record-level sampling with the positive budget
     // θ = 4 + 4 (it is unaware the second predicate is negated).
-    let mut std_p = LinkagePipeline::new(
-        s,
-        LinkageConfig::record_level(rule, 8, 30),
-        &mut rng,
-    )
-    .unwrap();
+    let mut std_p =
+        LinkagePipeline::new(s, LinkageConfig::record_level(rule, 8, 30), &mut rng).unwrap();
     std_p.index(&pair.a).unwrap();
     let r_std = std_p.link(&pair.b).unwrap();
-    let q_std = evaluate(&r_std.matches, &truth, r_std.stats.candidates, pair.cross_size());
+    let q_std = evaluate(
+        &r_std.matches,
+        &truth,
+        r_std.stats.candidates,
+        pair.cross_size(),
+    );
 
     assert!(q_aware.pc >= 0.9, "rule-aware PC {}", q_aware.pc);
     assert!(
@@ -123,8 +126,7 @@ fn or_rule_finds_pairs_matching_either_subrule() {
         Rule::and([Rule::pred(0, 4), Rule::pred(1, 4)]),
         Rule::pred(2, 8),
     ]);
-    let mut p =
-        LinkagePipeline::new(s, LinkageConfig::rule_aware(rule), &mut rng).unwrap();
+    let mut p = LinkagePipeline::new(s, LinkageConfig::rule_aware(rule), &mut rng).unwrap();
     p.index(&[
         Record::new(1, ["JOHN", "SMITH", "1 OAK ST", "CARY"]),
         Record::new(2, ["ALICE", "KRAMER", "42 PINE DRIVE", "APEX"]),
@@ -148,12 +150,14 @@ fn and_rule_requires_all_predicates() {
     let mut rng = StdRng::seed_from_u64(99);
     let s = schema(&mut rng);
     let rule = Rule::and([Rule::pred(0, 4), Rule::pred(1, 4)]);
-    let mut p =
-        LinkagePipeline::new(s, LinkageConfig::rule_aware(rule), &mut rng).unwrap();
+    let mut p = LinkagePipeline::new(s, LinkageConfig::rule_aware(rule), &mut rng).unwrap();
     p.index(&[Record::new(1, ["JOHN", "SMITH", "1 OAK ST", "CARY"])])
         .unwrap();
     let r = p
-        .link(&[Record::new(10, ["JOHN", "COMPLETELYOTHER", "1 OAK ST", "CARY"])])
+        .link(&[Record::new(
+            10,
+            ["JOHN", "COMPLETELYOTHER", "1 OAK ST", "CARY"],
+        )])
         .unwrap();
     assert!(r.matches.is_empty(), "one failed predicate must reject");
 }
@@ -167,8 +171,7 @@ fn compound_rule_c1_paper_shape_end_to_end() {
         Rule::and([Rule::pred(0, 4), Rule::pred(1, 4)]),
         Rule::and([Rule::pred(2, 8), Rule::pred(3, 4)]),
     ]);
-    let mut p =
-        LinkagePipeline::new(s, LinkageConfig::rule_aware(rule), &mut rng).unwrap();
+    let mut p = LinkagePipeline::new(s, LinkageConfig::rule_aware(rule), &mut rng).unwrap();
     assert_eq!(p.plan().structures().len(), 2);
     p.index(&[Record::new(1, ["JOHN", "SMITH", "1 OAK ST", "CARY"])])
         .unwrap();
@@ -178,7 +181,10 @@ fn compound_rule_c1_paper_shape_end_to_end() {
         .link(&[
             Record::new(10, ["JOHN", "SMITH", "900 UNKNOWN BOULEVARD", "ZEBULON"]),
             Record::new(11, ["GERTRUDE", "WAKEFIELD", "1 OAK ST", "CARY"]),
-            Record::new(12, ["GERTRUDE", "WAKEFIELD", "900 UNKNOWN BOULEVARD", "ZEBULON"]),
+            Record::new(
+                12,
+                ["GERTRUDE", "WAKEFIELD", "900 UNKNOWN BOULEVARD", "ZEBULON"],
+            ),
         ])
         .unwrap();
     let mut m = r.matches.clone();

@@ -1,0 +1,259 @@
+//! Loopback integration tests for the rl-server network service: full
+//! lifecycle over real TCP (index → probe → stream → dedup → snapshot →
+//! restart → re-probe), typed backpressure under a saturated queue, and
+//! protocol error handling.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use record_linkage::cbv_hb::pipeline::LinkageConfig;
+use record_linkage::cbv_hb::sharded::ShardedPipeline;
+use record_linkage::cbv_hb::{AttributeSpec, Record, RecordSchema, Rule};
+use record_linkage::server::{Client, ClientError, ErrorCode, Server, ServerConfig, Snapshot};
+use record_linkage::textdist::Alphabet;
+use std::io::{BufRead, BufReader, Write};
+
+fn pipeline(seed: u64, shards: usize) -> ShardedPipeline {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let schema = RecordSchema::build(
+        Alphabet::linkage(),
+        vec![
+            // Generous sizes keep hash-collision false positives out of the
+            // deterministic assertions below.
+            AttributeSpec::new("FirstName", 2, 64, false, 5),
+            AttributeSpec::new("LastName", 2, 64, false, 5),
+        ],
+        &mut rng,
+    );
+    let rule = Rule::and([Rule::pred(0, 4), Rule::pred(1, 4)]);
+    ShardedPipeline::new(schema, LinkageConfig::rule_aware(rule), shards, &mut rng).unwrap()
+}
+
+/// A well-spread synthetic name (multiplicative hash), so distinct indices
+/// share few bigrams.
+fn synth_name(salt: u64, i: u64) -> String {
+    let mut x = (i + 1)
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(salt.wrapping_mul(0xA24B_AED4_963E_E407));
+    (0..6)
+        .map(|_| {
+            let c = (b'A' + (x % 26) as u8) as char;
+            x /= 26;
+            c
+        })
+        .collect()
+}
+
+fn records(salt: u64, base: u64, n: u64) -> Vec<Record> {
+    (0..n)
+        .map(|i| Record::new(base + i, [synth_name(salt, i), synth_name(salt ^ 0xF00, i)]))
+        .collect()
+}
+
+#[test]
+fn full_lifecycle_with_snapshot_restart() {
+    let dir = std::env::temp_dir().join("rl-loopback-lifecycle");
+    std::fs::create_dir_all(&dir).unwrap();
+    let snap_path = dir.join("index.snap");
+    let _ = std::fs::remove_file(&snap_path);
+
+    let config = ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        workers: 2,
+        queue_capacity: 16,
+        snapshot_path: Some(snap_path.clone()),
+    };
+    let server = Server::spawn(pipeline(21, 2), config.clone()).unwrap();
+    let addr = server.local_addr();
+    let mut client = Client::connect(addr).unwrap();
+
+    // Index data set A and probe exact copies as data set B.
+    let a = records(9, 0, 30);
+    let (accepted, total) = client.index(&a).unwrap();
+    assert_eq!((accepted, total), (30, 30));
+    let b = records(9, 1000, 30);
+    let (pairs_before, stats) = client.probe(&b).unwrap();
+    for i in 0..30u64 {
+        assert!(pairs_before.contains(&(i, 1000 + i)), "missing pair {i}");
+    }
+    assert!(stats.candidates >= 30);
+
+    // Streaming: a dirty copy of record 0 must match it; dedup-status
+    // then reports the pair as one cluster.
+    let mut dirty = a[0].clone();
+    dirty.id = 5000;
+    dirty.fields[0].push('X');
+    let matches = client.stream(&dirty).unwrap();
+    assert!(matches.contains(&0), "stream should match the original");
+    let clusters = client.dedup_status().unwrap();
+    assert!(clusters.iter().any(|c| c.contains(&0) && c.contains(&5000)));
+
+    // Stats reflect the traffic; the streamed record joined the index.
+    let stats = client.stats().unwrap();
+    assert_eq!(stats.shards, 2);
+    assert_eq!(stats.indexed, 31);
+    assert_eq!(stats.streamed, 1);
+    assert!(stats.requests_served >= 4);
+
+    // Snapshot to the configured path, then shut down gracefully.
+    let written = client.snapshot(None).unwrap();
+    assert_eq!(written, snap_path.to_string_lossy());
+    client.shutdown().unwrap();
+    server.wait();
+
+    // Restart from the snapshot; probes must answer identically and the
+    // dedup history must survive.
+    let snap = Snapshot::load(&snap_path).unwrap();
+    let restored = ShardedPipeline::from_state(snap.state).unwrap();
+    let server2 = Server::spawn_with_history(
+        restored,
+        snap.stream_pairs,
+        snap.streamed,
+        ServerConfig {
+            snapshot_path: None,
+            ..config
+        },
+    )
+    .unwrap();
+    let mut client2 = Client::connect(server2.local_addr()).unwrap();
+    let (pairs_after, _) = client2.probe(&b).unwrap();
+    let mut sorted_before = pairs_before.clone();
+    sorted_before.sort_unstable();
+    // The snapshot includes the streamed record (id 5000), which may match
+    // additional probes; the original pairs must all still be present.
+    for pair in &sorted_before {
+        assert!(
+            pairs_after.contains(pair),
+            "lost pair {pair:?} after restart"
+        );
+    }
+    let stats2 = client2.stats().unwrap();
+    assert_eq!(stats2.indexed, 31);
+    assert_eq!(stats2.streamed, 1);
+    let clusters2 = client2.dedup_status().unwrap();
+    assert!(clusters2
+        .iter()
+        .any(|c| c.contains(&0) && c.contains(&5000)));
+    client2.shutdown().unwrap();
+    server2.wait();
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn backpressure_is_a_typed_reject_not_a_hang() {
+    // One worker and a one-slot queue: while the worker chews a large
+    // index request, concurrent requests must be rejected with the typed
+    // Backpressure error instead of queueing without bound.
+    let config = ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        workers: 1,
+        queue_capacity: 1,
+        snapshot_path: None,
+    };
+    let server = Server::spawn(pipeline(22, 1), config).unwrap();
+    let addr = server.local_addr();
+
+    // Occupy the worker from a separate thread (the reply blocks until
+    // the whole batch is indexed).
+    let slow = std::thread::spawn(move || {
+        let mut c = Client::connect(addr).unwrap();
+        c.index(&records(3, 0, 5000)).unwrap();
+    });
+
+    let mut saw_backpressure = false;
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+    'outer: while std::time::Instant::now() < deadline {
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                std::thread::spawn(move || {
+                    let mut c = Client::connect(addr).unwrap();
+                    c.stats()
+                })
+            })
+            .collect();
+        for h in handles {
+            if let Err(ClientError::Server(e)) = h.join().unwrap() {
+                assert_eq!(e.code, ErrorCode::Backpressure);
+                assert!(e.message.contains("queue full"));
+                saw_backpressure = true;
+                break 'outer;
+            }
+        }
+        if slow.is_finished() {
+            break;
+        }
+    }
+    slow.join().unwrap();
+    assert!(
+        saw_backpressure,
+        "no request was rejected while the queue was saturated"
+    );
+
+    // The server still answers normally after the burst.
+    let mut c = Client::connect(addr).unwrap();
+    let stats = c.stats().unwrap();
+    assert!(stats.rejected_backpressure >= 1);
+    c.shutdown().unwrap();
+    server.wait();
+}
+
+#[test]
+fn malformed_request_line_gets_typed_parse_error() {
+    let server = Server::spawn(pipeline(23, 1), ServerConfig::default()).unwrap();
+    let stream = std::net::TcpStream::connect(server.local_addr()).unwrap();
+    let mut writer = stream.try_clone().unwrap();
+    let mut reader = BufReader::new(stream);
+    writer.write_all(b"this is not json\n").unwrap();
+    writer.flush().unwrap();
+    let mut line = String::new();
+    reader.read_line(&mut line).unwrap();
+    assert!(line.contains("Parse"), "unexpected response: {line}");
+
+    // The connection survives a parse error: a valid request still works.
+    writer.write_all(b"{\"Stats\":null}\n").unwrap();
+    writer.flush().unwrap();
+    line.clear();
+    reader.read_line(&mut line).unwrap();
+    assert!(line.contains("protocol_version"), "unexpected: {line}");
+    drop(writer);
+    drop(reader);
+
+    let c = Client::connect(server.local_addr()).unwrap();
+    c.shutdown().unwrap();
+    server.wait();
+}
+
+#[test]
+fn probe_error_is_typed_linkage_error() {
+    let server = Server::spawn(pipeline(24, 1), ServerConfig::default()).unwrap();
+    let mut c = Client::connect(server.local_addr()).unwrap();
+    // Wrong field count → typed Linkage error, connection stays usable.
+    let err = c.probe(&[Record::new(1, ["ONLY"])]).unwrap_err();
+    match err {
+        ClientError::Server(e) => assert_eq!(e.code, ErrorCode::Linkage),
+        other => panic!("expected server error, got {other:?}"),
+    }
+    assert!(c.stats().is_ok());
+    c.shutdown().unwrap();
+    server.wait();
+}
+
+#[test]
+fn snapshot_without_path_is_unavailable() {
+    let server = Server::spawn(pipeline(25, 1), ServerConfig::default()).unwrap();
+    let mut c = Client::connect(server.local_addr()).unwrap();
+    let err = c.snapshot(None).unwrap_err();
+    match err {
+        ClientError::Server(e) => assert_eq!(e.code, ErrorCode::Unavailable),
+        other => panic!("expected server error, got {other:?}"),
+    }
+    // An explicit path in the request works without server configuration.
+    let dir = std::env::temp_dir().join("rl-loopback-snap-explicit");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("explicit.snap");
+    let written = c.snapshot(Some(&path.to_string_lossy())).unwrap();
+    assert_eq!(written, path.to_string_lossy());
+    assert!(Snapshot::load(&path).is_ok());
+    c.shutdown().unwrap();
+    server.wait();
+    std::fs::remove_dir_all(&dir).unwrap();
+}
