@@ -29,7 +29,7 @@ use cbv_hb::Record;
 use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
 use parking_lot::RwLock;
 use std::io::{BufRead, BufReader, ErrorKind, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::net::{IpAddr, Ipv4Addr, Ipv6Addr, SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
@@ -209,8 +209,17 @@ fn begin_shutdown(inner: &Inner) {
         return;
     }
     // Wake the accept loop: it blocks in accept(), so poke it with a
-    // throwaway connection to make it observe the flag.
-    let _ = TcpStream::connect(inner.local_addr);
+    // throwaway connection to make it observe the flag. A wildcard bind
+    // address (0.0.0.0 / ::) is not connectable on every platform, so
+    // poke loopback on the bound port instead.
+    let mut addr = inner.local_addr;
+    if addr.ip().is_unspecified() {
+        addr.set_ip(match addr.ip() {
+            IpAddr::V4(_) => IpAddr::V4(Ipv4Addr::LOCALHOST),
+            IpAddr::V6(_) => IpAddr::V6(Ipv6Addr::LOCALHOST),
+        });
+    }
+    let _ = TcpStream::connect_timeout(&addr, Duration::from_millis(250));
 }
 
 fn accept_loop(inner: &Arc<Inner>, listener: &TcpListener, job_tx: &Sender<Job>) {
@@ -245,11 +254,25 @@ fn handle_connection(inner: &Arc<Inner>, stream: TcpStream, job_tx: &Sender<Job>
     let mut reader = BufReader::new(stream);
     let mut line = String::new();
     loop {
-        line.clear();
         match reader.read_line(&mut line) {
-            Ok(0) => return, // client closed
+            Ok(0) => {
+                // Client closed. Answer a trailing request that was sent
+                // without a final newline before hanging up.
+                if !line.trim().is_empty() {
+                    let response = dispatch_line(inner, job_tx, line.trim());
+                    let _ = write_response(&mut writer, &response);
+                }
+                return;
+            }
+            // A line without '\n' means EOF mid-line; the next read
+            // returns Ok(0) and the branch above dispatches it.
+            Ok(_) if !line.ends_with('\n') => continue,
             Ok(_) => {}
             Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+                // read_line keeps partial bytes it already consumed in
+                // `line`; leave them so a request split across TCP
+                // segments resumes on the next read instead of being
+                // truncated.
                 if inner.shutdown.load(Ordering::SeqCst) {
                     return;
                 }
@@ -257,14 +280,17 @@ fn handle_connection(inner: &Arc<Inner>, stream: TcpStream, job_tx: &Sender<Job>
             }
             Err(_) => return,
         }
-        if line.trim().is_empty() {
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            line.clear();
             continue;
         }
-        let response = dispatch_line(inner, job_tx, line.trim());
+        let response = dispatch_line(inner, job_tx, trimmed);
         let is_shutdown_ack = matches!(response, Response::Ok(Reply::ShuttingDown));
         if write_response(&mut writer, &response).is_err() {
             return;
         }
+        line.clear();
         if is_shutdown_ack {
             return;
         }
@@ -289,6 +315,12 @@ fn dispatch_line(inner: &Arc<Inner>, job_tx: &Sender<Job>, line: &str) -> Respon
             ))
         }
     };
+    // Shutdown only flips an atomic — handle it inline so it can never be
+    // rejected with Backpressure by a saturated job queue.
+    if matches!(request, Request::Shutdown) {
+        begin_shutdown(inner);
+        return Response::Ok(Reply::ShuttingDown);
+    }
     if inner.shutdown.load(Ordering::SeqCst) {
         return Response::Err(RequestError::new(
             ErrorCode::ShuttingDown,

@@ -153,12 +153,18 @@ impl Snapshot {
 
 /// A temp path next to the destination, so the final rename stays on one
 /// filesystem (rename across mount points is not atomic — or possible).
+/// The name carries the pid plus a process-wide sequence number: two
+/// concurrent `Snapshot` requests (workers hold only a read lock) must not
+/// share a temp file, or one truncates the other mid-write and the rename
+/// publishes a partial document.
 fn temp_sibling(path: &Path) -> std::path::PathBuf {
+    static TEMP_SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+    let seq = TEMP_SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
     let mut name = path
         .file_name()
         .map(|n| n.to_string_lossy().into_owned())
         .unwrap_or_else(|| "snapshot".to_string());
-    name.push_str(&format!(".tmp-{}", std::process::id()));
+    name.push_str(&format!(".tmp-{}-{seq}", std::process::id()));
     path.with_file_name(name)
 }
 

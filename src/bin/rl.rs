@@ -412,6 +412,22 @@ fn serve(flags: &HashMap<String, String>) -> Result<(), String> {
     // Restore when a snapshot exists; otherwise build from flags.
     let restored = match &snapshot_path {
         Some(path) if path.exists() => {
+            // The restored state carries the full topology and embedding
+            // config, so index-shape flags are ignored — say so instead of
+            // silently serving an old configuration.
+            let ignored: Vec<String> = ["shards", "rule", "fields", "m-bits", "k", "delta", "seed"]
+                .iter()
+                .filter(|name| flags.contains_key(**name))
+                .map(|name| format!("--{name}"))
+                .collect();
+            if !ignored.is_empty() {
+                eprintln!(
+                    "warning: {} ignored; configuration comes from the restored snapshot {} \
+                     (delete the file to rebuild with new flags)",
+                    ignored.join(", "),
+                    path.display()
+                );
+            }
             let snap = Snapshot::load(path).map_err(|e| e.to_string())?;
             eprintln!(
                 "restored snapshot {} ({} records, {} shards)",
@@ -423,10 +439,14 @@ fn serve(flags: &HashMap<String, String>) -> Result<(), String> {
         }
         _ => None,
     };
-    let server = match restored {
+    let (server, shard_count) = match restored {
         Some(snap) => {
+            let shard_count = snap.state.shards.len();
             let pipeline = ShardedPipeline::from_state(snap.state).map_err(|e| e.to_string())?;
-            Server::spawn_with_history(pipeline, snap.stream_pairs, snap.streamed, config)
+            (
+                Server::spawn_with_history(pipeline, snap.stream_pairs, snap.streamed, config),
+                shard_count,
+            )
         }
         None => {
             let rule_text = req(flags, "rule")?;
@@ -457,13 +477,13 @@ fn serve(flags: &HashMap<String, String>) -> Result<(), String> {
             };
             let pipeline = ShardedPipeline::new(schema, link_config, shards, &mut rng)
                 .map_err(|e| e.to_string())?;
-            Server::spawn(pipeline, config)
+            (Server::spawn(pipeline, config), shards)
         }
-    }
-    .map_err(|e| format!("cannot start server: {e}"))?;
+    };
+    let server = server.map_err(|e| format!("cannot start server: {e}"))?;
 
     eprintln!(
-        "rl-server listening on {} ({shards} shards); send {{\"Shutdown\":null}} to stop",
+        "rl-server listening on {} ({shard_count} shards); send {{\"Shutdown\":null}} to stop",
         server.local_addr()
     );
     server.wait();

@@ -223,6 +223,100 @@ fn malformed_request_line_gets_typed_parse_error() {
 }
 
 #[test]
+fn request_split_across_tcp_segments_survives_read_timeout() {
+    // The connection handler uses a 200ms read timeout to poll the
+    // shutdown flag; partial line bytes consumed before a timeout must be
+    // kept, not discarded, or a request split across TCP segments with a
+    // slow gap is truncated and answered with a spurious Parse error.
+    let server = Server::spawn(pipeline(26, 1), ServerConfig::default()).unwrap();
+    let stream = std::net::TcpStream::connect(server.local_addr()).unwrap();
+    stream.set_nodelay(true).unwrap();
+    let mut writer = stream.try_clone().unwrap();
+    let mut reader = BufReader::new(stream);
+
+    let request = b"{\"Stats\":null}\n";
+    let (head, tail) = request.split_at(6);
+    writer.write_all(head).unwrap();
+    writer.flush().unwrap();
+    // Several server-side read timeouts elapse mid-request.
+    std::thread::sleep(std::time::Duration::from_millis(700));
+    writer.write_all(tail).unwrap();
+    writer.flush().unwrap();
+
+    let mut line = String::new();
+    reader.read_line(&mut line).unwrap();
+    assert!(
+        line.contains("protocol_version"),
+        "split request was not answered as one line: {line}"
+    );
+    drop(writer);
+    drop(reader);
+
+    let c = Client::connect(server.local_addr()).unwrap();
+    c.shutdown().unwrap();
+    server.wait();
+}
+
+#[test]
+fn shutdown_bypasses_a_saturated_queue() {
+    // Shutdown is handled inline by the connection thread, so it must be
+    // acknowledged even when every worker is busy and the job queue is
+    // full — otherwise a loaded server could never be stopped remotely.
+    let config = ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        workers: 1,
+        queue_capacity: 1,
+        snapshot_path: None,
+    };
+    let server = Server::spawn(pipeline(27, 1), config).unwrap();
+    let addr = server.local_addr();
+
+    // Occupy the single worker with a large index; its outcome depends on
+    // whether it is dispatched before the shutdown flag flips, so accept
+    // either a success or a typed rejection — never a hang or I/O error.
+    let slow = std::thread::spawn(move || {
+        let mut c = Client::connect(addr).unwrap();
+        match c.index(&records(5, 0, 5000)) {
+            Ok(_) | Err(ClientError::Server(_)) => {}
+            Err(other) => panic!("unexpected slow-index failure: {other:?}"),
+        }
+    });
+
+    // Wait until the queue is demonstrably saturated: some concurrent
+    // request gets the typed Backpressure reject (same probe pattern as
+    // backpressure_is_a_typed_reject_not_a_hang).
+    let mut saturated = false;
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+    'outer: while std::time::Instant::now() < deadline && !slow.is_finished() {
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                std::thread::spawn(move || {
+                    let mut c = Client::connect(addr).unwrap();
+                    c.stats()
+                })
+            })
+            .collect();
+        for h in handles {
+            if let Err(ClientError::Server(e)) = h.join().unwrap() {
+                if e.code == ErrorCode::Backpressure {
+                    saturated = true;
+                    break 'outer;
+                }
+            }
+        }
+    }
+    assert!(saturated, "queue never saturated; test setup is broken");
+
+    // The queue was full a moment ago and the worker is still chewing the
+    // big index, yet Shutdown must be acknowledged, not rejected.
+    let c = Client::connect(addr).unwrap();
+    c.shutdown()
+        .expect("shutdown must be acknowledged under saturation");
+    slow.join().unwrap();
+    server.wait();
+}
+
+#[test]
 fn probe_error_is_typed_linkage_error() {
     let server = Server::spawn(pipeline(24, 1), ServerConfig::default()).unwrap();
     let mut c = Client::connect(server.local_addr()).unwrap();
