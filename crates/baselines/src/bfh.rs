@@ -132,7 +132,10 @@ impl Linker for BfhLinker {
 
         let t1 = Instant::now();
         let samplers: Vec<BitSampler> = (0..l)
-            .map(|_| BitSampler::random(m_bar, self.k as usize, &mut rng))
+            .map(|_| {
+                BitSampler::random(m_bar, self.k as usize, &mut rng)
+                    .expect("BFH presets keep K within the key width")
+            })
             .collect();
         let mut tables: Vec<BlockingTable> = (0..l).map(|_| BlockingTable::new()).collect();
         for (idx, (_, fields)) in enc_a.iter().enumerate() {

@@ -122,7 +122,7 @@ fn bench_sparsity(c: &mut Criterion) {
     // Full q-gram vectors for the last-name attribute.
     let full = QGramVectorEmbedder::new(alphabet.clone(), 2, false);
     let mut rng = StdRng::seed_from_u64(4);
-    let sampler_full = BitSampler::random(full.size(), k, &mut rng);
+    let sampler_full = BitSampler::random(full.size(), k, &mut rng).unwrap();
     let mut table_full = BlockingTable::new();
     let full_a: Vec<BitVec> = p.a.iter().map(|r| full.embed(r.field(1))).collect();
     for (i, v) in full_a.iter().enumerate() {
@@ -146,7 +146,7 @@ fn bench_sparsity(c: &mut Criterion) {
     // Compact c-vectors for the same attribute.
     let mut rng = StdRng::seed_from_u64(5);
     let compact = cbv_hb::CVectorEmbedder::random(alphabet, 2, 15, false, &mut rng);
-    let sampler_compact = BitSampler::random(15, k, &mut rng);
+    let sampler_compact = BitSampler::random(15, k, &mut rng).unwrap();
     let mut table_compact = BlockingTable::new();
     let compact_a: Vec<BitVec> = p.a.iter().map(|r| compact.embed(r.field(1))).collect();
     for (i, v) in compact_a.iter().enumerate() {

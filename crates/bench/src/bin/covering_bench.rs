@@ -1,0 +1,264 @@
+//! Covering vs random-sampling blocking, head-to-head at matched `L`.
+//!
+//! ```text
+//! covering_bench [--records N] [--theta T] [--seed S] [--out DIR] [--smoke]
+//! ```
+//!
+//! Generates an NCVR-style data-set pair, embeds both sides, and computes
+//! the exact set of cross pairs at record-level Hamming distance ≤ θ — the
+//! population both backends promise to co-block. Each backend then indexes
+//! A and probes B with the *same number of blocking groups* `L = 2^{θ+1} − 1`
+//! (the covering construction's group count), so the comparison isolates
+//! the key-generation strategy:
+//!
+//! - **covering**: recall must be exactly 1.0 (zero false negatives by the
+//!   GF(2) covering argument);
+//! - **random**: recall follows the probabilistic `1 − δ`-style bound that
+//!   `K` and the matched `L` imply — typically below 1.
+//!
+//! Results land in `<out>/results/BENCH_covering.json`. With `--smoke` the
+//! run shrinks to a CI-sized data set and **exits nonzero if covering
+//! recall < 1.0**, turning the paper guarantee into a regression gate.
+
+use cbv_hb::blocking::BlockingPlan;
+use cbv_hb::schema::EmbeddedRecord;
+use cbv_hb::{AttributeSpec, RecordSchema};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rl_bench::report::{write_json, Table};
+use rl_datagen::{DatasetPair, NcvrSource, PairConfig, PerturbationScheme, RecordSource};
+use serde::Serialize;
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::time::Instant;
+use textdist::Alphabet;
+
+#[derive(Debug, Clone, Serialize)]
+struct Row {
+    backend: String,
+    theta: u32,
+    l: usize,
+    key_bits: usize,
+    within_theta_pairs: u64,
+    co_blocked: u64,
+    recall: f64,
+    candidate_pairs: u64,
+    index_secs: f64,
+    probe_secs: f64,
+    probes_per_sec: f64,
+}
+
+#[derive(Debug, Clone)]
+struct Opts {
+    records: usize,
+    theta: u32,
+    seed: u64,
+    out: PathBuf,
+    smoke: bool,
+}
+
+fn main() {
+    let mut opts = Opts {
+        records: 4_000,
+        theta: 4,
+        seed: 42,
+        out: PathBuf::from("."),
+        smoke: false,
+    };
+    let mut records_given = false;
+    let rest: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < rest.len() {
+        let need = |i: usize| {
+            rest.get(i + 1)
+                .unwrap_or_else(|| panic!("missing value for {}", rest[i]))
+        };
+        match rest[i].as_str() {
+            "--records" => {
+                opts.records = need(i).parse().expect("--records N");
+                records_given = true;
+                i += 2;
+            }
+            "--theta" => {
+                opts.theta = need(i).parse().expect("--theta T");
+                i += 2;
+            }
+            "--seed" => {
+                opts.seed = need(i).parse().expect("--seed S");
+                i += 2;
+            }
+            "--out" => {
+                opts.out = PathBuf::from(need(i));
+                i += 2;
+            }
+            "--smoke" => {
+                opts.smoke = true;
+                i += 1;
+            }
+            other => panic!("unknown flag {other}"),
+        }
+    }
+    if opts.smoke && !records_given {
+        opts.records = 300;
+    }
+
+    let mut rng = StdRng::seed_from_u64(opts.seed);
+    let pair = DatasetPair::generate(
+        &NcvrSource,
+        PairConfig::new(opts.records, PerturbationScheme::Light),
+        &mut rng,
+    );
+    // Modest fixed-size c-vectors keep the record-level vector at 4 × 48
+    // bits: large enough that covering groups have realistic width, small
+    // enough that light perturbations stay within a workable θ.
+    let specs: Vec<AttributeSpec> = NcvrSource
+        .attribute_names()
+        .iter()
+        .map(|name| AttributeSpec::new(*name, 2, 48, false, 30))
+        .collect();
+    let schema = RecordSchema::build(Alphabet::linkage(), specs, &mut rng);
+    let enc_a = schema.embed_all(&pair.a).expect("embed A");
+    let enc_b = schema.embed_all(&pair.b).expect("embed B");
+
+    // The exact within-θ cross pairs — the recall denominator both
+    // backends are judged against. Brute force keeps it exact.
+    let mut within: HashMap<u64, Vec<u64>> = HashMap::new();
+    let mut within_count = 0u64;
+    for a in &enc_a {
+        for b in &enc_b {
+            if a.total_distance(b) <= opts.theta {
+                within.entry(b.id).or_default().push(a.id);
+                within_count += 1;
+            }
+        }
+    }
+    eprintln!(
+        "{} + {} records, {} cross pairs within θ = {}",
+        enc_a.len(),
+        enc_b.len(),
+        within_count,
+        opts.theta
+    );
+
+    let l_cov = (1usize << (opts.theta + 1)) - 1;
+    let mut covering_rng = StdRng::seed_from_u64(opts.seed ^ 0xC0FE);
+    let covering = BlockingPlan::covering_record_level(&schema, opts.theta, &mut covering_rng)
+        .expect("covering plan");
+    let mut random_rng = StdRng::seed_from_u64(opts.seed ^ 0xC0FE);
+    let random = BlockingPlan::record_level_with_l(&schema, opts.theta, 30, l_cov, &mut random_rng)
+        .expect("random plan");
+
+    let rows = vec![
+        run_one(
+            "covering",
+            covering,
+            &opts,
+            &enc_a,
+            &enc_b,
+            &within,
+            within_count,
+        ),
+        run_one(
+            "random",
+            random,
+            &opts,
+            &enc_a,
+            &enc_b,
+            &within,
+            within_count,
+        ),
+    ];
+
+    let mut table = Table::new(
+        "Covering vs random blocking (matched L)",
+        [
+            "backend",
+            "L",
+            "key bits",
+            "within-θ pairs",
+            "recall",
+            "candidate pairs",
+            "probes/sec",
+        ],
+    );
+    for r in &rows {
+        table.row([
+            r.backend.clone(),
+            r.l.to_string(),
+            r.key_bits.to_string(),
+            r.within_theta_pairs.to_string(),
+            format!("{:.4}", r.recall),
+            r.candidate_pairs.to_string(),
+            format!("{:.0}", r.probes_per_sec),
+        ]);
+    }
+    table.print();
+    write_json(&opts.out, "BENCH_covering", &rows);
+
+    if opts.smoke {
+        let covering_recall = rows
+            .iter()
+            .find(|r| r.backend == "covering")
+            .map(|r| r.recall)
+            .unwrap_or(0.0);
+        if covering_recall < 1.0 {
+            eprintln!(
+                "SMOKE FAILURE: covering recall {covering_recall} < 1.0 — the \
+                 zero-false-negative guarantee is broken"
+            );
+            std::process::exit(1);
+        }
+        eprintln!("smoke ok: covering recall = 1.0");
+    }
+}
+
+fn run_one(
+    backend: &str,
+    mut plan: BlockingPlan,
+    opts: &Opts,
+    enc_a: &[EmbeddedRecord],
+    enc_b: &[EmbeddedRecord],
+    within: &HashMap<u64, Vec<u64>>,
+    within_count: u64,
+) -> Row {
+    let stats_before = plan.stats();
+    let s0 = &stats_before[0];
+    let (l, key_bits) = (s0.l, s0.key_bits);
+
+    let t0 = Instant::now();
+    for rec in enc_a {
+        plan.insert(rec);
+    }
+    let index_secs = t0.elapsed().as_secs_f64();
+
+    let t1 = Instant::now();
+    let mut candidate_pairs = 0u64;
+    let mut co_blocked = 0u64;
+    for rec in enc_b {
+        let cands = plan.candidates(rec);
+        candidate_pairs += cands.len() as u64;
+        if let Some(as_) = within.get(&rec.id) {
+            co_blocked += as_.iter().filter(|a| cands.contains(a)).count() as u64;
+        }
+    }
+    let probe_secs = t1.elapsed().as_secs_f64();
+    let recall = if within_count == 0 {
+        1.0
+    } else {
+        co_blocked as f64 / within_count as f64
+    };
+
+    Row {
+        backend: backend.to_string(),
+        theta: opts.theta,
+        l,
+        key_bits,
+        within_theta_pairs: within_count,
+        co_blocked,
+        recall,
+        candidate_pairs,
+        index_secs,
+        probe_secs,
+        probes_per_sec: enc_b.len() as f64 / probe_secs.max(1e-9),
+    }
+}

@@ -15,6 +15,8 @@ use serde::{Deserialize, Serialize};
 pub struct StructureReport {
     /// Structure label (attributes and thresholds).
     pub label: String,
+    /// Blocking backend keying the structure (`"random"` or `"covering"`).
+    pub backend: String,
     /// Number of blocking groups `L`.
     pub l: usize,
     /// Per-table collision probability for an in-threshold pair.
@@ -49,6 +51,7 @@ pub fn analyze(plan: &BlockingPlan) -> PlanReport {
         .iter()
         .map(|s| StructureReport {
             label: s.label().to_string(),
+            backend: s.backend_kind().to_string(),
             l: s.l(),
             p_collide: s.p_collide(),
             recall_bound: recall_lower_bound(s.p_collide(), s.l()),
@@ -109,6 +112,17 @@ mod tests {
         let report = analyze(&plan);
         assert_eq!(report.structures.len(), 2);
         assert!(report.structures.iter().all(|r| r.recall_bound > 0.0));
+    }
+
+    #[test]
+    fn covering_plan_reports_full_recall_and_backend() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let s = schema(&mut rng);
+        let plan = BlockingPlan::covering_record_level(&s, 4, &mut rng).unwrap();
+        let report = analyze(&plan);
+        assert_eq!(report.structures[0].backend, "covering");
+        assert_eq!(report.structures[0].l, 31); // 2^{4+1} − 1
+        assert!((report.combined_recall_bound - 1.0).abs() < 1e-12);
     }
 
     #[test]

@@ -27,48 +27,64 @@ use crate::error::{Error, Result};
 use crate::rule::{Pred, Rule};
 use crate::schema::{EmbeddedRecord, RecordSchema};
 use rand::Rng;
+use rl_bitvec::BitVec;
+use rl_lsh::backend::{Backend, BackendKind, BlockingBackend};
 use rl_lsh::hashfn::KeyAccumulator;
 use rl_lsh::params::{and_probability, base_success_probability, optimal_l, or_probability};
-use rl_lsh::{BitSampler, BlockingTable};
+use rl_lsh::{BitSampleFamily, BitSampler, BlockingTable, CoveringFamily};
 use serde::{Deserialize, Serialize};
 use std::collections::HashSet;
 
-/// Where a composite hash samples its bits from.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+/// Where a backend samples its bits from.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 enum Source {
     /// The conceptual record-level concatenation.
     Record,
     /// A single attribute's c-vector.
     Attr(usize),
+    /// The concatenation of several attributes' c-vectors, in order — a
+    /// covering conjunction fuses its conjunct attributes into one family
+    /// over this concatenation.
+    Attrs(Vec<usize>),
 }
 
-/// One sub-hash of a composite key: a bit sampler over one source.
+/// One sub-family of a composite key: a blocking backend over one source.
+/// A structure combines one sub-family per fused conjunct.
 #[derive(Debug, Clone, Serialize, Deserialize)]
-struct SubHash {
+struct SubFamily {
     source: Source,
-    sampler: BitSampler,
+    backend: Backend,
 }
 
-impl SubHash {
-    fn key(&self, rec: &EmbeddedRecord) -> u128 {
-        match self.source {
-            Source::Record => self.sampler.key_concat(&rec.attr_refs()),
-            Source::Attr(i) => self.sampler.key(&rec.attrs[i]),
+impl SubFamily {
+    fn key(&self, rec: &EmbeddedRecord, l: usize) -> u128 {
+        match &self.source {
+            Source::Record => self.backend.key_concat(l, &rec.attr_refs()),
+            Source::Attr(i) => self.backend.key(l, &rec.attrs[*i]),
+            Source::Attrs(attrs) => {
+                let refs: Vec<&BitVec> = attrs.iter().map(|&i| &rec.attrs[i]).collect();
+                self.backend.key_concat(l, &refs)
+            }
         }
+    }
+
+    fn key_bits(&self, l: usize) -> usize {
+        self.backend.key_bits(l)
     }
 }
 
 /// A blocking structure: `L` hash tables `T_l`, each keyed by a composite
-/// hash built from one or more sub-hashes (one per fused conjunct).
+/// hash built from one or more sub-families (one per fused conjunct).
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct BlockingStructure {
     /// Human-readable description (for stats / debugging).
     label: String,
-    /// `per_table[l]` holds the sub-hashes whose keys are concatenated to
-    /// form table `l`'s composite key.
-    per_table: Vec<Vec<SubHash>>,
+    /// The sub-families whose table-`l` keys are concatenated to form table
+    /// `l`'s composite key. All families share the same `L`.
+    families: Vec<SubFamily>,
     tables: Vec<BlockingTable>,
-    /// Per-table collision probability for a pair within the thresholds.
+    /// Per-table collision probability for a pair within the thresholds
+    /// (1.0 for covering structures — the collision is guaranteed).
     p_collide: f64,
     /// The `(attr, θ)` conjuncts this structure was built for (empty for a
     /// record-level structure). Used to verify NOT-exclusion hints.
@@ -107,17 +123,13 @@ impl BlockingStructure {
             )));
         }
         let l = optimal_l(p_collide, delta);
-        let per_table = (0..l)
-            .map(|_| {
-                vec![SubHash {
-                    source: Source::Record,
-                    sampler: BitSampler::random(m, k as usize, rng),
-                }]
-            })
-            .collect();
+        let family = BitSampleFamily::random(m, k as usize, l, rng)?;
         Ok(Self {
             label: format!("record-level(theta={theta},K={k},L={l})"),
-            per_table,
+            families: vec![SubFamily {
+                source: Source::Record,
+                backend: Backend::RandomSampling(family),
+            }],
             tables: (0..l).map(|_| BlockingTable::new()).collect(),
             p_collide,
             conjuncts: Vec::new(),
@@ -148,17 +160,13 @@ impl BlockingStructure {
             return Err(Error::InvalidParameter("L must be positive".into()));
         }
         let p = base_success_probability(theta, m);
-        let per_table = (0..l)
-            .map(|_| {
-                vec![SubHash {
-                    source: Source::Record,
-                    sampler: BitSampler::random(m, k as usize, rng),
-                }]
-            })
-            .collect();
+        let family = BitSampleFamily::random(m, k as usize, l, rng)?;
         Ok(Self {
             label: format!("record-level(theta={theta},K={k},L={l},fixed)"),
-            per_table,
+            families: vec![SubFamily {
+                source: Source::Record,
+                backend: Backend::RandomSampling(family),
+            }],
             tables: (0..l).map(|_| BlockingTable::new()).collect(),
             p_collide: p.powi(k as i32),
             conjuncts: Vec::new(),
@@ -200,17 +208,13 @@ impl BlockingStructure {
             ));
         }
         let l = optimal_l(p_collide, delta);
-        let per_table = (0..l)
-            .map(|_| {
-                vec![SubHash {
-                    source: Source::Record,
-                    sampler: BitSampler::random(m, k as usize, rng),
-                }]
-            })
-            .collect();
+        let family = BitSampleFamily::random(m, k as usize, l, rng)?;
         Ok(Self {
             label: format!("record-level-mp(theta={theta},K={k},L={l},t={flips})"),
-            per_table,
+            families: vec![SubFamily {
+                source: Source::Record,
+                backend: Backend::RandomSampling(family),
+            }],
             tables: (0..l).map(|_| BlockingTable::new()).collect(),
             p_collide,
             conjuncts: Vec::new(),
@@ -246,20 +250,25 @@ impl BlockingStructure {
         if conjuncts.is_empty() {
             return Err(Error::InvalidRule("empty conjunction".into()));
         }
-        let per_table = (0..l)
-            .map(|_| {
-                conjuncts
-                    .iter()
-                    .map(|c| {
-                        let spec = &schema.specs()[c.attr];
-                        SubHash {
-                            source: Source::Attr(c.attr),
-                            sampler: BitSampler::random(spec.m, spec.k as usize, rng),
-                        }
-                    })
-                    .collect()
-            })
-            .collect();
+        // Draw samplers table-major (table 0's samplers for every conjunct,
+        // then table 1's, …): the exact RNG order of the pre-backend
+        // implementation, so seeded runs keep their blocking keys. The
+        // draws are then transposed into one per-conjunct family.
+        let mut per_family: Vec<Vec<BitSampler>> =
+            conjuncts.iter().map(|_| Vec::with_capacity(l)).collect();
+        for _ in 0..l {
+            for (j, c) in conjuncts.iter().enumerate() {
+                let spec = &schema.specs()[c.attr];
+                per_family[j].push(BitSampler::random(spec.m, spec.k as usize, rng)?);
+            }
+        }
+        let mut families = Vec::with_capacity(conjuncts.len());
+        for (c, samplers) in conjuncts.iter().zip(per_family) {
+            families.push(SubFamily {
+                source: Source::Attr(c.attr),
+                backend: Backend::RandomSampling(BitSampleFamily::from_samplers(samplers)?),
+            });
+        }
         let label = conjuncts
             .iter()
             .map(|c| format!("f{}<={}", c.attr, c.theta))
@@ -267,9 +276,100 @@ impl BlockingStructure {
             .join("&");
         Ok(Self {
             label: format!("attr-level({label},L={l})"),
-            per_table,
+            families,
             tables: (0..l).map(|_| BlockingTable::new()).collect(),
             p_collide,
+            conjuncts: conjuncts.to_vec(),
+            probe_flips: 0,
+        })
+    }
+
+    /// Builds a record-level covering structure: `L = 2^{theta+1} − 1`
+    /// groups over the record-level c-vector, with **zero false negatives**
+    /// for pairs at record-level Hamming distance ≤ `theta`.
+    pub fn covering_record_level<R: Rng + ?Sized>(
+        schema: &RecordSchema,
+        theta: u32,
+        rng: &mut R,
+    ) -> Result<Self> {
+        let m = schema.total_size();
+        if theta as usize > m {
+            return Err(Error::ThresholdTooLarge {
+                attr: usize::MAX,
+                theta,
+                m,
+            });
+        }
+        let family = CoveringFamily::random(m, theta, rng)?;
+        let l = family.l();
+        Ok(Self {
+            label: format!("covering-record(theta={theta},L={l})"),
+            families: vec![SubFamily {
+                source: Source::Record,
+                backend: Backend::Covering(family),
+            }],
+            tables: (0..l).map(|_| BlockingTable::new()).collect(),
+            p_collide: 1.0,
+            conjuncts: Vec::new(),
+            probe_flips: 0,
+        })
+    }
+
+    /// Builds a covering structure for a conjunction of `(attr, θ)`
+    /// predicates. The conjunct attributes are fused into **one** covering
+    /// family over their concatenation with radius `θ_∧ = Σ θ_i`: a pair
+    /// satisfying every conjunct differs in at most `θ_∧` bits of the
+    /// concatenation, so the single family's guarantee covers the whole
+    /// conjunction with `2^{θ_∧+1} − 1` groups instead of the cross-product
+    /// of per-attribute group counts.
+    pub fn covering_conjunction<R: Rng + ?Sized>(
+        schema: &RecordSchema,
+        conjuncts: &[Pred],
+        rng: &mut R,
+    ) -> Result<Self> {
+        if conjuncts.is_empty() {
+            return Err(Error::InvalidRule("empty conjunction".into()));
+        }
+        let mut theta_total = 0u32;
+        let mut m_total = 0usize;
+        for c in conjuncts {
+            let spec = schema
+                .specs()
+                .get(c.attr)
+                .ok_or(Error::AttributeOutOfRange {
+                    attr: c.attr,
+                    num_attributes: schema.num_attributes(),
+                })?;
+            if c.theta as usize > spec.m {
+                return Err(Error::ThresholdTooLarge {
+                    attr: c.attr,
+                    theta: c.theta,
+                    m: spec.m,
+                });
+            }
+            theta_total += c.theta;
+            m_total += spec.m;
+        }
+        let family = CoveringFamily::random(m_total, theta_total, rng)?;
+        let l = family.l();
+        let source = if conjuncts.len() == 1 {
+            Source::Attr(conjuncts[0].attr)
+        } else {
+            Source::Attrs(conjuncts.iter().map(|c| c.attr).collect())
+        };
+        let label = conjuncts
+            .iter()
+            .map(|c| format!("f{}<={}", c.attr, c.theta))
+            .collect::<Vec<_>>()
+            .join("&");
+        Ok(Self {
+            label: format!("covering({label},theta={theta_total},L={l})"),
+            families: vec![SubFamily {
+                source,
+                backend: Backend::Covering(family),
+            }],
+            tables: (0..l).map(|_| BlockingTable::new()).collect(),
+            p_collide: 1.0,
             conjuncts: conjuncts.to_vec(),
             probe_flips: 0,
         })
@@ -307,25 +407,24 @@ impl BlockingStructure {
 
     /// Composite key of `rec` for table `l`.
     fn key(&self, rec: &EmbeddedRecord, l: usize) -> u128 {
-        let subs = &self.per_table[l];
-        if subs.len() == 1 {
-            subs[0].key(rec)
+        if self.families.len() == 1 {
+            self.families[0].key(rec, l)
         } else {
             // Concatenate sub-keys when they fit in 128 bits; fold through
             // the accumulator otherwise (merging buckets is harmless).
-            let total_k: usize = subs.iter().map(|s| s.sampler.k()).sum();
+            let total_k: usize = self.families.iter().map(|f| f.key_bits(l)).sum();
             if total_k <= 128 {
                 let mut key: u128 = 0;
                 let mut shift = 0;
-                for s in subs {
-                    key |= s.key(rec) << shift;
-                    shift += s.sampler.k();
+                for f in &self.families {
+                    key |= f.key(rec, l) << shift;
+                    shift += f.key_bits(l);
                 }
                 key
             } else {
                 let mut acc = KeyAccumulator::new();
-                for s in subs {
-                    let k = s.key(rec);
+                for f in &self.families {
+                    let k = f.key(rec, l);
                     acc.push(k as u64);
                     acc.push((k >> 64) as u64);
                 }
@@ -336,7 +435,7 @@ impl BlockingStructure {
 
     /// Hashes `rec` into all `L` tables (the indexing pass for data set A).
     pub fn insert(&mut self, rec: &EmbeddedRecord) {
-        for l in 0..self.per_table.len() {
+        for l in 0..self.tables.len() {
             let key = self.key(rec, l);
             self.tables[l].insert(key, rec.id);
         }
@@ -357,11 +456,11 @@ impl BlockingStructure {
 
     /// Extends `out` with co-blocked ids (avoids re-allocating per call).
     pub fn candidates_into(&self, rec: &EmbeddedRecord, out: &mut HashSet<u64>) {
-        for l in 0..self.per_table.len() {
+        for l in 0..self.tables.len() {
             out.extend(self.bucket(rec, l).iter().copied());
             if self.probe_flips > 0 {
                 let base = self.key(rec, l);
-                let k_bits: usize = self.per_table[l].iter().map(|s| s.sampler.k()).sum();
+                let k_bits: usize = self.families.iter().map(|f| f.key_bits(l)).sum();
                 self.probe_neighbours(l, base, k_bits, self.probe_flips, 0, out);
             }
         }
@@ -388,6 +487,27 @@ impl BlockingStructure {
         }
     }
 
+    /// The backend family this structure keys with. Fused structures hold
+    /// one sub-family per conjunct, but never mix backends, so the first
+    /// family's kind is the structure's kind.
+    pub fn backend_kind(&self) -> BackendKind {
+        self.families[0].backend.kind()
+    }
+
+    /// Mean composite-key width in bits across tables: the `ΣK` of the
+    /// fused samplers for random sampling (constant across tables), the
+    /// mean kept-width (≈ m/2, capped at 128 per sub-key) for covering.
+    pub fn mean_key_bits(&self) -> usize {
+        let l = self.tables.len();
+        if l == 0 {
+            return 0;
+        }
+        let total: usize = (0..l)
+            .map(|i| self.families.iter().map(|f| f.key_bits(i)).sum::<usize>())
+            .sum();
+        total / l
+    }
+
     /// Read access to the underlying tables (profiling/diagnostics).
     pub fn tables(&self) -> &[BlockingTable] {
         &self.tables
@@ -406,6 +526,53 @@ impl BlockingStructure {
             .map(BlockingTable::max_bucket)
             .max()
             .unwrap_or(0)
+    }
+
+    /// Snapshot of this structure's blocking diagnostics (the server's
+    /// Stats reporting).
+    pub fn stats(&self) -> StructureStats {
+        StructureStats {
+            label: self.label.clone(),
+            backend: self.backend_kind().to_string(),
+            l: self.l(),
+            key_bits: self.mean_key_bits(),
+            buckets: self.tables.iter().map(BlockingTable::bucket_count).sum(),
+            entries: self.tables.iter().map(BlockingTable::num_entries).sum(),
+            max_bucket: self.max_bucket(),
+        }
+    }
+}
+
+/// Per-structure blocking diagnostics: which backend keys the structure,
+/// its table count and key width, and bucket occupancy.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StructureStats {
+    /// The structure's label.
+    pub label: String,
+    /// Backend tag (`"random"` or `"covering"`).
+    pub backend: String,
+    /// Number of blocking tables `L`.
+    pub l: usize,
+    /// Mean composite-key width in bits (`ΣK` for random sampling, mean
+    /// kept-width for covering).
+    pub key_bits: usize,
+    /// Non-empty buckets across the structure's tables.
+    pub buckets: usize,
+    /// Stored ids across the structure's tables.
+    pub entries: usize,
+    /// Largest single bucket.
+    pub max_bucket: usize,
+}
+
+impl StructureStats {
+    /// Merges another shard's view of the *same* structure (identical hash
+    /// functions, disjoint record partitions): occupancy adds up, the
+    /// shape fields must agree.
+    pub fn merge(&mut self, other: &StructureStats) {
+        debug_assert_eq!(self.label, other.label);
+        self.buckets += other.buckets;
+        self.entries += other.entries;
+        self.max_bucket = self.max_bucket.max(other.max_bucket);
     }
 }
 
@@ -490,6 +657,65 @@ impl BlockingPlan {
         Ok(Self { structures, expr })
     }
 
+    /// Compiles a classification rule into **covering** blocking structures:
+    /// the same set algebra as [`Self::compile`], but every structure uses
+    /// the CoveringLSH backend, so each positive structure finds *all*
+    /// pairs within its thresholds (no δ budget — recall is 1 by
+    /// construction). Conjunctions fuse into one summed-radius family;
+    /// disjunctions simply union per-disjunct structures (no shared-`L`
+    /// machinery is needed when every structure already has full recall).
+    pub fn compile_covering<R: Rng + ?Sized>(
+        schema: &RecordSchema,
+        rule: &Rule,
+        rng: &mut R,
+    ) -> Result<Self> {
+        let sizes: Vec<usize> = schema.specs().iter().map(|s| s.m).collect();
+        rule.validate(&sizes)?;
+        let mut structures = Vec::new();
+        let expr = compile_covering_node(schema, rule, &mut structures, rng)?;
+        Ok(Self { structures, expr })
+    }
+
+    /// Wraps a single record-level covering structure as a plan.
+    pub fn covering_record_level<R: Rng + ?Sized>(
+        schema: &RecordSchema,
+        theta: u32,
+        rng: &mut R,
+    ) -> Result<Self> {
+        let s = BlockingStructure::covering_record_level(schema, theta, rng)?;
+        Ok(Self {
+            structures: vec![s],
+            expr: PlanExpr::Leaf(0),
+        })
+    }
+
+    /// Builds the plan a [`crate::pipeline::LinkageConfig`] asks for — the
+    /// single construction point shared by the pipeline, the sharded
+    /// service, deduplication, and the stream matcher, so a new blocking
+    /// mode lands everywhere at once. Validates the rule and the config
+    /// before compiling.
+    pub fn from_config<R: Rng + ?Sized>(
+        schema: &RecordSchema,
+        config: &crate::pipeline::LinkageConfig,
+        rng: &mut R,
+    ) -> Result<Self> {
+        use crate::pipeline::BlockingMode;
+        let sizes: Vec<usize> = schema.specs().iter().map(|s| s.m).collect();
+        config.rule.validate(&sizes)?;
+        config.validate()?;
+        match config.mode {
+            BlockingMode::RecordLevel { theta, k } => {
+                Self::record_level(schema, theta, k, config.delta, rng)
+            }
+            BlockingMode::RecordLevelFixedL { theta, k, l } => {
+                Self::record_level_with_l(schema, theta, k, l, rng)
+            }
+            BlockingMode::RuleAware => Self::compile(schema, &config.rule, config.delta, rng),
+            BlockingMode::Covering { theta } => Self::covering_record_level(schema, theta, rng),
+            BlockingMode::CoveringRuleAware => Self::compile_covering(schema, &config.rule, rng),
+        }
+    }
+
     /// Wraps a single record-level structure as a plan (standard HB mode).
     pub fn record_level<R: Rng + ?Sized>(
         schema: &RecordSchema,
@@ -523,6 +749,14 @@ impl BlockingPlan {
     /// The compiled structures.
     pub fn structures(&self) -> &[BlockingStructure] {
         &self.structures
+    }
+
+    /// Per-structure blocking diagnostics.
+    pub fn stats(&self) -> Vec<StructureStats> {
+        self.structures
+            .iter()
+            .map(BlockingStructure::stats)
+            .collect()
     }
 
     /// Total number of hash tables across structures (`Σ L`).
@@ -752,6 +986,97 @@ fn compile_node<R: Rng + ?Sized>(
                 }
                 Ok(PlanExpr::Or(exprs))
             }
+        }
+        Rule::Not(_) => Err(Error::InvalidRule(
+            "NOT is only valid as a direct conjunct of an AND".into(),
+        )),
+    }
+}
+
+/// Recursive covering compiler: same rule algebra as [`compile_node`], all
+/// structures built on the covering backend.
+fn compile_covering_node<R: Rng + ?Sized>(
+    schema: &RecordSchema,
+    rule: &Rule,
+    structures: &mut Vec<BlockingStructure>,
+    rng: &mut R,
+) -> Result<PlanExpr> {
+    match rule {
+        Rule::Pred(p) => {
+            let s = BlockingStructure::covering_conjunction(schema, &[*p], rng)?;
+            structures.push(s);
+            Ok(PlanExpr::Leaf(structures.len() - 1))
+        }
+        Rule::And(children) => {
+            let mut preds: Vec<Pred> = Vec::new();
+            let mut compound: Vec<&Rule> = Vec::new();
+            let mut negations: Vec<&Rule> = Vec::new();
+            for c in children {
+                match c {
+                    Rule::Pred(p) => preds.push(*p),
+                    Rule::Not(inner) => negations.push(inner),
+                    other => compound.push(other),
+                }
+            }
+            let mut sub_exprs = Vec::new();
+            if !preds.is_empty() {
+                let s = BlockingStructure::covering_conjunction(schema, &preds, rng)?;
+                structures.push(s);
+                sub_exprs.push(PlanExpr::Leaf(structures.len() - 1));
+            }
+            for c in compound {
+                sub_exprs.push(compile_covering_node(schema, c, structures, rng)?);
+            }
+            let mut negated = Vec::new();
+            for n in negations {
+                let preds =
+                    match n {
+                        Rule::Pred(p) => vec![*p],
+                        Rule::And(inner) => {
+                            let mut ps = Vec::new();
+                            for r in inner {
+                                match r {
+                                    Rule::Pred(p) => ps.push(*p),
+                                    _ => return Err(Error::InvalidRule(
+                                        "NOT supports a predicate or a conjunction of predicates"
+                                            .into(),
+                                    )),
+                                }
+                            }
+                            ps
+                        }
+                        _ => {
+                            return Err(Error::InvalidRule(
+                                "NOT supports a predicate or a conjunction of predicates".into(),
+                            ))
+                        }
+                    };
+                // A covering exclusion structure co-blocks *every* pair
+                // within the negated thresholds — the exhaustive form of
+                // Definition 6's "never brought for comparison".
+                let s = BlockingStructure::covering_conjunction(schema, &preds, rng)?;
+                structures.push(s);
+                negated.push(structures.len() - 1);
+            }
+            if sub_exprs.is_empty() {
+                return Err(Error::InvalidRule(
+                    "AND must contain at least one non-negated conjunct".into(),
+                ));
+            }
+            Ok(PlanExpr::And {
+                children: sub_exprs,
+                negated,
+            })
+        }
+        Rule::Or(children) => {
+            // Every covering structure already has recall 1 within its
+            // thresholds, so an OR is a plain union of per-child plans —
+            // Definition 5's shared-L trade-off does not arise.
+            let mut exprs = Vec::new();
+            for c in children {
+                exprs.push(compile_covering_node(schema, c, structures, rng)?);
+            }
+            Ok(PlanExpr::Or(exprs))
         }
         Rule::Not(_) => Err(Error::InvalidRule(
             "NOT is only valid as a direct conjunct of an AND".into(),

@@ -9,7 +9,7 @@
 use crate::blocking::BlockingPlan;
 use crate::error::Result;
 use crate::matcher::{Classifier, MatchStats, RecordStore};
-use crate::pipeline::{BlockingMode, LinkageConfig};
+use crate::pipeline::LinkageConfig;
 use crate::record::Record;
 use crate::schema::RecordSchema;
 use rand::Rng;
@@ -129,17 +129,7 @@ pub fn deduplicate<R: Rng + ?Sized>(
     records: &[Record],
     rng: &mut R,
 ) -> Result<DedupResult> {
-    let sizes: Vec<usize> = schema.specs().iter().map(|s| s.m).collect();
-    config.rule.validate(&sizes)?;
-    let mut plan = match config.mode {
-        BlockingMode::RecordLevel { theta, k } => {
-            BlockingPlan::record_level(schema, theta, k, config.delta, rng)?
-        }
-        BlockingMode::RecordLevelFixedL { theta, k, l } => {
-            BlockingPlan::record_level_with_l(schema, theta, k, l, rng)?
-        }
-        BlockingMode::RuleAware => BlockingPlan::compile(schema, &config.rule, config.delta, rng)?,
-    };
+    let mut plan = BlockingPlan::from_config(schema, config, rng)?;
     let classifier = Classifier::Rule(config.rule.clone());
     let embedded = schema.embed_all(records)?;
     let mut store = RecordStore::new();

@@ -66,6 +66,14 @@ impl fmt::Display for Error {
 
 impl std::error::Error for Error {}
 
+impl From<rl_lsh::FamilyError> for Error {
+    /// Hash-family construction errors (oversized `K`, covering radius
+    /// beyond the group-count cap) surface as configuration errors.
+    fn from(e: rl_lsh::FamilyError) -> Self {
+        Error::InvalidParameter(e.to_string())
+    }
+}
+
 /// Crate-wide result alias.
 pub type Result<T> = std::result::Result<T, Error>;
 

@@ -43,6 +43,18 @@ pub enum BlockingMode {
     /// Attribute-level rule-aware blocking (Section 5.4): compile the
     /// classification rule; per-attribute `K^(f_i)` come from the schema.
     RuleAware,
+    /// CoveringLSH record-level blocking (Pagh): `L = 2^{θ+1} − 1` groups
+    /// with **zero false negatives** for pairs at record-level Hamming
+    /// distance ≤ `theta`. No δ budget — recall is 1 by construction.
+    Covering {
+        /// Record-level Hamming radius `θ_Ĥ` the covering guarantee holds
+        /// for.
+        theta: u32,
+    },
+    /// CoveringLSH rule-aware blocking: the classification rule compiles
+    /// into per-attribute covering structures (conjunctions fuse into one
+    /// summed-radius family), each with recall 1 within its thresholds.
+    CoveringRuleAware,
 }
 
 /// Pipeline configuration.
@@ -74,6 +86,60 @@ impl LinkageConfig {
             mode: BlockingMode::RecordLevel { theta, k },
             rule,
         }
+    }
+
+    /// Record-level covering configuration (zero false negatives within
+    /// `theta`). δ is irrelevant to covering blocking but kept at the
+    /// default for the config's other consumers.
+    pub fn covering(rule: Rule, theta: u32) -> Self {
+        Self {
+            delta: 0.1,
+            mode: BlockingMode::Covering { theta },
+            rule,
+        }
+    }
+
+    /// Rule-aware covering configuration.
+    pub fn covering_rule_aware(rule: Rule) -> Self {
+        Self {
+            delta: 0.1,
+            mode: BlockingMode::CoveringRuleAware,
+            rule,
+        }
+    }
+
+    /// Validates mode parameters before any hash family is drawn: `K` must
+    /// fit a composite key (`1..=128` — `BitSampler` packs one bit per base
+    /// function into a `u128`) and a covering radius must stay within the
+    /// group-count cap.
+    ///
+    /// # Errors
+    /// Returns [`crate::Error::InvalidParameter`] describing the offending
+    /// parameter.
+    pub fn validate(&self) -> Result<()> {
+        match self.mode {
+            BlockingMode::RecordLevel { k, .. } | BlockingMode::RecordLevelFixedL { k, .. } => {
+                let k = k as usize;
+                if k == 0 || k > rl_lsh::hamming::MAX_K {
+                    return Err(crate::Error::InvalidParameter(format!(
+                        "K = {k} is outside 1..={}; composite keys pack one bit per \
+                         base function into a u128",
+                        rl_lsh::hamming::MAX_K
+                    )));
+                }
+            }
+            BlockingMode::Covering { theta } => {
+                if theta > rl_lsh::MAX_COVERING_THETA {
+                    return Err(crate::Error::InvalidParameter(format!(
+                        "covering radius θ = {theta} exceeds the cap {} \
+                         (L = 2^(θ+1) − 1 blocking groups)",
+                        rl_lsh::MAX_COVERING_THETA
+                    )));
+                }
+            }
+            BlockingMode::RuleAware | BlockingMode::CoveringRuleAware => {}
+        }
+        Ok(())
     }
 }
 
@@ -142,19 +208,7 @@ impl LinkagePipeline {
         config: LinkageConfig,
         rng: &mut R,
     ) -> Result<Self> {
-        let sizes: Vec<usize> = schema.specs().iter().map(|s| s.m).collect();
-        config.rule.validate(&sizes)?;
-        let plan = match config.mode {
-            BlockingMode::RecordLevel { theta, k } => {
-                BlockingPlan::record_level(&schema, theta, k, config.delta, rng)?
-            }
-            BlockingMode::RecordLevelFixedL { theta, k, l } => {
-                BlockingPlan::record_level_with_l(&schema, theta, k, l, rng)?
-            }
-            BlockingMode::RuleAware => {
-                BlockingPlan::compile(&schema, &config.rule, config.delta, rng)?
-            }
-        };
+        let plan = BlockingPlan::from_config(&schema, &config, rng)?;
         let classifier = Classifier::Rule(config.rule.clone());
         Ok(Self {
             schema,

@@ -12,10 +12,10 @@
 //! Communication is message-passing over crossbeam channels, so the same
 //! shape lifts directly to a networked deployment.
 
-use crate::blocking::BlockingPlan;
+use crate::blocking::{BlockingPlan, StructureStats};
 use crate::error::{Error, Result};
 use crate::matcher::{match_record, Classifier, MatchStats, RecordStore};
-use crate::pipeline::{BlockingMode, LinkageConfig};
+use crate::pipeline::LinkageConfig;
 use crate::record::Record;
 use crate::schema::{EmbeddedRecord, RecordSchema};
 use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
@@ -31,6 +31,9 @@ enum Command {
     },
     Export {
         reply: Sender<ShardState>,
+    },
+    Stats {
+        reply: Sender<Vec<StructureStats>>,
     },
     Stop,
 }
@@ -132,6 +135,9 @@ fn shard_worker(
                     store: store.clone(),
                 });
             }
+            Command::Stats { reply } => {
+                let _ = reply.send(plan.stats());
+            }
             Command::Stop => break,
         }
     }
@@ -153,19 +159,7 @@ impl ShardedPipeline {
         if num_shards == 0 {
             return Err(Error::InvalidParameter("need at least one shard".into()));
         }
-        let sizes: Vec<usize> = schema.specs().iter().map(|s| s.m).collect();
-        config.rule.validate(&sizes)?;
-        let plan = match config.mode {
-            BlockingMode::RecordLevel { theta, k } => {
-                BlockingPlan::record_level(&schema, theta, k, config.delta, rng)?
-            }
-            BlockingMode::RecordLevelFixedL { theta, k, l } => {
-                BlockingPlan::record_level_with_l(&schema, theta, k, l, rng)?
-            }
-            BlockingMode::RuleAware => {
-                BlockingPlan::compile(&schema, &config.rule, config.delta, rng)?
-            }
-        };
+        let plan = BlockingPlan::from_config(&schema, &config, rng)?;
         let classifier = Classifier::Rule(config.rule);
         Ok(Self::from_parts(schema, plan, classifier, num_shards))
     }
@@ -324,6 +318,39 @@ impl ShardedPipeline {
         }
         matches.sort_unstable();
         Ok((matches, stats))
+    }
+
+    /// Blocking diagnostics aggregated across shards: one entry per
+    /// structure, with the backend tag, `L`, key width, and summed bucket
+    /// occupancy (shards share hash functions, so the shape fields agree;
+    /// occupancy adds up over the disjoint partitions).
+    ///
+    /// # Errors
+    /// Returns [`Error::InvalidParameter`] if a shard worker died.
+    pub fn blocking_stats(&self) -> Result<Vec<StructureStats>> {
+        let mut pending = Vec::with_capacity(self.shards.len());
+        for shard in &self.shards {
+            let (reply_tx, reply_rx) = bounded(1);
+            shard
+                .sender
+                .send(Command::Stats { reply: reply_tx })
+                .map_err(|_| Error::InvalidParameter("shard worker died".into()))?;
+            pending.push(reply_rx);
+        }
+        let mut merged: Vec<StructureStats> = Vec::new();
+        for reply_rx in pending {
+            let stats = reply_rx
+                .recv()
+                .map_err(|_| Error::InvalidParameter("shard worker died".into()))?;
+            if merged.is_empty() {
+                merged = stats;
+            } else {
+                for (acc, s) in merged.iter_mut().zip(&stats) {
+                    acc.merge(s);
+                }
+            }
+        }
+        Ok(merged)
     }
 
     /// The embedding schema shared by all shards.
@@ -518,6 +545,41 @@ mod tests {
         p.shutdown();
         state.shards.clear();
         assert!(ShardedPipeline::from_state(state).is_err());
+    }
+
+    #[test]
+    fn blocking_stats_aggregate_across_shards() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let s = schema(&mut rng);
+        let mut p =
+            ShardedPipeline::new(s, LinkageConfig::rule_aware(rule()), 3, &mut rng).unwrap();
+        p.index(&records(5, 0, 30)).unwrap();
+        let stats = p.blocking_stats().unwrap();
+        assert!(!stats.is_empty());
+        for st in &stats {
+            assert_eq!(st.backend, "random");
+            assert!(st.l >= 1);
+            assert!(st.key_bits >= 1);
+        }
+        // Every shard indexed its partition into every table of every
+        // structure, so summed entries = structures × L × records... per
+        // structure: entries = L × 30.
+        let total_entries: usize = stats.iter().map(|s| s.entries).sum();
+        let expected: usize = stats.iter().map(|s| s.l * 30).sum();
+        assert_eq!(total_entries, expected);
+        p.shutdown();
+    }
+
+    #[test]
+    fn blocking_stats_report_covering_backend() {
+        let mut rng = StdRng::seed_from_u64(10);
+        let s = schema(&mut rng);
+        let config = LinkageConfig::covering(rule(), 4);
+        let p = ShardedPipeline::new(s, config, 2, &mut rng).unwrap();
+        let stats = p.blocking_stats().unwrap();
+        assert!(!stats.is_empty());
+        assert!(stats.iter().all(|s| s.backend == "covering"));
+        p.shutdown();
     }
 
     #[test]

@@ -10,7 +10,7 @@
 use crate::blocking::BlockingPlan;
 use crate::error::Result;
 use crate::matcher::{match_record, Classifier, MatchStats, RecordStore};
-use crate::pipeline::{BlockingMode, LinkageConfig};
+use crate::pipeline::LinkageConfig;
 use crate::record::Record;
 use crate::schema::RecordSchema;
 use rand::Rng;
@@ -38,19 +38,7 @@ impl StreamMatcher {
         config: LinkageConfig,
         rng: &mut R,
     ) -> Result<Self> {
-        let sizes: Vec<usize> = schema.specs().iter().map(|s| s.m).collect();
-        config.rule.validate(&sizes)?;
-        let plan = match config.mode {
-            BlockingMode::RecordLevel { theta, k } => {
-                BlockingPlan::record_level(&schema, theta, k, config.delta, rng)?
-            }
-            BlockingMode::RecordLevelFixedL { theta, k, l } => {
-                BlockingPlan::record_level_with_l(&schema, theta, k, l, rng)?
-            }
-            BlockingMode::RuleAware => {
-                BlockingPlan::compile(&schema, &config.rule, config.delta, rng)?
-            }
-        };
+        let plan = BlockingPlan::from_config(&schema, &config, rng)?;
         let classifier = Classifier::Rule(config.rule);
         Ok(Self {
             schema,

@@ -1,0 +1,195 @@
+//! Pluggable blocking backends.
+//!
+//! A blocking backend answers one question: *given a vector, what is its
+//! composite key for blocking table `l`?* Two families implement it:
+//!
+//! * [`BitSampleFamily`] — the paper's random bit-sampling (Definition 3):
+//!   probabilistic recall ≥ `1 − δ`, with `L` from Equation 2.
+//! * [`CoveringFamily`] — Pagh's CoveringLSH: `L = 2^{θ_H+1} − 1` groups
+//!   with **zero false negatives** for pairs within radius `θ_H`.
+//!
+//! The [`Backend`] enum is the serializable closed set of backends; the
+//! blocking layer stores it inside each structure so snapshots carry the
+//! backend tag and its parameters.
+
+use crate::covering::CoveringFamily;
+use crate::hamming::BitSampleFamily;
+use rl_bitvec::BitVec;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Which backend family a structure uses — the tag reported by server
+/// stats and carried in snapshots.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BackendKind {
+    /// Random bit-sampling (Definition 3), recall ≥ 1 − δ.
+    RandomSampling,
+    /// CoveringLSH, recall = 1 within the covering radius.
+    Covering,
+}
+
+impl fmt::Display for BackendKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BackendKind::RandomSampling => write!(f, "random"),
+            BackendKind::Covering => write!(f, "covering"),
+        }
+    }
+}
+
+/// Key generation for `L` blocking tables over one bit-vector source.
+pub trait BlockingBackend {
+    /// The backend tag.
+    fn kind(&self) -> BackendKind;
+
+    /// Number of blocking tables `L` this backend keys.
+    fn l(&self) -> usize;
+
+    /// Width in bits of table `l`'s key, capped at the 128 bits a key can
+    /// physically hold (multi-probe neighbour enumeration flips key bits,
+    /// so it needs the populated width).
+    fn key_bits(&self, l: usize) -> usize;
+
+    /// Composite key of `v` for table `l`.
+    fn key(&self, l: usize, v: &BitVec) -> u128;
+
+    /// Composite key for table `l` over a conceptual concatenation of
+    /// attribute vectors (not materialized).
+    fn key_concat(&self, l: usize, attrs: &[&BitVec]) -> u128;
+}
+
+impl BlockingBackend for BitSampleFamily {
+    fn kind(&self) -> BackendKind {
+        BackendKind::RandomSampling
+    }
+
+    fn l(&self) -> usize {
+        self.l()
+    }
+
+    fn key_bits(&self, l: usize) -> usize {
+        self.samplers()[l].k()
+    }
+
+    fn key(&self, l: usize, v: &BitVec) -> u128 {
+        self.samplers()[l].key(v)
+    }
+
+    fn key_concat(&self, l: usize, attrs: &[&BitVec]) -> u128 {
+        self.samplers()[l].key_concat(attrs)
+    }
+}
+
+impl BlockingBackend for CoveringFamily {
+    fn kind(&self) -> BackendKind {
+        BackendKind::Covering
+    }
+
+    fn l(&self) -> usize {
+        self.l()
+    }
+
+    fn key_bits(&self, l: usize) -> usize {
+        self.groups()[l].width().min(128)
+    }
+
+    fn key(&self, l: usize, v: &BitVec) -> u128 {
+        self.groups()[l].key(v)
+    }
+
+    fn key_concat(&self, l: usize, attrs: &[&BitVec]) -> u128 {
+        self.groups()[l].key_concat(attrs)
+    }
+}
+
+/// The closed, serializable set of backends a blocking structure can hold.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum Backend {
+    /// Random bit-sampling family.
+    RandomSampling(BitSampleFamily),
+    /// Covering family.
+    Covering(CoveringFamily),
+}
+
+impl BlockingBackend for Backend {
+    fn kind(&self) -> BackendKind {
+        match self {
+            Backend::RandomSampling(f) => f.kind(),
+            Backend::Covering(f) => f.kind(),
+        }
+    }
+
+    fn l(&self) -> usize {
+        match self {
+            Backend::RandomSampling(f) => BlockingBackend::l(f),
+            Backend::Covering(f) => BlockingBackend::l(f),
+        }
+    }
+
+    fn key_bits(&self, l: usize) -> usize {
+        match self {
+            Backend::RandomSampling(f) => f.key_bits(l),
+            Backend::Covering(f) => f.key_bits(l),
+        }
+    }
+
+    fn key(&self, l: usize, v: &BitVec) -> u128 {
+        match self {
+            Backend::RandomSampling(f) => f.key(l, v),
+            Backend::Covering(f) => f.key(l, v),
+        }
+    }
+
+    fn key_concat(&self, l: usize, attrs: &[&BitVec]) -> u128 {
+        match self {
+            Backend::RandomSampling(f) => f.key_concat(l, attrs),
+            Backend::Covering(f) => f.key_concat(l, attrs),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn random_sampling_backend_matches_direct_sampler_keys() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let f = BitSampleFamily::random(120, 30, 4, &mut rng).unwrap();
+        let v = BitVec::from_positions(120, [3, 40, 80, 119]);
+        for l in 0..4 {
+            assert_eq!(
+                BlockingBackend::key(&f, l, &v),
+                f.samplers()[l].key(&v),
+                "trait dispatch must not change keys"
+            );
+        }
+        let b = Backend::RandomSampling(f.clone());
+        assert_eq!(b.kind(), BackendKind::RandomSampling);
+        assert_eq!(BlockingBackend::l(&b), 4);
+        for l in 0..4 {
+            assert_eq!(b.key(l, &v), f.samplers()[l].key(&v));
+        }
+    }
+
+    #[test]
+    fn covering_backend_dispatches() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let f = CoveringFamily::random(60, 2, &mut rng).unwrap();
+        let v = BitVec::from_positions(60, [1, 30, 59]);
+        let b = Backend::Covering(f.clone());
+        assert_eq!(b.kind(), BackendKind::Covering);
+        assert_eq!(BlockingBackend::l(&b), 7);
+        for l in 0..7 {
+            assert_eq!(b.key(l, &v), f.groups()[l].key(&v));
+        }
+    }
+
+    #[test]
+    fn kind_display_matches_cli_names() {
+        assert_eq!(BackendKind::RandomSampling.to_string(), "random");
+        assert_eq!(BackendKind::Covering.to_string(), "covering");
+    }
+}

@@ -6,6 +6,7 @@
 //! the composite keys collide with probability at least `p^K`,
 //! `p = 1 − θ_H/m`.
 
+use crate::error::FamilyError;
 use rand::{Rng, RngExt};
 use rl_bitvec::BitVec;
 use serde::{Deserialize, Serialize};
@@ -24,26 +25,35 @@ impl BitSampler {
     /// Samples `k` positions uniformly (with replacement, as in the paper's
     /// family definition) from `{0, …, m−1}`.
     ///
-    /// # Panics
-    /// Panics if `m == 0`, `k == 0`, or `k > MAX_K`.
-    pub fn random<R: Rng + ?Sized>(m: usize, k: usize, rng: &mut R) -> Self {
-        assert!(m > 0, "vector size must be positive");
-        assert!(k > 0 && k <= MAX_K, "k must lie in 1..={MAX_K}, got {k}");
+    /// # Errors
+    /// `FamilyError::InvalidM` if `m == 0`; `FamilyError::InvalidK` if
+    /// `k == 0` or `k > MAX_K` — keys pack one bit per base function into a
+    /// `u128`, so a larger `K` would silently truncate.
+    pub fn random<R: Rng + ?Sized>(m: usize, k: usize, rng: &mut R) -> Result<Self, FamilyError> {
+        if m == 0 {
+            return Err(FamilyError::InvalidM { m });
+        }
+        if k == 0 || k > MAX_K {
+            return Err(FamilyError::InvalidK { k, max: MAX_K });
+        }
         let positions = (0..k).map(|_| rng.random_range(0..m) as u32).collect();
-        Self { positions }
+        Ok(Self { positions })
     }
 
     /// Builds a sampler from explicit positions (attribute-level blocking
     /// composes per-attribute samplers this way).
     ///
-    /// # Panics
-    /// Panics if `positions` is empty or longer than `MAX_K`.
-    pub fn from_positions(positions: Vec<u32>) -> Self {
-        assert!(
-            !positions.is_empty() && positions.len() <= MAX_K,
-            "need 1..={MAX_K} positions"
-        );
-        Self { positions }
+    /// # Errors
+    /// `FamilyError::InvalidK` if `positions` is empty or longer than
+    /// `MAX_K`.
+    pub fn from_positions(positions: Vec<u32>) -> Result<Self, FamilyError> {
+        if positions.is_empty() || positions.len() > MAX_K {
+            return Err(FamilyError::InvalidK {
+                k: positions.len(),
+                max: MAX_K,
+            });
+        }
+        Ok(Self { positions })
     }
 
     /// The sampled positions.
@@ -98,11 +108,36 @@ pub struct BitSampleFamily {
 
 impl BitSampleFamily {
     /// Draws `l` independent samplers of `k` positions over `m` bits.
-    pub fn random<R: Rng + ?Sized>(m: usize, k: usize, l: usize, rng: &mut R) -> Self {
-        assert!(l > 0, "need at least one blocking group");
-        Self {
-            samplers: (0..l).map(|_| BitSampler::random(m, k, rng)).collect(),
+    ///
+    /// # Errors
+    /// `FamilyError::EmptyFamily` if `l == 0`, or any error from
+    /// [`BitSampler::random`].
+    pub fn random<R: Rng + ?Sized>(
+        m: usize,
+        k: usize,
+        l: usize,
+        rng: &mut R,
+    ) -> Result<Self, FamilyError> {
+        if l == 0 {
+            return Err(FamilyError::EmptyFamily);
         }
+        let samplers = (0..l)
+            .map(|_| BitSampler::random(m, k, rng))
+            .collect::<Result<_, _>>()?;
+        Ok(Self { samplers })
+    }
+
+    /// Wraps pre-drawn samplers into a family. Callers that must preserve a
+    /// specific RNG draw order (e.g. table-major draws across several fused
+    /// families) draw the samplers themselves and assemble families here.
+    ///
+    /// # Errors
+    /// `FamilyError::EmptyFamily` if `samplers` is empty.
+    pub fn from_samplers(samplers: Vec<BitSampler>) -> Result<Self, FamilyError> {
+        if samplers.is_empty() {
+            return Err(FamilyError::EmptyFamily);
+        }
+        Ok(Self { samplers })
     }
 
     /// The composite functions.
@@ -126,7 +161,7 @@ mod tests {
     #[test]
     fn key_packs_sampled_bits() {
         let v = BitVec::from_positions(8, [1, 3, 5]);
-        let s = BitSampler::from_positions(vec![1, 2, 3, 5]);
+        let s = BitSampler::from_positions(vec![1, 2, 3, 5]).unwrap();
         // bits: pos1=1, pos2=0, pos3=1, pos5=1 → key 0b1101
         assert_eq!(s.key(&v), 0b1101);
     }
@@ -136,7 +171,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(1);
         let v = BitVec::from_positions(120, [0, 3, 77, 119]);
         for _ in 0..20 {
-            let s = BitSampler::random(120, 30, &mut rng);
+            let s = BitSampler::random(120, 30, &mut rng).unwrap();
             assert_eq!(s.key(&v), s.key(&v.clone()));
         }
     }
@@ -149,7 +184,7 @@ mod tests {
         let c = BitVec::from_positions(22, [5]);
         let cat = BitVec::concat([&a, &b, &c]);
         for _ in 0..50 {
-            let s = BitSampler::random(cat.len(), 10, &mut rng);
+            let s = BitSampler::random(cat.len(), 10, &mut rng).unwrap();
             assert_eq!(s.key(&cat), s.key_concat(&[&a, &b, &c]));
         }
     }
@@ -157,7 +192,7 @@ mod tests {
     #[test]
     fn family_has_l_groups() {
         let mut rng = StdRng::seed_from_u64(2);
-        let f = BitSampleFamily::random(120, 30, 6, &mut rng);
+        let f = BitSampleFamily::random(120, 30, 6, &mut rng).unwrap();
         assert_eq!(f.l(), 6);
         assert!(f.samplers().iter().all(|s| s.k() == 30));
     }
@@ -187,7 +222,7 @@ mod tests {
         let trials = 40_000;
         let mut hits = 0u32;
         for _ in 0..trials {
-            let s = BitSampler::random(m, k, &mut rng);
+            let s = BitSampler::random(m, k, &mut rng).unwrap();
             if s.key(&v1) == s.key(&v2) {
                 hits += 1;
             }
@@ -200,10 +235,18 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "k must lie")]
-    fn oversized_k_panics() {
+    fn oversized_k_is_a_typed_error() {
         let mut rng = StdRng::seed_from_u64(0);
-        let _ = BitSampler::random(100, 129, &mut rng);
+        assert_eq!(
+            BitSampler::random(100, 129, &mut rng).unwrap_err(),
+            crate::error::FamilyError::InvalidK { k: 129, max: 128 }
+        );
+        assert_eq!(
+            BitSampler::from_positions((0..200).collect()).unwrap_err(),
+            crate::error::FamilyError::InvalidK { k: 200, max: 128 }
+        );
+        assert!(BitSampler::random(0, 8, &mut rng).is_err());
+        assert!(BitSampleFamily::random(100, 8, 0, &mut rng).is_err());
     }
 
     proptest! {
@@ -214,7 +257,7 @@ mod tests {
         ) {
             let mut rng = StdRng::seed_from_u64(seed);
             let v = BitVec::from_positions(200, ones);
-            let s = BitSampler::random(200, 16, &mut rng);
+            let s = BitSampler::random(200, 16, &mut rng).unwrap();
             prop_assert_eq!(s.key(&v), s.key(&v));
         }
 
@@ -226,7 +269,7 @@ mod tests {
             let mut rng = StdRng::seed_from_u64(seed);
             let v1 = BitVec::from_positions(64, ones.iter().copied());
             let v2 = v1.clone();
-            let s = BitSampler::random(64, 8, &mut rng);
+            let s = BitSampler::random(64, 8, &mut rng).unwrap();
             // contrapositive of "equal vectors collide"
             prop_assert_eq!(s.key(&v1), s.key(&v2));
         }

@@ -11,10 +11,19 @@
 //! * [`params`] — the blocking-group math: base success probability
 //!   `p = 1 − θ/m` and `L = ⌈ln δ / ln(1 − p^K)⌉` (Equation 2), plus the
 //!   rule-operator bounds of Definitions 4–6.
+//! * [`covering`] — Pagh's CoveringLSH: a Hamming family with zero false
+//!   negatives inside the covering radius (`L = 2^{θ_H+1} − 1` groups).
+//! * [`backend`] — the [`backend::BlockingBackend`] trait and serializable
+//!   [`backend::Backend`] enum that let the blocking layer swap the
+//!   bit-sampling family for the covering family.
 //! * [`table`] — key → id-list blocking tables (the `T_l` hash tables).
 //! * [`hashfn`] — pairwise-independent universal hashes
 //!   `g(x) = ((a·x + b) mod P) mod m`, shared with the c-vector embedder.
+//! * [`error`] — typed construction errors ([`error::FamilyError`]).
 
+pub mod backend;
+pub mod covering;
+pub mod error;
 pub mod euclidean;
 pub mod hamming;
 pub mod hashfn;
@@ -22,6 +31,9 @@ pub mod minhash;
 pub mod params;
 pub mod table;
 
+pub use backend::{Backend, BackendKind, BlockingBackend};
+pub use covering::{CoveringFamily, CoveringGroup, MAX_COVERING_THETA};
+pub use error::FamilyError;
 pub use hamming::{BitSampleFamily, BitSampler};
 pub use hashfn::UniversalHash;
 pub use params::{base_success_probability, optimal_l};

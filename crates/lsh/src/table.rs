@@ -32,8 +32,25 @@ impl BlockingTable {
     }
 
     /// The bucket for `key` (the paper's `get(x)` primitive, Table 2).
+    /// Probing an empty table short-circuits before the `HashMap` hashes
+    /// the key — servers routinely probe structures that have not been
+    /// indexed yet (e.g. right after startup).
     pub fn get(&self, key: u128) -> &[u64] {
+        if self.buckets.is_empty() {
+            return &[];
+        }
         self.buckets.get(&key).map_or(&[], Vec::as_slice)
+    }
+
+    /// True when no key has been inserted.
+    pub fn is_empty(&self) -> bool {
+        self.buckets.is_empty()
+    }
+
+    /// Number of non-empty buckets (alias of [`Self::num_buckets`], the
+    /// name used by the server's Stats reporting).
+    pub fn bucket_count(&self) -> usize {
+        self.buckets.len()
     }
 
     /// Number of non-empty buckets.
@@ -88,9 +105,14 @@ mod tests {
     #[test]
     fn empty_table() {
         let t = BlockingTable::new();
+        assert!(t.is_empty());
         assert_eq!(t.num_buckets(), 0);
+        assert_eq!(t.bucket_count(), 0);
         assert_eq!(t.num_entries(), 0);
         assert_eq!(t.max_bucket(), 0);
+        // The empty fast path must answer like the HashMap path.
+        assert_eq!(t.get(0), &[] as &[u64]);
+        assert_eq!(t.get(u128::MAX), &[] as &[u64]);
     }
 
     #[test]

@@ -165,7 +165,8 @@ impl LinkageUnit {
         let l = optimal_l(p.powi(self.k as i32).max(1e-12), self.delta);
         let samplers: Vec<BitSampler> = (0..l)
             .map(|_| BitSampler::random(m_bar, self.k as usize, rng))
-            .collect();
+            .collect::<Result<_, _>>()
+            .map_err(|e| e.to_string())?;
         let mut tables: Vec<BlockingTable> = (0..l).map(|_| BlockingTable::new()).collect();
         for (idx, rec) in enc_a.iter().enumerate() {
             let refs = rec.attr_refs();

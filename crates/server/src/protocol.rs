@@ -6,13 +6,16 @@
 //! `ok` discriminator so clients can branch before deserializing the
 //! payload. See `docs/SERVER.md` for the full reference with examples.
 
+use cbv_hb::blocking::StructureStats;
 use cbv_hb::matcher::MatchStats;
 use cbv_hb::Record;
 use serde::{Deserialize, Serialize};
 
 /// Protocol version spoken by this build (bumped on breaking changes;
-/// reported in [`StatsReply`]).
-pub const PROTOCOL_VERSION: u32 = 1;
+/// reported in [`StatsReply`]). Version 2 added the `blocking` section to
+/// the Stats reply (backend tag, `L`, key width, bucket occupancy per
+/// structure).
+pub const PROTOCOL_VERSION: u32 = 2;
 
 /// A client request.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -156,6 +159,10 @@ pub struct StatsReply {
     pub rejected_backpressure: u64,
     /// Seconds since the server started.
     pub uptime_secs: u64,
+    /// Per-structure blocking diagnostics: active backend (`"random"` or
+    /// `"covering"`) with its `L`, key width, and bucket occupancy
+    /// aggregated across shards.
+    pub blocking: Vec<StructureStats>,
 }
 
 /// The one-line response envelope.

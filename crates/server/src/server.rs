@@ -404,6 +404,7 @@ fn execute(inner: &Arc<Inner>, request: Request) -> Response {
         }
         Request::Stats => {
             let state = inner.state.read();
+            let blocking = state.pipeline.blocking_stats().unwrap_or_default();
             Response::Ok(Reply::Stats(StatsReply {
                 protocol_version: PROTOCOL_VERSION,
                 shards: state.pipeline.num_shards(),
@@ -414,6 +415,7 @@ fn execute(inner: &Arc<Inner>, request: Request) -> Response {
                 requests_served: inner.requests_served.load(Ordering::Relaxed),
                 rejected_backpressure: inner.rejected_backpressure.load(Ordering::Relaxed),
                 uptime_secs: inner.started.elapsed().as_secs(),
+                blocking,
             }))
         }
         Request::Snapshot { path } => {

@@ -20,8 +20,10 @@ use std::path::Path;
 /// Format magic: identifies a file as an rl-server snapshot.
 pub const SNAPSHOT_MAGIC: &str = "RLSNAP1";
 
-/// Current snapshot format version.
-pub const SNAPSHOT_VERSION: u32 = 1;
+/// Current snapshot format version. Version 2 serializes the blocking
+/// backend (random-sampling or covering) inside each shard's plan; version
+/// 1 files predate pluggable backends and cannot be read.
+pub const SNAPSHOT_VERSION: u32 = 2;
 
 /// Errors raised while saving or loading snapshots.
 #[derive(Debug)]
@@ -135,8 +137,13 @@ impl Snapshot {
             )));
         }
         if snapshot.version != SNAPSHOT_VERSION {
+            let hint = if snapshot.version < SNAPSHOT_VERSION {
+                "; the file predates the blocking-backend field — re-index and snapshot again"
+            } else {
+                ""
+            };
             return Err(SnapshotError::Format(format!(
-                "unsupported version {} (this build reads {SNAPSHOT_VERSION})",
+                "unsupported version {} (this build reads {SNAPSHOT_VERSION}){hint}",
                 snapshot.version
             )));
         }
@@ -254,6 +261,28 @@ mod tests {
 
         good.save(&path).unwrap();
         assert!(Snapshot::load(&path).is_ok());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn version_1_snapshot_rejected_with_backend_hint() {
+        // A pre-backend snapshot (version 1) must fail with an error that
+        // tells the operator why the file is unreadable, not a generic
+        // deserialization failure.
+        let state = sample_state();
+        let dir = std::env::temp_dir().join("rl-server-snap-test-v1");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("index.snap");
+        let mut old = Snapshot::new(state, vec![], 0).unwrap();
+        old.version = 1;
+        old.save(&path).unwrap();
+        match Snapshot::load(&path) {
+            Err(SnapshotError::Format(msg)) => {
+                assert!(msg.contains("unsupported version 1"), "{msg}");
+                assert!(msg.contains("predates the blocking-backend field"), "{msg}");
+            }
+            other => panic!("expected format error, got {other:?}"),
+        }
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

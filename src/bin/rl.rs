@@ -31,14 +31,14 @@ fn usage() -> ! {
          [--seed S] --out-a A.csv --out-b B.csv [--out-truth T.csv]\n  \
          rl link --a A.csv --b B.csv --rule EXPR --out M.csv [--header] \
          [--id-column N] [--delta D] [--k K1,K2,...] [--record-level THETA:K] \
-         [--threads N] [--seed S] [--report]\n  \
+         [--blocking random|covering] [--threads N] [--seed S] [--report]\n  \
          rl dedup --input D.csv --rule EXPR --out CLUSTERS.csv [--header] \
          [--id-column N] [--delta D] [--k K1,K2,...] [--seed S]\n  \
          rl calibrate --input D.csv [--header] [--id-column N] [--theta T] \
          [--delta D] [--seed S]\n  \
          rl serve --rule EXPR --fields N [--addr HOST:PORT] [--m-bits M] \
-         [--k K] [--delta D] [--shards N] [--workers N] [--queue N] \
-         [--snapshot PATH] [--seed S]\n  \
+         [--k K] [--delta D] [--blocking random|covering] [--shards N] \
+         [--workers N] [--queue N] [--snapshot PATH] [--seed S]\n  \
          rl client --cmd stats|dedup-status|shutdown|snapshot|index|probe|stream \
          [--addr HOST:PORT] [--input F.csv] [--out M.csv] [--path SNAP] \
          [--header] [--id-column N]"
@@ -95,6 +95,43 @@ fn req<'a>(flags: &'a HashMap<String, String>, key: &str) -> Result<&'a str, Str
         .get(key)
         .map(String::as_str)
         .ok_or_else(|| format!("missing required flag --{key}"))
+}
+
+/// Resolves `--blocking` + `--record-level` into a [`BlockingMode`].
+///
+/// Default backend is random sampling (Definition 3); `--blocking covering`
+/// switches to the CoveringLSH backend with its zero-false-negative
+/// guarantee. Record-level covering takes its radius from `--record-level
+/// THETA` (a `:K` suffix is accepted and ignored — covering groups have no
+/// K parameter).
+fn parse_blocking_mode(flags: &HashMap<String, String>) -> Result<BlockingMode, String> {
+    let backend = flags
+        .get("blocking")
+        .map(String::as_str)
+        .unwrap_or("random");
+    let record_level = flags.get("record-level");
+    match (backend, record_level) {
+        ("random", None) => Ok(BlockingMode::RuleAware),
+        ("random", Some(spec)) => {
+            let (theta, k) = spec
+                .split_once(':')
+                .ok_or_else(|| "--record-level expects THETA:K".to_string())?;
+            Ok(BlockingMode::RecordLevel {
+                theta: theta.parse().map_err(|_| "bad THETA".to_string())?,
+                k: k.parse().map_err(|_| "bad K".to_string())?,
+            })
+        }
+        ("covering", None) => Ok(BlockingMode::CoveringRuleAware),
+        ("covering", Some(spec)) => {
+            let theta = spec.split(':').next().unwrap_or(spec);
+            Ok(BlockingMode::Covering {
+                theta: theta.parse().map_err(|_| "bad THETA".to_string())?,
+            })
+        }
+        (other, _) => Err(format!(
+            "unknown blocking backend {other:?} (random|covering)"
+        )),
+    }
 }
 
 fn generate(flags: &HashMap<String, String>) -> Result<(), String> {
@@ -240,18 +277,7 @@ fn link(flags: &HashMap<String, String>) -> Result<(), String> {
         .collect();
     let schema = RecordSchema::build(Alphabet::linkage(), specs, &mut rng);
 
-    let mode = match flags.get("record-level") {
-        Some(spec) => {
-            let (theta, k) = spec
-                .split_once(':')
-                .ok_or_else(|| "--record-level expects THETA:K".to_string())?;
-            BlockingMode::RecordLevel {
-                theta: theta.parse().map_err(|_| "bad THETA".to_string())?,
-                k: k.parse().map_err(|_| "bad K".to_string())?,
-            }
-        }
-        None => BlockingMode::RuleAware,
-    };
+    let mode = parse_blocking_mode(flags)?;
     let config = LinkageConfig { delta, mode, rule };
     let mut pipeline = LinkagePipeline::new(schema, config, &mut rng).map_err(|e| e.to_string())?;
 
@@ -260,8 +286,8 @@ fn link(flags: &HashMap<String, String>) -> Result<(), String> {
         eprintln!("blocking plan:");
         for s in &report.structures {
             eprintln!(
-                "  {:<44} L={:<4} recall bound {:.3}",
-                s.label, s.l, s.recall_bound
+                "  {:<44} [{}] L={:<4} recall bound {:.3}",
+                s.label, s.backend, s.l, s.recall_bound
             );
         }
         eprintln!(
@@ -415,11 +441,13 @@ fn serve(flags: &HashMap<String, String>) -> Result<(), String> {
             // The restored state carries the full topology and embedding
             // config, so index-shape flags are ignored — say so instead of
             // silently serving an old configuration.
-            let ignored: Vec<String> = ["shards", "rule", "fields", "m-bits", "k", "delta", "seed"]
-                .iter()
-                .filter(|name| flags.contains_key(**name))
-                .map(|name| format!("--{name}"))
-                .collect();
+            let ignored: Vec<String> = [
+                "shards", "rule", "fields", "m-bits", "k", "delta", "seed", "blocking",
+            ]
+            .iter()
+            .filter(|name| flags.contains_key(**name))
+            .map(|name| format!("--{name}"))
+            .collect();
             if !ignored.is_empty() {
                 eprintln!(
                     "warning: {} ignored; configuration comes from the restored snapshot {} \
@@ -465,16 +493,21 @@ fn serve(flags: &HashMap<String, String>) -> Result<(), String> {
                 .map_err(|_| "--delta must be a number".to_string())?
                 .unwrap_or(0.1);
             let rule = parse_rule(rule_text).map_err(|e| e.to_string())?;
+            let mode = match flags.get("blocking").map(String::as_str) {
+                None | Some("random") => BlockingMode::RuleAware,
+                Some("covering") => BlockingMode::CoveringRuleAware,
+                Some(other) => {
+                    return Err(format!(
+                        "unknown blocking backend {other:?} (random|covering)"
+                    ))
+                }
+            };
             let mut rng = StdRng::seed_from_u64(seed);
             let specs: Vec<AttributeSpec> = (0..fields)
                 .map(|f| AttributeSpec::new(format!("f{f}"), 2, m_bits, false, k))
                 .collect();
             let schema = RecordSchema::build(Alphabet::linkage(), specs, &mut rng);
-            let link_config = LinkageConfig {
-                delta,
-                mode: BlockingMode::RuleAware,
-                rule,
-            };
+            let link_config = LinkageConfig { delta, mode, rule };
             let pipeline = ShardedPipeline::new(schema, link_config, shards, &mut rng)
                 .map_err(|e| e.to_string())?;
             (Server::spawn(pipeline, config), shards)
@@ -524,6 +557,14 @@ fn client(flags: &HashMap<String, String>) -> Result<(), String> {
                 "{}",
                 serde_json::to_string(&stats).map_err(|e| e.to_string())?
             );
+            // Human-readable blocking summary on stderr (stdout stays
+            // machine-parseable JSON).
+            for s in &stats.blocking {
+                eprintln!(
+                    "blocking: {} backend={} L={} key_bits={} buckets={} max_bucket={}",
+                    s.label, s.backend, s.l, s.key_bits, s.buckets, s.max_bucket
+                );
+            }
         }
         "dedup-status" => {
             let clusters = client.dedup_status().map_err(|e| e.to_string())?;
