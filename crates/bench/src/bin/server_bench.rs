@@ -1,7 +1,7 @@
 //! Server round-trip throughput: probes/sec over loopback TCP.
 //!
 //! ```text
-//! server_bench [--records N] [--probes P] [--clients C] [--seed S] [--out DIR]
+//! server_bench [--records N] [--probes P] [--clients C] [--seed S] [--out DIR] [--smoke]
 //! ```
 //!
 //! For each shard count in {1, 4, 8} the harness spawns an `rl-server`
@@ -10,6 +10,10 @@
 //! connections and reports wall-clock throughput. Results land in
 //! `<out>/results/BENCH_server.json`, so the perf trajectory tracks the
 //! serving path alongside the paper experiments.
+//!
+//! `--smoke` shrinks the run for CI, and after each run fetches the
+//! server's `Metrics` snapshot and asserts the observability layer saw
+//! the traffic (nonzero per-type request counts and latency samples).
 
 use cbv_hb::sharded::ShardedPipeline;
 use cbv_hb::{AttributeSpec, LinkageConfig, Record, RecordSchema, Rule};
@@ -43,6 +47,7 @@ struct Opts {
     clients: u64,
     seed: u64,
     out: PathBuf,
+    smoke: bool,
 }
 
 fn main() {
@@ -52,6 +57,7 @@ fn main() {
         clients: 4,
         seed: 42,
         out: PathBuf::from("."),
+        smoke: false,
     };
     let rest: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -66,6 +72,13 @@ fn main() {
             "--clients" => opts.clients = need(i).parse().expect("--clients C"),
             "--seed" => opts.seed = need(i).parse().expect("--seed S"),
             "--out" => opts.out = PathBuf::from(need(i)),
+            "--smoke" => {
+                opts.smoke = true;
+                opts.records = opts.records.min(500);
+                opts.probes = opts.probes.min(200);
+                i += 1;
+                continue;
+            }
             other => panic!("unknown flag {other}"),
         }
         i += 2;
@@ -111,6 +124,7 @@ fn run_one(opts: &Opts, shards: usize) -> Row {
             workers: shards,
             queue_capacity: 256,
             snapshot_path: None,
+            ..ServerConfig::default()
         },
     )
     .expect("spawn server");
@@ -153,6 +167,10 @@ fn run_one(opts: &Opts, shards: usize) -> Row {
         "probes stopped matching: {matched}/{done}"
     );
 
+    if opts.smoke {
+        smoke_check_metrics(&mut client, done);
+    }
+
     client.shutdown().expect("shutdown");
     server.wait();
 
@@ -166,6 +184,37 @@ fn run_one(opts: &Opts, shards: usize) -> Row {
         elapsed_secs: elapsed,
         probes_per_sec: done as f64 / elapsed,
     }
+}
+
+/// Smoke-mode assertion: the observability layer saw the bench traffic.
+/// Panics (failing the CI step) when the `Metrics` reply is missing the
+/// expected request counts or latency samples.
+fn smoke_check_metrics(client: &mut Client, probes: u64) {
+    let m = client.metrics().expect("metrics request");
+    let probed = m
+        .counter_value("rl_requests_total", Some("probe"))
+        .expect("probe counter registered");
+    assert!(
+        probed >= probes,
+        "metrics lost probes: counted {probed}, sent {probes}"
+    );
+    let indexed = m
+        .counter_value("rl_requests_total", Some("index"))
+        .expect("index counter registered");
+    assert!(indexed > 0, "no index requests counted");
+    let exec = m
+        .histogram_data("rl_request_exec_seconds", Some("probe"))
+        .expect("probe exec histogram registered");
+    assert_eq!(exec.data.count, probed, "exec samples != probe count");
+    let wait = m
+        .histogram_data("rl_request_queue_wait_seconds", Some("probe"))
+        .expect("probe queue-wait histogram registered");
+    assert_eq!(wait.data.count, probed, "queue-wait samples != probe count");
+    println!(
+        "smoke: metrics ok — {probed} probes, exec p50 {}ns / p99 {}ns",
+        exec.data.quantile(0.50),
+        exec.data.quantile(0.99),
+    );
 }
 
 /// A well-spread synthetic record: distinct source indices share few

@@ -71,6 +71,7 @@ pub fn average(results: &[MethodResult]) -> MethodResult {
     let mut found = 0u64;
     let mut truth = 0u64;
     let mut cand = 0u64;
+    let mut ident = 0u64;
     let (mut e, mut bl, mut m, mut t) = (0.0, 0.0, 0.0, 0.0);
     for r in results {
         pc += r.quality.pc;
@@ -79,6 +80,7 @@ pub fn average(results: &[MethodResult]) -> MethodResult {
         found += r.quality.true_matches_found;
         truth += r.quality.ground_truth_size;
         cand += r.quality.candidates;
+        ident += r.quality.identified_unique;
         e += r.embed_secs;
         bl += r.block_secs;
         m += r.match_secs;
@@ -93,6 +95,7 @@ pub fn average(results: &[MethodResult]) -> MethodResult {
             true_matches_found: found / results.len() as u64,
             ground_truth_size: truth / results.len() as u64,
             candidates: cand / results.len() as u64,
+            identified_unique: ident / results.len() as u64,
         },
         embed_secs: e / n,
         block_secs: bl / n,
@@ -150,6 +153,7 @@ mod tests {
                 true_matches_found: 10,
                 ground_truth_size: 20,
                 candidates: 40,
+                identified_unique: 12,
             },
             embed_secs: 0.1,
             block_secs: 0.2,

@@ -7,9 +7,33 @@
 //! * `PC = |M̂ ∩ M| / |M|` — accuracy in finding the matching pairs;
 //! * `PQ = |M̂ ∩ M| / |CR|` — efficiency of candidate generation;
 //! * `RR = 1 − |CR| / |A × B|` — reduction of the comparison space.
+//!
+//! # Pair identity
+//!
+//! All three measures are defined over *sets* of record pairs, and a pair
+//! is unordered: `(a, b)` and `(b, a)` name the same link. [`evaluate`]
+//! therefore canonicalizes every pair (identified and ground truth alike)
+//! to `(min, max)` and de-duplicates before counting, so
+//!
+//! * an identified list that repeats a pair — or reports it in both
+//!   orientations — counts it once, and
+//! * an identified `(b, a)` matches a ground-truth `(a, b)`.
+//!
+//! Earlier revisions counted raw list entries, which inflated PC/PQ for
+//! duplicate-bearing match lists and missed orientation-flipped truths.
 
 use serde::{Deserialize, Serialize};
 use std::collections::HashSet;
+
+/// Canonical (orientation-free) form of a pair: smaller id first.
+#[inline]
+fn canonical(p: (u64, u64)) -> (u64, u64) {
+    if p.0 <= p.1 {
+        p
+    } else {
+        (p.1, p.0)
+    }
+}
 
 /// The three quality measures for one linkage run.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -26,12 +50,15 @@ pub struct LinkageQuality {
     pub ground_truth_size: u64,
     /// `|CR|` — candidate pairs compared.
     pub candidates: u64,
+    /// `|M̂|` — distinct identified pairs after canonicalization, the
+    /// correct precision denominator even when the input list carried
+    /// duplicates or both orientations of a pair.
+    pub identified_unique: u64,
 }
 
 impl LinkageQuality {
-    /// Precision of the *identified* pairs: `|M̂ ∩ M| / |M̂|`. Needs the
-    /// count of identified pairs, which [`evaluate`] does not retain; use
-    /// [`evaluate_full`] to get it.
+    /// Precision of the *identified* pairs: `|M̂ ∩ M| / |M̂|`, with
+    /// `|M̂|` the de-duplicated count ([`Self::identified_unique`]).
     pub fn precision(&self, identified: u64) -> f64 {
         if identified == 0 {
             0.0
@@ -72,7 +99,7 @@ pub fn evaluate_full(
     cross_size: u128,
 ) -> FullQuality {
     let blocking = evaluate(identified, ground_truth, candidates, cross_size);
-    let precision = blocking.precision(identified.len() as u64);
+    let precision = blocking.precision(blocking.identified_unique);
     let recall = blocking.pc;
     FullQuality {
         blocking,
@@ -87,20 +114,23 @@ pub fn evaluate_full(
 /// `identified` holds `(id_A, id_B)` pairs classified as matches,
 /// `ground_truth` the true matching pairs, `candidates` is `|CR|`, and
 /// `cross_size` is `|A| · |B|`.
+///
+/// Pairs are unordered (see the module docs): both inputs are
+/// canonicalized to `(min, max)` and de-duplicated, so repeated or
+/// orientation-flipped entries neither inflate nor miss counts.
 pub fn evaluate(
     identified: &[(u64, u64)],
     ground_truth: &HashSet<(u64, u64)>,
     candidates: u64,
     cross_size: u128,
 ) -> LinkageQuality {
-    let found = identified
-        .iter()
-        .filter(|p| ground_truth.contains(p))
-        .count() as u64;
-    let pc = if ground_truth.is_empty() {
+    let truth: HashSet<(u64, u64)> = ground_truth.iter().map(|&p| canonical(p)).collect();
+    let unique: HashSet<(u64, u64)> = identified.iter().map(|&p| canonical(p)).collect();
+    let found = unique.iter().filter(|p| truth.contains(p)).count() as u64;
+    let pc = if truth.is_empty() {
         1.0
     } else {
-        found as f64 / ground_truth.len() as f64
+        found as f64 / truth.len() as f64
     };
     let pq = if candidates == 0 {
         0.0
@@ -117,8 +147,9 @@ pub fn evaluate(
         pq,
         rr,
         true_matches_found: found,
-        ground_truth_size: ground_truth.len() as u64,
+        ground_truth_size: truth.len() as u64,
         candidates,
+        identified_unique: unique.len() as u64,
     }
 }
 
@@ -195,12 +226,53 @@ mod tests {
     }
 
     #[test]
-    fn duplicate_identified_pairs_count_once_in_spirit() {
-        // evaluate counts per entry; callers pass de-duplicated match lists
-        // (the pipeline guarantees this). Duplicates inflate the filter
-        // count, so verify the contract documented here.
+    fn duplicate_identified_pairs_count_once() {
+        // Regression: evaluate used to count per list entry, so a repeated
+        // pair was tallied twice, inflating PC above 1.0 and PQ.
         let truth = gt(&[(1, 10)]);
         let q = evaluate(&[(1, 10), (1, 10)], &truth, 2, 100);
-        assert_eq!(q.true_matches_found, 2); // documents the contract
+        assert_eq!(q.true_matches_found, 1);
+        assert_eq!(q.identified_unique, 1);
+        assert_eq!(q.pc, 1.0);
+        assert!((q.pq - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn orientation_flipped_pairs_match_ground_truth() {
+        // Regression: an identified (b, a) used to miss a truth (a, b)
+        // because pairs were compared as ordered tuples.
+        let truth = gt(&[(1, 10), (2, 20)]);
+        let q = evaluate(&[(10, 1), (20, 2)], &truth, 2, 100);
+        assert_eq!(q.true_matches_found, 2);
+        assert_eq!(q.pc, 1.0);
+    }
+
+    #[test]
+    fn both_orientations_of_one_pair_count_once() {
+        let truth = gt(&[(1, 10)]);
+        let q = evaluate(&[(1, 10), (10, 1)], &truth, 4, 100);
+        assert_eq!(q.true_matches_found, 1);
+        assert_eq!(q.identified_unique, 1);
+        assert_eq!(q.pc, 1.0);
+    }
+
+    #[test]
+    fn flipped_ground_truth_entries_deduplicate() {
+        // A truth set carrying both orientations of the same link is one
+        // link: the PC denominator must not double it.
+        let truth = gt(&[(1, 10), (10, 1)]);
+        let q = evaluate(&[(1, 10)], &truth, 1, 100);
+        assert_eq!(q.ground_truth_size, 1);
+        assert_eq!(q.pc, 1.0);
+    }
+
+    #[test]
+    fn full_quality_precision_uses_deduplicated_count() {
+        let truth = gt(&[(1, 10)]);
+        // One true pair reported three ways + one false positive: precision
+        // is 1/2 over the two distinct pairs, not 1/4 over list entries.
+        let q = evaluate_full(&[(1, 10), (10, 1), (1, 10), (9, 99)], &truth, 4, 100);
+        assert!((q.precision - 0.5).abs() < 1e-12);
+        assert_eq!(q.blocking.identified_unique, 2);
     }
 }

@@ -17,6 +17,7 @@ use crate::rule::Rule;
 use crate::schema::RecordSchema;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Blocking mode selection.
@@ -143,6 +144,61 @@ impl LinkageConfig {
     }
 }
 
+/// Shared latency histograms for the three pipeline phases (embed →
+/// block → match), plus streaming observe. One instance is shared by
+/// every engine that serves one index — the histograms are lock-free, so
+/// shard workers and probe threads record into them concurrently and the
+/// result *is* the cross-shard merge (fixed bucket boundaries make that
+/// merge exact; see `rl_obs::Histogram`).
+#[derive(Debug)]
+pub struct PipelineMetrics {
+    /// Embedding records into Ĥ (per batch).
+    pub embed: Arc<rl_obs::Histogram>,
+    /// Hashing embedded records into the blocking tables (per batch).
+    pub block: Arc<rl_obs::Histogram>,
+    /// Candidate formulation + classification (per probe batch).
+    pub matching: Arc<rl_obs::Histogram>,
+    /// One streaming observe round (match + index of a single record).
+    pub observe: Arc<rl_obs::Histogram>,
+}
+
+impl PipelineMetrics {
+    /// Registers the phase histograms in `registry` as
+    /// `<prefix>_pipeline_phase_seconds{phase="embed"|"block"|"match"}`
+    /// and `<prefix>_stream_observe_seconds`.
+    pub fn register(registry: &rl_obs::Registry) -> Arc<Self> {
+        let phase = |p: &str| {
+            registry.histogram(
+                "pipeline_phase_seconds",
+                "Latency of one pipeline phase over one record batch",
+                &[("phase", p)],
+                rl_obs::Unit::Seconds,
+            )
+        };
+        Arc::new(Self {
+            embed: phase("embed"),
+            block: phase("block"),
+            matching: phase("match"),
+            observe: registry.histogram(
+                "stream_observe_seconds",
+                "Latency of one streaming observe (match + index)",
+                &[],
+                rl_obs::Unit::Seconds,
+            ),
+        })
+    }
+
+    /// Standalone histograms outside any registry (tests, ad-hoc probes).
+    pub fn unregistered() -> Arc<Self> {
+        Arc::new(Self {
+            embed: Arc::new(rl_obs::Histogram::new()),
+            block: Arc::new(rl_obs::Histogram::new()),
+            matching: Arc::new(rl_obs::Histogram::new()),
+            observe: Arc::new(rl_obs::Histogram::new()),
+        })
+    }
+}
+
 /// Timings of the pipeline phases, in nanoseconds.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct PhaseTimings {
@@ -195,6 +251,7 @@ pub struct LinkagePipeline {
     classifier: Classifier,
     indexed: usize,
     index_timings: PhaseTimings,
+    metrics: Option<Arc<PipelineMetrics>>,
 }
 
 impl LinkagePipeline {
@@ -218,7 +275,14 @@ impl LinkagePipeline {
             classifier,
             indexed: 0,
             index_timings: PhaseTimings::default(),
+            metrics: None,
         })
+    }
+
+    /// Attaches shared phase histograms; subsequent `index`/`link` calls
+    /// record their embed/block/match latencies into them.
+    pub fn attach_metrics(&mut self, metrics: Arc<PipelineMetrics>) {
+        self.metrics = Some(metrics);
     }
 
     /// The schema in use.
@@ -253,13 +317,19 @@ impl LinkagePipeline {
     pub fn index(&mut self, records: &[Record]) -> Result<()> {
         let t0 = Instant::now();
         let embedded = self.schema.embed_all(records)?;
-        self.index_timings.embed_nanos += t0.elapsed().as_nanos();
+        let embed = t0.elapsed();
+        self.index_timings.embed_nanos += embed.as_nanos();
         let t1 = Instant::now();
         for rec in embedded {
             self.plan.insert(&rec);
             self.store.insert(rec);
         }
-        self.index_timings.block_nanos += t1.elapsed().as_nanos();
+        let block = t1.elapsed();
+        self.index_timings.block_nanos += block.as_nanos();
+        if let Some(m) = &self.metrics {
+            m.embed.observe_duration(embed);
+            m.block.observe_duration(block);
+        }
         self.indexed += records.len();
         Ok(())
     }
@@ -272,7 +342,8 @@ impl LinkagePipeline {
         let mut result = LinkageResult::default();
         let t0 = Instant::now();
         let embedded = self.schema.embed_all(records)?;
-        result.timings.embed_nanos = t0.elapsed().as_nanos();
+        let embed = t0.elapsed();
+        result.timings.embed_nanos = embed.as_nanos();
         let t1 = Instant::now();
         for probe in &embedded {
             let matched = match_record(
@@ -286,7 +357,12 @@ impl LinkagePipeline {
                 .matches
                 .extend(matched.into_iter().map(|a| (a, probe.id)));
         }
-        result.timings.match_nanos = t1.elapsed().as_nanos();
+        let matching = t1.elapsed();
+        result.timings.match_nanos = matching.as_nanos();
+        if let Some(m) = &self.metrics {
+            m.embed.observe_duration(embed);
+            m.matching.observe_duration(matching);
+        }
         Ok(result)
     }
 
@@ -343,7 +419,13 @@ impl LinkagePipeline {
             result.stats.distance_computations += stats.distance_computations;
             result.stats.matched += stats.matched;
         }
-        result.timings.match_nanos = t0.elapsed().as_nanos();
+        let elapsed = t0.elapsed();
+        result.timings.match_nanos = elapsed.as_nanos();
+        if let Some(m) = &self.metrics {
+            // Workers interleave embedding and matching; attribute the
+            // whole parallel pass to the match phase, as the timings do.
+            m.matching.observe_duration(elapsed);
+        }
         Ok(result)
     }
 
@@ -382,6 +464,7 @@ impl LinkagePipeline {
             classifier,
             indexed: state.indexed,
             index_timings: PhaseTimings::default(),
+            metrics: None,
         })
     }
 

@@ -15,13 +15,15 @@
 use crate::blocking::{BlockingPlan, StructureStats};
 use crate::error::{Error, Result};
 use crate::matcher::{match_record, Classifier, MatchStats, RecordStore};
-use crate::pipeline::LinkageConfig;
+use crate::pipeline::{LinkageConfig, PipelineMetrics};
 use crate::record::Record;
 use crate::schema::{EmbeddedRecord, RecordSchema};
 use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::Instant;
 
 enum Command {
     Index(Vec<EmbeddedRecord>),
@@ -92,6 +94,7 @@ pub struct ShardedPipeline {
     shards: Vec<Shard>,
     next_shard: usize,
     indexed: usize,
+    metrics: Option<Arc<PipelineMetrics>>,
 }
 
 impl std::fmt::Debug for ShardedPipeline {
@@ -183,7 +186,17 @@ impl ShardedPipeline {
             shards,
             next_shard: 0,
             indexed: 0,
+            metrics: None,
         }
+    }
+
+    /// Attaches phase-timing metrics. Embed / dispatch / fan-out durations
+    /// for subsequent [`ShardedPipeline::index`] and
+    /// [`ShardedPipeline::link`] calls are recorded into the shared
+    /// histograms (typically one [`PipelineMetrics`] per process, so
+    /// sharded and single-pipeline timings aggregate in one place).
+    pub fn attach_metrics(&mut self, metrics: Arc<PipelineMetrics>) {
+        self.metrics = Some(metrics);
     }
 
     /// Restores a service from a previously exported
@@ -212,6 +225,7 @@ impl ShardedPipeline {
             shards,
             next_shard: state.next_shard % num_shards,
             indexed: state.indexed,
+            metrics: None,
         })
     }
 
@@ -266,7 +280,10 @@ impl ShardedPipeline {
     /// # Errors
     /// Returns [`Error::FieldCountMismatch`] on malformed records.
     pub fn index(&mut self, records: &[Record]) -> Result<()> {
+        let t0 = Instant::now();
         let embedded = self.schema.embed_all(records)?;
+        let embed = t0.elapsed();
+        let t1 = Instant::now();
         let n = self.shards.len();
         let mut batches: Vec<Vec<EmbeddedRecord>> = vec![Vec::new(); n];
         for rec in embedded {
@@ -282,6 +299,13 @@ impl ShardedPipeline {
             }
         }
         self.indexed += records.len();
+        if let Some(m) = &self.metrics {
+            m.embed.observe_duration(embed);
+            // Block-phase insertion happens asynchronously inside the shard
+            // workers; what the caller sees (and what we record) is the
+            // partition-and-dispatch cost.
+            m.block.observe_duration(t1.elapsed());
+        }
         Ok(())
     }
 
@@ -293,7 +317,10 @@ impl ShardedPipeline {
     /// Returns [`Error::FieldCountMismatch`] on malformed records, or an
     /// internal error if a shard worker died.
     pub fn link(&self, records: &[Record]) -> Result<(Vec<(u64, u64)>, MatchStats)> {
+        let t0 = Instant::now();
         let embedded = self.schema.embed_all(records)?;
+        let embed = t0.elapsed();
+        let t1 = Instant::now();
         let (reply_tx, reply_rx) = bounded(self.shards.len());
         for shard in &self.shards {
             shard
@@ -317,6 +344,12 @@ impl ShardedPipeline {
             stats.matched += s.matched;
         }
         matches.sort_unstable();
+        if let Some(m) = &self.metrics {
+            m.embed.observe_duration(embed);
+            // Fan-out + shard lookup + gather: the match phase as the
+            // caller experiences it.
+            m.matching.observe_duration(t1.elapsed());
+        }
         Ok((matches, stats))
     }
 

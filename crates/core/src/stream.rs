@@ -10,10 +10,12 @@
 use crate::blocking::BlockingPlan;
 use crate::error::Result;
 use crate::matcher::{match_record, Classifier, MatchStats, RecordStore};
-use crate::pipeline::LinkageConfig;
+use crate::pipeline::{LinkageConfig, PipelineMetrics};
 use crate::record::Record;
 use crate::schema::RecordSchema;
 use rand::Rng;
+use std::sync::Arc;
+use std::time::Instant;
 
 /// An online matcher: observe records one at a time, get matches against
 /// the history, and accumulate the record into the index.
@@ -25,6 +27,7 @@ pub struct StreamMatcher {
     classifier: Classifier,
     stats: MatchStats,
     observed: u64,
+    metrics: Option<Arc<PipelineMetrics>>,
 }
 
 impl StreamMatcher {
@@ -47,7 +50,15 @@ impl StreamMatcher {
             classifier,
             stats: MatchStats::default(),
             observed: 0,
+            metrics: None,
         })
+    }
+
+    /// Attaches phase-timing metrics: every subsequent
+    /// [`StreamMatcher::observe`] records its end-to-end latency into the
+    /// shared `observe` histogram.
+    pub fn attach_metrics(&mut self, metrics: Arc<PipelineMetrics>) {
+        self.metrics = Some(metrics);
     }
 
     /// Observes one record: returns the ids of previously seen records that
@@ -56,6 +67,7 @@ impl StreamMatcher {
     /// # Errors
     /// Returns [`crate::Error::FieldCountMismatch`] on malformed records.
     pub fn observe(&mut self, record: &Record) -> Result<Vec<u64>> {
+        let t0 = Instant::now();
         let embedded = self.schema.embed(record)?;
         let matches = match_record(
             &self.plan,
@@ -67,6 +79,9 @@ impl StreamMatcher {
         self.plan.insert(&embedded);
         self.store.insert(embedded);
         self.observed += 1;
+        if let Some(m) = &self.metrics {
+            m.observe.observe_duration(t0.elapsed());
+        }
         Ok(matches)
     }
 
@@ -126,11 +141,17 @@ impl SharedStreamMatcher {
         })
     }
 
+    /// Attaches phase-timing metrics (see [`StreamMatcher::attach_metrics`]).
+    pub fn attach_metrics(&self, metrics: Arc<PipelineMetrics>) {
+        self.inner.write().metrics = Some(metrics);
+    }
+
     /// Observes one record (see [`StreamMatcher::observe`]).
     ///
     /// # Errors
     /// Returns [`crate::Error::FieldCountMismatch`] on malformed records.
     pub fn observe(&self, record: &Record) -> Result<Vec<u64>> {
+        let t0 = Instant::now();
         // Match under the read path first, then upgrade to index. A record
         // observed concurrently in the gap is simply not matched against —
         // the same non-guarantee any per-arrival ordering has.
@@ -150,6 +171,9 @@ impl SharedStreamMatcher {
         inner.plan.insert(&embedded);
         inner.store.insert(embedded);
         inner.observed += 1;
+        if let Some(m) = &inner.metrics {
+            m.observe.observe_duration(t0.elapsed());
+        }
         Ok(matches)
     }
 

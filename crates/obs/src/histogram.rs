@@ -1,0 +1,445 @@
+//! Lock-free recording primitives: [`Counter`], [`Gauge`], and the
+//! log-linear [`Histogram`].
+//!
+//! All writes are relaxed atomic operations — safe to share across shard
+//! workers via `Arc` and cheap enough for per-request hot paths. Reads
+//! ([`Histogram::snapshot`]) are concurrent with writes and may observe a
+//! momentarily torn view (count recorded, sum not yet); the drift is one
+//! in-flight sample and irrelevant for monitoring.
+
+use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::time::Duration;
+
+/// A monotonically increasing event count.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// A counter at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A value that can move both ways (queue depth, indexed records).
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicI64);
+
+impl Gauge {
+    /// A gauge at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Replaces the value.
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Adds `n` (negative to decrease).
+    pub fn add(&self, n: i64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Linear sub-buckets per power of two: 2^SUB_BITS.
+const SUB_BITS: u32 = 2;
+const SUB: u64 = 1 << SUB_BITS;
+
+/// Total bucket count of the fixed log-linear scheme. Values `0..4` get
+/// exact buckets; every power of two `[2^e, 2^{e+1})` for `e ≥ 2` is split
+/// into four linear sub-buckets, up to `e = 63`.
+pub const NUM_BUCKETS: usize = (SUB + (64 - SUB_BITS as u64) * SUB) as usize;
+
+/// Bucket index for a value — a pure function of the value, identical in
+/// every histogram, which is what makes shard-merge exact.
+#[inline]
+fn bucket_index(v: u64) -> usize {
+    if v < SUB {
+        return v as usize;
+    }
+    let msb = 63 - u64::from(v.leading_zeros());
+    let sub = (v >> (msb - u64::from(SUB_BITS))) & (SUB - 1);
+    (SUB + (msb - u64::from(SUB_BITS)) * SUB + sub) as usize
+}
+
+/// Inclusive upper bound of bucket `i` (saturating at `u64::MAX`).
+pub fn bucket_upper_bound(i: usize) -> u64 {
+    if i < SUB as usize {
+        return i as u64;
+    }
+    let j = (i - SUB as usize) as u64;
+    let msb = (j / SUB) as u32 + SUB_BITS;
+    let sub = j % SUB;
+    let upper = (1u128 << msb) + u128::from(sub + 1) * (1u128 << (msb - SUB_BITS));
+    u64::try_from(upper - 1).unwrap_or(u64::MAX)
+}
+
+/// A lock-free latency histogram over fixed log-linear buckets.
+///
+/// Values are dimensionless `u64`s; the serving path records nanoseconds
+/// and exposes seconds (see [`crate::Unit`]). Recording is a few relaxed
+/// atomic adds; histograms with equal (i.e. any) boundaries merge exactly
+/// by adding bucket counts.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self {
+            buckets: (0..NUM_BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one value.
+    pub fn observe(&self, v: u64) {
+        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Records a duration in nanoseconds (saturating on the absurd).
+    pub fn observe_duration(&self, d: Duration) {
+        self.observe(u64::try_from(d.as_nanos()).unwrap_or(u64::MAX));
+    }
+
+    /// Samples recorded so far.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Adds every bucket of `other` into `self` — exact, because the
+    /// boundaries are fixed: the result equals a histogram that observed
+    /// the concatenation of both sample streams.
+    pub fn merge(&self, other: &Histogram) {
+        for (mine, theirs) in self.buckets.iter().zip(&other.buckets) {
+            let n = theirs.load(Ordering::Relaxed);
+            if n > 0 {
+                mine.fetch_add(n, Ordering::Relaxed);
+            }
+        }
+        self.count
+            .fetch_add(other.count.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.sum
+            .fetch_add(other.sum.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.max
+            .fetch_max(other.max.load(Ordering::Relaxed), Ordering::Relaxed);
+    }
+
+    /// A serializable copy of the current state (sparse: empty buckets are
+    /// omitted).
+    pub fn snapshot(&self) -> HistogramData {
+        let buckets = self
+            .buckets
+            .iter()
+            .enumerate()
+            .filter_map(|(i, b)| {
+                let n = b.load(Ordering::Relaxed);
+                (n > 0).then_some((i as u32, n))
+            })
+            .collect();
+        HistogramData {
+            count: self.count.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
+            max: self.max.load(Ordering::Relaxed),
+            buckets,
+        }
+    }
+}
+
+/// A point-in-time histogram state: sparse `(bucket index, count)` pairs
+/// plus exact count / sum / max. This is what crosses the wire in the
+/// `Metrics` reply and what quantiles are read from.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HistogramData {
+    /// Samples recorded.
+    pub count: u64,
+    /// Sum of all recorded values.
+    pub sum: u64,
+    /// Largest recorded value (exact, not bucketed).
+    pub max: u64,
+    /// Non-empty buckets as `(index, count)`, index ascending.
+    pub buckets: Vec<(u32, u64)>,
+}
+
+impl HistogramData {
+    /// The `q`-quantile (`0.0 ..= 1.0`) as the upper bound of the bucket
+    /// holding that rank, clamped to the exact observed maximum. Returns 0
+    /// for an empty histogram.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = (q.clamp(0.0, 1.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for &(i, n) in &self.buckets {
+            seen += n;
+            if seen >= rank {
+                return bucket_upper_bound(i as usize).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Arithmetic mean of the recorded values (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Merges another snapshot into this one (same fixed boundaries, so
+    /// the merge is exact).
+    pub fn merge(&mut self, other: &HistogramData) {
+        let mut merged: Vec<(u32, u64)> = Vec::with_capacity(self.buckets.len());
+        let (mut a, mut b) = (
+            self.buckets.iter().peekable(),
+            other.buckets.iter().peekable(),
+        );
+        loop {
+            match (a.peek(), b.peek()) {
+                (Some(&&(ia, na)), Some(&&(ib, nb))) => {
+                    if ia == ib {
+                        merged.push((ia, na + nb));
+                        a.next();
+                        b.next();
+                    } else if ia < ib {
+                        merged.push((ia, na));
+                        a.next();
+                    } else {
+                        merged.push((ib, nb));
+                        b.next();
+                    }
+                }
+                (Some(&&p), None) => {
+                    merged.push(p);
+                    a.next();
+                }
+                (None, Some(&&p)) => {
+                    merged.push(p);
+                    b.next();
+                }
+                (None, None) => break,
+            }
+        }
+        self.buckets = merged;
+        self.count += other.count;
+        // Wrapping, to agree exactly with the live histogram's atomic adds
+        // (relevant only for absurd value magnitudes, not real latencies).
+        self.sum = self.sum.wrapping_add(other.sum);
+        self.max = self.max.max(other.max);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::{RngExt, SeedableRng};
+
+    #[test]
+    fn counter_and_gauge_basics() {
+        let c = Counter::new();
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        let g = Gauge::new();
+        g.set(10);
+        g.add(-3);
+        assert_eq!(g.get(), 7);
+    }
+
+    #[test]
+    fn bucket_index_is_monotone_and_consistent_with_bounds() {
+        let mut prev = 0usize;
+        for e in 0..64u32 {
+            for off in [0u64, 1, (1u64 << e) / 3] {
+                let v = (1u64 << e).saturating_add(off);
+                let i = bucket_index(v);
+                assert!(i >= prev || v < SUB, "index not monotone at {v}");
+                prev = prev.max(i);
+                assert!(i < NUM_BUCKETS);
+                assert!(
+                    v <= bucket_upper_bound(i),
+                    "{v} above its bucket bound {}",
+                    bucket_upper_bound(i)
+                );
+                if i > 0 {
+                    assert!(v > bucket_upper_bound(i - 1), "{v} below previous bound");
+                }
+            }
+        }
+        assert_eq!(bucket_index(u64::MAX), NUM_BUCKETS - 1);
+        assert_eq!(bucket_upper_bound(NUM_BUCKETS - 1), u64::MAX);
+    }
+
+    #[test]
+    fn small_values_get_exact_buckets() {
+        for v in 0..SUB {
+            assert_eq!(bucket_index(v), v as usize);
+            assert_eq!(bucket_upper_bound(v as usize), v);
+        }
+    }
+
+    #[test]
+    fn quantiles_track_known_distribution() {
+        let h = Histogram::new();
+        for v in 1..=1000u64 {
+            h.observe(v * 1000); // 1µs .. 1ms in ns
+        }
+        let d = h.snapshot();
+        assert_eq!(d.count, 1000);
+        let p50 = d.quantile(0.5);
+        let p99 = d.quantile(0.99);
+        // Log-linear error is bounded by the sub-bucket width (≤ 25 %).
+        assert!((400_000..=650_000).contains(&p50), "p50 = {p50}");
+        assert!((950_000..=1_250_000).contains(&p99), "p99 = {p99}");
+        assert_eq!(d.quantile(1.0), 1_000_000); // clamped to exact max
+        assert_eq!(d.max, 1_000_000);
+        assert!((d.mean() - 500_500_f64 * 1000.0 / 1000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn empty_histogram_is_zeroes() {
+        let d = Histogram::new().snapshot();
+        assert_eq!(d.count, 0);
+        assert_eq!(d.quantile(0.5), 0);
+        assert_eq!(d.mean(), 0.0);
+        assert!(d.buckets.is_empty());
+    }
+
+    #[test]
+    fn concurrent_observes_lose_nothing() {
+        let h = std::sync::Arc::new(Histogram::new());
+        let threads: Vec<_> = (0..4)
+            .map(|t| {
+                let h = std::sync::Arc::clone(&h);
+                std::thread::spawn(move || {
+                    for i in 0..10_000u64 {
+                        h.observe(t * 1_000_000 + i);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        let d = h.snapshot();
+        assert_eq!(d.count, 40_000);
+        assert_eq!(d.buckets.iter().map(|&(_, n)| n).sum::<u64>(), 40_000);
+    }
+
+    proptest! {
+        /// The merge invariant the sharded serving path relies on: merging
+        /// shard-local histograms (live merge and snapshot merge alike)
+        /// yields exactly the bucket counts of a histogram that observed
+        /// the concatenated sample stream.
+        #[test]
+        fn merge_equals_concatenation(
+            seed in 0u64..200,
+            shards in 1usize..6,
+            per_shard in 0usize..300,
+        ) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let reference = Histogram::new();
+            let locals: Vec<Histogram> =
+                (0..shards).map(|_| Histogram::new()).collect();
+            for local in &locals {
+                for _ in 0..per_shard {
+                    // Span many octaves, like real latencies do.
+                    let v = rng.random_range(0u64..u64::MAX) >> rng.random_range(0u32..60);
+                    local.observe(v);
+                    reference.observe(v);
+                }
+            }
+            // Live merge into a fresh accumulator.
+            let live = Histogram::new();
+            for local in &locals {
+                live.merge(local);
+            }
+            prop_assert_eq!(live.snapshot(), reference.snapshot());
+            // Snapshot merge agrees with the live merge.
+            let mut snap = HistogramData::default();
+            for local in &locals {
+                snap.merge(&local.snapshot());
+            }
+            prop_assert_eq!(snap, reference.snapshot());
+        }
+    }
+
+    #[test]
+    fn merge_is_exact_not_approximate() {
+        // A targeted version of the property: values chosen to straddle
+        // bucket boundaries on different shards.
+        let a = Histogram::new();
+        let b = Histogram::new();
+        for v in [0, 1, 3, 4, 5, 7, 8, 1023, 1024, u64::MAX] {
+            a.observe(v);
+        }
+        for v in [2, 6, 1024, 1025, u64::MAX - 1] {
+            b.observe(v);
+        }
+        let all = Histogram::new();
+        for v in [
+            0,
+            1,
+            3,
+            4,
+            5,
+            7,
+            8,
+            1023,
+            1024,
+            u64::MAX,
+            2,
+            6,
+            1024,
+            1025,
+            u64::MAX - 1,
+        ] {
+            all.observe(v);
+        }
+        a.merge(&b);
+        assert_eq!(a.snapshot(), all.snapshot());
+    }
+}

@@ -1,0 +1,55 @@
+//! # rl-obs — observability primitives for the linkage service
+//!
+//! A dependency-free metrics layer: lock-free [`Counter`] / [`Gauge`]
+//! atomics, a mergeable log-linear latency [`Histogram`], a named
+//! [`Registry`], and a Prometheus text-format encoder
+//! ([`encode_prometheus`]).
+//!
+//! The paper's evaluation (Section 6) is built entirely on measured
+//! quality and wall-clock numbers; a production deployment of the same
+//! pipeline needs the live equivalents — request counts, latency
+//! distributions, queue saturation, and the Section 5.2 bucket-skew
+//! pathology — without perturbing the hot path it measures. Every write
+//! here is a handful of relaxed atomic operations; no locks are taken on
+//! the recording side.
+//!
+//! ## Histogram scheme
+//!
+//! Buckets are **log-linear with fixed boundaries**: each power of two is
+//! split into four linear sub-buckets (values 0–3 get exact buckets), for
+//! 252 buckets covering the full `u64` range. Because the boundaries are
+//! a pure function of the value — never adapted to the data — two
+//! histograms recorded on different shards (or different processes) merge
+//! by adding bucket counts, and the merge is *exact*: it equals the
+//! histogram of the concatenated samples. Quantiles are read from the
+//! merged counts with an error bounded by the sub-bucket width (≤ 25 % of
+//! the value, typically far less).
+//!
+//! ## Example
+//!
+//! ```
+//! use rl_obs::{Registry, Unit};
+//!
+//! let registry = Registry::new("rl");
+//! let requests = registry.counter("requests_total", "Requests served", &[("type", "probe")]);
+//! let latency = registry.histogram(
+//!     "request_seconds",
+//!     "Request latency",
+//!     &[("type", "probe")],
+//!     Unit::Seconds,
+//! );
+//! requests.inc();
+//! latency.observe(1_500_000); // nanoseconds
+//! let snapshot = registry.snapshot();
+//! assert_eq!(snapshot.counters[0].value, 1);
+//! let text = rl_obs::encode_prometheus(&snapshot);
+//! assert!(text.contains("rl_requests_total{type=\"probe\"} 1"));
+//! ```
+
+pub mod histogram;
+pub mod prometheus;
+pub mod registry;
+
+pub use histogram::{bucket_upper_bound, Counter, Gauge, Histogram, HistogramData, NUM_BUCKETS};
+pub use prometheus::encode_prometheus;
+pub use registry::{CounterPoint, GaugePoint, HistogramPoint, MetricsSnapshot, Registry, Unit};

@@ -1,0 +1,211 @@
+//! Prometheus text exposition format (version 0.0.4) encoder.
+//!
+//! Produces the `# HELP` / `# TYPE` / sample-line layout a Prometheus
+//! scraper ingests. Histograms registered with [`crate::Unit::Seconds`]
+//! are scaled from recorded nanoseconds to seconds (the Prometheus base
+//! unit); bucket lines are cumulative over the fixed log-linear
+//! boundaries, emitting only boundaries that separate non-empty buckets
+//! plus the mandatory `+Inf`.
+
+use crate::histogram::bucket_upper_bound;
+use crate::registry::{MetricsSnapshot, Unit};
+use std::fmt::Write;
+
+/// Escapes a label value per the exposition format.
+fn escape_label(v: &str) -> String {
+    v.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}
+
+/// Renders `{k="v",...}` (empty string when there are no labels).
+fn label_block(labels: &[(String, String)], extra: Option<(&str, &str)>) -> String {
+    let mut parts: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| format!("{k}=\"{}\"", escape_label(v)))
+        .collect();
+    if let Some((k, v)) = extra {
+        parts.push(format!("{k}=\"{}\"", escape_label(v)));
+    }
+    if parts.is_empty() {
+        String::new()
+    } else {
+        format!("{{{}}}", parts.join(","))
+    }
+}
+
+/// Formats a scaled value: integral counts stay integral, seconds get
+/// enough digits to be useful at nanosecond resolution.
+fn scaled(v: u64, unit: Unit) -> String {
+    match unit {
+        Unit::Count => v.to_string(),
+        Unit::Seconds => format!("{:.9}", v as f64 / 1e9),
+    }
+}
+
+/// Emits `# HELP` / `# TYPE` once per metric name (the format forbids
+/// repeating them when one name spans several label sets).
+fn header(out: &mut String, seen: &mut Vec<String>, name: &str, help: &str, kind: &str) {
+    if seen.iter().any(|s| s == name) {
+        return;
+    }
+    seen.push(name.to_string());
+    let _ = writeln!(out, "# HELP {name} {help}");
+    let _ = writeln!(out, "# TYPE {name} {kind}");
+}
+
+/// Encodes a snapshot in the Prometheus text exposition format.
+pub fn encode_prometheus(snapshot: &MetricsSnapshot) -> String {
+    let mut out = String::new();
+    let mut seen: Vec<String> = Vec::new();
+    for c in &snapshot.counters {
+        header(&mut out, &mut seen, &c.name, &c.help, "counter");
+        let _ = writeln!(
+            out,
+            "{}{} {}",
+            c.name,
+            label_block(&c.labels, None),
+            c.value
+        );
+    }
+    for g in &snapshot.gauges {
+        header(&mut out, &mut seen, &g.name, &g.help, "gauge");
+        let _ = writeln!(
+            out,
+            "{}{} {}",
+            g.name,
+            label_block(&g.labels, None),
+            g.value
+        );
+    }
+    for h in &snapshot.histograms {
+        header(&mut out, &mut seen, &h.name, &h.help, "histogram");
+        let mut cumulative = 0u64;
+        for &(i, n) in &h.data.buckets {
+            cumulative += n;
+            let le = scaled(bucket_upper_bound(i as usize), h.unit);
+            let _ = writeln!(
+                out,
+                "{}_bucket{} {cumulative}",
+                h.name,
+                label_block(&h.labels, Some(("le", &le)))
+            );
+        }
+        let _ = writeln!(
+            out,
+            "{}_bucket{} {}",
+            h.name,
+            label_block(&h.labels, Some(("le", "+Inf"))),
+            h.data.count
+        );
+        let _ = writeln!(
+            out,
+            "{}_sum{} {}",
+            h.name,
+            label_block(&h.labels, None),
+            scaled(h.data.sum, h.unit)
+        );
+        let _ = writeln!(
+            out,
+            "{}_count{} {}",
+            h.name,
+            label_block(&h.labels, None),
+            h.data.count
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::Registry;
+
+    /// A line-level validity check for the exposition format: every line
+    /// is a comment or `name{labels} value` with a parseable value.
+    pub fn assert_valid_exposition(text: &str) {
+        for line in text.lines() {
+            if line.starts_with('#') {
+                assert!(
+                    line.starts_with("# HELP ") || line.starts_with("# TYPE "),
+                    "bad comment line: {line}"
+                );
+                continue;
+            }
+            let (name_part, value) = line.rsplit_once(' ').expect("sample line needs a value");
+            let name = name_part.split('{').next().unwrap();
+            assert!(
+                !name.is_empty()
+                    && name
+                        .chars()
+                        .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':'),
+                "bad metric name in: {line}"
+            );
+            if name_part.contains('{') {
+                assert!(name_part.ends_with('}'), "unclosed label block: {line}");
+            }
+            assert!(
+                value == "+Inf" || value.parse::<f64>().is_ok(),
+                "unparseable value in: {line}"
+            );
+        }
+    }
+
+    #[test]
+    fn counter_gauge_histogram_exposition() {
+        let r = Registry::new("rl");
+        let c = r.counter("requests_total", "Requests served", &[("type", "probe")]);
+        let c2 = r.counter("requests_total", "Requests served", &[("type", "index")]);
+        let g = r.gauge("indexed_records", "Records indexed", &[]);
+        let h = r.histogram(
+            "request_seconds",
+            "Request latency",
+            &[("type", "probe")],
+            Unit::Seconds,
+        );
+        c.add(7);
+        c2.add(2);
+        g.set(1234);
+        h.observe(1_000_000); // 1ms
+        h.observe(2_000_000);
+        let text = encode_prometheus(&r.snapshot());
+        assert_valid_exposition(&text);
+        assert!(text.contains("# TYPE rl_requests_total counter"));
+        // HELP/TYPE emitted once even with two label sets.
+        assert_eq!(text.matches("# TYPE rl_requests_total").count(), 1);
+        assert!(text.contains("rl_requests_total{type=\"probe\"} 7"));
+        assert!(text.contains("rl_requests_total{type=\"index\"} 2"));
+        assert!(text.contains("rl_indexed_records 1234"));
+        assert!(text.contains("rl_request_seconds_count{type=\"probe\"} 2"));
+        assert!(text.contains("le=\"+Inf\"} 2"));
+        // Nanoseconds exposed as seconds.
+        assert!(text.contains("rl_request_seconds_sum{type=\"probe\"} 0.003000000"));
+    }
+
+    #[test]
+    fn bucket_lines_are_cumulative_and_bounded() {
+        let r = Registry::new("t");
+        let h = r.histogram("lat_seconds", "l", &[], Unit::Seconds);
+        for v in [10u64, 10, 100, 1_000, 1_000_000] {
+            h.observe(v);
+        }
+        let text = encode_prometheus(&r.snapshot());
+        assert_valid_exposition(&text);
+        let counts: Vec<u64> = text
+            .lines()
+            .filter(|l| l.contains("_bucket"))
+            .map(|l| l.rsplit_once(' ').unwrap().1.parse().unwrap())
+            .collect();
+        assert!(counts.windows(2).all(|w| w[0] <= w[1]), "{counts:?}");
+        assert_eq!(*counts.last().unwrap(), 5, "+Inf bucket holds the total");
+    }
+
+    #[test]
+    fn label_values_are_escaped() {
+        let r = Registry::new("t");
+        let c = r.counter("odd_total", "odd", &[("path", "a\"b\\c")]);
+        c.inc();
+        let text = encode_prometheus(&r.snapshot());
+        assert!(text.contains(r#"path="a\"b\\c""#), "{text}");
+    }
+}

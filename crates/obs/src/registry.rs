@@ -1,0 +1,267 @@
+//! The metrics registry: named, labelled metric handles plus serializable
+//! point-in-time snapshots.
+//!
+//! Registration happens once at startup and hands back `Arc` handles; the
+//! hot path touches only those handles (lock-free atomics). The registry's
+//! own lock is taken solely by `register`/`snapshot`, never by recording.
+
+use crate::histogram::{Counter, Gauge, Histogram, HistogramData};
+use serde::{Deserialize, Serialize};
+use std::sync::{Arc, RwLock};
+
+/// What a metric's `u64` values mean, so the Prometheus encoder can scale
+/// them to base units.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Unit {
+    /// Dimensionless counts; exposed verbatim.
+    Count,
+    /// Durations recorded in **nanoseconds**, exposed in **seconds**
+    /// (Prometheus base unit). Name such metrics `*_seconds`.
+    Seconds,
+}
+
+#[derive(Debug, Clone)]
+struct Desc {
+    name: String,
+    help: String,
+    labels: Vec<(String, String)>,
+    unit: Unit,
+}
+
+fn desc(name: &str, help: &str, labels: &[(&str, &str)], unit: Unit) -> Desc {
+    Desc {
+        name: name.to_string(),
+        help: help.to_string(),
+        labels: labels
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.to_string()))
+            .collect(),
+        unit,
+    }
+}
+
+#[derive(Default)]
+struct Inner {
+    counters: Vec<(Desc, Arc<Counter>)>,
+    gauges: Vec<(Desc, Arc<Gauge>)>,
+    histograms: Vec<(Desc, Arc<Histogram>)>,
+}
+
+/// A named collection of metrics with one shared name prefix.
+pub struct Registry {
+    prefix: String,
+    inner: RwLock<Inner>,
+}
+
+impl std::fmt::Debug for Registry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Registry")
+            .field("prefix", &self.prefix)
+            .finish()
+    }
+}
+
+impl Registry {
+    /// An empty registry; `prefix` (e.g. `"rl"`) is prepended to every
+    /// metric name as `<prefix>_<name>`.
+    pub fn new(prefix: &str) -> Self {
+        Self {
+            prefix: prefix.to_string(),
+            inner: RwLock::new(Inner::default()),
+        }
+    }
+
+    /// Registers (or re-registers under a new label set) a counter.
+    pub fn counter(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Arc<Counter> {
+        let handle = Arc::new(Counter::new());
+        let mut inner = self.inner.write().expect("registry poisoned");
+        inner
+            .counters
+            .push((desc(name, help, labels, Unit::Count), Arc::clone(&handle)));
+        handle
+    }
+
+    /// Registers a gauge.
+    pub fn gauge(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Arc<Gauge> {
+        let handle = Arc::new(Gauge::new());
+        let mut inner = self.inner.write().expect("registry poisoned");
+        inner
+            .gauges
+            .push((desc(name, help, labels, Unit::Count), Arc::clone(&handle)));
+        handle
+    }
+
+    /// Registers a histogram; `unit` controls Prometheus scaling.
+    pub fn histogram(
+        &self,
+        name: &str,
+        help: &str,
+        labels: &[(&str, &str)],
+        unit: Unit,
+    ) -> Arc<Histogram> {
+        let handle = Arc::new(Histogram::new());
+        let mut inner = self.inner.write().expect("registry poisoned");
+        inner
+            .histograms
+            .push((desc(name, help, labels, unit), Arc::clone(&handle)));
+        handle
+    }
+
+    /// A serializable point-in-time view of every registered metric, names
+    /// fully prefixed. This is the payload of the server's `Metrics` reply.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let inner = self.inner.read().expect("registry poisoned");
+        let full = |d: &Desc| format!("{}_{}", self.prefix, d.name);
+        MetricsSnapshot {
+            counters: inner
+                .counters
+                .iter()
+                .map(|(d, c)| CounterPoint {
+                    name: full(d),
+                    help: d.help.clone(),
+                    labels: d.labels.clone(),
+                    value: c.get(),
+                })
+                .collect(),
+            gauges: inner
+                .gauges
+                .iter()
+                .map(|(d, g)| GaugePoint {
+                    name: full(d),
+                    help: d.help.clone(),
+                    labels: d.labels.clone(),
+                    value: g.get(),
+                })
+                .collect(),
+            histograms: inner
+                .histograms
+                .iter()
+                .map(|(d, h)| HistogramPoint {
+                    name: full(d),
+                    help: d.help.clone(),
+                    labels: d.labels.clone(),
+                    unit: d.unit,
+                    data: h.snapshot(),
+                })
+                .collect(),
+        }
+    }
+}
+
+/// One counter sample.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CounterPoint {
+    /// Fully prefixed metric name.
+    pub name: String,
+    /// Help text.
+    pub help: String,
+    /// Label pairs, registration order.
+    pub labels: Vec<(String, String)>,
+    /// Current value.
+    pub value: u64,
+}
+
+/// One gauge sample.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GaugePoint {
+    /// Fully prefixed metric name.
+    pub name: String,
+    /// Help text.
+    pub help: String,
+    /// Label pairs, registration order.
+    pub labels: Vec<(String, String)>,
+    /// Current value.
+    pub value: i64,
+}
+
+/// One histogram sample.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HistogramPoint {
+    /// Fully prefixed metric name.
+    pub name: String,
+    /// Help text.
+    pub help: String,
+    /// Label pairs, registration order.
+    pub labels: Vec<(String, String)>,
+    /// Value unit (drives Prometheus scaling).
+    pub unit: Unit,
+    /// Bucket counts and aggregates.
+    pub data: HistogramData,
+}
+
+/// Everything a `Metrics` request returns: the full registry, one point
+/// per metric × label set. Serializable over the NDJSON protocol.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct MetricsSnapshot {
+    /// Counter samples.
+    pub counters: Vec<CounterPoint>,
+    /// Gauge samples.
+    pub gauges: Vec<GaugePoint>,
+    /// Histogram samples.
+    pub histograms: Vec<HistogramPoint>,
+}
+
+impl MetricsSnapshot {
+    /// The first counter with this fully prefixed name and label value
+    /// (any key), if registered.
+    pub fn counter_value(&self, name: &str, label_value: Option<&str>) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|c| {
+                c.name == name && label_value.is_none_or(|v| c.labels.iter().any(|(_, lv)| lv == v))
+            })
+            .map(|c| c.value)
+    }
+
+    /// The first histogram with this fully prefixed name and label value
+    /// (any key), if registered.
+    pub fn histogram_data(&self, name: &str, label_value: Option<&str>) -> Option<&HistogramPoint> {
+        self.histograms.iter().find(|h| {
+            h.name == name && label_value.is_none_or(|v| h.labels.iter().any(|(_, lv)| lv == v))
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_snapshot_reflects_recordings() {
+        let r = Registry::new("rl");
+        let c = r.counter("requests_total", "requests", &[("type", "probe")]);
+        let g = r.gauge("indexed_records", "indexed", &[]);
+        let h = r.histogram(
+            "request_seconds",
+            "latency",
+            &[("type", "probe")],
+            Unit::Seconds,
+        );
+        c.add(3);
+        g.set(42);
+        h.observe(1_000);
+        h.observe(2_000);
+        let s = r.snapshot();
+        assert_eq!(s.counter_value("rl_requests_total", Some("probe")), Some(3));
+        assert_eq!(s.counter_value("rl_requests_total", Some("index")), None);
+        assert_eq!(s.gauges[0].value, 42);
+        let hp = s
+            .histogram_data("rl_request_seconds", Some("probe"))
+            .unwrap();
+        assert_eq!(hp.data.count, 2);
+        assert_eq!(hp.unit, Unit::Seconds);
+    }
+
+    #[test]
+    fn snapshot_roundtrips_through_json() {
+        let r = Registry::new("rl");
+        let c = r.counter("requests_total", "requests", &[("type", "stats")]);
+        let h = r.histogram("exec_seconds", "exec", &[("type", "stats")], Unit::Seconds);
+        c.inc();
+        h.observe(123_456);
+        let s = r.snapshot();
+        let json = serde_json::to_string(&s).unwrap();
+        let back: MetricsSnapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, s);
+    }
+}

@@ -3,18 +3,27 @@
 //! One [`Client`] owns one TCP connection; requests are synchronous
 //! (send one line, read one line). The connection is persistent, so a
 //! client can issue many requests without reconnecting.
+//!
+//! Every socket operation carries a timeout (default
+//! [`Client::DEFAULT_TIMEOUT`]): a server that accepts the connection but
+//! never answers — or stalls mid-reply — surfaces as a typed
+//! [`ClientError::Timeout`] instead of hanging the caller forever.
 
 use crate::protocol::{Reply, Request, RequestError, Response, StatsReply};
 use cbv_hb::matcher::MatchStats;
 use cbv_hb::Record;
-use std::io::{BufRead, BufReader, Write};
+use std::io::{BufRead, BufReader, ErrorKind, Write};
 use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
 
 /// Client-side failures.
 #[derive(Debug)]
 pub enum ClientError {
     /// Connection or socket failure.
     Io(std::io::Error),
+    /// The server did not answer (or finish answering) within the
+    /// configured timeout.
+    Timeout,
     /// The server's response line was not valid protocol JSON, or the
     /// reply kind did not match the request.
     Protocol(String),
@@ -26,6 +35,7 @@ impl std::fmt::Display for ClientError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             ClientError::Io(e) => write!(f, "connection: {e}"),
+            ClientError::Timeout => write!(f, "timed out waiting for the server"),
             ClientError::Protocol(msg) => write!(f, "protocol: {msg}"),
             ClientError::Server(e) => write!(f, "server: {e}"),
         }
@@ -36,7 +46,13 @@ impl std::error::Error for ClientError {}
 
 impl From<std::io::Error> for ClientError {
     fn from(e: std::io::Error) -> Self {
-        ClientError::Io(e)
+        // WouldBlock is what a socket read/write timeout surfaces as on
+        // Unix; TimedOut on Windows (and from connect_timeout).
+        if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) {
+            ClientError::Timeout
+        } else {
+            ClientError::Io(e)
+        }
     }
 }
 
@@ -47,18 +63,48 @@ pub struct Client {
 }
 
 impl Client {
-    /// Connects to a running server.
+    /// Default read/write timeout for [`Client::connect`].
+    pub const DEFAULT_TIMEOUT: Duration = Duration::from_secs(30);
+
+    /// Connects to a running server with [`Self::DEFAULT_TIMEOUT`] on
+    /// reads and writes.
     ///
     /// # Errors
     /// Returns [`ClientError::Io`] when the connection cannot be made.
     pub fn connect<A: ToSocketAddrs>(addr: A) -> Result<Self, ClientError> {
+        Self::connect_with_timeout(addr, Some(Self::DEFAULT_TIMEOUT))
+    }
+
+    /// Connects with an explicit per-operation read/write timeout
+    /// (`None` disables timeouts and restores the old block-forever
+    /// behaviour).
+    ///
+    /// # Errors
+    /// Returns [`ClientError::Io`] when the connection cannot be made.
+    pub fn connect_with_timeout<A: ToSocketAddrs>(
+        addr: A,
+        timeout: Option<Duration>,
+    ) -> Result<Self, ClientError> {
         let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true).ok();
+        stream.set_read_timeout(timeout)?;
+        stream.set_write_timeout(timeout)?;
         let writer = stream.try_clone()?;
         Ok(Self {
             reader: BufReader::new(stream),
             writer,
         })
+    }
+
+    /// Changes the per-operation timeout on the live connection.
+    ///
+    /// # Errors
+    /// Returns [`ClientError::Io`] if the socket rejects the setting.
+    pub fn set_timeout(&mut self, timeout: Option<Duration>) -> Result<(), ClientError> {
+        let stream = self.reader.get_ref();
+        stream.set_read_timeout(timeout)?;
+        stream.set_write_timeout(timeout)?;
+        Ok(())
     }
 
     /// Sends one request and reads its reply. Exposed so callers can
@@ -149,6 +195,18 @@ impl Client {
         match self.call(&Request::Stats)? {
             Reply::Stats(stats) => Ok(stats),
             other => Err(unexpected("Stats", &other)),
+        }
+    }
+
+    /// Full metrics snapshot (protocol v3): request counters and latency
+    /// histograms, renderable with [`rl_obs::encode_prometheus`].
+    ///
+    /// # Errors
+    /// See [`Self::call`].
+    pub fn metrics(&mut self) -> Result<rl_obs::MetricsSnapshot, ClientError> {
+        match self.call(&Request::Metrics)? {
+            Reply::Metrics(snapshot) => Ok(snapshot),
+            other => Err(unexpected("Metrics", &other)),
         }
     }
 

@@ -10,12 +10,15 @@
 //! ## Pieces
 //!
 //! - [`protocol`] — the request/response wire types (`Index`, `Probe`,
-//!   `Stream`, `DedupStatus`, `Stats`, `Snapshot`, `Shutdown`).
+//!   `Stream`, `DedupStatus`, `Stats`, `Metrics`, `Snapshot`, `Shutdown`).
 //! - [`server`] — [`Server`]: accept loop, bounded worker pool with typed
 //!   backpressure, graceful drain on shutdown.
+//! - [`metrics`] — [`ServerMetrics`]: per-request-type counters and
+//!   queue-wait / execution latency histograms, Prometheus-exposable.
 //! - [`snapshot`] — [`Snapshot`]: atomic (temp + rename), versioned
 //!   (magic + format version + schema hash) index persistence.
-//! - [`client`] — [`Client`]: a typed synchronous client.
+//! - [`client`] — [`Client`]: a typed synchronous client with read/write
+//!   timeouts.
 //!
 //! ## Loopback example
 //!
@@ -50,11 +53,13 @@
 //! ```
 
 pub mod client;
+pub mod metrics;
 pub mod protocol;
 pub mod server;
 pub mod snapshot;
 
 pub use client::{Client, ClientError};
+pub use metrics::{ReqType, ServerMetrics};
 pub use protocol::{
     ErrorCode, Reply, Request, RequestError, Response, StatsReply, PROTOCOL_VERSION,
 };

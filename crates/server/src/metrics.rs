@@ -1,0 +1,251 @@
+//! Server-side observability: per-request-type counters and latency
+//! histograms, merged with the pipeline's phase timers in one registry.
+//!
+//! Every request's latency is split into **queue wait** (enqueue →
+//! worker pickup, a direct saturation signal) and **execution** (worker
+//! time inside the linkage engine). Both are recorded per request type
+//! into `rl-obs` log-linear histograms, so shard- or replica-level
+//! snapshots merge exactly. The whole registry is served by the
+//! `Metrics` request (protocol v3) and renders to Prometheus text via
+//! [`rl_obs::encode_prometheus`]. See `docs/OBSERVABILITY.md`.
+
+use crate::protocol::Request;
+use cbv_hb::pipeline::PipelineMetrics;
+use rl_obs::{Counter, Gauge, Histogram, MetricsSnapshot, Registry, Unit};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// The request types tracked by per-type metrics, in label order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReqType {
+    /// `Index` requests.
+    Index,
+    /// `Probe` requests.
+    Probe,
+    /// `Stream` requests.
+    Stream,
+    /// `DedupStatus` requests.
+    DedupStatus,
+    /// `Stats` requests.
+    Stats,
+    /// `Metrics` requests.
+    Metrics,
+    /// `Snapshot` requests.
+    Snapshot,
+    /// `Shutdown` requests (handled inline, so they never acquire
+    /// queue-wait samples; the counter still tracks them).
+    Shutdown,
+}
+
+/// All request types, in the order used for per-type metric arrays.
+pub const REQ_TYPES: [ReqType; 8] = [
+    ReqType::Index,
+    ReqType::Probe,
+    ReqType::Stream,
+    ReqType::DedupStatus,
+    ReqType::Stats,
+    ReqType::Metrics,
+    ReqType::Snapshot,
+    ReqType::Shutdown,
+];
+
+impl ReqType {
+    /// The `type` label value for this request type.
+    pub fn label(self) -> &'static str {
+        match self {
+            ReqType::Index => "index",
+            ReqType::Probe => "probe",
+            ReqType::Stream => "stream",
+            ReqType::DedupStatus => "dedup_status",
+            ReqType::Stats => "stats",
+            ReqType::Metrics => "metrics",
+            ReqType::Snapshot => "snapshot",
+            ReqType::Shutdown => "shutdown",
+        }
+    }
+
+    /// Classifies a wire request.
+    pub fn of(request: &Request) -> Self {
+        match request {
+            Request::Index { .. } => ReqType::Index,
+            Request::Probe { .. } => ReqType::Probe,
+            Request::Stream { .. } => ReqType::Stream,
+            Request::DedupStatus => ReqType::DedupStatus,
+            Request::Stats => ReqType::Stats,
+            Request::Metrics => ReqType::Metrics,
+            Request::Snapshot { .. } => ReqType::Snapshot,
+            Request::Shutdown => ReqType::Shutdown,
+        }
+    }
+
+    fn idx(self) -> usize {
+        REQ_TYPES
+            .iter()
+            .position(|t| *t == self)
+            .expect("every ReqType is in REQ_TYPES")
+    }
+}
+
+/// The server's metric handles, one registry per server.
+pub struct ServerMetrics {
+    registry: Registry,
+    requests: Vec<Arc<Counter>>,
+    errors: Vec<Arc<Counter>>,
+    queue_wait: Vec<Arc<Histogram>>,
+    exec: Vec<Arc<Histogram>>,
+    /// Requests rejected with `Backpressure` (no type: they are counted
+    /// before the request is executed).
+    pub rejected_backpressure: Arc<Counter>,
+    /// Requests slower end-to-end than the configured threshold.
+    pub slow_requests: Arc<Counter>,
+    /// Records currently indexed (restored + indexed + streamed).
+    pub indexed_records: Arc<Gauge>,
+    /// Records observed through `Stream` since startup (or restore).
+    pub streamed_records: Arc<Gauge>,
+    /// Pipeline phase timers (embed / block / match, stream observe),
+    /// shared with the `ShardedPipeline` so shard workers record into
+    /// the same histograms.
+    pub pipeline: Arc<PipelineMetrics>,
+}
+
+impl ServerMetrics {
+    /// Builds the registry (prefix `rl`) and registers every metric.
+    pub fn new() -> Arc<Self> {
+        let registry = Registry::new("rl");
+        let per_type = |name: &str, help: &str| -> Vec<Arc<Counter>> {
+            REQ_TYPES
+                .iter()
+                .map(|t| registry.counter(name, help, &[("type", t.label())]))
+                .collect()
+        };
+        let per_type_hist = |name: &str, help: &str| -> Vec<Arc<Histogram>> {
+            REQ_TYPES
+                .iter()
+                .map(|t| registry.histogram(name, help, &[("type", t.label())], Unit::Seconds))
+                .collect()
+        };
+        let requests = per_type("requests_total", "Requests executed, by type");
+        let errors = per_type(
+            "request_errors_total",
+            "Requests answered with an error, by type",
+        );
+        let queue_wait = per_type_hist(
+            "request_queue_wait_seconds",
+            "Time from enqueue to worker pickup",
+        );
+        let exec = per_type_hist(
+            "request_exec_seconds",
+            "Worker execution time (queue wait excluded)",
+        );
+        let rejected_backpressure = registry.counter(
+            "rejected_backpressure_total",
+            "Requests rejected because the work queue was full",
+            &[],
+        );
+        let slow_requests = registry.counter(
+            "slow_requests_total",
+            "Requests slower end-to-end than the slow-request threshold",
+            &[],
+        );
+        let indexed_records = registry.gauge("indexed_records", "Records in the index", &[]);
+        let streamed_records =
+            registry.gauge("streamed_records", "Records observed via Stream", &[]);
+        let pipeline = PipelineMetrics::register(&registry);
+        Arc::new(Self {
+            registry,
+            requests,
+            errors,
+            queue_wait,
+            exec,
+            rejected_backpressure,
+            slow_requests,
+            indexed_records,
+            streamed_records,
+            pipeline,
+        })
+    }
+
+    /// One executed request: bumps the type's counter (and its error
+    /// counter when `ok` is false) and records both latency phases.
+    pub fn record_request(&self, rtype: ReqType, queue_wait: Duration, exec: Duration, ok: bool) {
+        let i = rtype.idx();
+        self.requests[i].inc();
+        if !ok {
+            self.errors[i].inc();
+        }
+        self.queue_wait[i].observe_duration(queue_wait);
+        self.exec[i].observe_duration(exec);
+    }
+
+    /// Point-in-time view of every metric (the `Metrics` reply payload).
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        self.registry.snapshot()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn req_type_labels_are_unique_and_ordered() {
+        let labels: Vec<&str> = REQ_TYPES.iter().map(|t| t.label()).collect();
+        let mut dedup = labels.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), labels.len(), "duplicate label");
+        for (i, t) in REQ_TYPES.iter().enumerate() {
+            assert_eq!(t.idx(), i);
+        }
+    }
+
+    #[test]
+    fn record_request_updates_counters_and_histograms() {
+        let m = ServerMetrics::new();
+        m.record_request(
+            ReqType::Probe,
+            Duration::from_micros(50),
+            Duration::from_millis(2),
+            true,
+        );
+        m.record_request(
+            ReqType::Probe,
+            Duration::from_micros(10),
+            Duration::from_millis(1),
+            false,
+        );
+        m.record_request(
+            ReqType::Stats,
+            Duration::ZERO,
+            Duration::from_micros(3),
+            true,
+        );
+        let s = m.snapshot();
+        assert_eq!(s.counter_value("rl_requests_total", Some("probe")), Some(2));
+        assert_eq!(s.counter_value("rl_requests_total", Some("stats")), Some(1));
+        assert_eq!(s.counter_value("rl_requests_total", Some("index")), Some(0));
+        assert_eq!(
+            s.counter_value("rl_request_errors_total", Some("probe")),
+            Some(1)
+        );
+        let exec = s
+            .histogram_data("rl_request_exec_seconds", Some("probe"))
+            .unwrap();
+        assert_eq!(exec.data.count, 2);
+        let wait = s
+            .histogram_data("rl_request_queue_wait_seconds", Some("probe"))
+            .unwrap();
+        assert_eq!(wait.data.count, 2);
+    }
+
+    #[test]
+    fn request_classification_covers_every_variant() {
+        assert_eq!(ReqType::of(&Request::Metrics), ReqType::Metrics);
+        assert_eq!(ReqType::of(&Request::Stats), ReqType::Stats);
+        assert_eq!(
+            ReqType::of(&Request::Probe { records: vec![] }),
+            ReqType::Probe
+        );
+        assert_eq!(ReqType::of(&Request::Shutdown), ReqType::Shutdown);
+    }
+}

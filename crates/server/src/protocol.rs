@@ -14,8 +14,10 @@ use serde::{Deserialize, Serialize};
 /// Protocol version spoken by this build (bumped on breaking changes;
 /// reported in [`StatsReply`]). Version 2 added the `blocking` section to
 /// the Stats reply (backend tag, `L`, key width, bucket occupancy per
-/// structure).
-pub const PROTOCOL_VERSION: u32 = 2;
+/// structure). Version 3 added the `Metrics` request, returning the
+/// server's merged metrics registry (counters, gauges, and mergeable
+/// latency histograms); `Stats` and the snapshot format are unchanged.
+pub const PROTOCOL_VERSION: u32 = 3;
 
 /// A client request.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -31,6 +33,10 @@ pub enum Request {
     DedupStatus,
     /// Service counters and configuration.
     Stats,
+    /// Full metrics snapshot: request counters, gauges, and latency
+    /// histograms (queue-wait / execution split, pipeline phases), merged
+    /// across workers and shards. Protocol version 3+.
+    Metrics,
     /// Persist the index to the server's snapshot path (or an explicit
     /// override) atomically.
     Snapshot { path: Option<String> },
@@ -127,6 +133,10 @@ pub enum Reply {
     },
     /// Response to `Stats`.
     Stats(StatsReply),
+    /// Response to `Metrics`: the server's metrics registry at snapshot
+    /// time. Histogram bucket boundaries are the fixed log-linear scheme
+    /// of `rl-obs`, so snapshots from different servers merge exactly.
+    Metrics(rl_obs::MetricsSnapshot),
     /// Response to `Snapshot`.
     Snapshotted {
         /// Where the snapshot was written.
@@ -200,6 +210,7 @@ mod tests {
             },
             Request::DedupStatus,
             Request::Stats,
+            Request::Metrics,
             Request::Snapshot {
                 path: Some("/tmp/x.snap".into()),
             },
@@ -222,6 +233,7 @@ mod tests {
                 stats: MatchStats::default(),
             }),
             Response::Err(RequestError::new(ErrorCode::Backpressure, "queue full")),
+            Response::Ok(Reply::Metrics(rl_obs::MetricsSnapshot::default())),
         ];
         for resp in resps {
             let line = serde_json::to_string(&resp).unwrap();

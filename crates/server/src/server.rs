@@ -19,6 +19,7 @@
 //! `Shutdown` stops the accept loop, lets connection threads finish their
 //! in-flight request, drains the queue, and joins the workers.
 
+use crate::metrics::{ReqType, ServerMetrics};
 use crate::protocol::{
     ErrorCode, Reply, Request, RequestError, Response, StatsReply, PROTOCOL_VERSION,
 };
@@ -48,6 +49,10 @@ pub struct ServerConfig {
     /// Where `Snapshot` requests persist the index by default, and where
     /// the server snapshots once more during shutdown.
     pub snapshot_path: Option<PathBuf>,
+    /// Requests slower end-to-end (queue wait + execution) than this are
+    /// logged with their latency split and counted in
+    /// `rl_slow_requests_total`. `None` disables slow-request logging.
+    pub slow_request_threshold: Option<Duration>,
 }
 
 impl Default for ServerConfig {
@@ -57,6 +62,7 @@ impl Default for ServerConfig {
             workers: 2,
             queue_capacity: 64,
             snapshot_path: None,
+            slow_request_threshold: Some(Duration::from_secs(1)),
         }
     }
 }
@@ -75,6 +81,9 @@ struct ServerState {
 struct Job {
     request: Request,
     reply: Sender<Response>,
+    /// When the connection thread enqueued the job; the gap to worker
+    /// pickup is the queue-wait phase of the latency split.
+    enqueued: Instant,
 }
 
 struct Inner {
@@ -85,6 +94,7 @@ struct Inner {
     requests_served: AtomicU64,
     rejected_backpressure: AtomicU64,
     local_addr: SocketAddr,
+    metrics: Arc<ServerMetrics>,
 }
 
 /// A running linkage service. Dropping the handle does not stop the
@@ -114,7 +124,7 @@ impl Server {
     /// # Errors
     /// Returns I/O errors from binding the address.
     pub fn spawn_with_history(
-        pipeline: ShardedPipeline,
+        mut pipeline: ShardedPipeline,
         stream_pairs: Vec<(u64, u64)>,
         streamed: u64,
         config: ServerConfig,
@@ -125,6 +135,10 @@ impl Server {
         for &(a, b) in &stream_pairs {
             dedup.union(a, b);
         }
+        let metrics = ServerMetrics::new();
+        pipeline.attach_metrics(Arc::clone(&metrics.pipeline));
+        metrics.indexed_records.set(pipeline.indexed_len() as i64);
+        metrics.streamed_records.set(streamed as i64);
         let workers = config.workers.max(1);
         let queue_capacity = config.queue_capacity.max(1);
         let inner = Arc::new(Inner {
@@ -140,6 +154,7 @@ impl Server {
             requests_served: AtomicU64::new(0),
             rejected_backpressure: AtomicU64::new(0),
             local_addr,
+            metrics,
         });
 
         let (job_tx, job_rx) = bounded::<Job>(queue_capacity);
@@ -331,11 +346,13 @@ fn dispatch_line(inner: &Arc<Inner>, job_tx: &Sender<Job>, line: &str) -> Respon
     let job = Job {
         request,
         reply: reply_tx,
+        enqueued: Instant::now(),
     };
     match job_tx.try_send(job) {
         Ok(()) => {}
         Err(TrySendError::Full(_)) => {
             inner.rejected_backpressure.fetch_add(1, Ordering::Relaxed);
+            inner.metrics.rejected_backpressure.inc();
             return Response::Err(RequestError::new(
                 ErrorCode::Backpressure,
                 format!(
@@ -362,8 +379,28 @@ fn dispatch_line(inner: &Arc<Inner>, job_tx: &Sender<Job>, line: &str) -> Respon
 
 fn worker_loop(inner: &Arc<Inner>, rx: &Receiver<Job>) {
     while let Ok(job) = rx.recv() {
+        let queue_wait = job.enqueued.elapsed();
+        let rtype = ReqType::of(&job.request);
+        let t0 = Instant::now();
         let response = execute(inner, job.request);
+        let exec = t0.elapsed();
         inner.requests_served.fetch_add(1, Ordering::Relaxed);
+        inner
+            .metrics
+            .record_request(rtype, queue_wait, exec, matches!(response, Response::Ok(_)));
+        if let Some(threshold) = inner.config.slow_request_threshold {
+            let total = queue_wait + exec;
+            if total >= threshold {
+                inner.metrics.slow_requests.inc();
+                eprintln!(
+                    "rl-server: slow request type={} total={:.1}ms queue_wait={:.1}ms exec={:.1}ms",
+                    rtype.label(),
+                    total.as_secs_f64() * 1e3,
+                    queue_wait.as_secs_f64() * 1e3,
+                    exec.as_secs_f64() * 1e3,
+                );
+            }
+        }
         let _ = job.reply.send(response);
     }
 }
@@ -373,10 +410,14 @@ fn execute(inner: &Arc<Inner>, request: Request) -> Response {
         Request::Index { records } => {
             let mut state = inner.state.write();
             match state.pipeline.index(&records) {
-                Ok(()) => Response::Ok(Reply::Indexed {
-                    accepted: records.len(),
-                    total_indexed: state.pipeline.indexed_len(),
-                }),
+                Ok(()) => {
+                    let total_indexed = state.pipeline.indexed_len();
+                    inner.metrics.indexed_records.set(total_indexed as i64);
+                    Response::Ok(Reply::Indexed {
+                        accepted: records.len(),
+                        total_indexed,
+                    })
+                }
                 Err(e) => Response::Err(RequestError::new(ErrorCode::Linkage, e.to_string())),
             }
         }
@@ -389,8 +430,24 @@ fn execute(inner: &Arc<Inner>, request: Request) -> Response {
         }
         Request::Stream { record } => {
             let mut state = inner.state.write();
+            let t0 = Instant::now();
             match observe(&mut state, &record) {
-                Ok(matches) => Response::Ok(Reply::Observed { matches }),
+                Ok(matches) => {
+                    // Same histogram StreamMatcher::observe records into:
+                    // one streaming round (match + index), whatever engine
+                    // runs it.
+                    inner
+                        .metrics
+                        .pipeline
+                        .observe
+                        .observe_duration(t0.elapsed());
+                    inner.metrics.streamed_records.set(state.streamed as i64);
+                    inner
+                        .metrics
+                        .indexed_records
+                        .set(state.pipeline.indexed_len() as i64);
+                    Response::Ok(Reply::Observed { matches })
+                }
                 Err(e) => Response::Err(RequestError::new(ErrorCode::Linkage, e.to_string())),
             }
         }
@@ -418,6 +475,7 @@ fn execute(inner: &Arc<Inner>, request: Request) -> Response {
                 blocking,
             }))
         }
+        Request::Metrics => Response::Ok(Reply::Metrics(inner.metrics.snapshot())),
         Request::Snapshot { path } => {
             let target = path
                 .map(PathBuf::from)

@@ -9,13 +9,19 @@
 //!
 //! Writes are atomic: the document is written to a sibling temp file and
 //! `rename`d over the destination, so a crash mid-write never corrupts an
-//! existing snapshot.
+//! existing snapshot. A writer that crashes *before* the rename leaves its
+//! `<name>.tmp-<pid>-<seq>` sibling behind; the next successful [`Snapshot::save`]
+//! to the same path sweeps such stale temps (only files matching the temp
+//! naming pattern for that snapshot, and never one another in-process
+//! writer still has in flight).
 
 use cbv_hb::sharded::ShardedState;
 use cbv_hb::RecordSchema;
 use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
 use std::io::Write;
-use std::path::Path;
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
 
 /// Format magic: identifies a file as an rl-server snapshot.
 pub const SNAPSHOT_MAGIC: &str = "RLSNAP1";
@@ -111,17 +117,25 @@ impl Snapshot {
     pub fn save(&self, path: &Path) -> Result<(), SnapshotError> {
         let json = serde_json::to_string(self).map_err(|e| SnapshotError::Serde(e.to_string()))?;
         let tmp = temp_sibling(path);
-        {
-            let mut file = std::fs::File::create(&tmp)?;
-            file.write_all(json.as_bytes())?;
-            file.write_all(b"\n")?;
-            file.sync_all()?;
+        in_flight().lock().unwrap().insert(tmp.clone());
+        let result = (|| -> Result<(), SnapshotError> {
+            {
+                let mut file = std::fs::File::create(&tmp)?;
+                file.write_all(json.as_bytes())?;
+                file.write_all(b"\n")?;
+                file.sync_all()?;
+            }
+            if let Err(e) = std::fs::rename(&tmp, path) {
+                let _ = std::fs::remove_file(&tmp);
+                return Err(e.into());
+            }
+            Ok(())
+        })();
+        in_flight().lock().unwrap().remove(&tmp);
+        if result.is_ok() {
+            sweep_stale_temps(path);
         }
-        if let Err(e) = std::fs::rename(&tmp, path) {
-            let _ = std::fs::remove_file(&tmp);
-            return Err(e.into());
-        }
-        Ok(())
+        result
     }
 
     /// Loads and validates a snapshot: magic, version, and schema hash
@@ -167,12 +181,78 @@ impl Snapshot {
 fn temp_sibling(path: &Path) -> std::path::PathBuf {
     static TEMP_SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
     let seq = TEMP_SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-    let mut name = path
-        .file_name()
-        .map(|n| n.to_string_lossy().into_owned())
-        .unwrap_or_else(|| "snapshot".to_string());
+    let mut name = snapshot_file_name(path);
     name.push_str(&format!(".tmp-{}-{seq}", std::process::id()));
     path.with_file_name(name)
+}
+
+fn snapshot_file_name(path: &Path) -> String {
+    path.file_name()
+        .map(|n| n.to_string_lossy().into_owned())
+        .unwrap_or_else(|| "snapshot".to_string())
+}
+
+/// Temp paths this process is currently writing. The sweep must skip them:
+/// `Snapshot` requests run under a read lock, so two in-process saves to
+/// the same path can overlap, and a finishing save must not delete the
+/// other's half-written temp.
+fn in_flight() -> &'static Mutex<HashSet<PathBuf>> {
+    static IN_FLIGHT: std::sync::OnceLock<Mutex<HashSet<PathBuf>>> = std::sync::OnceLock::new();
+    IN_FLIGHT.get_or_init(|| Mutex::new(HashSet::new()))
+}
+
+/// True when `candidate` is `<snapshot-name>.tmp-<digits>-<digits>` — the
+/// exact shape [`temp_sibling`] produces for this snapshot. Anything else
+/// (the snapshot itself, other snapshots' temps, unrelated files) is left
+/// alone.
+fn is_stale_temp_name(candidate: &str, snapshot_name: &str) -> bool {
+    let Some(rest) = candidate
+        .strip_prefix(snapshot_name)
+        .and_then(|r| r.strip_prefix(".tmp-"))
+    else {
+        return false;
+    };
+    let mut parts = rest.splitn(2, '-');
+    let (Some(pid), Some(seq)) = (parts.next(), parts.next()) else {
+        return false;
+    };
+    !pid.is_empty()
+        && !seq.is_empty()
+        && pid.bytes().all(|b| b.is_ascii_digit())
+        && seq.bytes().all(|b| b.is_ascii_digit())
+}
+
+/// Removes temp siblings left behind by writers that crashed between
+/// `File::create` and `rename`. Best-effort: sweep failures never fail the
+/// save that triggered them.
+fn sweep_stale_temps(path: &Path) {
+    let Some(dir) = path.parent() else { return };
+    let dir = if dir.as_os_str().is_empty() {
+        Path::new(".")
+    } else {
+        dir
+    };
+    let snapshot_name = snapshot_file_name(path);
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    let candidates: Vec<PathBuf> = entries
+        .flatten()
+        .filter(|e| is_stale_temp_name(&e.file_name().to_string_lossy(), &snapshot_name))
+        .map(|e| e.path())
+        .collect();
+    if candidates.is_empty() {
+        return;
+    }
+    // Check liveness under the lock *after* listing: a temp registered
+    // while we iterated is then guaranteed visible here, so a concurrent
+    // in-process save can never lose its half-written file.
+    let live = in_flight().lock().unwrap();
+    for path in candidates {
+        if !live.contains(&path) {
+            let _ = std::fs::remove_file(path);
+        }
+    }
 }
 
 #[cfg(test)]
@@ -301,6 +381,82 @@ mod tests {
             .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
             .collect();
         assert_eq!(entries, vec!["index.snap"]);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn stale_temps_are_swept_on_next_save() {
+        // Regression: a writer that crashed between File::create and rename
+        // left `<name>.tmp-<pid>-<seq>` siblings behind forever.
+        let state = sample_state();
+        let dir = std::env::temp_dir().join("rl-server-snap-test-sweep");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("index.snap");
+        // Simulate two crashed writers (a dead pid and this pid).
+        std::fs::write(dir.join("index.snap.tmp-99999-0"), "partial").unwrap();
+        std::fs::write(dir.join("index.snap.tmp-1234-7"), "partial").unwrap();
+        // Non-matching siblings must survive the sweep.
+        std::fs::write(dir.join("other.snap.tmp-1-1"), "keep").unwrap();
+        std::fs::write(dir.join("index.snap.tmp-abc-1"), "keep").unwrap();
+        std::fs::write(dir.join("index.snap.backup"), "keep").unwrap();
+
+        Snapshot::new(state, vec![], 0)
+            .unwrap()
+            .save(&path)
+            .unwrap();
+
+        let mut entries: Vec<String> = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+            .collect();
+        entries.sort();
+        assert_eq!(
+            entries,
+            vec![
+                "index.snap",
+                "index.snap.backup",
+                "index.snap.tmp-abc-1",
+                "other.snap.tmp-1-1"
+            ]
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn stale_temp_name_matching() {
+        assert!(is_stale_temp_name("a.snap.tmp-12-0", "a.snap"));
+        assert!(is_stale_temp_name("a.snap.tmp-12-345", "a.snap"));
+        // The snapshot itself and lookalikes are never candidates.
+        assert!(!is_stale_temp_name("a.snap", "a.snap"));
+        assert!(!is_stale_temp_name("a.snap.tmp-", "a.snap"));
+        assert!(!is_stale_temp_name("a.snap.tmp-12", "a.snap"));
+        assert!(!is_stale_temp_name("a.snap.tmp-12-", "a.snap"));
+        assert!(!is_stale_temp_name("a.snap.tmp-x-1", "a.snap"));
+        assert!(!is_stale_temp_name("a.snap.tmp-1-2-3", "a.snap"));
+        assert!(!is_stale_temp_name("b.snap.tmp-1-2", "a.snap"));
+    }
+
+    #[test]
+    fn concurrent_saves_do_not_clobber_each_other() {
+        // Two overlapping in-process saves to one path: both must land a
+        // complete document (the in-flight set keeps the sweep off live
+        // temps).
+        let state = sample_state();
+        let dir = std::env::temp_dir().join("rl-server-snap-test-concurrent");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("index.snap");
+        let snap = Snapshot::new(state, vec![], 0).unwrap();
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| snap.save(&path).unwrap());
+            }
+        });
+        assert!(Snapshot::load(&path).is_ok());
+        let entries: Vec<String> = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+            .collect();
+        assert_eq!(entries, vec!["index.snap"], "no temps left behind");
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

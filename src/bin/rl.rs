@@ -38,10 +38,10 @@ fn usage() -> ! {
          [--delta D] [--seed S]\n  \
          rl serve --rule EXPR --fields N [--addr HOST:PORT] [--m-bits M] \
          [--k K] [--delta D] [--blocking random|covering] [--shards N] \
-         [--workers N] [--queue N] [--snapshot PATH] [--seed S]\n  \
-         rl client --cmd stats|dedup-status|shutdown|snapshot|index|probe|stream \
+         [--workers N] [--queue N] [--snapshot PATH] [--slow-ms MS] [--seed S]\n  \
+         rl client --cmd stats|metrics|dedup-status|shutdown|snapshot|index|probe|stream \
          [--addr HOST:PORT] [--input F.csv] [--out M.csv] [--path SNAP] \
-         [--header] [--id-column N]"
+         [--header] [--id-column N] [--timeout-ms MS] [--prometheus]"
     );
     exit(2)
 }
@@ -75,7 +75,7 @@ fn parse_flags(args: &[String]) -> HashMap<String, String> {
             usage();
         }
         // Boolean flags take no value.
-        if matches!(key.as_str(), "header" | "report") {
+        if matches!(key.as_str(), "header" | "report" | "prometheus") {
             flags.insert(key, "true".into());
             i += 1;
         } else {
@@ -427,12 +427,20 @@ fn serve(flags: &HashMap<String, String>) -> Result<(), String> {
         .map_err(|_| "--seed must be an integer".to_string())?
         .unwrap_or(42);
     let snapshot_path = flags.get("snapshot").map(std::path::PathBuf::from);
+    // Slow-request logging threshold in milliseconds; 0 disables it.
+    let slow_ms = parse_or("slow-ms", 1_000)?;
+    let slow_request_threshold = if slow_ms == 0 {
+        None
+    } else {
+        Some(std::time::Duration::from_millis(slow_ms as u64))
+    };
 
     let config = ServerConfig {
         addr,
         workers,
         queue_capacity: queue,
         snapshot_path: snapshot_path.clone(),
+        slow_request_threshold,
     };
 
     // Restore when a snapshot exists; otherwise build from flags.
@@ -534,7 +542,19 @@ fn client(flags: &HashMap<String, String>) -> Result<(), String> {
         .cloned()
         .unwrap_or_else(|| "127.0.0.1:7878".into());
     let cmd = req(flags, "cmd")?;
-    let mut client = Client::connect(&*addr).map_err(|e| e.to_string())?;
+    // Per-operation socket timeout; 0 disables (block forever).
+    let timeout_ms: u64 = flags
+        .get("timeout-ms")
+        .map(|s| s.parse())
+        .transpose()
+        .map_err(|_| "--timeout-ms must be an integer".to_string())?
+        .unwrap_or(30_000);
+    let timeout = if timeout_ms == 0 {
+        None
+    } else {
+        Some(std::time::Duration::from_millis(timeout_ms))
+    };
+    let mut client = Client::connect_with_timeout(&*addr, timeout).map_err(|e| e.to_string())?;
 
     let read_file = |key: &str| -> Result<Vec<Record>, String> {
         let path = req(flags, key)?;
@@ -564,6 +584,14 @@ fn client(flags: &HashMap<String, String>) -> Result<(), String> {
                     "blocking: {} backend={} L={} key_bits={} buckets={} max_bucket={}",
                     s.label, s.backend, s.l, s.key_bits, s.buckets, s.max_bucket
                 );
+            }
+        }
+        "metrics" => {
+            let snapshot = client.metrics().map_err(|e| e.to_string())?;
+            if flags.contains_key("prometheus") {
+                print!("{}", record_linkage::obs::encode_prometheus(&snapshot));
+            } else {
+                print_metrics_human(&snapshot);
             }
         }
         "dedup-status" => {
@@ -629,6 +657,81 @@ fn client(flags: &HashMap<String, String>) -> Result<(), String> {
         other => return Err(format!("unknown client command {other:?}")),
     }
     Ok(())
+}
+
+/// Human-readable metrics table: per-request-type counts with the
+/// queue-wait / execution latency split (p50/p95/p99), then gauges and
+/// pipeline phase timers. Latencies are stored in nanoseconds; shown in
+/// milliseconds.
+fn print_metrics_human(snapshot: &record_linkage::obs::MetricsSnapshot) {
+    let ms = |nanos: u64| nanos as f64 / 1e6;
+    let quantiles = |name: &str, label: Option<&str>| -> Option<(u64, f64, f64, f64)> {
+        let h = snapshot.histogram_data(name, label)?;
+        Some((
+            h.data.count,
+            ms(h.data.quantile(0.50)),
+            ms(h.data.quantile(0.95)),
+            ms(h.data.quantile(0.99)),
+        ))
+    };
+    println!(
+        "{:<14} {:>8} {:>7} | {:>28} | {:>28}",
+        "request type", "count", "errors", "queue wait p50/p95/p99 (ms)", "exec p50/p95/p99 (ms)"
+    );
+    for point in &snapshot.counters {
+        if point.name != "rl_requests_total" {
+            continue;
+        }
+        let Some((_, label)) = point.labels.first() else {
+            continue;
+        };
+        if point.value == 0 {
+            continue;
+        }
+        let errors = snapshot
+            .counter_value("rl_request_errors_total", Some(label))
+            .unwrap_or(0);
+        let wait = quantiles("rl_request_queue_wait_seconds", Some(label));
+        let exec = quantiles("rl_request_exec_seconds", Some(label));
+        let fmt = |q: Option<(u64, f64, f64, f64)>| match q {
+            Some((_, p50, p95, p99)) => format!("{p50:>8.3} {p95:>9.3} {p99:>9.3}"),
+            None => format!("{:>28}", "-"),
+        };
+        println!(
+            "{:<14} {:>8} {:>7} | {} | {}",
+            label,
+            point.value,
+            errors,
+            fmt(wait),
+            fmt(exec)
+        );
+    }
+    for g in &snapshot.gauges {
+        println!("{:<30} {}", g.name, g.value);
+    }
+    for h in &snapshot.histograms {
+        if h.name != "rl_pipeline_phase_seconds" && h.name != "rl_stream_observe_seconds" {
+            continue;
+        }
+        if h.data.count == 0 {
+            continue;
+        }
+        let label = h
+            .labels
+            .first()
+            .map(|(_, v)| format!("{{phase={v}}}"))
+            .unwrap_or_default();
+        println!(
+            "{}{} count={} p50={:.3}ms p95={:.3}ms p99={:.3}ms max={:.3}ms",
+            h.name,
+            label,
+            h.data.count,
+            ms(h.data.quantile(0.50)),
+            ms(h.data.quantile(0.95)),
+            ms(h.data.quantile(0.99)),
+            ms(h.data.max),
+        );
+    }
 }
 
 /// Data-driven parameter advice: measures per-attribute bigram statistics,

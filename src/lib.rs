@@ -50,12 +50,14 @@
 //! | [`baselines`] | `rl-baselines` | HARRA, BfH, SM-EB |
 //! | [`pprl`] | `rl-pprl` | privacy-preserving linkage (keyed embeddings) |
 //! | [`server`] | `rl-server` | TCP linkage service over the sharded index |
+//! | [`obs`] | `rl-obs` | counters, mergeable latency histograms, Prometheus |
 
 pub use cbv_hb;
 pub use rl_baselines as baselines;
 pub use rl_bitvec as bitvec;
 pub use rl_datagen as datagen;
 pub use rl_lsh as lsh;
+pub use rl_obs as obs;
 pub use rl_pprl as pprl;
 pub use rl_server as server;
 pub use textdist;

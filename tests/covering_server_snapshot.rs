@@ -50,6 +50,7 @@ fn covering_server_snapshot_roundtrip_answers_identically() {
         workers: 2,
         queue_capacity: 16,
         snapshot_path: Some(snap_path.clone()),
+        ..ServerConfig::default()
     };
     let server = Server::spawn(covering_pipeline(31, 2), config.clone()).unwrap();
     let mut client = Client::connect(server.local_addr()).unwrap();

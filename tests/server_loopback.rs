@@ -61,6 +61,7 @@ fn full_lifecycle_with_snapshot_restart() {
         workers: 2,
         queue_capacity: 16,
         snapshot_path: Some(snap_path.clone()),
+        ..ServerConfig::default()
     };
     let server = Server::spawn(pipeline(21, 2), config.clone()).unwrap();
     let addr = server.local_addr();
@@ -148,6 +149,7 @@ fn backpressure_is_a_typed_reject_not_a_hang() {
         workers: 1,
         queue_capacity: 1,
         snapshot_path: None,
+        ..ServerConfig::default()
     };
     let server = Server::spawn(pipeline(22, 1), config).unwrap();
     let addr = server.local_addr();
@@ -267,6 +269,7 @@ fn shutdown_bypasses_a_saturated_queue() {
         workers: 1,
         queue_capacity: 1,
         snapshot_path: None,
+        ..ServerConfig::default()
     };
     let server = Server::spawn(pipeline(27, 1), config).unwrap();
     let addr = server.local_addr();
@@ -350,4 +353,47 @@ fn snapshot_without_path_is_unavailable() {
     c.shutdown().unwrap();
     server.wait();
     std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn client_times_out_on_unresponsive_server() {
+    // Regression: the client had no read timeout, so a server that accepts
+    // the connection but never answers hung the caller forever. The
+    // listener here does exactly that: accept, then go silent.
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let silent = std::thread::spawn(move || {
+        // Hold the accepted socket open (without replying) until the test
+        // is done with it, then drop.
+        let (stream, _) = listener.accept().unwrap();
+        std::thread::sleep(std::time::Duration::from_secs(2));
+        drop(stream);
+    });
+
+    let mut c =
+        Client::connect_with_timeout(addr, Some(std::time::Duration::from_millis(200))).unwrap();
+    let t0 = std::time::Instant::now();
+    let err = c.stats().unwrap_err();
+    assert!(
+        matches!(err, ClientError::Timeout),
+        "expected Timeout, got {err:?}"
+    );
+    // The call returned promptly (well before the 2s the server sits idle).
+    assert!(t0.elapsed() < std::time::Duration::from_secs(1));
+    silent.join().unwrap();
+}
+
+#[test]
+fn client_timeout_is_tunable_on_live_connection() {
+    let server = Server::spawn(pipeline(28, 1), ServerConfig::default()).unwrap();
+    let mut c = Client::connect(server.local_addr()).unwrap();
+    // Tightening then loosening the timeout must not break a healthy
+    // connection.
+    c.set_timeout(Some(std::time::Duration::from_millis(50)))
+        .unwrap();
+    assert!(c.stats().is_ok());
+    c.set_timeout(None).unwrap();
+    assert!(c.stats().is_ok());
+    c.shutdown().unwrap();
+    server.wait();
 }

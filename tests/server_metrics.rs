@@ -1,0 +1,171 @@
+//! Loopback test for the observability layer (protocol v3): drive a real
+//! server through index / probe / stream / stats traffic, then assert the
+//! `Metrics` reply carries the per-request-type counters, the queue-wait /
+//! execution latency split, the pipeline phase timers — and that the
+//! Prometheus rendering is a valid exposition document.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use record_linkage::cbv_hb::pipeline::LinkageConfig;
+use record_linkage::cbv_hb::sharded::ShardedPipeline;
+use record_linkage::cbv_hb::{AttributeSpec, Record, RecordSchema, Rule};
+use record_linkage::obs::encode_prometheus;
+use record_linkage::server::{Client, Server, ServerConfig, PROTOCOL_VERSION};
+use record_linkage::textdist::Alphabet;
+
+fn pipeline(seed: u64, shards: usize) -> ShardedPipeline {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let schema = RecordSchema::build(
+        Alphabet::linkage(),
+        vec![
+            AttributeSpec::new("FirstName", 2, 64, false, 5),
+            AttributeSpec::new("LastName", 2, 64, false, 5),
+        ],
+        &mut rng,
+    );
+    let rule = Rule::and([Rule::pred(0, 4), Rule::pred(1, 4)]);
+    ShardedPipeline::new(schema, LinkageConfig::rule_aware(rule), shards, &mut rng).unwrap()
+}
+
+#[test]
+fn metrics_cover_request_lifecycle() {
+    let server = Server::spawn(pipeline(31, 2), ServerConfig::default()).unwrap();
+    let mut c = Client::connect(server.local_addr()).unwrap();
+
+    assert_eq!(c.stats().unwrap().protocol_version, PROTOCOL_VERSION);
+
+    c.index(&[
+        Record::new(1, ["JOHN", "SMITH"]),
+        Record::new(2, ["MARY", "JONES"]),
+    ])
+    .unwrap();
+    for _ in 0..3 {
+        let (pairs, _) = c.probe(&[Record::new(10, ["JON", "SMITH"])]).unwrap();
+        assert_eq!(pairs, vec![(1, 10)]);
+    }
+    c.stream(&Record::new(20, ["JOHN", "SMITH"])).unwrap();
+    // One failing probe: the error counter must tick.
+    assert!(c.probe(&[Record::new(9, ["ONLY"])]).is_err());
+
+    let m = c.metrics().unwrap();
+
+    // Per-request-type counters.
+    assert_eq!(m.counter_value("rl_requests_total", Some("index")), Some(1));
+    assert_eq!(m.counter_value("rl_requests_total", Some("probe")), Some(4));
+    assert_eq!(
+        m.counter_value("rl_requests_total", Some("stream")),
+        Some(1)
+    );
+    assert_eq!(
+        m.counter_value("rl_request_errors_total", Some("probe")),
+        Some(1)
+    );
+    // The Metrics request itself is counted from the second call on; this
+    // first snapshot was taken mid-execution, so it reads 0.
+    assert_eq!(
+        m.counter_value("rl_requests_total", Some("metrics")),
+        Some(0)
+    );
+
+    // Latency split: both phases sampled once per executed request.
+    let wait = m
+        .histogram_data("rl_request_queue_wait_seconds", Some("probe"))
+        .unwrap();
+    let exec = m
+        .histogram_data("rl_request_exec_seconds", Some("probe"))
+        .unwrap();
+    assert_eq!(wait.data.count, 4);
+    assert_eq!(exec.data.count, 4);
+    assert!(exec.data.quantile(0.99) >= exec.data.quantile(0.50));
+
+    // Pipeline phase timers recorded by the sharded engine: one embed +
+    // match pair per probe/stream link, embed + block per index.
+    let embed = m
+        .histogram_data("rl_pipeline_phase_seconds", Some("embed"))
+        .unwrap();
+    assert!(embed.data.count >= 5, "embed count {}", embed.data.count);
+    let matching = m
+        .histogram_data("rl_pipeline_phase_seconds", Some("match"))
+        .unwrap();
+    assert!(matching.data.count >= 4);
+    let block = m
+        .histogram_data("rl_pipeline_phase_seconds", Some("block"))
+        .unwrap();
+    assert!(block.data.count >= 1);
+    let observe = m.histogram_data("rl_stream_observe_seconds", None).unwrap();
+    assert_eq!(observe.data.count, 1);
+
+    // Gauges track index/stream totals (2 indexed + 1 streamed).
+    let indexed = m
+        .gauges
+        .iter()
+        .find(|g| g.name == "rl_indexed_records")
+        .unwrap();
+    assert_eq!(indexed.value, 3);
+    let streamed = m
+        .gauges
+        .iter()
+        .find(|g| g.name == "rl_streamed_records")
+        .unwrap();
+    assert_eq!(streamed.value, 1);
+
+    // A second Metrics call sees the first one counted.
+    let m2 = c.metrics().unwrap();
+    assert_eq!(
+        m2.counter_value("rl_requests_total", Some("metrics")),
+        Some(1)
+    );
+
+    c.shutdown().unwrap();
+    server.wait();
+}
+
+#[test]
+fn prometheus_rendering_is_valid_exposition() {
+    let server = Server::spawn(pipeline(32, 1), ServerConfig::default()).unwrap();
+    let mut c = Client::connect(server.local_addr()).unwrap();
+    c.index(&[Record::new(1, ["JOHN", "SMITH"])]).unwrap();
+    c.probe(&[Record::new(10, ["JON", "SMITH"])]).unwrap();
+    let text = encode_prometheus(&c.metrics().unwrap());
+
+    // Line-level validity: every line is `# HELP`/`# TYPE` or a sample
+    // with a parseable value; HELP/TYPE appear exactly once per name.
+    let mut seen_types = std::collections::HashMap::new();
+    for line in text.lines() {
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut parts = rest.split(' ');
+            let name = parts.next().unwrap().to_string();
+            let kind = parts.next().unwrap();
+            assert!(
+                matches!(kind, "counter" | "gauge" | "histogram"),
+                "bad kind: {line}"
+            );
+            *seen_types.entry(name).or_insert(0) += 1;
+            continue;
+        }
+        if line.starts_with('#') {
+            assert!(line.starts_with("# HELP "), "bad comment: {line}");
+            continue;
+        }
+        let (name_part, value) = line.rsplit_once(' ').expect("sample needs a value");
+        assert!(!name_part.is_empty());
+        assert!(
+            value == "+Inf" || value.parse::<f64>().is_ok(),
+            "unparseable value: {line}"
+        );
+    }
+    for (name, count) in &seen_types {
+        assert_eq!(*count, 1, "duplicate TYPE for {name}");
+    }
+    assert!(seen_types.contains_key("rl_requests_total"));
+    assert!(seen_types.contains_key("rl_request_exec_seconds"));
+    assert!(seen_types.contains_key("rl_pipeline_phase_seconds"));
+    // Histogram structure: cumulative buckets end at the +Inf total.
+    assert!(text.contains("rl_request_exec_seconds_bucket"));
+    assert!(text.contains("le=\"+Inf\""));
+    assert!(text.contains("rl_request_exec_seconds_sum"));
+    assert!(text.contains("rl_request_exec_seconds_count"));
+
+    c.shutdown().unwrap();
+    server.wait();
+}
