@@ -11,19 +11,26 @@
 //! `<out>/results/BENCH_server.json`, so the perf trajectory tracks the
 //! serving path alongside the paper experiments.
 //!
+//! A second phase measures the durability subsystem: insert throughput
+//! under each WAL sync policy (in-memory baseline, group commit, fsync
+//! every append) and the cold-restart replay time, reported to
+//! `<out>/results/BENCH_store.json`.
+//!
 //! `--smoke` shrinks the run for CI, and after each run fetches the
 //! server's `Metrics` snapshot and asserts the observability layer saw
-//! the traffic (nonzero per-type request counts and latency samples).
+//! the traffic (nonzero per-type request counts and latency samples);
+//! in the store phase it additionally asserts that every insert hit the
+//! WAL and that replay restored every record.
 
 use cbv_hb::sharded::ShardedPipeline;
 use cbv_hb::{AttributeSpec, LinkageConfig, Record, RecordSchema, Rule};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use rl_bench::report::write_json;
-use rl_server::{Client, Server, ServerConfig};
+use rl_server::{Client, DurabilityConfig, Server, ServerConfig, SyncPolicy};
 use serde::Serialize;
 use std::path::PathBuf;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 use textdist::Alphabet;
 
 const SHARD_COUNTS: [usize; 3] = [1, 4, 8];
@@ -102,6 +109,179 @@ fn main() {
         rows.push(row);
     }
     write_json(&opts.out, "BENCH_server", &rows);
+
+    // Durability phase: WAL-append overhead per sync policy plus
+    // cold-restart replay time (see docs/STORAGE.md).
+    let policies: [(&str, Option<SyncPolicy>); 3] = [
+        ("in-memory", None),
+        (
+            "group-commit-5ms",
+            Some(SyncPolicy::GroupCommit(Duration::from_millis(5))),
+        ),
+        ("fsync-always", Some(SyncPolicy::Always)),
+    ];
+    let mut store_rows: Vec<StoreRow> = Vec::new();
+    println!();
+    println!("| policy | inserted | secs | inserts/sec | slowdown | wal bytes | replay ops | replay ms |");
+    println!("|---|---|---|---|---|---|---|---|");
+    for (label, policy) in policies {
+        let baseline = store_rows.first().map(|r: &StoreRow| r.insert_secs);
+        let row = run_store_one(&opts, label, policy, baseline);
+        println!(
+            "| {} | {} | {:.3} | {:.0} | {:.2}x | {} | {} | {} |",
+            row.policy,
+            row.records,
+            row.insert_secs,
+            row.inserts_per_sec,
+            row.slowdown_vs_memory,
+            row.wal_bytes,
+            row.replayed_ops,
+            row.replay_ms,
+        );
+        store_rows.push(row);
+    }
+    write_json(&opts.out, "BENCH_store", &store_rows);
+}
+
+#[derive(Debug, Clone, Serialize)]
+struct StoreRow {
+    /// WAL sync policy label (`in-memory` = no durability baseline).
+    policy: String,
+    records: u64,
+    insert_secs: f64,
+    inserts_per_sec: f64,
+    /// Insert wall-clock relative to the in-memory baseline (1.0 = free).
+    slowdown_vs_memory: f64,
+    /// WAL bytes on disk after the insert phase (0 for the baseline).
+    wal_bytes: i64,
+    /// Ops replayed when the server restarted from the data dir.
+    replayed_ops: i64,
+    /// Startup recovery time on restart, milliseconds.
+    replay_ms: i64,
+    /// Full restart wall-clock (spawn + recovery), seconds.
+    restart_secs: f64,
+}
+
+/// One durability measurement: inserts `opts.records` records through
+/// the wire under `policy`, then — for durable policies — restarts the
+/// server from the data dir and measures WAL replay.
+fn run_store_one(
+    opts: &Opts,
+    label: &str,
+    policy: Option<SyncPolicy>,
+    baseline_secs: Option<f64>,
+) -> StoreRow {
+    let dir = std::env::temp_dir().join(format!("rl-store-bench-{label}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let config = |durability: Option<DurabilityConfig>| ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        workers: 1,
+        queue_capacity: 256,
+        durability,
+        ..ServerConfig::default()
+    };
+    let durability = policy.map(|sync| DurabilityConfig {
+        data_dir: dir.clone(),
+        sync,
+        // No background checkpoints: the restart below replays the whole
+        // WAL, which is exactly what this phase measures.
+        checkpoint_every: None,
+    });
+    let seed = opts.seed;
+    let spawn = |durability: Option<DurabilityConfig>| match durability {
+        Some(d) => Server::spawn_durable(|| Ok(bench_pipeline(seed, 1)), config(Some(d)))
+            .expect("spawn durable server"),
+        None => Server::spawn(bench_pipeline(seed, 1), config(None)).expect("spawn server"),
+    };
+
+    let server = spawn(durability.clone());
+    let mut client = Client::connect(server.local_addr()).expect("connect");
+    let corpus: Vec<Record> = (0..opts.records).map(|i| record(i, i)).collect();
+    let start = Instant::now();
+    for chunk in corpus.chunks(500) {
+        client.insert(chunk).expect("insert");
+    }
+    let insert_secs = start.elapsed().as_secs_f64();
+    let m = client.metrics().expect("metrics");
+    let gauge = |name: &str| {
+        m.gauges
+            .iter()
+            .find(|g| g.name == name)
+            .map(|g| g.value)
+            .unwrap_or(0)
+    };
+    let wal_bytes = gauge("rl_wal_bytes");
+    if opts.smoke && durability.is_some() {
+        let appends = m
+            .counter_value("rl_wal_appends_total", None)
+            .expect("wal appends counter registered");
+        assert_eq!(
+            appends, opts.records,
+            "every insert must hit the WAL exactly once"
+        );
+        assert!(wal_bytes > 0, "durable inserts left no WAL bytes");
+    }
+    client.shutdown().expect("shutdown");
+    server.wait();
+
+    // Cold restart: recovery (checkpoint load + full WAL replay) happens
+    // inside spawn_durable.
+    let (restart_secs, replayed_ops, replay_ms) = match durability {
+        Some(d) => {
+            let start = Instant::now();
+            let server = spawn(Some(d));
+            let restart_secs = start.elapsed().as_secs_f64();
+            let mut client = Client::connect(server.local_addr()).expect("connect");
+            let m = client.metrics().expect("metrics");
+            let gauge = |name: &str| {
+                m.gauges
+                    .iter()
+                    .find(|g| g.name == name)
+                    .map(|g| g.value)
+                    .unwrap_or(0)
+            };
+            let (ops, ms) = (gauge("rl_replayed_ops"), gauge("rl_replay_duration_ms"));
+            if opts.smoke {
+                let stats = client.stats().expect("stats");
+                assert_eq!(stats.indexed as u64, opts.records, "replay lost records");
+                assert_eq!(ops as u64, opts.records, "replayed_ops gauge wrong");
+            }
+            client.shutdown().expect("shutdown");
+            server.wait();
+            (restart_secs, ops, ms)
+        }
+        None => (0.0, 0, 0),
+    };
+    let _ = std::fs::remove_dir_all(&dir);
+
+    StoreRow {
+        policy: label.to_string(),
+        records: opts.records,
+        insert_secs,
+        inserts_per_sec: opts.records as f64 / insert_secs,
+        slowdown_vs_memory: baseline_secs.map_or(1.0, |b| insert_secs / b),
+        wal_bytes,
+        replayed_ops,
+        replay_ms,
+        restart_secs,
+    }
+}
+
+/// The two-attribute bench schema on one pipeline (store phase uses a
+/// single shard so the WAL cost dominates the measurement).
+fn bench_pipeline(seed: u64, shards: usize) -> ShardedPipeline {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let schema = RecordSchema::build(
+        Alphabet::linkage(),
+        vec![
+            AttributeSpec::new("FirstName", 2, 64, false, 5),
+            AttributeSpec::new("LastName", 2, 64, false, 5),
+        ],
+        &mut rng,
+    );
+    let rule = Rule::and([Rule::pred(0, 4), Rule::pred(1, 4)]);
+    ShardedPipeline::new(schema, LinkageConfig::rule_aware(rule), shards, &mut rng)
+        .expect("build pipeline")
 }
 
 fn run_one(opts: &Opts, shards: usize) -> Row {

@@ -96,6 +96,15 @@ impl RecordStore {
         self.records.get(&id)
     }
 
+    /// Removes a record by id (tombstone delete), returning whether it was
+    /// present. Blocking-plan buckets are *not* rewritten: a bucket entry
+    /// whose id no longer resolves here is skipped by [`match_record`], so
+    /// a removed record can never match again. The stale bucket slots are
+    /// reclaimed the next time the plan is rebuilt (e.g. snapshot restore).
+    pub fn remove(&mut self, id: u64) -> bool {
+        self.records.remove(&id).is_some()
+    }
+
     /// Number of stored records.
     pub fn len(&self) -> usize {
         self.records.len()

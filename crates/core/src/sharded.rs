@@ -31,6 +31,10 @@ enum Command {
         batch: Vec<EmbeddedRecord>,
         reply: Sender<(Vec<(u64, u64)>, MatchStats)>,
     },
+    Delete {
+        ids: Vec<u64>,
+        reply: Sender<usize>,
+    },
     Export {
         reply: Sender<ShardState>,
     },
@@ -131,6 +135,13 @@ fn shard_worker(
                 }
                 // The gatherer may have hung up on error paths; ignore.
                 let _ = reply.send((matches, stats));
+            }
+            Command::Delete { ids, reply } => {
+                // Tombstone delete: the record leaves the store, so it can
+                // never be retrieved as a candidate again; its blocking
+                // bucket entries linger until the plan is rebuilt (restore).
+                let removed = ids.iter().filter(|&&id| store.remove(id)).count();
+                let _ = reply.send(removed);
             }
             Command::Export { reply } => {
                 let _ = reply.send(ShardState {
@@ -307,6 +318,36 @@ impl ShardedPipeline {
             m.block.observe_duration(t1.elapsed());
         }
         Ok(())
+    }
+
+    /// Deletes records by id across all shards (tombstone semantics: the
+    /// record can never match again; its stale blocking-bucket entries are
+    /// reclaimed on the next snapshot restore). Ids live in exactly one
+    /// shard, so the broadcast removes each at most once; unknown ids are
+    /// ignored. Returns how many records were actually removed.
+    ///
+    /// # Errors
+    /// Returns an internal error if a shard worker died.
+    pub fn delete(&mut self, ids: &[u64]) -> Result<usize> {
+        let (reply_tx, reply_rx) = bounded(self.shards.len());
+        for shard in &self.shards {
+            shard
+                .sender
+                .send(Command::Delete {
+                    ids: ids.to_vec(),
+                    reply: reply_tx.clone(),
+                })
+                .map_err(|_| Error::InvalidParameter("shard worker died".into()))?;
+        }
+        drop(reply_tx);
+        let mut removed = 0;
+        for _ in 0..self.shards.len() {
+            removed += reply_rx
+                .recv()
+                .map_err(|_| Error::InvalidParameter("shard worker died".into()))?;
+        }
+        self.indexed -= removed.min(self.indexed);
+        Ok(removed)
     }
 
     /// Probes data set B: every shard receives the full probe batch; the
@@ -613,6 +654,48 @@ mod tests {
         assert!(!stats.is_empty());
         assert!(stats.iter().all(|s| s.backend == "covering"));
         p.shutdown();
+    }
+
+    #[test]
+    fn delete_tombstones_across_shards() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let s = schema(&mut rng);
+        let mut p =
+            ShardedPipeline::new(s, LinkageConfig::rule_aware(rule()), 3, &mut rng).unwrap();
+        let a = records(6, 0, 30);
+        p.index(&a).unwrap();
+        let b = records(6, 500, 30);
+        let (before, _) = p.link(&b).unwrap();
+        for i in 0..30u64 {
+            assert!(before.contains(&(i, 500 + i)), "missing pair {i}");
+        }
+
+        // Delete a third of the records (spread across all shards by
+        // round-robin), plus some ids that never existed.
+        let victims: Vec<u64> = (0..30).filter(|i| i % 3 == 0).collect();
+        let removed = p.delete(&victims).unwrap();
+        assert_eq!(removed, victims.len());
+        assert_eq!(p.delete(&[9999, 10000]).unwrap(), 0, "unknown ids ignored");
+        assert_eq!(p.indexed_len(), 30 - victims.len());
+
+        let (after, _) = p.link(&b).unwrap();
+        for i in 0..30u64 {
+            let hit = after.contains(&(i, 500 + i));
+            if i % 3 == 0 {
+                assert!(!hit, "deleted record {i} must not match");
+            } else {
+                assert!(hit, "surviving record {i} must still match");
+            }
+        }
+
+        // Export/restore after deletes rebuilds the plans without the
+        // tombstoned records and keeps answering correctly.
+        let state = p.export_state().unwrap();
+        p.shutdown();
+        let q = ShardedPipeline::from_state(state).unwrap();
+        let (restored, _) = q.link(&b).unwrap();
+        assert_eq!(restored, after);
+        q.shutdown();
     }
 
     #[test]

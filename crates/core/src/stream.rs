@@ -85,13 +85,26 @@ impl StreamMatcher {
         Ok(matches)
     }
 
-    /// Records observed so far.
+    /// Removes a record from the index by id (tombstone delete),
+    /// returning whether it was present. The record can never match a
+    /// later observation; [`Self::len`] shrinks, while [`Self::observed`]
+    /// — a window counter over `observe` calls — is unaffected.
+    pub fn remove(&mut self, id: u64) -> bool {
+        self.store.remove(id)
+    }
+
+    /// Records observed in the current measurement window: the number of
+    /// [`Self::observe`] calls since construction or the last
+    /// [`Self::reset_stats`]. A *window* counter, like [`Self::stats`] —
+    /// not the index size; see [`Self::len`] for that.
     pub fn observed(&self) -> u64 {
         self.observed
     }
 
-    /// Records currently held in the index. Equals [`Self::observed`]
-    /// unless ids repeated (the store keeps one record per id).
+    /// Records currently held in the index: the ground truth for index
+    /// size. Differs from [`Self::observed`] when ids repeat (the store
+    /// keeps one record per id), after [`Self::remove`], and after
+    /// [`Self::reset_stats`] (which starts a new window).
     pub fn len(&self) -> usize {
         self.store.len()
     }
@@ -101,15 +114,19 @@ impl StreamMatcher {
         self.store.is_empty()
     }
 
-    /// Accumulated matching counters.
+    /// Accumulated matching counters for the current window.
     pub fn stats(&self) -> MatchStats {
         self.stats
     }
 
-    /// Resets the matching counters to zero (e.g. at the start of a
-    /// measurement window); the index itself is untouched.
+    /// Starts a new measurement window: zeroes the matching counters
+    /// *and* [`Self::observed`] together, so per-window ratios (e.g.
+    /// matches per observed record) stay coherent. The index itself —
+    /// [`Self::len`] and everything matchable — is untouched.
+    /// [`SharedStreamMatcher::reset_stats`] has identical semantics.
     pub fn reset_stats(&mut self) {
         self.stats = MatchStats::default();
+        self.observed = 0;
     }
 }
 
@@ -177,12 +194,19 @@ impl SharedStreamMatcher {
         Ok(matches)
     }
 
-    /// Records observed so far.
+    /// Removes a record from the index by id (see
+    /// [`StreamMatcher::remove`]). Takes the write lock.
+    pub fn remove(&self, id: u64) -> bool {
+        self.inner.write().remove(id)
+    }
+
+    /// Records observed in the current measurement window (see
+    /// [`StreamMatcher::observed`]).
     pub fn observed(&self) -> u64 {
         self.inner.read().observed
     }
 
-    /// Records currently held in the index.
+    /// Records currently held in the index (see [`StreamMatcher::len`]).
     pub fn len(&self) -> usize {
         self.inner.read().len()
     }
@@ -192,12 +216,14 @@ impl SharedStreamMatcher {
         self.inner.read().is_empty()
     }
 
-    /// Accumulated matching counters.
+    /// Accumulated matching counters for the current window.
     pub fn stats(&self) -> MatchStats {
         self.inner.read().stats
     }
 
-    /// Resets the matching counters to zero; the index is untouched.
+    /// Starts a new measurement window — identical semantics to
+    /// [`StreamMatcher::reset_stats`]: counters *and* `observed` reset,
+    /// index untouched.
     pub fn reset_stats(&self) {
         self.inner.write().reset_stats();
     }
@@ -270,6 +296,74 @@ mod tests {
         assert_eq!(m.len(), 2);
         let hits = m.observe(&Record::new(3, ["JOHN", "SMITH"])).unwrap();
         assert!(hits.contains(&1));
+    }
+
+    #[test]
+    fn reset_stats_opens_a_fresh_window() {
+        // Regression: reset_stats used to zero the matching counters but
+        // leave `observed` running, so per-window ratios (matches per
+        // observed record) silently mixed windows.
+        let mut m = matcher(7);
+        m.observe(&Record::new(1, ["JOHN", "SMITH"])).unwrap();
+        m.observe(&Record::new(2, ["JON", "SMITH"])).unwrap();
+        assert_eq!(m.observed(), 2);
+        m.reset_stats();
+        assert_eq!(m.observed(), 0, "observed is a window counter");
+        assert_eq!(m.len(), 2, "len is index size, never reset");
+        m.observe(&Record::new(3, ["MARY", "JONES"])).unwrap();
+        assert_eq!(m.observed(), 1);
+        assert_eq!(m.len(), 3);
+    }
+
+    #[test]
+    fn shared_and_unshared_reset_semantics_agree() {
+        // Regression (satellite): the two variants must implement the same
+        // window semantics — drive both through an identical sequence and
+        // compare every counter.
+        let mut plain = matcher(8);
+        let shared = shared_matcher(8);
+        let recs = [
+            Record::new(1, ["JOHN", "SMITH"]),
+            Record::new(2, ["JON", "SMITH"]),
+            Record::new(3, ["MARY", "JONES"]),
+        ];
+        for r in &recs[..2] {
+            plain.observe(r).unwrap();
+            shared.observe(r).unwrap();
+        }
+        plain.reset_stats();
+        shared.reset_stats();
+        plain.observe(&recs[2]).unwrap();
+        shared.observe(&recs[2]).unwrap();
+        assert_eq!(plain.observed(), shared.observed());
+        assert_eq!(plain.len(), shared.len());
+        assert_eq!(plain.stats(), shared.stats());
+        assert_eq!(plain.observed(), 1);
+        assert_eq!(plain.len(), 3);
+    }
+
+    #[test]
+    fn remove_tombstones_record_out_of_matching() {
+        let mut m = matcher(9);
+        m.observe(&Record::new(1, ["JOHN", "SMITH"])).unwrap();
+        m.observe(&Record::new(2, ["MARY", "JONES"])).unwrap();
+        assert_eq!(m.len(), 2);
+        assert!(m.remove(1));
+        assert!(!m.remove(1), "double delete is a no-op");
+        assert_eq!(m.len(), 1);
+        // The deleted record no longer matches, even though its blocking
+        // bucket entries linger as tombstones.
+        let hits = m.observe(&Record::new(3, ["JON", "SMITH"])).unwrap();
+        assert!(hits.is_empty(), "deleted record must not match: {hits:?}");
+        // The shared variant agrees.
+        let s = shared_matcher(9);
+        s.observe(&Record::new(1, ["JOHN", "SMITH"])).unwrap();
+        assert!(s.remove(1));
+        assert_eq!(s.len(), 0);
+        assert!(s
+            .observe(&Record::new(3, ["JON", "SMITH"]))
+            .unwrap()
+            .is_empty());
     }
 
     #[test]

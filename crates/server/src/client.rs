@@ -145,6 +145,39 @@ impl Client {
         }
     }
 
+    /// Durable insert (protocol v4): like [`Self::index`], but a server
+    /// running with a data dir acknowledges only after the mutation is in
+    /// the write-ahead log. Returns `(accepted, total_indexed)`.
+    ///
+    /// # Errors
+    /// See [`Self::call`].
+    pub fn insert(&mut self, records: &[Record]) -> Result<(usize, usize), ClientError> {
+        match self.call(&Request::Insert {
+            records: records.to_vec(),
+        })? {
+            Reply::Indexed {
+                accepted,
+                total_indexed,
+            } => Ok((accepted, total_indexed)),
+            other => Err(unexpected("Indexed", &other)),
+        }
+    }
+
+    /// Durable delete (protocol v4): tombstones records by id; unknown
+    /// ids are ignored. Returns `(removed, total_indexed)`.
+    ///
+    /// # Errors
+    /// See [`Self::call`].
+    pub fn delete(&mut self, ids: &[u64]) -> Result<(usize, usize), ClientError> {
+        match self.call(&Request::Delete { ids: ids.to_vec() })? {
+            Reply::Deleted {
+                removed,
+                total_indexed,
+            } => Ok((removed, total_indexed)),
+            other => Err(unexpected("Deleted", &other)),
+        }
+    }
+
     /// Probes records against the index. Returns sorted `(id_A, id_B)`
     /// pairs plus matching counters.
     ///

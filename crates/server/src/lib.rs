@@ -16,7 +16,13 @@
 //! - [`metrics`] — [`ServerMetrics`]: per-request-type counters and
 //!   queue-wait / execution latency histograms, Prometheus-exposable.
 //! - [`snapshot`] — [`Snapshot`]: atomic (temp + rename), versioned
-//!   (magic + format version + schema hash) index persistence.
+//!   (magic + format version + schema hash) index persistence (the
+//!   implementation now lives in `rl-store`; re-exported here).
+//! - **durability** (protocol v4) — with a data directory
+//!   ([`DurabilityConfig`], [`Server::spawn_durable`]) every mutation is
+//!   write-ahead logged before its reply, checkpoints run in the
+//!   background, and startup recovers the index from checkpoint + WAL
+//!   tail. See `docs/STORAGE.md`.
 //! - [`client`] — [`Client`]: a typed synchronous client with read/write
 //!   timeouts.
 //!
@@ -63,5 +69,7 @@ pub use metrics::{ReqType, ServerMetrics};
 pub use protocol::{
     ErrorCode, Reply, Request, RequestError, Response, StatsReply, PROTOCOL_VERSION,
 };
-pub use server::{Server, ServerConfig};
+pub use server::{DurabilityConfig, Server, ServerConfig};
 pub use snapshot::{Snapshot, SnapshotError, SNAPSHOT_MAGIC, SNAPSHOT_VERSION};
+// Durability building blocks, re-exported for server embedders.
+pub use rl_store::{Store, StoreError, StoreOptions, SyncPolicy, WalOp};

@@ -32,13 +32,17 @@ pub enum ReqType {
     Metrics,
     /// `Snapshot` requests.
     Snapshot,
+    /// `Insert` requests (durable insert, protocol v4).
+    Insert,
+    /// `Delete` requests (durable tombstone delete, protocol v4).
+    Delete,
     /// `Shutdown` requests (handled inline, so they never acquire
     /// queue-wait samples; the counter still tracks them).
     Shutdown,
 }
 
 /// All request types, in the order used for per-type metric arrays.
-pub const REQ_TYPES: [ReqType; 8] = [
+pub const REQ_TYPES: [ReqType; 10] = [
     ReqType::Index,
     ReqType::Probe,
     ReqType::Stream,
@@ -46,6 +50,8 @@ pub const REQ_TYPES: [ReqType; 8] = [
     ReqType::Stats,
     ReqType::Metrics,
     ReqType::Snapshot,
+    ReqType::Insert,
+    ReqType::Delete,
     ReqType::Shutdown,
 ];
 
@@ -60,6 +66,8 @@ impl ReqType {
             ReqType::Stats => "stats",
             ReqType::Metrics => "metrics",
             ReqType::Snapshot => "snapshot",
+            ReqType::Insert => "insert",
+            ReqType::Delete => "delete",
             ReqType::Shutdown => "shutdown",
         }
     }
@@ -74,6 +82,8 @@ impl ReqType {
             Request::Stats => ReqType::Stats,
             Request::Metrics => ReqType::Metrics,
             Request::Snapshot { .. } => ReqType::Snapshot,
+            Request::Insert { .. } => ReqType::Insert,
+            Request::Delete { .. } => ReqType::Delete,
             Request::Shutdown => ReqType::Shutdown,
         }
     }
@@ -102,6 +112,19 @@ pub struct ServerMetrics {
     pub indexed_records: Arc<Gauge>,
     /// Records observed through `Stream` since startup (or restore).
     pub streamed_records: Arc<Gauge>,
+    /// Frames appended to the write-ahead log since startup
+    /// (`rl_wal_appends_total`). Stays 0 without `--data-dir`.
+    pub wal_appends: Arc<Counter>,
+    /// Live WAL bytes across retained segments (`rl_wal_bytes`); drops
+    /// when a checkpoint prunes covered segments.
+    pub wal_bytes: Arc<Gauge>,
+    /// Checkpoints committed since startup (`rl_checkpoints_total`).
+    pub checkpoints: Arc<Counter>,
+    /// Ops replayed from the WAL during startup recovery.
+    pub replayed_ops: Arc<Gauge>,
+    /// Startup recovery time (checkpoint load + WAL replay), in
+    /// milliseconds (`rl_replay_duration_ms`).
+    pub replay_duration_ms: Arc<Gauge>,
     /// Pipeline phase timers (embed / block / match, stream observe),
     /// shared with the `ShardedPipeline` so shard workers record into
     /// the same histograms.
@@ -150,6 +173,31 @@ impl ServerMetrics {
         let indexed_records = registry.gauge("indexed_records", "Records in the index", &[]);
         let streamed_records =
             registry.gauge("streamed_records", "Records observed via Stream", &[]);
+        let wal_appends = registry.counter(
+            "wal_appends_total",
+            "Frames appended to the write-ahead log",
+            &[],
+        );
+        let wal_bytes = registry.gauge(
+            "wal_bytes",
+            "Live write-ahead-log bytes across retained segments",
+            &[],
+        );
+        let checkpoints = registry.counter(
+            "checkpoints_total",
+            "Checkpoints committed (snapshot + WAL prune)",
+            &[],
+        );
+        let replayed_ops = registry.gauge(
+            "replayed_ops",
+            "WAL ops replayed during startup recovery",
+            &[],
+        );
+        let replay_duration_ms = registry.gauge(
+            "replay_duration_ms",
+            "Startup recovery time (checkpoint load + WAL replay), milliseconds",
+            &[],
+        );
         let pipeline = PipelineMetrics::register(&registry);
         Arc::new(Self {
             registry,
@@ -161,6 +209,11 @@ impl ServerMetrics {
             slow_requests,
             indexed_records,
             streamed_records,
+            wal_appends,
+            wal_bytes,
+            checkpoints,
+            replayed_ops,
+            replay_duration_ms,
             pipeline,
         })
     }

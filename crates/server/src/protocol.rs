@@ -16,8 +16,11 @@ use serde::{Deserialize, Serialize};
 /// the Stats reply (backend tag, `L`, key width, bucket occupancy per
 /// structure). Version 3 added the `Metrics` request, returning the
 /// server's merged metrics registry (counters, gauges, and mergeable
-/// latency histograms); `Stats` and the snapshot format are unchanged.
-pub const PROTOCOL_VERSION: u32 = 3;
+/// latency histograms). Version 4 added the durable mutation requests
+/// `Insert` and `Delete` (write-ahead-logged before the reply when the
+/// server runs with `--data-dir`) and the `Storage` error code; earlier
+/// requests are unchanged.
+pub const PROTOCOL_VERSION: u32 = 4;
 
 /// A client request.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -40,6 +43,17 @@ pub enum Request {
     /// Persist the index to the server's snapshot path (or an explicit
     /// override) atomically.
     Snapshot { path: Option<String> },
+    /// Durable insert (protocol v4): index records into data set A like
+    /// `Index`, but on a server running with `--data-dir` the mutation is
+    /// written to the write-ahead log **before** the reply, so an
+    /// acknowledged insert survives a crash. (With a data dir, `Index`
+    /// and `Stream` are logged too; `Insert` exists so clients can state
+    /// the durability intent explicitly and older servers reject it.)
+    Insert { records: Vec<Record> },
+    /// Durable delete (protocol v4): tombstone records by id. Deleted
+    /// records can never match again; unknown ids are ignored. WAL-logged
+    /// before the reply when the server has a data dir.
+    Delete { ids: Vec<u64> },
     /// Stop accepting connections, drain queued requests, and exit.
     Shutdown,
 }
@@ -60,6 +74,9 @@ pub enum ErrorCode {
     /// The command is valid but not available (e.g. no snapshot path
     /// configured).
     Unavailable,
+    /// The durability layer failed (WAL append or checkpoint I/O); the
+    /// mutation was NOT applied and must be retried. Protocol v4+.
+    Storage,
 }
 
 impl std::fmt::Display for ErrorCode {
@@ -71,6 +88,7 @@ impl std::fmt::Display for ErrorCode {
             ErrorCode::Linkage => "linkage",
             ErrorCode::Snapshot => "snapshot",
             ErrorCode::Unavailable => "unavailable",
+            ErrorCode::Storage => "storage",
         };
         f.write_str(s)
     }
@@ -137,6 +155,13 @@ pub enum Reply {
     /// time. Histogram bucket boundaries are the fixed log-linear scheme
     /// of `rl-obs`, so snapshots from different servers merge exactly.
     Metrics(rl_obs::MetricsSnapshot),
+    /// Response to `Delete` (protocol v4).
+    Deleted {
+        /// Records actually removed (unknown ids don't count).
+        removed: usize,
+        /// Records remaining in the index.
+        total_indexed: usize,
+    },
     /// Response to `Snapshot`.
     Snapshotted {
         /// Where the snapshot was written.
@@ -215,6 +240,10 @@ mod tests {
                 path: Some("/tmp/x.snap".into()),
             },
             Request::Snapshot { path: None },
+            Request::Insert {
+                records: vec![Record::new(3, ["ANNA", "LEE"])],
+            },
+            Request::Delete { ids: vec![1, 2, 3] },
             Request::Shutdown,
         ];
         for req in reqs {
@@ -234,6 +263,11 @@ mod tests {
             }),
             Response::Err(RequestError::new(ErrorCode::Backpressure, "queue full")),
             Response::Ok(Reply::Metrics(rl_obs::MetricsSnapshot::default())),
+            Response::Ok(Reply::Deleted {
+                removed: 2,
+                total_indexed: 7,
+            }),
+            Response::Err(RequestError::new(ErrorCode::Storage, "wal append failed")),
         ];
         for resp in resps {
             let line = serde_json::to_string(&resp).unwrap();
@@ -246,5 +280,6 @@ mod tests {
     fn error_codes_display_kebab() {
         assert_eq!(ErrorCode::Backpressure.to_string(), "backpressure");
         assert_eq!(ErrorCode::ShuttingDown.to_string(), "shutting-down");
+        assert_eq!(ErrorCode::Storage.to_string(), "storage");
     }
 }

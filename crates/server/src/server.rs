@@ -28,13 +28,40 @@ use cbv_hb::dedup::UnionFind;
 use cbv_hb::sharded::ShardedPipeline;
 use cbv_hb::Record;
 use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
-use parking_lot::RwLock;
+use parking_lot::{Mutex, RwLock};
+use rl_store::{Store, StoreOptions, SyncPolicy, WalOp};
 use std::io::{BufRead, BufReader, ErrorKind, Write};
 use std::net::{IpAddr, Ipv4Addr, Ipv6Addr, SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+/// Durable-mode configuration: where the data directory lives and how
+/// aggressively it is synced and checkpointed.
+#[derive(Debug, Clone)]
+pub struct DurabilityConfig {
+    /// Directory holding the checkpoint and WAL segments (created if
+    /// missing). One server per directory.
+    pub data_dir: PathBuf,
+    /// fsync cadence for WAL appends (see [`SyncPolicy`]).
+    pub sync: SyncPolicy,
+    /// Background checkpoint cadence. `None` disables the checkpointer
+    /// (the WAL grows until a restart replays it).
+    pub checkpoint_every: Option<Duration>,
+}
+
+impl DurabilityConfig {
+    /// Durability at `data_dir` with the safe defaults: fsync every
+    /// append, checkpoint every 60 seconds.
+    pub fn new(data_dir: impl Into<PathBuf>) -> Self {
+        Self {
+            data_dir: data_dir.into(),
+            sync: SyncPolicy::Always,
+            checkpoint_every: Some(Duration::from_secs(60)),
+        }
+    }
+}
 
 /// Tuning knobs for [`Server::spawn`].
 #[derive(Debug, Clone)]
@@ -53,6 +80,10 @@ pub struct ServerConfig {
     /// logged with their latency split and counted in
     /// `rl_slow_requests_total`. `None` disables slow-request logging.
     pub slow_request_threshold: Option<Duration>,
+    /// When set, the server runs durably: every mutation is write-ahead
+    /// logged before the reply, and startup recovers from the data
+    /// directory (only honored via [`Server::spawn_durable`]).
+    pub durability: Option<DurabilityConfig>,
 }
 
 impl Default for ServerConfig {
@@ -63,6 +94,7 @@ impl Default for ServerConfig {
             queue_capacity: 64,
             snapshot_path: None,
             slow_request_threshold: Some(Duration::from_secs(1)),
+            durability: None,
         }
     }
 }
@@ -95,6 +127,11 @@ struct Inner {
     rejected_backpressure: AtomicU64,
     local_addr: SocketAddr,
     metrics: Arc<ServerMetrics>,
+    /// The durability layer (WAL + checkpoints); `None` without a data
+    /// dir. Lock order: `state` before `store` — mutations append under
+    /// the state write lock, the checkpointer rotates under a state read
+    /// lock, so neither can deadlock the other.
+    store: Option<Mutex<Store>>,
 }
 
 /// A running linkage service. Dropping the handle does not stop the
@@ -105,6 +142,7 @@ pub struct Server {
     jobs: Sender<Job>,
     accept_handle: Option<std::thread::JoinHandle<()>>,
     worker_handles: Vec<std::thread::JoinHandle<()>>,
+    checkpoint_handle: Option<std::thread::JoinHandle<()>>,
 }
 
 impl Server {
@@ -124,10 +162,107 @@ impl Server {
     /// # Errors
     /// Returns I/O errors from binding the address.
     pub fn spawn_with_history(
+        pipeline: ShardedPipeline,
+        stream_pairs: Vec<(u64, u64)>,
+        streamed: u64,
+        config: ServerConfig,
+    ) -> std::io::Result<Self> {
+        Self::spawn_core(pipeline, stream_pairs, streamed, config, None)
+    }
+
+    /// Spawns a **durable** server from `config.durability` (which must be
+    /// set): opens the data directory, loads the latest checkpoint,
+    /// replays the WAL tail (truncating a torn final frame with a warning,
+    /// never refusing to start), and then serves with every mutation
+    /// write-ahead logged before its reply. `fresh` builds the pipeline
+    /// only when the directory has no checkpoint yet (first boot).
+    ///
+    /// # Errors
+    /// Returns I/O errors from binding the address, opening the data
+    /// directory, or a corrupt checkpoint (a torn WAL tail is NOT an
+    /// error), and any error from `fresh`.
+    pub fn spawn_durable<F>(fresh: F, config: ServerConfig) -> std::io::Result<Self>
+    where
+        F: FnOnce() -> std::io::Result<ShardedPipeline>,
+    {
+        let Some(durability) = config.durability.clone() else {
+            return Err(std::io::Error::new(
+                ErrorKind::InvalidInput,
+                "spawn_durable requires config.durability",
+            ));
+        };
+        let (store, recovery) = Store::open(
+            &durability.data_dir,
+            StoreOptions {
+                sync: durability.sync,
+            },
+        )
+        .map_err(|e| std::io::Error::other(e.to_string()))?;
+
+        let mut state = match recovery.snapshot {
+            Some(snap) => {
+                let pipeline = ShardedPipeline::from_state(snap.state)
+                    .map_err(|e| std::io::Error::other(e.to_string()))?;
+                let mut dedup = UnionFind::new();
+                for &(a, b) in &snap.stream_pairs {
+                    dedup.union(a, b);
+                }
+                ServerState {
+                    pipeline,
+                    dedup,
+                    stream_pairs: snap.stream_pairs,
+                    streamed: snap.streamed,
+                }
+            }
+            None => ServerState {
+                pipeline: fresh()?,
+                dedup: UnionFind::new(),
+                stream_pairs: Vec::new(),
+                streamed: 0,
+            },
+        };
+        for op in &recovery.ops {
+            apply_op(&mut state, op).map_err(|e| std::io::Error::other(e.to_string()))?;
+        }
+        let report = recovery.report;
+        if report.checkpoint_seq.is_some() || report.replayed_ops > 0 {
+            eprintln!(
+                "rl-server: recovered from {}: checkpoint covering wal seq {:?}, \
+                 {} op(s) replayed from {} segment(s), {} torn byte(s) truncated, in {:.1}ms",
+                durability.data_dir.display(),
+                report.checkpoint_seq,
+                report.replayed_ops,
+                report.segments_replayed,
+                report.truncated_bytes,
+                report.duration.as_secs_f64() * 1e3,
+            );
+        }
+        let ServerState {
+            pipeline,
+            stream_pairs,
+            streamed,
+            ..
+        } = state;
+        let server = Self::spawn_core(pipeline, stream_pairs, streamed, config, Some(store))?;
+        server
+            .inner
+            .metrics
+            .replayed_ops
+            .set(report.replayed_ops as i64);
+        server
+            .inner
+            .metrics
+            .replay_duration_ms
+            .set(report.duration.as_millis() as i64);
+        Ok(server)
+    }
+
+    fn spawn_core(
         mut pipeline: ShardedPipeline,
         stream_pairs: Vec<(u64, u64)>,
         streamed: u64,
         config: ServerConfig,
+        store: Option<Store>,
     ) -> std::io::Result<Self> {
         let listener = TcpListener::bind(&config.addr)?;
         let local_addr = listener.local_addr()?;
@@ -139,6 +274,9 @@ impl Server {
         pipeline.attach_metrics(Arc::clone(&metrics.pipeline));
         metrics.indexed_records.set(pipeline.indexed_len() as i64);
         metrics.streamed_records.set(streamed as i64);
+        if let Some(store) = &store {
+            metrics.wal_bytes.set(store.wal_bytes() as i64);
+        }
         let workers = config.workers.max(1);
         let queue_capacity = config.queue_capacity.max(1);
         let inner = Arc::new(Inner {
@@ -155,6 +293,7 @@ impl Server {
             rejected_backpressure: AtomicU64::new(0),
             local_addr,
             metrics,
+            store: store.map(Mutex::new),
         });
 
         let (job_tx, job_rx) = bounded::<Job>(queue_capacity);
@@ -179,11 +318,32 @@ impl Server {
                 .expect("spawn accept loop")
         };
 
+        let checkpoint_handle = match (
+            &inner.store,
+            inner
+                .config
+                .durability
+                .as_ref()
+                .and_then(|d| d.checkpoint_every),
+        ) {
+            (Some(_), Some(every)) => {
+                let inner = Arc::clone(&inner);
+                Some(
+                    std::thread::Builder::new()
+                        .name("rl-checkpoint".into())
+                        .spawn(move || checkpoint_loop(&inner, every))
+                        .expect("spawn checkpointer"),
+                )
+            }
+            _ => None,
+        };
+
         Ok(Self {
             inner,
             jobs: job_tx,
             accept_handle: Some(accept_handle),
             worker_handles,
+            checkpoint_handle,
         })
     }
 
@@ -209,6 +369,16 @@ impl Server {
         drop(self.jobs);
         for handle in self.worker_handles.drain(..) {
             let _ = handle.join();
+        }
+        if let Some(handle) = self.checkpoint_handle.take() {
+            let _ = handle.join();
+        }
+        // Group-commit mode may hold acknowledged-but-unsynced frames;
+        // make the clean-shutdown boundary durable.
+        if let Some(store) = &self.inner.store {
+            if let Err(e) = store.lock().sync() {
+                eprintln!("rl-server: final WAL sync failed: {e}");
+            }
         }
         if let Some(path) = self.inner.config.snapshot_path.clone() {
             let state = self.inner.state.read();
@@ -407,14 +577,48 @@ fn worker_loop(inner: &Arc<Inner>, rx: &Receiver<Job>) {
 
 fn execute(inner: &Arc<Inner>, request: Request) -> Response {
     match request {
-        Request::Index { records } => {
+        // `Insert` (protocol v4) is `Index` with the durability intent
+        // spelled out; both hit the WAL before the reply when a data dir
+        // is configured.
+        Request::Index { records } | Request::Insert { records } => {
             let mut state = inner.state.write();
+            if inner.store.is_some() {
+                // Validate before logging so the WAL never holds an op
+                // that will fail again at replay.
+                if let Err(e) = state.pipeline.schema().embed_all(&records) {
+                    return Response::Err(RequestError::new(ErrorCode::Linkage, e.to_string()));
+                }
+                let ops: Vec<WalOp> = records.iter().cloned().map(WalOp::Insert).collect();
+                if let Err(e) = log_mutation(inner, &ops) {
+                    return Response::Err(e);
+                }
+            }
             match state.pipeline.index(&records) {
                 Ok(()) => {
                     let total_indexed = state.pipeline.indexed_len();
                     inner.metrics.indexed_records.set(total_indexed as i64);
                     Response::Ok(Reply::Indexed {
                         accepted: records.len(),
+                        total_indexed,
+                    })
+                }
+                Err(e) => Response::Err(RequestError::new(ErrorCode::Linkage, e.to_string())),
+            }
+        }
+        Request::Delete { ids } => {
+            let mut state = inner.state.write();
+            if inner.store.is_some() {
+                let ops: Vec<WalOp> = ids.iter().map(|&id| WalOp::Delete(id)).collect();
+                if let Err(e) = log_mutation(inner, &ops) {
+                    return Response::Err(e);
+                }
+            }
+            match state.pipeline.delete(&ids) {
+                Ok(removed) => {
+                    let total_indexed = state.pipeline.indexed_len();
+                    inner.metrics.indexed_records.set(total_indexed as i64);
+                    Response::Ok(Reply::Deleted {
+                        removed,
                         total_indexed,
                     })
                 }
@@ -430,6 +634,17 @@ fn execute(inner: &Arc<Inner>, request: Request) -> Response {
         }
         Request::Stream { record } => {
             let mut state = inner.state.write();
+            if inner.store.is_some() {
+                if let Err(e) = state.pipeline.schema().embed(&record) {
+                    return Response::Err(RequestError::new(ErrorCode::Linkage, e.to_string()));
+                }
+                // Logged as `Observe` (not `Insert`): replay re-runs the
+                // match-then-index round, rebuilding the stream pairs and
+                // the dedup forest deterministically.
+                if let Err(e) = log_mutation(inner, &[WalOp::Observe(record.clone())]) {
+                    return Response::Err(e);
+                }
+            }
             let t0 = Instant::now();
             match observe(&mut state, &record) {
                 Ok(matches) => {
@@ -518,11 +733,88 @@ fn observe(state: &mut ServerState, record: &Record) -> cbv_hb::error::Result<Ve
     Ok(matches)
 }
 
+/// Appends mutation ops to the WAL ahead of applying them. Called under
+/// the state write lock; on failure the mutation must be rejected, not
+/// applied (acknowledge-after-durable).
+fn log_mutation(inner: &Inner, ops: &[WalOp]) -> Result<(), RequestError> {
+    let Some(store) = &inner.store else {
+        return Ok(());
+    };
+    let mut store = store.lock();
+    for op in ops {
+        if let Err(e) = store.append(op) {
+            return Err(RequestError::new(
+                ErrorCode::Storage,
+                format!("wal append failed; mutation not applied: {e}"),
+            ));
+        }
+    }
+    inner.metrics.wal_appends.add(ops.len() as u64);
+    inner.metrics.wal_bytes.set(store.wal_bytes() as i64);
+    Ok(())
+}
+
+/// Applies one recovered WAL op to the state, with the same semantics the
+/// original request had.
+fn apply_op(state: &mut ServerState, op: &WalOp) -> cbv_hb::error::Result<()> {
+    match op {
+        WalOp::Insert(record) => state.pipeline.index(std::slice::from_ref(record)),
+        WalOp::Observe(record) => observe(state, record).map(|_| ()),
+        WalOp::Delete(id) => state.pipeline.delete(&[*id]).map(|_| ()),
+    }
+}
+
+/// The background checkpointer: every `every`, rotate the WAL, export the
+/// index, and commit a checkpoint that lets recovery skip the pruned log.
+fn checkpoint_loop(inner: &Arc<Inner>, every: Duration) {
+    let mut last = Instant::now();
+    while !inner.shutdown.load(Ordering::SeqCst) {
+        std::thread::sleep(Duration::from_millis(25));
+        if last.elapsed() < every {
+            continue;
+        }
+        last = Instant::now();
+        if let Err(e) = run_checkpoint(inner) {
+            // A failed checkpoint costs replay time, never durability:
+            // the WAL it failed to prune still holds every mutation.
+            eprintln!("rl-server: checkpoint failed: {e}");
+        }
+    }
+}
+
+fn run_checkpoint(inner: &Inner) -> Result<(), rl_store::StoreError> {
+    let Some(store) = &inner.store else {
+        return Ok(());
+    };
+    // The state read lock excludes mutations (which hold write) for the
+    // rotate + export window, so the exported snapshot covers exactly the
+    // segments up to the rotation watermark.
+    let state = inner.state.read();
+    let covered = store.lock().begin_checkpoint()?;
+    let exported = state.pipeline.export_state().map_err(|e| {
+        rl_store::StoreError::Snapshot(SnapshotError::Format {
+            path: None,
+            msg: e.to_string(),
+        })
+    })?;
+    let snapshot = Snapshot::new(exported, state.stream_pairs.clone(), state.streamed)
+        .map_err(rl_store::StoreError::Snapshot)?;
+    drop(state);
+    let mut store = store.lock();
+    store.commit_checkpoint(snapshot, covered)?;
+    inner.metrics.wal_bytes.set(store.wal_bytes() as i64);
+    inner.metrics.checkpoints.inc();
+    Ok(())
+}
+
 fn write_snapshot(state: &ServerState, path: &std::path::Path) -> Result<usize, SnapshotError> {
     let exported = state
         .pipeline
         .export_state()
-        .map_err(|e| SnapshotError::Format(e.to_string()))?;
+        .map_err(|e| SnapshotError::Format {
+            path: Some(path.to_path_buf()),
+            msg: e.to_string(),
+        })?;
     let indexed = exported.indexed;
     Snapshot::new(exported, state.stream_pairs.clone(), state.streamed)?.save(path)?;
     Ok(indexed)

@@ -1,477 +1,16 @@
-//! Atomic, versioned index snapshots.
+//! Atomic, versioned index snapshots — **moved to the `rl-store` crate**.
 //!
-//! A snapshot is one JSON document holding the full [`ShardedState`] —
-//! schema (hash coefficients included), classifier, and every shard's
-//! populated blocking plan + record store — plus the server's streaming
-//! side state. The header carries a format magic, a format version, and a
-//! hash of the serialized schema, so a reload can reject files from a
-//! different format or an incompatible index before touching any state.
+//! The snapshot machinery became the foundation of the durability
+//! subsystem (WAL + checkpoints), so it now lives in
+//! [`rl_store::snapshot`]; this module re-exports the same types under
+//! their historical `rl_server::snapshot` paths. Existing code keeps
+//! compiling; new code should prefer the `rl-store` paths.
 //!
-//! Writes are atomic: the document is written to a sibling temp file and
-//! `rename`d over the destination, so a crash mid-write never corrupts an
-//! existing snapshot. A writer that crashes *before* the rename leaves its
-//! `<name>.tmp-<pid>-<seq>` sibling behind; the next successful [`Snapshot::save`]
-//! to the same path sweeps such stale temps (only files matching the temp
-//! naming pattern for that snapshot, and never one another in-process
-//! writer still has in flight).
+//! Note one improvement that landed with the move: every
+//! [`SnapshotError`] variant now names the offending file in its
+//! `Display` output, so recovery failures are diagnosable from the
+//! message alone.
 
-use cbv_hb::sharded::ShardedState;
-use cbv_hb::RecordSchema;
-use serde::{Deserialize, Serialize};
-use std::collections::HashSet;
-use std::io::Write;
-use std::path::{Path, PathBuf};
-use std::sync::Mutex;
-
-/// Format magic: identifies a file as an rl-server snapshot.
-pub const SNAPSHOT_MAGIC: &str = "RLSNAP1";
-
-/// Current snapshot format version. Version 2 serializes the blocking
-/// backend (random-sampling or covering) inside each shard's plan; version
-/// 1 files predate pluggable backends and cannot be read.
-pub const SNAPSHOT_VERSION: u32 = 2;
-
-/// Errors raised while saving or loading snapshots.
-#[derive(Debug)]
-pub enum SnapshotError {
-    /// Filesystem failure (create, write, rename, read).
-    Io(std::io::Error),
-    /// The file is not a snapshot, or is from an incompatible format
-    /// version, or its schema hash does not match its schema.
-    Format(String),
-    /// JSON (de)serialization failure.
-    Serde(String),
-}
-
-impl std::fmt::Display for SnapshotError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            SnapshotError::Io(e) => write!(f, "snapshot I/O: {e}"),
-            SnapshotError::Format(msg) => write!(f, "snapshot format: {msg}"),
-            SnapshotError::Serde(msg) => write!(f, "snapshot encoding: {msg}"),
-        }
-    }
-}
-
-impl std::error::Error for SnapshotError {}
-
-impl From<std::io::Error> for SnapshotError {
-    fn from(e: std::io::Error) -> Self {
-        SnapshotError::Io(e)
-    }
-}
-
-/// The on-disk snapshot document.
-#[derive(Debug, Clone, Serialize, Deserialize)]
-pub struct Snapshot {
-    /// Must equal [`SNAPSHOT_MAGIC`].
-    pub magic: String,
-    /// Must equal [`SNAPSHOT_VERSION`].
-    pub version: u32,
-    /// FNV-1a hash of the serialized schema, hex-encoded. Verified on
-    /// load so a snapshot cannot silently pair records with the wrong
-    /// embedding coefficients.
-    pub schema_hash: String,
-    /// The sharded pipeline state.
-    pub state: ShardedState,
-    /// Matched pairs accumulated by `Stream` requests (rebuilds the
-    /// dedup union-find on restore).
-    pub stream_pairs: Vec<(u64, u64)>,
-    /// Records observed through `Stream`.
-    pub streamed: u64,
-}
-
-/// Hex-encoded FNV-1a 64 over the schema's canonical JSON form. The serde
-/// shim serializes maps with sorted keys, so the encoding is deterministic
-/// for equal schemas.
-pub fn schema_hash(schema: &RecordSchema) -> Result<String, SnapshotError> {
-    let json = serde_json::to_string(schema).map_err(|e| SnapshotError::Serde(e.to_string()))?;
-    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
-    for byte in json.as_bytes() {
-        hash ^= u64::from(*byte);
-        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    Ok(format!("{hash:016x}"))
-}
-
-impl Snapshot {
-    /// Wraps a pipeline state into a versioned snapshot document.
-    pub fn new(
-        state: ShardedState,
-        stream_pairs: Vec<(u64, u64)>,
-        streamed: u64,
-    ) -> Result<Self, SnapshotError> {
-        Ok(Self {
-            magic: SNAPSHOT_MAGIC.to_string(),
-            version: SNAPSHOT_VERSION,
-            schema_hash: schema_hash(&state.schema)?,
-            state,
-            stream_pairs,
-            streamed,
-        })
-    }
-
-    /// Writes the snapshot atomically: serialize to `<path>.tmp`, then
-    /// rename over `path`. Readers either see the old complete snapshot or
-    /// the new complete snapshot, never a torn write.
-    pub fn save(&self, path: &Path) -> Result<(), SnapshotError> {
-        let json = serde_json::to_string(self).map_err(|e| SnapshotError::Serde(e.to_string()))?;
-        let tmp = temp_sibling(path);
-        in_flight().lock().unwrap().insert(tmp.clone());
-        let result = (|| -> Result<(), SnapshotError> {
-            {
-                let mut file = std::fs::File::create(&tmp)?;
-                file.write_all(json.as_bytes())?;
-                file.write_all(b"\n")?;
-                file.sync_all()?;
-            }
-            if let Err(e) = std::fs::rename(&tmp, path) {
-                let _ = std::fs::remove_file(&tmp);
-                return Err(e.into());
-            }
-            Ok(())
-        })();
-        in_flight().lock().unwrap().remove(&tmp);
-        if result.is_ok() {
-            sweep_stale_temps(path);
-        }
-        result
-    }
-
-    /// Loads and validates a snapshot: magic, version, and schema hash
-    /// must all check out.
-    pub fn load(path: &Path) -> Result<Self, SnapshotError> {
-        let json = std::fs::read_to_string(path)?;
-        let snapshot: Snapshot =
-            serde_json::from_str(&json).map_err(|e| SnapshotError::Serde(e.to_string()))?;
-        if snapshot.magic != SNAPSHOT_MAGIC {
-            return Err(SnapshotError::Format(format!(
-                "bad magic {:?} (expected {SNAPSHOT_MAGIC:?})",
-                snapshot.magic
-            )));
-        }
-        if snapshot.version != SNAPSHOT_VERSION {
-            let hint = if snapshot.version < SNAPSHOT_VERSION {
-                "; the file predates the blocking-backend field — re-index and snapshot again"
-            } else {
-                ""
-            };
-            return Err(SnapshotError::Format(format!(
-                "unsupported version {} (this build reads {SNAPSHOT_VERSION}){hint}",
-                snapshot.version
-            )));
-        }
-        let actual = schema_hash(&snapshot.state.schema)?;
-        if actual != snapshot.schema_hash {
-            return Err(SnapshotError::Format(format!(
-                "schema hash mismatch: header {} vs content {actual}",
-                snapshot.schema_hash
-            )));
-        }
-        Ok(snapshot)
-    }
-}
-
-/// A temp path next to the destination, so the final rename stays on one
-/// filesystem (rename across mount points is not atomic — or possible).
-/// The name carries the pid plus a process-wide sequence number: two
-/// concurrent `Snapshot` requests (workers hold only a read lock) must not
-/// share a temp file, or one truncates the other mid-write and the rename
-/// publishes a partial document.
-fn temp_sibling(path: &Path) -> std::path::PathBuf {
-    static TEMP_SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
-    let seq = TEMP_SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-    let mut name = snapshot_file_name(path);
-    name.push_str(&format!(".tmp-{}-{seq}", std::process::id()));
-    path.with_file_name(name)
-}
-
-fn snapshot_file_name(path: &Path) -> String {
-    path.file_name()
-        .map(|n| n.to_string_lossy().into_owned())
-        .unwrap_or_else(|| "snapshot".to_string())
-}
-
-/// Temp paths this process is currently writing. The sweep must skip them:
-/// `Snapshot` requests run under a read lock, so two in-process saves to
-/// the same path can overlap, and a finishing save must not delete the
-/// other's half-written temp.
-fn in_flight() -> &'static Mutex<HashSet<PathBuf>> {
-    static IN_FLIGHT: std::sync::OnceLock<Mutex<HashSet<PathBuf>>> = std::sync::OnceLock::new();
-    IN_FLIGHT.get_or_init(|| Mutex::new(HashSet::new()))
-}
-
-/// True when `candidate` is `<snapshot-name>.tmp-<digits>-<digits>` — the
-/// exact shape [`temp_sibling`] produces for this snapshot. Anything else
-/// (the snapshot itself, other snapshots' temps, unrelated files) is left
-/// alone.
-fn is_stale_temp_name(candidate: &str, snapshot_name: &str) -> bool {
-    let Some(rest) = candidate
-        .strip_prefix(snapshot_name)
-        .and_then(|r| r.strip_prefix(".tmp-"))
-    else {
-        return false;
-    };
-    let mut parts = rest.splitn(2, '-');
-    let (Some(pid), Some(seq)) = (parts.next(), parts.next()) else {
-        return false;
-    };
-    !pid.is_empty()
-        && !seq.is_empty()
-        && pid.bytes().all(|b| b.is_ascii_digit())
-        && seq.bytes().all(|b| b.is_ascii_digit())
-}
-
-/// Removes temp siblings left behind by writers that crashed between
-/// `File::create` and `rename`. Best-effort: sweep failures never fail the
-/// save that triggered them.
-fn sweep_stale_temps(path: &Path) {
-    let Some(dir) = path.parent() else { return };
-    let dir = if dir.as_os_str().is_empty() {
-        Path::new(".")
-    } else {
-        dir
-    };
-    let snapshot_name = snapshot_file_name(path);
-    let Ok(entries) = std::fs::read_dir(dir) else {
-        return;
-    };
-    let candidates: Vec<PathBuf> = entries
-        .flatten()
-        .filter(|e| is_stale_temp_name(&e.file_name().to_string_lossy(), &snapshot_name))
-        .map(|e| e.path())
-        .collect();
-    if candidates.is_empty() {
-        return;
-    }
-    // Check liveness under the lock *after* listing: a temp registered
-    // while we iterated is then guaranteed visible here, so a concurrent
-    // in-process save can never lose its half-written file.
-    let live = in_flight().lock().unwrap();
-    for path in candidates {
-        if !live.contains(&path) {
-            let _ = std::fs::remove_file(path);
-        }
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use cbv_hb::sharded::ShardedPipeline;
-    use cbv_hb::{AttributeSpec, LinkageConfig, Record, Rule};
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
-    use textdist::Alphabet;
-
-    fn sample_state() -> ShardedState {
-        let mut rng = StdRng::seed_from_u64(3);
-        let schema = RecordSchema::build(
-            Alphabet::linkage(),
-            vec![
-                AttributeSpec::new("FirstName", 2, 15, false, 5),
-                AttributeSpec::new("LastName", 2, 15, false, 5),
-            ],
-            &mut rng,
-        );
-        let rule = Rule::and([Rule::pred(0, 4), Rule::pred(1, 4)]);
-        let mut p =
-            ShardedPipeline::new(schema, LinkageConfig::rule_aware(rule), 2, &mut rng).unwrap();
-        p.index(&[
-            Record::new(1, ["JOHN", "SMITH"]),
-            Record::new(2, ["MARY", "JONES"]),
-        ])
-        .unwrap();
-        let state = p.export_state().unwrap();
-        p.shutdown();
-        state
-    }
-
-    #[test]
-    fn save_load_roundtrip() {
-        let state = sample_state();
-        let dir = std::env::temp_dir().join("rl-server-snap-test-roundtrip");
-        std::fs::create_dir_all(&dir).unwrap();
-        let path = dir.join("index.snap");
-        let snap = Snapshot::new(state, vec![(1, 2)], 3).unwrap();
-        snap.save(&path).unwrap();
-        let loaded = Snapshot::load(&path).unwrap();
-        assert_eq!(loaded.stream_pairs, vec![(1, 2)]);
-        assert_eq!(loaded.streamed, 3);
-        assert_eq!(loaded.state.indexed, 2);
-        // The restored pipeline must answer probes like the original.
-        let p = ShardedPipeline::from_state(loaded.state).unwrap();
-        let (m, _) = p.link(&[Record::new(10, ["JON", "SMITH"])]).unwrap();
-        assert_eq!(m, vec![(1, 10)]);
-        p.shutdown();
-        std::fs::remove_dir_all(&dir).unwrap();
-    }
-
-    #[test]
-    fn rejects_bad_magic_version_and_hash() {
-        let state = sample_state();
-        let dir = std::env::temp_dir().join("rl-server-snap-test-reject");
-        std::fs::create_dir_all(&dir).unwrap();
-        let path = dir.join("index.snap");
-        let good = Snapshot::new(state, vec![], 0).unwrap();
-
-        let mut bad = good.clone();
-        bad.magic = "NOTASNAP".into();
-        bad.save(&path).unwrap();
-        assert!(matches!(
-            Snapshot::load(&path),
-            Err(SnapshotError::Format(_))
-        ));
-
-        let mut bad = good.clone();
-        bad.version = SNAPSHOT_VERSION + 1;
-        bad.save(&path).unwrap();
-        assert!(matches!(
-            Snapshot::load(&path),
-            Err(SnapshotError::Format(_))
-        ));
-
-        let mut bad = good.clone();
-        bad.schema_hash = "0".repeat(16);
-        bad.save(&path).unwrap();
-        assert!(matches!(
-            Snapshot::load(&path),
-            Err(SnapshotError::Format(_))
-        ));
-
-        good.save(&path).unwrap();
-        assert!(Snapshot::load(&path).is_ok());
-        std::fs::remove_dir_all(&dir).unwrap();
-    }
-
-    #[test]
-    fn version_1_snapshot_rejected_with_backend_hint() {
-        // A pre-backend snapshot (version 1) must fail with an error that
-        // tells the operator why the file is unreadable, not a generic
-        // deserialization failure.
-        let state = sample_state();
-        let dir = std::env::temp_dir().join("rl-server-snap-test-v1");
-        std::fs::create_dir_all(&dir).unwrap();
-        let path = dir.join("index.snap");
-        let mut old = Snapshot::new(state, vec![], 0).unwrap();
-        old.version = 1;
-        old.save(&path).unwrap();
-        match Snapshot::load(&path) {
-            Err(SnapshotError::Format(msg)) => {
-                assert!(msg.contains("unsupported version 1"), "{msg}");
-                assert!(msg.contains("predates the blocking-backend field"), "{msg}");
-            }
-            other => panic!("expected format error, got {other:?}"),
-        }
-        std::fs::remove_dir_all(&dir).unwrap();
-    }
-
-    #[test]
-    fn save_is_atomic_no_temp_left_behind() {
-        let state = sample_state();
-        let dir = std::env::temp_dir().join("rl-server-snap-test-atomic");
-        std::fs::create_dir_all(&dir).unwrap();
-        let path = dir.join("index.snap");
-        Snapshot::new(state, vec![], 0)
-            .unwrap()
-            .save(&path)
-            .unwrap();
-        let entries: Vec<String> = std::fs::read_dir(&dir)
-            .unwrap()
-            .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
-            .collect();
-        assert_eq!(entries, vec!["index.snap"]);
-        std::fs::remove_dir_all(&dir).unwrap();
-    }
-
-    #[test]
-    fn stale_temps_are_swept_on_next_save() {
-        // Regression: a writer that crashed between File::create and rename
-        // left `<name>.tmp-<pid>-<seq>` siblings behind forever.
-        let state = sample_state();
-        let dir = std::env::temp_dir().join("rl-server-snap-test-sweep");
-        std::fs::create_dir_all(&dir).unwrap();
-        let path = dir.join("index.snap");
-        // Simulate two crashed writers (a dead pid and this pid).
-        std::fs::write(dir.join("index.snap.tmp-99999-0"), "partial").unwrap();
-        std::fs::write(dir.join("index.snap.tmp-1234-7"), "partial").unwrap();
-        // Non-matching siblings must survive the sweep.
-        std::fs::write(dir.join("other.snap.tmp-1-1"), "keep").unwrap();
-        std::fs::write(dir.join("index.snap.tmp-abc-1"), "keep").unwrap();
-        std::fs::write(dir.join("index.snap.backup"), "keep").unwrap();
-
-        Snapshot::new(state, vec![], 0)
-            .unwrap()
-            .save(&path)
-            .unwrap();
-
-        let mut entries: Vec<String> = std::fs::read_dir(&dir)
-            .unwrap()
-            .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
-            .collect();
-        entries.sort();
-        assert_eq!(
-            entries,
-            vec![
-                "index.snap",
-                "index.snap.backup",
-                "index.snap.tmp-abc-1",
-                "other.snap.tmp-1-1"
-            ]
-        );
-        std::fs::remove_dir_all(&dir).unwrap();
-    }
-
-    #[test]
-    fn stale_temp_name_matching() {
-        assert!(is_stale_temp_name("a.snap.tmp-12-0", "a.snap"));
-        assert!(is_stale_temp_name("a.snap.tmp-12-345", "a.snap"));
-        // The snapshot itself and lookalikes are never candidates.
-        assert!(!is_stale_temp_name("a.snap", "a.snap"));
-        assert!(!is_stale_temp_name("a.snap.tmp-", "a.snap"));
-        assert!(!is_stale_temp_name("a.snap.tmp-12", "a.snap"));
-        assert!(!is_stale_temp_name("a.snap.tmp-12-", "a.snap"));
-        assert!(!is_stale_temp_name("a.snap.tmp-x-1", "a.snap"));
-        assert!(!is_stale_temp_name("a.snap.tmp-1-2-3", "a.snap"));
-        assert!(!is_stale_temp_name("b.snap.tmp-1-2", "a.snap"));
-    }
-
-    #[test]
-    fn concurrent_saves_do_not_clobber_each_other() {
-        // Two overlapping in-process saves to one path: both must land a
-        // complete document (the in-flight set keeps the sweep off live
-        // temps).
-        let state = sample_state();
-        let dir = std::env::temp_dir().join("rl-server-snap-test-concurrent");
-        std::fs::create_dir_all(&dir).unwrap();
-        let path = dir.join("index.snap");
-        let snap = Snapshot::new(state, vec![], 0).unwrap();
-        std::thread::scope(|scope| {
-            for _ in 0..4 {
-                scope.spawn(|| snap.save(&path).unwrap());
-            }
-        });
-        assert!(Snapshot::load(&path).is_ok());
-        let entries: Vec<String> = std::fs::read_dir(&dir)
-            .unwrap()
-            .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
-            .collect();
-        assert_eq!(entries, vec!["index.snap"], "no temps left behind");
-        std::fs::remove_dir_all(&dir).unwrap();
-    }
-
-    #[test]
-    fn schema_hash_is_stable_and_discriminating() {
-        let state_a = sample_state();
-        let state_b = sample_state(); // same seed → identical schema
-        let ha = schema_hash(&state_a.schema).unwrap();
-        assert_eq!(ha, schema_hash(&state_b.schema).unwrap());
-        let mut rng = StdRng::seed_from_u64(99);
-        let other = RecordSchema::build(
-            Alphabet::linkage(),
-            vec![AttributeSpec::new("X", 2, 20, false, 5)],
-            &mut rng,
-        );
-        assert_ne!(ha, schema_hash(&other).unwrap());
-    }
-}
+pub use rl_store::snapshot::{
+    schema_hash, Snapshot, SnapshotError, SNAPSHOT_MAGIC, SNAPSHOT_VERSION,
+};

@@ -1,0 +1,170 @@
+//! Checkpoints: a snapshot plus the WAL position it covers.
+//!
+//! A checkpoint is the snapshot document wrapped with the sequence number
+//! of the last WAL segment whose mutations are fully contained in it.
+//! Recovery loads the checkpoint, then replays only segments *after* that
+//! sequence — the log prefix the checkpoint covers has been pruned (or is
+//! about to be; replaying it anyway is harmless, because applying a WAL
+//! op twice is idempotent at the index level).
+
+use crate::atomic::write_atomic;
+use crate::snapshot::{Snapshot, SnapshotError};
+use serde::{Deserialize, Serialize};
+use std::path::Path;
+
+/// Format magic: identifies a file as an rl-store checkpoint.
+pub const CHECKPOINT_MAGIC: &str = "RLCKPT1";
+
+/// Current checkpoint format version.
+pub const CHECKPOINT_VERSION: u32 = 1;
+
+/// The on-disk checkpoint document.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Checkpoint {
+    /// Must equal [`CHECKPOINT_MAGIC`].
+    pub magic: String,
+    /// Must equal [`CHECKPOINT_VERSION`].
+    pub version: u32,
+    /// Every WAL segment with sequence ≤ this is fully covered by
+    /// `snapshot` and safe to prune.
+    pub wal_seq: u64,
+    /// The embedded index snapshot (validated with the same rules as a
+    /// standalone snapshot file).
+    pub snapshot: Snapshot,
+}
+
+impl Checkpoint {
+    /// Wraps a snapshot with the WAL sequence it covers.
+    pub fn new(wal_seq: u64, snapshot: Snapshot) -> Self {
+        Self {
+            magic: CHECKPOINT_MAGIC.to_string(),
+            version: CHECKPOINT_VERSION,
+            wal_seq,
+            snapshot,
+        }
+    }
+
+    /// Writes the checkpoint atomically (temp sibling + fsync + rename),
+    /// so a crash mid-checkpoint leaves the previous checkpoint intact.
+    ///
+    /// # Errors
+    /// Returns [`SnapshotError::Io`] (naming the path) or
+    /// [`SnapshotError::Serde`] on encoding failure.
+    pub fn save(&self, path: &Path) -> Result<(), SnapshotError> {
+        let json = serde_json::to_string(self).map_err(|e| SnapshotError::Serde {
+            path: Some(path.to_path_buf()),
+            msg: e.to_string(),
+        })?;
+        write_atomic(path, json.as_bytes())
+    }
+
+    /// Loads and validates a checkpoint: its own magic/version plus the
+    /// embedded snapshot's magic, version, and schema hash.
+    ///
+    /// # Errors
+    /// Returns [`SnapshotError::Io`] when the file cannot be read,
+    /// [`SnapshotError::Serde`] when it is not a checkpoint document, and
+    /// [`SnapshotError::Format`] when validation fails — all naming the
+    /// offending path.
+    pub fn load(path: &Path) -> Result<Self, SnapshotError> {
+        let json = std::fs::read_to_string(path).map_err(|e| SnapshotError::io("read", path, e))?;
+        let ckpt: Checkpoint = serde_json::from_str(&json).map_err(|e| SnapshotError::Serde {
+            path: Some(path.to_path_buf()),
+            msg: e.to_string(),
+        })?;
+        if ckpt.magic != CHECKPOINT_MAGIC {
+            return Err(SnapshotError::Format {
+                path: Some(path.to_path_buf()),
+                msg: format!("bad magic {:?} (expected {CHECKPOINT_MAGIC:?})", ckpt.magic),
+            });
+        }
+        if ckpt.version != CHECKPOINT_VERSION {
+            return Err(SnapshotError::Format {
+                path: Some(path.to_path_buf()),
+                msg: format!(
+                    "unsupported version {} (this build reads {CHECKPOINT_VERSION})",
+                    ckpt.version
+                ),
+            });
+        }
+        ckpt.snapshot.validate(Some(path))?;
+        Ok(ckpt)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cbv_hb::sharded::ShardedPipeline;
+    use cbv_hb::{AttributeSpec, LinkageConfig, Record, RecordSchema, Rule};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use textdist::Alphabet;
+
+    fn sample_snapshot() -> Snapshot {
+        let mut rng = StdRng::seed_from_u64(3);
+        let schema = RecordSchema::build(
+            Alphabet::linkage(),
+            vec![
+                AttributeSpec::new("FirstName", 2, 15, false, 5),
+                AttributeSpec::new("LastName", 2, 15, false, 5),
+            ],
+            &mut rng,
+        );
+        let rule = Rule::and([Rule::pred(0, 4), Rule::pred(1, 4)]);
+        let mut p =
+            ShardedPipeline::new(schema, LinkageConfig::rule_aware(rule), 2, &mut rng).unwrap();
+        p.index(&[Record::new(1, ["JOHN", "SMITH"])]).unwrap();
+        let state = p.export_state().unwrap();
+        p.shutdown();
+        Snapshot::new(state, vec![], 0).unwrap()
+    }
+
+    #[test]
+    fn save_load_roundtrip_preserves_wal_seq() {
+        let dir = std::env::temp_dir().join("rl-store-ckpt-test-roundtrip");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("checkpoint.snap");
+        Checkpoint::new(7, sample_snapshot()).save(&path).unwrap();
+        let loaded = Checkpoint::load(&path).unwrap();
+        assert_eq!(loaded.wal_seq, 7);
+        assert_eq!(loaded.snapshot.state.indexed, 1);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn rejects_bad_magic_version_and_embedded_snapshot() {
+        let dir = std::env::temp_dir().join("rl-store-ckpt-test-reject");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("checkpoint.snap");
+        let good = Checkpoint::new(1, sample_snapshot());
+
+        let mut bad = good.clone();
+        bad.magic = "NOTACKPT".into();
+        bad.save(&path).unwrap();
+        let msg = Checkpoint::load(&path).unwrap_err().to_string();
+        assert!(msg.contains("checkpoint.snap"), "names the path: {msg}");
+
+        let mut bad = good.clone();
+        bad.version = CHECKPOINT_VERSION + 1;
+        bad.save(&path).unwrap();
+        assert!(matches!(
+            Checkpoint::load(&path),
+            Err(SnapshotError::Format { .. })
+        ));
+
+        // A corrupt embedded snapshot is caught by the same validation a
+        // standalone snapshot file gets.
+        let mut bad = good.clone();
+        bad.snapshot.schema_hash = "0".repeat(16);
+        bad.save(&path).unwrap();
+        assert!(matches!(
+            Checkpoint::load(&path),
+            Err(SnapshotError::Format { .. })
+        ));
+
+        good.save(&path).unwrap();
+        assert!(Checkpoint::load(&path).is_ok());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,71 @@
+//! Store-level errors.
+
+use crate::snapshot::SnapshotError;
+use std::path::PathBuf;
+
+/// Errors raised by the durability subsystem. Like [`SnapshotError`],
+/// every variant's Display names the file involved.
+#[derive(Debug)]
+pub enum StoreError {
+    /// Filesystem failure outside the snapshot/checkpoint path (WAL
+    /// append, directory scan, segment prune, …).
+    Io {
+        /// The operation that failed.
+        op: &'static str,
+        /// The file or directory it was applied to.
+        path: PathBuf,
+        /// The underlying I/O error.
+        source: std::io::Error,
+    },
+    /// Snapshot or checkpoint failure (already path-annotated).
+    Snapshot(SnapshotError),
+    /// A WAL segment whose *header* is unreadable — not a torn tail
+    /// (those are truncated with a warning), but a file that is not a WAL
+    /// at all.
+    NotAWal {
+        /// The offending file.
+        path: PathBuf,
+        /// What was wrong with the header.
+        msg: String,
+    },
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StoreError::Io { op, path, source } => {
+                write!(f, "store I/O: {op} {}: {source}", path.display())
+            }
+            StoreError::Snapshot(e) => write!(f, "{e}"),
+            StoreError::NotAWal { path, msg } => {
+                write!(f, "not a WAL segment: {}: {msg}", path.display())
+            }
+        }
+    }
+}
+
+impl std::error::Error for StoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StoreError::Io { source, .. } => Some(source),
+            StoreError::Snapshot(e) => Some(e),
+            StoreError::NotAWal { .. } => None,
+        }
+    }
+}
+
+impl From<SnapshotError> for StoreError {
+    fn from(e: SnapshotError) -> Self {
+        StoreError::Snapshot(e)
+    }
+}
+
+impl StoreError {
+    pub(crate) fn io(op: &'static str, path: &std::path::Path, source: std::io::Error) -> Self {
+        StoreError::Io {
+            op,
+            path: path.to_path_buf(),
+            source,
+        }
+    }
+}

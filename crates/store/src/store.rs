@@ -1,0 +1,534 @@
+//! [`Store`]: the data-directory manager tying WAL, checkpoint, and
+//! recovery together.
+//!
+//! ## Directory layout
+//!
+//! ```text
+//! <data-dir>/
+//!   checkpoint.snap   # latest checkpoint (atomic rename; may be absent)
+//!   wal-000001.log    # WAL segments, monotonically numbered
+//!   wal-000002.log    # ... the highest-numbered one is being appended to
+//! ```
+//!
+//! ## Checkpoint protocol
+//!
+//! 1. [`Store::begin_checkpoint`] — fsync and rotate: the active segment
+//!    is closed and a new one opened; the closed segment's sequence is the
+//!    `covered` watermark. Mutations keep flowing into the new segment
+//!    while the caller exports the (now-stable-prefix) index state.
+//! 2. [`Store::commit_checkpoint`] — atomically write `checkpoint.snap`
+//!    embedding the exported snapshot and `covered`, then prune every
+//!    segment with sequence ≤ `covered`.
+//!
+//! A crash anywhere in this window is safe: before the checkpoint rename
+//! lands, recovery uses the *previous* checkpoint and replays the old
+//! segments (still present); after the rename but before the prune
+//! finishes, recovery deletes the covered segments itself. Replaying an
+//! op the checkpoint already contains would also be harmless — inserts
+//! replace by id, deletes of absent ids are no-ops.
+
+use crate::checkpoint::Checkpoint;
+use crate::error::StoreError;
+use crate::snapshot::{Snapshot, SnapshotError};
+use crate::wal::{replay, SyncPolicy, Wal, WalOp};
+use std::path::{Path, PathBuf};
+use std::time::Duration;
+
+/// Name of the checkpoint document inside a data directory.
+pub const CHECKPOINT_FILE: &str = "checkpoint.snap";
+
+/// Tuning for a [`Store`].
+#[derive(Debug, Clone, Copy)]
+pub struct StoreOptions {
+    /// fsync cadence for WAL appends.
+    pub sync: SyncPolicy,
+}
+
+impl Default for StoreOptions {
+    fn default() -> Self {
+        Self {
+            sync: SyncPolicy::Always,
+        }
+    }
+}
+
+/// What [`Store::open`] recovered from the data directory. Applying
+/// `snapshot` (if any) and then `ops` in order reproduces the exact state
+/// at the last acknowledged, durable mutation.
+#[derive(Debug)]
+pub struct Recovery {
+    /// The latest checkpoint's snapshot, absent on a fresh directory.
+    pub snapshot: Option<Snapshot>,
+    /// WAL ops past the checkpoint, in append order.
+    pub ops: Vec<WalOp>,
+    /// What happened during recovery (for logs and metrics).
+    pub report: RecoveryReport,
+}
+
+/// Diagnostics from one recovery pass.
+#[derive(Debug, Clone, Default)]
+pub struct RecoveryReport {
+    /// WAL sequence covered by the loaded checkpoint (`None` without one).
+    pub checkpoint_seq: Option<u64>,
+    /// Ops replayed from the WAL tail.
+    pub replayed_ops: u64,
+    /// Segments the replayed ops came from.
+    pub segments_replayed: u64,
+    /// Bytes dropped from torn/corrupt frames (0 on a clean shutdown).
+    pub truncated_bytes: u64,
+    /// Wall-clock time spent loading the checkpoint and scanning the WAL.
+    pub duration: Duration,
+}
+
+/// An open data directory: the active WAL segment plus checkpoint
+/// management. One `Store` owns the directory; callers serialize access
+/// (the server holds it under its state write lock).
+#[derive(Debug)]
+pub struct Store {
+    dir: PathBuf,
+    wal: Wal,
+    /// Sequence of the active segment.
+    seq: u64,
+    /// Bytes in retained segments older than the active one.
+    prior_bytes: u64,
+    /// Total appends through this handle, across rotations.
+    appends: u64,
+    opts: StoreOptions,
+}
+
+fn segment_path(dir: &Path, seq: u64) -> PathBuf {
+    dir.join(format!("wal-{seq:06}.log"))
+}
+
+fn parse_segment_seq(name: &str) -> Option<u64> {
+    name.strip_prefix("wal-")?
+        .strip_suffix(".log")?
+        .parse()
+        .ok()
+}
+
+/// All WAL segment sequences in `dir`, sorted ascending.
+fn scan_segments(dir: &Path) -> Result<Vec<u64>, StoreError> {
+    let entries = std::fs::read_dir(dir).map_err(|e| StoreError::io("read_dir", dir, e))?;
+    let mut seqs: Vec<u64> = entries
+        .flatten()
+        .filter_map(|e| parse_segment_seq(&e.file_name().to_string_lossy()))
+        .collect();
+    seqs.sort_unstable();
+    Ok(seqs)
+}
+
+impl Store {
+    /// Opens (creating if needed) a data directory and recovers its
+    /// state: loads the latest checkpoint, replays the WAL tail, and
+    /// truncates any torn final frame **with a warning, never a refusal
+    /// to start**. Returns the store (ready for appends) plus everything
+    /// needed to rebuild the index.
+    ///
+    /// # Errors
+    /// Returns [`StoreError`] on filesystem failure or a *corrupt
+    /// checkpoint* (unlike a torn WAL tail, the checkpoint is written
+    /// atomically, so corruption there is damage recovery must not paper
+    /// over — the error names the file).
+    pub fn open(dir: &Path, opts: StoreOptions) -> Result<(Self, Recovery), StoreError> {
+        let started = std::time::Instant::now();
+        std::fs::create_dir_all(dir).map_err(|e| StoreError::io("create_dir", dir, e))?;
+
+        let ckpt_path = dir.join(CHECKPOINT_FILE);
+        let checkpoint = match Checkpoint::load(&ckpt_path) {
+            Ok(c) => Some(c),
+            Err(SnapshotError::Io { ref source, .. })
+                if source.kind() == std::io::ErrorKind::NotFound =>
+            {
+                None
+            }
+            Err(e) => return Err(e.into()),
+        };
+        let covered = checkpoint.as_ref().map(|c| c.wal_seq);
+
+        // Finish any prune a crash interrupted: segments the checkpoint
+        // covers are dead weight.
+        let mut seqs = scan_segments(dir)?;
+        if let Some(covered) = covered {
+            for &seq in seqs.iter().filter(|&&s| s <= covered) {
+                let _ = std::fs::remove_file(segment_path(dir, seq));
+            }
+            seqs.retain(|&s| s > covered);
+        }
+
+        let mut ops = Vec::new();
+        let mut report = RecoveryReport {
+            checkpoint_seq: covered,
+            ..RecoveryReport::default()
+        };
+        // (active segment seq, valid length to reuse) — None means start a
+        // fresh segment instead of reusing the last one.
+        let mut reuse: Option<(u64, u64)> = None;
+        let mut abandoned_after = None;
+        for (i, &seq) in seqs.iter().enumerate() {
+            let path = segment_path(dir, seq);
+            let last = i == seqs.len() - 1;
+            let seg = match replay(&path) {
+                Ok(seg) => seg,
+                Err(StoreError::NotAWal { path, msg }) => {
+                    eprintln!(
+                        "rl-store: WARNING: {} is not a WAL segment ({msg}); \
+                         abandoning replay at seq {seq}",
+                        path.display()
+                    );
+                    abandoned_after = Some(seq);
+                    break;
+                }
+                Err(e) => return Err(e),
+            };
+            if seg.torn_bytes > 0 {
+                eprintln!(
+                    "rl-store: WARNING: truncating {} torn byte(s) at end of {} \
+                     (crash mid-append); recovering the longest valid prefix",
+                    seg.torn_bytes,
+                    path.display()
+                );
+                report.truncated_bytes += seg.torn_bytes;
+            }
+            report.replayed_ops += seg.ops.len() as u64;
+            report.segments_replayed += 1;
+            ops.extend(seg.ops);
+            if last {
+                reuse = Some((seq, seg.valid_len));
+            } else if seg.torn_bytes > 0 {
+                // A tear in a non-final segment means later segments were
+                // written after corruption crept in; their ordering
+                // guarantee is gone. Keep the recovered prefix, leave the
+                // files for forensics, and append to a fresh segment.
+                eprintln!(
+                    "rl-store: WARNING: tear in non-final segment {}; \
+                     later segments are not replayed",
+                    path.display()
+                );
+                abandoned_after = Some(*seqs.last().unwrap());
+                break;
+            }
+        }
+
+        let (seq, wal) = match (reuse, abandoned_after) {
+            (_, Some(max)) => {
+                let seq = max + 1;
+                (seq, Wal::create(&segment_path(dir, seq), opts.sync)?)
+            }
+            (Some((seq, valid_len)), None) => (
+                seq,
+                Wal::open_append(&segment_path(dir, seq), opts.sync, valid_len)?,
+            ),
+            (None, None) => {
+                let seq = covered.unwrap_or(0) + 1;
+                (seq, Wal::create(&segment_path(dir, seq), opts.sync)?)
+            }
+        };
+
+        let prior_bytes = scan_segments(dir)?
+            .into_iter()
+            .filter(|&s| s != seq)
+            .map(|s| {
+                std::fs::metadata(segment_path(dir, s))
+                    .map(|m| m.len())
+                    .unwrap_or(0)
+            })
+            .sum();
+
+        report.duration = started.elapsed();
+        let store = Self {
+            dir: dir.to_path_buf(),
+            wal,
+            seq,
+            prior_bytes,
+            appends: 0,
+            opts,
+        };
+        let recovery = Recovery {
+            snapshot: checkpoint.map(|c| c.snapshot),
+            ops,
+            report,
+        };
+        Ok((store, recovery))
+    }
+
+    /// Appends one mutation to the WAL (durability per the sync policy).
+    /// Must complete before the mutation is acknowledged.
+    ///
+    /// # Errors
+    /// Returns [`StoreError::Io`] naming the segment on failure.
+    pub fn append(&mut self, op: &WalOp) -> Result<(), StoreError> {
+        self.wal.append(op)?;
+        self.appends += 1;
+        Ok(())
+    }
+
+    /// Forces an fsync of the active segment regardless of policy.
+    ///
+    /// # Errors
+    /// Returns [`StoreError::Io`] naming the segment on failure.
+    pub fn sync(&mut self) -> Result<(), StoreError> {
+        self.wal.sync()
+    }
+
+    /// Phase 1 of a checkpoint: fsync, close the active segment, open the
+    /// next one. Returns the covered watermark to pass to
+    /// [`Self::commit_checkpoint`] once the caller has exported state.
+    ///
+    /// # Errors
+    /// Returns [`StoreError::Io`] on fsync or segment-creation failure.
+    pub fn begin_checkpoint(&mut self) -> Result<u64, StoreError> {
+        self.wal.sync()?;
+        let covered = self.seq;
+        self.seq += 1;
+        let next = Wal::create(&segment_path(&self.dir, self.seq), self.opts.sync)?;
+        let old = std::mem::replace(&mut self.wal, next);
+        self.prior_bytes += old.len();
+        Ok(covered)
+    }
+
+    /// Phase 2 of a checkpoint: atomically publish `checkpoint.snap` and
+    /// prune the covered segments. `snapshot` must reflect at least every
+    /// mutation up to the `covered` watermark from
+    /// [`Self::begin_checkpoint`] (exporting *after* the rotation
+    /// guarantees that).
+    ///
+    /// # Errors
+    /// Returns [`StoreError::Snapshot`] if the checkpoint cannot be
+    /// written; pruning failures are best-effort (a leftover covered
+    /// segment is deleted on the next open).
+    pub fn commit_checkpoint(
+        &mut self,
+        snapshot: Snapshot,
+        covered: u64,
+    ) -> Result<(), StoreError> {
+        Checkpoint::new(covered, snapshot).save(&self.dir.join(CHECKPOINT_FILE))?;
+        for seq in scan_segments(&self.dir)?
+            .into_iter()
+            .filter(|&s| s <= covered)
+        {
+            let path = segment_path(&self.dir, seq);
+            let len = std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
+            if std::fs::remove_file(&path).is_ok() {
+                self.prior_bytes = self.prior_bytes.saturating_sub(len);
+            }
+        }
+        Ok(())
+    }
+
+    /// Live WAL bytes across all retained segments (the
+    /// `rl_wal_bytes` gauge).
+    pub fn wal_bytes(&self) -> u64 {
+        self.prior_bytes + self.wal.len()
+    }
+
+    /// Total appends through this handle (the `rl_wal_appends_total`
+    /// counter), across rotations.
+    pub fn appends(&self) -> u64 {
+        self.appends
+    }
+
+    /// The data directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Sequence number of the active WAL segment.
+    pub fn active_seq(&self) -> u64 {
+        self.seq
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cbv_hb::sharded::ShardedPipeline;
+    use cbv_hb::{AttributeSpec, LinkageConfig, Record, RecordSchema, Rule};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use textdist::Alphabet;
+
+    fn rec(id: u64) -> Record {
+        Record::new(id, ["JOHN", "SMITH"])
+    }
+
+    fn sample_snapshot(indexed: &[u64]) -> Snapshot {
+        let mut rng = StdRng::seed_from_u64(3);
+        let schema = RecordSchema::build(
+            Alphabet::linkage(),
+            vec![
+                AttributeSpec::new("FirstName", 2, 15, false, 5),
+                AttributeSpec::new("LastName", 2, 15, false, 5),
+            ],
+            &mut rng,
+        );
+        let rule = Rule::and([Rule::pred(0, 4), Rule::pred(1, 4)]);
+        let mut p =
+            ShardedPipeline::new(schema, LinkageConfig::rule_aware(rule), 2, &mut rng).unwrap();
+        let records: Vec<Record> = indexed.iter().map(|&id| rec(id)).collect();
+        p.index(&records).unwrap();
+        let state = p.export_state().unwrap();
+        p.shutdown();
+        Snapshot::new(state, vec![], 0).unwrap()
+    }
+
+    fn fresh_dir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("rl-store-store-test-{name}"));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn fresh_dir_then_reopen_replays_everything() {
+        let dir = fresh_dir("fresh");
+        let (mut store, rec0) = Store::open(&dir, StoreOptions::default()).unwrap();
+        assert!(rec0.snapshot.is_none());
+        assert!(rec0.ops.is_empty());
+        store.append(&WalOp::Insert(rec(1))).unwrap();
+        store.append(&WalOp::Delete(1)).unwrap();
+        store.append(&WalOp::Observe(rec(2))).unwrap();
+        assert_eq!(store.appends(), 3);
+        drop(store);
+
+        let (store, recov) = Store::open(&dir, StoreOptions::default()).unwrap();
+        assert!(recov.snapshot.is_none());
+        assert_eq!(
+            recov.ops,
+            vec![
+                WalOp::Insert(rec(1)),
+                WalOp::Delete(1),
+                WalOp::Observe(rec(2)),
+            ]
+        );
+        assert_eq!(recov.report.replayed_ops, 3);
+        assert_eq!(recov.report.truncated_bytes, 0);
+        assert!(store.wal_bytes() > 0);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn checkpoint_prunes_and_recovery_uses_snapshot_plus_tail() {
+        let dir = fresh_dir("ckpt");
+        let (mut store, _) = Store::open(&dir, StoreOptions::default()).unwrap();
+        store.append(&WalOp::Insert(rec(1))).unwrap();
+        store.append(&WalOp::Insert(rec(2))).unwrap();
+        let covered = store.begin_checkpoint().unwrap();
+        assert_eq!(covered, 1);
+        // Mutations during the checkpoint land in the new segment.
+        store.append(&WalOp::Insert(rec(3))).unwrap();
+        store
+            .commit_checkpoint(sample_snapshot(&[1, 2]), covered)
+            .unwrap();
+        store.append(&WalOp::Delete(2)).unwrap();
+        drop(store);
+
+        // Covered segment is gone.
+        assert!(!segment_path(&dir, 1).exists());
+        assert!(segment_path(&dir, 2).exists());
+
+        let (_, recov) = Store::open(&dir, StoreOptions::default()).unwrap();
+        let snap = recov.snapshot.expect("checkpoint snapshot");
+        assert_eq!(snap.state.indexed, 2);
+        assert_eq!(recov.ops, vec![WalOp::Insert(rec(3)), WalOp::Delete(2)]);
+        assert_eq!(recov.report.checkpoint_seq, Some(1));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_and_appends_continue() {
+        let dir = fresh_dir("torn");
+        let (mut store, _) = Store::open(&dir, StoreOptions::default()).unwrap();
+        for i in 0..4 {
+            store.append(&WalOp::Insert(rec(i))).unwrap();
+        }
+        drop(store);
+        // Tear the last frame.
+        let seg = segment_path(&dir, 1);
+        let bytes = std::fs::read(&seg).unwrap();
+        std::fs::write(&seg, &bytes[..bytes.len() - 3]).unwrap();
+
+        let (mut store, recov) = Store::open(&dir, StoreOptions::default()).unwrap();
+        assert_eq!(recov.ops.len(), 3, "longest valid prefix");
+        // Torn bytes = cut file length minus the valid prefix length.
+        let valid = replay(&seg).unwrap().valid_len as usize;
+        assert_eq!(
+            recov.report.truncated_bytes as usize,
+            bytes.len() - 3 - valid
+        );
+        // The store keeps working on the truncated segment.
+        store.append(&WalOp::Insert(rec(9))).unwrap();
+        drop(store);
+        let (_, recov) = Store::open(&dir, StoreOptions::default()).unwrap();
+        assert_eq!(recov.ops.len(), 4);
+        assert_eq!(recov.ops[3], WalOp::Insert(rec(9)));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn crash_between_checkpoint_and_prune_is_recovered() {
+        let dir = fresh_dir("midprune");
+        let (mut store, _) = Store::open(&dir, StoreOptions::default()).unwrap();
+        store.append(&WalOp::Insert(rec(1))).unwrap();
+        let covered = store.begin_checkpoint().unwrap();
+        // Simulate the crash window: checkpoint written, prune never ran.
+        Checkpoint::new(covered, sample_snapshot(&[1]))
+            .save(&dir.join(CHECKPOINT_FILE))
+            .unwrap();
+        store.append(&WalOp::Insert(rec(2))).unwrap();
+        drop(store);
+        assert!(segment_path(&dir, 1).exists(), "prune never ran");
+
+        let (_, recov) = Store::open(&dir, StoreOptions::default()).unwrap();
+        // The covered segment was deleted at open and NOT replayed.
+        assert!(!segment_path(&dir, 1).exists());
+        assert_eq!(recov.snapshot.unwrap().state.indexed, 1);
+        assert_eq!(recov.ops, vec![WalOp::Insert(rec(2))]);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupt_checkpoint_is_an_error_not_silent_data_loss() {
+        let dir = fresh_dir("badckpt");
+        let (mut store, _) = Store::open(&dir, StoreOptions::default()).unwrap();
+        store.append(&WalOp::Insert(rec(1))).unwrap();
+        drop(store);
+        std::fs::write(dir.join(CHECKPOINT_FILE), "garbage").unwrap();
+        let err = Store::open(&dir, StoreOptions::default()).unwrap_err();
+        assert!(
+            err.to_string().contains(CHECKPOINT_FILE),
+            "error names the file: {err}"
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn wal_bytes_tracks_rotation_and_prune() {
+        let dir = fresh_dir("bytes");
+        let (mut store, _) = Store::open(&dir, StoreOptions::default()).unwrap();
+        store.append(&WalOp::Insert(rec(1))).unwrap();
+        let before = store.wal_bytes();
+        let covered = store.begin_checkpoint().unwrap();
+        assert!(
+            store.wal_bytes() > before,
+            "rotation adds a fresh header without dropping old bytes"
+        );
+        store
+            .commit_checkpoint(sample_snapshot(&[1]), covered)
+            .unwrap();
+        let after = store.wal_bytes();
+        assert!(
+            after < before,
+            "prune reclaims the covered segment ({after} vs {before})"
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn segment_name_parsing() {
+        assert_eq!(parse_segment_seq("wal-000001.log"), Some(1));
+        assert_eq!(parse_segment_seq("wal-123456.log"), Some(123456));
+        assert_eq!(parse_segment_seq("wal-.log"), None);
+        assert_eq!(parse_segment_seq("checkpoint.snap"), None);
+        assert_eq!(parse_segment_seq("wal-1.txt"), None);
+    }
+}

@@ -38,9 +38,10 @@ fn usage() -> ! {
          [--delta D] [--seed S]\n  \
          rl serve --rule EXPR --fields N [--addr HOST:PORT] [--m-bits M] \
          [--k K] [--delta D] [--blocking random|covering] [--shards N] \
-         [--workers N] [--queue N] [--snapshot PATH] [--slow-ms MS] [--seed S]\n  \
-         rl client --cmd stats|metrics|dedup-status|shutdown|snapshot|index|probe|stream \
-         [--addr HOST:PORT] [--input F.csv] [--out M.csv] [--path SNAP] \
+         [--workers N] [--queue N] [--snapshot PATH] [--slow-ms MS] [--seed S] \
+         [--data-dir DIR] [--checkpoint-every SECS] [--wal-sync-ms MS]\n  \
+         rl client --cmd stats|metrics|dedup-status|shutdown|snapshot|index|insert|delete|probe|stream \
+         [--addr HOST:PORT] [--input F.csv] [--out M.csv] [--path SNAP] [--ids 1,2,...] \
          [--header] [--id-column N] [--timeout-ms MS] [--prometheus]"
     );
     exit(2)
@@ -401,9 +402,15 @@ fn dedup(flags: &HashMap<String, String>) -> Result<(), String> {
 /// Runs the persistent linkage service: builds a fresh sharded index (or
 /// restores it from `--snapshot` when the file exists) and serves the
 /// newline-delimited JSON protocol until a client sends `Shutdown`.
+///
+/// With `--data-dir` the server runs durably: startup recovers the index
+/// from the directory's checkpoint + WAL tail, every mutation is
+/// write-ahead logged before its reply (`--wal-sync-ms` trades fsync
+/// latency for a bounded power-loss window), and checkpoints run in the
+/// background every `--checkpoint-every` seconds.
 fn serve(flags: &HashMap<String, String>) -> Result<(), String> {
     use record_linkage::cbv_hb::sharded::ShardedPipeline;
-    use record_linkage::server::{Server, ServerConfig, Snapshot};
+    use record_linkage::server::{DurabilityConfig, Server, ServerConfig, Snapshot, SyncPolicy};
 
     let addr = flags
         .get("addr")
@@ -427,12 +434,45 @@ fn serve(flags: &HashMap<String, String>) -> Result<(), String> {
         .map_err(|_| "--seed must be an integer".to_string())?
         .unwrap_or(42);
     let snapshot_path = flags.get("snapshot").map(std::path::PathBuf::from);
+    let data_dir = flags.get("data-dir").map(std::path::PathBuf::from);
+    if snapshot_path.is_some() && data_dir.is_some() {
+        // A data dir subsumes snapshots (checkpoints use the same format);
+        // accepting both would leave two sources of truth on restart.
+        return Err(
+            "--snapshot and --data-dir are mutually exclusive; a data dir checkpoints \
+             the index itself (see docs/STORAGE.md)"
+                .into(),
+        );
+    }
     // Slow-request logging threshold in milliseconds; 0 disables it.
     let slow_ms = parse_or("slow-ms", 1_000)?;
     let slow_request_threshold = if slow_ms == 0 {
         None
     } else {
         Some(std::time::Duration::from_millis(slow_ms as u64))
+    };
+    let durability = match &data_dir {
+        Some(dir) => {
+            // Checkpoint cadence in seconds (0 disables background
+            // checkpoints: the WAL grows until a restart replays it).
+            let checkpoint_secs = parse_or("checkpoint-every", 60)?;
+            // fsync cadence: 0 = fsync every append (safe default);
+            // N > 0 = group commit, at most N ms of appends may be lost
+            // to a power failure (a process crash alone loses nothing).
+            let wal_sync_ms = parse_or("wal-sync-ms", 0)?;
+            let sync = if wal_sync_ms == 0 {
+                SyncPolicy::Always
+            } else {
+                SyncPolicy::GroupCommit(std::time::Duration::from_millis(wal_sync_ms as u64))
+            };
+            Some(DurabilityConfig {
+                data_dir: dir.clone(),
+                sync,
+                checkpoint_every: (checkpoint_secs > 0)
+                    .then(|| std::time::Duration::from_secs(checkpoint_secs as u64)),
+            })
+        }
+        None => None,
     };
 
     let config = ServerConfig {
@@ -441,7 +481,27 @@ fn serve(flags: &HashMap<String, String>) -> Result<(), String> {
         queue_capacity: queue,
         snapshot_path: snapshot_path.clone(),
         slow_request_threshold,
+        durability,
     };
+
+    // Durable mode: recovery (checkpoint + WAL replay) happens inside
+    // spawn_durable; the closure builds a fresh index from the flags only
+    // when the data dir holds no checkpoint.
+    if let Some(dir) = &data_dir {
+        let server = Server::spawn_durable(
+            || build_serve_pipeline(flags, shards, seed).map_err(std::io::Error::other),
+            config,
+        )
+        .map_err(|e| format!("cannot start server: {e}"))?;
+        eprintln!(
+            "rl-server listening on {} (durable, data dir {}); send {{\"Shutdown\":null}} to stop",
+            server.local_addr(),
+            dir.display()
+        );
+        server.wait();
+        eprintln!("rl-server stopped");
+        return Ok(());
+    }
 
     // Restore when a snapshot exists; otherwise build from flags.
     let restored = match &snapshot_path {
@@ -484,42 +544,10 @@ fn serve(flags: &HashMap<String, String>) -> Result<(), String> {
                 shard_count,
             )
         }
-        None => {
-            let rule_text = req(flags, "rule")?;
-            let fields: usize = req(flags, "fields")?
-                .parse()
-                .map_err(|_| "--fields must be an integer".to_string())?;
-            if fields == 0 {
-                return Err("--fields must be positive".into());
-            }
-            let m_bits = parse_or("m-bits", 64)?;
-            let k: u32 = parse_or("k", 5)? as u32;
-            let delta: f64 = flags
-                .get("delta")
-                .map(|s| s.parse())
-                .transpose()
-                .map_err(|_| "--delta must be a number".to_string())?
-                .unwrap_or(0.1);
-            let rule = parse_rule(rule_text).map_err(|e| e.to_string())?;
-            let mode = match flags.get("blocking").map(String::as_str) {
-                None | Some("random") => BlockingMode::RuleAware,
-                Some("covering") => BlockingMode::CoveringRuleAware,
-                Some(other) => {
-                    return Err(format!(
-                        "unknown blocking backend {other:?} (random|covering)"
-                    ))
-                }
-            };
-            let mut rng = StdRng::seed_from_u64(seed);
-            let specs: Vec<AttributeSpec> = (0..fields)
-                .map(|f| AttributeSpec::new(format!("f{f}"), 2, m_bits, false, k))
-                .collect();
-            let schema = RecordSchema::build(Alphabet::linkage(), specs, &mut rng);
-            let link_config = LinkageConfig { delta, mode, rule };
-            let pipeline = ShardedPipeline::new(schema, link_config, shards, &mut rng)
-                .map_err(|e| e.to_string())?;
-            (Server::spawn(pipeline, config), shards)
-        }
+        None => (
+            Server::spawn(build_serve_pipeline(flags, shards, seed)?, config),
+            shards,
+        ),
     };
     let server = server.map_err(|e| format!("cannot start server: {e}"))?;
 
@@ -530,6 +558,58 @@ fn serve(flags: &HashMap<String, String>) -> Result<(), String> {
     server.wait();
     eprintln!("rl-server stopped");
     Ok(())
+}
+
+/// Builds a fresh sharded index from the `serve` index-shape flags
+/// (`--rule`, `--fields`, `--m-bits`, `--k`, `--delta`, `--blocking`).
+/// Used when no snapshot or checkpoint exists to restore from.
+fn build_serve_pipeline(
+    flags: &HashMap<String, String>,
+    shards: usize,
+    seed: u64,
+) -> Result<record_linkage::cbv_hb::sharded::ShardedPipeline, String> {
+    use record_linkage::cbv_hb::sharded::ShardedPipeline;
+
+    let rule_text = req(flags, "rule")?;
+    let fields: usize = req(flags, "fields")?
+        .parse()
+        .map_err(|_| "--fields must be an integer".to_string())?;
+    if fields == 0 {
+        return Err("--fields must be positive".into());
+    }
+    let parse_or = |key: &str, default: usize| -> Result<usize, String> {
+        flags
+            .get(key)
+            .map(|s| s.parse())
+            .transpose()
+            .map_err(|_| format!("--{key} must be an integer"))
+            .map(|v| v.unwrap_or(default))
+    };
+    let m_bits = parse_or("m-bits", 64)?;
+    let k: u32 = parse_or("k", 5)? as u32;
+    let delta: f64 = flags
+        .get("delta")
+        .map(|s| s.parse())
+        .transpose()
+        .map_err(|_| "--delta must be a number".to_string())?
+        .unwrap_or(0.1);
+    let rule = parse_rule(rule_text).map_err(|e| e.to_string())?;
+    let mode = match flags.get("blocking").map(String::as_str) {
+        None | Some("random") => BlockingMode::RuleAware,
+        Some("covering") => BlockingMode::CoveringRuleAware,
+        Some(other) => {
+            return Err(format!(
+                "unknown blocking backend {other:?} (random|covering)"
+            ))
+        }
+    };
+    let mut rng = StdRng::seed_from_u64(seed);
+    let specs: Vec<AttributeSpec> = (0..fields)
+        .map(|f| AttributeSpec::new(format!("f{f}"), 2, m_bits, false, k))
+        .collect();
+    let schema = RecordSchema::build(Alphabet::linkage(), specs, &mut rng);
+    let link_config = LinkageConfig { delta, mode, rule };
+    ShardedPipeline::new(schema, link_config, shards, &mut rng).map_err(|e| e.to_string())
 }
 
 /// One-shot protocol client: connects, issues a single command, prints the
@@ -615,6 +695,23 @@ fn client(flags: &HashMap<String, String>) -> Result<(), String> {
             let records = read_file("input")?;
             let (accepted, total) = client.index(&records).map_err(|e| e.to_string())?;
             eprintln!("indexed {accepted} records ({total} total)");
+        }
+        "insert" => {
+            let records = read_file("input")?;
+            let (accepted, total) = client.insert(&records).map_err(|e| e.to_string())?;
+            eprintln!("inserted {accepted} records durably ({total} total)");
+        }
+        "delete" => {
+            let ids: Vec<u64> = req(flags, "ids")?
+                .split(',')
+                .map(|s| s.trim().parse())
+                .collect::<Result<_, _>>()
+                .map_err(|_| "--ids must be a comma-separated integer list".to_string())?;
+            let (removed, total) = client.delete(&ids).map_err(|e| e.to_string())?;
+            eprintln!(
+                "deleted {removed} of {} ids ({total} remain indexed)",
+                ids.len()
+            );
         }
         "probe" => {
             let records = read_file("input")?;
@@ -705,6 +802,13 @@ fn print_metrics_human(snapshot: &record_linkage::obs::MetricsSnapshot) {
             fmt(wait),
             fmt(exec)
         );
+    }
+    // Unlabeled counters (WAL appends, checkpoints, ...) — the table
+    // above only covers the per-request-type family.
+    for point in &snapshot.counters {
+        if point.labels.is_empty() {
+            println!("{:<30} {}", point.name, point.value);
+        }
     }
     for g in &snapshot.gauges {
         println!("{:<30} {}", g.name, g.value);

@@ -125,7 +125,7 @@ fn version_1_snapshot_is_rejected_with_backend_explanation() {
     snap.version = 1;
     snap.save(&path).unwrap();
     match Snapshot::load(&path) {
-        Err(SnapshotError::Format(msg)) => {
+        Err(SnapshotError::Format { msg, .. }) => {
             assert!(msg.contains("unsupported version 1"), "{msg}");
             assert!(msg.contains("predates the blocking-backend field"), "{msg}");
         }
