@@ -143,6 +143,7 @@ pub struct Server {
     accept_handle: Option<std::thread::JoinHandle<()>>,
     worker_handles: Vec<std::thread::JoinHandle<()>>,
     checkpoint_handle: Option<std::thread::JoinHandle<()>>,
+    wal_sync_handle: Option<std::thread::JoinHandle<()>>,
 }
 
 impl Server {
@@ -338,12 +339,26 @@ impl Server {
             _ => None,
         };
 
+        let wal_sync_handle = match inner.config.durability.as_ref().map(|d| d.sync) {
+            Some(SyncPolicy::GroupCommit(interval)) if inner.store.is_some() => {
+                let inner = Arc::clone(&inner);
+                Some(
+                    std::thread::Builder::new()
+                        .name("rl-wal-sync".into())
+                        .spawn(move || wal_sync_loop(&inner, interval))
+                        .expect("spawn wal sync"),
+                )
+            }
+            _ => None,
+        };
+
         Ok(Self {
             inner,
             jobs: job_tx,
             accept_handle: Some(accept_handle),
             worker_handles,
             checkpoint_handle,
+            wal_sync_handle,
         })
     }
 
@@ -371,6 +386,9 @@ impl Server {
             let _ = handle.join();
         }
         if let Some(handle) = self.checkpoint_handle.take() {
+            let _ = handle.join();
+        }
+        if let Some(handle) = self.wal_sync_handle.take() {
             let _ = handle.join();
         }
         // Group-commit mode may hold acknowledged-but-unsynced frames;
@@ -735,19 +753,19 @@ fn observe(state: &mut ServerState, record: &Record) -> cbv_hb::error::Result<Ve
 
 /// Appends mutation ops to the WAL ahead of applying them. Called under
 /// the state write lock; on failure the mutation must be rejected, not
-/// applied (acknowledge-after-durable).
+/// applied (acknowledge-after-durable). The batch is logged
+/// all-or-nothing, so a Storage error means NO record of a multi-record
+/// request is durable — never a silent prefix that resurfaces at replay.
 fn log_mutation(inner: &Inner, ops: &[WalOp]) -> Result<(), RequestError> {
     let Some(store) = &inner.store else {
         return Ok(());
     };
     let mut store = store.lock();
-    for op in ops {
-        if let Err(e) = store.append(op) {
-            return Err(RequestError::new(
-                ErrorCode::Storage,
-                format!("wal append failed; mutation not applied: {e}"),
-            ));
-        }
+    if let Err(e) = store.append_batch(ops) {
+        return Err(RequestError::new(
+            ErrorCode::Storage,
+            format!("wal append failed; mutation not applied: {e}"),
+        ));
     }
     inner.metrics.wal_appends.add(ops.len() as u64);
     inner.metrics.wal_bytes.set(store.wal_bytes() as i64);
@@ -761,6 +779,32 @@ fn apply_op(state: &mut ServerState, op: &WalOp) -> cbv_hb::error::Result<()> {
         WalOp::Insert(record) => state.pipeline.index(std::slice::from_ref(record)),
         WalOp::Observe(record) => observe(state, record).map(|_| ()),
         WalOp::Delete(id) => state.pipeline.delete(&[*id]).map(|_| ()),
+    }
+}
+
+/// Background group-commit flusher: fsyncs the WAL on the group-commit
+/// cadence even when traffic stops. Appends only check the interval
+/// inline, so without this an idle server would hold the last burst of
+/// acknowledged writes unsynced indefinitely — the "at most one interval
+/// lost to power failure" bound would only hold under continuous traffic.
+/// [`rl_store::Wal::sync`] is a no-op when nothing is pending, so the
+/// idle cost is a lock acquisition per interval.
+fn wal_sync_loop(inner: &Arc<Inner>, interval: Duration) {
+    let tick = interval
+        .min(Duration::from_millis(25))
+        .max(Duration::from_millis(1));
+    let mut last = Instant::now();
+    while !inner.shutdown.load(Ordering::SeqCst) {
+        std::thread::sleep(tick);
+        if last.elapsed() < interval {
+            continue;
+        }
+        last = Instant::now();
+        if let Some(store) = &inner.store {
+            if let Err(e) = store.lock().sync() {
+                eprintln!("rl-server: background WAL sync failed: {e}");
+            }
+        }
     }
 }
 

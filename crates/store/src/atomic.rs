@@ -41,6 +41,14 @@ pub fn write_atomic(path: &Path, bytes: &[u8]) -> Result<(), SnapshotError> {
             let _ = std::fs::remove_file(&tmp);
             return Err(SnapshotError::io("rename", path, e));
         }
+        // The rename only becomes crash-durable once the directory entry
+        // is on disk; without this a power loss can revert to the old
+        // document even though the caller was told the new one landed.
+        let dir = match path.parent() {
+            Some(d) if !d.as_os_str().is_empty() => d,
+            _ => Path::new("."),
+        };
+        fsync_dir(dir).map_err(|e| SnapshotError::io("fsync-dir", dir, e))?;
         Ok(())
     })();
     in_flight().lock().unwrap().remove(&tmp);
@@ -48,6 +56,18 @@ pub fn write_atomic(path: &Path, bytes: &[u8]) -> Result<(), SnapshotError> {
         sweep_stale_temps(path);
     }
     result
+}
+
+/// Flushes `dir`'s entries to disk, making renames, creates, and unlinks
+/// inside it crash-durable. On non-Unix platforms (where a directory
+/// cannot be opened as a file) this is a no-op — Windows metadata writes
+/// are ordered by the filesystem instead.
+pub(crate) fn fsync_dir(dir: &Path) -> std::io::Result<()> {
+    #[cfg(unix)]
+    std::fs::File::open(dir)?.sync_all()?;
+    #[cfg(not(unix))]
+    let _ = dir;
+    Ok(())
 }
 
 /// A temp path next to the destination, so the final rename stays on one

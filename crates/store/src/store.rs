@@ -150,8 +150,12 @@ impl Store {
         // covers are dead weight.
         let mut seqs = scan_segments(dir)?;
         if let Some(covered) = covered {
+            let mut pruned = false;
             for &seq in seqs.iter().filter(|&&s| s <= covered) {
-                let _ = std::fs::remove_file(segment_path(dir, seq));
+                pruned |= std::fs::remove_file(segment_path(dir, seq)).is_ok();
+            }
+            if pruned {
+                let _ = crate::atomic::fsync_dir(dir);
             }
             seqs.retain(|&s| s > covered);
         }
@@ -165,6 +169,12 @@ impl Store {
         // fresh segment instead of reusing the last one.
         let mut reuse: Option<(u64, u64)> = None;
         let mut abandoned_after = None;
+        // Damaged/unreplayable segments to rename out of the WAL namespace
+        // (`<name>.abandoned`): kept on disk for forensics, but no longer
+        // scanned — otherwise every later open would re-abandon at the
+        // same spot and never replay segments appended *after* this
+        // recovery, silently dropping acknowledged writes.
+        let mut quarantine: Vec<u64> = Vec::new();
         for (i, &seq) in seqs.iter().enumerate() {
             let path = segment_path(dir, seq);
             let last = i == seqs.len() - 1;
@@ -176,7 +186,12 @@ impl Store {
                          abandoning replay at seq {seq}",
                         path.display()
                     );
-                    abandoned_after = Some(seq);
+                    // Everything from the foreign file onward is
+                    // unreplayable (later ops may depend on its contents).
+                    // The new active segment must number past *every*
+                    // scanned segment, never over a valid later one.
+                    quarantine.extend(seqs[i..].iter().copied());
+                    abandoned_after = Some(*seqs.last().unwrap());
                     break;
                 }
                 Err(e) => return Err(e),
@@ -198,15 +213,43 @@ impl Store {
             } else if seg.torn_bytes > 0 {
                 // A tear in a non-final segment means later segments were
                 // written after corruption crept in; their ordering
-                // guarantee is gone. Keep the recovered prefix, leave the
-                // files for forensics, and append to a fresh segment.
+                // guarantee is gone. Keep the recovered prefix (truncate
+                // the tear away so the next open replays this segment
+                // cleanly), quarantine the rest, and append to a fresh
+                // segment numbered past everything scanned.
                 eprintln!(
                     "rl-store: WARNING: tear in non-final segment {}; \
                      later segments are not replayed",
                     path.display()
                 );
+                if let Err(e) = std::fs::OpenOptions::new()
+                    .write(true)
+                    .open(&path)
+                    .and_then(|f| f.set_len(seg.valid_len))
+                {
+                    eprintln!(
+                        "rl-store: WARNING: could not truncate torn segment {}: {e}",
+                        path.display()
+                    );
+                }
+                quarantine.extend(seqs[i + 1..].iter().copied());
                 abandoned_after = Some(*seqs.last().unwrap());
                 break;
+            }
+        }
+
+        for seq in quarantine {
+            let from = segment_path(dir, seq);
+            let to = from.with_extension("log.abandoned");
+            match std::fs::rename(&from, &to) {
+                Ok(()) => eprintln!(
+                    "rl-store: WARNING: quarantined unreplayable segment as {}",
+                    to.display()
+                ),
+                Err(e) => eprintln!(
+                    "rl-store: WARNING: could not quarantine {}: {e}",
+                    from.display()
+                ),
             }
         }
 
@@ -263,6 +306,19 @@ impl Store {
         Ok(())
     }
 
+    /// Appends a batch of mutations all-or-nothing (one write; see
+    /// [`Wal::append_batch`]): on failure none of the batch is durable, so
+    /// a rejected multi-record request never leaves a prefix in the WAL to
+    /// resurface at replay.
+    ///
+    /// # Errors
+    /// Returns [`StoreError::Io`] naming the segment on failure.
+    pub fn append_batch(&mut self, ops: &[WalOp]) -> Result<(), StoreError> {
+        self.wal.append_batch(ops)?;
+        self.appends += ops.len() as u64;
+        Ok(())
+    }
+
     /// Forces an fsync of the active segment regardless of policy.
     ///
     /// # Errors
@@ -303,6 +359,7 @@ impl Store {
         covered: u64,
     ) -> Result<(), StoreError> {
         Checkpoint::new(covered, snapshot).save(&self.dir.join(CHECKPOINT_FILE))?;
+        let mut pruned = false;
         for seq in scan_segments(&self.dir)?
             .into_iter()
             .filter(|&s| s <= covered)
@@ -311,7 +368,16 @@ impl Store {
             let len = std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
             if std::fs::remove_file(&path).is_ok() {
                 self.prior_bytes = self.prior_bytes.saturating_sub(len);
+                pruned = true;
             }
+        }
+        if pruned {
+            // Best-effort, like the prune itself: a resurrected covered
+            // segment is re-deleted (not replayed) on the next open. The
+            // ordering that matters — checkpoint durable before any prune
+            // — is already guaranteed by the directory fsync inside the
+            // checkpoint's atomic save.
+            let _ = crate::atomic::fsync_dir(&self.dir);
         }
         Ok(())
     }
@@ -461,6 +527,97 @@ mod tests {
         let (_, recov) = Store::open(&dir, StoreOptions::default()).unwrap();
         assert_eq!(recov.ops.len(), 4);
         assert_eq!(recov.ops[3], WalOp::Insert(rec(9)));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn foreign_segment_never_clobbers_later_valid_segments() {
+        let dir = fresh_dir("notawal");
+        // Segment 1: valid, one op.
+        let (mut store, _) = Store::open(&dir, StoreOptions::default()).unwrap();
+        store.append(&WalOp::Insert(rec(1))).unwrap();
+        drop(store);
+        // Segment 2: a foreign file wearing a segment name.
+        std::fs::write(segment_path(&dir, 2), b"definitely not a wal").unwrap();
+        // Segment 3: valid, one op — must survive recovery untouched.
+        let mut w3 = Wal::create(&segment_path(&dir, 3), SyncPolicy::Always).unwrap();
+        w3.append(&WalOp::Insert(rec(3))).unwrap();
+        drop(w3);
+
+        let (mut store, recov) = Store::open(&dir, StoreOptions::default()).unwrap();
+        assert_eq!(recov.ops, vec![WalOp::Insert(rec(1))]);
+        // The new active segment numbers past EVERY scanned segment; a
+        // `Wal::create` over segment 3 would have destroyed its data.
+        assert_eq!(store.active_seq(), 4);
+        // The damaged/unreplayable files are quarantined for forensics,
+        // segment 3's bytes intact inside its quarantine file.
+        assert!(!segment_path(&dir, 2).exists());
+        assert!(!segment_path(&dir, 3).exists());
+        let kept = replay(&dir.join("wal-000003.log.abandoned")).unwrap();
+        assert_eq!(kept.ops, vec![WalOp::Insert(rec(3))]);
+
+        // Post-recovery appends must survive the NEXT restart too: the
+        // quarantine keeps the foreign file out of the scan, so replay no
+        // longer re-abandons in front of them.
+        store.append(&WalOp::Insert(rec(9))).unwrap();
+        drop(store);
+        let (_, again) = Store::open(&dir, StoreOptions::default()).unwrap();
+        assert_eq!(
+            again.ops,
+            vec![WalOp::Insert(rec(1)), WalOp::Insert(rec(9))]
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn non_final_tear_truncates_quarantines_and_stays_recovered() {
+        let dir = fresh_dir("midtear");
+        let (mut store, _) = Store::open(&dir, StoreOptions::default()).unwrap();
+        store.append(&WalOp::Insert(rec(1))).unwrap();
+        store.append(&WalOp::Insert(rec(2))).unwrap();
+        drop(store);
+        // Tear segment 1 mid-frame, then add a later segment written
+        // "after corruption crept in".
+        let seg1 = segment_path(&dir, 1);
+        let bytes = std::fs::read(&seg1).unwrap();
+        std::fs::write(&seg1, &bytes[..bytes.len() - 3]).unwrap();
+        let mut w2 = Wal::create(&segment_path(&dir, 2), SyncPolicy::Always).unwrap();
+        w2.append(&WalOp::Insert(rec(5))).unwrap();
+        drop(w2);
+
+        let (mut store, recov) = Store::open(&dir, StoreOptions::default()).unwrap();
+        assert_eq!(
+            recov.ops,
+            vec![WalOp::Insert(rec(1))],
+            "prefix before the tear"
+        );
+        assert_eq!(store.active_seq(), 3);
+        assert!(dir.join("wal-000002.log.abandoned").exists());
+        // The torn segment was truncated to its valid prefix, so the next
+        // open replays it cleanly (no repeated abandonment) and sees
+        // appends made after this recovery.
+        store.append(&WalOp::Delete(1)).unwrap();
+        drop(store);
+        let (_, again) = Store::open(&dir, StoreOptions::default()).unwrap();
+        assert_eq!(again.ops, vec![WalOp::Insert(rec(1)), WalOp::Delete(1)]);
+        assert_eq!(again.report.truncated_bytes, 0);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn append_batch_counts_and_replays_like_singles() {
+        let dir = fresh_dir("batch");
+        let (mut store, _) = Store::open(&dir, StoreOptions::default()).unwrap();
+        let ops = vec![
+            WalOp::Insert(rec(1)),
+            WalOp::Insert(rec(2)),
+            WalOp::Delete(1),
+        ];
+        store.append_batch(&ops).unwrap();
+        assert_eq!(store.appends(), 3);
+        drop(store);
+        let (_, recov) = Store::open(&dir, StoreOptions::default()).unwrap();
+        assert_eq!(recov.ops, ops);
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -23,6 +23,12 @@
 //! writes; a mere process crash loses nothing, since frames are written
 //! to the file descriptor before the reply). `Never` leaves syncing to
 //! the OS entirely.
+//!
+//! `GroupCommit` only checks the interval inside [`Wal::append`], so the
+//! "at most `d` lost" bound needs a periodic [`Wal::sync`] from the
+//! caller when traffic stops — otherwise the unsynced tail of the last
+//! burst stays unsynced until the next append. rl-server runs a
+//! background flusher on the group-commit cadence for exactly this.
 
 use crate::error::StoreError;
 use cbv_hb::Record;
@@ -108,6 +114,13 @@ pub struct Wal {
     last_sync: Instant,
     /// Appends written since the last fsync.
     unsynced: u64,
+    /// Set when a failed append left torn bytes on disk that could not be
+    /// rolled back. A poisoned segment rejects every further append:
+    /// anything written after the tear would be silently dropped by
+    /// replay, so accepting (and acknowledging) more writes would violate
+    /// acknowledge-after-durable. Reopening the segment (restart →
+    /// [`replay`] → [`Wal::open_append`]) clears the torn tail.
+    poisoned: bool,
 }
 
 impl Wal {
@@ -122,6 +135,12 @@ impl Wal {
             .map_err(|e| StoreError::io("write", path, e))?;
         file.sync_all()
             .map_err(|e| StoreError::io("fsync", path, e))?;
+        // Persist the directory entry too: without this, a power loss can
+        // drop the whole segment (fsync'd frames included) even though
+        // every append in it was acknowledged.
+        if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
+            crate::atomic::fsync_dir(dir).map_err(|e| StoreError::io("fsync-dir", dir, e))?;
+        }
         Ok(Self {
             path: path.to_path_buf(),
             file,
@@ -130,6 +149,7 @@ impl Wal {
             policy,
             last_sync: Instant::now(),
             unsynced: 0,
+            poisoned: false,
         })
     }
 
@@ -167,6 +187,7 @@ impl Wal {
             policy,
             last_sync: Instant::now(),
             unsynced: 0,
+            poisoned: false,
         })
     }
 
@@ -177,25 +198,61 @@ impl Wal {
     /// Returns [`StoreError::Io`] naming the path on failure; the caller
     /// must not acknowledge the mutation in that case.
     pub fn append(&mut self, op: &WalOp) -> Result<u64, StoreError> {
-        let payload = serde_json::to_string(op)
-            .map_err(|e| {
-                StoreError::io(
-                    "encode",
-                    &self.path,
-                    std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()),
-                )
-            })?
-            .into_bytes();
-        let mut frame = Vec::with_capacity(8 + payload.len());
-        frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
-        frame.extend_from_slice(&crc32(&payload).to_le_bytes());
-        frame.extend_from_slice(&payload);
-        self.file
-            .write_all(&frame)
-            .map_err(|e| StoreError::io("append", &self.path, e))?;
-        self.len += frame.len() as u64;
-        self.appends += 1;
-        self.unsynced += 1;
+        self.append_batch(std::slice::from_ref(op))
+    }
+
+    /// Appends several ops as **one write**: either every frame lands in
+    /// the file or (after rollback) none does, so a mid-batch failure can
+    /// never leave a durable prefix of a rejected batch. Returns the
+    /// segment length after the append.
+    ///
+    /// On a failed write (e.g. `ENOSPC` mid-frame) the file is truncated
+    /// back to the last good frame boundary; if even that fails, the
+    /// segment is *poisoned* — every further append is rejected until the
+    /// WAL is reopened — because frames written after torn bytes are
+    /// unreachable to [`replay`] and would be silently lost on restart.
+    ///
+    /// # Errors
+    /// Returns [`StoreError::Io`] naming the path on failure; the caller
+    /// must not acknowledge the mutations in that case.
+    pub fn append_batch(&mut self, ops: &[WalOp]) -> Result<u64, StoreError> {
+        if self.poisoned {
+            return Err(StoreError::io(
+                "append",
+                &self.path,
+                std::io::Error::other(
+                    "segment poisoned by an earlier failed append (torn bytes could not \
+                     be rolled back); reopen the WAL to recover the valid prefix",
+                ),
+            ));
+        }
+        if ops.is_empty() {
+            return Ok(self.len);
+        }
+        let mut buf = Vec::new();
+        for op in ops {
+            let payload = serde_json::to_string(op)
+                .map_err(|e| {
+                    StoreError::io(
+                        "encode",
+                        &self.path,
+                        std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()),
+                    )
+                })?
+                .into_bytes();
+            buf.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+            buf.extend_from_slice(&crc32(&payload).to_le_bytes());
+            buf.extend_from_slice(&payload);
+        }
+        if let Err(e) = self.file.write_all(&buf) {
+            if self.rollback_to_len().is_err() {
+                self.poisoned = true;
+            }
+            return Err(StoreError::io("append", &self.path, e));
+        }
+        self.len += buf.len() as u64;
+        self.appends += ops.len() as u64;
+        self.unsynced += ops.len() as u64;
         match self.policy {
             SyncPolicy::Always => self.sync()?,
             SyncPolicy::GroupCommit(interval) => {
@@ -206,6 +263,19 @@ impl Wal {
             SyncPolicy::Never => {}
         }
         Ok(self.len)
+    }
+
+    /// Discards whatever a failed append left past `self.len` (a torn
+    /// partial frame) and repositions the cursor at the end, so the next
+    /// append writes at a frame boundary replay can reach.
+    fn rollback_to_len(&mut self) -> Result<(), StoreError> {
+        self.file
+            .set_len(self.len)
+            .map_err(|e| StoreError::io("truncate", &self.path, e))?;
+        self.file
+            .seek(SeekFrom::Start(self.len))
+            .map_err(|e| StoreError::io("seek", &self.path, e))?;
+        Ok(())
     }
 
     /// Forces an fsync now (checkpoint rotation and shutdown call this
@@ -439,6 +509,70 @@ mod tests {
         let path = tmp("foreign.log");
         std::fs::write(&path, b"definitely not a wal").unwrap();
         assert!(matches!(replay(&path), Err(StoreError::NotAWal { .. })));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn append_batch_is_one_frame_per_op() {
+        let path = tmp("batch.log");
+        let ops = vec![
+            WalOp::Insert(rec(1)),
+            WalOp::Delete(1),
+            WalOp::Observe(rec(2)),
+        ];
+        let mut wal = Wal::create(&path, SyncPolicy::Always).unwrap();
+        let len = wal.append_batch(&ops).unwrap();
+        assert_eq!(wal.appends(), 3);
+        assert_eq!(len, wal.len());
+        let seg = replay(&path).unwrap();
+        assert_eq!(seg.ops, ops);
+        assert_eq!(seg.torn_bytes, 0);
+        // An empty batch is a no-op, not an error.
+        assert_eq!(wal.append_batch(&[]).unwrap(), len);
+        assert_eq!(wal.appends(), 3);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn rollback_discards_torn_bytes_and_appends_continue() {
+        let path = tmp("rollback.log");
+        let mut wal = Wal::create(&path, SyncPolicy::Always).unwrap();
+        wal.append(&WalOp::Insert(rec(1))).unwrap();
+        let good = wal.len();
+        // Simulate the state a failed write_all leaves behind: a partial
+        // frame on disk past the last acknowledged boundary.
+        {
+            use std::io::Write;
+            let mut f = std::fs::OpenOptions::new()
+                .append(true)
+                .open(&path)
+                .unwrap();
+            f.write_all(&[7, 0, 0, 0, 9]).unwrap(); // half a header
+        }
+        wal.rollback_to_len().unwrap();
+        assert_eq!(std::fs::metadata(&path).unwrap().len(), good);
+        // The next append lands at a reachable frame boundary.
+        wal.append(&WalOp::Delete(1)).unwrap();
+        let seg = replay(&path).unwrap();
+        assert_eq!(seg.ops, vec![WalOp::Insert(rec(1)), WalOp::Delete(1)]);
+        assert_eq!(seg.torn_bytes, 0);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn poisoned_segment_rejects_appends_until_reopened() {
+        let path = tmp("poison.log");
+        let mut wal = Wal::create(&path, SyncPolicy::Always).unwrap();
+        wal.append(&WalOp::Insert(rec(1))).unwrap();
+        wal.poisoned = true;
+        let err = wal.append(&WalOp::Insert(rec(2))).unwrap_err();
+        assert!(err.to_string().contains("poisoned"), "{err}");
+        // Reopening after replay clears the poison.
+        drop(wal);
+        let seg = replay(&path).unwrap();
+        let mut wal = Wal::open_append(&path, SyncPolicy::Always, seg.valid_len).unwrap();
+        wal.append(&WalOp::Insert(rec(2))).unwrap();
+        assert_eq!(replay(&path).unwrap().ops.len(), 2);
         std::fs::remove_file(&path).unwrap();
     }
 
