@@ -16,18 +16,25 @@
 //! every append) and the cold-restart replay time, reported to
 //! `<out>/results/BENCH_store.json`.
 //!
+//! A third phase measures the replication subsystem: follower bootstrap
+//! time (checkpoint fetch + recovery), streaming catch-up rate while the
+//! primary keeps inserting, and promote latency, reported to
+//! `<out>/results/BENCH_replication.json`.
+//!
 //! `--smoke` shrinks the run for CI, and after each run fetches the
 //! server's `Metrics` snapshot and asserts the observability layer saw
 //! the traffic (nonzero per-type request counts and latency samples);
 //! in the store phase it additionally asserts that every insert hit the
-//! WAL and that replay restored every record.
+//! WAL and that replay restored every record, and in the replication
+//! phase that the follower converged to zero lag and promoted cleanly.
 
 use cbv_hb::sharded::ShardedPipeline;
 use cbv_hb::{AttributeSpec, LinkageConfig, Record, RecordSchema, Rule};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use rl_bench::report::write_json;
-use rl_server::{Client, DurabilityConfig, Server, ServerConfig, SyncPolicy};
+use rl_repl::{Follower, FollowerConfig};
+use rl_server::{Client, DurabilityConfig, ReplRole, Server, ServerConfig, SyncPolicy};
 use serde::Serialize;
 use std::path::PathBuf;
 use std::time::{Duration, Instant};
@@ -141,6 +148,157 @@ fn main() {
         store_rows.push(row);
     }
     write_json(&opts.out, "BENCH_store", &store_rows);
+
+    // Replication phase: follower bootstrap, streaming catch-up while
+    // the primary keeps writing, and promote latency (docs/REPLICATION.md).
+    let repl = run_replication(opts.clone());
+    println!();
+    println!("| records | bootstrap secs | stream secs | shipped/sec | promote ms |");
+    println!("|---|---|---|---|---|");
+    println!(
+        "| {} | {:.3} | {:.3} | {:.0} | {:.1} |",
+        repl.records, repl.bootstrap_secs, repl.stream_secs, repl.shipped_per_sec, repl.promote_ms,
+    );
+    write_json(&opts.out, "BENCH_replication", &[repl]);
+}
+
+#[derive(Debug, Clone, Serialize)]
+struct ReplRow {
+    /// Total records inserted on the primary (half before the follower
+    /// attaches, half while it is streaming).
+    records: u64,
+    /// Follower spawn → caught up on the checkpoint-seeded half: covers
+    /// FetchCheckpoint, chunk transfer, local recovery, and the first
+    /// subscription round.
+    bootstrap_secs: f64,
+    /// Wall-clock from the first post-attach insert until the follower
+    /// reports zero lag (includes the primary's own insert time).
+    stream_secs: f64,
+    /// Streamed half over `stream_secs`: sustained ship+apply rate.
+    shipped_per_sec: f64,
+    /// `Promote` round trip on the follower after the primary is gone.
+    promote_ms: f64,
+}
+
+/// Polls `client` until it reports `applied_seq >= target` with zero
+/// lag, panicking after ~60 s (a stuck follower fails the bench).
+fn wait_caught_up(client: &mut Client, target: u64) {
+    let deadline = Instant::now() + Duration::from_secs(60);
+    loop {
+        let s = client.repl_status().expect("repl status");
+        if s.applied_seq >= target && s.lag_frames == 0 {
+            return;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "follower stuck at applied={} (want {target})",
+            s.applied_seq
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
+fn run_replication(opts: Opts) -> ReplRow {
+    let pid = std::process::id();
+    let pdir = std::env::temp_dir().join(format!("rl-repl-bench-primary-{pid}"));
+    let fdir = std::env::temp_dir().join(format!("rl-repl-bench-follower-{pid}"));
+    let _ = std::fs::remove_dir_all(&pdir);
+    let _ = std::fs::remove_dir_all(&fdir);
+    let config = |dir: &PathBuf, role: ReplRole| ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        workers: 1,
+        queue_capacity: 256,
+        repl_role: role,
+        durability: Some(DurabilityConfig {
+            data_dir: dir.clone(),
+            sync: SyncPolicy::GroupCommit(Duration::from_millis(5)),
+            checkpoint_every: None,
+        }),
+        ..ServerConfig::default()
+    };
+    let seed = opts.seed;
+    let primary = Server::spawn_durable(
+        || Ok(bench_pipeline(seed, 1)),
+        config(&pdir, ReplRole::Primary),
+    )
+    .expect("spawn primary");
+    let primary_addr = primary.local_addr().to_string();
+    let mut pc = Client::connect(&*primary_addr).expect("connect primary");
+
+    // First half lands before the follower exists, so bootstrap measures
+    // a checkpoint transfer of real state.
+    let corpus: Vec<Record> = (0..opts.records).map(|i| record(i, i)).collect();
+    let (first, second) = corpus.split_at(corpus.len() / 2);
+    for chunk in first.chunks(500) {
+        pc.insert(chunk).expect("insert pre-attach");
+    }
+    let seeded_head = pc.repl_status().expect("repl status").applied_seq;
+
+    let start = Instant::now();
+    let follower = Follower::spawn(FollowerConfig::new(
+        primary_addr.clone(),
+        config(&fdir, ReplRole::Standalone),
+    ))
+    .expect("spawn follower");
+    let mut fc = Client::connect(follower.local_addr()).expect("connect follower");
+    wait_caught_up(&mut fc, seeded_head);
+    let bootstrap_secs = start.elapsed().as_secs_f64();
+
+    // Second half ships over the live subscription.
+    let start = Instant::now();
+    for chunk in second.chunks(500) {
+        pc.insert(chunk).expect("insert streaming");
+    }
+    let head = pc.repl_status().expect("repl status").applied_seq;
+    wait_caught_up(&mut fc, head);
+    let stream_secs = start.elapsed().as_secs_f64();
+
+    if opts.smoke {
+        let stats = fc.stats().expect("follower stats");
+        assert_eq!(
+            stats.indexed as u64, opts.records,
+            "follower missed replicated inserts"
+        );
+        let s = fc.repl_status().expect("repl status");
+        assert_eq!(s.role, "follower");
+        assert_eq!((s.lag_frames, s.lag_bytes), (0, 0), "lag did not converge");
+        // The same numbers must land in the exported gauges.
+        let m = fc.metrics().expect("follower metrics");
+        let gauge = |name: &str| {
+            m.gauges
+                .iter()
+                .find(|g| g.name == name)
+                .map(|g| g.value)
+                .unwrap_or(i64::MIN)
+        };
+        assert_eq!(gauge("rl_repl_lag_frames"), 0, "lag_frames gauge");
+        assert_eq!(gauge("rl_repl_lag_bytes"), 0, "lag_bytes gauge");
+    }
+
+    // Promote after the primary is gone — the failover path.
+    pc.shutdown().expect("shutdown primary");
+    primary.wait();
+    let start = Instant::now();
+    let (_, was_follower) = fc.promote().expect("promote");
+    let promote_ms = start.elapsed().as_secs_f64() * 1e3;
+    if opts.smoke {
+        assert!(was_follower, "promote hit a non-follower");
+        let s = fc.repl_status().expect("repl status");
+        assert_eq!(s.role, "primary", "promote did not flip the role");
+    }
+    fc.shutdown().expect("shutdown follower");
+    follower.wait();
+    let _ = std::fs::remove_dir_all(&pdir);
+    let _ = std::fs::remove_dir_all(&fdir);
+
+    let shipped = second.len() as u64;
+    ReplRow {
+        records: opts.records,
+        bootstrap_secs,
+        stream_secs,
+        shipped_per_sec: shipped as f64 / stream_secs,
+        promote_ms,
+    }
 }
 
 #[derive(Debug, Clone, Serialize)]

@@ -1,0 +1,418 @@
+//! # rl-repl — WAL-shipping replication for the linkage service
+//!
+//! Runs a **read replica**: a durable `rl-server` in
+//! [`ReplRole::Follower`] whose data directory is seeded from the
+//! primary's checkpoint and then kept current by tailing the primary's
+//! write-ahead log over the wire (protocol v5).
+//!
+//! ```text
+//!  primary (rl-server --allow-replicas)          follower (this crate)
+//!  ───────────────────────────────────           ─────────────────────
+//!  WAL segments on disk ──▶ Subscribe stream ──▶ apply loop
+//!    (FetchCheckpoint bootstraps; WalFrame per op; Heartbeat when idle)
+//! ```
+//!
+//! The follower applies each frame through the same tombstone-aware path
+//! recovery uses, **write-ahead logging it locally first** — so its data
+//! directory is a faithful clone of the primary's history, restarts
+//! resume from the local WAL without re-bootstrapping, and `Promote` is
+//! just a role flip plus a segment rotation.
+//!
+//! Shipping is asynchronous: the primary acknowledges writers without
+//! waiting for any follower. A promote therefore only preserves every
+//! acknowledged mutation if the follower had caught up (lag 0) — the
+//! failover runbook in `docs/REPLICATION.md` spells this out.
+
+use rl_server::repl::b64;
+use rl_server::{
+    Client, ClientError, DurabilityConfig, ReplHandle, ReplRole, Reply, Request, Server,
+    ServerConfig,
+};
+use rl_store::{scan_segments, Checkpoint, CHECKPOINT_FILE};
+use std::io::ErrorKind;
+use std::time::{Duration, SystemTime, UNIX_EPOCH};
+
+/// Follower tuning. Wraps the embedded server's own config (which must
+/// carry a [`DurabilityConfig`]: the local WAL is what makes restarts and
+/// promotion cheap).
+#[derive(Debug, Clone)]
+pub struct FollowerConfig {
+    /// The primary's address (host:port), also handed to clients in
+    /// `NotPrimary` redirects.
+    pub primary_addr: String,
+    /// Configuration for the embedded read-only server. Its `repl_role`
+    /// is overwritten with `Follower { primary_addr }`.
+    pub server: ServerConfig,
+    /// Socket timeout for primary connections. Also the staleness bound:
+    /// the primary heartbeats twice a second, so a read that hits this
+    /// timeout means the primary is gone and triggers a reconnect.
+    pub request_timeout: Duration,
+    /// First reconnect delay; doubles per failure (plus jitter).
+    pub backoff_base: Duration,
+    /// Reconnect delay ceiling.
+    pub backoff_cap: Duration,
+    /// Connection attempts for the initial checkpoint bootstrap before
+    /// `spawn` gives up (each retry backs off like a reconnect).
+    pub bootstrap_attempts: u32,
+}
+
+impl FollowerConfig {
+    /// Follower of `primary_addr` serving on `server`, with default
+    /// timeouts (5 s requests, 100 ms–5 s reconnect backoff).
+    pub fn new(primary_addr: impl Into<String>, server: ServerConfig) -> Self {
+        Self {
+            primary_addr: primary_addr.into(),
+            server,
+            request_timeout: Duration::from_secs(5),
+            backoff_base: Duration::from_millis(100),
+            backoff_cap: Duration::from_secs(5),
+            bootstrap_attempts: 10,
+        }
+    }
+}
+
+/// A running read replica: the embedded server plus its apply loop.
+pub struct Follower {
+    server: Server,
+    apply: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Follower {
+    /// Boots a follower: seeds the data directory from the primary's
+    /// checkpoint when it is empty, starts the embedded server in
+    /// follower role (recovering any local WAL tail), and spawns the
+    /// apply loop that subscribes to the primary and applies its frames.
+    ///
+    /// # Errors
+    /// Config without durability, an unreachable primary during
+    /// bootstrap, a checkpoint the local pipeline rejects, or any server
+    /// spawn failure.
+    pub fn spawn(config: FollowerConfig) -> std::io::Result<Self> {
+        let mut server_config = config.server.clone();
+        server_config.repl_role = ReplRole::Follower {
+            primary_addr: config.primary_addr.clone(),
+        };
+        let Some(durability) = server_config.durability.clone() else {
+            return Err(std::io::Error::new(
+                ErrorKind::InvalidInput,
+                "a follower requires durability (its local WAL mirrors the primary)",
+            ));
+        };
+        if needs_bootstrap(&durability) {
+            bootstrap(&config, &durability)?;
+        }
+        let server = Server::spawn_durable(
+            || {
+                Err(std::io::Error::other(
+                    "follower bootstrap left no checkpoint in the data directory",
+                ))
+            },
+            server_config,
+        )?;
+        let handle = server.repl_handle();
+        let apply = std::thread::Builder::new()
+            .name("rl-repl-apply".into())
+            .spawn(move || apply_loop(&handle, &config))
+            .expect("spawn apply loop");
+        Ok(Self {
+            server,
+            apply: Some(apply),
+        })
+    }
+
+    /// The follower's own listening address.
+    pub fn local_addr(&self) -> std::net::SocketAddr {
+        self.server.local_addr()
+    }
+
+    /// The embedded server (e.g. for [`Server::repl_handle`]).
+    pub fn server(&self) -> &Server {
+        &self.server
+    }
+
+    /// Begins shutdown of the embedded server; the apply loop notices
+    /// within one backoff slice.
+    pub fn shutdown(&self) {
+        self.server.shutdown();
+    }
+
+    /// Blocks until the apply loop and the embedded server have stopped.
+    pub fn wait(mut self) {
+        if let Some(handle) = self.apply.take() {
+            let _ = handle.join();
+        }
+        self.server.wait();
+    }
+}
+
+/// A directory bootstraps only when it carries no history at all: with a
+/// checkpoint or any WAL segment, startup recovery rebuilds locally and
+/// the subscription resumes from the recovered op sequence.
+fn needs_bootstrap(durability: &DurabilityConfig) -> bool {
+    let dir = &durability.data_dir;
+    !dir.join(CHECKPOINT_FILE).exists() && scan_segments(dir).map_or(true, |s| s.is_empty())
+}
+
+/// Fetches the primary's checkpoint and installs it as the data
+/// directory's starting point, retrying with backoff while the primary
+/// is unreachable.
+fn bootstrap(config: &FollowerConfig, durability: &DurabilityConfig) -> std::io::Result<()> {
+    let mut backoff = Backoff::new(config.backoff_base, config.backoff_cap);
+    let mut last_err = String::new();
+    for attempt in 0..config.bootstrap_attempts.max(1) {
+        if attempt > 0 {
+            std::thread::sleep(backoff.next_delay());
+        }
+        let mut client = match Client::connect_with_timeout(
+            config.primary_addr.as_str(),
+            Some(config.request_timeout),
+        ) {
+            Ok(c) => c,
+            Err(e) => {
+                last_err = format!("connect {}: {e}", config.primary_addr);
+                continue;
+            }
+        };
+        match fetch_checkpoint(&mut client) {
+            Ok(ckpt) => {
+                std::fs::create_dir_all(&durability.data_dir)?;
+                ckpt.save(&durability.data_dir.join(CHECKPOINT_FILE))
+                    .map_err(|e| std::io::Error::other(e.to_string()))?;
+                eprintln!(
+                    "rl-repl: bootstrapped from {} (checkpoint at op seq {})",
+                    config.primary_addr, ckpt.ops
+                );
+                return Ok(());
+            }
+            Err(e) => last_err = e,
+        }
+    }
+    Err(std::io::Error::other(format!(
+        "bootstrap from {} failed after {} attempt(s): {last_err}",
+        config.primary_addr, config.bootstrap_attempts
+    )))
+}
+
+/// Downloads the primary's checkpoint over an open connection:
+/// `FetchCheckpoint` → meta line → base64 chunk lines → decode, parse,
+/// validate.
+fn fetch_checkpoint(client: &mut Client) -> Result<Checkpoint, String> {
+    client
+        .send(&Request::FetchCheckpoint)
+        .map_err(|e| format!("request checkpoint: {e}"))?;
+    let (len, chunks) = match client.recv() {
+        Ok(Reply::CheckpointMeta { len, chunks }) => (len, chunks),
+        Ok(other) => return Err(format!("expected CheckpointMeta, got {other:?}")),
+        Err(e) => return Err(format!("checkpoint meta: {e}")),
+    };
+    let mut bytes: Vec<u8> = Vec::with_capacity(len as usize);
+    for expected in 0..chunks {
+        match client.recv() {
+            Ok(Reply::CheckpointChunk { index, data }) => {
+                if index != expected {
+                    return Err(format!(
+                        "checkpoint chunk {index} arrived, expected {expected}"
+                    ));
+                }
+                bytes.extend(b64::decode(&data).map_err(|e| format!("chunk {index}: {e}"))?);
+            }
+            Ok(other) => return Err(format!("expected CheckpointChunk, got {other:?}")),
+            Err(e) => return Err(format!("checkpoint chunk {expected}: {e}")),
+        }
+    }
+    if bytes.len() as u64 != len {
+        return Err(format!(
+            "checkpoint transfer truncated: got {} of {len} bytes",
+            bytes.len()
+        ));
+    }
+    let text = std::str::from_utf8(&bytes).map_err(|e| format!("checkpoint not UTF-8: {e}"))?;
+    let ckpt: Checkpoint =
+        serde_json::from_str(text).map_err(|e| format!("checkpoint parse: {e}"))?;
+    ckpt.validate(None)
+        .map_err(|e| format!("checkpoint invalid: {e}"))?;
+    Ok(ckpt)
+}
+
+/// The follower's long-running loop: subscribe, apply, and on any
+/// failure reconnect with capped exponential backoff. Exits when the
+/// server shuts down or the node stops being a follower (promote).
+fn apply_loop(handle: &ReplHandle, config: &FollowerConfig) {
+    let mut backoff = Backoff::new(config.backoff_base, config.backoff_cap);
+    let mut first = true;
+    while !handle.is_shutdown() && handle.role().is_follower() {
+        if !first {
+            handle.note_reconnect();
+            if sleep_checking_shutdown(handle, backoff.next_delay()) {
+                break;
+            }
+        }
+        first = false;
+        match run_session(handle, config, &mut backoff) {
+            Ok(()) => break, // clean exit: shutdown or promoted
+            Err(e) => {
+                if !handle.is_shutdown() {
+                    eprintln!("rl-repl: session with {} ended: {e}", config.primary_addr);
+                }
+            }
+        }
+    }
+}
+
+/// One connected session: subscribe from the local op sequence and apply
+/// the stream, resyncing from a fresh checkpoint when the primary's
+/// retained log no longer reaches back to our position.
+fn run_session(
+    handle: &ReplHandle,
+    config: &FollowerConfig,
+    backoff: &mut Backoff,
+) -> Result<(), String> {
+    let mut client =
+        Client::connect_with_timeout(config.primary_addr.as_str(), Some(config.request_timeout))
+            .map_err(|e| format!("connect: {e}"))?;
+    loop {
+        if handle.is_shutdown() || !handle.role().is_follower() {
+            return Ok(());
+        }
+        client
+            .send(&Request::Subscribe {
+                from_seq: handle.op_seq(),
+            })
+            .map_err(|e| format!("subscribe: {e}"))?;
+        loop {
+            if handle.is_shutdown() || !handle.role().is_follower() {
+                return Ok(());
+            }
+            match client.recv() {
+                Ok(Reply::WalFrame { seq, op }) => {
+                    handle.apply(seq, &op)?;
+                    backoff.reset();
+                }
+                Ok(Reply::Heartbeat {
+                    head_seq,
+                    lag_bytes,
+                }) => {
+                    handle.update_lag(head_seq, lag_bytes);
+                    backoff.reset();
+                }
+                Ok(Reply::ResyncRequired { base_ops }) => {
+                    eprintln!(
+                        "rl-repl: position {} fell out of the primary's retained log \
+                         (base {base_ops}); re-bootstrapping from a fresh checkpoint",
+                        handle.op_seq()
+                    );
+                    // The primary closes the subscription after this
+                    // line; fetch the checkpoint over a new connection,
+                    // then resubscribe on it.
+                    client.reconnect().map_err(|e| format!("reconnect: {e}"))?;
+                    let ckpt = fetch_checkpoint(&mut client)?;
+                    handle.resync(ckpt)?;
+                    break;
+                }
+                Ok(other) => return Err(format!("unexpected stream reply: {other:?}")),
+                Err(ClientError::Server(e)) => return Err(format!("subscription refused: {e}")),
+                Err(e) => return Err(format!("stream: {e}")),
+            }
+        }
+    }
+}
+
+/// Sleeps `total` in short slices, returning `true` (and early) once the
+/// server begins shutdown.
+fn sleep_checking_shutdown(handle: &ReplHandle, total: Duration) -> bool {
+    let slice = Duration::from_millis(50);
+    let mut remaining = total;
+    while remaining > Duration::ZERO {
+        if handle.is_shutdown() {
+            return true;
+        }
+        let step = remaining.min(slice);
+        std::thread::sleep(step);
+        remaining -= step;
+    }
+    handle.is_shutdown()
+}
+
+/// Capped exponential backoff with jitter. The jitter source is the
+/// clock's subsecond nanos — good enough to de-synchronize a fleet of
+/// followers without pulling a PRNG dependency into this crate.
+struct Backoff {
+    base: Duration,
+    cap: Duration,
+    next: Duration,
+}
+
+impl Backoff {
+    fn new(base: Duration, cap: Duration) -> Self {
+        let base = base.max(Duration::from_millis(1));
+        Self {
+            base,
+            cap: cap.max(base),
+            next: base,
+        }
+    }
+
+    /// The delay to sleep before the next attempt; doubles (up to the
+    /// cap) each call, with up to +25% jitter.
+    fn next_delay(&mut self) -> Duration {
+        let delay = self.next;
+        self.next = (self.next * 2).min(self.cap);
+        let nanos = SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .map(|d| d.subsec_nanos())
+            .unwrap_or(0);
+        let jitter = delay.mul_f64(f64::from(nanos % 1000) / 4000.0);
+        (delay + jitter).min(self.cap)
+    }
+
+    /// Healthy traffic resets the ladder.
+    fn reset(&mut self) {
+        self.next = self.base;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_doubles_to_cap_and_resets() {
+        let mut b = Backoff::new(Duration::from_millis(100), Duration::from_millis(450));
+        let d1 = b.next_delay();
+        assert!(d1 >= Duration::from_millis(100) && d1 <= Duration::from_millis(125));
+        let d2 = b.next_delay();
+        assert!(d2 >= Duration::from_millis(200) && d2 <= Duration::from_millis(250));
+        let d3 = b.next_delay();
+        assert!(d3 >= Duration::from_millis(400) && d3 <= Duration::from_millis(450));
+        let d4 = b.next_delay();
+        assert!(d4 <= Duration::from_millis(450), "capped");
+        b.reset();
+        let d5 = b.next_delay();
+        assert!(d5 <= Duration::from_millis(125), "reset to base");
+    }
+
+    #[test]
+    fn follower_config_defaults() {
+        let cfg = FollowerConfig::new("127.0.0.1:7001", ServerConfig::default());
+        assert_eq!(cfg.primary_addr, "127.0.0.1:7001");
+        assert_eq!(cfg.request_timeout, Duration::from_secs(5));
+        assert!(cfg.backoff_base < cfg.backoff_cap);
+        assert!(cfg.bootstrap_attempts > 0);
+    }
+
+    #[test]
+    fn bootstrap_detection_requires_empty_dir() {
+        let dir = std::env::temp_dir().join(format!("rl-repl-bootstrap-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let durability = DurabilityConfig::new(&dir);
+        assert!(needs_bootstrap(&durability), "missing dir bootstraps");
+        std::fs::create_dir_all(&dir).unwrap();
+        assert!(needs_bootstrap(&durability), "empty dir bootstraps");
+        std::fs::write(dir.join(CHECKPOINT_FILE), b"{}").unwrap();
+        assert!(
+            !needs_bootstrap(&durability),
+            "a checkpoint means local recovery, not bootstrap"
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -8,12 +8,32 @@
 //! [`Client::DEFAULT_TIMEOUT`]): a server that accepts the connection but
 //! never answers — or stalls mid-reply — surfaces as a typed
 //! [`ClientError::Timeout`] instead of hanging the caller forever.
+//!
+//! ## Retry policy
+//!
+//! **Idempotent reads** (`Probe`, `Stats`, `Metrics`, `DedupStatus`,
+//! `ReplStatus`) are retried **once** after a short backoff
+//! ([`Client::RETRY_BACKOFF`]) when the failure is transient — a timeout
+//! or a dropped connection — reconnecting first. **Mutations are never
+//! auto-retried**: a timeout leaves the outcome unknown (the server may
+//! have applied and WAL-logged the op before the reply was lost), and a
+//! blind resend could double-apply. Callers who know their mutations are
+//! idempotent at the application level can resend explicitly.
+//!
+//! ## Follower redirects (protocol v5)
+//!
+//! A read replica answers mutations with a typed `NotPrimary` error that
+//! carries the primary's address. The client follows it transparently —
+//! reconnects to the primary and resends, once per call. This is safe for
+//! mutations too: the follower rejected the request without applying it.
 
-use crate::protocol::{Reply, Request, RequestError, Response, StatsReply};
+use crate::protocol::{
+    ErrorCode, ReplStatusReply, Reply, Request, RequestError, Response, StatsReply,
+};
 use cbv_hb::matcher::MatchStats;
 use cbv_hb::Record;
 use std::io::{BufRead, BufReader, ErrorKind, Write};
-use std::net::{TcpStream, ToSocketAddrs};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
 use std::time::Duration;
 
 /// Client-side failures.
@@ -60,11 +80,18 @@ impl From<std::io::Error> for ClientError {
 pub struct Client {
     reader: BufReader<TcpStream>,
     writer: TcpStream,
+    /// Resolved server addresses, kept for reconnects and replaced when a
+    /// `NotPrimary` redirect points elsewhere.
+    addrs: Vec<SocketAddr>,
+    timeout: Option<Duration>,
 }
 
 impl Client {
     /// Default read/write timeout for [`Client::connect`].
     pub const DEFAULT_TIMEOUT: Duration = Duration::from_secs(30);
+
+    /// Pause before the single retry of an idempotent read.
+    pub const RETRY_BACKOFF: Duration = Duration::from_millis(50);
 
     /// Connects to a running server with [`Self::DEFAULT_TIMEOUT`] on
     /// reads and writes.
@@ -85,15 +112,26 @@ impl Client {
         addr: A,
         timeout: Option<Duration>,
     ) -> Result<Self, ClientError> {
-        let stream = TcpStream::connect(addr)?;
-        stream.set_nodelay(true).ok();
-        stream.set_read_timeout(timeout)?;
-        stream.set_write_timeout(timeout)?;
-        let writer = stream.try_clone()?;
+        let addrs: Vec<SocketAddr> = addr.to_socket_addrs()?.collect();
+        let (reader, writer) = open_connection(&addrs, timeout)?;
         Ok(Self {
-            reader: BufReader::new(stream),
+            reader,
             writer,
+            addrs,
+            timeout,
         })
+    }
+
+    /// Drops the current connection and dials the server again (same
+    /// resolved addresses, same timeout).
+    ///
+    /// # Errors
+    /// Returns [`ClientError::Io`] when the connection cannot be made.
+    pub fn reconnect(&mut self) -> Result<(), ClientError> {
+        let (reader, writer) = open_connection(&self.addrs, self.timeout)?;
+        self.reader = reader;
+        self.writer = writer;
+        Ok(())
     }
 
     /// Changes the per-operation timeout on the live connection.
@@ -107,18 +145,82 @@ impl Client {
         Ok(())
     }
 
-    /// Sends one request and reads its reply. Exposed so callers can
-    /// drive the raw protocol (the bench and the backpressure test do).
+    /// Sends one request and reads its reply, applying the module-level
+    /// retry and redirect policy. Exposed so callers can drive the raw
+    /// protocol (the bench and the backpressure test do).
     ///
     /// # Errors
     /// Returns [`ClientError::Server`] for typed rejections, otherwise
     /// I/O or protocol errors.
     pub fn call(&mut self, request: &Request) -> Result<Reply, ClientError> {
+        match self.call_once(request) {
+            Ok(reply) => Ok(reply),
+            Err(ClientError::Server(err)) => self.follow_redirect(request, err),
+            Err(e) if is_idempotent_read(request) && is_transient(&e) => {
+                std::thread::sleep(Self::RETRY_BACKOFF);
+                self.reconnect()?;
+                match self.call_once(request) {
+                    Ok(reply) => Ok(reply),
+                    Err(ClientError::Server(err)) => self.follow_redirect(request, err),
+                    Err(e) => Err(e),
+                }
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    /// One request/response exchange, no retries.
+    fn call_once(&mut self, request: &Request) -> Result<Reply, ClientError> {
+        self.send(request)?;
+        self.recv()
+    }
+
+    /// Follows a `NotPrimary { primary_addr }` rejection to the primary
+    /// and resends — once; the target is expected to actually be the
+    /// primary, so a second redirect fails. Safe for mutations: the
+    /// follower rejected without applying. Any other server error passes
+    /// through.
+    fn follow_redirect(
+        &mut self,
+        request: &Request,
+        err: RequestError,
+    ) -> Result<Reply, ClientError> {
+        if err.code != ErrorCode::NotPrimary {
+            return Err(ClientError::Server(err));
+        }
+        let Some(primary) = err.primary_addr.clone() else {
+            return Err(ClientError::Server(err));
+        };
+        let Ok(addrs) = primary.to_socket_addrs().map(Vec::from_iter) else {
+            return Err(ClientError::Server(err));
+        };
+        self.addrs = addrs;
+        self.reconnect()?;
+        self.call_once(request)
+    }
+
+    /// Writes one request line without reading a reply. With
+    /// [`Self::recv`], this drives the protocol's streaming requests
+    /// (`FetchCheckpoint`, `Subscribe`), whose responses span many lines.
+    ///
+    /// # Errors
+    /// I/O, timeout, or encoding failures.
+    pub fn send(&mut self, request: &Request) -> Result<(), ClientError> {
         let mut line = serde_json::to_string(request)
             .map_err(|e| ClientError::Protocol(format!("encode request: {e}")))?;
         line.push('\n');
         self.writer.write_all(line.as_bytes())?;
         self.writer.flush()?;
+        Ok(())
+    }
+
+    /// Reads one response line. Pairs with [`Self::send`] to consume
+    /// streaming responses.
+    ///
+    /// # Errors
+    /// Returns [`ClientError::Server`] for typed rejections, otherwise
+    /// I/O or protocol errors.
+    pub fn recv(&mut self) -> Result<Reply, ClientError> {
         let mut response_line = String::new();
         let n = self.reader.read_line(&mut response_line)?;
         if n == 0 {
@@ -257,6 +359,33 @@ impl Client {
         }
     }
 
+    /// Replication role and lag of the connected node (protocol v5).
+    ///
+    /// # Errors
+    /// See [`Self::call`].
+    pub fn repl_status(&mut self) -> Result<ReplStatusReply, ClientError> {
+        match self.call(&Request::ReplStatus)? {
+            Reply::ReplStatus(status) => Ok(status),
+            other => Err(unexpected("ReplStatus", &other)),
+        }
+    }
+
+    /// Promotes the connected follower to primary (protocol v5).
+    /// Idempotent on a node that is already primary. Returns
+    /// `(head_seq, was_follower)`.
+    ///
+    /// # Errors
+    /// See [`Self::call`].
+    pub fn promote(&mut self) -> Result<(u64, bool), ClientError> {
+        match self.call(&Request::Promote)? {
+            Reply::Promoted {
+                head_seq,
+                was_follower,
+            } => Ok((head_seq, was_follower)),
+            other => Err(unexpected("Promoted", &other)),
+        }
+    }
+
     /// Asks the server to shut down gracefully; consumes the client (the
     /// server closes this connection after acknowledging).
     ///
@@ -267,6 +396,65 @@ impl Client {
             Reply::ShuttingDown => Ok(()),
             other => Err(unexpected("ShuttingDown", &other)),
         }
+    }
+}
+
+fn open_connection(
+    addrs: &[SocketAddr],
+    timeout: Option<Duration>,
+) -> Result<(BufReader<TcpStream>, TcpStream), ClientError> {
+    if addrs.is_empty() {
+        return Err(ClientError::Io(std::io::Error::new(
+            ErrorKind::InvalidInput,
+            "address resolved to nothing",
+        )));
+    }
+    let mut last_err: Option<std::io::Error> = None;
+    for addr in addrs {
+        match TcpStream::connect(addr) {
+            Ok(stream) => {
+                stream.set_nodelay(true).ok();
+                stream.set_read_timeout(timeout)?;
+                stream.set_write_timeout(timeout)?;
+                let writer = stream.try_clone()?;
+                return Ok((BufReader::new(stream), writer));
+            }
+            Err(e) => last_err = Some(e),
+        }
+    }
+    Err(ClientError::Io(last_err.expect("addrs is non-empty")))
+}
+
+/// Requests whose retry cannot change server state: reads answered from
+/// the in-memory index and counters. Everything else — mutations, but
+/// also `Snapshot` (writes a file) and `Shutdown` — is excluded.
+fn is_idempotent_read(request: &Request) -> bool {
+    matches!(
+        request,
+        Request::Probe { .. }
+            | Request::Stats
+            | Request::Metrics
+            | Request::DedupStatus
+            | Request::ReplStatus
+    )
+}
+
+/// Failures worth one reconnect-and-retry: the server never answered
+/// (timeout), the connection dropped mid-exchange, or it was closed
+/// before the reply line arrived.
+fn is_transient(error: &ClientError) -> bool {
+    match error {
+        ClientError::Timeout => true,
+        ClientError::Io(e) => matches!(
+            e.kind(),
+            ErrorKind::ConnectionReset
+                | ErrorKind::ConnectionAborted
+                | ErrorKind::BrokenPipe
+                | ErrorKind::UnexpectedEof
+                | ErrorKind::NotConnected
+        ),
+        ClientError::Protocol(msg) => msg == "server closed the connection",
+        ClientError::Server(_) => false,
     }
 }
 

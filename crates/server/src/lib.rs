@@ -24,7 +24,11 @@
 //!   background, and startup recovers the index from checkpoint + WAL
 //!   tail. See `docs/STORAGE.md`.
 //! - [`client`] — [`Client`]: a typed synchronous client with read/write
-//!   timeouts.
+//!   timeouts, bounded retries for idempotent reads, and transparent
+//!   `NotPrimary` redirects.
+//! - [`repl`] (protocol v5) — replication roles and the primary-side
+//!   checkpoint-transfer / WAL-subscription handlers; the follower loop
+//!   lives in the `rl-repl` crate. See `docs/REPLICATION.md`.
 //!
 //! ## Loopback example
 //!
@@ -61,15 +65,18 @@
 pub mod client;
 pub mod metrics;
 pub mod protocol;
+pub mod repl;
 pub mod server;
 pub mod snapshot;
 
 pub use client::{Client, ClientError};
 pub use metrics::{ReqType, ServerMetrics};
 pub use protocol::{
-    ErrorCode, Reply, Request, RequestError, Response, StatsReply, PROTOCOL_VERSION,
+    ErrorCode, ReplStatusReply, Reply, Request, RequestError, Response, StatsReply,
+    PROTOCOL_VERSION,
 };
-pub use server::{DurabilityConfig, Server, ServerConfig};
+pub use repl::{ReplRole, ReplState};
+pub use server::{DurabilityConfig, ReplHandle, Server, ServerConfig};
 pub use snapshot::{Snapshot, SnapshotError, SNAPSHOT_MAGIC, SNAPSHOT_VERSION};
 // Durability building blocks, re-exported for server embedders.
-pub use rl_store::{Store, StoreError, StoreOptions, SyncPolicy, WalOp};
+pub use rl_store::{Checkpoint, Store, StoreError, StoreOptions, SyncPolicy, WalOp};

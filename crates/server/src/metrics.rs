@@ -39,10 +39,20 @@ pub enum ReqType {
     /// `Shutdown` requests (handled inline, so they never acquire
     /// queue-wait samples; the counter still tracks them).
     Shutdown,
+    /// `FetchCheckpoint` requests (protocol v5; streamed inline on the
+    /// connection, so no queue-wait/exec samples).
+    FetchCheckpoint,
+    /// `Subscribe` requests (protocol v5; streamed inline on the
+    /// connection, so no queue-wait/exec samples).
+    Subscribe,
+    /// `ReplStatus` requests (protocol v5).
+    ReplStatus,
+    /// `Promote` requests (protocol v5).
+    Promote,
 }
 
 /// All request types, in the order used for per-type metric arrays.
-pub const REQ_TYPES: [ReqType; 10] = [
+pub const REQ_TYPES: [ReqType; 14] = [
     ReqType::Index,
     ReqType::Probe,
     ReqType::Stream,
@@ -53,6 +63,10 @@ pub const REQ_TYPES: [ReqType; 10] = [
     ReqType::Insert,
     ReqType::Delete,
     ReqType::Shutdown,
+    ReqType::FetchCheckpoint,
+    ReqType::Subscribe,
+    ReqType::ReplStatus,
+    ReqType::Promote,
 ];
 
 impl ReqType {
@@ -69,6 +83,10 @@ impl ReqType {
             ReqType::Insert => "insert",
             ReqType::Delete => "delete",
             ReqType::Shutdown => "shutdown",
+            ReqType::FetchCheckpoint => "fetch_checkpoint",
+            ReqType::Subscribe => "subscribe",
+            ReqType::ReplStatus => "repl_status",
+            ReqType::Promote => "promote",
         }
     }
 
@@ -85,6 +103,10 @@ impl ReqType {
             Request::Insert { .. } => ReqType::Insert,
             Request::Delete { .. } => ReqType::Delete,
             Request::Shutdown => ReqType::Shutdown,
+            Request::FetchCheckpoint => ReqType::FetchCheckpoint,
+            Request::Subscribe { .. } => ReqType::Subscribe,
+            Request::ReplStatus => ReqType::ReplStatus,
+            Request::Promote => ReqType::Promote,
         }
     }
 
@@ -125,6 +147,18 @@ pub struct ServerMetrics {
     /// Startup recovery time (checkpoint load + WAL replay), in
     /// milliseconds (`rl_replay_duration_ms`).
     pub replay_duration_ms: Arc<Gauge>,
+    /// Follower: ops the primary has that this node has not applied
+    /// (`rl_repl_lag_frames`). 0 when caught up or not replicating.
+    pub repl_lag_frames: Arc<Gauge>,
+    /// Follower: WAL bytes between this node's stream position and the
+    /// primary head, from the last heartbeat (`rl_repl_lag_bytes`).
+    pub repl_lag_bytes: Arc<Gauge>,
+    /// Primary: live WAL subscriptions being served
+    /// (`rl_repl_followers`).
+    pub repl_followers: Arc<Gauge>,
+    /// Follower: subscription reconnects since startup
+    /// (`rl_repl_reconnects_total`).
+    pub repl_reconnects: Arc<Counter>,
     /// Pipeline phase timers (embed / block / match, stream observe),
     /// shared with the `ShardedPipeline` so shard workers record into
     /// the same histograms.
@@ -198,6 +232,26 @@ impl ServerMetrics {
             "Startup recovery time (checkpoint load + WAL replay), milliseconds",
             &[],
         );
+        let repl_lag_frames = registry.gauge(
+            "repl_lag_frames",
+            "Ops behind the primary (followers; 0 when caught up)",
+            &[],
+        );
+        let repl_lag_bytes = registry.gauge(
+            "repl_lag_bytes",
+            "WAL bytes behind the primary head (followers)",
+            &[],
+        );
+        let repl_followers = registry.gauge(
+            "repl_followers",
+            "Live WAL subscriptions served (primaries)",
+            &[],
+        );
+        let repl_reconnects = registry.counter(
+            "repl_reconnects_total",
+            "Replication subscription reconnects",
+            &[],
+        );
         let pipeline = PipelineMetrics::register(&registry);
         Arc::new(Self {
             registry,
@@ -214,8 +268,19 @@ impl ServerMetrics {
             checkpoints,
             replayed_ops,
             replay_duration_ms,
+            repl_lag_frames,
+            repl_lag_bytes,
+            repl_followers,
+            repl_reconnects,
             pipeline,
         })
+    }
+
+    /// One streaming request (`FetchCheckpoint` / `Subscribe`): served
+    /// inline on the connection thread, so only the request counter moves
+    /// — there is no queue wait and no bounded execution to time.
+    pub fn record_streaming(&self, rtype: ReqType) {
+        self.requests[rtype.idx()].inc();
     }
 
     /// One executed request: bumps the type's counter (and its error

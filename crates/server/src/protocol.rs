@@ -18,9 +18,13 @@ use serde::{Deserialize, Serialize};
 /// server's merged metrics registry (counters, gauges, and mergeable
 /// latency histograms). Version 4 added the durable mutation requests
 /// `Insert` and `Delete` (write-ahead-logged before the reply when the
-/// server runs with `--data-dir`) and the `Storage` error code; earlier
+/// server runs with `--data-dir`) and the `Storage` error code. Version 5
+/// added replication: the streaming `FetchCheckpoint` and `Subscribe`
+/// requests (the only requests answered with *more than one* response
+/// line), `ReplStatus`, `Promote`, the `NotPrimary` error code, and the
+/// optional `primary_addr` redirect field on [`RequestError`]; earlier
 /// requests are unchanged.
-pub const PROTOCOL_VERSION: u32 = 4;
+pub const PROTOCOL_VERSION: u32 = 5;
 
 /// A client request.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -54,6 +58,27 @@ pub enum Request {
     /// records can never match again; unknown ids are ignored. WAL-logged
     /// before the reply when the server has a data dir.
     Delete { ids: Vec<u64> },
+    /// Replication bootstrap (protocol v5): ask a primary for its latest
+    /// checkpoint. Answered with a [`Reply::CheckpointMeta`] line followed
+    /// by `chunks` [`Reply::CheckpointChunk`] lines of base64 data — the
+    /// one request besides `Subscribe` that produces multiple response
+    /// lines. A primary with no checkpoint yet takes one first.
+    FetchCheckpoint,
+    /// Replication tail (protocol v5): stream WAL frames with global op
+    /// sequence greater than `from_seq`, interleaved with
+    /// [`Reply::Heartbeat`] lines while idle. The connection stays in
+    /// streaming mode until either side closes it. A `from_seq` outside
+    /// the primary's retained log is answered with
+    /// [`Reply::ResyncRequired`].
+    Subscribe { from_seq: u64 },
+    /// Replication state (protocol v5): role, applied/head op sequences,
+    /// lag, connected followers.
+    ReplStatus,
+    /// Manual failover (protocol v5): a follower syncs its WAL tail,
+    /// rotates to a fresh segment, and flips to primary mode (accepting
+    /// mutations). Idempotent on a node that is already primary; rejected
+    /// with `Unavailable` on a non-replicated (standalone) server.
+    Promote,
     /// Stop accepting connections, drain queued requests, and exit.
     Shutdown,
 }
@@ -77,6 +102,12 @@ pub enum ErrorCode {
     /// The durability layer failed (WAL append or checkpoint I/O); the
     /// mutation was NOT applied and must be retried. Protocol v4+.
     Storage,
+    /// The server is a read-only follower; mutations must go to the
+    /// primary. The error's `primary_addr` field carries the redirect
+    /// target, which [`crate::Client`] follows transparently (safe even
+    /// for mutations — the follower rejected without applying anything).
+    /// Protocol v5+.
+    NotPrimary,
 }
 
 impl std::fmt::Display for ErrorCode {
@@ -89,18 +120,44 @@ impl std::fmt::Display for ErrorCode {
             ErrorCode::Snapshot => "snapshot",
             ErrorCode::Unavailable => "unavailable",
             ErrorCode::Storage => "storage",
+            ErrorCode::NotPrimary => "not-primary",
         };
         f.write_str(s)
     }
 }
 
 /// A typed request failure.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Deserialize)]
 pub struct RequestError {
     /// Machine-readable category.
     pub code: ErrorCode,
     /// Human-readable detail.
     pub message: String,
+    /// Where the primary lives, set on [`ErrorCode::NotPrimary`]
+    /// rejections so clients can redirect. Absent (and omitted from the
+    /// wire) for every other error, which keeps v4 clients parsing.
+    #[serde(default)]
+    pub primary_addr: Option<String>,
+}
+
+// Hand-written because the vendored serde_derive shim does not implement
+// `skip_serializing_if`: the derive would emit `"primary_addr":null` on
+// every error line, which pre-v5 clients reject as an unknown field.
+impl Serialize for RequestError {
+    fn serialize<S: serde::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        use serde::__private::{ser_field, Value};
+        let mut fields = vec![
+            ("code".to_string(), ser_field::<_, S::Error>(&self.code)?),
+            (
+                "message".to_string(),
+                ser_field::<_, S::Error>(&self.message)?,
+            ),
+        ];
+        if let Some(addr) = &self.primary_addr {
+            fields.push(("primary_addr".to_string(), ser_field::<_, S::Error>(addr)?));
+        }
+        serializer.serialize_value(Value::Object(fields))
+    }
 }
 
 impl RequestError {
@@ -108,7 +165,14 @@ impl RequestError {
         Self {
             code,
             message: message.into(),
+            primary_addr: None,
         }
+    }
+
+    /// Attaches the primary's address (for `NotPrimary` redirects).
+    pub(crate) fn with_primary(mut self, addr: impl Into<String>) -> Self {
+        self.primary_addr = Some(addr.into());
+        self
     }
 }
 
@@ -169,8 +233,81 @@ pub enum Reply {
         /// Records captured in the snapshot.
         indexed: usize,
     },
+    /// First response line to `FetchCheckpoint` (protocol v5): announces
+    /// the transfer that follows.
+    CheckpointMeta {
+        /// Size of the checkpoint document in bytes (before base64).
+        len: u64,
+        /// Number of `CheckpointChunk` lines that follow.
+        chunks: u64,
+    },
+    /// One chunk of a checkpoint transfer (protocol v5).
+    CheckpointChunk {
+        /// 0-based chunk index (chunks arrive in order).
+        index: u64,
+        /// Base64-encoded bytes of this chunk.
+        data: String,
+    },
+    /// One replicated WAL frame in a `Subscribe` stream (protocol v5).
+    WalFrame {
+        /// Global op sequence of this frame (`from_seq + 1`, `+2`, …).
+        seq: u64,
+        /// The logged mutation, applied through the same path recovery
+        /// uses.
+        op: rl_store::WalOp,
+    },
+    /// Keep-alive in a `Subscribe` stream when the follower is caught up
+    /// (protocol v5). Also carries the lag a not-yet-caught-up follower
+    /// should report.
+    Heartbeat {
+        /// The primary's newest global op sequence.
+        head_seq: u64,
+        /// WAL bytes between the subscriber's position and the head.
+        lag_bytes: u64,
+    },
+    /// Terminal response in a `Subscribe` stream when `from_seq` falls
+    /// outside the primary's retained log — the follower must re-bootstrap
+    /// from a checkpoint (protocol v5).
+    ResyncRequired {
+        /// Oldest op sequence still available for tailing + 1 lies after
+        /// this watermark (the committed checkpoint's op count).
+        base_ops: u64,
+    },
+    /// Response to `ReplStatus` (protocol v5).
+    ReplStatus(ReplStatusReply),
+    /// Response to `Promote` (protocol v5).
+    Promoted {
+        /// The node's op sequence at promotion (its new mutation stream
+        /// continues from here).
+        head_seq: u64,
+        /// False when the node was already primary (idempotent call).
+        was_follower: bool,
+    },
     /// Response to `Shutdown`.
     ShuttingDown,
+}
+
+/// Replication state reported by the `ReplStatus` command (protocol v5).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ReplStatusReply {
+    /// `"standalone"`, `"primary"`, or `"follower"`.
+    pub role: String,
+    /// The primary this follower replicates from (followers only).
+    pub primary_addr: Option<String>,
+    /// Global op sequence applied locally.
+    pub applied_seq: u64,
+    /// Newest primary op sequence this node knows of (== `applied_seq`
+    /// on a primary; from the subscription stream on a follower).
+    pub head_seq: u64,
+    /// `head_seq - applied_seq`: frames known but not yet applied.
+    pub lag_frames: u64,
+    /// WAL bytes between this node's replication position and the
+    /// primary's head (0 on a primary).
+    pub lag_bytes: u64,
+    /// Live `Subscribe` streams being served (primaries only).
+    pub followers: u64,
+    /// Times this follower's subscription reconnected since startup.
+    pub reconnects: u64,
 }
 
 /// Service counters reported by the `Stats` command.
@@ -244,6 +381,10 @@ mod tests {
                 records: vec![Record::new(3, ["ANNA", "LEE"])],
             },
             Request::Delete { ids: vec![1, 2, 3] },
+            Request::FetchCheckpoint,
+            Request::Subscribe { from_seq: 42 },
+            Request::ReplStatus,
+            Request::Promote,
             Request::Shutdown,
         ];
         for req in reqs {
@@ -268,6 +409,41 @@ mod tests {
                 total_indexed: 7,
             }),
             Response::Err(RequestError::new(ErrorCode::Storage, "wal append failed")),
+            Response::Ok(Reply::CheckpointMeta {
+                len: 1024,
+                chunks: 2,
+            }),
+            Response::Ok(Reply::CheckpointChunk {
+                index: 0,
+                data: "aGVsbG8=".into(),
+            }),
+            Response::Ok(Reply::WalFrame {
+                seq: 9,
+                op: rl_store::WalOp::Delete(3),
+            }),
+            Response::Ok(Reply::Heartbeat {
+                head_seq: 12,
+                lag_bytes: 88,
+            }),
+            Response::Ok(Reply::ResyncRequired { base_ops: 100 }),
+            Response::Ok(Reply::ReplStatus(ReplStatusReply {
+                role: "follower".into(),
+                primary_addr: Some("127.0.0.1:7001".into()),
+                applied_seq: 10,
+                head_seq: 12,
+                lag_frames: 2,
+                lag_bytes: 88,
+                followers: 0,
+                reconnects: 1,
+            })),
+            Response::Ok(Reply::Promoted {
+                head_seq: 12,
+                was_follower: true,
+            }),
+            Response::Err(
+                RequestError::new(ErrorCode::NotPrimary, "read-only follower")
+                    .with_primary("127.0.0.1:7001"),
+            ),
         ];
         for resp in resps {
             let line = serde_json::to_string(&resp).unwrap();
@@ -281,5 +457,19 @@ mod tests {
         assert_eq!(ErrorCode::Backpressure.to_string(), "backpressure");
         assert_eq!(ErrorCode::ShuttingDown.to_string(), "shutting-down");
         assert_eq!(ErrorCode::Storage.to_string(), "storage");
+        assert_eq!(ErrorCode::NotPrimary.to_string(), "not-primary");
+    }
+
+    #[test]
+    fn plain_errors_omit_primary_addr_on_the_wire() {
+        // v4 clients parse v5 error envelopes as long as the new field
+        // stays off the wire when unset.
+        let err = Response::Err(RequestError::new(ErrorCode::Storage, "x"));
+        let line = serde_json::to_string(&err).unwrap();
+        assert!(!line.contains("primary_addr"), "{line}");
+        let redirect =
+            Response::Err(RequestError::new(ErrorCode::NotPrimary, "x").with_primary("a:1"));
+        let line = serde_json::to_string(&redirect).unwrap();
+        assert!(line.contains("primary_addr"), "{line}");
     }
 }

@@ -1,0 +1,565 @@
+//! Primary-side replication: roles, shared replication state, and the
+//! streaming `FetchCheckpoint` / `Subscribe` handlers.
+//!
+//! Replication ships the durable WAL. A subscription is served straight
+//! off the data directory — the sender opens the retained segments with
+//! [`rl_store::WalReader`] and tails them — so a follower only ever
+//! receives frames that are already on the primary's disk, and the sender
+//! needs no registration in the append path (mutations never block on a
+//! slow follower). The cost is a small polling latency (the
+//! [`SUBSCRIBE_POLL`] interval) between an append landing and the frame
+//! going out.
+//!
+//! The follower half (bootstrap, apply loop, reconnect/backoff, promote
+//! helpers) lives in the `rl-repl` crate, driving the server through
+//! [`crate::server::ReplHandle`].
+
+use crate::protocol::{ErrorCode, Reply, RequestError, Response};
+use crate::server::{run_checkpoint, write_response, Inner};
+use parking_lot::Mutex;
+use rl_store::{scan_segments, segment_path, StoreError, WalReader, CHECKPOINT_FILE};
+use std::net::TcpStream;
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// How often an idle subscription emits a [`Reply::Heartbeat`].
+pub const HEARTBEAT_EVERY: Duration = Duration::from_millis(500);
+
+/// How often the sender re-polls the active segment when caught up.
+const SUBSCRIBE_POLL: Duration = Duration::from_millis(20);
+
+/// Raw bytes per checkpoint chunk (before base64 expansion).
+const CHECKPOINT_CHUNK: usize = 192 * 1024;
+
+/// If a follower stops draining its socket for this long, the sender
+/// drops the connection rather than blocking a thread forever.
+const SUBSCRIBE_WRITE_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// What a node is in the replication topology.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReplRole {
+    /// Not replicating: mutations accepted, `Subscribe` rejected. The
+    /// default, and the only role available without a data directory.
+    Standalone,
+    /// Accepts mutations and serves checkpoint transfers + WAL
+    /// subscriptions to followers.
+    Primary,
+    /// Read-only: applies the primary's WAL stream, redirects mutations
+    /// with a typed `NotPrimary { primary_addr }` error. Flips to
+    /// `Primary` on `Promote`.
+    Follower {
+        /// Where mutations should go instead (the redirect target).
+        primary_addr: String,
+    },
+}
+
+impl ReplRole {
+    /// True for [`ReplRole::Primary`].
+    pub fn is_primary(&self) -> bool {
+        matches!(self, ReplRole::Primary)
+    }
+
+    /// True for [`ReplRole::Follower`].
+    pub fn is_follower(&self) -> bool {
+        matches!(self, ReplRole::Follower { .. })
+    }
+
+    /// The role's wire label (`ReplStatus.role`).
+    pub fn label(&self) -> &'static str {
+        match self {
+            ReplRole::Standalone => "standalone",
+            ReplRole::Primary => "primary",
+            ReplRole::Follower { .. } => "follower",
+        }
+    }
+}
+
+/// Shared replication state hanging off the server. The role is the only
+/// mutexed field (promote flips it under the state write lock); the
+/// counters are atomics so status reads and gauge updates never contend
+/// with the apply path.
+///
+/// Lock order: `state` → `role` → `store` — promote takes all three in
+/// that order, the apply path takes `state` then `role` then `store`, and
+/// mutation serving takes `state` then `role`.
+pub struct ReplState {
+    pub(crate) role: Mutex<ReplRole>,
+    /// Newest primary op sequence this node knows of (followers: from the
+    /// subscription stream).
+    pub(crate) head_seq: AtomicU64,
+    /// Global op sequence applied locally (mirrors the store's `op_seq`;
+    /// kept as an atomic so lag math never needs the store lock).
+    pub(crate) applied_seq: AtomicU64,
+    /// WAL bytes between this follower's position and the primary head.
+    pub(crate) lag_bytes: AtomicU64,
+    /// Subscription reconnects since startup.
+    pub(crate) reconnects: AtomicU64,
+    /// Live `Subscribe` streams served (primaries).
+    pub(crate) followers: AtomicU64,
+}
+
+impl ReplState {
+    pub(crate) fn new(role: ReplRole, applied_seq: u64) -> Self {
+        Self {
+            role: Mutex::new(role),
+            head_seq: AtomicU64::new(applied_seq),
+            applied_seq: AtomicU64::new(applied_seq),
+            lag_bytes: AtomicU64::new(0),
+            reconnects: AtomicU64::new(0),
+            followers: AtomicU64::new(0),
+        }
+    }
+
+    /// The node's current role.
+    pub fn role(&self) -> ReplRole {
+        self.role.lock().clone()
+    }
+}
+
+/// Serves one `FetchCheckpoint` request: meta line + base64 chunk lines.
+/// A primary with no committed checkpoint takes one first, so a follower
+/// can always bootstrap. Returns `Err` only when the socket died (the
+/// connection is then closed); protocol-level failures are written as a
+/// single error response and return `Ok`.
+pub(crate) fn serve_fetch_checkpoint(
+    inner: &Arc<Inner>,
+    writer: &mut TcpStream,
+) -> std::io::Result<()> {
+    if let Some(err) = require_primary(inner, "checkpoint transfer") {
+        return write_response(writer, &Response::Err(err));
+    }
+    let Some(store) = &inner.store else {
+        return write_response(
+            writer,
+            &Response::Err(RequestError::new(
+                ErrorCode::Unavailable,
+                "checkpoint transfer requires a data directory",
+            )),
+        );
+    };
+    let ckpt_path = store.lock().dir().join(CHECKPOINT_FILE);
+    if !ckpt_path.exists() {
+        if let Err(e) = run_checkpoint(inner) {
+            return write_response(
+                writer,
+                &Response::Err(RequestError::new(
+                    ErrorCode::Storage,
+                    format!("could not take a bootstrap checkpoint: {e}"),
+                )),
+            );
+        }
+    }
+    let bytes = match std::fs::read(&ckpt_path) {
+        Ok(b) => b,
+        Err(e) => {
+            return write_response(
+                writer,
+                &Response::Err(RequestError::new(
+                    ErrorCode::Storage,
+                    format!("could not read {}: {e}", ckpt_path.display()),
+                )),
+            );
+        }
+    };
+    let chunks: Vec<&[u8]> = bytes.chunks(CHECKPOINT_CHUNK).collect();
+    write_response(
+        writer,
+        &Response::Ok(Reply::CheckpointMeta {
+            len: bytes.len() as u64,
+            chunks: chunks.len() as u64,
+        }),
+    )?;
+    for (index, chunk) in chunks.into_iter().enumerate() {
+        write_response(
+            writer,
+            &Response::Ok(Reply::CheckpointChunk {
+                index: index as u64,
+                data: b64::encode(chunk),
+            }),
+        )?;
+    }
+    Ok(())
+}
+
+/// Why a subscription stream ended.
+enum StreamEnd {
+    /// The requested position is outside the retained log (or a segment
+    /// was pruned mid-stream); the follower must re-bootstrap.
+    Resync(u64),
+    /// The retained log could not be read/decoded where it must be valid.
+    Corrupt(String),
+    /// The follower hung up (or stopped draining for too long).
+    Gone,
+    /// The server is shutting down or was demoted.
+    Closed,
+}
+
+/// Serves one `Subscribe { from_seq }` request: streams `WalFrame` lines
+/// from the retained log, heartbeating while caught up, until either side
+/// goes away. Consumes the connection.
+pub(crate) fn serve_subscribe(inner: &Arc<Inner>, writer: &mut TcpStream, from_seq: u64) {
+    if let Some(err) = require_primary(inner, "subscription") {
+        let _ = write_response(writer, &Response::Err(err));
+        return;
+    }
+    if inner.store.is_none() {
+        let _ = write_response(
+            writer,
+            &Response::Err(RequestError::new(
+                ErrorCode::Unavailable,
+                "subscription requires a data directory",
+            )),
+        );
+        return;
+    }
+    let _ = writer.set_write_timeout(Some(SUBSCRIBE_WRITE_TIMEOUT));
+    let _guard = FollowerGuard::new(inner);
+    match stream_frames(inner, writer, from_seq) {
+        StreamEnd::Resync(base_ops) => {
+            let _ = write_response(writer, &Response::Ok(Reply::ResyncRequired { base_ops }));
+        }
+        StreamEnd::Corrupt(msg) => {
+            eprintln!("rl-server: subscription aborted: {msg}");
+            let _ = write_response(
+                writer,
+                &Response::Err(RequestError::new(ErrorCode::Storage, msg)),
+            );
+        }
+        StreamEnd::Gone | StreamEnd::Closed => {}
+    }
+}
+
+/// The sender loop: position in the retained log by counting frames from
+/// the checkpoint watermark, then ship every frame past `from_seq`,
+/// advancing across rotations and polling the active segment's tail.
+fn stream_frames(inner: &Arc<Inner>, writer: &mut TcpStream, from_seq: u64) -> StreamEnd {
+    let (dir, base, head) = {
+        let store = inner.store.as_ref().expect("checked by caller").lock();
+        (store.dir().to_path_buf(), store.base_ops(), store.op_seq())
+    };
+    if from_seq < base || from_seq > head {
+        return StreamEnd::Resync(base);
+    }
+    // Tell the follower the head immediately: with no traffic it would
+    // otherwise wait a full heartbeat interval to learn its lag is 0.
+    if write_heartbeat(inner, writer, &dir, None).is_err() {
+        return StreamEnd::Gone;
+    }
+    let segs = match scan_segments(&dir) {
+        Ok(s) => s,
+        Err(e) => return StreamEnd::Corrupt(format!("scan segments: {e}")),
+    };
+    let Some(&first) = segs.first() else {
+        return StreamEnd::Resync(base);
+    };
+    let mut cur_seg = first;
+    let mut reader = match open_segment(&dir, cur_seg) {
+        Ok(r) => r,
+        Err(Some(end)) => return end,
+        Err(None) => return StreamEnd::Resync(refresh_base(inner)),
+    };
+    // Global seq of the last frame before the reader's cursor: the first
+    // frame of the oldest retained segment is op `base + 1`.
+    let mut last_seq = base;
+    let mut next = from_seq + 1;
+    let mut last_heartbeat = Instant::now();
+    loop {
+        if inner.shutdown.load(Ordering::SeqCst) {
+            return StreamEnd::Closed;
+        }
+        match reader.next_frame() {
+            Ok(Some(frame)) => {
+                last_seq += 1;
+                if last_seq >= next {
+                    let line = Response::Ok(Reply::WalFrame {
+                        seq: last_seq,
+                        op: frame.op,
+                    });
+                    if write_response(writer, &line).is_err() {
+                        return StreamEnd::Gone;
+                    }
+                    next = last_seq + 1;
+                }
+            }
+            Ok(None) => {
+                // Nothing more in this segment right now. If a later
+                // segment exists the WAL rotated and this one is final.
+                let later = match scan_segments(&dir) {
+                    Ok(s) => s.into_iter().filter(|&s| s > cur_seg).min(),
+                    Err(e) => return StreamEnd::Corrupt(format!("scan segments: {e}")),
+                };
+                match later {
+                    Some(next_seg) => {
+                        match reader.file_len() {
+                            // Fully consumed; move to the next segment.
+                            Ok(len) if reader.pos() >= len => {}
+                            // A rotated segment should hold only complete
+                            // frames; trailing bytes we cannot decode mean
+                            // this reader's view is broken — resync.
+                            Ok(_) => return StreamEnd::Resync(refresh_base(inner)),
+                            Err(e) => return StreamEnd::Corrupt(format!("stat segment: {e}")),
+                        }
+                        cur_seg = next_seg;
+                        reader = match open_segment(&dir, cur_seg) {
+                            Ok(r) => r,
+                            Err(Some(end)) => return end,
+                            Err(None) => return StreamEnd::Resync(refresh_base(inner)),
+                        };
+                    }
+                    None => {
+                        // Caught up on the active segment: heartbeat, poll.
+                        if !inner.repl.role.lock().is_primary() {
+                            return StreamEnd::Closed;
+                        }
+                        if last_heartbeat.elapsed() >= HEARTBEAT_EVERY {
+                            if write_heartbeat(inner, writer, &dir, Some((cur_seg, reader.pos())))
+                                .is_err()
+                            {
+                                return StreamEnd::Gone;
+                            }
+                            last_heartbeat = Instant::now();
+                        }
+                        std::thread::sleep(SUBSCRIBE_POLL);
+                    }
+                }
+            }
+            Err(e) => return StreamEnd::Corrupt(format!("read frame: {e}")),
+        }
+    }
+}
+
+/// Opens a segment for tailing. `Err(None)` means the file vanished (a
+/// checkpoint pruned it under us — resync); `Err(Some(end))` is a real
+/// failure.
+fn open_segment(dir: &Path, seg: u64) -> Result<WalReader, Option<StreamEnd>> {
+    match WalReader::open(&segment_path(dir, seg)) {
+        Ok(r) => Ok(r),
+        Err(StoreError::Io { ref source, .. }) if source.kind() == std::io::ErrorKind::NotFound => {
+            Err(None)
+        }
+        Err(e) => Err(Some(StreamEnd::Corrupt(format!("open segment {seg}: {e}")))),
+    }
+}
+
+fn refresh_base(inner: &Inner) -> u64 {
+    inner
+        .store
+        .as_ref()
+        .map(|s| s.lock().base_ops())
+        .unwrap_or(0)
+}
+
+/// Emits one heartbeat: the store's head op seq plus the byte distance
+/// from the subscriber's position (`at`) to the end of the retained log.
+/// `None` for `at` means the subscriber is at the head (initial greeting).
+fn write_heartbeat(
+    inner: &Inner,
+    writer: &mut TcpStream,
+    dir: &Path,
+    at: Option<(u64, u64)>,
+) -> std::io::Result<()> {
+    let head_seq = inner.store.as_ref().map(|s| s.lock().op_seq()).unwrap_or(0);
+    let lag_bytes = match at {
+        None => 0,
+        Some((cur_seg, pos)) => {
+            let mut lag = std::fs::metadata(segment_path(dir, cur_seg))
+                .map(|m| m.len().saturating_sub(pos))
+                .unwrap_or(0);
+            if let Ok(segs) = scan_segments(dir) {
+                for seg in segs.into_iter().filter(|&s| s > cur_seg) {
+                    lag += std::fs::metadata(segment_path(dir, seg))
+                        .map(|m| m.len())
+                        .unwrap_or(0);
+                }
+            }
+            lag
+        }
+    };
+    write_response(
+        writer,
+        &Response::Ok(Reply::Heartbeat {
+            head_seq,
+            lag_bytes,
+        }),
+    )
+}
+
+fn require_primary(inner: &Inner, what: &str) -> Option<RequestError> {
+    let role = inner.repl.role.lock();
+    match &*role {
+        ReplRole::Primary => None,
+        ReplRole::Follower { primary_addr } => Some(
+            RequestError::new(
+                ErrorCode::NotPrimary,
+                format!("{what} must go to the primary"),
+            )
+            .with_primary(primary_addr.clone()),
+        ),
+        ReplRole::Standalone => Some(RequestError::new(
+            ErrorCode::Unavailable,
+            format!("{what} requires a replicating primary (start with --allow-replicas)"),
+        )),
+    }
+}
+
+/// Tracks one live subscription in the followers gauge.
+struct FollowerGuard<'a> {
+    inner: &'a Arc<Inner>,
+}
+
+impl<'a> FollowerGuard<'a> {
+    fn new(inner: &'a Arc<Inner>) -> Self {
+        let n = inner.repl.followers.fetch_add(1, Ordering::SeqCst) + 1;
+        inner.metrics.repl_followers.set(n as i64);
+        Self { inner }
+    }
+}
+
+impl Drop for FollowerGuard<'_> {
+    fn drop(&mut self) {
+        let n = self.inner.repl.followers.fetch_sub(1, Ordering::SeqCst) - 1;
+        self.inner.metrics.repl_followers.set(n as i64);
+    }
+}
+
+/// Standard base64 (RFC 4648, with padding), hand-rolled because the
+/// workspace is offline and vendors no base64 crate. Only the checkpoint
+/// transfer uses it; WAL frames travel as plain JSON.
+pub mod b64 {
+    const ALPHABET: &[u8; 64] = b"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/";
+
+    /// Encodes `data` as standard padded base64.
+    pub fn encode(data: &[u8]) -> String {
+        let mut out = String::with_capacity(data.len().div_ceil(3) * 4);
+        for chunk in data.chunks(3) {
+            let b = [
+                chunk[0],
+                chunk.get(1).copied().unwrap_or(0),
+                chunk.get(2).copied().unwrap_or(0),
+            ];
+            let n = (u32::from(b[0]) << 16) | (u32::from(b[1]) << 8) | u32::from(b[2]);
+            out.push(ALPHABET[(n >> 18) as usize & 63] as char);
+            out.push(ALPHABET[(n >> 12) as usize & 63] as char);
+            out.push(if chunk.len() > 1 {
+                ALPHABET[(n >> 6) as usize & 63] as char
+            } else {
+                '='
+            });
+            out.push(if chunk.len() > 2 {
+                ALPHABET[n as usize & 63] as char
+            } else {
+                '='
+            });
+        }
+        out
+    }
+
+    /// Decodes standard padded base64.
+    ///
+    /// # Errors
+    /// Returns a description of the first malformed quartet or symbol.
+    pub fn decode(text: &str) -> Result<Vec<u8>, String> {
+        let bytes = text.as_bytes();
+        // Not `is_multiple_of`: that would raise the 1.75 MSRV.
+        #[allow(clippy::manual_is_multiple_of)]
+        if bytes.len() % 4 != 0 {
+            return Err(format!(
+                "base64 length {} is not a multiple of 4",
+                bytes.len()
+            ));
+        }
+        let mut out = Vec::with_capacity(bytes.len() / 4 * 3);
+        for (i, quartet) in bytes.chunks(4).enumerate() {
+            let mut vals = [0u32; 4];
+            let mut pad = 0usize;
+            for (j, &c) in quartet.iter().enumerate() {
+                if c == b'=' {
+                    if j < 2 || quartet[j..].iter().any(|&x| x != b'=') {
+                        return Err(format!("misplaced padding in quartet {i}"));
+                    }
+                    pad = 4 - j;
+                    break;
+                }
+                vals[j] = decode_symbol(c).ok_or_else(|| {
+                    format!("invalid base64 symbol {:?} in quartet {i}", c as char)
+                })?;
+            }
+            if pad > 0 && i != bytes.len() / 4 - 1 {
+                return Err(format!("padding before final quartet ({i})"));
+            }
+            let n = (vals[0] << 18) | (vals[1] << 12) | (vals[2] << 6) | vals[3];
+            out.push((n >> 16) as u8);
+            if pad < 2 {
+                out.push((n >> 8) as u8);
+            }
+            if pad < 1 {
+                out.push(n as u8);
+            }
+        }
+        Ok(out)
+    }
+
+    fn decode_symbol(c: u8) -> Option<u32> {
+        match c {
+            b'A'..=b'Z' => Some(u32::from(c - b'A')),
+            b'a'..=b'z' => Some(u32::from(c - b'a') + 26),
+            b'0'..=b'9' => Some(u32::from(c - b'0') + 52),
+            b'+' => Some(62),
+            b'/' => Some(63),
+            _ => None,
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn known_vectors() {
+            // RFC 4648 test vectors.
+            assert_eq!(encode(b""), "");
+            assert_eq!(encode(b"f"), "Zg==");
+            assert_eq!(encode(b"fo"), "Zm8=");
+            assert_eq!(encode(b"foo"), "Zm9v");
+            assert_eq!(encode(b"foob"), "Zm9vYg==");
+            assert_eq!(encode(b"fooba"), "Zm9vYmE=");
+            assert_eq!(encode(b"foobar"), "Zm9vYmFy");
+        }
+
+        #[test]
+        fn roundtrip_all_byte_values() {
+            let data: Vec<u8> = (0..=255u8).cycle().take(1021).collect();
+            assert_eq!(decode(&encode(&data)).unwrap(), data);
+        }
+
+        #[test]
+        fn rejects_malformed_input() {
+            assert!(decode("abc").is_err(), "bad length");
+            assert!(decode("ab!d").is_err(), "bad symbol");
+            assert!(decode("=abc").is_err(), "leading padding");
+            assert!(decode("ab=c").is_err(), "padding mid-quartet");
+            assert!(decode("ab==cdef").is_err(), "padding before final quartet");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn role_predicates_and_labels() {
+        let follower = ReplRole::Follower {
+            primary_addr: "a:1".into(),
+        };
+        assert!(ReplRole::Primary.is_primary());
+        assert!(!ReplRole::Primary.is_follower());
+        assert!(follower.is_follower());
+        assert!(!ReplRole::Standalone.is_primary());
+        assert_eq!(ReplRole::Standalone.label(), "standalone");
+        assert_eq!(ReplRole::Primary.label(), "primary");
+        assert_eq!(follower.label(), "follower");
+    }
+}

@@ -21,15 +21,17 @@
 
 use crate::metrics::{ReqType, ServerMetrics};
 use crate::protocol::{
-    ErrorCode, Reply, Request, RequestError, Response, StatsReply, PROTOCOL_VERSION,
+    ErrorCode, ReplStatusReply, Reply, Request, RequestError, Response, StatsReply,
+    PROTOCOL_VERSION,
 };
+use crate::repl::{ReplRole, ReplState};
 use crate::snapshot::{Snapshot, SnapshotError};
 use cbv_hb::dedup::UnionFind;
 use cbv_hb::sharded::ShardedPipeline;
 use cbv_hb::Record;
 use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
 use parking_lot::{Mutex, RwLock};
-use rl_store::{Store, StoreOptions, SyncPolicy, WalOp};
+use rl_store::{Checkpoint, Store, StoreOptions, SyncPolicy, WalOp};
 use std::io::{BufRead, BufReader, ErrorKind, Write};
 use std::net::{IpAddr, Ipv4Addr, Ipv6Addr, SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
@@ -84,6 +86,10 @@ pub struct ServerConfig {
     /// logged before the reply, and startup recovers from the data
     /// directory (only honored via [`Server::spawn_durable`]).
     pub durability: Option<DurabilityConfig>,
+    /// The node's replication role. Anything but
+    /// [`ReplRole::Standalone`] requires durability (the WAL is what gets
+    /// shipped). See `docs/REPLICATION.md`.
+    pub repl_role: ReplRole,
 }
 
 impl Default for ServerConfig {
@@ -95,12 +101,13 @@ impl Default for ServerConfig {
             snapshot_path: None,
             slow_request_threshold: Some(Duration::from_secs(1)),
             durability: None,
+            repl_role: ReplRole::Standalone,
         }
     }
 }
 
 /// Everything a request can touch, behind one lock.
-struct ServerState {
+pub(crate) struct ServerState {
     pipeline: ShardedPipeline,
     /// Union-find over stream-matched record ids (the dedup view).
     dedup: UnionFind,
@@ -118,20 +125,23 @@ struct Job {
     enqueued: Instant,
 }
 
-struct Inner {
+pub(crate) struct Inner {
     state: RwLock<ServerState>,
     config: ServerConfig,
-    shutdown: AtomicBool,
+    pub(crate) shutdown: AtomicBool,
     started: Instant,
     requests_served: AtomicU64,
     rejected_backpressure: AtomicU64,
     local_addr: SocketAddr,
-    metrics: Arc<ServerMetrics>,
+    pub(crate) metrics: Arc<ServerMetrics>,
     /// The durability layer (WAL + checkpoints); `None` without a data
-    /// dir. Lock order: `state` before `store` — mutations append under
-    /// the state write lock, the checkpointer rotates under a state read
-    /// lock, so neither can deadlock the other.
-    store: Option<Mutex<Store>>,
+    /// dir. Lock order: `state` before `repl.role` before `store` —
+    /// mutations append under the state write lock, the checkpointer
+    /// rotates under a state read lock, promote flips the role under the
+    /// state write lock, so none can deadlock another.
+    pub(crate) store: Option<Mutex<Store>>,
+    /// Replication role and lag counters (see [`crate::repl`]).
+    pub(crate) repl: ReplState,
 }
 
 /// A running linkage service. Dropping the handle does not stop the
@@ -265,6 +275,13 @@ impl Server {
         config: ServerConfig,
         store: Option<Store>,
     ) -> std::io::Result<Self> {
+        if config.repl_role != ReplRole::Standalone && store.is_none() {
+            return Err(std::io::Error::new(
+                ErrorKind::InvalidInput,
+                "replication roles require durability (the WAL is what gets shipped); \
+                 start with a data directory",
+            ));
+        }
         let listener = TcpListener::bind(&config.addr)?;
         let local_addr = listener.local_addr()?;
         let mut dedup = UnionFind::new();
@@ -280,6 +297,10 @@ impl Server {
         }
         let workers = config.workers.max(1);
         let queue_capacity = config.queue_capacity.max(1);
+        let repl = ReplState::new(
+            config.repl_role.clone(),
+            store.as_ref().map(Store::op_seq).unwrap_or(0),
+        );
         let inner = Arc::new(Inner {
             state: RwLock::new(ServerState {
                 pipeline,
@@ -295,6 +316,7 @@ impl Server {
             local_addr,
             metrics,
             store: store.map(Mutex::new),
+            repl,
         });
 
         let (job_tx, job_rx) = bounded::<Job>(queue_capacity);
@@ -365,6 +387,15 @@ impl Server {
     /// The bound address (useful with an ephemeral port).
     pub fn local_addr(&self) -> SocketAddr {
         self.inner.local_addr
+    }
+
+    /// A cloneable handle for replication drivers (the `rl-repl` crate's
+    /// follower loop): apply streamed ops, reset to a checkpoint, read
+    /// and publish replication lag.
+    pub fn repl_handle(&self) -> ReplHandle {
+        ReplHandle {
+            inner: Arc::clone(&self.inner),
+        }
     }
 
     /// Requests shutdown from the owning process (equivalent to a client
@@ -462,8 +493,7 @@ fn handle_connection(inner: &Arc<Inner>, stream: TcpStream, job_tx: &Sender<Job>
                 // Client closed. Answer a trailing request that was sent
                 // without a final newline before hanging up.
                 if !line.trim().is_empty() {
-                    let response = dispatch_line(inner, job_tx, line.trim());
-                    let _ = write_response(&mut writer, &response);
+                    let _ = serve_line(inner, job_tx, &mut writer, line.trim());
                 }
                 return;
             }
@@ -488,19 +518,60 @@ fn handle_connection(inner: &Arc<Inner>, stream: TcpStream, job_tx: &Sender<Job>
             line.clear();
             continue;
         }
-        let response = dispatch_line(inner, job_tx, trimmed);
-        let is_shutdown_ack = matches!(response, Response::Ok(Reply::ShuttingDown));
-        if write_response(&mut writer, &response).is_err() {
-            return;
-        }
-        line.clear();
-        if is_shutdown_ack {
-            return;
+        match serve_line(inner, job_tx, &mut writer, trimmed) {
+            ConnFlow::Continue => line.clear(),
+            ConnFlow::Close => return,
         }
     }
 }
 
-fn write_response(writer: &mut TcpStream, response: &Response) -> std::io::Result<()> {
+/// Whether the connection loop should keep reading after a request.
+enum ConnFlow {
+    Continue,
+    Close,
+}
+
+/// Serves one request line on the connection thread. Replication's
+/// streaming requests (`FetchCheckpoint`, `Subscribe`) answer with
+/// multiple lines and so cannot round-trip through the one-reply job
+/// queue — they are served inline here; everything else dispatches to the
+/// worker pool as a single-response job.
+fn serve_line(
+    inner: &Arc<Inner>,
+    job_tx: &Sender<Job>,
+    writer: &mut TcpStream,
+    line: &str,
+) -> ConnFlow {
+    let response = match serde_json::from_str::<Request>(line) {
+        Ok(Request::FetchCheckpoint) => {
+            inner.metrics.record_streaming(ReqType::FetchCheckpoint);
+            return match crate::repl::serve_fetch_checkpoint(inner, writer) {
+                Ok(()) => ConnFlow::Continue,
+                Err(_) => ConnFlow::Close,
+            };
+        }
+        Ok(Request::Subscribe { from_seq }) => {
+            inner.metrics.record_streaming(ReqType::Subscribe);
+            crate::repl::serve_subscribe(inner, writer, from_seq);
+            // A subscription consumes the connection: when the stream
+            // ends (either side went away) there is no framing left to
+            // resynchronize on, so close.
+            return ConnFlow::Close;
+        }
+        Ok(request) => dispatch_request(inner, job_tx, request),
+        Err(e) => Response::Err(RequestError::new(
+            ErrorCode::Parse,
+            format!("bad request: {e}"),
+        )),
+    };
+    let is_shutdown_ack = matches!(response, Response::Ok(Reply::ShuttingDown));
+    if write_response(writer, &response).is_err() || is_shutdown_ack {
+        return ConnFlow::Close;
+    }
+    ConnFlow::Continue
+}
+
+pub(crate) fn write_response(writer: &mut TcpStream, response: &Response) -> std::io::Result<()> {
     let mut json = serde_json::to_string(response)
         .unwrap_or_else(|_| "{\"Err\":{\"code\":\"Parse\",\"message\":\"encode\"}}".into());
     json.push('\n');
@@ -508,16 +579,7 @@ fn write_response(writer: &mut TcpStream, response: &Response) -> std::io::Resul
     writer.flush()
 }
 
-fn dispatch_line(inner: &Arc<Inner>, job_tx: &Sender<Job>, line: &str) -> Response {
-    let request: Request = match serde_json::from_str(line) {
-        Ok(req) => req,
-        Err(e) => {
-            return Response::Err(RequestError::new(
-                ErrorCode::Parse,
-                format!("bad request: {e}"),
-            ))
-        }
-    };
+fn dispatch_request(inner: &Arc<Inner>, job_tx: &Sender<Job>, request: Request) -> Response {
     // Shutdown only flips an atomic — handle it inline so it can never be
     // rejected with Backpressure by a saturated job queue.
     if matches!(request, Request::Shutdown) {
@@ -600,6 +662,9 @@ fn execute(inner: &Arc<Inner>, request: Request) -> Response {
         // is configured.
         Request::Index { records } | Request::Insert { records } => {
             let mut state = inner.state.write();
+            if let Some(err) = reject_if_follower(inner) {
+                return Response::Err(err);
+            }
             if inner.store.is_some() {
                 // Validate before logging so the WAL never holds an op
                 // that will fail again at replay.
@@ -625,6 +690,9 @@ fn execute(inner: &Arc<Inner>, request: Request) -> Response {
         }
         Request::Delete { ids } => {
             let mut state = inner.state.write();
+            if let Some(err) = reject_if_follower(inner) {
+                return Response::Err(err);
+            }
             if inner.store.is_some() {
                 let ops: Vec<WalOp> = ids.iter().map(|&id| WalOp::Delete(id)).collect();
                 if let Err(e) = log_mutation(inner, &ops) {
@@ -652,6 +720,9 @@ fn execute(inner: &Arc<Inner>, request: Request) -> Response {
         }
         Request::Stream { record } => {
             let mut state = inner.state.write();
+            if let Some(err) = reject_if_follower(inner) {
+                return Response::Err(err);
+            }
             if inner.store.is_some() {
                 if let Err(e) = state.pipeline.schema().embed(&record) {
                     return Response::Err(RequestError::new(ErrorCode::Linkage, e.to_string()));
@@ -729,10 +800,106 @@ fn execute(inner: &Arc<Inner>, request: Request) -> Response {
                 Err(e) => Response::Err(RequestError::new(ErrorCode::Snapshot, e.to_string())),
             }
         }
+        Request::ReplStatus => {
+            let role = inner.repl.role.lock().clone();
+            let applied = inner.store.as_ref().map(|s| s.lock().op_seq()).unwrap_or(0);
+            let (head_seq, lag_bytes, primary_addr) = match &role {
+                ReplRole::Follower { primary_addr } => (
+                    // The stream's head can trail reality between
+                    // heartbeats; never report a head behind what we
+                    // have already applied.
+                    inner.repl.head_seq.load(Ordering::SeqCst).max(applied),
+                    inner.repl.lag_bytes.load(Ordering::SeqCst),
+                    Some(primary_addr.clone()),
+                ),
+                _ => (applied, 0, None),
+            };
+            Response::Ok(Reply::ReplStatus(ReplStatusReply {
+                role: role.label().to_string(),
+                primary_addr,
+                applied_seq: applied,
+                head_seq,
+                lag_frames: head_seq.saturating_sub(applied),
+                lag_bytes: if head_seq > applied { lag_bytes } else { 0 },
+                followers: inner.repl.followers.load(Ordering::SeqCst),
+                reconnects: inner.repl.reconnects.load(Ordering::SeqCst),
+            }))
+        }
+        Request::Promote => {
+            // The state write lock fences in-flight mutations and apply
+            // calls; the role lock then makes the flip atomic with
+            // respect to every role check (lock order state → role →
+            // store).
+            let _state = inner.state.write();
+            let mut role = inner.repl.role.lock();
+            match role.clone() {
+                ReplRole::Follower { .. } => {
+                    let Some(store) = &inner.store else {
+                        return Response::Err(RequestError::new(
+                            ErrorCode::Unavailable,
+                            "promote requires a data directory",
+                        ));
+                    };
+                    let mut store = store.lock();
+                    // Make everything applied so far durable and start
+                    // the primary's write era on a fresh segment; the
+                    // follower's WAL mirrors the old primary's frames, so
+                    // op sequencing continues seamlessly.
+                    if let Err(e) = store.rotate() {
+                        return Response::Err(RequestError::new(
+                            ErrorCode::Storage,
+                            format!("promote failed: {e}"),
+                        ));
+                    }
+                    let head_seq = store.op_seq();
+                    *role = ReplRole::Primary;
+                    inner.metrics.repl_lag_frames.set(0);
+                    inner.metrics.repl_lag_bytes.set(0);
+                    eprintln!("rl-server: promoted to primary at op seq {head_seq}");
+                    Response::Ok(Reply::Promoted {
+                        head_seq,
+                        was_follower: true,
+                    })
+                }
+                ReplRole::Primary => Response::Ok(Reply::Promoted {
+                    head_seq: inner.store.as_ref().map(|s| s.lock().op_seq()).unwrap_or(0),
+                    was_follower: false,
+                }),
+                ReplRole::Standalone => Response::Err(RequestError::new(
+                    ErrorCode::Unavailable,
+                    "promote only applies to replicated servers (follower, or primary \
+                     started with --allow-replicas)",
+                )),
+            }
+        }
+        // Streaming requests are served inline on the connection thread
+        // (see `serve_line`); reaching a worker means a misrouted job.
+        Request::FetchCheckpoint | Request::Subscribe { .. } => Response::Err(RequestError::new(
+            ErrorCode::Unavailable,
+            "streaming requests are handled on the connection",
+        )),
         Request::Shutdown => {
             begin_shutdown(inner);
             Response::Ok(Reply::ShuttingDown)
         }
+    }
+}
+
+/// Rejects a mutation on a follower with a typed redirect. Called with
+/// the state write lock held, so a concurrent promote (which also takes
+/// it) cannot interleave with the check-then-mutate sequence.
+fn reject_if_follower(inner: &Inner) -> Option<RequestError> {
+    let role = inner.repl.role.lock();
+    if let ReplRole::Follower { primary_addr } = &*role {
+        Some(
+            RequestError::new(
+                ErrorCode::NotPrimary,
+                "read-only follower; send mutations to the primary",
+            )
+            .with_primary(primary_addr.clone()),
+        )
+    } else {
+        None
     }
 }
 
@@ -826,7 +993,7 @@ fn checkpoint_loop(inner: &Arc<Inner>, every: Duration) {
     }
 }
 
-fn run_checkpoint(inner: &Inner) -> Result<(), rl_store::StoreError> {
+pub(crate) fn run_checkpoint(inner: &Inner) -> Result<(), rl_store::StoreError> {
     let Some(store) = &inner.store else {
         return Ok(());
     };
@@ -849,6 +1016,158 @@ fn run_checkpoint(inner: &Inner) -> Result<(), rl_store::StoreError> {
     inner.metrics.wal_bytes.set(store.wal_bytes() as i64);
     inner.metrics.checkpoints.inc();
     Ok(())
+}
+
+/// The follower-side driver interface: everything the `rl-repl` apply
+/// loop needs from a running server, without exposing its internals.
+/// Cloneable and thread-safe; holding one does not keep the server
+/// running.
+#[derive(Clone)]
+pub struct ReplHandle {
+    inner: Arc<Inner>,
+}
+
+impl ReplHandle {
+    /// The node's current replication role.
+    pub fn role(&self) -> ReplRole {
+        self.inner.repl.role()
+    }
+
+    /// True once shutdown has begun (the apply loop should exit).
+    pub fn is_shutdown(&self) -> bool {
+        self.inner.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// The global op sequence applied locally — what to resume a
+    /// subscription from (`Subscribe { from_seq: op_seq() }`).
+    pub fn op_seq(&self) -> u64 {
+        self.inner
+            .store
+            .as_ref()
+            .map(|s| s.lock().op_seq())
+            .unwrap_or(0)
+    }
+
+    /// Applies one streamed WAL frame: sequence-checked, write-ahead
+    /// logged to the follower's own WAL (so restarts resume without
+    /// re-bootstrapping), then applied to the index.
+    ///
+    /// # Errors
+    /// A sequence gap, storage failure, or apply failure — the caller
+    /// should drop the subscription and resubscribe from [`Self::op_seq`].
+    pub fn apply(&self, seq: u64, op: &WalOp) -> Result<(), String> {
+        let inner = &self.inner;
+        let mut state = inner.state.write();
+        if !inner.repl.role.lock().is_follower() {
+            return Err("not a follower (promoted or standalone)".into());
+        }
+        let Some(store) = &inner.store else {
+            return Err("no data directory".into());
+        };
+        {
+            let mut store = store.lock();
+            let expected = store.op_seq() + 1;
+            if seq != expected {
+                return Err(format!("sequence gap: expected op {expected}, got {seq}"));
+            }
+            store
+                .append(op)
+                .map_err(|e| format!("wal append failed: {e}"))?;
+            inner.metrics.wal_appends.add(1);
+            inner.metrics.wal_bytes.set(store.wal_bytes() as i64);
+        }
+        apply_op(&mut state, op).map_err(|e| format!("apply failed: {e}"))?;
+        inner
+            .metrics
+            .indexed_records
+            .set(state.pipeline.indexed_len() as i64);
+        inner.metrics.streamed_records.set(state.streamed as i64);
+        drop(state);
+        inner.repl.applied_seq.store(seq, Ordering::SeqCst);
+        let head = inner.repl.head_seq.load(Ordering::SeqCst).max(seq);
+        inner
+            .metrics
+            .repl_lag_frames
+            .set(head.saturating_sub(seq) as i64);
+        Ok(())
+    }
+
+    /// Replaces the follower's entire state with a primary checkpoint
+    /// (bootstrap, or a `ResyncRequired` answer): validates it, rebuilds
+    /// the in-memory index from its snapshot, and resets the local data
+    /// directory so the WAL resumes at the checkpoint's op watermark.
+    ///
+    /// # Errors
+    /// An invalid checkpoint, a snapshot the pipeline cannot load, or a
+    /// storage failure while resetting the data directory.
+    pub fn resync(&self, ckpt: Checkpoint) -> Result<(), String> {
+        ckpt.validate(None).map_err(|e| e.to_string())?;
+        let inner = &self.inner;
+        let mut state = inner.state.write();
+        if !inner.repl.role.lock().is_follower() {
+            return Err("not a follower (promoted or standalone)".into());
+        }
+        let Some(store) = &inner.store else {
+            return Err("no data directory".into());
+        };
+        // Build the replacement pipeline before touching anything, so a
+        // bad snapshot leaves both memory and disk untouched.
+        let mut pipeline = ShardedPipeline::from_state(ckpt.snapshot.state.clone())
+            .map_err(|e| format!("checkpoint snapshot rejected: {e}"))?;
+        pipeline.attach_metrics(Arc::clone(&inner.metrics.pipeline));
+        store
+            .lock()
+            .reset_to_checkpoint(&ckpt)
+            .map_err(|e| format!("data directory reset failed: {e}"))?;
+        let mut dedup = UnionFind::new();
+        for &(a, b) in &ckpt.snapshot.stream_pairs {
+            dedup.union(a, b);
+        }
+        let old = std::mem::replace(
+            &mut *state,
+            ServerState {
+                pipeline,
+                dedup,
+                stream_pairs: ckpt.snapshot.stream_pairs.clone(),
+                streamed: ckpt.snapshot.streamed,
+            },
+        );
+        inner
+            .metrics
+            .indexed_records
+            .set(state.pipeline.indexed_len() as i64);
+        inner.metrics.streamed_records.set(state.streamed as i64);
+        drop(state);
+        old.pipeline.shutdown();
+        inner.repl.applied_seq.store(ckpt.ops, Ordering::SeqCst);
+        let head = inner.repl.head_seq.load(Ordering::SeqCst).max(ckpt.ops);
+        inner.repl.head_seq.store(head, Ordering::SeqCst);
+        inner
+            .metrics
+            .repl_lag_frames
+            .set(head.saturating_sub(ckpt.ops) as i64);
+        Ok(())
+    }
+
+    /// Records the primary's head position from a stream heartbeat and
+    /// refreshes the lag gauges.
+    pub fn update_lag(&self, head_seq: u64, lag_bytes: u64) {
+        let repl = &self.inner.repl;
+        repl.head_seq.store(head_seq, Ordering::SeqCst);
+        repl.lag_bytes.store(lag_bytes, Ordering::SeqCst);
+        let applied = repl.applied_seq.load(Ordering::SeqCst);
+        self.inner
+            .metrics
+            .repl_lag_frames
+            .set(head_seq.saturating_sub(applied) as i64);
+        self.inner.metrics.repl_lag_bytes.set(lag_bytes as i64);
+    }
+
+    /// Counts one subscription reconnect (for `rl_repl_reconnects_total`).
+    pub fn note_reconnect(&self) {
+        self.inner.repl.reconnects.fetch_add(1, Ordering::SeqCst);
+        self.inner.metrics.repl_reconnects.inc();
+    }
 }
 
 fn write_snapshot(state: &ServerState, path: &std::path::Path) -> Result<usize, SnapshotError> {

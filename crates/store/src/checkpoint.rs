@@ -28,6 +28,12 @@ pub struct Checkpoint {
     /// Every WAL segment with sequence ≤ this is fully covered by
     /// `snapshot` and safe to prune.
     pub wal_seq: u64,
+    /// Global op-sequence watermark: how many mutations (since the data
+    /// directory was created) the snapshot contains. Replication uses this
+    /// to number WAL frames globally; checkpoints written before the field
+    /// existed read back as 0, which only costs a follower one resync.
+    #[serde(default)]
+    pub ops: u64,
     /// The embedded index snapshot (validated with the same rules as a
     /// standalone snapshot file).
     pub snapshot: Snapshot,
@@ -40,8 +46,15 @@ impl Checkpoint {
             magic: CHECKPOINT_MAGIC.to_string(),
             version: CHECKPOINT_VERSION,
             wal_seq,
+            ops: 0,
             snapshot,
         }
+    }
+
+    /// Sets the global op-sequence watermark the snapshot covers.
+    pub fn with_ops(mut self, ops: u64) -> Self {
+        self.ops = ops;
+        self
     }
 
     /// Writes the checkpoint atomically (temp sibling + fsync + rename),
@@ -72,23 +85,33 @@ impl Checkpoint {
             path: Some(path.to_path_buf()),
             msg: e.to_string(),
         })?;
-        if ckpt.magic != CHECKPOINT_MAGIC {
+        ckpt.validate(Some(path))?;
+        Ok(ckpt)
+    }
+
+    /// Validates the checkpoint's magic, version, and embedded snapshot.
+    /// `path` (when known) is threaded into errors for context; a
+    /// checkpoint received over the wire validates with `None`.
+    ///
+    /// # Errors
+    /// Returns [`SnapshotError::Format`] describing the first failed check.
+    pub fn validate(&self, path: Option<&Path>) -> Result<(), SnapshotError> {
+        if self.magic != CHECKPOINT_MAGIC {
             return Err(SnapshotError::Format {
-                path: Some(path.to_path_buf()),
-                msg: format!("bad magic {:?} (expected {CHECKPOINT_MAGIC:?})", ckpt.magic),
+                path: path.map(Path::to_path_buf),
+                msg: format!("bad magic {:?} (expected {CHECKPOINT_MAGIC:?})", self.magic),
             });
         }
-        if ckpt.version != CHECKPOINT_VERSION {
+        if self.version != CHECKPOINT_VERSION {
             return Err(SnapshotError::Format {
-                path: Some(path.to_path_buf()),
+                path: path.map(Path::to_path_buf),
                 msg: format!(
                     "unsupported version {} (this build reads {CHECKPOINT_VERSION})",
-                    ckpt.version
+                    self.version
                 ),
             });
         }
-        ckpt.snapshot.validate(Some(path))?;
-        Ok(ckpt)
+        self.snapshot.validate(path)
     }
 }
 

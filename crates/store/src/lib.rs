@@ -34,5 +34,7 @@ pub mod wal;
 pub use checkpoint::{Checkpoint, CHECKPOINT_MAGIC, CHECKPOINT_VERSION};
 pub use error::StoreError;
 pub use snapshot::{schema_hash, Snapshot, SnapshotError, SNAPSHOT_MAGIC, SNAPSHOT_VERSION};
-pub use store::{Recovery, RecoveryReport, Store, StoreOptions, CHECKPOINT_FILE};
-pub use wal::{crc32, SyncPolicy, Wal, WalOp, WAL_MAGIC};
+pub use store::{
+    scan_segments, segment_path, Recovery, RecoveryReport, Store, StoreOptions, CHECKPOINT_FILE,
+};
+pub use wal::{crc32, ReadFrame, SyncPolicy, Wal, WalOp, WalReader, WAL_MAGIC};

@@ -93,10 +93,21 @@ pub struct Store {
     prior_bytes: u64,
     /// Total appends through this handle, across rotations.
     appends: u64,
+    /// Global sequence of the last appended op (checkpoint watermark +
+    /// every op since the data directory was created). Replication
+    /// numbers WAL frames with this.
+    op_seq: u64,
+    /// Global op sequence the committed checkpoint covers: the first
+    /// frame in the retained segments is op `base_ops + 1`.
+    base_ops: u64,
+    /// `op_seq` captured at [`Store::begin_checkpoint`]'s rotation, so
+    /// [`Store::commit_checkpoint`] stamps the matching watermark.
+    pending_ckpt_ops: Option<u64>,
     opts: StoreOptions,
 }
 
-fn segment_path(dir: &Path, seq: u64) -> PathBuf {
+/// Path of the WAL segment numbered `seq` inside `dir`.
+pub fn segment_path(dir: &Path, seq: u64) -> PathBuf {
     dir.join(format!("wal-{seq:06}.log"))
 }
 
@@ -108,7 +119,10 @@ fn parse_segment_seq(name: &str) -> Option<u64> {
 }
 
 /// All WAL segment sequences in `dir`, sorted ascending.
-fn scan_segments(dir: &Path) -> Result<Vec<u64>, StoreError> {
+///
+/// # Errors
+/// Returns [`StoreError::Io`] when the directory cannot be read.
+pub fn scan_segments(dir: &Path) -> Result<Vec<u64>, StoreError> {
     let entries = std::fs::read_dir(dir).map_err(|e| StoreError::io("read_dir", dir, e))?;
     let mut seqs: Vec<u64> = entries
         .flatten()
@@ -279,12 +293,16 @@ impl Store {
             .sum();
 
         report.duration = started.elapsed();
+        let base_ops = checkpoint.as_ref().map(|c| c.ops).unwrap_or(0);
         let store = Self {
             dir: dir.to_path_buf(),
             wal,
             seq,
             prior_bytes,
             appends: 0,
+            op_seq: base_ops + ops.len() as u64,
+            base_ops,
+            pending_ckpt_ops: None,
             opts,
         };
         let recovery = Recovery {
@@ -303,6 +321,7 @@ impl Store {
     pub fn append(&mut self, op: &WalOp) -> Result<(), StoreError> {
         self.wal.append(op)?;
         self.appends += 1;
+        self.op_seq += 1;
         Ok(())
     }
 
@@ -316,6 +335,7 @@ impl Store {
     pub fn append_batch(&mut self, ops: &[WalOp]) -> Result<(), StoreError> {
         self.wal.append_batch(ops)?;
         self.appends += ops.len() as u64;
+        self.op_seq += ops.len() as u64;
         Ok(())
     }
 
@@ -334,6 +354,19 @@ impl Store {
     /// # Errors
     /// Returns [`StoreError::Io`] on fsync or segment-creation failure.
     pub fn begin_checkpoint(&mut self) -> Result<u64, StoreError> {
+        self.pending_ckpt_ops = Some(self.op_seq);
+        self.rotate()
+    }
+
+    /// fsyncs and closes the active segment, opening the next one.
+    /// Returns the sequence of the segment just closed. Promotion rotates
+    /// so a freshly-promoted primary starts its mutation stream on a
+    /// segment boundary; checkpoints rotate through
+    /// [`Self::begin_checkpoint`].
+    ///
+    /// # Errors
+    /// Returns [`StoreError::Io`] on fsync or segment-creation failure.
+    pub fn rotate(&mut self) -> Result<u64, StoreError> {
         self.wal.sync()?;
         let covered = self.seq;
         self.seq += 1;
@@ -358,7 +391,11 @@ impl Store {
         snapshot: Snapshot,
         covered: u64,
     ) -> Result<(), StoreError> {
-        Checkpoint::new(covered, snapshot).save(&self.dir.join(CHECKPOINT_FILE))?;
+        let ops = self.pending_ckpt_ops.take().unwrap_or(self.op_seq);
+        Checkpoint::new(covered, snapshot)
+            .with_ops(ops)
+            .save(&self.dir.join(CHECKPOINT_FILE))?;
+        self.base_ops = ops;
         let mut pruned = false;
         for seq in scan_segments(&self.dir)?
             .into_iter()
@@ -402,6 +439,51 @@ impl Store {
     /// Sequence number of the active WAL segment.
     pub fn active_seq(&self) -> u64 {
         self.seq
+    }
+
+    /// Global sequence of the last appended op (checkpoint watermark plus
+    /// every append since). Frame `op_seq` is the newest mutation in the
+    /// WAL; a fresh directory starts at 0.
+    pub fn op_seq(&self) -> u64 {
+        self.op_seq
+    }
+
+    /// Global op sequence covered by the committed checkpoint: the first
+    /// frame in the retained segments is op `base_ops() + 1`. A
+    /// subscriber asking for history older than this must resync from a
+    /// checkpoint instead.
+    pub fn base_ops(&self) -> u64 {
+        self.base_ops
+    }
+
+    /// Replaces the directory's entire contents with `ckpt`: writes it as
+    /// the committed checkpoint, deletes every WAL segment, and opens a
+    /// fresh active segment past both the checkpoint's watermark and the
+    /// previous active sequence. A follower too far behind the primary's
+    /// retained log calls this to restart from a shipped checkpoint; the
+    /// caller must rebuild its in-memory state from `ckpt.snapshot`.
+    ///
+    /// # Errors
+    /// Returns [`StoreError`] on filesystem failure; on error the store
+    /// may be left with no active segment frames but the checkpoint and
+    /// recovery path remain consistent (the checkpoint lands atomically
+    /// before any segment is deleted).
+    pub fn reset_to_checkpoint(&mut self, ckpt: &Checkpoint) -> Result<(), StoreError> {
+        ckpt.save(&self.dir.join(CHECKPOINT_FILE))?;
+        let mut removed = false;
+        for seq in scan_segments(&self.dir)? {
+            removed |= std::fs::remove_file(segment_path(&self.dir, seq)).is_ok();
+        }
+        if removed {
+            let _ = crate::atomic::fsync_dir(&self.dir);
+        }
+        self.seq = self.seq.max(ckpt.wal_seq) + 1;
+        self.wal = Wal::create(&segment_path(&self.dir, self.seq), self.opts.sync)?;
+        self.prior_bytes = 0;
+        self.base_ops = ckpt.ops;
+        self.op_seq = ckpt.ops;
+        self.pending_ckpt_ops = None;
+        Ok(())
     }
 }
 
@@ -677,6 +759,112 @@ mod tests {
             after < before,
             "prune reclaims the covered segment ({after} vs {before})"
         );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn op_seq_survives_checkpoint_and_reopen() {
+        let dir = fresh_dir("opseq");
+        let (mut store, _) = Store::open(&dir, StoreOptions::default()).unwrap();
+        assert_eq!(store.op_seq(), 0);
+        assert_eq!(store.base_ops(), 0);
+        store.append(&WalOp::Insert(rec(1))).unwrap();
+        store
+            .append_batch(&[WalOp::Insert(rec(2)), WalOp::Delete(1)])
+            .unwrap();
+        assert_eq!(store.op_seq(), 3);
+
+        let covered = store.begin_checkpoint().unwrap();
+        store.append(&WalOp::Insert(rec(4))).unwrap();
+        store
+            .commit_checkpoint(sample_snapshot(&[2]), covered)
+            .unwrap();
+        // The checkpoint covers ops 1..=3 (captured at rotation), not the
+        // append that raced in during the export window.
+        assert_eq!(store.base_ops(), 3);
+        assert_eq!(store.op_seq(), 4);
+        drop(store);
+
+        let (store, recov) = Store::open(&dir, StoreOptions::default()).unwrap();
+        assert_eq!(recov.ops.len(), 1, "one op past the checkpoint");
+        assert_eq!(store.base_ops(), 3);
+        assert_eq!(store.op_seq(), 4, "watermark + replayed tail");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn reset_to_checkpoint_replaces_history() {
+        let dir = fresh_dir("reset");
+        let (mut store, _) = Store::open(&dir, StoreOptions::default()).unwrap();
+        for i in 0..5 {
+            store.append(&WalOp::Insert(rec(i))).unwrap();
+        }
+        let ckpt = Checkpoint::new(9, sample_snapshot(&[1, 2])).with_ops(42);
+        store.reset_to_checkpoint(&ckpt).unwrap();
+        assert_eq!(store.op_seq(), 42);
+        assert_eq!(store.base_ops(), 42);
+        assert!(store.active_seq() > 9);
+        store.append(&WalOp::Insert(rec(100))).unwrap();
+        assert_eq!(store.op_seq(), 43);
+        drop(store);
+
+        let (store, recov) = Store::open(&dir, StoreOptions::default()).unwrap();
+        assert_eq!(recov.snapshot.unwrap().state.indexed, 2);
+        assert_eq!(recov.ops, vec![WalOp::Insert(rec(100))], "old ops gone");
+        assert_eq!(store.op_seq(), 43);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn crash_between_begin_and_commit_checkpoint_loses_nothing() {
+        // The kill window satellite: a crash after begin_checkpoint
+        // (rotation done) but before commit_checkpoint (no new
+        // checkpoint.snap) — possibly mid-write, leaving a stale temp
+        // sibling — must recover every acknowledged op and must not treat
+        // the partial temp as a checkpoint.
+        let dir = fresh_dir("ckpt-interrupt");
+        let (mut store, _) = Store::open(&dir, StoreOptions::default()).unwrap();
+        store.append(&WalOp::Insert(rec(1))).unwrap();
+        store.append(&WalOp::Insert(rec(2))).unwrap();
+        let _covered = store.begin_checkpoint().unwrap();
+        store.append(&WalOp::Insert(rec(3))).unwrap();
+        // Crash before commit_checkpoint: drop the store with a partial
+        // checkpoint temp on disk, exactly what a kill mid-write_atomic
+        // leaves behind.
+        let stale_tmp = dir.join(format!("{CHECKPOINT_FILE}.tmp-99999-0"));
+        std::fs::write(&stale_tmp, b"{\"partial\":").unwrap();
+        drop(store);
+
+        let (mut store, recov) = Store::open(&dir, StoreOptions::default()).unwrap();
+        assert!(
+            recov.snapshot.is_none(),
+            "a temp sibling is not a checkpoint"
+        );
+        assert_eq!(
+            recov.ops,
+            vec![
+                WalOp::Insert(rec(1)),
+                WalOp::Insert(rec(2)),
+                WalOp::Insert(rec(3)),
+            ],
+            "every acknowledged op recovered across both segments"
+        );
+        assert_eq!(store.op_seq(), 3);
+        assert!(stale_tmp.exists(), "ignored, not deleted, at open");
+
+        // The next successful checkpoint sweeps the stale temp.
+        let covered = store.begin_checkpoint().unwrap();
+        store
+            .commit_checkpoint(sample_snapshot(&[1, 2]), covered)
+            .unwrap();
+        assert!(
+            !stale_tmp.exists(),
+            "stale checkpoint temp swept by the next atomic save"
+        );
+        drop(store);
+        let (_, recov) = Store::open(&dir, StoreOptions::default()).unwrap();
+        assert!(recov.snapshot.is_some());
+        assert!(recov.ops.is_empty());
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -316,6 +316,151 @@ impl Wal {
     }
 }
 
+/// One frame decoded by a [`WalReader`].
+#[derive(Debug)]
+pub struct ReadFrame {
+    /// The decoded op.
+    pub op: WalOp,
+    /// Framed size on disk (header + payload), for byte-lag accounting.
+    pub frame_len: u64,
+}
+
+/// A cursor over one WAL segment for *tailing*: unlike [`replay`], which
+/// reads a whole file at once, a `WalReader` decodes frames incrementally
+/// from its current position and treats an incomplete final frame as
+/// "nothing yet" rather than end-of-log. Replication streams the durable
+/// log to followers with this — a frame that is half-written when the
+/// reader reaches it becomes readable on the next poll, because appends
+/// land as a single `write_all` per batch.
+#[derive(Debug)]
+pub struct WalReader {
+    path: PathBuf,
+    file: File,
+    pos: u64,
+}
+
+impl WalReader {
+    /// Opens a segment for reading and validates its magic header.
+    ///
+    /// # Errors
+    /// Returns [`StoreError::Io`] when the file cannot be opened/read and
+    /// [`StoreError::NotAWal`] on a foreign header. A file shorter than
+    /// the magic (creation in flight) is reported as `Io` with
+    /// `UnexpectedEof` — callers retry.
+    pub fn open(path: &Path) -> Result<Self, StoreError> {
+        let mut file = File::open(path).map_err(|e| StoreError::io("open", path, e))?;
+        let mut magic = [0u8; WAL_MAGIC.len()];
+        file.read_exact(&mut magic)
+            .map_err(|e| StoreError::io("read", path, e))?;
+        if magic != WAL_MAGIC {
+            return Err(StoreError::NotAWal {
+                path: path.to_path_buf(),
+                msg: format!("bad magic {magic:?}"),
+            });
+        }
+        Ok(Self {
+            path: path.to_path_buf(),
+            file,
+            pos: WAL_MAGIC.len() as u64,
+        })
+    }
+
+    /// Decodes the next complete frame at the cursor. `Ok(None)` means no
+    /// complete, CRC-valid frame is available *yet* — either clean EOF on
+    /// a rotated segment or an append still in flight on the active one;
+    /// the caller polls again or moves to the next segment. The cursor
+    /// only advances past frames that decoded successfully.
+    ///
+    /// # Errors
+    /// Returns [`StoreError::Io`] on read failure or on a frame that can
+    /// never become valid (oversized length prefix, CRC-valid but
+    /// undecodable payload) — genuine corruption the tailer must not spin
+    /// on.
+    pub fn next_frame(&mut self) -> Result<Option<ReadFrame>, StoreError> {
+        self.file
+            .seek(SeekFrom::Start(self.pos))
+            .map_err(|e| StoreError::io("seek", &self.path, e))?;
+        let mut header = [0u8; 8];
+        match read_full(&mut self.file, &mut header) {
+            Ok(true) => {}
+            Ok(false) => return Ok(None),
+            Err(e) => return Err(StoreError::io("read", &self.path, e)),
+        }
+        let len = u32::from_le_bytes(header[0..4].try_into().unwrap());
+        let crc = u32::from_le_bytes(header[4..8].try_into().unwrap());
+        if len > MAX_FRAME_LEN {
+            return Err(StoreError::io(
+                "read",
+                &self.path,
+                std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    format!("frame length {len} exceeds maximum (corrupt segment)"),
+                ),
+            ));
+        }
+        let mut payload = vec![0u8; len as usize];
+        match read_full(&mut self.file, &mut payload) {
+            Ok(true) => {}
+            Ok(false) => return Ok(None),
+            Err(e) => return Err(StoreError::io("read", &self.path, e)),
+        }
+        if crc32(&payload) != crc {
+            // Could be an append in flight (header landed, payload bytes
+            // still buffered) — report "nothing yet" and let the caller
+            // poll; a genuinely corrupt frame keeps failing and the
+            // segment-advance logic upstream turns that into a resync.
+            return Ok(None);
+        }
+        let op = serde_json::from_slice::<WalOp>(&payload).map_err(|e| {
+            StoreError::io(
+                "decode",
+                &self.path,
+                std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()),
+            )
+        })?;
+        let frame_len = 8 + u64::from(len);
+        self.pos += frame_len;
+        Ok(Some(ReadFrame { op, frame_len }))
+    }
+
+    /// Byte offset of the cursor (start of the next undecoded frame).
+    pub fn pos(&self) -> u64 {
+        self.pos
+    }
+
+    /// Current on-disk length of the segment (an active segment grows
+    /// between calls).
+    ///
+    /// # Errors
+    /// Returns [`StoreError::Io`] naming the path on failure.
+    pub fn file_len(&self) -> Result<u64, StoreError> {
+        self.file
+            .metadata()
+            .map(|m| m.len())
+            .map_err(|e| StoreError::io("stat", &self.path, e))
+    }
+
+    /// The segment's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+/// Reads exactly `buf.len()` bytes unless EOF intervenes: `Ok(true)` on a
+/// full read, `Ok(false)` on EOF before the buffer filled (partial frame).
+fn read_full(file: &mut File, buf: &mut [u8]) -> std::io::Result<bool> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match file.read(&mut buf[filled..]) {
+            Ok(0) => return Ok(false),
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(true)
+}
+
 /// The outcome of scanning one segment.
 #[derive(Debug)]
 pub struct ReplaySegment {
@@ -573,6 +718,67 @@ mod tests {
         let mut wal = Wal::open_append(&path, SyncPolicy::Always, seg.valid_len).unwrap();
         wal.append(&WalOp::Insert(rec(2))).unwrap();
         assert_eq!(replay(&path).unwrap().ops.len(), 2);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn reader_tails_frames_and_sees_later_appends() {
+        let path = tmp("reader.log");
+        let mut wal = Wal::create(&path, SyncPolicy::Never).unwrap();
+        wal.append(&WalOp::Insert(rec(1))).unwrap();
+        wal.append(&WalOp::Delete(1)).unwrap();
+
+        let mut reader = WalReader::open(&path).unwrap();
+        let f1 = reader.next_frame().unwrap().unwrap();
+        assert_eq!(f1.op, WalOp::Insert(rec(1)));
+        let f2 = reader.next_frame().unwrap().unwrap();
+        assert_eq!(f2.op, WalOp::Delete(1));
+        assert_eq!(reader.pos(), wal.len());
+        assert!(reader.next_frame().unwrap().is_none(), "caught up");
+
+        // An append made after the reader caught up becomes visible on the
+        // next poll — the tailing contract replication relies on.
+        wal.append(&WalOp::Observe(rec(2))).unwrap();
+        let f3 = reader.next_frame().unwrap().unwrap();
+        assert_eq!(f3.op, WalOp::Observe(rec(2)));
+        assert_eq!(reader.file_len().unwrap(), reader.pos());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn reader_treats_partial_frame_as_nothing_yet() {
+        let path = tmp("reader-partial.log");
+        let mut wal = Wal::create(&path, SyncPolicy::Never).unwrap();
+        wal.append(&WalOp::Insert(rec(1))).unwrap();
+        drop(wal);
+        // Half a header past the valid frame: an append in flight.
+        {
+            let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+            f.write_all(&[9, 0, 0]).unwrap();
+        }
+        let mut reader = WalReader::open(&path).unwrap();
+        assert!(reader.next_frame().unwrap().is_some());
+        let at = reader.pos();
+        assert!(reader.next_frame().unwrap().is_none());
+        assert_eq!(reader.pos(), at, "cursor does not advance past a tear");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn reader_rejects_foreign_file_and_oversized_frame() {
+        let path = tmp("reader-foreign.log");
+        std::fs::write(&path, b"definitely not a wal").unwrap();
+        assert!(matches!(
+            WalReader::open(&path),
+            Err(StoreError::NotAWal { .. })
+        ));
+        // Oversized length prefix is corruption, not a retryable tail.
+        let mut bytes = WAL_MAGIC.to_vec();
+        bytes.extend_from_slice(&u32::MAX.to_le_bytes());
+        bytes.extend_from_slice(&[0, 0, 0, 0]);
+        std::fs::write(&path, &bytes).unwrap();
+        let mut reader = WalReader::open(&path).unwrap();
+        assert!(reader.next_frame().is_err());
         std::fs::remove_file(&path).unwrap();
     }
 

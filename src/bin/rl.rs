@@ -39,8 +39,10 @@ fn usage() -> ! {
          rl serve --rule EXPR --fields N [--addr HOST:PORT] [--m-bits M] \
          [--k K] [--delta D] [--blocking random|covering] [--shards N] \
          [--workers N] [--queue N] [--snapshot PATH] [--slow-ms MS] [--seed S] \
-         [--data-dir DIR] [--checkpoint-every SECS] [--wal-sync-ms MS]\n  \
-         rl client --cmd stats|metrics|dedup-status|shutdown|snapshot|index|insert|delete|probe|stream \
+         [--data-dir DIR] [--checkpoint-every SECS] [--wal-sync-ms MS] \
+         [--allow-replicas] [--replicate-from HOST:PORT]\n  \
+         rl promote [--addr HOST:PORT] [--timeout-ms MS]\n  \
+         rl client --cmd stats|metrics|dedup-status|repl-status|shutdown|snapshot|index|insert|delete|probe|stream \
          [--addr HOST:PORT] [--input F.csv] [--out M.csv] [--path SNAP] [--ids 1,2,...] \
          [--header] [--id-column N] [--timeout-ms MS] [--prometheus]"
     );
@@ -57,6 +59,7 @@ fn main() {
         "dedup" => dedup(&flags),
         "calibrate" => calibrate(&flags),
         "serve" => serve(&flags),
+        "promote" => promote(&flags),
         "client" => client(&flags),
         _ => usage(),
     };
@@ -76,7 +79,10 @@ fn parse_flags(args: &[String]) -> HashMap<String, String> {
             usage();
         }
         // Boolean flags take no value.
-        if matches!(key.as_str(), "header" | "report" | "prometheus") {
+        if matches!(
+            key.as_str(),
+            "header" | "report" | "prometheus" | "allow-replicas"
+        ) {
             flags.insert(key, "true".into());
             i += 1;
         } else {
@@ -408,9 +414,18 @@ fn dedup(flags: &HashMap<String, String>) -> Result<(), String> {
 /// write-ahead logged before its reply (`--wal-sync-ms` trades fsync
 /// latency for a bounded power-loss window), and checkpoints run in the
 /// background every `--checkpoint-every` seconds.
+///
+/// Replication (protocol v5, requires `--data-dir`): `--allow-replicas`
+/// makes this node a primary serving checkpoint transfers and WAL
+/// subscriptions; `--replicate-from HOST:PORT` starts a read-only
+/// follower of that primary instead (bootstrapping from its checkpoint
+/// when the data dir is empty). See `docs/REPLICATION.md`.
 fn serve(flags: &HashMap<String, String>) -> Result<(), String> {
     use record_linkage::cbv_hb::sharded::ShardedPipeline;
-    use record_linkage::server::{DurabilityConfig, Server, ServerConfig, Snapshot, SyncPolicy};
+    use record_linkage::repl::{Follower, FollowerConfig};
+    use record_linkage::server::{
+        DurabilityConfig, ReplRole, Server, ServerConfig, Snapshot, SyncPolicy,
+    };
 
     let addr = flags
         .get("addr")
@@ -451,6 +466,20 @@ fn serve(flags: &HashMap<String, String>) -> Result<(), String> {
     } else {
         Some(std::time::Duration::from_millis(slow_ms as u64))
     };
+    let replicate_from = flags.get("replicate-from").cloned();
+    let allow_replicas = flags.contains_key("allow-replicas");
+    if allow_replicas && replicate_from.is_some() {
+        // Follower fan-out (a replica re-serving the stream) is future
+        // work; today a node is a primary or a follower, not both.
+        return Err("--allow-replicas and --replicate-from are mutually exclusive".into());
+    }
+    if (allow_replicas || replicate_from.is_some()) && data_dir.is_none() {
+        return Err(
+            "replication requires --data-dir: the write-ahead log is what gets shipped \
+             (see docs/REPLICATION.md)"
+                .into(),
+        );
+    }
     let durability = match &data_dir {
         Some(dir) => {
             // Checkpoint cadence in seconds (0 disables background
@@ -482,7 +511,30 @@ fn serve(flags: &HashMap<String, String>) -> Result<(), String> {
         snapshot_path: snapshot_path.clone(),
         slow_request_threshold,
         durability,
+        repl_role: if allow_replicas {
+            ReplRole::Primary
+        } else {
+            ReplRole::Standalone
+        },
     };
+
+    // Follower mode: the data directory is seeded from the primary's
+    // checkpoint (index shape included), so --rule/--fields are not
+    // needed; the node serves reads and redirects mutations.
+    if let Some(primary) = replicate_from {
+        let dir = data_dir.as_ref().expect("checked above");
+        let follower = Follower::spawn(FollowerConfig::new(primary.clone(), config))
+            .map_err(|e| format!("cannot start follower: {e}"))?;
+        eprintln!(
+            "rl-server listening on {} (follower of {primary}, data dir {}); \
+             send {{\"Shutdown\":null}} to stop, {{\"Promote\":null}} to promote",
+            follower.local_addr(),
+            dir.display()
+        );
+        follower.wait();
+        eprintln!("rl-server stopped");
+        return Ok(());
+    }
 
     // Durable mode: recovery (checkpoint + WAL replay) happens inside
     // spawn_durable; the closure builds a fresh index from the flags only
@@ -494,8 +546,13 @@ fn serve(flags: &HashMap<String, String>) -> Result<(), String> {
         )
         .map_err(|e| format!("cannot start server: {e}"))?;
         eprintln!(
-            "rl-server listening on {} (durable, data dir {}); send {{\"Shutdown\":null}} to stop",
+            "rl-server listening on {} (durable{}, data dir {}); send {{\"Shutdown\":null}} to stop",
             server.local_addr(),
+            if allow_replicas {
+                ", serving replicas"
+            } else {
+                ""
+            },
             dir.display()
         );
         server.wait();
@@ -612,6 +669,39 @@ fn build_serve_pipeline(
     ShardedPipeline::new(schema, link_config, shards, &mut rng).map_err(|e| e.to_string())
 }
 
+/// Promotes a follower to primary: syncs its applied tail, flips the
+/// role, and rotates to a fresh WAL segment. Idempotent on a node that is
+/// already primary. Run this only after confirming the follower's lag is
+/// 0 (`rl client --cmd repl-status`) — or accept losing the unshipped
+/// tail; see the failover runbook in docs/REPLICATION.md.
+fn promote(flags: &HashMap<String, String>) -> Result<(), String> {
+    use record_linkage::server::Client;
+
+    let addr = flags
+        .get("addr")
+        .cloned()
+        .unwrap_or_else(|| "127.0.0.1:7878".into());
+    let timeout_ms: u64 = flags
+        .get("timeout-ms")
+        .map(|s| s.parse())
+        .transpose()
+        .map_err(|_| "--timeout-ms must be an integer".to_string())?
+        .unwrap_or(30_000);
+    let timeout = if timeout_ms == 0 {
+        None
+    } else {
+        Some(std::time::Duration::from_millis(timeout_ms))
+    };
+    let mut client = Client::connect_with_timeout(&*addr, timeout).map_err(|e| e.to_string())?;
+    let (head_seq, was_follower) = client.promote().map_err(|e| e.to_string())?;
+    if was_follower {
+        eprintln!("{addr} promoted to primary at op seq {head_seq}");
+    } else {
+        eprintln!("{addr} is already primary (op seq {head_seq})");
+    }
+    Ok(())
+}
+
 /// One-shot protocol client: connects, issues a single command, prints the
 /// reply as JSON on stdout (matches as CSV with --out).
 fn client(flags: &HashMap<String, String>) -> Result<(), String> {
@@ -679,6 +769,23 @@ fn client(flags: &HashMap<String, String>) -> Result<(), String> {
             println!(
                 "{}",
                 serde_json::to_string(&clusters).map_err(|e| e.to_string())?
+            );
+        }
+        "repl-status" => {
+            let status = client.repl_status().map_err(|e| e.to_string())?;
+            println!(
+                "{}",
+                serde_json::to_string(&status).map_err(|e| e.to_string())?
+            );
+            eprintln!(
+                "role={} applied={} head={} lag_frames={} lag_bytes={} followers={} reconnects={}",
+                status.role,
+                status.applied_seq,
+                status.head_seq,
+                status.lag_frames,
+                status.lag_bytes,
+                status.followers,
+                status.reconnects
             );
         }
         "shutdown" => {

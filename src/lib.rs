@@ -50,6 +50,7 @@
 //! | [`baselines`] | `rl-baselines` | HARRA, BfH, SM-EB |
 //! | [`pprl`] | `rl-pprl` | privacy-preserving linkage (keyed embeddings) |
 //! | [`server`] | `rl-server` | TCP linkage service over the sharded index |
+//! | [`repl`] | `rl-repl` | WAL-shipping read replicas, bootstrap, promote |
 //! | [`obs`] | `rl-obs` | counters, mergeable latency histograms, Prometheus |
 
 pub use cbv_hb;
@@ -59,6 +60,7 @@ pub use rl_datagen as datagen;
 pub use rl_lsh as lsh;
 pub use rl_obs as obs;
 pub use rl_pprl as pprl;
+pub use rl_repl as repl;
 pub use rl_server as server;
 pub use textdist;
 

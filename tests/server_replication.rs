@@ -1,0 +1,303 @@
+//! Replication integration tests (protocol v5): a follower bootstraps
+//! from the primary's checkpoint, tails its WAL, serves reads, redirects
+//! writes, and can be promoted after the primary dies without losing a
+//! single acknowledged mutation — the acceptance criteria of the
+//! replication subsystem.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use record_linkage::cbv_hb::pipeline::LinkageConfig;
+use record_linkage::cbv_hb::sharded::ShardedPipeline;
+use record_linkage::cbv_hb::{AttributeSpec, Record, RecordSchema, Rule};
+use record_linkage::repl::{Follower, FollowerConfig};
+use record_linkage::server::{
+    Client, DurabilityConfig, ReplRole, Server, ServerConfig, SyncPolicy,
+};
+use record_linkage::textdist::Alphabet;
+use std::io::{BufRead, BufReader, Read};
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+fn pipeline(seed: u64, shards: usize) -> ShardedPipeline {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let schema = RecordSchema::build(
+        Alphabet::linkage(),
+        vec![
+            AttributeSpec::new("FirstName", 2, 64, false, 5),
+            AttributeSpec::new("LastName", 2, 64, false, 5),
+        ],
+        &mut rng,
+    );
+    let rule = Rule::and([Rule::pred(0, 4), Rule::pred(1, 4)]);
+    ShardedPipeline::new(schema, LinkageConfig::rule_aware(rule), shards, &mut rng).unwrap()
+}
+
+/// A well-spread synthetic name (multiplicative hash), so distinct
+/// indices share few bigrams and the match assertions stay exact.
+fn synth_name(salt: u64, i: u64) -> String {
+    let mut x = (i + 1)
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(salt.wrapping_mul(0xA24B_AED4_963E_E407));
+    (0..6)
+        .map(|_| {
+            let c = (b'A' + (x % 26) as u8) as char;
+            x /= 26;
+            c
+        })
+        .collect()
+}
+
+fn records(salt: u64, base: u64, n: u64) -> Vec<Record> {
+    (0..n)
+        .map(|i| Record::new(base + i, [synth_name(salt, i), synth_name(salt ^ 0xF00, i)]))
+        .collect()
+}
+
+/// Probe `record` under a fresh probe id and return the indexed ids it
+/// matched.
+fn probe_one(client: &mut Client, record: &Record, probe_id: u64) -> Vec<u64> {
+    let probe = Record::new(probe_id, record.fields.iter().cloned());
+    let (pairs, _) = client.probe(std::slice::from_ref(&probe)).unwrap();
+    pairs.into_iter().map(|(a, _)| a).collect()
+}
+
+fn fresh_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("rl-repl-{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn durable_config(dir: &Path, role: ReplRole) -> ServerConfig {
+    ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        repl_role: role,
+        durability: Some(DurabilityConfig {
+            data_dir: dir.to_path_buf(),
+            sync: SyncPolicy::Always,
+            checkpoint_every: None,
+        }),
+        ..ServerConfig::default()
+    }
+}
+
+/// Polls the node at `client` until its applied sequence reaches
+/// `target` with zero reported lag, or panics after ~10 s.
+fn wait_caught_up(client: &mut Client, target: u64) {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let status = client.repl_status().unwrap();
+        if status.applied_seq >= target && status.lag_frames == 0 && status.lag_bytes == 0 {
+            return;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "follower stuck at applied={} lag_frames={} (want {target})",
+            status.applied_seq,
+            status.lag_frames
+        );
+        std::thread::sleep(Duration::from_millis(25));
+    }
+}
+
+#[test]
+fn follower_bootstraps_tails_and_redirects() {
+    let pdir = fresh_dir("live-primary");
+    let fdir = fresh_dir("live-follower");
+    let primary = Server::spawn_durable(
+        || Ok(pipeline(11, 2)),
+        durable_config(&pdir, ReplRole::Primary),
+    )
+    .unwrap();
+    let primary_addr = primary.local_addr().to_string();
+    let mut pc = Client::connect(&*primary_addr).unwrap();
+
+    // Seed state BEFORE the follower exists: it must arrive via the
+    // checkpoint bootstrap, not the live stream.
+    let a = records(3, 0, 15);
+    assert_eq!(pc.insert(&a).unwrap(), (15, 15));
+    let streamed = Record::new(500, ["STREAMY", "RECORD"]);
+    pc.stream(&streamed).unwrap();
+
+    let follower = Follower::spawn(FollowerConfig::new(
+        primary_addr.clone(),
+        durable_config(&fdir, ReplRole::Standalone),
+    ))
+    .unwrap();
+    let mut fc = Client::connect(follower.local_addr()).unwrap();
+
+    // State AFTER the follower attached arrives via the WAL stream.
+    let b = records(4, 100, 10);
+    assert_eq!(pc.insert(&b).unwrap().0, 10);
+    assert_eq!(pc.delete(&[a[2].id]).unwrap().0, 1);
+
+    let head = pc.repl_status().unwrap().applied_seq;
+    wait_caught_up(&mut fc, head);
+
+    // The follower reports its role honestly and the primary sees it.
+    let fs = fc.repl_status().unwrap();
+    assert_eq!(fs.role, "follower");
+    assert_eq!(fs.primary_addr.as_deref(), Some(&*primary_addr));
+    let ps = pc.repl_status().unwrap();
+    assert_eq!(ps.role, "primary");
+    assert_eq!(ps.followers, 1, "primary should count one subscriber");
+
+    // Reads on the follower see everything acked on the primary.
+    let fstats = fc.stats().unwrap();
+    assert_eq!(
+        fstats.indexed, 25,
+        "15 + 10 inserted + 1 streamed - 1 deleted"
+    );
+    assert_eq!(fstats.streamed, 1);
+    assert!(
+        probe_one(&mut fc, &a[2], 900).is_empty(),
+        "delete replicated"
+    );
+    assert!(probe_one(&mut fc, &b[0], 901).contains(&b[0].id));
+    assert!(probe_one(&mut fc, &streamed, 902).contains(&500));
+
+    // A mutation sent to the follower is redirected to the primary
+    // transparently: same Client call, no error surfaced.
+    let mut writer = Client::connect(follower.local_addr()).unwrap();
+    let c = records(5, 200, 5);
+    assert_eq!(writer.insert(&c).unwrap().0, 5, "redirect to primary");
+    let head = pc.repl_status().unwrap().applied_seq;
+    wait_caught_up(&mut fc, head);
+    assert!(probe_one(&mut fc, &c[0], 903).contains(&c[0].id));
+
+    follower.shutdown();
+    follower.wait();
+    pc.shutdown().unwrap();
+    primary.wait();
+    std::fs::remove_dir_all(&pdir).unwrap();
+    std::fs::remove_dir_all(&fdir).unwrap();
+}
+
+/// Spawns the real `rl` binary in serve mode with extra flags and parses
+/// the bound address off its stderr. A drain thread keeps reading
+/// afterwards so the child never blocks on a full pipe.
+fn spawn_rl_serve(dir: &Path, extra: &[&str]) -> (Child, String) {
+    let mut args = vec![
+        "serve",
+        "--addr",
+        "127.0.0.1:0",
+        "--rule",
+        "0<=4 & 1<=4",
+        "--fields",
+        "2",
+        "--shards",
+        "2",
+        "--data-dir",
+        dir.to_str().unwrap(),
+    ];
+    args.extend_from_slice(extra);
+    let mut child = Command::new(env!("CARGO_BIN_EXE_rl"))
+        .args(&args)
+        .stdin(Stdio::null())
+        .stdout(Stdio::null())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn rl serve");
+    let mut reader = BufReader::new(child.stderr.take().unwrap());
+    let mut addr = None;
+    for _ in 0..50 {
+        let mut line = String::new();
+        if reader.read_line(&mut line).unwrap() == 0 {
+            break;
+        }
+        if let Some(rest) = line.strip_prefix("rl-server listening on ") {
+            addr = rest.split_whitespace().next().map(str::to_owned);
+            break;
+        }
+    }
+    let addr = addr.expect("server never reported its address");
+    std::thread::spawn(move || {
+        let mut sink = Vec::new();
+        let _ = reader.read_to_end(&mut sink);
+    });
+    (child, addr)
+}
+
+#[test]
+fn promote_after_primary_sigkill_loses_nothing() {
+    let pdir = fresh_dir("kill-primary");
+    let fdir = fresh_dir("kill-follower");
+    let (mut primary, paddr) = spawn_rl_serve(&pdir, &["--allow-replicas"]);
+    let mut pc = Client::connect(&*paddr).unwrap();
+
+    // A random mutation workload; every ack is recorded so the promoted
+    // follower can be audited against exactly what the primary confirmed.
+    let mut rng = StdRng::seed_from_u64(99);
+    let mut live: Vec<Record> = Vec::new();
+    let mut dead: Vec<Record> = Vec::new();
+    let pool = records(21, 0, 60);
+    let mut next = 0usize;
+    for _ in 0..25 {
+        if !live.is_empty() && rng.random_bool(0.25) {
+            let victim = live.swap_remove(rng.random_range(0..live.len()));
+            assert_eq!(pc.delete(&[victim.id]).unwrap().0, 1);
+            dead.push(victim);
+        } else {
+            let n = rng.random_range(1..4usize).min(pool.len() - next);
+            if n == 0 {
+                break;
+            }
+            let batch = &pool[next..next + n];
+            assert_eq!(pc.insert(batch).unwrap().0, n);
+            live.extend_from_slice(batch);
+            next += n;
+        }
+    }
+    assert!(live.len() >= 10, "workload should leave plenty indexed");
+
+    let (mut follower, faddr) = spawn_rl_serve(&fdir, &["--replicate-from", &paddr]);
+    let mut fc = Client::connect(&*faddr).unwrap();
+
+    // More acked mutations while the follower is streaming.
+    let tail = records(22, 1000, 8);
+    assert_eq!(pc.insert(&tail).unwrap().0, 8);
+    live.extend_from_slice(&tail);
+
+    let head = pc.repl_status().unwrap().applied_seq;
+    wait_caught_up(&mut fc, head);
+
+    // The primary dies hard: SIGKILL, no drain, no goodbye.
+    primary.kill().unwrap();
+    primary.wait().unwrap();
+
+    let (head_seq, was_follower) = fc.promote().unwrap();
+    assert!(was_follower, "promote should flip a follower");
+    assert_eq!(head_seq, head, "promoted head matches the last synced seq");
+    assert_eq!(fc.repl_status().unwrap().role, "primary");
+
+    // Every acknowledged mutation must be visible on the promoted node.
+    let stats = fc.stats().unwrap();
+    assert_eq!(
+        stats.indexed,
+        live.len(),
+        "acked inserts minus acked deletes"
+    );
+    for (i, rec) in live.iter().enumerate() {
+        let hits = probe_one(&mut fc, rec, 5000 + i as u64);
+        assert!(hits.contains(&rec.id), "lost acked insert {}", rec.id);
+    }
+    for (i, rec) in dead.iter().enumerate() {
+        let hits = probe_one(&mut fc, rec, 7000 + i as u64);
+        assert!(
+            !hits.contains(&rec.id),
+            "acked delete {} resurfaced",
+            rec.id
+        );
+    }
+
+    // And the promoted node accepts writes now.
+    let fresh = records(23, 2000, 3);
+    assert_eq!(fc.insert(&fresh).unwrap().0, 3);
+    assert!(probe_one(&mut fc, &fresh[0], 9000).contains(&fresh[0].id));
+
+    fc.shutdown().unwrap();
+    follower.wait().unwrap();
+    std::fs::remove_dir_all(&pdir).unwrap();
+    std::fs::remove_dir_all(&fdir).unwrap();
+}
