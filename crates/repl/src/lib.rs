@@ -25,8 +25,8 @@
 
 use rl_server::repl::b64;
 use rl_server::{
-    Client, ClientError, DurabilityConfig, ReplHandle, ReplRole, Reply, Request, Server,
-    ServerConfig,
+    ApplyError, Client, ClientError, DurabilityConfig, ReplHandle, ReplRole, Reply, Request,
+    Server, ServerConfig,
 };
 use rl_store::{scan_segments, Checkpoint, CHECKPOINT_FILE};
 use std::io::ErrorKind;
@@ -285,8 +285,22 @@ fn run_session(
             }
             match client.recv() {
                 Ok(Reply::WalFrame { seq, op }) => {
-                    handle.apply(seq, &op)?;
-                    backoff.reset();
+                    match handle.apply(seq, &op) {
+                        Ok(()) => backoff.reset(),
+                        Err(ApplyError::Retry(e)) => return Err(e),
+                        Err(ApplyError::Resync(e)) => {
+                            // The local WAL and index disagree (e.g. an op
+                            // went durable but failed to apply); a plain
+                            // resubscribe from `op_seq` would skip it
+                            // forever. Re-bootstrap resets both from a
+                            // fresh primary checkpoint.
+                            eprintln!("rl-repl: {e}; re-bootstrapping from a fresh checkpoint");
+                            client.reconnect().map_err(|e| format!("reconnect: {e}"))?;
+                            let ckpt = fetch_checkpoint(&mut client)?;
+                            handle.resync(ckpt)?;
+                            break;
+                        }
+                    }
                 }
                 Ok(Reply::Heartbeat {
                     head_seq,

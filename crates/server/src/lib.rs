@@ -75,7 +75,7 @@ pub use protocol::{
     ErrorCode, ReplStatusReply, Reply, Request, RequestError, Response, StatsReply,
     PROTOCOL_VERSION,
 };
-pub use repl::{ReplRole, ReplState};
+pub use repl::{ApplyError, ReplRole, ReplState};
 pub use server::{DurabilityConfig, ReplHandle, Server, ServerConfig};
 pub use snapshot::{Snapshot, SnapshotError, SNAPSHOT_MAGIC, SNAPSHOT_VERSION};
 // Durability building blocks, re-exported for server embedders.

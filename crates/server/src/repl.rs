@@ -37,6 +37,34 @@ const CHECKPOINT_CHUNK: usize = 192 * 1024;
 /// drops the connection rather than blocking a thread forever.
 const SUBSCRIBE_WRITE_TIMEOUT: Duration = Duration::from_secs(10);
 
+/// Why [`crate::server::ReplHandle::apply`] rejected a streamed frame,
+/// split by what the follower's apply loop must do about it.
+#[derive(Debug)]
+pub enum ApplyError {
+    /// Transient or ordering problem (sequence gap, local WAL write
+    /// failure, role flip): drop the subscription and resubscribe from
+    /// [`crate::server::ReplHandle::op_seq`]. Nothing was made durable,
+    /// so resuming from the durable position loses nothing.
+    Retry(String),
+    /// The local WAL and the in-memory index disagree (an op the primary
+    /// validated was rejected here, or an op already durable locally
+    /// failed to apply): resubscribing from `op_seq` would either loop on
+    /// the same frame or silently skip a durable op forever. Only a fresh
+    /// checkpoint re-bootstrap ([`crate::server::ReplHandle::resync`])
+    /// restores a consistent pair.
+    Resync(String),
+}
+
+impl std::fmt::Display for ApplyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ApplyError::Retry(msg) | ApplyError::Resync(msg) => f.write_str(msg),
+        }
+    }
+}
+
+impl std::error::Error for ApplyError {}
+
 /// What a node is in the replication topology.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ReplRole {
@@ -127,6 +155,18 @@ pub(crate) fn serve_fetch_checkpoint(
     inner: &Arc<Inner>,
     writer: &mut TcpStream,
 ) -> std::io::Result<()> {
+    // Same bound Subscribe uses: a follower that stops draining
+    // mid-transfer must not pin this connection thread forever. Restored
+    // after the transfer because (unlike Subscribe) the connection keeps
+    // serving requests.
+    let prev_timeout = writer.write_timeout().ok().flatten();
+    let _ = writer.set_write_timeout(Some(SUBSCRIBE_WRITE_TIMEOUT));
+    let result = send_checkpoint(inner, writer);
+    let _ = writer.set_write_timeout(prev_timeout);
+    result
+}
+
+fn send_checkpoint(inner: &Arc<Inner>, writer: &mut TcpStream) -> std::io::Result<()> {
     if let Some(err) = require_primary(inner, "checkpoint transfer") {
         return write_response(writer, &Response::Err(err));
     }
@@ -254,6 +294,16 @@ fn stream_frames(inner: &Arc<Inner>, writer: &mut TcpStream, from_seq: u64) -> S
     let Some(&first) = segs.first() else {
         return StreamEnd::Resync(base);
     };
+    // A checkpoint committing between the locked `base` read above and
+    // this scan prunes segments and advances `base_ops`, so the oldest
+    // segment just scanned would no longer start at op `base + 1` and
+    // every label below would be wrong. `base_ops` moves (under the store
+    // lock) *before* any pruning, so an unchanged value proves the scan
+    // is consistent with `base`.
+    let base_now = refresh_base(inner);
+    if base_now != base {
+        return StreamEnd::Resync(base_now);
+    }
     let mut cur_seg = first;
     let mut reader = match open_segment(&dir, cur_seg) {
         Ok(r) => r,
@@ -292,6 +342,17 @@ fn stream_frames(inner: &Arc<Inner>, writer: &mut TcpStream, from_seq: u64) -> S
                 };
                 match later {
                     Some(next_seg) => {
+                        // Rotation numbers segments contiguously, so a gap
+                        // means segments were pruned under us (a follower
+                        // lagging past a checkpoint, still draining a
+                        // deleted-but-open segment) or quarantined by
+                        // recovery. Counting frames across the gap would
+                        // attach the missing ops' sequence numbers to
+                        // later ops — silent divergence the follower's
+                        // `seq == expected` check cannot catch. Resync.
+                        if next_seg != cur_seg + 1 {
+                            return StreamEnd::Resync(refresh_base(inner));
+                        }
                         match reader.file_len() {
                             // Fully consumed; move to the next segment.
                             Ok(len) if reader.pos() >= len => {}

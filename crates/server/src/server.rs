@@ -24,7 +24,7 @@ use crate::protocol::{
     ErrorCode, ReplStatusReply, Reply, Request, RequestError, Response, StatsReply,
     PROTOCOL_VERSION,
 };
-use crate::repl::{ReplRole, ReplState};
+use crate::repl::{ApplyError, ReplRole, ReplState};
 use crate::snapshot::{Snapshot, SnapshotError};
 use cbv_hb::dedup::UnionFind;
 use cbv_hb::sharded::ShardedPipeline;
@@ -1048,35 +1048,55 @@ impl ReplHandle {
             .unwrap_or(0)
     }
 
-    /// Applies one streamed WAL frame: sequence-checked, write-ahead
-    /// logged to the follower's own WAL (so restarts resume without
-    /// re-bootstrapping), then applied to the index.
+    /// Applies one streamed WAL frame: validated, sequence-checked,
+    /// write-ahead logged to the follower's own WAL (so restarts resume
+    /// without re-bootstrapping), then applied to the index.
     ///
     /// # Errors
-    /// A sequence gap, storage failure, or apply failure — the caller
-    /// should drop the subscription and resubscribe from [`Self::op_seq`].
-    pub fn apply(&self, seq: u64, op: &WalOp) -> Result<(), String> {
+    /// [`ApplyError::Retry`] means drop the subscription and resubscribe
+    /// from [`Self::op_seq`]; [`ApplyError::Resync`] means the local WAL
+    /// and index disagree and the caller must re-bootstrap via
+    /// [`Self::resync`].
+    pub fn apply(&self, seq: u64, op: &WalOp) -> Result<(), ApplyError> {
         let inner = &self.inner;
         let mut state = inner.state.write();
         if !inner.repl.role.lock().is_follower() {
-            return Err("not a follower (promoted or standalone)".into());
+            return Err(ApplyError::Retry(
+                "not a follower (promoted or standalone)".into(),
+            ));
         }
         let Some(store) = &inner.store else {
-            return Err("no data directory".into());
+            return Err(ApplyError::Retry("no data directory".into()));
         };
+        // Validate before logging (the primary's own pattern): a record
+        // the local schema cannot embed must never enter the local WAL,
+        // where it would fail again at every replay.
+        if let WalOp::Insert(record) | WalOp::Observe(record) = op {
+            if let Err(e) = state.pipeline.schema().embed(record) {
+                return Err(ApplyError::Resync(format!(
+                    "frame {seq} rejected by the local schema: {e}"
+                )));
+            }
+        }
         {
             let mut store = store.lock();
             let expected = store.op_seq() + 1;
             if seq != expected {
-                return Err(format!("sequence gap: expected op {expected}, got {seq}"));
+                return Err(ApplyError::Retry(format!(
+                    "sequence gap: expected op {expected}, got {seq}"
+                )));
             }
             store
                 .append(op)
-                .map_err(|e| format!("wal append failed: {e}"))?;
+                .map_err(|e| ApplyError::Retry(format!("wal append failed: {e}")))?;
             inner.metrics.wal_appends.add(1);
             inner.metrics.wal_bytes.set(store.wal_bytes() as i64);
         }
-        apply_op(&mut state, op).map_err(|e| format!("apply failed: {e}"))?;
+        // The op is durable locally from here on: resubscribing from
+        // `op_seq` would skip it in memory forever (it only resurfaces at
+        // a restart replay), so a failure now is not reconnectable.
+        apply_op(&mut state, op)
+            .map_err(|e| ApplyError::Resync(format!("apply of durable op {seq} failed: {e}")))?;
         inner
             .metrics
             .indexed_records

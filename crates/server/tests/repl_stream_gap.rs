@@ -1,0 +1,90 @@
+//! Regression test for the WAL-shipping sender's segment-advance logic:
+//! a gap in the retained segment numbering (segments pruned by a
+//! checkpoint or quarantined by recovery while a subscriber was still
+//! draining an older one) must end the stream with `ResyncRequired` —
+//! never keep counting frames across the hole, which would attach the
+//! missing ops' sequence numbers to later ops and silently diverge the
+//! follower.
+
+use cbv_hb::pipeline::LinkageConfig;
+use cbv_hb::sharded::ShardedPipeline;
+use cbv_hb::{AttributeSpec, Record, RecordSchema, Rule};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rl_server::{
+    Client, DurabilityConfig, ReplRole, Reply, Request, Server, ServerConfig, SyncPolicy, WalOp,
+};
+use rl_store::{segment_path, Wal};
+use textdist::Alphabet;
+
+fn pipeline(seed: u64) -> ShardedPipeline {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let schema = RecordSchema::build(
+        Alphabet::linkage(),
+        vec![
+            AttributeSpec::new("FirstName", 2, 64, false, 5),
+            AttributeSpec::new("LastName", 2, 64, false, 5),
+        ],
+        &mut rng,
+    );
+    let rule = Rule::and([Rule::pred(0, 4), Rule::pred(1, 4)]);
+    ShardedPipeline::new(schema, LinkageConfig::rule_aware(rule), 2, &mut rng).unwrap()
+}
+
+#[test]
+fn segment_gap_forces_resync_not_mislabeled_frames() {
+    let dir = std::env::temp_dir().join(format!("rl-repl-gap-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let config = ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        repl_role: ReplRole::Primary,
+        durability: Some(DurabilityConfig {
+            data_dir: dir.clone(),
+            sync: SyncPolicy::Always,
+            checkpoint_every: None,
+        }),
+        ..ServerConfig::default()
+    };
+    let server = Server::spawn_durable(|| Ok(pipeline(7)), config).unwrap();
+    let mut client = Client::connect(server.local_addr()).unwrap();
+
+    // Ops 1..=3 land in the active segment (wal-000001).
+    let records: Vec<Record> = (0..3)
+        .map(|i| Record::new(i, [format!("AAAB{i}"), format!("CCCD{i}")]))
+        .collect();
+    assert_eq!(client.insert(&records).unwrap().0, 3);
+
+    // Fake the aftermath of a mid-stream prune/quarantine: a retained
+    // segment numbered past a hole (wal-000003, with no wal-000002). Its
+    // frame is NOT op 4; a sender that kept counting across the gap would
+    // ship it labeled 4 and a follower's `seq == expected` check would
+    // happily apply it.
+    let mut alien = Wal::create(&segment_path(&dir, 3), SyncPolicy::Always).unwrap();
+    alien.append(&WalOp::Delete(999)).unwrap();
+    drop(alien);
+
+    let mut sub = Client::connect(server.local_addr()).unwrap();
+    sub.send(&Request::Subscribe { from_seq: 0 }).unwrap();
+    let mut frames = Vec::new();
+    loop {
+        match sub.recv().unwrap() {
+            Reply::WalFrame { seq, .. } => frames.push(seq),
+            Reply::Heartbeat { .. } => continue,
+            Reply::ResyncRequired { base_ops } => {
+                assert_eq!(base_ops, 0, "nothing checkpointed yet");
+                break;
+            }
+            other => panic!("unexpected stream reply: {other:?}"),
+        }
+    }
+    assert_eq!(
+        frames,
+        vec![1, 2, 3],
+        "only frames from contiguous segments may ship"
+    );
+
+    client.shutdown().unwrap();
+    server.wait();
+    std::fs::remove_dir_all(&dir).unwrap();
+}
