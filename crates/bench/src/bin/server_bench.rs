@@ -21,12 +21,20 @@
 //! primary keeps inserting, and promote latency, reported to
 //! `<out>/results/BENCH_replication.json`.
 //!
+//! A fourth phase measures the streaming-subscription subsystem
+//! (protocol v6): end-to-end match-event delivery rate (index → compiled
+//! plan probe → bounded queue → wire), observe→deliver latency from the
+//! `rl_sub_deliver_seconds` histogram, and window-eviction throughput
+//! under churn, reported to `<out>/results/BENCH_stream.json`.
+//!
 //! `--smoke` shrinks the run for CI, and after each run fetches the
 //! server's `Metrics` snapshot and asserts the observability layer saw
 //! the traffic (nonzero per-type request counts and latency samples);
 //! in the store phase it additionally asserts that every insert hit the
-//! WAL and that replay restored every record, and in the replication
-//! phase that the follower converged to zero lag and promoted cleanly.
+//! WAL and that replay restored every record, in the replication
+//! phase that the follower converged to zero lag and promoted cleanly,
+//! and in the streaming phase that every delivered event was counted
+//! and the eviction churn reached the exported counters.
 
 use cbv_hb::sharded::ShardedPipeline;
 use cbv_hb::{AttributeSpec, LinkageConfig, Record, RecordSchema, Rule};
@@ -160,6 +168,193 @@ fn main() {
         repl.records, repl.bootstrap_secs, repl.stream_secs, repl.shipped_per_sec, repl.promote_ms,
     );
     write_json(&opts.out, "BENCH_replication", &[repl]);
+
+    // Streaming phase: subscription event delivery and window-eviction
+    // churn (docs/STREAMING.md).
+    let stream = run_streaming(&opts);
+    println!();
+    println!(
+        "| events | secs | events/sec | deliver p50 us | deliver p99 us | evictions | evict/sec |"
+    );
+    println!("|---|---|---|---|---|---|---|");
+    println!(
+        "| {} | {:.3} | {:.0} | {:.1} | {:.1} | {} | {:.0} |",
+        stream.events,
+        stream.deliver_secs,
+        stream.events_per_sec,
+        stream.deliver_p50_us,
+        stream.deliver_p99_us,
+        stream.evictions,
+        stream.evictions_per_sec,
+    );
+    write_json(&opts.out, "BENCH_stream", &[stream]);
+}
+
+#[derive(Debug, Clone, Serialize)]
+struct StreamRow {
+    /// Records streamed through the delivery measurement (twin pairs).
+    records: u64,
+    /// Match events delivered end-to-end (one per twin pair).
+    events: u64,
+    /// Wall-clock from first index to last event read by the subscriber.
+    deliver_secs: f64,
+    /// Delivered events over `deliver_secs`.
+    events_per_sec: f64,
+    /// Observe→deliver latency quantiles from `rl_sub_deliver_seconds`
+    /// (event production under the state lock to the subscription
+    /// writer's socket write), microseconds.
+    deliver_p50_us: f64,
+    deliver_p99_us: f64,
+    /// Records streamed through the eviction measurement (all distinct,
+    /// small count window).
+    evict_records: u64,
+    /// Window evictions the churn produced (records − window size).
+    evictions: u64,
+    /// Wall-clock of the eviction-churn index loop.
+    evict_secs: f64,
+    /// Evictions over `evict_secs`: sustained tombstone-delete rate.
+    evictions_per_sec: f64,
+}
+
+fn run_streaming(opts: &Opts) -> StreamRow {
+    use rl_server::{LateArrival, WatchEvent, WindowSpec};
+
+    // Delivery: every odd record is a first-name twin of the record
+    // before it, so N records produce N/2 match events. The subscriber
+    // drains on its own thread while the producer indexes.
+    let pairs = opts.records / 2;
+    let server = Server::spawn(
+        bench_pipeline(opts.seed, 1),
+        ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            workers: 1,
+            queue_capacity: 256,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("spawn server");
+    let addr = server.local_addr();
+
+    let (ready_tx, ready_rx) = std::sync::mpsc::channel();
+    let drain = std::thread::spawn(move || {
+        let mut sub = Client::connect(addr).expect("connect subscriber");
+        sub.subscribe_matches(
+            "0<=4",
+            WindowSpec::Count(1 << 20),
+            LateArrival::default(),
+            0,
+        )
+        .expect("subscribe");
+        ready_tx.send(()).expect("signal ready");
+        let mut seen = 0u64;
+        while seen < pairs {
+            match sub.next_watch_event().expect("watch event") {
+                WatchEvent::Match { .. } => seen += 1,
+                WatchEvent::Lagged { dropped } => panic!("subscriber lagged: {dropped} dropped"),
+            }
+        }
+        seen
+    });
+    ready_rx.recv().expect("subscriber ready");
+
+    let mut producer = Client::connect(addr).expect("connect producer");
+    let corpus: Vec<Record> = (0..pairs)
+        .flat_map(|i| [record(2 * i, i), record(2 * i + 1, i)])
+        .collect();
+    let start = Instant::now();
+    // Small batches, like a live feed: a bulk load would burst more
+    // events than the bounded per-subscription queue on purpose holds.
+    for chunk in corpus.chunks(32) {
+        producer.index(chunk).expect("index");
+    }
+    let events = drain.join().expect("subscriber thread");
+    let deliver_secs = start.elapsed().as_secs_f64();
+
+    let m = producer.metrics().expect("metrics");
+    let deliver = m
+        .histogram_data("rl_sub_deliver_seconds", None)
+        .expect("deliver histogram registered");
+    let (p50, p99) = (
+        deliver.data.quantile(0.50) as f64 / 1e3,
+        deliver.data.quantile(0.99) as f64 / 1e3,
+    );
+    if opts.smoke {
+        assert_eq!(events, pairs, "every twin pair must produce one event");
+        let counted = m
+            .counter_value("rl_sub_events_total", None)
+            .expect("sub events counter registered");
+        assert!(counted >= events, "events counter lost deliveries");
+        assert_eq!(deliver.data.count, counted, "latency samples != events");
+    }
+    producer.shutdown().expect("shutdown");
+    server.wait();
+
+    // Eviction churn: all-distinct records through a small count window,
+    // so nearly every admission evicts through the tombstone path.
+    let window = 64u64;
+    let evict_records = opts.records;
+    let server = Server::spawn(
+        bench_pipeline(opts.seed ^ 1, 1),
+        ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            workers: 1,
+            queue_capacity: 256,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("spawn server");
+    let addr = server.local_addr();
+    // The idle subscriber keeps the window live; distinct records never
+    // match, so nothing is delivered and nothing lags.
+    let mut sub = Client::connect(addr).expect("connect subscriber");
+    sub.subscribe_matches(
+        "0<=4 & 1<=4",
+        WindowSpec::Count(window),
+        LateArrival::default(),
+        0,
+    )
+    .expect("subscribe");
+    let mut producer = Client::connect(addr).expect("connect producer");
+    let corpus: Vec<Record> = (0..evict_records).map(|i| record(i, i)).collect();
+    let start = Instant::now();
+    for chunk in corpus.chunks(500) {
+        producer.index(chunk).expect("index");
+    }
+    let evict_secs = start.elapsed().as_secs_f64();
+    let m = producer.metrics().expect("metrics");
+    let evictions = m
+        .counter_value("rl_window_evictions_total", None)
+        .expect("evictions counter registered");
+    if opts.smoke {
+        assert!(
+            evictions >= evict_records.saturating_sub(window),
+            "churn must evict past the window: {evictions} < {}",
+            evict_records - window
+        );
+        let gauge = m
+            .gauges
+            .iter()
+            .find(|g| g.name == "rl_subs_active")
+            .map(|g| g.value)
+            .unwrap_or(-1);
+        assert_eq!(gauge, 1, "subs_active gauge while one subscriber lives");
+    }
+    drop(sub);
+    producer.shutdown().expect("shutdown");
+    server.wait();
+
+    StreamRow {
+        records: pairs * 2,
+        events,
+        deliver_secs,
+        events_per_sec: events as f64 / deliver_secs,
+        deliver_p50_us: p50,
+        deliver_p99_us: p99,
+        evict_records,
+        evictions,
+        evict_secs,
+        evictions_per_sec: evictions as f64 / evict_secs,
+    }
 }
 
 #[derive(Debug, Clone, Serialize)]

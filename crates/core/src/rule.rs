@@ -9,6 +9,7 @@
 
 use crate::error::{Error, Result};
 use serde::{Deserialize, Serialize};
+use std::fmt;
 
 /// One threshold predicate: `u^(f_attr) ≤ theta` in Ĥ.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -157,6 +158,70 @@ impl Rule {
     }
 }
 
+/// How tightly a rule node binds, mirroring the parser's precedence
+/// (`!` > `&` > `|`). Used by [`Rule`]'s `Display` to decide where
+/// parentheses are required for the printed text to reparse to the same
+/// tree.
+fn binding(rule: &Rule) -> u8 {
+    match rule {
+        Rule::Or(_) => 0,
+        Rule::And(_) => 1,
+        Rule::Not(_) | Rule::Pred(_) => 2,
+    }
+}
+
+impl fmt::Display for Rule {
+    /// Prints the rule in the [`crate::parse_rule`] DSL, e.g.
+    /// `0<=4 & !(1<=4)`. For any rule the parser can produce, the printed
+    /// text reparses to the identical tree (`parse → print → parse` is the
+    /// identity); connectives with fewer than two children — constructible
+    /// via [`Rule::and`] / [`Rule::or`] but outside the parser's image —
+    /// print their children directly and reparse to an equivalent,
+    /// unwrapped rule.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // A child is parenthesized when it binds no tighter than its
+        // parent: same-strength nesting (an And directly under an And)
+        // only arises from explicit parens in the source text.
+        fn child(f: &mut fmt::Formatter<'_>, c: &Rule, parent: u8) -> fmt::Result {
+            if binding(c) <= parent {
+                write!(f, "({c})")
+            } else {
+                write!(f, "{c}")
+            }
+        }
+        match self {
+            Rule::Pred(p) => write!(f, "{}<={}", p.attr, p.theta),
+            Rule::And(rs) => {
+                for (i, r) in rs.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " & ")?;
+                    }
+                    child(f, r, binding(self))?;
+                }
+                Ok(())
+            }
+            Rule::Or(rs) => {
+                for (i, r) in rs.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " | ")?;
+                    }
+                    child(f, r, binding(self))?;
+                }
+                Ok(())
+            }
+            Rule::Not(r) => {
+                write!(f, "!")?;
+                // `!` applies to a factor: predicates and nested negations
+                // stand bare, connectives need parens.
+                match &**r {
+                    Rule::Pred(_) | Rule::Not(_) => write!(f, "{r}"),
+                    other => write!(f, "({other})"),
+                }
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -270,6 +335,28 @@ mod tests {
         assert_eq!(ps.len(), 3);
         assert_eq!(ps[0].attr, 0);
         assert_eq!(ps[2].attr, 2);
+    }
+
+    #[test]
+    fn display_prints_parser_dsl() {
+        assert_eq!(Rule::pred(0, 4).to_string(), "0<=4");
+        assert_eq!(c1().to_string(), "0<=4 & 1<=4 & 2<=8");
+        // `&` binds tighter than `|`, so C2 needs no parentheses.
+        assert_eq!(c2().to_string(), "0<=4 & 1<=4 | 2<=8");
+        assert_eq!(c3().to_string(), "0<=4 & !1<=4");
+        // Explicitly nested connectives keep their parens.
+        let nested = Rule::or([
+            Rule::or([Rule::pred(0, 1), Rule::pred(1, 2)]),
+            Rule::pred(2, 3),
+        ]);
+        assert_eq!(nested.to_string(), "(0<=1 | 1<=2) | 2<=3");
+        let double_neg = Rule::not(Rule::not(Rule::pred(0, 1)));
+        assert_eq!(double_neg.to_string(), "!!0<=1");
+        let not_conj = Rule::and([
+            Rule::pred(0, 4),
+            Rule::not(Rule::and([Rule::pred(1, 4), Rule::pred(2, 8)])),
+        ]);
+        assert_eq!(not_conj.to_string(), "0<=4 & !(1<=4 & 2<=8)");
     }
 
     #[test]

@@ -283,4 +283,78 @@ mod tests {
         assert!(r.validate(&[15, 15]).is_ok());
         assert!(r.validate(&[15]).is_err()); // attr 1 out of range
     }
+
+    /// Satellite: the error *messages* on each malformed-input class, not
+    /// just the fact of rejection — these strings travel to `rl client
+    /// watch` users verbatim.
+    #[test]
+    fn error_paths_carry_specific_messages() {
+        let msg = |input: &str| match parse_rule(input) {
+            Err(Error::InvalidRule(m)) => m,
+            other => panic!("{input:?}: expected InvalidRule, got {other:?}"),
+        };
+        // Unbalanced parens, both directions.
+        assert_eq!(msg("(0<=4"), "missing ')'");
+        assert_eq!(msg("0<=4)"), "trailing input after rule");
+        assert_eq!(msg("((0<=4 & 1<=4)"), "missing ')'");
+        // Attribute names are numeric indices; letters are unknown.
+        assert!(msg("name<=4").contains("unexpected character 'n'"));
+        assert!(msg("0<=x").contains("unexpected character 'x'"));
+        // Empty input and empty connective arms.
+        assert_eq!(msg(""), "empty rule");
+        assert!(msg("0<=4 &").contains("unexpected token"));
+        assert!(msg("| 1<=4").contains("unexpected token"));
+        assert!(msg("0<=4 | | 1<=4").contains("unexpected token"));
+        assert!(msg("()").contains("unexpected token"));
+    }
+
+    /// Satellite: a threshold above the attribute's c-vector size parses
+    /// (the grammar is schema-agnostic) but fails validation with the
+    /// typed error.
+    #[test]
+    fn oversized_threshold_rejected_by_validation() {
+        let r = parse_rule("0<=200").unwrap();
+        assert!(matches!(
+            r.validate(&[15, 15]),
+            Err(Error::ThresholdTooLarge {
+                attr: 0,
+                theta: 200,
+                m: 15
+            })
+        ));
+    }
+
+    mod roundtrip {
+        use super::*;
+        use proptest::prelude::*;
+
+        /// Strategy over the parser's image: predicates combined by `!`,
+        /// n-ary `&` / `|` with at least two children. Every such tree is
+        /// reachable from text (parens force any nesting), so
+        /// parse(print(r)) must equal `r` exactly.
+        fn parser_shaped_rule() -> impl Strategy<Value = Rule> {
+            let pred = (0usize..6, 0u32..300).prop_map(|(a, t)| Rule::pred(a, t));
+            pred.prop_recursive(3, 24, 4, |inner| {
+                prop_oneof![
+                    proptest::collection::vec(inner.clone(), 2..4).prop_map(Rule::And),
+                    proptest::collection::vec(inner.clone(), 2..4).prop_map(Rule::Or),
+                    inner.prop_map(Rule::not),
+                ]
+            })
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(128))]
+
+            #[test]
+            fn parse_print_parse_is_identity(rule in parser_shaped_rule()) {
+                let printed = rule.to_string();
+                let reparsed = parse_rule(&printed)
+                    .unwrap_or_else(|e| panic!("printed rule {printed:?} must reparse: {e}"));
+                prop_assert_eq!(&reparsed, &rule, "print: {}", printed);
+                // And printing is a fixed point from there on.
+                prop_assert_eq!(reparsed.to_string(), printed);
+            }
+        }
+    }
 }

@@ -8,10 +8,11 @@
 //! matched against everything seen so far, then indexed.
 
 use crate::blocking::BlockingPlan;
-use crate::error::Result;
+use crate::error::{Error, Result};
 use crate::matcher::{match_record, Classifier, MatchStats, RecordStore};
 use crate::pipeline::{LinkageConfig, PipelineMetrics};
 use crate::record::Record;
+use crate::schema::EmbeddedRecord;
 use crate::schema::RecordSchema;
 use rand::Rng;
 use std::sync::Arc;
@@ -65,10 +66,36 @@ impl StreamMatcher {
     /// match it, then indexes it.
     ///
     /// # Errors
-    /// Returns [`crate::Error::FieldCountMismatch`] on malformed records.
+    /// Returns [`crate::Error::FieldCountMismatch`] on malformed records
+    /// and [`crate::Error::DuplicateId`] when the id is already indexed —
+    /// re-observing an id used to silently double-count [`Self::observed`]
+    /// while the store kept only one copy. Callers that want
+    /// replace-on-duplicate semantics use [`Self::observe_upsert`].
     pub fn observe(&mut self, record: &Record) -> Result<Vec<u64>> {
-        let t0 = Instant::now();
+        if self.store.get(record.id).is_some() {
+            return Err(Error::DuplicateId { id: record.id });
+        }
         let embedded = self.schema.embed(record)?;
+        Ok(self.observe_embedded(embedded))
+    }
+
+    /// Observes one record, replacing any previously indexed record with
+    /// the same id (tombstone-remove, then observe). The replaced record
+    /// does not appear in the returned matches and can never match again.
+    ///
+    /// # Errors
+    /// Returns [`crate::Error::FieldCountMismatch`] on malformed records.
+    pub fn observe_upsert(&mut self, record: &Record) -> Result<Vec<u64>> {
+        let embedded = self.schema.embed(record)?;
+        self.store.remove(record.id);
+        Ok(self.observe_embedded(embedded))
+    }
+
+    /// The shared match-then-index step. The caller has already settled
+    /// duplicate-id policy (reject or upsert): the store must not contain
+    /// `embedded.id` at this point.
+    fn observe_embedded(&mut self, embedded: EmbeddedRecord) -> Vec<u64> {
+        let t0 = Instant::now();
         let matches = match_record(
             &self.plan,
             &self.store,
@@ -82,7 +109,34 @@ impl StreamMatcher {
         if let Some(m) = &self.metrics {
             m.observe.observe_duration(t0.elapsed());
         }
-        Ok(matches)
+        matches
+    }
+
+    /// Embeds a record against this matcher's schema without indexing it.
+    ///
+    /// # Errors
+    /// Returns [`crate::Error::FieldCountMismatch`] on malformed records.
+    pub fn embed(&self, record: &Record) -> Result<EmbeddedRecord> {
+        self.schema.embed(record)
+    }
+
+    /// True when a record with this id is currently indexed.
+    pub fn contains(&self, id: u64) -> bool {
+        self.store.get(id).is_some()
+    }
+
+    /// The embedded-record store backing this matcher. External plans
+    /// (e.g. per-subscription blocking plans in `rl-streamrule`) probe
+    /// their own candidate sets and resolve ids through this store, which
+    /// makes them tombstone-aware for free: a removed id no longer
+    /// resolves, so stale bucket entries are skipped.
+    pub fn store(&self) -> &RecordStore {
+        &self.store
+    }
+
+    /// The schema records are embedded against.
+    pub fn schema(&self) -> &RecordSchema {
+        &self.schema
     }
 
     /// Removes a record from the index by id (tombstone delete),
@@ -166,10 +220,12 @@ impl SharedStreamMatcher {
     /// Observes one record (see [`StreamMatcher::observe`]).
     ///
     /// # Errors
-    /// Returns [`crate::Error::FieldCountMismatch`] on malformed records.
+    /// Returns [`crate::Error::FieldCountMismatch`] on malformed records
+    /// and [`crate::Error::DuplicateId`] when the id is already indexed
+    /// (checked under the write lock, so concurrent feeds cannot race two
+    /// copies of the same id past the check).
     pub fn observe(&self, record: &Record) -> Result<Vec<u64>> {
-        let t0 = Instant::now();
-        // Match under the read path first, then upgrade to index. A record
+        // Embed under the read path first, then upgrade to index. A record
         // observed concurrently in the gap is simply not matched against —
         // the same non-guarantee any per-arrival ordering has.
         let embedded = {
@@ -177,21 +233,46 @@ impl SharedStreamMatcher {
             guard.schema.embed(record)?
         };
         let mut guard = self.inner.write();
-        let inner = &mut *guard;
-        let matches = match_record(
-            &inner.plan,
-            &inner.store,
-            &embedded,
-            &inner.classifier,
-            &mut inner.stats,
-        );
-        inner.plan.insert(&embedded);
-        inner.store.insert(embedded);
-        inner.observed += 1;
-        if let Some(m) = &inner.metrics {
-            m.observe.observe_duration(t0.elapsed());
+        if guard.store.get(record.id).is_some() {
+            return Err(Error::DuplicateId { id: record.id });
         }
-        Ok(matches)
+        Ok(guard.observe_embedded(embedded))
+    }
+
+    /// Observes one record with replace-on-duplicate semantics (see
+    /// [`StreamMatcher::observe_upsert`]).
+    ///
+    /// # Errors
+    /// Returns [`crate::Error::FieldCountMismatch`] on malformed records.
+    pub fn observe_upsert(&self, record: &Record) -> Result<Vec<u64>> {
+        let embedded = {
+            let guard = self.inner.read();
+            guard.schema.embed(record)?
+        };
+        let mut guard = self.inner.write();
+        guard.store.remove(record.id);
+        Ok(guard.observe_embedded(embedded))
+    }
+
+    /// Embeds a record against the matcher's schema without indexing it.
+    ///
+    /// # Errors
+    /// Returns [`crate::Error::FieldCountMismatch`] on malformed records.
+    pub fn embed(&self, record: &Record) -> Result<EmbeddedRecord> {
+        self.inner.read().embed(record)
+    }
+
+    /// True when a record with this id is currently indexed.
+    pub fn contains(&self, id: u64) -> bool {
+        self.inner.read().contains(id)
+    }
+
+    /// Runs `f` against the embedded-record store under the read lock.
+    /// This is how external per-subscription plans (`rl-streamrule`)
+    /// resolve candidate ids tombstone-aware — see
+    /// [`StreamMatcher::store`]. Keep `f` short: it holds the lock.
+    pub fn with_store<R>(&self, f: impl FnOnce(&RecordStore) -> R) -> R {
+        f(self.inner.read().store())
     }
 
     /// Removes a record from the index by id (see
@@ -364,6 +445,71 @@ mod tests {
             .observe(&Record::new(3, ["JON", "SMITH"]))
             .unwrap()
             .is_empty());
+    }
+
+    #[test]
+    fn duplicate_id_is_rejected_with_typed_error() {
+        // Regression (satellite): observing a duplicate id used to silently
+        // double-count `observed` while the store kept only one copy.
+        let mut m = matcher(10);
+        m.observe(&Record::new(1, ["JOHN", "SMITH"])).unwrap();
+        let err = m.observe(&Record::new(1, ["JOHN", "SMYTHE"])).unwrap_err();
+        assert_eq!(err, crate::Error::DuplicateId { id: 1 });
+        assert_eq!(m.observed(), 1, "rejected observation must not count");
+        assert_eq!(m.len(), 1);
+        // A removed id can be observed again.
+        assert!(m.remove(1));
+        m.observe(&Record::new(1, ["JOHN", "SMYTHE"])).unwrap();
+        assert_eq!(m.len(), 1);
+        // The shared variant agrees, checking under the write lock.
+        let s = shared_matcher(10);
+        s.observe(&Record::new(7, ["ANNA", "LEE"])).unwrap();
+        let err = s.observe(&Record::new(7, ["ANNA", "LEIGH"])).unwrap_err();
+        assert_eq!(err, crate::Error::DuplicateId { id: 7 });
+        assert_eq!(s.observed(), 1);
+    }
+
+    #[test]
+    fn observe_upsert_replaces_the_stored_record() {
+        let mut m = matcher(11);
+        m.observe(&Record::new(1, ["JOHN", "SMITH"])).unwrap();
+        // Upsert with a new spelling: the old copy must not self-match...
+        let hits = m
+            .observe_upsert(&Record::new(1, ["MARY", "JONES"]))
+            .unwrap();
+        assert!(hits.is_empty(), "replaced record must not match: {hits:?}");
+        assert_eq!(m.len(), 1, "upsert keeps one record per id");
+        // ...and later probes see only the replacement.
+        let hits = m.observe(&Record::new(2, ["MARY", "JONES"])).unwrap();
+        assert_eq!(hits, vec![1]);
+        let hits = m.observe(&Record::new(3, ["JOHN", "SMITH"])).unwrap();
+        assert!(!hits.contains(&1), "old embedding must be gone: {hits:?}");
+        // The shared variant agrees.
+        let s = shared_matcher(11);
+        s.observe(&Record::new(1, ["JOHN", "SMITH"])).unwrap();
+        s.observe_upsert(&Record::new(1, ["MARY", "JONES"]))
+            .unwrap();
+        assert_eq!(s.len(), 1);
+        assert_eq!(
+            s.observe(&Record::new(2, ["MARY", "JONES"])).unwrap(),
+            vec![1]
+        );
+    }
+
+    #[test]
+    fn embed_contains_and_store_access() {
+        let mut m = matcher(12);
+        m.observe(&Record::new(5, ["JOHN", "SMITH"])).unwrap();
+        assert!(m.contains(5));
+        assert!(!m.contains(6));
+        let probe = m.embed(&Record::new(6, ["JON", "SMITH"])).unwrap();
+        assert_eq!(m.store().get(5).unwrap().attrs.len(), 2);
+        assert!(probe.total_distance(m.store().get(5).unwrap()) <= 8);
+        let s = shared_matcher(12);
+        s.observe(&Record::new(5, ["JOHN", "SMITH"])).unwrap();
+        assert!(s.contains(5));
+        let len = s.with_store(|store| store.len());
+        assert_eq!(len, 1);
     }
 
     #[test]

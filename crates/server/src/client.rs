@@ -32,6 +32,7 @@ use crate::protocol::{
 };
 use cbv_hb::matcher::MatchStats;
 use cbv_hb::Record;
+use rl_streamrule::{LateArrival, WindowSpec};
 use std::io::{BufRead, BufReader, ErrorKind, Write};
 use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
 use std::time::Duration;
@@ -172,7 +173,23 @@ impl Client {
     /// One request/response exchange, no retries.
     fn call_once(&mut self, request: &Request) -> Result<Reply, ClientError> {
         self.send(request)?;
-        self.recv()
+        self.recv_reply()
+    }
+
+    /// Reads the next *reply* line, skipping unsolicited push lines
+    /// (protocol v6): a connection that carried a match subscription may
+    /// still have `Heartbeat` or `MatchEvent` lines in flight when the
+    /// caller returns to request/reply mode, and they must not be
+    /// mistaken for the answer to the request just sent. Streaming
+    /// consumers that *want* every line (the replication follower, the
+    /// watch loop) use [`Self::recv`] directly.
+    fn recv_reply(&mut self) -> Result<Reply, ClientError> {
+        loop {
+            match self.recv()? {
+                Reply::Heartbeat { .. } | Reply::MatchEvent { .. } => continue,
+                reply => return Ok(reply),
+            }
+        }
     }
 
     /// Follows a `NotPrimary { primary_addr }` rejection to the primary
@@ -386,6 +403,77 @@ impl Client {
         }
     }
 
+    /// Opens a match subscription (protocol v6): the connection switches
+    /// to streaming mode and this client should only be used with
+    /// [`Self::next_watch_event`] from here on (use a second client for
+    /// requests). Returns `(sub_id, tables)` from the `Subscribed`
+    /// greeting.
+    ///
+    /// # Errors
+    /// Typed server rejections (bad rule, subscription limit), I/O, or
+    /// protocol errors. On error the connection is still in
+    /// request/reply mode.
+    pub fn subscribe_matches(
+        &mut self,
+        rule: &str,
+        window: WindowSpec,
+        late: LateArrival,
+        cap: u64,
+    ) -> Result<(u64, u64), ClientError> {
+        self.send(&Request::SubscribeMatches {
+            rule: rule.to_string(),
+            window,
+            late,
+            cap,
+        })?;
+        match self.recv()? {
+            Reply::Subscribed { sub_id, tables } => Ok((sub_id, tables)),
+            other => Err(unexpected("Subscribed", &other)),
+        }
+    }
+
+    /// Reads the next event from a subscription stream opened with
+    /// [`Self::subscribe_matches`], skipping heartbeat keep-alives.
+    /// [`WatchEvent::Lagged`] is terminal: the server has stopped the
+    /// stream and the client must resubscribe.
+    ///
+    /// # Errors
+    /// I/O, timeout (no heartbeat within the read timeout means the
+    /// server is gone), or protocol errors.
+    pub fn next_watch_event(&mut self) -> Result<WatchEvent, ClientError> {
+        loop {
+            match self.recv()? {
+                Reply::Heartbeat { .. } => continue,
+                Reply::MatchEvent {
+                    sub_id,
+                    record_id,
+                    matched,
+                } => {
+                    return Ok(WatchEvent::Match {
+                        sub_id,
+                        record_id,
+                        matched,
+                    })
+                }
+                Reply::SubscriptionLagged { dropped } => return Ok(WatchEvent::Lagged { dropped }),
+                other => return Err(unexpected("MatchEvent", &other)),
+            }
+        }
+    }
+
+    /// Cancels a match subscription by id (protocol v6), from any
+    /// request/reply connection. Returns whether the id named a live
+    /// subscription.
+    ///
+    /// # Errors
+    /// See [`Self::call`].
+    pub fn unsubscribe(&mut self, sub_id: u64) -> Result<bool, ClientError> {
+        match self.call(&Request::Unsubscribe { sub_id })? {
+            Reply::Unsubscribed { removed } => Ok(removed),
+            other => Err(unexpected("Unsubscribed", &other)),
+        }
+    }
+
     /// Asks the server to shut down gracefully; consumes the client (the
     /// server closes this connection after acknowledging).
     ///
@@ -397,6 +485,28 @@ impl Client {
             other => Err(unexpected("ShuttingDown", &other)),
         }
     }
+}
+
+/// One line of a match-subscription stream, as seen by
+/// [`Client::next_watch_event`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WatchEvent {
+    /// A newly ingested record matched records inside the subscription's
+    /// window.
+    Match {
+        /// The subscription that fired.
+        sub_id: u64,
+        /// The record whose ingestion triggered the event.
+        record_id: u64,
+        /// Window records satisfying the rule, ascending.
+        matched: Vec<u64>,
+    },
+    /// Terminal: the subscriber fell behind its bounded event queue and
+    /// `dropped` events were lost. Resubscribe to continue watching.
+    Lagged {
+        /// Events dropped since the subscriber last kept up.
+        dropped: u64,
+    },
 }
 
 fn open_connection(

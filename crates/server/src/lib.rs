@@ -29,6 +29,11 @@
 //! - [`repl`] (protocol v5) — replication roles and the primary-side
 //!   checkpoint-transfer / WAL-subscription handlers; the follower loop
 //!   lives in the `rl-repl` crate. See `docs/REPLICATION.md`.
+//! - **subs** (protocol v6) — streaming match subscriptions:
+//!   `SubscribeMatches` compiles a rule into a pruned blocking plan
+//!   (`rl-streamrule`) and pushes `MatchEvent` lines through a bounded
+//!   per-subscription queue; slow consumers get a typed
+//!   `SubscriptionLagged` and must resubscribe. See `docs/STREAMING.md`.
 //!
 //! ## Loopback example
 //!
@@ -68,8 +73,9 @@ pub mod protocol;
 pub mod repl;
 pub mod server;
 pub mod snapshot;
+pub(crate) mod subs;
 
-pub use client::{Client, ClientError};
+pub use client::{Client, ClientError, WatchEvent};
 pub use metrics::{ReqType, ServerMetrics};
 pub use protocol::{
     ErrorCode, ReplStatusReply, Reply, Request, RequestError, Response, StatsReply,
@@ -80,3 +86,6 @@ pub use server::{DurabilityConfig, ReplHandle, Server, ServerConfig};
 pub use snapshot::{Snapshot, SnapshotError, SNAPSHOT_MAGIC, SNAPSHOT_VERSION};
 // Durability building blocks, re-exported for server embedders.
 pub use rl_store::{Checkpoint, Store, StoreError, StoreOptions, SyncPolicy, WalOp};
+// Subscription wire types (protocol v6), re-exported so clients need not
+// depend on rl-streamrule directly.
+pub use rl_streamrule::{LateArrival, WindowSpec};

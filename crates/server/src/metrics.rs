@@ -49,10 +49,15 @@ pub enum ReqType {
     ReplStatus,
     /// `Promote` requests (protocol v5).
     Promote,
+    /// `SubscribeMatches` requests (protocol v6; streamed inline on the
+    /// connection, so no queue-wait/exec samples).
+    SubscribeMatches,
+    /// `Unsubscribe` requests (protocol v6).
+    Unsubscribe,
 }
 
 /// All request types, in the order used for per-type metric arrays.
-pub const REQ_TYPES: [ReqType; 14] = [
+pub const REQ_TYPES: [ReqType; 16] = [
     ReqType::Index,
     ReqType::Probe,
     ReqType::Stream,
@@ -67,6 +72,8 @@ pub const REQ_TYPES: [ReqType; 14] = [
     ReqType::Subscribe,
     ReqType::ReplStatus,
     ReqType::Promote,
+    ReqType::SubscribeMatches,
+    ReqType::Unsubscribe,
 ];
 
 impl ReqType {
@@ -87,6 +94,8 @@ impl ReqType {
             ReqType::Subscribe => "subscribe",
             ReqType::ReplStatus => "repl_status",
             ReqType::Promote => "promote",
+            ReqType::SubscribeMatches => "subscribe_matches",
+            ReqType::Unsubscribe => "unsubscribe",
         }
     }
 
@@ -107,6 +116,8 @@ impl ReqType {
             Request::Subscribe { .. } => ReqType::Subscribe,
             Request::ReplStatus => ReqType::ReplStatus,
             Request::Promote => ReqType::Promote,
+            Request::SubscribeMatches { .. } => ReqType::SubscribeMatches,
+            Request::Unsubscribe { .. } => ReqType::Unsubscribe,
         }
     }
 
@@ -159,6 +170,19 @@ pub struct ServerMetrics {
     /// Follower: subscription reconnects since startup
     /// (`rl_repl_reconnects_total`).
     pub repl_reconnects: Arc<Counter>,
+    /// Live match subscriptions being served (`rl_subs_active`).
+    pub subs_active: Arc<Gauge>,
+    /// Match events delivered to subscribers (`rl_sub_events_total`).
+    pub sub_events: Arc<Counter>,
+    /// Subscriptions terminated with `SubscriptionLagged`
+    /// (`rl_sub_lagged_total`).
+    pub sub_lagged: Arc<Counter>,
+    /// Records evicted from subscription windows
+    /// (`rl_window_evictions_total`).
+    pub window_evictions: Arc<Counter>,
+    /// Observe-to-delivery latency for match events
+    /// (`rl_sub_deliver_seconds`).
+    pub sub_deliver: Arc<Histogram>,
     /// Pipeline phase timers (embed / block / match, stream observe),
     /// shared with the `ShardedPipeline` so shard workers record into
     /// the same histograms.
@@ -252,6 +276,28 @@ impl ServerMetrics {
             "Replication subscription reconnects",
             &[],
         );
+        let subs_active = registry.gauge("subs_active", "Live match subscriptions", &[]);
+        let sub_events = registry.counter(
+            "sub_events_total",
+            "Match events delivered to subscribers",
+            &[],
+        );
+        let sub_lagged = registry.counter(
+            "sub_lagged_total",
+            "Subscriptions dropped for lagging behind their event queue",
+            &[],
+        );
+        let window_evictions = registry.counter(
+            "window_evictions_total",
+            "Records evicted from subscription windows",
+            &[],
+        );
+        let sub_deliver = registry.histogram(
+            "sub_deliver_seconds",
+            "Observe-to-delivery latency for match events",
+            &[],
+            Unit::Seconds,
+        );
         let pipeline = PipelineMetrics::register(&registry);
         Arc::new(Self {
             registry,
@@ -272,6 +318,11 @@ impl ServerMetrics {
             repl_lag_bytes,
             repl_followers,
             repl_reconnects,
+            subs_active,
+            sub_events,
+            sub_lagged,
+            window_evictions,
+            sub_deliver,
             pipeline,
         })
     }

@@ -9,6 +9,7 @@
 use cbv_hb::blocking::StructureStats;
 use cbv_hb::matcher::MatchStats;
 use cbv_hb::Record;
+use rl_streamrule::{LateArrival, WindowSpec};
 use serde::{Deserialize, Serialize};
 
 /// Protocol version spoken by this build (bumped on breaking changes;
@@ -23,8 +24,14 @@ use serde::{Deserialize, Serialize};
 /// requests (the only requests answered with *more than one* response
 /// line), `ReplStatus`, `Promote`, the `NotPrimary` error code, and the
 /// optional `primary_addr` redirect field on [`RequestError`]; earlier
-/// requests are unchanged.
-pub const PROTOCOL_VERSION: u32 = 5;
+/// requests are unchanged. Version 6 added streaming match subscriptions:
+/// `SubscribeMatches` (a third streaming request — the connection switches
+/// to a push stream of [`Reply::MatchEvent`] lines interleaved with
+/// heartbeats, terminated by [`Reply::SubscriptionLagged`] when the
+/// subscriber falls behind its bounded event queue), `Unsubscribe`, and
+/// the `Subscribed` / `MatchEvent` / `SubscriptionLagged` /
+/// `Unsubscribed` replies.
+pub const PROTOCOL_VERSION: u32 = 6;
 
 /// A client request.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -79,6 +86,31 @@ pub enum Request {
     /// mutations). Idempotent on a node that is already primary; rejected
     /// with `Unavailable` on a non-replicated (standalone) server.
     Promote,
+    /// Streaming match subscription (protocol v6): compile `rule` (the
+    /// `parse_rule` DSL) into a pruned blocking plan and push a
+    /// [`Reply::MatchEvent`] line whenever a newly ingested record matches
+    /// a record inside `window`. The connection switches to streaming
+    /// mode: first line is [`Reply::Subscribed`], then events interleaved
+    /// with [`Reply::Heartbeat`] keep-alives. A subscriber that cannot
+    /// drain its bounded event queue receives a terminal
+    /// [`Reply::SubscriptionLagged`] and must resubscribe (mirroring
+    /// replication's `ResyncRequired` contract).
+    SubscribeMatches {
+        /// The classification rule to watch, in the `parse_rule` DSL.
+        rule: String,
+        /// Which past records stay matchable.
+        window: WindowSpec,
+        /// Policy for records whose event time is behind the watermark.
+        late: LateArrival,
+        /// Per-probe top-k candidate cap; `0` disables capping.
+        cap: u64,
+    },
+    /// Cancels a live subscription by id (protocol v6). Sent on any
+    /// connection; the subscription's streaming connection ends cleanly.
+    Unsubscribe {
+        /// The id from [`Reply::Subscribed`].
+        sub_id: u64,
+    },
     /// Stop accepting connections, drain queued requests, and exit.
     Shutdown,
 }
@@ -283,6 +315,38 @@ pub enum Reply {
         /// False when the node was already primary (idempotent call).
         was_follower: bool,
     },
+    /// First line of a `SubscribeMatches` stream (protocol v6).
+    Subscribed {
+        /// Handle for `Unsubscribe`.
+        sub_id: u64,
+        /// LSH tables the compiled plan probes per record (`Σ L` over the
+        /// structures the rule's predicates require).
+        tables: u64,
+    },
+    /// One pushed match in a `SubscribeMatches` stream (protocol v6): the
+    /// newly ingested record matched `matched` records inside the
+    /// subscription's window.
+    MatchEvent {
+        /// The subscription this event belongs to.
+        sub_id: u64,
+        /// The record whose ingestion triggered the event.
+        record_id: u64,
+        /// Window records satisfying the rule, ascending.
+        matched: Vec<u64>,
+    },
+    /// Terminal line of a `SubscribeMatches` stream when the subscriber
+    /// fell behind its bounded event queue (protocol v6). Delivery stops
+    /// — the client must resubscribe, exactly like a follower re-bootstraps
+    /// on [`Reply::ResyncRequired`].
+    SubscriptionLagged {
+        /// Events dropped since the subscriber last kept up.
+        dropped: u64,
+    },
+    /// Response to `Unsubscribe` (protocol v6).
+    Unsubscribed {
+        /// False when the id named no live subscription.
+        removed: bool,
+    },
     /// Response to `Shutdown`.
     ShuttingDown,
 }
@@ -385,6 +449,19 @@ mod tests {
             Request::Subscribe { from_seq: 42 },
             Request::ReplStatus,
             Request::Promote,
+            Request::SubscribeMatches {
+                rule: "0<=4 & 1<=4".into(),
+                window: WindowSpec::Count(128),
+                late: LateArrival::Drop,
+                cap: 16,
+            },
+            Request::SubscribeMatches {
+                rule: "0<=2".into(),
+                window: WindowSpec::TimeMs(60_000),
+                late: LateArrival::ApplyIfInWindow,
+                cap: 0,
+            },
+            Request::Unsubscribe { sub_id: 7 },
             Request::Shutdown,
         ];
         for req in reqs {
@@ -440,6 +517,17 @@ mod tests {
                 head_seq: 12,
                 was_follower: true,
             }),
+            Response::Ok(Reply::Subscribed {
+                sub_id: 1,
+                tables: 40,
+            }),
+            Response::Ok(Reply::MatchEvent {
+                sub_id: 1,
+                record_id: 99,
+                matched: vec![3, 7],
+            }),
+            Response::Ok(Reply::SubscriptionLagged { dropped: 12 }),
+            Response::Ok(Reply::Unsubscribed { removed: true }),
             Response::Err(
                 RequestError::new(ErrorCode::NotPrimary, "read-only follower")
                     .with_primary("127.0.0.1:7001"),

@@ -26,6 +26,7 @@ use crate::protocol::{
 };
 use crate::repl::{ApplyError, ReplRole, ReplState};
 use crate::snapshot::{Snapshot, SnapshotError};
+use crate::subs::SubHub;
 use cbv_hb::dedup::UnionFind;
 use cbv_hb::sharded::ShardedPipeline;
 use cbv_hb::Record;
@@ -90,6 +91,11 @@ pub struct ServerConfig {
     /// [`ReplRole::Standalone`] requires durability (the WAL is what gets
     /// shipped). See `docs/REPLICATION.md`.
     pub repl_role: ReplRole,
+    /// Most `SubscribeMatches` streams served at once (protocol v6); the
+    /// next subscribe is rejected with [`ErrorCode::Unavailable`]. Each
+    /// subscription costs a connection thread, a compiled blocking plan,
+    /// and a bounded event queue.
+    pub max_subscriptions: usize,
 }
 
 impl Default for ServerConfig {
@@ -102,6 +108,7 @@ impl Default for ServerConfig {
             slow_request_threshold: Some(Duration::from_secs(1)),
             durability: None,
             repl_role: ReplRole::Standalone,
+            max_subscriptions: 64,
         }
     }
 }
@@ -142,6 +149,8 @@ pub(crate) struct Inner {
     pub(crate) store: Option<Mutex<Store>>,
     /// Replication role and lag counters (see [`crate::repl`]).
     pub(crate) repl: ReplState,
+    /// Live match subscriptions (protocol v6; see [`crate::subs`]).
+    pub(crate) subs: SubHub,
 }
 
 /// A running linkage service. Dropping the handle does not stop the
@@ -301,6 +310,11 @@ impl Server {
             config.repl_role.clone(),
             store.as_ref().map(Store::op_seq).unwrap_or(0),
         );
+        let subs = SubHub::new(
+            pipeline.schema().clone(),
+            pipeline.classifier(),
+            config.max_subscriptions,
+        );
         let inner = Arc::new(Inner {
             state: RwLock::new(ServerState {
                 pipeline,
@@ -317,6 +331,7 @@ impl Server {
             metrics,
             store: store.map(Mutex::new),
             repl,
+            subs,
         });
 
         let (job_tx, job_rx) = bounded::<Job>(queue_capacity);
@@ -558,6 +573,22 @@ fn serve_line(
             // resynchronize on, so close.
             return ConnFlow::Close;
         }
+        Ok(Request::SubscribeMatches {
+            rule,
+            window,
+            late,
+            cap,
+        }) => {
+            inner.metrics.record_streaming(ReqType::SubscribeMatches);
+            // `false` means the subscription was refused with a single
+            // error line and the connection is still usable.
+            return if crate::subs::serve_subscribe_matches(inner, writer, &rule, window, late, cap)
+            {
+                ConnFlow::Close
+            } else {
+                ConnFlow::Continue
+            };
+        }
         Ok(request) => dispatch_request(inner, job_tx, request),
         Err(e) => Response::Err(RequestError::new(
             ErrorCode::Parse,
@@ -680,6 +711,12 @@ fn execute(inner: &Arc<Inner>, request: Request) -> Response {
                 Ok(()) => {
                     let total_indexed = state.pipeline.indexed_len();
                     inner.metrics.indexed_records.set(total_indexed as i64);
+                    // Fan out to match subscriptions while still holding
+                    // the state write lock, so event order across
+                    // connections matches mutation order.
+                    for record in &records {
+                        inner.subs.observe(&inner.metrics, record);
+                    }
                     Response::Ok(Reply::Indexed {
                         accepted: records.len(),
                         total_indexed,
@@ -703,6 +740,9 @@ fn execute(inner: &Arc<Inner>, request: Request) -> Response {
                 Ok(removed) => {
                     let total_indexed = state.pipeline.indexed_len();
                     inner.metrics.indexed_records.set(total_indexed as i64);
+                    for &id in &ids {
+                        inner.subs.remove(id);
+                    }
                     Response::Ok(Reply::Deleted {
                         removed,
                         total_indexed,
@@ -750,6 +790,7 @@ fn execute(inner: &Arc<Inner>, request: Request) -> Response {
                         .metrics
                         .indexed_records
                         .set(state.pipeline.indexed_len() as i64);
+                    inner.subs.observe(&inner.metrics, &record);
                     Response::Ok(Reply::Observed { matches })
                 }
                 Err(e) => Response::Err(RequestError::new(ErrorCode::Linkage, e.to_string())),
@@ -872,12 +913,18 @@ fn execute(inner: &Arc<Inner>, request: Request) -> Response {
                 )),
             }
         }
+        Request::Unsubscribe { sub_id } => {
+            let removed = inner.subs.unsubscribe(sub_id);
+            Response::Ok(Reply::Unsubscribed { removed })
+        }
         // Streaming requests are served inline on the connection thread
         // (see `serve_line`); reaching a worker means a misrouted job.
-        Request::FetchCheckpoint | Request::Subscribe { .. } => Response::Err(RequestError::new(
-            ErrorCode::Unavailable,
-            "streaming requests are handled on the connection",
-        )),
+        Request::FetchCheckpoint | Request::Subscribe { .. } | Request::SubscribeMatches { .. } => {
+            Response::Err(RequestError::new(
+                ErrorCode::Unavailable,
+                "streaming requests are handled on the connection",
+            ))
+        }
         Request::Shutdown => {
             begin_shutdown(inner);
             Response::Ok(Reply::ShuttingDown)
@@ -1097,6 +1144,13 @@ impl ReplHandle {
         // a restart replay), so a failure now is not reconnectable.
         apply_op(&mut state, op)
             .map_err(|e| ApplyError::Resync(format!("apply of durable op {seq} failed: {e}")))?;
+        // Followers serve match subscriptions off the replicated stream.
+        match op {
+            WalOp::Insert(record) | WalOp::Observe(record) => {
+                inner.subs.observe(&inner.metrics, record);
+            }
+            WalOp::Delete(id) => inner.subs.remove(*id),
+        }
         inner
             .metrics
             .indexed_records

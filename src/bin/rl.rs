@@ -40,11 +40,13 @@ fn usage() -> ! {
          [--k K] [--delta D] [--blocking random|covering] [--shards N] \
          [--workers N] [--queue N] [--snapshot PATH] [--slow-ms MS] [--seed S] \
          [--data-dir DIR] [--checkpoint-every SECS] [--wal-sync-ms MS] \
-         [--allow-replicas] [--replicate-from HOST:PORT]\n  \
+         [--allow-replicas] [--replicate-from HOST:PORT] [--max-subscriptions N]\n  \
          rl promote [--addr HOST:PORT] [--timeout-ms MS]\n  \
-         rl client --cmd stats|metrics|dedup-status|repl-status|shutdown|snapshot|index|insert|delete|probe|stream \
+         rl client --cmd stats|metrics|dedup-status|repl-status|shutdown|snapshot|index|insert|delete|probe|stream|watch \
          [--addr HOST:PORT] [--input F.csv] [--out M.csv] [--path SNAP] [--ids 1,2,...] \
-         [--header] [--id-column N] [--timeout-ms MS] [--prometheus]"
+         [--header] [--id-column N] [--timeout-ms MS] [--prometheus]\n  \
+         rl client --cmd watch --rule EXPR [--window N | --window-ms MS] \
+         [--late drop|apply] [--cap N] [--limit N] [--addr HOST:PORT]"
     );
     exit(2)
 }
@@ -442,6 +444,7 @@ fn serve(flags: &HashMap<String, String>) -> Result<(), String> {
     let shards = parse_or("shards", 4)?.max(1);
     let workers = parse_or("workers", 2)?;
     let queue = parse_or("queue", 64)?;
+    let max_subscriptions = parse_or("max-subscriptions", 64)?.max(1);
     let seed: u64 = flags
         .get("seed")
         .map(|s| s.parse())
@@ -516,6 +519,7 @@ fn serve(flags: &HashMap<String, String>) -> Result<(), String> {
         } else {
             ReplRole::Standalone
         },
+        max_subscriptions,
     };
 
     // Follower mode: the data directory is seeded from the primary's
@@ -703,9 +707,11 @@ fn promote(flags: &HashMap<String, String>) -> Result<(), String> {
 }
 
 /// One-shot protocol client: connects, issues a single command, prints the
-/// reply as JSON on stdout (matches as CSV with --out).
+/// reply as JSON on stdout (matches as CSV with --out). `watch` is the
+/// exception: it holds the connection open as a match-subscription stream
+/// (protocol v6) and prints one line per `MatchEvent`.
 fn client(flags: &HashMap<String, String>) -> Result<(), String> {
-    use record_linkage::server::Client;
+    use record_linkage::server::{Client, LateArrival, WatchEvent, WindowSpec};
 
     let addr = flags
         .get("addr")
@@ -857,6 +863,67 @@ fn client(flags: &HashMap<String, String>) -> Result<(), String> {
                 "streamed {} records, {total_matches} matches against history",
                 records.len()
             );
+        }
+        "watch" => {
+            let rule = req(flags, "rule")?;
+            let window = match (flags.get("window"), flags.get("window-ms")) {
+                (Some(_), Some(_)) => {
+                    return Err("--window and --window-ms are mutually exclusive".into())
+                }
+                (Some(n), None) => WindowSpec::Count(
+                    n.parse()
+                        .map_err(|_| "--window must be an integer".to_string())?,
+                ),
+                (None, Some(ms)) => WindowSpec::TimeMs(
+                    ms.parse()
+                        .map_err(|_| "--window-ms must be an integer".to_string())?,
+                ),
+                (None, None) => WindowSpec::Count(1024),
+            };
+            let late = match flags.get("late").map(String::as_str) {
+                None | Some("apply") => LateArrival::ApplyIfInWindow,
+                Some("drop") => LateArrival::Drop,
+                Some(other) => return Err(format!("unknown --late policy {other:?} (drop|apply)")),
+            };
+            let cap: u64 = flags
+                .get("cap")
+                .map(|s| s.parse())
+                .transpose()
+                .map_err(|_| "--cap must be an integer".to_string())?
+                .unwrap_or(0);
+            // Stop after N events (0 = watch until the stream ends).
+            let limit: u64 = flags
+                .get("limit")
+                .map(|s| s.parse())
+                .transpose()
+                .map_err(|_| "--limit must be an integer".to_string())?
+                .unwrap_or(0);
+            let (sub_id, tables) = client
+                .subscribe_matches(rule, window, late, cap)
+                .map_err(|e| e.to_string())?;
+            eprintln!("subscribed {sub_id}: plan probes {tables} tables; Ctrl-C to stop");
+            let mut seen = 0u64;
+            loop {
+                match client.next_watch_event().map_err(|e| e.to_string())? {
+                    WatchEvent::Match {
+                        record_id, matched, ..
+                    } => {
+                        let ids: Vec<String> = matched.iter().map(ToString::to_string).collect();
+                        println!("{record_id} -> {}", ids.join(";"));
+                        seen += 1;
+                        if limit > 0 && seen >= limit {
+                            break;
+                        }
+                    }
+                    WatchEvent::Lagged { dropped } => {
+                        return Err(format!(
+                            "subscription lagged: {dropped} event(s) dropped after {seen} \
+                             delivered; resubscribe to continue"
+                        ));
+                    }
+                }
+            }
+            eprintln!("watched {seen} match event(s)");
         }
         other => return Err(format!("unknown client command {other:?}")),
     }

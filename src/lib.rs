@@ -51,6 +51,7 @@
 //! | [`pprl`] | `rl-pprl` | privacy-preserving linkage (keyed embeddings) |
 //! | [`server`] | `rl-server` | TCP linkage service over the sharded index |
 //! | [`repl`] | `rl-repl` | WAL-shipping read replicas, bootstrap, promote |
+//! | [`streamrule`] | `rl-streamrule` | windowed rule subscriptions, compiled plans |
 //! | [`obs`] | `rl-obs` | counters, mergeable latency histograms, Prometheus |
 
 pub use cbv_hb;
@@ -62,6 +63,7 @@ pub use rl_obs as obs;
 pub use rl_pprl as pprl;
 pub use rl_repl as repl;
 pub use rl_server as server;
+pub use rl_streamrule as streamrule;
 pub use textdist;
 
 /// Most-used types, one `use` away.
@@ -76,5 +78,6 @@ pub mod prelude {
     pub use rl_baselines::{BfhLinker, CbvHbLinker, HarraLinker, LinkOutcome, Linker, SmEbLinker};
     pub use rl_datagen::{DatasetPair, PairConfig, PerturbationScheme};
     pub use rl_server::{Client, Server, ServerConfig};
+    pub use rl_streamrule::{SubscriptionSpec, WindowSpec, WindowedEngine};
     pub use textdist::Alphabet;
 }

@@ -160,6 +160,13 @@ fn prometheus_rendering_is_valid_exposition() {
     assert!(seen_types.contains_key("rl_requests_total"));
     assert!(seen_types.contains_key("rl_request_exec_seconds"));
     assert!(seen_types.contains_key("rl_pipeline_phase_seconds"));
+    // Streaming-subscription metrics (protocol v6) are registered from
+    // startup, before any subscriber connects.
+    assert!(seen_types.contains_key("rl_subs_active"));
+    assert!(seen_types.contains_key("rl_sub_events_total"));
+    assert!(seen_types.contains_key("rl_sub_lagged_total"));
+    assert!(seen_types.contains_key("rl_window_evictions_total"));
+    assert!(seen_types.contains_key("rl_sub_deliver_seconds"));
     // Histogram structure: cumulative buckets end at the +Inf total.
     assert!(text.contains("rl_request_exec_seconds_bucket"));
     assert!(text.contains("le=\"+Inf\""));

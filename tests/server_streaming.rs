@@ -1,0 +1,247 @@
+//! Loopback integration tests for streaming match subscriptions
+//! (protocol v6): disjoint event streams for different rules, window
+//! eviction over the wire, and the bounded-queue lag contract for slow
+//! consumers.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use record_linkage::cbv_hb::pipeline::LinkageConfig;
+use record_linkage::cbv_hb::sharded::ShardedPipeline;
+use record_linkage::cbv_hb::{AttributeSpec, Record, RecordSchema, Rule};
+use record_linkage::server::{Client, LateArrival, Server, ServerConfig, WatchEvent, WindowSpec};
+
+fn pipeline(seed: u64, shards: usize) -> ShardedPipeline {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let schema = RecordSchema::build(
+        record_linkage::textdist::Alphabet::linkage(),
+        vec![
+            AttributeSpec::new("FirstName", 2, 64, false, 5),
+            AttributeSpec::new("LastName", 2, 64, false, 5),
+        ],
+        &mut rng,
+    );
+    let rule = Rule::and([Rule::pred(0, 4), Rule::pred(1, 4)]);
+    ShardedPipeline::new(schema, LinkageConfig::rule_aware(rule), shards, &mut rng).unwrap()
+}
+
+fn spawn(seed: u64) -> Server {
+    Server::spawn(pipeline(seed, 2), ServerConfig::default()).unwrap()
+}
+
+/// Two subscriptions with different rules over the same stream see
+/// disjoint event streams: the first-name rule fires only for first-name
+/// twins, the last-name rule only for last-name twins.
+#[test]
+fn subscribers_receive_disjoint_event_streams() {
+    let server = spawn(61);
+    let addr = server.local_addr();
+
+    let mut first_sub = Client::connect(addr).unwrap();
+    let (first_id, first_tables) = first_sub
+        .subscribe_matches(
+            "0<=2",
+            WindowSpec::Count(100),
+            LateArrival::ApplyIfInWindow,
+            0,
+        )
+        .unwrap();
+    let mut last_sub = Client::connect(addr).unwrap();
+    let (last_id, _) = last_sub
+        .subscribe_matches(
+            "1<=2",
+            WindowSpec::Count(100),
+            LateArrival::ApplyIfInWindow,
+            0,
+        )
+        .unwrap();
+    assert_ne!(first_id, last_id, "subscription ids are distinct");
+    assert!(first_tables > 0, "single-predicate plan probes some tables");
+
+    let mut producer = Client::connect(addr).unwrap();
+    producer
+        .index(&[Record::new(1, ["JOHNATHAN", "SMITHSON"])])
+        .unwrap();
+    // Same first name, unrelated last name → only the first-name rule.
+    producer
+        .index(&[Record::new(2, ["JOHNATHAN", "WILLOUGHBY"])])
+        .unwrap();
+    // Same last name, unrelated first name → only the last-name rule.
+    producer
+        .index(&[Record::new(3, ["BARTHOLOMEW", "SMITHSON"])])
+        .unwrap();
+
+    match first_sub.next_watch_event().unwrap() {
+        WatchEvent::Match {
+            sub_id,
+            record_id,
+            matched,
+        } => {
+            assert_eq!(sub_id, first_id);
+            assert_eq!(record_id, 2);
+            assert_eq!(matched, vec![1]);
+        }
+        other => panic!("expected a match event, got {other:?}"),
+    }
+    match last_sub.next_watch_event().unwrap() {
+        WatchEvent::Match {
+            sub_id,
+            record_id,
+            matched,
+        } => {
+            assert_eq!(sub_id, last_id);
+            assert_eq!(record_id, 3, "last-name stream must not see record 2");
+            assert_eq!(matched, vec![1]);
+        }
+        other => panic!("expected a match event, got {other:?}"),
+    }
+
+    drop(first_sub);
+    drop(last_sub);
+    let admin = Client::connect(addr).unwrap();
+    admin.shutdown().unwrap();
+    server.wait();
+}
+
+/// A record pushed out of a count window stops producing matches; the
+/// next event the subscriber sees skips the evicted pairing entirely.
+#[test]
+fn evicted_record_stops_matching_over_the_wire() {
+    let server = spawn(62);
+    let addr = server.local_addr();
+
+    let mut sub = Client::connect(addr).unwrap();
+    sub.subscribe_matches(
+        "0<=2",
+        WindowSpec::Count(2),
+        LateArrival::ApplyIfInWindow,
+        0,
+    )
+    .unwrap();
+
+    let mut producer = Client::connect(addr).unwrap();
+    producer
+        .index(&[Record::new(1, ["JOHNATHAN", "ANDERSON"])])
+        .unwrap();
+    producer
+        .index(&[Record::new(2, ["MARGARETH", "BUCHANAN"])])
+        .unwrap();
+    // Window holds {1, 2}; this admission evicts record 1.
+    producer
+        .index(&[Record::new(3, ["PETERSSON", "CALLOWAY"])])
+        .unwrap();
+    // Twin of the evicted record: must NOT produce an event.
+    producer
+        .index(&[Record::new(4, ["JOHNATHAN", "DAVIDSON"])])
+        .unwrap();
+    // Twin of a still-windowed record: produces the next event.
+    producer
+        .index(&[Record::new(5, ["PETERSSON", "ELLINGTON"])])
+        .unwrap();
+
+    // Events are delivered in order, so the first event proves record 4
+    // matched nothing.
+    match sub.next_watch_event().unwrap() {
+        WatchEvent::Match {
+            record_id, matched, ..
+        } => {
+            assert_eq!(
+                record_id, 5,
+                "evicted record 1 must not match record 4 (event matched {matched:?})"
+            );
+            assert_eq!(matched, vec![3]);
+        }
+        other => panic!("expected a match event, got {other:?}"),
+    }
+
+    drop(sub);
+    let admin = Client::connect(addr).unwrap();
+    admin.shutdown().unwrap();
+    server.wait();
+}
+
+/// A subscriber that stops reading gets a typed `SubscriptionLagged`
+/// (after its bounded queue overflows) instead of buffering the stream
+/// without bound.
+#[test]
+fn slow_subscriber_gets_lagged_not_unbounded_memory() {
+    let server = spawn(63);
+    let addr = server.local_addr();
+
+    let mut sub = Client::connect(addr).unwrap();
+    sub.subscribe_matches(
+        "0<=2",
+        WindowSpec::Count(8192),
+        LateArrival::ApplyIfInWindow,
+        0,
+    )
+    .unwrap();
+
+    // Burst far more event volume than the bounded per-subscription queue
+    // (64 events) plus socket buffers can hold, without reading: every
+    // record shares a first name, so event k carries k-1 matched ids and
+    // the aggregate payload reaches megabytes.
+    let n = 2500u64;
+    let records: Vec<Record> = (0..n)
+        .map(|i| Record::new(i + 1, ["JOHNATHAN".into(), format!("LAST{i:04}")]))
+        .collect();
+    let mut producer = Client::connect(addr).unwrap();
+    producer.index(&records).unwrap();
+
+    // Now drain: some match events, then the typed lag notice, then EOF.
+    let mut delivered = 0u64;
+    let mut lagged = None;
+    for _ in 0..=n {
+        match sub.next_watch_event() {
+            Ok(WatchEvent::Match { .. }) => delivered += 1,
+            Ok(WatchEvent::Lagged { dropped }) => {
+                lagged = Some(dropped);
+                break;
+            }
+            Err(e) => panic!("expected Lagged before any error, got {e:?}"),
+        }
+    }
+    let dropped = lagged.expect("slow subscriber must receive SubscriptionLagged");
+    assert!(dropped > 0, "lag notice reports dropped events");
+    assert!(
+        delivered < n - 1,
+        "some events must have been shed, delivered {delivered}/{}",
+        n - 1
+    );
+
+    drop(sub);
+    let admin = Client::connect(addr).unwrap();
+    admin.shutdown().unwrap();
+    server.wait();
+}
+
+/// `Unsubscribe` through a second connection tears the subscription down:
+/// the server stops the stream and the subscriber's connection ends.
+#[test]
+fn unsubscribe_from_another_connection_ends_the_stream() {
+    let server = spawn(64);
+    let addr = server.local_addr();
+
+    let mut sub = Client::connect(addr).unwrap();
+    let (sub_id, _) = sub
+        .subscribe_matches(
+            "0<=2",
+            WindowSpec::Count(10),
+            LateArrival::ApplyIfInWindow,
+            0,
+        )
+        .unwrap();
+
+    let mut admin = Client::connect(addr).unwrap();
+    assert!(admin.unsubscribe(sub_id).unwrap(), "live id removes");
+    assert!(
+        !admin.unsubscribe(sub_id).unwrap(),
+        "second call is a no-op"
+    );
+
+    // The serving loop notices the dropped channel and closes; the next
+    // read fails rather than blocking forever.
+    assert!(sub.next_watch_event().is_err());
+
+    admin.shutdown().unwrap();
+    server.wait();
+}
