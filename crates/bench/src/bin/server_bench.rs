@@ -1,15 +1,21 @@
 //! Server round-trip throughput: probes/sec over loopback TCP.
 //!
 //! ```text
-//! server_bench [--records N] [--probes P] [--clients C] [--seed S] [--out DIR] [--smoke]
+//! server_bench [--records N] [--probes P] [--clients C] [--seed S]
+//!              [--pipeline DEPTH] [--batch N] [--out DIR] [--smoke]
 //! ```
 //!
 //! For each shard count in {1, 4, 8} the harness spawns an `rl-server`
-//! over a freshly indexed `ShardedPipeline`, then drives `--probes`
-//! single-record probe round trips from `--clients` concurrent
-//! connections and reports wall-clock throughput. Results land in
-//! `<out>/results/BENCH_server.json`, so the perf trajectory tracks the
-//! serving path alongside the paper experiments.
+//! over a freshly indexed `ShardedPipeline` and measures two modes
+//! against the *same* server: the historical JSON v6 path (one
+//! single-record probe per lockstep round trip per client) and the
+//! protocol-v7 binary path (`--batch` records per request, `--pipeline`
+//! requests in flight per connection). Both rows land in
+//! `<out>/results/BENCH_server.json`, so the perf trajectory stays
+//! comparable across the protocol change. Throughput is reported in
+//! probe *records* per second in both modes. Under `--smoke` the run
+//! fails unless the binary mode is strictly faster than the JSON mode
+//! on the same run.
 //!
 //! A second phase measures the durability subsystem: insert throughput
 //! under each WAL sync policy (in-memory baseline, group commit, fsync
@@ -52,11 +58,20 @@ const SHARD_COUNTS: [usize; 3] = [1, 4, 8];
 
 #[derive(Debug, Clone, Serialize)]
 struct Row {
+    /// `json-lockstep` (the historical v6 path: one single-record probe
+    /// per synchronous round trip) or `binary-pipelined` (protocol v7:
+    /// `batch` records per frame, `pipeline_depth` frames in flight).
+    mode: String,
     shards: usize,
     workers: usize,
     records_indexed: u64,
+    /// Probe *records* sent (both modes), so probes_per_sec compares.
     probes: u64,
     clients: u64,
+    /// Requests in flight per connection (1 = lockstep).
+    pipeline_depth: u64,
+    /// Probe records per request (1 = single-record).
+    batch: u64,
     matched: u64,
     elapsed_secs: f64,
     probes_per_sec: f64,
@@ -67,6 +82,8 @@ struct Opts {
     records: u64,
     probes: u64,
     clients: u64,
+    pipeline: u64,
+    batch: u64,
     seed: u64,
     out: PathBuf,
     smoke: bool,
@@ -77,6 +94,8 @@ fn main() {
         records: 10_000,
         probes: 2_000,
         clients: 4,
+        pipeline: 32,
+        batch: 16,
         seed: 42,
         out: PathBuf::from("."),
         smoke: false,
@@ -92,6 +111,8 @@ fn main() {
             "--records" => opts.records = need(i).parse().expect("--records N"),
             "--probes" => opts.probes = need(i).parse().expect("--probes P"),
             "--clients" => opts.clients = need(i).parse().expect("--clients C"),
+            "--pipeline" => opts.pipeline = need(i).parse().expect("--pipeline DEPTH"),
+            "--batch" => opts.batch = need(i).parse().expect("--batch N"),
             "--seed" => opts.seed = need(i).parse().expect("--seed S"),
             "--out" => opts.out = PathBuf::from(need(i)),
             "--smoke" => {
@@ -105,23 +126,33 @@ fn main() {
         }
         i += 2;
     }
+    assert!(opts.pipeline >= 1, "--pipeline must be >= 1");
+    assert!(opts.batch >= 1, "--batch must be >= 1");
 
     let mut rows = Vec::new();
-    println!("| shards | workers | indexed | probes | clients | secs | probes/sec |");
-    println!("|---|---|---|---|---|---|---|");
+    println!("| mode | shards | indexed | probes | clients | depth | batch | secs | probes/sec |");
+    println!("|---|---|---|---|---|---|---|---|---|");
     for shards in SHARD_COUNTS {
-        let row = run_one(&opts, shards);
-        println!(
-            "| {} | {} | {} | {} | {} | {:.3} | {:.0} |",
-            shards,
-            shards,
-            opts.records,
-            opts.probes,
-            opts.clients,
-            row.elapsed_secs,
-            row.probes_per_sec,
-        );
-        rows.push(row);
+        // Both modes run against the same server over the same index, so
+        // the smoke gate below compares like with like.
+        for row in run_one(&opts, shards) {
+            println!(
+                "| {} | {} | {} | {} | {} | {} | {} | {:.3} | {:.0} |",
+                row.mode,
+                row.shards,
+                row.records_indexed,
+                row.probes,
+                row.clients,
+                row.pipeline_depth,
+                row.batch,
+                row.elapsed_secs,
+                row.probes_per_sec,
+            );
+            rows.push(row);
+        }
+    }
+    if opts.smoke {
+        smoke_check_binary_beats_json(&rows);
     }
     write_json(&opts.out, "BENCH_server", &rows);
 
@@ -637,7 +668,7 @@ fn bench_pipeline(seed: u64, shards: usize) -> ShardedPipeline {
         .expect("build pipeline")
 }
 
-fn run_one(opts: &Opts, shards: usize) -> Row {
+fn bench_server(opts: &Opts, shards: usize, reactor: bool) -> Server {
     let mut rng = StdRng::seed_from_u64(opts.seed);
     let schema = RecordSchema::build(
         Alphabet::linkage(),
@@ -650,27 +681,40 @@ fn run_one(opts: &Opts, shards: usize) -> Row {
     let rule = Rule::and([Rule::pred(0, 4), Rule::pred(1, 4)]);
     let pipeline = ShardedPipeline::new(schema, LinkageConfig::rule_aware(rule), shards, &mut rng)
         .expect("build pipeline");
-    let server = Server::spawn(
+    Server::spawn(
         pipeline,
         ServerConfig {
             addr: "127.0.0.1:0".into(),
             workers: shards,
             queue_capacity: 256,
             snapshot_path: None,
+            reactor,
             ..ServerConfig::default()
         },
     )
-    .expect("spawn server");
+    .expect("spawn server")
+}
+
+/// Two servers, two measurements: the protocol v6 serving stack as it
+/// existed before this release (blocking accept loop, NDJSON, one
+/// single-record probe per lockstep round trip — continuous with every
+/// earlier `BENCH_server.json` row), then the v7 stack (poll reactor,
+/// binary frames, `--batch` records per request, `--pipeline` requests
+/// in flight). Both index the same corpus from the same seed.
+fn run_one(opts: &Opts, shards: usize) -> Vec<Row> {
+    let index = |addr: std::net::SocketAddr| {
+        let mut client = Client::connect(addr).expect("connect");
+        let corpus: Vec<Record> = (0..opts.records).map(|i| record(i, i)).collect();
+        for chunk in corpus.chunks(1_000) {
+            client.index(chunk).expect("index");
+        }
+        client
+    };
+
+    // Phase 1 — the v6 stack: thread-per-connection blocking loop.
+    let server = bench_server(opts, shards, false);
     let addr = server.local_addr();
-
-    // Index the corpus in batches over one connection, then time probe
-    // round trips from concurrent clients.
-    let mut client = Client::connect(addr).expect("connect");
-    let corpus: Vec<Record> = (0..opts.records).map(|i| record(i, i)).collect();
-    for chunk in corpus.chunks(1_000) {
-        client.index(chunk).expect("index");
-    }
-
+    let client = index(addr);
     let per_client = opts.probes / opts.clients;
     let opts_records = opts.records;
     let start = Instant::now();
@@ -699,23 +743,113 @@ fn run_one(opts: &Opts, shards: usize) -> Row {
         matched >= done / 2,
         "probes stopped matching: {matched}/{done}"
     );
-
-    if opts.smoke {
-        smoke_check_metrics(&mut client, done);
-    }
-
     client.shutdown().expect("shutdown");
     server.wait();
-
-    Row {
+    let json_row = Row {
+        mode: "json-lockstep".into(),
         shards,
         workers: shards,
         records_indexed: opts.records,
         probes: done,
         clients: opts.clients,
+        pipeline_depth: 1,
+        batch: 1,
         matched,
         elapsed_secs: elapsed,
         probes_per_sec: done as f64 / elapsed,
+    };
+
+    // Phase 2 — the v7 stack: reactor accept loop, binary frames,
+    // batched and pipelined probes.
+    let server = bench_server(opts, shards, true);
+    let addr = server.local_addr();
+    let mut client = index(addr);
+    let (depth, batch) = (opts.pipeline, opts.batch);
+    let start = Instant::now();
+    let handles: Vec<_> = (0..opts.clients)
+        .map(|c| {
+            std::thread::spawn(move || {
+                let mut client = Client::connect_binary(addr).expect("connect binary");
+                assert!(client.is_binary(), "server must speak protocol v7");
+                let batches: Vec<Vec<Record>> = (0..per_client)
+                    .map(|i| {
+                        let base = (c * per_client + i) * batch;
+                        (0..batch)
+                            .map(|j| {
+                                let src = (base + j) % opts_records;
+                                record(2_000_000 + base + j, src)
+                            })
+                            .collect()
+                    })
+                    .collect();
+                let outcomes = client
+                    .probe_pipelined(&batches, depth as usize)
+                    .expect("pipelined probe");
+                outcomes
+                    .iter()
+                    .map(|(pairs, _)| pairs.len() as u64)
+                    .sum::<u64>()
+            })
+        })
+        .collect();
+    let bin_matched: u64 = handles.into_iter().map(|h| h.join().unwrap()).sum();
+    let bin_elapsed = start.elapsed().as_secs_f64();
+    let bin_done = per_client * opts.clients * batch;
+    assert!(
+        bin_matched >= bin_done / 2,
+        "pipelined probes stopped matching: {bin_matched}/{bin_done}"
+    );
+    let bin_row = Row {
+        mode: "binary-pipelined".into(),
+        shards,
+        workers: shards,
+        records_indexed: opts.records,
+        probes: bin_done,
+        clients: opts.clients,
+        pipeline_depth: depth,
+        batch,
+        matched: bin_matched,
+        elapsed_secs: bin_elapsed,
+        probes_per_sec: bin_done as f64 / bin_elapsed,
+    };
+
+    if opts.smoke {
+        // Binary-phase traffic: one probe request per pipelined batch.
+        smoke_check_metrics(&mut client, per_client * opts.clients);
+    }
+
+    client.shutdown().expect("shutdown");
+    server.wait();
+
+    vec![json_row, bin_row]
+}
+
+/// The CI gate for the protocol change: on every shard count the binary
+/// pipelined mode must be strictly faster than the JSON lockstep mode
+/// measured against the same server on the same run.
+fn smoke_check_binary_beats_json(rows: &[Row]) {
+    for pair in rows.chunks(2) {
+        let [json, bin] = pair else {
+            panic!("expected json/binary row pairs")
+        };
+        assert_eq!(
+            (json.mode.as_str(), bin.mode.as_str()),
+            ("json-lockstep", "binary-pipelined")
+        );
+        assert!(
+            bin.probes_per_sec > json.probes_per_sec,
+            "binary protocol must beat JSON on the same run: {} shards, binary {:.0} <= json {:.0}",
+            json.shards,
+            bin.probes_per_sec,
+            json.probes_per_sec,
+        );
+        println!(
+            "smoke: {} shards — binary {:.0} probes/sec vs json {:.0} ({:.1}x)",
+            json.shards,
+            bin.probes_per_sec,
+            json.probes_per_sec,
+            bin.probes_per_sec / json.probes_per_sec,
+        );
     }
 }
 

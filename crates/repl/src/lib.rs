@@ -23,7 +23,6 @@
 //! acknowledged mutation if the follower had caught up (lag 0) — the
 //! failover runbook in `docs/REPLICATION.md` spells this out.
 
-use rl_server::repl::b64;
 use rl_server::{
     ApplyError, Client, ClientError, DurabilityConfig, ReplHandle, ReplRole, Reply, Request,
     Server, ServerConfig,
@@ -163,7 +162,7 @@ fn bootstrap(config: &FollowerConfig, durability: &DurabilityConfig) -> std::io:
         if attempt > 0 {
             std::thread::sleep(backoff.next_delay());
         }
-        let mut client = match Client::connect_with_timeout(
+        let mut client = match Client::connect_binary_with_timeout(
             config.primary_addr.as_str(),
             Some(config.request_timeout),
         ) {
@@ -193,39 +192,15 @@ fn bootstrap(config: &FollowerConfig, durability: &DurabilityConfig) -> std::io:
     )))
 }
 
-/// Downloads the primary's checkpoint over an open connection:
-/// `FetchCheckpoint` → meta line → base64 chunk lines → decode, parse,
-/// validate.
+/// Downloads the primary's checkpoint over an open connection. The
+/// client handles the transfer framing — base64 JSON lines on protocol
+/// ≤6, raw binary chunk frames on v7 (which is what cut the 10k-record
+/// bootstrap from seconds to tens of milliseconds) — and this crate
+/// parses and validates the document.
 fn fetch_checkpoint(client: &mut Client) -> Result<Checkpoint, String> {
-    client
-        .send(&Request::FetchCheckpoint)
-        .map_err(|e| format!("request checkpoint: {e}"))?;
-    let (len, chunks) = match client.recv() {
-        Ok(Reply::CheckpointMeta { len, chunks }) => (len, chunks),
-        Ok(other) => return Err(format!("expected CheckpointMeta, got {other:?}")),
-        Err(e) => return Err(format!("checkpoint meta: {e}")),
-    };
-    let mut bytes: Vec<u8> = Vec::with_capacity(len as usize);
-    for expected in 0..chunks {
-        match client.recv() {
-            Ok(Reply::CheckpointChunk { index, data }) => {
-                if index != expected {
-                    return Err(format!(
-                        "checkpoint chunk {index} arrived, expected {expected}"
-                    ));
-                }
-                bytes.extend(b64::decode(&data).map_err(|e| format!("chunk {index}: {e}"))?);
-            }
-            Ok(other) => return Err(format!("expected CheckpointChunk, got {other:?}")),
-            Err(e) => return Err(format!("checkpoint chunk {expected}: {e}")),
-        }
-    }
-    if bytes.len() as u64 != len {
-        return Err(format!(
-            "checkpoint transfer truncated: got {} of {len} bytes",
-            bytes.len()
-        ));
-    }
+    let bytes = client
+        .fetch_checkpoint_raw()
+        .map_err(|e| format!("checkpoint transfer: {e}"))?;
     let text = std::str::from_utf8(&bytes).map_err(|e| format!("checkpoint not UTF-8: {e}"))?;
     let ckpt: Checkpoint =
         serde_json::from_str(text).map_err(|e| format!("checkpoint parse: {e}"))?;
@@ -267,9 +242,11 @@ fn run_session(
     config: &FollowerConfig,
     backoff: &mut Backoff,
 ) -> Result<(), String> {
-    let mut client =
-        Client::connect_with_timeout(config.primary_addr.as_str(), Some(config.request_timeout))
-            .map_err(|e| format!("connect: {e}"))?;
+    let mut client = Client::connect_binary_with_timeout(
+        config.primary_addr.as_str(),
+        Some(config.request_timeout),
+    )
+    .map_err(|e| format!("connect: {e}"))?;
     loop {
         if handle.is_shutdown() || !handle.role().is_follower() {
             return Ok(());

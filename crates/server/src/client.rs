@@ -9,6 +9,24 @@
 //! never answers — or stalls mid-reply — surfaces as a typed
 //! [`ClientError::Timeout`] instead of hanging the caller forever.
 //!
+//! ## Binary protocol (v7)
+//!
+//! [`Client::connect_binary`] (or [`Client::upgrade`] on a live
+//! connection) negotiates the `rl-wire` binary framing: one JSON
+//! `Upgrade` line, and on a v7 server both sides switch to
+//! length-prefixed, CRC-checked frames. A pre-v7 server rejects the
+//! unknown verb with a `Parse` error and the client silently stays on
+//! JSON — every typed method works identically in both modes. Binary
+//! mode correlates requests and responses by id, which unlocks
+//! [`Client::probe_pipelined`]: up to `depth` probe batches in flight on
+//! one connection, overlapping server-side execution with the wire
+//! round-trip instead of paying one full RTT per probe. Reconnects
+//! (including the retry path below) re-negotiate automatically.
+//!
+//! A frame that fails its CRC, or a connection closed mid-frame,
+//! surfaces as [`ClientError::FrameCorrupt`] — never as a misparsed
+//! response.
+//!
 //! ## Retry policy
 //!
 //! **Idempotent reads** (`Probe`, `Stats`, `Metrics`, `DedupStatus`,
@@ -28,12 +46,15 @@
 //! mutations too: the follower rejected the request without applying it.
 
 use crate::protocol::{
-    ErrorCode, ReplStatusReply, Reply, Request, RequestError, Response, StatsReply,
+    wire, ErrorCode, ReplStatusReply, Reply, Request, RequestError, Response, StatsReply,
+    FIRST_BINARY_VERSION, PROTOCOL_VERSION,
 };
 use cbv_hb::matcher::MatchStats;
 use cbv_hb::Record;
 use rl_streamrule::{LateArrival, WindowSpec};
-use std::io::{BufRead, BufReader, ErrorKind, Write};
+use rl_wire::{FrameReader, WireError};
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, Cursor, ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
 use std::time::Duration;
 
@@ -48,6 +69,10 @@ pub enum ClientError {
     /// The server's response line was not valid protocol JSON, or the
     /// reply kind did not match the request.
     Protocol(String),
+    /// A binary frame failed its CRC / framing checks, or the connection
+    /// closed in the middle of a frame (protocol v7). The stream has no
+    /// resync point; reconnect to continue.
+    FrameCorrupt(String),
     /// The server rejected the request (typed: backpressure, parse, …).
     Server(RequestError),
 }
@@ -58,6 +83,7 @@ impl std::fmt::Display for ClientError {
             ClientError::Io(e) => write!(f, "connection: {e}"),
             ClientError::Timeout => write!(f, "timed out waiting for the server"),
             ClientError::Protocol(msg) => write!(f, "protocol: {msg}"),
+            ClientError::FrameCorrupt(msg) => write!(f, "corrupt frame: {msg}"),
             ClientError::Server(e) => write!(f, "server: {e}"),
         }
     }
@@ -77,14 +103,53 @@ impl From<std::io::Error> for ClientError {
     }
 }
 
+/// The connection in its current protocol mode. Both variants keep their
+/// buffers across calls: the `BufReader` / `FrameReader` read buffer and
+/// (in binary mode) the frame-encode scratch, so a busy client allocates
+/// nothing per request once warmed up.
+enum Conn {
+    /// Newline-delimited JSON (protocols ≤6, and the negotiation line).
+    Json {
+        reader: BufReader<TcpStream>,
+        writer: TcpStream,
+    },
+    /// `rl-wire` frames (protocol v7).
+    Binary {
+        frames: FrameReader<Box<dyn Read + Send>>,
+        writer: TcpStream,
+        /// Request-envelope scratch (id + JSON body), reused per send.
+        payload: Vec<u8>,
+        /// Frame-encode scratch (header + payload), reused per send.
+        wbuf: Vec<u8>,
+        /// Next request id; ids start at 1 (0 is the server-push id).
+        next_id: u64,
+    },
+}
+
+/// One decoded binary frame, owned (detached from the reader's buffer).
+enum BinMsg {
+    /// An id-enveloped [`Response`].
+    Response(u64, Response),
+    /// A replicated WAL frame from a `Subscribe` stream.
+    Wal(u64, rl_store::WalOp),
+    /// Raw checkpoint bytes from a `FetchCheckpoint` transfer.
+    Chunk(Vec<u8>),
+}
+
+/// One probe batch's outcome: sorted `(id_A, id_B)` pairs plus matching
+/// counters.
+pub type ProbeOutcome = (Vec<(u64, u64)>, MatchStats);
+
 /// A connected client.
 pub struct Client {
-    reader: BufReader<TcpStream>,
-    writer: TcpStream,
+    /// `None` only transiently while switching protocol modes.
+    conn: Option<Conn>,
     /// Resolved server addresses, kept for reconnects and replaced when a
     /// `NotPrimary` redirect points elsewhere.
     addrs: Vec<SocketAddr>,
     timeout: Option<Duration>,
+    /// Re-negotiate binary framing after every reconnect.
+    want_binary: bool,
 }
 
 impl Client {
@@ -95,7 +160,8 @@ impl Client {
     pub const RETRY_BACKOFF: Duration = Duration::from_millis(50);
 
     /// Connects to a running server with [`Self::DEFAULT_TIMEOUT`] on
-    /// reads and writes.
+    /// reads and writes. The connection speaks JSON (protocol ≤6); use
+    /// [`Self::connect_binary`] to negotiate `rl-wire` frames.
     ///
     /// # Errors
     /// Returns [`ClientError::Io`] when the connection cannot be made.
@@ -116,22 +182,108 @@ impl Client {
         let addrs: Vec<SocketAddr> = addr.to_socket_addrs()?.collect();
         let (reader, writer) = open_connection(&addrs, timeout)?;
         Ok(Self {
-            reader,
-            writer,
+            conn: Some(Conn::Json { reader, writer }),
             addrs,
             timeout,
+            want_binary: false,
         })
     }
 
+    /// Connects and negotiates the binary protocol (v7) with
+    /// [`Self::DEFAULT_TIMEOUT`]. Falls back to JSON transparently when
+    /// the server predates v7 — check [`Self::is_binary`] if it matters.
+    ///
+    /// # Errors
+    /// Returns [`ClientError::Io`] when the connection cannot be made.
+    pub fn connect_binary<A: ToSocketAddrs>(addr: A) -> Result<Self, ClientError> {
+        Self::connect_binary_with_timeout(addr, Some(Self::DEFAULT_TIMEOUT))
+    }
+
+    /// [`Self::connect_binary`] with an explicit timeout.
+    ///
+    /// # Errors
+    /// Returns [`ClientError::Io`] when the connection cannot be made.
+    pub fn connect_binary_with_timeout<A: ToSocketAddrs>(
+        addr: A,
+        timeout: Option<Duration>,
+    ) -> Result<Self, ClientError> {
+        let mut client = Self::connect_with_timeout(addr, timeout)?;
+        client.want_binary = true;
+        client.upgrade()?;
+        Ok(client)
+    }
+
+    /// Whether the connection is currently speaking `rl-wire` frames.
+    pub fn is_binary(&self) -> bool {
+        matches!(self.conn, Some(Conn::Binary { .. }))
+    }
+
+    /// Negotiates the binary protocol on the live connection: sends the
+    /// JSON `Upgrade` line and, if the server answers with a version ≥ 7,
+    /// switches this connection to `rl-wire` frames. Returns whether the
+    /// connection is binary afterwards; a pre-v7 server's `Parse`
+    /// rejection is the graceful "stay on JSON" answer, not an error.
+    /// Idempotent on an already-binary connection. Future
+    /// [`Self::reconnect`]s re-negotiate.
+    ///
+    /// # Errors
+    /// I/O, timeout, or protocol errors (not version mismatches).
+    pub fn upgrade(&mut self) -> Result<bool, ClientError> {
+        self.want_binary = true;
+        if self.is_binary() {
+            return Ok(true);
+        }
+        self.send(&Request::Upgrade {
+            max_version: PROTOCOL_VERSION,
+        })?;
+        match self.recv_reply() {
+            Ok(Reply::Upgraded { version }) if version >= FIRST_BINARY_VERSION => {
+                self.switch_to_binary();
+                Ok(true)
+            }
+            Ok(Reply::Upgraded { .. }) => Ok(false),
+            Ok(other) => Err(unexpected("Upgraded", &other)),
+            Err(ClientError::Server(e)) if e.code == ErrorCode::Parse => Ok(false),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Flips the connection to frame mode. Bytes the JSON reader already
+    /// buffered past the `Upgraded` line are the first frame bytes — they
+    /// are carried over, not dropped.
+    fn switch_to_binary(&mut self) {
+        let Some(Conn::Json { reader, writer }) = self.conn.take() else {
+            return;
+        };
+        let leftover = reader.buffer().to_vec();
+        let raw = reader.into_inner();
+        let boxed: Box<dyn Read + Send> = Box::new(Cursor::new(leftover).chain(raw));
+        self.conn = Some(Conn::Binary {
+            frames: FrameReader::new(boxed),
+            writer,
+            payload: Vec::new(),
+            wbuf: Vec::new(),
+            next_id: 1,
+        });
+    }
+
+    fn conn_mut(&mut self) -> &mut Conn {
+        self.conn.as_mut().expect("client connection poisoned")
+    }
+
     /// Drops the current connection and dials the server again (same
-    /// resolved addresses, same timeout).
+    /// resolved addresses, same timeout). A binary client re-negotiates
+    /// the upgrade; if the server meanwhile downgraded (a v6 primary
+    /// behind a redirect), the connection continues on JSON.
     ///
     /// # Errors
     /// Returns [`ClientError::Io`] when the connection cannot be made.
     pub fn reconnect(&mut self) -> Result<(), ClientError> {
         let (reader, writer) = open_connection(&self.addrs, self.timeout)?;
-        self.reader = reader;
-        self.writer = writer;
+        self.conn = Some(Conn::Json { reader, writer });
+        if self.want_binary {
+            self.upgrade()?;
+        }
         Ok(())
     }
 
@@ -140,7 +292,12 @@ impl Client {
     /// # Errors
     /// Returns [`ClientError::Io`] if the socket rejects the setting.
     pub fn set_timeout(&mut self, timeout: Option<Duration>) -> Result<(), ClientError> {
-        let stream = self.reader.get_ref();
+        let stream = match self.conn_mut() {
+            Conn::Json { reader, .. } => reader.get_ref(),
+            // Reader and writer are clones of one socket; the options
+            // apply to both directions either way.
+            Conn::Binary { writer, .. } => writer,
+        };
         stream.set_read_timeout(timeout)?;
         stream.set_write_timeout(timeout)?;
         Ok(())
@@ -176,13 +333,13 @@ impl Client {
         self.recv_reply()
     }
 
-    /// Reads the next *reply* line, skipping unsolicited push lines
-    /// (protocol v6): a connection that carried a match subscription may
-    /// still have `Heartbeat` or `MatchEvent` lines in flight when the
-    /// caller returns to request/reply mode, and they must not be
-    /// mistaken for the answer to the request just sent. Streaming
-    /// consumers that *want* every line (the replication follower, the
-    /// watch loop) use [`Self::recv`] directly.
+    /// Reads the next *reply*, skipping unsolicited push lines (protocol
+    /// v6): a connection that carried a match subscription may still have
+    /// `Heartbeat` or `MatchEvent` pushes in flight when the caller
+    /// returns to request/reply mode, and they must not be mistaken for
+    /// the answer to the request just sent. Streaming consumers that
+    /// *want* every line (the replication follower, the watch loop) use
+    /// [`Self::recv`] directly.
     fn recv_reply(&mut self) -> Result<Reply, ClientError> {
         loop {
             match self.recv()? {
@@ -216,36 +373,221 @@ impl Client {
         self.call_once(request)
     }
 
-    /// Writes one request line without reading a reply. With
-    /// [`Self::recv`], this drives the protocol's streaming requests
-    /// (`FetchCheckpoint`, `Subscribe`), whose responses span many lines.
+    /// Writes one request without reading a reply. With [`Self::recv`],
+    /// this drives the protocol's streaming requests (`FetchCheckpoint`,
+    /// `Subscribe`), whose responses span many lines/frames.
     ///
     /// # Errors
     /// I/O, timeout, or encoding failures.
     pub fn send(&mut self, request: &Request) -> Result<(), ClientError> {
-        let mut line = serde_json::to_string(request)
-            .map_err(|e| ClientError::Protocol(format!("encode request: {e}")))?;
-        line.push('\n');
-        self.writer.write_all(line.as_bytes())?;
-        self.writer.flush()?;
-        Ok(())
+        self.send_inner(request).map(|_| ())
     }
 
-    /// Reads one response line. Pairs with [`Self::send`] to consume
-    /// streaming responses.
+    /// Sends a request and returns the id it was assigned (always
+    /// [`wire::PUSH_ID`] in JSON mode, where responses carry no ids).
+    fn send_inner(&mut self, request: &Request) -> Result<u64, ClientError> {
+        match self.conn_mut() {
+            Conn::Json { writer, .. } => {
+                let mut line = serde_json::to_string(request)
+                    .map_err(|e| ClientError::Protocol(format!("encode request: {e}")))?;
+                line.push('\n');
+                writer.write_all(line.as_bytes())?;
+                writer.flush()?;
+                Ok(wire::PUSH_ID)
+            }
+            Conn::Binary {
+                writer,
+                payload,
+                wbuf,
+                next_id,
+                ..
+            } => {
+                let id = *next_id;
+                *next_id += 1;
+                wire::encode_request(id, request, payload)
+                    .map_err(|e| ClientError::Protocol(format!("encode request: {e}")))?;
+                wbuf.clear();
+                rl_wire::encode_frame_into(wire::TAG_REQUEST, payload, wbuf);
+                writer.write_all(wbuf)?;
+                writer.flush()?;
+                Ok(id)
+            }
+        }
+    }
+
+    /// Reads one response. Pairs with [`Self::send`] to consume streaming
+    /// responses; in binary mode, WAL frames come back as
+    /// [`Reply::WalFrame`] just like on JSON, so stream consumers are
+    /// mode-agnostic.
     ///
     /// # Errors
     /// Returns [`ClientError::Server`] for typed rejections, otherwise
     /// I/O or protocol errors.
     pub fn recv(&mut self) -> Result<Reply, ClientError> {
-        let mut response_line = String::new();
-        let n = self.reader.read_line(&mut response_line)?;
-        if n == 0 {
-            return Err(ClientError::Protocol("server closed the connection".into()));
+        match self.conn_mut() {
+            Conn::Json { reader, .. } => {
+                let mut response_line = String::new();
+                let n = reader.read_line(&mut response_line)?;
+                if n == 0 {
+                    return Err(ClientError::Protocol("server closed the connection".into()));
+                }
+                let response: Response = serde_json::from_str(response_line.trim())
+                    .map_err(|e| ClientError::Protocol(format!("decode response: {e}")))?;
+                response.into_result().map_err(ClientError::Server)
+            }
+            Conn::Binary { frames, .. } => match read_bin_msg(frames)? {
+                BinMsg::Response(_, response) => {
+                    response.into_result().map_err(ClientError::Server)
+                }
+                BinMsg::Wal(seq, op) => Ok(Reply::WalFrame { seq, op }),
+                BinMsg::Chunk(_) => Err(ClientError::Protocol(
+                    "unexpected checkpoint chunk frame outside a transfer".into(),
+                )),
+            },
         }
-        let response: Response = serde_json::from_str(response_line.trim())
-            .map_err(|e| ClientError::Protocol(format!("decode response: {e}")))?;
-        response.into_result().map_err(ClientError::Server)
+    }
+
+    /// Probes many batches with up to `depth` requests in flight on this
+    /// connection (protocol v7). The serving path executes request *n*
+    /// while request *n+1* is still on the wire, so throughput is no
+    /// longer bounded by one round-trip per batch. Results come back in
+    /// `batches` order regardless of completion order (responses are
+    /// correlated by id). On a JSON connection this degrades to
+    /// sequential [`Self::probe`] calls.
+    ///
+    /// # Errors
+    /// The first typed server rejection (after all in-flight replies are
+    /// drained, so the connection stays usable), or I/O / timeout /
+    /// framing errors (after which the caller should reconnect).
+    pub fn probe_pipelined(
+        &mut self,
+        batches: &[Vec<Record>],
+        depth: usize,
+    ) -> Result<Vec<ProbeOutcome>, ClientError> {
+        let depth = depth.max(1);
+        if !self.is_binary() {
+            let mut results = Vec::with_capacity(batches.len());
+            for batch in batches {
+                results.push(self.probe(batch)?);
+            }
+            return Ok(results);
+        }
+        let mut results: Vec<Option<ProbeOutcome>> = Vec::new();
+        results.resize_with(batches.len(), || None);
+        let mut in_flight: HashMap<u64, usize> = HashMap::new();
+        let mut first_err: Option<ClientError> = None;
+        let mut next = 0;
+        while next < batches.len() || !in_flight.is_empty() {
+            while next < batches.len() && in_flight.len() < depth && first_err.is_none() {
+                let id = self.send_inner(&Request::Probe {
+                    records: batches[next].clone(),
+                })?;
+                in_flight.insert(id, next);
+                next += 1;
+            }
+            if in_flight.is_empty() {
+                break;
+            }
+            let Some(Conn::Binary { frames, .. }) = self.conn.as_mut() else {
+                unreachable!("checked binary above; mode never changes mid-call");
+            };
+            match read_bin_msg(frames)? {
+                BinMsg::Response(id, response) => {
+                    let Some(slot) = in_flight.remove(&id) else {
+                        // A push (heartbeat from an earlier subscription)
+                        // or a stale reply from an aborted pipeline run.
+                        continue;
+                    };
+                    match response.into_result() {
+                        Ok(Reply::Matches { pairs, stats }) => {
+                            results[slot] = Some((pairs, stats));
+                        }
+                        Ok(other) => {
+                            first_err.get_or_insert(unexpected("Matches", &other));
+                        }
+                        Err(e) => {
+                            first_err.get_or_insert(ClientError::Server(e));
+                        }
+                    }
+                }
+                BinMsg::Wal(..) | BinMsg::Chunk(..) => {
+                    return Err(ClientError::Protocol(
+                        "unexpected stream frame during pipelined probes".into(),
+                    ));
+                }
+            }
+        }
+        if let Some(e) = first_err {
+            return Err(e);
+        }
+        Ok(results
+            .into_iter()
+            .map(|slot| slot.expect("all ids drained"))
+            .collect())
+    }
+
+    /// Downloads the primary's checkpoint document as raw bytes:
+    /// `FetchCheckpoint`, the `CheckpointMeta` reply, then the chunk
+    /// stream — base64 JSON lines on protocol ≤6, raw `rl-wire` chunk
+    /// frames on v7 (no base64, no JSON: this is what makes a large
+    /// follower bootstrap fast). The caller parses/validates the bytes.
+    ///
+    /// # Errors
+    /// Typed server rejections, transfer truncation (as
+    /// [`ClientError::Protocol`]), or I/O / framing errors.
+    pub fn fetch_checkpoint_raw(&mut self) -> Result<Vec<u8>, ClientError> {
+        self.send(&Request::FetchCheckpoint)?;
+        let (len, chunks) = match self.recv_reply()? {
+            Reply::CheckpointMeta { len, chunks } => (len, chunks),
+            other => return Err(unexpected("CheckpointMeta", &other)),
+        };
+        let mut bytes: Vec<u8> = Vec::with_capacity(len as usize);
+        if self.is_binary() {
+            for expected in 0..chunks {
+                let Some(Conn::Binary { frames, .. }) = self.conn.as_mut() else {
+                    unreachable!("checked binary above; mode never changes mid-call");
+                };
+                match read_bin_msg(frames)? {
+                    BinMsg::Chunk(data) => bytes.extend_from_slice(&data),
+                    BinMsg::Response(_, response) => {
+                        let reply = response.into_result().map_err(ClientError::Server)?;
+                        return Err(ClientError::Protocol(format!(
+                            "expected chunk frame {expected}, got {reply:?}"
+                        )));
+                    }
+                    BinMsg::Wal(..) => {
+                        return Err(ClientError::Protocol(format!(
+                            "expected chunk frame {expected}, got a WAL frame"
+                        )));
+                    }
+                }
+            }
+        } else {
+            for expected in 0..chunks {
+                match self.recv()? {
+                    Reply::CheckpointChunk { index, data } => {
+                        if index != expected {
+                            return Err(ClientError::Protocol(format!(
+                                "checkpoint chunk {index} arrived, expected {expected}"
+                            )));
+                        }
+                        bytes.extend(
+                            crate::repl::b64::decode(&data).map_err(|e| {
+                                ClientError::Protocol(format!("chunk {index}: {e}"))
+                            })?,
+                        );
+                    }
+                    other => return Err(unexpected("CheckpointChunk", &other)),
+                }
+            }
+        }
+        if bytes.len() as u64 != len {
+            return Err(ClientError::Protocol(format!(
+                "checkpoint transfer truncated: got {} of {len} bytes",
+                bytes.len()
+            )));
+        }
+        Ok(bytes)
     }
 
     /// Indexes records into data set A. Returns `(accepted, total_indexed)`.
@@ -487,6 +829,31 @@ impl Client {
     }
 }
 
+/// Reads and decodes one frame, detaching it from the reader's buffer.
+/// CRC failures, framing garbage, and a mid-frame close all surface as
+/// [`ClientError::FrameCorrupt`] — a corrupt length prefix could point
+/// anywhere, so the stream has no resync point and must be reconnected.
+fn read_bin_msg(frames: &mut FrameReader<Box<dyn Read + Send>>) -> Result<BinMsg, ClientError> {
+    match frames.read_frame() {
+        Ok(Some((wire::TAG_RESPONSE, payload))) => {
+            let (id, response) = wire::decode_response(payload)
+                .map_err(|e| ClientError::Protocol(format!("decode response: {e}")))?;
+            Ok(BinMsg::Response(id, response))
+        }
+        Ok(Some((wire::TAG_WAL, payload))) => {
+            let (seq, op) = wire::decode_wal(payload)
+                .map_err(|e| ClientError::Protocol(format!("decode wal frame: {e}")))?;
+            Ok(BinMsg::Wal(seq, op))
+        }
+        Ok(Some((wire::TAG_CHUNK, payload))) => Ok(BinMsg::Chunk(payload.to_vec())),
+        Ok(Some((tag, _))) => Err(ClientError::Protocol(format!("unexpected frame tag {tag}"))),
+        Ok(None) => Err(ClientError::Protocol("server closed the connection".into())),
+        Err(e) if e.is_would_block() => Err(ClientError::Timeout),
+        Err(WireError::Io(e)) => Err(ClientError::Io(e)),
+        Err(e) => Err(ClientError::FrameCorrupt(e.to_string())),
+    }
+}
+
 /// One line of a match-subscription stream, as seen by
 /// [`Client::next_watch_event`].
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -550,8 +917,8 @@ fn is_idempotent_read(request: &Request) -> bool {
 }
 
 /// Failures worth one reconnect-and-retry: the server never answered
-/// (timeout), the connection dropped mid-exchange, or it was closed
-/// before the reply line arrived.
+/// (timeout), the connection dropped mid-exchange (cleanly, mid-line, or
+/// mid-frame), or it was closed before the reply arrived.
 fn is_transient(error: &ClientError) -> bool {
     match error {
         ClientError::Timeout => true,
@@ -564,6 +931,7 @@ fn is_transient(error: &ClientError) -> bool {
                 | ErrorKind::NotConnected
         ),
         ClientError::Protocol(msg) => msg == "server closed the connection",
+        ClientError::FrameCorrupt(_) => true,
         ClientError::Server(_) => false,
     }
 }

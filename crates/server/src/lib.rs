@@ -70,6 +70,8 @@
 pub mod client;
 pub mod metrics;
 pub mod protocol;
+#[cfg(target_os = "linux")]
+pub(crate) mod reactor;
 pub mod repl;
 pub mod server;
 pub mod snapshot;
@@ -79,7 +81,7 @@ pub use client::{Client, ClientError, WatchEvent};
 pub use metrics::{ReqType, ServerMetrics};
 pub use protocol::{
     ErrorCode, ReplStatusReply, Reply, Request, RequestError, Response, StatsReply,
-    PROTOCOL_VERSION,
+    FIRST_BINARY_VERSION, PROTOCOL_VERSION,
 };
 pub use repl::{ApplyError, ReplRole, ReplState};
 pub use server::{DurabilityConfig, ReplHandle, Server, ServerConfig};

@@ -54,10 +54,13 @@ pub enum ReqType {
     SubscribeMatches,
     /// `Unsubscribe` requests (protocol v6).
     Unsubscribe,
+    /// `Upgrade` requests (protocol v7 binary-wire negotiation; handled
+    /// inline on the connection, so no queue-wait/exec samples).
+    Upgrade,
 }
 
 /// All request types, in the order used for per-type metric arrays.
-pub const REQ_TYPES: [ReqType; 16] = [
+pub const REQ_TYPES: [ReqType; 17] = [
     ReqType::Index,
     ReqType::Probe,
     ReqType::Stream,
@@ -74,6 +77,7 @@ pub const REQ_TYPES: [ReqType; 16] = [
     ReqType::Promote,
     ReqType::SubscribeMatches,
     ReqType::Unsubscribe,
+    ReqType::Upgrade,
 ];
 
 impl ReqType {
@@ -96,6 +100,7 @@ impl ReqType {
             ReqType::Promote => "promote",
             ReqType::SubscribeMatches => "subscribe_matches",
             ReqType::Unsubscribe => "unsubscribe",
+            ReqType::Upgrade => "upgrade",
         }
     }
 
@@ -118,6 +123,7 @@ impl ReqType {
             Request::Promote => ReqType::Promote,
             Request::SubscribeMatches { .. } => ReqType::SubscribeMatches,
             Request::Unsubscribe { .. } => ReqType::Unsubscribe,
+            Request::Upgrade { .. } => ReqType::Upgrade,
         }
     }
 

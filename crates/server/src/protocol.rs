@@ -1,10 +1,19 @@
-//! The wire protocol: newline-delimited JSON over TCP.
+//! The wire protocol: newline-delimited JSON over TCP, upgradable to
+//! binary frames.
 //!
-//! Every request is one JSON object on one line; the server answers with
-//! exactly one JSON object on one line. Requests are externally tagged by
-//! command name (`{"Probe": {...}}`); responses are an envelope with an
-//! `ok` discriminator so clients can branch before deserializing the
-//! payload. See `docs/SERVER.md` for the full reference with examples.
+//! Every connection starts in JSON mode: one JSON object per line,
+//! answered with exactly one JSON object on one line. Requests are
+//! externally tagged by command name (`{"Probe": {...}}`); responses are
+//! an envelope with an `ok` discriminator so clients can branch before
+//! deserializing the payload.
+//!
+//! Protocol v7 adds an in-band upgrade: a client sends
+//! [`Request::Upgrade`] as a normal JSON line; a v7 server answers
+//! [`Reply::Upgraded`] and both sides switch to `rl-wire` binary frames
+//! (see [`wire`] for the frame tags and payload envelopes). A pre-v7
+//! server answers the unknown verb with a `Parse` error, and the client
+//! simply stays on JSON — graceful both ways. See `docs/WIRE.md` for the
+//! framing and `docs/SERVER.md` for the full request reference.
 
 use cbv_hb::blocking::StructureStats;
 use cbv_hb::matcher::MatchStats;
@@ -30,8 +39,18 @@ use serde::{Deserialize, Serialize};
 /// heartbeats, terminated by [`Reply::SubscriptionLagged`] when the
 /// subscriber falls behind its bounded event queue), `Unsubscribe`, and
 /// the `Subscribed` / `MatchEvent` / `SubscriptionLagged` /
-/// `Unsubscribed` replies.
-pub const PROTOCOL_VERSION: u32 = 6;
+/// `Unsubscribed` replies. Version 7 added the binary wire upgrade: the
+/// `Upgrade` request and `Upgraded` reply negotiate a switch from JSON
+/// lines to length-prefixed, CRC-checked `rl-wire` frames carrying
+/// id-correlated request/response envelopes (enabling pipelining — many
+/// requests in flight per connection), raw checkpoint chunk frames, and
+/// binary WAL frames; the JSON protocol is unchanged and remains the
+/// first-line negotiation surface, so v6 clients and servers interoperate.
+pub const PROTOCOL_VERSION: u32 = 7;
+
+/// The first protocol version that speaks `rl-wire` binary frames. An
+/// `Upgraded` answer below this stays on JSON.
+pub const FIRST_BINARY_VERSION: u32 = 7;
 
 /// A client request.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -110,6 +129,18 @@ pub enum Request {
     Unsubscribe {
         /// The id from [`Reply::Subscribed`].
         sub_id: u64,
+    },
+    /// Negotiates the binary wire upgrade (protocol v7). Sent as a JSON
+    /// line; a v7 server replies [`Reply::Upgraded`] and **both sides
+    /// switch to `rl-wire` binary frames immediately after that
+    /// exchange**. `max_version` is the highest protocol version the
+    /// client speaks; the server answers with `min(max_version, own)`,
+    /// and only an answer ≥ 7 switches the connection. A pre-v7 server
+    /// rejects the unknown verb with a `Parse` error, which clients
+    /// treat as "stay on JSON".
+    Upgrade {
+        /// Highest protocol version the client supports.
+        max_version: u32,
     },
     /// Stop accepting connections, drain queued requests, and exit.
     Shutdown,
@@ -347,6 +378,13 @@ pub enum Reply {
         /// False when the id named no live subscription.
         removed: bool,
     },
+    /// Response to `Upgrade` (protocol v7): the negotiated protocol
+    /// version. When it is ≥ 7 both sides switch to binary frames right
+    /// after this line; otherwise the connection stays on JSON.
+    Upgraded {
+        /// `min(client max_version, server version)`.
+        version: u32,
+    },
     /// Response to `Shutdown`.
     ShuttingDown,
 }
@@ -420,6 +458,306 @@ impl Response {
     }
 }
 
+/// Binary envelopes for protocol v7 (after the [`Request::Upgrade`]
+/// handshake). Each `rl-wire` frame carries one of these payloads,
+/// discriminated by the frame tag:
+///
+/// - [`TAG_REQUEST`] / [`TAG_RESPONSE`] — `request id: u64 LE` followed
+///   by the JSON-encoded [`Request`] / [`Response`]. The id correlates
+///   pipelined requests with their (possibly out-of-order) responses;
+///   id `0` marks unsolicited pushes (heartbeats, match events, stream
+///   lines), which never collide because clients allocate ids from 1.
+/// - [`TAG_WAL`] — `global op seq: u64 LE` followed by the binary
+///   [`rl_store::WalOp`] encoding (the same one v2 WAL segments store).
+/// - [`TAG_CHUNK`] — raw checkpoint bytes, no envelope: chunks arrive in
+///   order after a `CheckpointMeta` response, without the base64 + JSON
+///   overhead of the v5 transfer.
+pub mod wire {
+    use super::{Reply, Request, Response};
+    use cbv_hb::matcher::MatchStats;
+    use cbv_hb::Record;
+
+    /// Frame tag: an id-enveloped [`Request`].
+    pub const TAG_REQUEST: u8 = 1;
+    /// Frame tag: an id-enveloped [`Response`].
+    pub const TAG_RESPONSE: u8 = 2;
+    /// Frame tag: a replicated WAL frame (`seq` + binary op).
+    pub const TAG_WAL: u8 = 3;
+    /// Frame tag: raw checkpoint bytes.
+    pub const TAG_CHUNK: u8 = 4;
+
+    /// Request id marking unsolicited (server-pushed) responses.
+    pub const PUSH_ID: u64 = 0;
+
+    // The body format byte after the 8-byte request id. Hot-path
+    // variants get a fixed-width binary body so probe throughput is not
+    // bounded by JSON serialization; every other variant carries its
+    // JSON encoding behind `BODY_JSON`. Both sides of a v7 connection
+    // speak this module, so the set of binary bodies can grow without a
+    // protocol bump — unknown formats are a decode error, not a
+    // misparse.
+    const BODY_JSON: u8 = 0;
+    // Request bodies.
+    const BODY_PROBE: u8 = 1;
+    const BODY_INDEX: u8 = 2;
+    const BODY_INSERT: u8 = 3;
+    const BODY_STREAM: u8 = 4;
+    // Response bodies.
+    const BODY_MATCHES: u8 = 1;
+    const BODY_INDEXED: u8 = 2;
+    const BODY_OBSERVED: u8 = 3;
+
+    /// Encodes `id` + body into `payload` (cleared first). `Probe`,
+    /// `Index`, `Insert`, and `Stream` bodies are binary; the rest JSON.
+    ///
+    /// # Errors
+    /// Serialization failure, as a message.
+    pub fn encode_request(id: u64, req: &Request, payload: &mut Vec<u8>) -> Result<(), String> {
+        payload.clear();
+        payload.extend_from_slice(&id.to_le_bytes());
+        match req {
+            Request::Probe { records } => encode_records(BODY_PROBE, records, payload),
+            Request::Index { records } => encode_records(BODY_INDEX, records, payload),
+            Request::Insert { records } => encode_records(BODY_INSERT, records, payload),
+            Request::Stream { record } => {
+                encode_records(BODY_STREAM, std::slice::from_ref(record), payload);
+            }
+            other => {
+                payload.push(BODY_JSON);
+                let json = serde_json::to_string(other).map_err(|e| e.to_string())?;
+                payload.extend_from_slice(json.as_bytes());
+            }
+        }
+        Ok(())
+    }
+
+    /// Encodes `id` + body into `payload` (cleared first). `Matches`,
+    /// `Indexed`, and `Observed` replies are binary; the rest JSON.
+    ///
+    /// # Errors
+    /// Serialization failure, as a message.
+    pub fn encode_response(id: u64, resp: &Response, payload: &mut Vec<u8>) -> Result<(), String> {
+        payload.clear();
+        payload.extend_from_slice(&id.to_le_bytes());
+        match resp {
+            Response::Ok(Reply::Matches { pairs, stats }) => {
+                payload.push(BODY_MATCHES);
+                payload.extend_from_slice(&(pairs.len() as u32).to_le_bytes());
+                for (a, b) in pairs {
+                    payload.extend_from_slice(&a.to_le_bytes());
+                    payload.extend_from_slice(&b.to_le_bytes());
+                }
+                payload.extend_from_slice(&stats.candidates.to_le_bytes());
+                payload.extend_from_slice(&stats.distance_computations.to_le_bytes());
+                payload.extend_from_slice(&stats.matched.to_le_bytes());
+            }
+            Response::Ok(Reply::Indexed {
+                accepted,
+                total_indexed,
+            }) => {
+                payload.push(BODY_INDEXED);
+                payload.extend_from_slice(&(*accepted as u64).to_le_bytes());
+                payload.extend_from_slice(&(*total_indexed as u64).to_le_bytes());
+            }
+            Response::Ok(Reply::Observed { matches }) => {
+                payload.push(BODY_OBSERVED);
+                payload.extend_from_slice(&(matches.len() as u32).to_le_bytes());
+                for id in matches {
+                    payload.extend_from_slice(&id.to_le_bytes());
+                }
+            }
+            other => {
+                payload.push(BODY_JSON);
+                let json = serde_json::to_string(other).map_err(|e| e.to_string())?;
+                payload.extend_from_slice(json.as_bytes());
+            }
+        }
+        Ok(())
+    }
+
+    /// Decodes a [`TAG_REQUEST`] payload.
+    ///
+    /// # Errors
+    /// A description of the malformation.
+    pub fn decode_request(payload: &[u8]) -> Result<(u64, Request), String> {
+        let (id, format, body) = split_envelope(payload)?;
+        let req = match format {
+            BODY_JSON => serde_json::from_slice::<Request>(body).map_err(|e| e.to_string())?,
+            BODY_PROBE => Request::Probe {
+                records: decode_records(body)?,
+            },
+            BODY_INDEX => Request::Index {
+                records: decode_records(body)?,
+            },
+            BODY_INSERT => Request::Insert {
+                records: decode_records(body)?,
+            },
+            BODY_STREAM => {
+                let mut records = decode_records(body)?;
+                if records.len() != 1 {
+                    return Err(format!("stream body has {} records", records.len()));
+                }
+                Request::Stream {
+                    record: records.pop().expect("checked length"),
+                }
+            }
+            other => return Err(format!("unknown request body format {other}")),
+        };
+        Ok((id, req))
+    }
+
+    /// Decodes a [`TAG_RESPONSE`] payload.
+    ///
+    /// # Errors
+    /// A description of the malformation.
+    pub fn decode_response(payload: &[u8]) -> Result<(u64, Response), String> {
+        let (id, format, body) = split_envelope(payload)?;
+        let resp = match format {
+            BODY_JSON => serde_json::from_slice::<Response>(body).map_err(|e| e.to_string())?,
+            BODY_MATCHES => {
+                let mut cur = Cursor(body);
+                let n = cur.u32()? as usize;
+                let mut pairs = Vec::with_capacity(n.min(1 << 20));
+                for _ in 0..n {
+                    pairs.push((cur.u64()?, cur.u64()?));
+                }
+                let stats = MatchStats {
+                    candidates: cur.u64()?,
+                    distance_computations: cur.u64()?,
+                    matched: cur.u64()?,
+                };
+                cur.finish()?;
+                Response::Ok(Reply::Matches { pairs, stats })
+            }
+            BODY_INDEXED => {
+                let mut cur = Cursor(body);
+                let accepted = cur.u64()? as usize;
+                let total_indexed = cur.u64()? as usize;
+                cur.finish()?;
+                Response::Ok(Reply::Indexed {
+                    accepted,
+                    total_indexed,
+                })
+            }
+            BODY_OBSERVED => {
+                let mut cur = Cursor(body);
+                let n = cur.u32()? as usize;
+                let mut matches = Vec::with_capacity(n.min(1 << 20));
+                for _ in 0..n {
+                    matches.push(cur.u64()?);
+                }
+                cur.finish()?;
+                Response::Ok(Reply::Observed { matches })
+            }
+            other => return Err(format!("unknown response body format {other}")),
+        };
+        Ok((id, resp))
+    }
+
+    /// `format byte | count u32 LE | records`, each record
+    /// `id u64 LE | nfields u16 LE | (len u32 LE | utf-8 bytes)*` —
+    /// the same record shape the binary WAL uses.
+    fn encode_records(format: u8, records: &[Record], out: &mut Vec<u8>) {
+        out.push(format);
+        out.extend_from_slice(&(records.len() as u32).to_le_bytes());
+        for rec in records {
+            out.extend_from_slice(&rec.id.to_le_bytes());
+            out.extend_from_slice(&(rec.fields.len() as u16).to_le_bytes());
+            for field in &rec.fields {
+                out.extend_from_slice(&(field.len() as u32).to_le_bytes());
+                out.extend_from_slice(field.as_bytes());
+            }
+        }
+    }
+
+    fn decode_records(body: &[u8]) -> Result<Vec<Record>, String> {
+        let mut cur = Cursor(body);
+        let n = cur.u32()? as usize;
+        let mut records = Vec::with_capacity(n.min(1 << 20));
+        for _ in 0..n {
+            let id = cur.u64()?;
+            let nfields = cur.u16()? as usize;
+            let mut fields = Vec::with_capacity(nfields.min(1024));
+            for _ in 0..nfields {
+                let len = cur.u32()? as usize;
+                let raw = cur.take(len)?;
+                let s = std::str::from_utf8(raw).map_err(|e| format!("field not utf-8: {e}"))?;
+                fields.push(s.to_string());
+            }
+            records.push(Record { id, fields });
+        }
+        cur.finish()?;
+        Ok(records)
+    }
+
+    /// A bounds-checked little-endian reader over a body slice.
+    struct Cursor<'a>(&'a [u8]);
+
+    impl<'a> Cursor<'a> {
+        fn take(&mut self, n: usize) -> Result<&'a [u8], String> {
+            if self.0.len() < n {
+                return Err(format!(
+                    "body truncated: need {n} bytes, have {}",
+                    self.0.len()
+                ));
+            }
+            let (head, rest) = self.0.split_at(n);
+            self.0 = rest;
+            Ok(head)
+        }
+        fn u16(&mut self) -> Result<u16, String> {
+            Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+        }
+        fn u32(&mut self) -> Result<u32, String> {
+            Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+        }
+        fn u64(&mut self) -> Result<u64, String> {
+            Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+        }
+        fn finish(&self) -> Result<(), String> {
+            if self.0.is_empty() {
+                Ok(())
+            } else {
+                Err(format!("{} trailing bytes after body", self.0.len()))
+            }
+        }
+    }
+
+    /// Encodes a [`TAG_WAL`] payload into `payload` (cleared first).
+    pub fn encode_wal(seq: u64, op: &rl_store::WalOp, payload: &mut Vec<u8>) {
+        payload.clear();
+        payload.extend_from_slice(&seq.to_le_bytes());
+        op.encode_bin(payload);
+    }
+
+    /// Decodes a [`TAG_WAL`] payload.
+    ///
+    /// # Errors
+    /// A description of the malformation.
+    pub fn decode_wal(payload: &[u8]) -> Result<(u64, rl_store::WalOp), String> {
+        let (seq, body) = split_id(payload)?;
+        let op = rl_store::WalOp::decode_bin(body)?;
+        Ok((seq, op))
+    }
+
+    fn split_id(payload: &[u8]) -> Result<(u64, &[u8]), String> {
+        if payload.len() < 8 {
+            return Err(format!("envelope too short: {} bytes", payload.len()));
+        }
+        let id = u64::from_le_bytes(payload[..8].try_into().unwrap());
+        Ok((id, &payload[8..]))
+    }
+
+    /// Splits `id | format byte | body` for request/response payloads.
+    fn split_envelope(payload: &[u8]) -> Result<(u64, u8, &[u8]), String> {
+        let (id, rest) = split_id(payload)?;
+        let Some((&format, body)) = rest.split_first() else {
+            return Err("envelope missing body format byte".into());
+        };
+        Ok((id, format, body))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -462,6 +800,7 @@ mod tests {
                 cap: 0,
             },
             Request::Unsubscribe { sub_id: 7 },
+            Request::Upgrade { max_version: 7 },
             Request::Shutdown,
         ];
         for req in reqs {
@@ -528,6 +867,7 @@ mod tests {
             }),
             Response::Ok(Reply::SubscriptionLagged { dropped: 12 }),
             Response::Ok(Reply::Unsubscribed { removed: true }),
+            Response::Ok(Reply::Upgraded { version: 7 }),
             Response::Err(
                 RequestError::new(ErrorCode::NotPrimary, "read-only follower")
                     .with_primary("127.0.0.1:7001"),
@@ -537,6 +877,96 @@ mod tests {
             let line = serde_json::to_string(&resp).unwrap();
             let back: Response = serde_json::from_str(&line).unwrap();
             assert_eq!(back, resp);
+        }
+    }
+
+    #[test]
+    fn wire_envelopes_roundtrip() {
+        let mut payload = Vec::new();
+        let req = Request::Probe {
+            records: vec![Record::new(5, ["A", "B"])],
+        };
+        wire::encode_request(42, &req, &mut payload).unwrap();
+        assert_eq!(wire::decode_request(&payload).unwrap(), (42, req));
+
+        let resp = Response::Ok(Reply::Upgraded { version: 7 });
+        wire::encode_response(wire::PUSH_ID, &resp, &mut payload).unwrap();
+        assert_eq!(wire::decode_response(&payload).unwrap(), (0, resp));
+
+        let op = rl_store::WalOp::Insert(Record::new(9, ["X", "Y"]));
+        wire::encode_wal(1234, &op, &mut payload);
+        assert_eq!(wire::decode_wal(&payload).unwrap(), (1234, op));
+
+        assert!(wire::decode_request(&[1, 2, 3]).is_err(), "short envelope");
+        assert!(
+            wire::decode_response(&payload).is_err(),
+            "wal payload is not a response"
+        );
+    }
+
+    #[test]
+    fn wire_binary_bodies_roundtrip() {
+        // Every hot-path variant takes the binary body; a JSON-only
+        // variant rides the fallback. Either way decode inverts encode.
+        let reqs = [
+            Request::Probe {
+                records: vec![Record::new(1, ["JOHN", "SMITH"]), Record::new(2, ["", "Ω"])],
+            },
+            Request::Probe { records: vec![] },
+            Request::Index {
+                records: vec![Record::new(3, ["MARY", "JONES"])],
+            },
+            Request::Insert {
+                records: vec![Record::new(4, ["ANNA", "LEE"])],
+            },
+            Request::Stream {
+                record: Record::new(5, ["SAM", "ODD"]),
+            },
+            Request::Stats,
+            Request::Delete { ids: vec![1, 2] },
+        ];
+        let mut payload = Vec::new();
+        for req in reqs {
+            wire::encode_request(7, &req, &mut payload).unwrap();
+            assert_eq!(wire::decode_request(&payload).unwrap(), (7, req));
+        }
+        let resps = [
+            Response::Ok(Reply::Matches {
+                pairs: vec![(1, 10), (2, 20)],
+                stats: MatchStats {
+                    candidates: 5,
+                    distance_computations: 5,
+                    matched: 2,
+                },
+            }),
+            Response::Ok(Reply::Matches {
+                pairs: vec![],
+                stats: MatchStats::default(),
+            }),
+            Response::Ok(Reply::Indexed {
+                accepted: 3,
+                total_indexed: 99,
+            }),
+            Response::Ok(Reply::Observed {
+                matches: vec![4, 5, 6],
+            }),
+            Response::Err(RequestError::new(ErrorCode::Linkage, "bad arity")),
+        ];
+        for resp in resps {
+            wire::encode_response(9, &resp, &mut payload).unwrap();
+            assert_eq!(wire::decode_response(&payload).unwrap(), (9, resp));
+        }
+        // Truncated binary bodies are a decode error, never a misparse.
+        wire::encode_request(
+            7,
+            &Request::Probe {
+                records: vec![Record::new(1, ["JOHN", "SMITH"])],
+            },
+            &mut payload,
+        )
+        .unwrap();
+        for cut in 9..payload.len() {
+            assert!(wire::decode_request(&payload[..cut]).is_err(), "cut {cut}");
         }
     }
 

@@ -1,0 +1,570 @@
+//! The readiness-driven connection reactor (Linux, protocol v7).
+//!
+//! One thread owns every request/reply connection: a `poll(2)` loop over
+//! the listener, a self-pipe waker, and all live sockets. Connections
+//! cost a buffer each, not a thread each, and a binary (protocol v7)
+//! connection may have many requests in flight at once — the reactor
+//! keeps parsing frames while workers execute earlier ones, and workers
+//! push each response into the connection's outbox as it completes
+//! (correlated by request id, so out-of-order completion is fine).
+//!
+//! JSON-mode (protocol ≤6) connections have no request ids, so their
+//! responses must arrive in request order: the reactor parses at most one
+//! request at a time per JSON connection (`in_flight` gate). That matches
+//! the old thread-per-connection behaviour exactly.
+//!
+//! Streaming verbs (`FetchCheckpoint`, `Subscribe`, `SubscribeMatches`)
+//! are long-lived and blocking by design; the reactor *detaches* such a
+//! connection — flushes its outbox, flips the socket back to blocking,
+//! and hands it (plus any already-read bytes) to a dedicated thread
+//! running the classic loop. The reactor never blocks on anyone.
+//!
+//! Pinned behaviours preserved from the thread-per-connection loop:
+//! partial requests ride in the connection buffer until complete; a
+//! trailing JSON request without a final newline is answered at EOF; a
+//! `Shutdown` ack is written and then the connection closes; a full job
+//! queue answers typed `Backpressure` immediately; shutdown finishes
+//! in-flight requests and flushes outboxes before closing.
+
+use crate::metrics::ReqType;
+use crate::protocol::{wire, ErrorCode, Reply, Request, RequestError, Response};
+use crate::server::{
+    begin_shutdown, is_streaming, negotiate_upgrade, serve_detached, Completion, ConnShared, Inner,
+    Job,
+};
+use crossbeam::channel::{Sender, TrySendError};
+use std::io::{ErrorKind, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::os::raw::{c_int, c_short, c_ulong};
+use std::os::unix::io::AsRawFd;
+use std::os::unix::net::UnixStream;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+#[repr(C)]
+struct PollFd {
+    fd: c_int,
+    events: c_short,
+    revents: c_short,
+}
+
+const POLLIN: c_short = 0x001;
+const POLLOUT: c_short = 0x004;
+const POLLERR: c_short = 0x008;
+const POLLHUP: c_short = 0x010;
+
+extern "C" {
+    fn poll(fds: *mut PollFd, nfds: c_ulong, timeout: c_int) -> c_int;
+}
+
+/// Poll timeout: the cadence at which the reactor re-checks the shutdown
+/// flag even with no socket activity (the waker usually wakes it first).
+const POLL_TIMEOUT_MS: c_int = 100;
+
+/// Stop parsing new requests from a connection holding this many
+/// unparsed buffered bytes; reading resumes once the backlog drains.
+/// Bounds memory against a client that floods pipelined requests faster
+/// than the workers drain them.
+const MAX_UNPARSED: usize = 4 * 1024 * 1024;
+
+/// How long shutdown waits for in-flight responses to flush before
+/// force-closing connections (mirrors the streaming write timeout).
+const SHUTDOWN_DRAIN: Duration = Duration::from_secs(10);
+
+/// What connection parsing decided beyond ordinary dispatch.
+enum Parsed {
+    /// Keep the connection in the reactor.
+    Keep,
+    /// Unrecoverable framing/socket state: drop the connection.
+    Close,
+    /// Hand the connection to a dedicated blocking thread to serve this
+    /// streaming request (id is the originating request id in binary
+    /// mode, [`wire::PUSH_ID`] for JSON).
+    Detach(Request, u64),
+}
+
+struct Conn {
+    stream: TcpStream,
+    shared: Arc<ConnShared>,
+    /// Bytes read but not yet parsed; `rpos` is the consumed prefix.
+    rbuf: Vec<u8>,
+    rpos: usize,
+    binary: bool,
+    /// Peer closed its write half; serve what's buffered, then close.
+    eof: bool,
+    /// Stop parsing (Shutdown ack sent); close once drained.
+    closing: bool,
+    dead: bool,
+}
+
+impl Conn {
+    fn unparsed(&self) -> usize {
+        self.rbuf.len() - self.rpos
+    }
+
+    fn in_flight(&self) -> usize {
+        self.shared.in_flight.load(Ordering::SeqCst)
+    }
+
+    fn outbox_empty(&self) -> bool {
+        self.shared.outbox.lock().is_empty()
+    }
+
+    /// Drained and finished: nothing buffered in, nothing pending out.
+    fn done(&self) -> bool {
+        (self.eof || self.closing) && self.in_flight() == 0 && self.outbox_empty()
+    }
+
+    fn push(&self, id: u64, response: &Response) {
+        self.shared.push_response(id, self.binary, response);
+    }
+}
+
+/// Runs the reactor until shutdown. Takes over the accept loop's role.
+pub(crate) fn run(inner: &Arc<Inner>, listener: TcpListener, job_tx: &Sender<Job>) {
+    if listener.set_nonblocking(true).is_err() {
+        // Fall back to the classic loop rather than serving nothing.
+        crate::server::accept_loop(inner, &listener, job_tx);
+        return;
+    }
+    let Ok((wake_rx, wake_tx)) = UnixStream::pair() else {
+        crate::server::accept_loop(inner, &listener, job_tx);
+        return;
+    };
+    let _ = wake_rx.set_nonblocking(true);
+    let _ = wake_tx.set_nonblocking(true);
+    let wake_tx = Arc::new(wake_tx);
+
+    let mut conns: Vec<Conn> = Vec::new();
+    let mut pollfds: Vec<PollFd> = Vec::new();
+    let mut scratch = vec![0u8; 64 * 1024];
+    let mut drain_deadline: Option<Instant> = None;
+
+    loop {
+        let shutting = inner.shutdown.load(Ordering::SeqCst);
+        conns.retain(|c| !c.dead && !c.done());
+        if shutting {
+            if conns.is_empty() {
+                return;
+            }
+            // In-flight requests always run to completion (matching the
+            // blocking loop, which waited on the worker however long it
+            // took); the drain deadline only bounds how long we wait for
+            // peers to *read* their already-computed responses.
+            if conns.iter().all(|c| c.in_flight() == 0) {
+                let deadline =
+                    *drain_deadline.get_or_insert_with(|| Instant::now() + SHUTDOWN_DRAIN);
+                if Instant::now() >= deadline {
+                    return;
+                }
+            } else {
+                drain_deadline = None;
+            }
+        }
+
+        // fds: [0] listener (while accepting), [1] waker, then conns.
+        pollfds.clear();
+        pollfds.push(PollFd {
+            fd: listener.as_raw_fd(),
+            events: if shutting { 0 } else { POLLIN },
+            revents: 0,
+        });
+        pollfds.push(PollFd {
+            fd: wake_rx.as_raw_fd(),
+            events: POLLIN,
+            revents: 0,
+        });
+        for conn in &conns {
+            let mut events = 0;
+            if !conn.eof && !conn.closing && conn.unparsed() < MAX_UNPARSED {
+                events |= POLLIN;
+            }
+            if !conn.outbox_empty() {
+                events |= POLLOUT;
+            }
+            pollfds.push(PollFd {
+                fd: conn.stream.as_raw_fd(),
+                events,
+                revents: 0,
+            });
+        }
+        let rc = unsafe {
+            poll(
+                pollfds.as_mut_ptr(),
+                pollfds.len() as c_ulong,
+                POLL_TIMEOUT_MS,
+            )
+        };
+        if rc < 0 {
+            let err = std::io::Error::last_os_error();
+            if err.kind() != ErrorKind::Interrupted {
+                eprintln!("rl-server: reactor poll failed: {err}");
+                return;
+            }
+            continue;
+        }
+
+        // Drain the waker (workers poke it once per completed response).
+        if pollfds[1].revents & POLLIN != 0 {
+            while matches!((&wake_rx).read(&mut scratch[..256]), Ok(n) if n > 0) {}
+        }
+
+        // Accept everything pending.
+        if !shutting && pollfds[0].revents & POLLIN != 0 {
+            loop {
+                match listener.accept() {
+                    Ok((stream, _)) => {
+                        if stream.set_nonblocking(true).is_err() {
+                            continue;
+                        }
+                        stream.set_nodelay(true).ok();
+                        let tx = Arc::clone(&wake_tx);
+                        let shared = Arc::new(ConnShared::new(Box::new(move || {
+                            let _ = (&*tx).write(&[1]);
+                        })));
+                        conns.push(Conn {
+                            stream,
+                            shared,
+                            rbuf: Vec::new(),
+                            rpos: 0,
+                            binary: false,
+                            eof: false,
+                            closing: false,
+                            dead: false,
+                        });
+                    }
+                    Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                    Err(_) => break,
+                }
+            }
+        }
+
+        // Read, parse/dispatch, and flush each connection. Parsing runs
+        // every iteration (not only on POLLIN): a worker completion can
+        // lift the in-flight gate with no new socket bytes.
+        let mut detached: Vec<(usize, Request, u64)> = Vec::new();
+        for (i, conn) in conns.iter_mut().enumerate() {
+            let revents = pollfds.get(2 + i).map(|p| p.revents).unwrap_or(0);
+            if revents & (POLLERR | POLLHUP) != 0 {
+                // Half-closed peers still get their pending responses;
+                // POLLHUP with unread data keeps POLLIN set too, so only
+                // treat it as EOF, not instant death.
+                conn.eof = true;
+            }
+            if revents & POLLIN != 0 {
+                read_into(conn, &mut scratch);
+            }
+            if conn.dead {
+                continue;
+            }
+            // Parsing continues during shutdown drain: handle_request
+            // answers new work with a typed ShuttingDown error.
+            if !conn.closing {
+                match parse_and_dispatch(inner, job_tx, conn) {
+                    Parsed::Keep => {}
+                    Parsed::Close => conn.dead = true,
+                    Parsed::Detach(request, id) => {
+                        detached.push((i, request, id));
+                        continue;
+                    }
+                }
+            }
+            flush_outbox(conn);
+        }
+
+        // Detach streaming connections (highest index first so removal
+        // doesn't shift earlier ones).
+        detached.sort_by_key(|d| std::cmp::Reverse(d.0));
+        for (i, request, id) in detached {
+            let conn = conns.remove(i);
+            detach(inner, job_tx, conn, request, id);
+        }
+    }
+}
+
+/// Nonblocking read into the connection buffer; flags EOF and errors.
+fn read_into(conn: &mut Conn, scratch: &mut [u8]) {
+    loop {
+        match (&conn.stream).read(scratch) {
+            Ok(0) => {
+                conn.eof = true;
+                return;
+            }
+            Ok(n) => {
+                conn.rbuf.extend_from_slice(&scratch[..n]);
+                if n < scratch.len() {
+                    return;
+                }
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => return,
+            Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+            Err(_) => {
+                conn.dead = true;
+                return;
+            }
+        }
+    }
+}
+
+/// Parses as many complete requests as the mode's ordering rules allow,
+/// dispatching each. Compacts the consumed prefix before returning.
+fn parse_and_dispatch(inner: &Arc<Inner>, job_tx: &Sender<Job>, conn: &mut Conn) -> Parsed {
+    let result = loop {
+        if !conn.binary && conn.in_flight() > 0 {
+            // JSON responses carry no id; keep them in request order by
+            // serving one request at a time.
+            break Parsed::Keep;
+        }
+        if conn.binary {
+            match parse_binary(inner, job_tx, conn) {
+                Ok(Some(parsed)) => break parsed,
+                Ok(None) => {}
+                Err(()) => break Parsed::Keep,
+            }
+        } else {
+            match parse_json_line(inner, job_tx, conn) {
+                Ok(Some(parsed)) => break parsed,
+                Ok(None) => {}
+                Err(()) => break Parsed::Keep,
+            }
+        }
+    };
+    if conn.rpos > 0 {
+        conn.rbuf.drain(..conn.rpos);
+        conn.rpos = 0;
+    }
+    result
+}
+
+/// One JSON line: `Ok(Some)` ends parsing with a verdict, `Ok(None)`
+/// consumed a request and parsing may continue, `Err(())` means no
+/// complete request is buffered.
+fn parse_json_line(
+    inner: &Arc<Inner>,
+    job_tx: &Sender<Job>,
+    conn: &mut Conn,
+) -> Result<Option<Parsed>, ()> {
+    let buf = &conn.rbuf[conn.rpos..];
+    let (line_end, consumed) = match buf.iter().position(|&b| b == b'\n') {
+        Some(nl) => (nl, nl + 1),
+        // The classic loop answers a trailing request sent without a
+        // final newline once the peer closes; mirror that here.
+        None if conn.eof && !buf.is_empty() => (buf.len(), buf.len()),
+        None => return Err(()),
+    };
+    let line = String::from_utf8_lossy(&buf[..line_end]).into_owned();
+    conn.rpos += consumed;
+    let trimmed = line.trim();
+    if trimmed.is_empty() {
+        return Ok(None);
+    }
+    let request = match serde_json::from_str::<Request>(trimmed) {
+        Ok(request) => request,
+        Err(e) => {
+            conn.push(
+                wire::PUSH_ID,
+                &Response::Err(RequestError::new(
+                    ErrorCode::Parse,
+                    format!("bad request: {e}"),
+                )),
+            );
+            return Ok(None);
+        }
+    };
+    handle_request(inner, job_tx, conn, request, wire::PUSH_ID)
+}
+
+/// One binary frame (same contract as [`parse_json_line`]).
+fn parse_binary(
+    inner: &Arc<Inner>,
+    job_tx: &Sender<Job>,
+    conn: &mut Conn,
+) -> Result<Option<Parsed>, ()> {
+    let buf = &conn.rbuf[conn.rpos..];
+    let (tag, payload, consumed) = match rl_wire::peek_frame(buf, rl_wire::DEFAULT_MAX_FRAME) {
+        Ok(Some(frame)) => frame,
+        Ok(None) => {
+            // A partial frame when the peer already closed can never
+            // complete.
+            if conn.eof && !buf.is_empty() {
+                return Ok(Some(Parsed::Close));
+            }
+            return Err(());
+        }
+        // Corrupt framing has no resync point.
+        Err(_) => return Ok(Some(Parsed::Close)),
+    };
+    if tag != wire::TAG_REQUEST {
+        return Ok(Some(Parsed::Close));
+    }
+    let decoded = wire::decode_request(payload);
+    let (id, request) = match decoded {
+        Ok(pair) => pair,
+        Err(e) => {
+            conn.rpos += consumed;
+            conn.push(
+                wire::PUSH_ID,
+                &Response::Err(RequestError::new(
+                    ErrorCode::Parse,
+                    format!("bad request: {e}"),
+                )),
+            );
+            return Ok(None);
+        }
+    };
+    if is_streaming(&request) && conn.in_flight() > 0 {
+        // Detaching moves the socket to a blocking thread; in-flight
+        // responses must land in the outbox first. Leave the frame
+        // unconsumed and retry once the pipeline drains.
+        return Err(());
+    }
+    conn.rpos += consumed;
+    handle_request(inner, job_tx, conn, request, id)
+}
+
+/// Routes one parsed request: inline (Upgrade, Shutdown), detach
+/// (streaming verbs), or worker dispatch.
+fn handle_request(
+    inner: &Arc<Inner>,
+    job_tx: &Sender<Job>,
+    conn: &mut Conn,
+    request: Request,
+    id: u64,
+) -> Result<Option<Parsed>, ()> {
+    if is_streaming(&request) {
+        // (JSON mode reaches here with in_flight == 0 by the ordering
+        // gate; binary mode checked before consuming the frame.)
+        return Ok(Some(Parsed::Detach(request, id)));
+    }
+    match request {
+        Request::Upgrade { max_version } => {
+            inner.metrics.record_streaming(ReqType::Upgrade);
+            let (version, binary) = negotiate_upgrade(max_version);
+            // Ack in the *current* mode; frames start after it.
+            conn.push(id, &Response::Ok(Reply::Upgraded { version }));
+            if binary {
+                conn.binary = true;
+            }
+            Ok(None)
+        }
+        Request::Shutdown => {
+            begin_shutdown(inner);
+            conn.push(id, &Response::Ok(Reply::ShuttingDown));
+            conn.closing = true;
+            Ok(Some(Parsed::Keep))
+        }
+        request => {
+            if inner.shutdown.load(Ordering::SeqCst) {
+                conn.push(
+                    id,
+                    &Response::Err(RequestError::new(
+                        ErrorCode::ShuttingDown,
+                        "server is shutting down",
+                    )),
+                );
+                return Ok(None);
+            }
+            conn.shared.in_flight.fetch_add(1, Ordering::SeqCst);
+            let job = Job {
+                request,
+                completion: Completion::Outbox {
+                    conn: Arc::clone(&conn.shared),
+                    id,
+                    binary: conn.binary,
+                },
+                enqueued: Instant::now(),
+            };
+            match job_tx.try_send(job) {
+                Ok(()) => {}
+                Err(TrySendError::Full(_)) => {
+                    conn.shared.in_flight.fetch_sub(1, Ordering::SeqCst);
+                    inner.rejected_backpressure.fetch_add(1, Ordering::Relaxed);
+                    inner.metrics.rejected_backpressure.inc();
+                    conn.push(
+                        id,
+                        &Response::Err(RequestError::new(
+                            ErrorCode::Backpressure,
+                            format!(
+                                "work queue full ({} pending); retry later",
+                                inner.config.queue_capacity
+                            ),
+                        )),
+                    );
+                }
+                Err(TrySendError::Disconnected(_)) => {
+                    conn.shared.in_flight.fetch_sub(1, Ordering::SeqCst);
+                    conn.push(
+                        id,
+                        &Response::Err(RequestError::new(
+                            ErrorCode::ShuttingDown,
+                            "worker pool stopped",
+                        )),
+                    );
+                }
+            }
+            Ok(None)
+        }
+    }
+}
+
+/// Writes as much of the outbox as the socket accepts right now.
+fn flush_outbox(conn: &mut Conn) {
+    let mut outbox = conn.shared.outbox.lock();
+    while !outbox.is_empty() {
+        match (&conn.stream).write(&outbox) {
+            Ok(0) => {
+                conn.dead = true;
+                return;
+            }
+            Ok(n) => {
+                outbox.drain(..n);
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => return,
+            Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+            Err(_) => {
+                conn.dead = true;
+                return;
+            }
+        }
+    }
+    // The Shutdown ack (and only it) closes the connection once written.
+    if conn.closing {
+        conn.eof = true;
+    }
+}
+
+/// Moves a connection off the reactor onto a dedicated blocking thread
+/// for a streaming verb, carrying over buffered bytes in both
+/// directions.
+fn detach(inner: &Arc<Inner>, job_tx: &Sender<Job>, mut conn: Conn, request: Request, id: u64) {
+    // The outbox must flush before the stream handler writes anything.
+    // in_flight is 0 (detach precondition), so these bytes are complete
+    // responses; write them out in blocking mode.
+    if conn.stream.set_nonblocking(false).is_err() {
+        return;
+    }
+    {
+        let mut outbox = conn.shared.outbox.lock();
+        if !outbox.is_empty() {
+            let _ = conn.stream.set_write_timeout(Some(SHUTDOWN_DRAIN));
+            if (&conn.stream).write_all(&outbox).is_err() {
+                return;
+            }
+            let _ = conn.stream.set_write_timeout(None);
+            outbox.clear();
+        }
+    }
+    let leftover: Vec<u8> = conn.rbuf.split_off(conn.rpos);
+    let inner = Arc::clone(inner);
+    let job_tx = job_tx.clone();
+    let binary = conn.binary;
+    let stream = conn.stream;
+    let result = std::thread::Builder::new()
+        .name("rl-conn".into())
+        .spawn(move || serve_detached(inner, job_tx, stream, leftover, binary, request, id));
+    if result.is_err() {
+        eprintln!("rl-server: could not spawn a streaming connection thread");
+    }
+}

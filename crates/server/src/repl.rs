@@ -15,10 +15,9 @@
 //! [`crate::server::ReplHandle`].
 
 use crate::protocol::{ErrorCode, Reply, RequestError, Response};
-use crate::server::{run_checkpoint, write_response, Inner};
+use crate::server::{run_checkpoint, ConnWriter, Inner};
 use parking_lot::Mutex;
 use rl_store::{scan_segments, segment_path, StoreError, WalReader, CHECKPOINT_FILE};
-use std::net::TcpStream;
 use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -153,72 +152,56 @@ impl ReplState {
 /// single error response and return `Ok`.
 pub(crate) fn serve_fetch_checkpoint(
     inner: &Arc<Inner>,
-    writer: &mut TcpStream,
+    writer: &mut ConnWriter,
 ) -> std::io::Result<()> {
     // Same bound Subscribe uses: a follower that stops draining
     // mid-transfer must not pin this connection thread forever. Restored
     // after the transfer because (unlike Subscribe) the connection keeps
     // serving requests.
-    let prev_timeout = writer.write_timeout().ok().flatten();
-    let _ = writer.set_write_timeout(Some(SUBSCRIBE_WRITE_TIMEOUT));
+    let prev_timeout = writer.stream().write_timeout().ok().flatten();
+    let _ = writer
+        .stream()
+        .set_write_timeout(Some(SUBSCRIBE_WRITE_TIMEOUT));
     let result = send_checkpoint(inner, writer);
-    let _ = writer.set_write_timeout(prev_timeout);
+    let _ = writer.stream().set_write_timeout(prev_timeout);
     result
 }
 
-fn send_checkpoint(inner: &Arc<Inner>, writer: &mut TcpStream) -> std::io::Result<()> {
+fn send_checkpoint(inner: &Arc<Inner>, writer: &mut ConnWriter) -> std::io::Result<()> {
     if let Some(err) = require_primary(inner, "checkpoint transfer") {
-        return write_response(writer, &Response::Err(err));
+        return writer.write_response(&Response::Err(err));
     }
     let Some(store) = &inner.store else {
-        return write_response(
-            writer,
-            &Response::Err(RequestError::new(
-                ErrorCode::Unavailable,
-                "checkpoint transfer requires a data directory",
-            )),
-        );
+        return writer.write_response(&Response::Err(RequestError::new(
+            ErrorCode::Unavailable,
+            "checkpoint transfer requires a data directory",
+        )));
     };
     let ckpt_path = store.lock().dir().join(CHECKPOINT_FILE);
     if !ckpt_path.exists() {
         if let Err(e) = run_checkpoint(inner) {
-            return write_response(
-                writer,
-                &Response::Err(RequestError::new(
-                    ErrorCode::Storage,
-                    format!("could not take a bootstrap checkpoint: {e}"),
-                )),
-            );
+            return writer.write_response(&Response::Err(RequestError::new(
+                ErrorCode::Storage,
+                format!("could not take a bootstrap checkpoint: {e}"),
+            )));
         }
     }
     let bytes = match std::fs::read(&ckpt_path) {
         Ok(b) => b,
         Err(e) => {
-            return write_response(
-                writer,
-                &Response::Err(RequestError::new(
-                    ErrorCode::Storage,
-                    format!("could not read {}: {e}", ckpt_path.display()),
-                )),
-            );
+            return writer.write_response(&Response::Err(RequestError::new(
+                ErrorCode::Storage,
+                format!("could not read {}: {e}", ckpt_path.display()),
+            )));
         }
     };
     let chunks: Vec<&[u8]> = bytes.chunks(CHECKPOINT_CHUNK).collect();
-    write_response(
-        writer,
-        &Response::Ok(Reply::CheckpointMeta {
-            len: bytes.len() as u64,
-            chunks: chunks.len() as u64,
-        }),
-    )?;
+    writer.write_response(&Response::Ok(Reply::CheckpointMeta {
+        len: bytes.len() as u64,
+        chunks: chunks.len() as u64,
+    }))?;
     for (index, chunk) in chunks.into_iter().enumerate() {
-        write_response(
-            writer,
-            &Response::Ok(Reply::CheckpointChunk {
-                index: index as u64,
-                data: b64::encode(chunk),
-            }),
-        )?;
+        writer.write_chunk(index as u64, chunk)?;
     }
     Ok(())
 }
@@ -239,33 +222,30 @@ enum StreamEnd {
 /// Serves one `Subscribe { from_seq }` request: streams `WalFrame` lines
 /// from the retained log, heartbeating while caught up, until either side
 /// goes away. Consumes the connection.
-pub(crate) fn serve_subscribe(inner: &Arc<Inner>, writer: &mut TcpStream, from_seq: u64) {
+pub(crate) fn serve_subscribe(inner: &Arc<Inner>, writer: &mut ConnWriter, from_seq: u64) {
     if let Some(err) = require_primary(inner, "subscription") {
-        let _ = write_response(writer, &Response::Err(err));
+        let _ = writer.write_response(&Response::Err(err));
         return;
     }
     if inner.store.is_none() {
-        let _ = write_response(
-            writer,
-            &Response::Err(RequestError::new(
-                ErrorCode::Unavailable,
-                "subscription requires a data directory",
-            )),
-        );
+        let _ = writer.write_response(&Response::Err(RequestError::new(
+            ErrorCode::Unavailable,
+            "subscription requires a data directory",
+        )));
         return;
     }
-    let _ = writer.set_write_timeout(Some(SUBSCRIBE_WRITE_TIMEOUT));
+    let _ = writer
+        .stream()
+        .set_write_timeout(Some(SUBSCRIBE_WRITE_TIMEOUT));
     let _guard = FollowerGuard::new(inner);
     match stream_frames(inner, writer, from_seq) {
         StreamEnd::Resync(base_ops) => {
-            let _ = write_response(writer, &Response::Ok(Reply::ResyncRequired { base_ops }));
+            let _ = writer.write_response(&Response::Ok(Reply::ResyncRequired { base_ops }));
         }
         StreamEnd::Corrupt(msg) => {
             eprintln!("rl-server: subscription aborted: {msg}");
-            let _ = write_response(
-                writer,
-                &Response::Err(RequestError::new(ErrorCode::Storage, msg)),
-            );
+            let _ =
+                writer.write_response(&Response::Err(RequestError::new(ErrorCode::Storage, msg)));
         }
         StreamEnd::Gone | StreamEnd::Closed => {}
     }
@@ -274,7 +254,7 @@ pub(crate) fn serve_subscribe(inner: &Arc<Inner>, writer: &mut TcpStream, from_s
 /// The sender loop: position in the retained log by counting frames from
 /// the checkpoint watermark, then ship every frame past `from_seq`,
 /// advancing across rotations and polling the active segment's tail.
-fn stream_frames(inner: &Arc<Inner>, writer: &mut TcpStream, from_seq: u64) -> StreamEnd {
+fn stream_frames(inner: &Arc<Inner>, writer: &mut ConnWriter, from_seq: u64) -> StreamEnd {
     let (dir, base, head) = {
         let store = inner.store.as_ref().expect("checked by caller").lock();
         (store.dir().to_path_buf(), store.base_ops(), store.op_seq())
@@ -323,11 +303,7 @@ fn stream_frames(inner: &Arc<Inner>, writer: &mut TcpStream, from_seq: u64) -> S
             Ok(Some(frame)) => {
                 last_seq += 1;
                 if last_seq >= next {
-                    let line = Response::Ok(Reply::WalFrame {
-                        seq: last_seq,
-                        op: frame.op,
-                    });
-                    if write_response(writer, &line).is_err() {
+                    if writer.write_wal(last_seq, &frame.op).is_err() {
                         return StreamEnd::Gone;
                     }
                     next = last_seq + 1;
@@ -417,7 +393,7 @@ fn refresh_base(inner: &Inner) -> u64 {
 /// `None` for `at` means the subscriber is at the head (initial greeting).
 fn write_heartbeat(
     inner: &Inner,
-    writer: &mut TcpStream,
+    writer: &mut ConnWriter,
     dir: &Path,
     at: Option<(u64, u64)>,
 ) -> std::io::Result<()> {
@@ -438,13 +414,10 @@ fn write_heartbeat(
             lag
         }
     };
-    write_response(
-        writer,
-        &Response::Ok(Reply::Heartbeat {
-            head_seq,
-            lag_bytes,
-        }),
-    )
+    writer.write_response(&Response::Ok(Reply::Heartbeat {
+        head_seq,
+        lag_bytes,
+    }))
 }
 
 fn require_primary(inner: &Inner, what: &str) -> Option<RequestError> {

@@ -1,27 +1,39 @@
-//! The TCP service: accept loop, bounded worker pool, graceful shutdown.
+//! The TCP service: readiness-driven reactor (or classic thread-per-
+//! connection accept loop), bounded worker pool, graceful shutdown.
 //!
 //! Architecture (std networking only):
 //!
 //! ```text
-//!  client ──TCP──▶ connection thread ──try_send──▶ bounded job queue
-//!                        ▲                              │
-//!                        └────── reply channel ◀── worker pool (N threads)
-//!                                                       │
-//!                                              RwLock<ServerState>
-//!                                               (ShardedPipeline, dedup)
+//!  clients ──TCP──▶ reactor (poll) ──try_send──▶ bounded job queue
+//!                        ▲                             │
+//!                        └── per-conn outbox ◀── worker pool (N threads)
+//!                                                      │
+//!                                             RwLock<ServerState>
+//!                                              (ShardedPipeline, dedup)
 //! ```
 //!
-//! One thread per connection parses newline-delimited JSON requests and
-//! enqueues jobs; when the bounded queue is full the request is rejected
-//! immediately with a typed [`ErrorCode::Backpressure`] error rather than
-//! blocking the socket. Workers execute jobs against the shared state —
-//! probes under a read lock (concurrent), index/stream under a write lock.
-//! `Shutdown` stops the accept loop, lets connection threads finish their
-//! in-flight request, drains the queue, and joins the workers.
+//! On Linux a single reactor thread ([`crate::reactor`]) owns every
+//! request/reply connection: it polls readiness, parses newline-delimited
+//! JSON (protocol ≤6) or `rl-wire` binary frames (protocol v7, after a
+//! [`Request::Upgrade`] handshake), and enqueues jobs; workers deliver
+//! responses into a per-connection outbox that the reactor drains. Idle
+//! connections therefore cost no threads, and a binary connection may
+//! have many requests in flight at once (pipelining, correlated by
+//! request id). Streaming verbs (`FetchCheckpoint`, `Subscribe`,
+//! `SubscribeMatches`) detach the connection to a dedicated blocking
+//! thread. Elsewhere (and with [`ServerConfig::reactor`] off) every
+//! connection gets its own thread, as before.
+//!
+//! When the bounded queue is full the request is rejected immediately
+//! with a typed [`ErrorCode::Backpressure`] error rather than blocking
+//! the socket. Workers execute jobs against the shared state — probes
+//! under a read lock (concurrent), index/stream under a write lock.
+//! `Shutdown` stops the accept loop, finishes in-flight requests, drains
+//! the queue, and joins the workers.
 
 use crate::metrics::{ReqType, ServerMetrics};
 use crate::protocol::{
-    ErrorCode, ReplStatusReply, Reply, Request, RequestError, Response, StatsReply,
+    wire, ErrorCode, ReplStatusReply, Reply, Request, RequestError, Response, StatsReply,
     PROTOCOL_VERSION,
 };
 use crate::repl::{ApplyError, ReplRole, ReplState};
@@ -33,10 +45,11 @@ use cbv_hb::Record;
 use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
 use parking_lot::{Mutex, RwLock};
 use rl_store::{Checkpoint, Store, StoreOptions, SyncPolicy, WalOp};
-use std::io::{BufRead, BufReader, ErrorKind, Write};
+use rl_wire::FrameReader;
+use std::io::{BufRead, BufReader, Cursor, ErrorKind, Read, Write};
 use std::net::{IpAddr, Ipv4Addr, Ipv6Addr, SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -96,6 +109,12 @@ pub struct ServerConfig {
     /// subscription costs a connection thread, a compiled blocking plan,
     /// and a bounded event queue.
     pub max_subscriptions: usize,
+    /// Serve request/reply connections from the readiness-driven reactor
+    /// (protocol v7; Linux only, silently falls back to thread-per-
+    /// connection elsewhere). Off forces the classic blocking loop, which
+    /// still negotiates the binary protocol but serves one request at a
+    /// time per connection.
+    pub reactor: bool,
 }
 
 impl Default for ServerConfig {
@@ -109,6 +128,7 @@ impl Default for ServerConfig {
             durability: None,
             repl_role: ReplRole::Standalone,
             max_subscriptions: 64,
+            reactor: true,
         }
     }
 }
@@ -124,21 +144,227 @@ pub(crate) struct ServerState {
 }
 
 /// A unit of work: the parsed request plus where to send the response.
-struct Job {
-    request: Request,
-    reply: Sender<Response>,
-    /// When the connection thread enqueued the job; the gap to worker
+pub(crate) struct Job {
+    pub(crate) request: Request,
+    pub(crate) completion: Completion,
+    /// When the connection handler enqueued the job; the gap to worker
     /// pickup is the queue-wait phase of the latency split.
-    enqueued: Instant,
+    pub(crate) enqueued: Instant,
+}
+
+/// Where a worker delivers a finished response.
+pub(crate) enum Completion {
+    /// Blocking dispatch: the connection thread waits on this channel
+    /// (classic loop, detached streaming connections).
+    Channel(Sender<Response>),
+    /// Reactor dispatch: serialize into the connection's outbox and wake
+    /// the reactor. `binary` and `id` are captured at enqueue time, so a
+    /// response always matches the protocol mode its request arrived in.
+    Outbox {
+        conn: Arc<ConnShared>,
+        id: u64,
+        binary: bool,
+    },
+}
+
+impl Completion {
+    pub(crate) fn deliver(self, response: Response) {
+        match self {
+            Completion::Channel(tx) => {
+                let _ = tx.send(response);
+            }
+            Completion::Outbox { conn, id, binary } => conn.complete(id, binary, &response),
+        }
+    }
+}
+
+/// The worker-visible half of a reactor connection: response bytes go
+/// into `outbox`, `in_flight` gates pipelining/ordering and close, and
+/// `wake` pokes the reactor's poll loop so it notices the new bytes.
+pub(crate) struct ConnShared {
+    pub(crate) outbox: Mutex<Vec<u8>>,
+    pub(crate) in_flight: AtomicUsize,
+    wake: Box<dyn Fn() + Send + Sync>,
+}
+
+impl ConnShared {
+    pub(crate) fn new(wake: Box<dyn Fn() + Send + Sync>) -> Self {
+        Self {
+            outbox: Mutex::new(Vec::new()),
+            in_flight: AtomicUsize::new(0),
+            wake,
+        }
+    }
+
+    /// Appends one serialized response (JSON line or binary frame) to the
+    /// outbox and wakes the reactor.
+    pub(crate) fn push_response(&self, id: u64, binary: bool, response: &Response) {
+        let bytes = encode_response_bytes(id, binary, response);
+        self.outbox.lock().extend_from_slice(&bytes);
+        (self.wake)();
+    }
+
+    /// [`Self::push_response`] plus the in-flight decrement, in that
+    /// order: the reactor only closes a drained connection once
+    /// `in_flight` is zero AND the outbox is empty, so the response bytes
+    /// must be visible before the counter drops.
+    fn complete(&self, id: u64, binary: bool, response: &Response) {
+        let bytes = encode_response_bytes(id, binary, response);
+        self.outbox.lock().extend_from_slice(&bytes);
+        self.in_flight.fetch_sub(1, Ordering::SeqCst);
+        (self.wake)();
+    }
+}
+
+/// One response as wire bytes: a newline-terminated JSON line (protocol
+/// ≤6) or an id-enveloped `rl-wire` frame (protocol v7).
+pub(crate) fn encode_response_bytes(id: u64, binary: bool, response: &Response) -> Vec<u8> {
+    if binary {
+        let mut payload = Vec::new();
+        if wire::encode_response(id, response, &mut payload).is_err() {
+            let fallback = Response::Err(RequestError::new(ErrorCode::Parse, "encode"));
+            let _ = wire::encode_response(id, &fallback, &mut payload);
+        }
+        let mut frame = Vec::with_capacity(payload.len() + rl_wire::HEADER_LEN);
+        rl_wire::encode_frame_into(wire::TAG_RESPONSE, &payload, &mut frame);
+        frame
+    } else {
+        let mut json = serde_json::to_string(response)
+            .unwrap_or_else(|_| "{\"Err\":{\"code\":\"Parse\",\"message\":\"encode\"}}".into());
+        json.push('\n');
+        json.into_bytes()
+    }
+}
+
+/// A connection's write half, protocol-mode aware. Streaming handlers
+/// (`repl`, `subs`) write through this so one code path serves both JSON
+/// lines and binary frames.
+pub(crate) enum ConnWriter {
+    /// Newline-delimited JSON responses (protocol ≤6).
+    Json(TcpStream),
+    /// `rl-wire` frames (protocol v7). `id` is the originating request's
+    /// id: every response (including stream pushes) carries it, so a
+    /// pipelining client can attribute stream lines to the subscribe
+    /// call that opened them.
+    Binary {
+        stream: TcpStream,
+        id: u64,
+        payload: Vec<u8>,
+        frame: Vec<u8>,
+    },
+}
+
+impl ConnWriter {
+    pub(crate) fn binary(stream: TcpStream, id: u64) -> Self {
+        ConnWriter::Binary {
+            stream,
+            id,
+            payload: Vec::new(),
+            frame: Vec::new(),
+        }
+    }
+
+    /// The underlying socket (for timeout configuration).
+    pub(crate) fn stream(&self) -> &TcpStream {
+        match self {
+            ConnWriter::Json(s) => s,
+            ConnWriter::Binary { stream, .. } => stream,
+        }
+    }
+
+    /// Unwraps the write stream (for re-entering [`json_conn_loop`]).
+    fn into_json(self) -> TcpStream {
+        match self {
+            ConnWriter::Json(s) => s,
+            ConnWriter::Binary { stream, .. } => stream,
+        }
+    }
+
+    /// Retargets binary responses at a new request id (no-op for JSON).
+    pub(crate) fn set_id(&mut self, new_id: u64) {
+        if let ConnWriter::Binary { id, .. } = self {
+            *id = new_id;
+        }
+    }
+
+    /// Writes one response in the connection's protocol mode.
+    pub(crate) fn write_response(&mut self, response: &Response) -> std::io::Result<()> {
+        match self {
+            ConnWriter::Json(stream) => write_response(stream, response),
+            ConnWriter::Binary {
+                stream,
+                id,
+                payload,
+                frame,
+            } => {
+                if wire::encode_response(*id, response, payload).is_err() {
+                    let fallback = Response::Err(RequestError::new(ErrorCode::Parse, "encode"));
+                    let _ = wire::encode_response(*id, &fallback, payload);
+                }
+                frame.clear();
+                rl_wire::encode_frame_into(wire::TAG_RESPONSE, payload, frame);
+                stream.write_all(frame)?;
+                stream.flush()
+            }
+        }
+    }
+
+    /// Ships one replicated WAL op: a JSON `WalFrame` line, or a compact
+    /// [`wire::TAG_WAL`] frame carrying the binary op encoding.
+    pub(crate) fn write_wal(&mut self, seq: u64, op: &WalOp) -> std::io::Result<()> {
+        match self {
+            ConnWriter::Json(stream) => write_response(
+                stream,
+                &Response::Ok(Reply::WalFrame {
+                    seq,
+                    op: op.clone(),
+                }),
+            ),
+            ConnWriter::Binary {
+                stream,
+                payload,
+                frame,
+                ..
+            } => {
+                wire::encode_wal(seq, op, payload);
+                frame.clear();
+                rl_wire::encode_frame_into(wire::TAG_WAL, payload, frame);
+                stream.write_all(frame)?;
+                stream.flush()
+            }
+        }
+    }
+
+    /// Ships one checkpoint chunk: base64 inside a JSON `CheckpointChunk`
+    /// line (protocol v5), or the raw bytes in a [`wire::TAG_CHUNK`]
+    /// frame — no base64, no JSON, which is what makes the v7 bootstrap
+    /// transfer fast.
+    pub(crate) fn write_chunk(&mut self, index: u64, data: &[u8]) -> std::io::Result<()> {
+        match self {
+            ConnWriter::Json(stream) => write_response(
+                stream,
+                &Response::Ok(Reply::CheckpointChunk {
+                    index,
+                    data: crate::repl::b64::encode(data),
+                }),
+            ),
+            ConnWriter::Binary { stream, frame, .. } => {
+                frame.clear();
+                rl_wire::encode_frame_into(wire::TAG_CHUNK, data, frame);
+                stream.write_all(frame)?;
+                stream.flush()
+            }
+        }
+    }
 }
 
 pub(crate) struct Inner {
     state: RwLock<ServerState>,
-    config: ServerConfig,
+    pub(crate) config: ServerConfig,
     pub(crate) shutdown: AtomicBool,
     started: Instant,
     requests_served: AtomicU64,
-    rejected_backpressure: AtomicU64,
+    pub(crate) rejected_backpressure: AtomicU64,
     local_addr: SocketAddr,
     pub(crate) metrics: Arc<ServerMetrics>,
     /// The durability layer (WAL + checkpoints); `None` without a data
@@ -352,7 +578,14 @@ impl Server {
             let job_tx = job_tx.clone();
             std::thread::Builder::new()
                 .name("rl-accept".into())
-                .spawn(move || accept_loop(&inner, &listener, &job_tx))
+                .spawn(move || {
+                    #[cfg(target_os = "linux")]
+                    if inner.config.reactor {
+                        crate::reactor::run(&inner, listener, &job_tx);
+                        return;
+                    }
+                    accept_loop(&inner, &listener, &job_tx);
+                })
                 .expect("spawn accept loop")
         };
 
@@ -453,7 +686,7 @@ impl Server {
     }
 }
 
-fn begin_shutdown(inner: &Inner) {
+pub(crate) fn begin_shutdown(inner: &Inner) {
     if inner.shutdown.swap(true, Ordering::SeqCst) {
         return;
     }
@@ -471,7 +704,7 @@ fn begin_shutdown(inner: &Inner) {
     let _ = TcpStream::connect_timeout(&addr, Duration::from_millis(250));
 }
 
-fn accept_loop(inner: &Arc<Inner>, listener: &TcpListener, job_tx: &Sender<Job>) {
+pub(crate) fn accept_loop(inner: &Arc<Inner>, listener: &TcpListener, job_tx: &Sender<Job>) {
     let mut conn_handles: Vec<std::thread::JoinHandle<()>> = Vec::new();
     for stream in listener.incoming() {
         if inner.shutdown.load(Ordering::SeqCst) {
@@ -496,11 +729,97 @@ fn handle_connection(inner: &Arc<Inner>, stream: TcpStream, job_tx: &Sender<Job>
     // A short read timeout lets idle connections notice server shutdown
     // without disturbing active clients (timeouts just re-poll the flag).
     let _ = stream.set_read_timeout(Some(Duration::from_millis(200)));
-    let mut writer = match stream.try_clone() {
+    let writer = match stream.try_clone() {
         Ok(w) => w,
         Err(_) => return,
     };
-    let mut reader = BufReader::new(stream);
+    json_conn_loop(inner, job_tx, BufReader::new(box_reader(stream)), writer);
+}
+
+pub(crate) type ConnReader = Box<dyn Read + Send>;
+
+pub(crate) fn box_reader<R: Read + Send + 'static>(r: R) -> ConnReader {
+    Box::new(r)
+}
+
+/// Whether the connection loop should keep reading after a request.
+pub(crate) enum ConnFlow {
+    Continue,
+    Close,
+}
+
+/// Serves a streaming request inline on a (blocking) connection thread:
+/// these answer with many lines/frames and so cannot round-trip through
+/// the one-reply job queue. `Close` means the stream consumed the
+/// connection.
+pub(crate) fn serve_streaming(
+    inner: &Arc<Inner>,
+    writer: &mut ConnWriter,
+    request: Request,
+) -> ConnFlow {
+    match request {
+        Request::FetchCheckpoint => {
+            inner.metrics.record_streaming(ReqType::FetchCheckpoint);
+            match crate::repl::serve_fetch_checkpoint(inner, writer) {
+                Ok(()) => ConnFlow::Continue,
+                Err(_) => ConnFlow::Close,
+            }
+        }
+        Request::Subscribe { from_seq } => {
+            inner.metrics.record_streaming(ReqType::Subscribe);
+            crate::repl::serve_subscribe(inner, writer, from_seq);
+            // A subscription consumes the connection: when the stream
+            // ends (either side went away) there is no framing left to
+            // resynchronize on, so close.
+            ConnFlow::Close
+        }
+        Request::SubscribeMatches {
+            rule,
+            window,
+            late,
+            cap,
+        } => {
+            inner.metrics.record_streaming(ReqType::SubscribeMatches);
+            // `false` means the subscription was refused with a single
+            // error line and the connection is still usable.
+            if crate::subs::serve_subscribe_matches(inner, writer, &rule, window, late, cap) {
+                ConnFlow::Close
+            } else {
+                ConnFlow::Continue
+            }
+        }
+        _ => ConnFlow::Continue,
+    }
+}
+
+/// True for the verbs [`serve_streaming`] handles.
+pub(crate) fn is_streaming(request: &Request) -> bool {
+    matches!(
+        request,
+        Request::FetchCheckpoint | Request::Subscribe { .. } | Request::SubscribeMatches { .. }
+    )
+}
+
+/// Answers a [`Request::Upgrade`] negotiation: the agreed version is the
+/// lower of what both sides speak, and only v7+ switches the connection
+/// to binary frames. Returns the version to reply with and whether to
+/// switch.
+pub(crate) fn negotiate_upgrade(max_version: u32) -> (u32, bool) {
+    let version = max_version.min(PROTOCOL_VERSION);
+    (version, version >= crate::protocol::FIRST_BINARY_VERSION)
+}
+
+/// The classic blocking JSON loop (protocol ≤6 framing). Also the
+/// fallback when the reactor is off, and the tail of a detached
+/// streaming connection. Switches itself to [`binary_conn_loop`] when
+/// the client negotiates protocol v7.
+pub(crate) fn json_conn_loop(
+    inner: &Arc<Inner>,
+    job_tx: &Sender<Job>,
+    mut reader: BufReader<ConnReader>,
+    writer_stream: TcpStream,
+) {
+    let mut writer = ConnWriter::Json(writer_stream);
     let mut line = String::new();
     loop {
         match reader.read_line(&mut line) {
@@ -537,57 +856,45 @@ fn handle_connection(inner: &Arc<Inner>, stream: TcpStream, job_tx: &Sender<Job>
             ConnFlow::Continue => line.clear(),
             ConnFlow::Close => return,
         }
+        if matches!(writer, ConnWriter::Binary { .. }) {
+            // The Upgrade handshake switched modes. Bytes the BufReader
+            // already pulled off the socket belong to the binary stream;
+            // hand them over so nothing is lost.
+            let leftover = reader.buffer().to_vec();
+            let raw = reader.into_inner();
+            let chained = box_reader(Cursor::new(leftover).chain(raw));
+            return binary_conn_loop(inner, job_tx, FrameReader::new(chained), writer);
+        }
     }
 }
 
-/// Whether the connection loop should keep reading after a request.
-enum ConnFlow {
-    Continue,
-    Close,
-}
-
-/// Serves one request line on the connection thread. Replication's
-/// streaming requests (`FetchCheckpoint`, `Subscribe`) answer with
-/// multiple lines and so cannot round-trip through the one-reply job
-/// queue — they are served inline here; everything else dispatches to the
-/// worker pool as a single-response job.
+/// Serves one request line on the connection thread.
 fn serve_line(
     inner: &Arc<Inner>,
     job_tx: &Sender<Job>,
-    writer: &mut TcpStream,
+    writer: &mut ConnWriter,
     line: &str,
 ) -> ConnFlow {
     let response = match serde_json::from_str::<Request>(line) {
-        Ok(Request::FetchCheckpoint) => {
-            inner.metrics.record_streaming(ReqType::FetchCheckpoint);
-            return match crate::repl::serve_fetch_checkpoint(inner, writer) {
-                Ok(()) => ConnFlow::Continue,
-                Err(_) => ConnFlow::Close,
-            };
-        }
-        Ok(Request::Subscribe { from_seq }) => {
-            inner.metrics.record_streaming(ReqType::Subscribe);
-            crate::repl::serve_subscribe(inner, writer, from_seq);
-            // A subscription consumes the connection: when the stream
-            // ends (either side went away) there is no framing left to
-            // resynchronize on, so close.
-            return ConnFlow::Close;
-        }
-        Ok(Request::SubscribeMatches {
-            rule,
-            window,
-            late,
-            cap,
-        }) => {
-            inner.metrics.record_streaming(ReqType::SubscribeMatches);
-            // `false` means the subscription was refused with a single
-            // error line and the connection is still usable.
-            return if crate::subs::serve_subscribe_matches(inner, writer, &rule, window, late, cap)
+        Ok(request) if is_streaming(&request) => return serve_streaming(inner, writer, request),
+        Ok(Request::Upgrade { max_version }) => {
+            inner.metrics.record_streaming(ReqType::Upgrade);
+            let (version, binary) = negotiate_upgrade(max_version);
+            // The acknowledgement goes out in the *old* mode — the
+            // client reads it as a JSON line before sending any frame.
+            if writer
+                .write_response(&Response::Ok(Reply::Upgraded { version }))
+                .is_err()
             {
-                ConnFlow::Close
-            } else {
-                ConnFlow::Continue
-            };
+                return ConnFlow::Close;
+            }
+            if binary {
+                let Ok(cloned) = writer.stream().try_clone() else {
+                    return ConnFlow::Close;
+                };
+                *writer = ConnWriter::binary(cloned, wire::PUSH_ID);
+            }
+            return ConnFlow::Continue;
         }
         Ok(request) => dispatch_request(inner, job_tx, request),
         Err(e) => Response::Err(RequestError::new(
@@ -596,10 +903,112 @@ fn serve_line(
         )),
     };
     let is_shutdown_ack = matches!(response, Response::Ok(Reply::ShuttingDown));
-    if write_response(writer, &response).is_err() || is_shutdown_ack {
+    if writer.write_response(&response).is_err() || is_shutdown_ack {
         return ConnFlow::Close;
     }
     ConnFlow::Continue
+}
+
+/// The blocking binary-frame loop (protocol v7). One request at a time —
+/// pipelining depth beyond 1 needs the reactor — but every byte saved:
+/// requests and responses travel as id-enveloped `rl-wire` frames.
+/// [`FrameReader`] is resumable across the 200 ms read timeout, so a
+/// frame split across TCP segments is reassembled, not truncated.
+pub(crate) fn binary_conn_loop(
+    inner: &Arc<Inner>,
+    job_tx: &Sender<Job>,
+    mut frames: FrameReader<ConnReader>,
+    mut writer: ConnWriter,
+) {
+    loop {
+        let (id, request) = match frames.read_frame() {
+            Ok(None) => return,
+            Ok(Some((tag, payload))) => {
+                if tag != wire::TAG_REQUEST {
+                    // A client must only send requests; anything else is
+                    // a framing bug with no way to resynchronize.
+                    return;
+                }
+                match wire::decode_request(payload) {
+                    Ok(pair) => pair,
+                    Err(e) => {
+                        writer.set_id(wire::PUSH_ID);
+                        let _ = writer.write_response(&Response::Err(RequestError::new(
+                            ErrorCode::Parse,
+                            format!("bad request: {e}"),
+                        )));
+                        continue;
+                    }
+                }
+            }
+            Err(e) if e.is_would_block() => {
+                if inner.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                continue;
+            }
+            // Corrupt, oversized, or truncated frames: the stream cannot
+            // be resynchronized, close.
+            Err(_) => return,
+        };
+        writer.set_id(id);
+        if is_streaming(&request) {
+            if let ConnFlow::Close = serve_streaming(inner, &mut writer, request) {
+                return;
+            }
+            continue;
+        }
+        let response = match request {
+            Request::Upgrade { max_version } => {
+                inner.metrics.record_streaming(ReqType::Upgrade);
+                let (version, _) = negotiate_upgrade(max_version);
+                // Already binary; re-upgrading is an idempotent ack.
+                Response::Ok(Reply::Upgraded { version })
+            }
+            request => dispatch_request(inner, job_tx, request),
+        };
+        let is_shutdown_ack = matches!(response, Response::Ok(Reply::ShuttingDown));
+        if writer.write_response(&response).is_err() || is_shutdown_ack {
+            return;
+        }
+    }
+}
+
+/// Entry point for a connection the reactor detached for a streaming
+/// verb: serve the stream on this dedicated thread, then keep serving
+/// requests in the classic blocking way (the connection never returns to
+/// the reactor). `leftover` is whatever the reactor had read past the
+/// streaming request.
+pub(crate) fn serve_detached(
+    inner: Arc<Inner>,
+    job_tx: Sender<Job>,
+    stream: TcpStream,
+    leftover: Vec<u8>,
+    binary: bool,
+    request: Request,
+    id: u64,
+) {
+    if stream.set_nonblocking(false).is_err() {
+        return;
+    }
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(200)));
+    let Ok(wstream) = stream.try_clone() else {
+        return;
+    };
+    let mut writer = if binary {
+        ConnWriter::binary(wstream, id)
+    } else {
+        ConnWriter::Json(wstream)
+    };
+    if let ConnFlow::Close = serve_streaming(&inner, &mut writer, request) {
+        return;
+    }
+    let reader = box_reader(Cursor::new(leftover).chain(stream));
+    if binary {
+        binary_conn_loop(&inner, &job_tx, FrameReader::new(reader), writer);
+    } else if let ConnWriter::Json(_) = writer {
+        json_conn_loop(&inner, &job_tx, BufReader::new(reader), writer.into_json());
+    }
 }
 
 pub(crate) fn write_response(writer: &mut TcpStream, response: &Response) -> std::io::Result<()> {
@@ -626,7 +1035,7 @@ fn dispatch_request(inner: &Arc<Inner>, job_tx: &Sender<Job>, request: Request) 
     let (reply_tx, reply_rx) = bounded(1);
     let job = Job {
         request,
-        reply: reply_tx,
+        completion: Completion::Channel(reply_tx),
         enqueued: Instant::now(),
     };
     match job_tx.try_send(job) {
@@ -682,7 +1091,7 @@ fn worker_loop(inner: &Arc<Inner>, rx: &Receiver<Job>) {
                 );
             }
         }
-        let _ = job.reply.send(response);
+        job.completion.deliver(response);
     }
 }
 
@@ -917,14 +1326,16 @@ fn execute(inner: &Arc<Inner>, request: Request) -> Response {
             let removed = inner.subs.unsubscribe(sub_id);
             Response::Ok(Reply::Unsubscribed { removed })
         }
-        // Streaming requests are served inline on the connection thread
-        // (see `serve_line`); reaching a worker means a misrouted job.
-        Request::FetchCheckpoint | Request::Subscribe { .. } | Request::SubscribeMatches { .. } => {
-            Response::Err(RequestError::new(
-                ErrorCode::Unavailable,
-                "streaming requests are handled on the connection",
-            ))
-        }
+        // Streaming requests and the protocol negotiation are served
+        // inline on the connection (see `serve_streaming` and the conn
+        // loops); reaching a worker means a misrouted job.
+        Request::FetchCheckpoint
+        | Request::Subscribe { .. }
+        | Request::SubscribeMatches { .. }
+        | Request::Upgrade { .. } => Response::Err(RequestError::new(
+            ErrorCode::Unavailable,
+            "streaming requests are handled on the connection",
+        )),
         Request::Shutdown => {
             begin_shutdown(inner);
             Response::Ok(Reply::ShuttingDown)

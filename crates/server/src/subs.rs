@@ -24,7 +24,7 @@
 
 use crate::protocol::{ErrorCode, Reply, RequestError, Response};
 use crate::repl::HEARTBEAT_EVERY;
-use crate::server::{write_response, Inner};
+use crate::server::{ConnWriter, Inner};
 use cbv_hb::matcher::Classifier;
 use cbv_hb::pipeline::LinkageConfig;
 use cbv_hb::schema::RecordSchema;
@@ -35,7 +35,6 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use rl_streamrule::{LateArrival, SubscriptionSpec, WindowSpec, WindowedEngine};
 use std::collections::HashMap;
-use std::net::TcpStream;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -242,14 +241,14 @@ impl Drop for SubGuard<'_> {
 /// keep serving requests.
 pub(crate) fn serve_subscribe_matches(
     inner: &Arc<Inner>,
-    writer: &mut TcpStream,
+    writer: &mut ConnWriter,
     rule: &str,
     window: WindowSpec,
     late: LateArrival,
     cap: u64,
 ) -> bool {
-    let refuse = |writer: &mut TcpStream, err: RequestError| {
-        let _ = write_response(writer, &Response::Err(err));
+    let refuse = |writer: &mut ConnWriter, err: RequestError| {
+        let _ = writer.write_response(&Response::Err(err));
         false
     };
     if inner.shutdown.load(Ordering::SeqCst) {
@@ -311,8 +310,11 @@ pub(crate) fn serve_subscribe_matches(
     };
     let guard = SubGuard::new(inner, sub_id);
     let tables = engine.sub_tables(sub_id).unwrap_or(0) as u64;
-    let _ = writer.set_write_timeout(Some(SUB_WRITE_TIMEOUT));
-    if write_response(writer, &Response::Ok(Reply::Subscribed { sub_id, tables })).is_err() {
+    let _ = writer.stream().set_write_timeout(Some(SUB_WRITE_TIMEOUT));
+    if writer
+        .write_response(&Response::Ok(Reply::Subscribed { sub_id, tables }))
+        .is_err()
+    {
         drop(guard);
         return true;
     }
@@ -326,7 +328,7 @@ pub(crate) fn serve_subscribe_matches(
 /// with `SubscriptionLagged` the moment any event was dropped.
 fn stream_events(
     inner: &Arc<Inner>,
-    writer: &mut TcpStream,
+    writer: &mut ConnWriter,
     engine: &Arc<WindowedEngine>,
     rx: &Receiver<Event>,
     dropped: &AtomicU64,
@@ -342,15 +344,13 @@ fn stream_events(
             // The stream has a hole; deliver the contract line and stop.
             // Draining the queue first would only widen the gap's age.
             inner.metrics.sub_lagged.inc();
-            let _ = write_response(
-                writer,
-                &Response::Ok(Reply::SubscriptionLagged { dropped: lost }),
-            );
+            let _ =
+                writer.write_response(&Response::Ok(Reply::SubscriptionLagged { dropped: lost }));
             return;
         }
         match rx.recv_timeout(SUB_POLL) {
             Ok((line, produced)) => {
-                if write_response(writer, &Response::Ok(line)).is_err() {
+                if writer.write_response(&Response::Ok(line)).is_err() {
                     return;
                 }
                 inner.metrics.sub_events.inc();
@@ -366,7 +366,7 @@ fn stream_events(
                         head_seq: 0,
                         lag_bytes: 0,
                     };
-                    if write_response(writer, &Response::Ok(line)).is_err() {
+                    if writer.write_response(&Response::Ok(line)).is_err() {
                         return;
                     }
                     last_heartbeat = Instant::now();

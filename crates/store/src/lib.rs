@@ -37,4 +37,7 @@ pub use snapshot::{schema_hash, Snapshot, SnapshotError, SNAPSHOT_MAGIC, SNAPSHO
 pub use store::{
     scan_segments, segment_path, Recovery, RecoveryReport, Store, StoreOptions, CHECKPOINT_FILE,
 };
-pub use wal::{crc32, ReadFrame, SyncPolicy, Wal, WalOp, WalReader, WAL_MAGIC};
+pub use wal::{
+    crc32, ReadFrame, SyncPolicy, Wal, WalFormat, WalOp, WalReader, WAL_FRAME_TAG, WAL_MAGIC,
+    WAL_MAGIC_V2,
+};

@@ -441,6 +441,13 @@ impl Store {
         self.seq
     }
 
+    /// Frame format of the active WAL segment: v2 for anything created
+    /// after the wire upgrade, v1 for a pre-upgrade segment reopened by
+    /// recovery (it keeps its format until rotation).
+    pub fn active_format(&self) -> crate::wal::WalFormat {
+        self.wal.format()
+    }
+
     /// Global sequence of the last appended op (checkpoint watermark plus
     /// every append since). Frame `op_seq` is the newest mutation in the
     /// WAL; a fresh directory starts at 0.

@@ -1,19 +1,22 @@
 //! The write-ahead log: append-only, length-prefixed, CRC-checksummed.
 //!
-//! A WAL segment is an 8-byte magic header followed by frames:
+//! A WAL segment is an 8-byte magic header followed by frames. Two
+//! segment formats coexist, discriminated by the magic:
 //!
-//! ```text
-//! ┌────────────┬────────────┬──────────────────┐
-//! │ len: u32 LE│ crc: u32 LE│ payload (len B)  │   × N frames
-//! └────────────┴────────────┴──────────────────┘
-//! ```
+//! - **v1** (`RLWAL1`) — the original CRC'd-JSON format: each frame is
+//!   `len: u32 LE | crc: u32 LE | JSON WalOp`. Read-compatible forever;
+//!   a v1 segment reopened for appending keeps receiving v1 frames, so a
+//!   segment is never mixed-format internally.
+//! - **v2** (`RLWAL2`) — `rl-wire` frames (magic + version + tag + len +
+//!   CRC-32 over header and payload) carrying a compact binary [`WalOp`]
+//!   encoding. All newly created segments use v2; the same framing runs
+//!   on the protocol v7 socket and the replication stream.
 //!
-//! The payload is one JSON-encoded [`WalOp`]; `crc` is the IEEE CRC-32 of
-//! the payload bytes. A crash mid-append leaves a *torn* final frame
-//! (short header, short payload, or CRC mismatch); [`replay`] detects it,
-//! reports the longest valid prefix, and the store truncates the file
-//! there — acknowledged mutations before the tear are never lost, and a
-//! torn tail never prevents startup.
+//! A crash mid-append leaves a *torn* final frame (short header, short
+//! payload, or CRC mismatch); [`replay`] detects it, reports the longest
+//! valid prefix, and the store truncates the file there — acknowledged
+//! mutations before the tear are never lost, and a torn tail never
+//! prevents startup.
 //!
 //! ## Durability knob
 //!
@@ -38,12 +41,39 @@ use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
 use std::time::{Duration, Instant};
 
-/// Magic bytes opening every WAL segment.
+/// Magic bytes opening a v1 (CRC'd-JSON) WAL segment.
 pub const WAL_MAGIC: [u8; 8] = *b"RLWAL1\0\0";
+
+/// Magic bytes opening a v2 (binary `rl-wire`-framed) WAL segment.
+pub const WAL_MAGIC_V2: [u8; 8] = *b"RLWAL2\0\0";
+
+/// `rl-wire` frame tag for a binary-encoded [`WalOp`] in a v2 segment.
+pub const WAL_FRAME_TAG: u8 = 1;
 
 /// Frames larger than this are treated as corruption, not allocation
 /// requests (a torn length prefix can decode to anything).
 const MAX_FRAME_LEN: u32 = 256 * 1024 * 1024;
+
+/// On-disk frame format of one segment, decided by its magic header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WalFormat {
+    /// `len | crc | JSON` frames under the `RLWAL1` magic.
+    V1Json,
+    /// `rl-wire` frames with binary ops under the `RLWAL2` magic.
+    V2Binary,
+}
+
+impl WalFormat {
+    fn from_magic(magic: &[u8]) -> Option<WalFormat> {
+        if magic == WAL_MAGIC {
+            Some(WalFormat::V1Json)
+        } else if magic == WAL_MAGIC_V2 {
+            Some(WalFormat::V2Binary)
+        } else {
+            None
+        }
+    }
+}
 
 /// One logged index mutation. Replayed in order, these reconstruct the
 /// exact post-crash index state on top of the last checkpoint.
@@ -72,34 +102,105 @@ pub enum SyncPolicy {
     Never,
 }
 
-/// IEEE CRC-32 (the zlib/Ethernet polynomial), table-driven.
-pub fn crc32(data: &[u8]) -> u32 {
-    const TABLE: [u32; 256] = crc32_table();
-    let mut crc = !0u32;
-    for &b in data {
-        crc = (crc >> 8) ^ TABLE[((crc ^ u32::from(b)) & 0xFF) as usize];
+// IEEE CRC-32 (the zlib/Ethernet polynomial). The implementation moved
+// to `rl-wire` so socket frames, replication frames, and WAL frames
+// share one checksum; re-exported here for existing callers.
+pub use rl_wire::crc32;
+
+// Binary op tags inside a v2 frame payload.
+const OP_INSERT: u8 = 1;
+const OP_OBSERVE: u8 = 2;
+const OP_DELETE: u8 = 3;
+
+impl WalOp {
+    /// Appends the compact binary encoding to `out`:
+    /// `op tag (1) | id u64 LE | nfields u16 LE | (len u32 LE | bytes)*`
+    /// for record ops, `op tag | id u64 LE` for deletes.
+    pub fn encode_bin(&self, out: &mut Vec<u8>) {
+        match self {
+            WalOp::Insert(rec) => encode_record(OP_INSERT, rec, out),
+            WalOp::Observe(rec) => encode_record(OP_OBSERVE, rec, out),
+            WalOp::Delete(id) => {
+                out.push(OP_DELETE);
+                out.extend_from_slice(&id.to_le_bytes());
+            }
+        }
     }
-    !crc
+
+    /// Decodes one binary op, requiring the buffer to contain exactly it.
+    ///
+    /// # Errors
+    /// A description of the malformation (callers map it onto their own
+    /// corruption error).
+    pub fn decode_bin(bytes: &[u8]) -> Result<WalOp, String> {
+        let mut cur = Cursor(bytes);
+        let tag = cur.u8()?;
+        let op = match tag {
+            OP_DELETE => WalOp::Delete(cur.u64()?),
+            OP_INSERT | OP_OBSERVE => {
+                let id = cur.u64()?;
+                let nfields = cur.u16()? as usize;
+                let mut fields = Vec::with_capacity(nfields.min(1024));
+                for _ in 0..nfields {
+                    let len = cur.u32()? as usize;
+                    let raw = cur.take(len)?;
+                    let s =
+                        std::str::from_utf8(raw).map_err(|e| format!("field not utf-8: {e}"))?;
+                    fields.push(s.to_string());
+                }
+                let rec = Record { id, fields };
+                if tag == OP_INSERT {
+                    WalOp::Insert(rec)
+                } else {
+                    WalOp::Observe(rec)
+                }
+            }
+            other => return Err(format!("unknown op tag {other}")),
+        };
+        if !cur.0.is_empty() {
+            return Err(format!("{} trailing bytes after op", cur.0.len()));
+        }
+        Ok(op)
+    }
 }
 
-const fn crc32_table() -> [u32; 256] {
-    let mut table = [0u32; 256];
-    let mut i = 0;
-    while i < 256 {
-        let mut c = i as u32;
-        let mut k = 0;
-        while k < 8 {
-            c = if c & 1 != 0 {
-                0xEDB8_8320 ^ (c >> 1)
-            } else {
-                c >> 1
-            };
-            k += 1;
-        }
-        table[i] = c;
-        i += 1;
+fn encode_record(tag: u8, rec: &Record, out: &mut Vec<u8>) {
+    out.push(tag);
+    out.extend_from_slice(&rec.id.to_le_bytes());
+    out.extend_from_slice(&(rec.fields.len() as u16).to_le_bytes());
+    for field in &rec.fields {
+        out.extend_from_slice(&(field.len() as u32).to_le_bytes());
+        out.extend_from_slice(field.as_bytes());
     }
-    table
+}
+
+/// A bounds-checked little-endian reader over a byte slice.
+struct Cursor<'a>(&'a [u8]);
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], String> {
+        if self.0.len() < n {
+            return Err(format!(
+                "op truncated: need {n} bytes, have {}",
+                self.0.len()
+            ));
+        }
+        let (head, rest) = self.0.split_at(n);
+        self.0 = rest;
+        Ok(head)
+    }
+    fn u8(&mut self) -> Result<u8, String> {
+        Ok(self.take(1)?[0])
+    }
+    fn u16(&mut self) -> Result<u16, String> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+    fn u32(&mut self) -> Result<u32, String> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+    fn u64(&mut self) -> Result<u64, String> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
 }
 
 /// An open WAL segment being appended to.
@@ -114,6 +215,8 @@ pub struct Wal {
     last_sync: Instant,
     /// Appends written since the last fsync.
     unsynced: u64,
+    /// Frame format, fixed at create/open time by the segment magic.
+    format: WalFormat,
     /// Set when a failed append left torn bytes on disk that could not be
     /// rolled back. A poisoned segment rejects every further append:
     /// anything written after the tear would be silently dropped by
@@ -125,13 +228,13 @@ pub struct Wal {
 
 impl Wal {
     /// Creates a fresh segment at `path` (truncating anything there) and
-    /// syncs the header.
+    /// syncs the header. New segments always use the v2 binary format.
     ///
     /// # Errors
     /// Returns [`StoreError::Io`] naming the path on failure.
     pub fn create(path: &Path, policy: SyncPolicy) -> Result<Self, StoreError> {
         let mut file = File::create(path).map_err(|e| StoreError::io("create", path, e))?;
-        file.write_all(&WAL_MAGIC)
+        file.write_all(&WAL_MAGIC_V2)
             .map_err(|e| StoreError::io("write", path, e))?;
         file.sync_all()
             .map_err(|e| StoreError::io("fsync", path, e))?;
@@ -150,16 +253,20 @@ impl Wal {
             last_sync: Instant::now(),
             unsynced: 0,
             poisoned: false,
+            format: WalFormat::V2Binary,
         })
     }
 
     /// Opens an existing segment for appending after recovery decided its
     /// valid length: the file is truncated to `valid_len` (dropping any
     /// torn tail) and positioned at the end. A `valid_len` shorter than
-    /// the header re-initializes the segment.
+    /// the header re-initializes the segment. The segment keeps the frame
+    /// format its magic declares — a pre-upgrade v1 segment continues to
+    /// receive v1 frames, so no file is ever mixed-format internally.
     ///
     /// # Errors
-    /// Returns [`StoreError::Io`] naming the path on failure.
+    /// Returns [`StoreError::Io`] naming the path on failure and
+    /// [`StoreError::NotAWal`] on a foreign header.
     pub fn open_append(
         path: &Path,
         policy: SyncPolicy,
@@ -175,6 +282,13 @@ impl Wal {
             .write(true)
             .open(path)
             .map_err(|e| StoreError::io("open", path, e))?;
+        let mut magic = [0u8; WAL_MAGIC.len()];
+        file.read_exact(&mut magic)
+            .map_err(|e| StoreError::io("read", path, e))?;
+        let format = WalFormat::from_magic(&magic).ok_or_else(|| StoreError::NotAWal {
+            path: path.to_path_buf(),
+            msg: format!("bad magic {magic:?}"),
+        })?;
         file.set_len(valid_len)
             .map_err(|e| StoreError::io("truncate", path, e))?;
         file.seek(SeekFrom::End(0))
@@ -188,7 +302,13 @@ impl Wal {
             last_sync: Instant::now(),
             unsynced: 0,
             poisoned: false,
+            format,
         })
+    }
+
+    /// The segment's frame format (decided by its magic header).
+    pub fn format(&self) -> WalFormat {
+        self.format
     }
 
     /// Appends one framed op and applies the sync policy. Returns the
@@ -230,19 +350,29 @@ impl Wal {
             return Ok(self.len);
         }
         let mut buf = Vec::new();
+        let mut payload = Vec::new();
         for op in ops {
-            let payload = serde_json::to_string(op)
-                .map_err(|e| {
-                    StoreError::io(
-                        "encode",
-                        &self.path,
-                        std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()),
-                    )
-                })?
-                .into_bytes();
-            buf.extend_from_slice(&(payload.len() as u32).to_le_bytes());
-            buf.extend_from_slice(&crc32(&payload).to_le_bytes());
-            buf.extend_from_slice(&payload);
+            payload.clear();
+            match self.format {
+                WalFormat::V2Binary => {
+                    op.encode_bin(&mut payload);
+                    rl_wire::encode_frame_into(WAL_FRAME_TAG, &payload, &mut buf);
+                }
+                WalFormat::V1Json => {
+                    payload = serde_json::to_string(op)
+                        .map_err(|e| {
+                            StoreError::io(
+                                "encode",
+                                &self.path,
+                                std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()),
+                            )
+                        })?
+                        .into_bytes();
+                    buf.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+                    buf.extend_from_slice(&crc32(&payload).to_le_bytes());
+                    buf.extend_from_slice(&payload);
+                }
+            }
         }
         if let Err(e) = self.file.write_all(&buf) {
             if self.rollback_to_len().is_err() {
@@ -337,6 +467,7 @@ pub struct WalReader {
     path: PathBuf,
     file: File,
     pos: u64,
+    format: WalFormat,
 }
 
 impl WalReader {
@@ -352,17 +483,21 @@ impl WalReader {
         let mut magic = [0u8; WAL_MAGIC.len()];
         file.read_exact(&mut magic)
             .map_err(|e| StoreError::io("read", path, e))?;
-        if magic != WAL_MAGIC {
-            return Err(StoreError::NotAWal {
-                path: path.to_path_buf(),
-                msg: format!("bad magic {magic:?}"),
-            });
-        }
+        let format = WalFormat::from_magic(&magic).ok_or_else(|| StoreError::NotAWal {
+            path: path.to_path_buf(),
+            msg: format!("bad magic {magic:?}"),
+        })?;
         Ok(Self {
             path: path.to_path_buf(),
             file,
             pos: WAL_MAGIC.len() as u64,
+            format,
         })
+    }
+
+    /// The segment's frame format (decided by its magic header).
+    pub fn format(&self) -> WalFormat {
+        self.format
     }
 
     /// Decodes the next complete frame at the cursor. `Ok(None)` means no
@@ -380,6 +515,13 @@ impl WalReader {
         self.file
             .seek(SeekFrom::Start(self.pos))
             .map_err(|e| StoreError::io("seek", &self.path, e))?;
+        match self.format {
+            WalFormat::V1Json => self.next_frame_v1(),
+            WalFormat::V2Binary => self.next_frame_v2(),
+        }
+    }
+
+    fn next_frame_v1(&mut self) -> Result<Option<ReadFrame>, StoreError> {
         let mut header = [0u8; 8];
         match read_full(&mut self.file, &mut header) {
             Ok(true) => {}
@@ -421,6 +563,57 @@ impl WalReader {
         let frame_len = 8 + u64::from(len);
         self.pos += frame_len;
         Ok(Some(ReadFrame { op, frame_len }))
+    }
+
+    fn next_frame_v2(&mut self) -> Result<Option<ReadFrame>, StoreError> {
+        let mut header = [0u8; rl_wire::HEADER_LEN];
+        match read_full(&mut self.file, &mut header) {
+            Ok(true) => {}
+            Ok(false) => return Ok(None),
+            Err(e) => return Err(StoreError::io("read", &self.path, e)),
+        }
+        // Magic/version damage at a frame boundary can never heal into a
+        // valid frame — appends land header-first — so it is corruption,
+        // not an append in flight.
+        if header[0..2] != rl_wire::MAGIC || header[2] != rl_wire::WIRE_VERSION {
+            return Err(self.corrupt("bad frame header (corrupt segment)"));
+        }
+        let len = u32::from_le_bytes(header[4..8].try_into().unwrap());
+        if len > MAX_FRAME_LEN {
+            return Err(self.corrupt(&format!(
+                "frame length {len} exceeds maximum (corrupt segment)"
+            )));
+        }
+        let mut payload = vec![0u8; len as usize];
+        match read_full(&mut self.file, &mut payload) {
+            Ok(true) => {}
+            Ok(false) => return Ok(None),
+            Err(e) => return Err(StoreError::io("read", &self.path, e)),
+        }
+        let tag = match rl_wire::verify_frame(&header, &payload) {
+            Ok(tag) => tag,
+            // A CRC mismatch with all bytes present can still be an
+            // append whose payload write is racing us; report "nothing
+            // yet", as the v1 path does.
+            Err(rl_wire::WireError::Corrupt { .. }) => return Ok(None),
+            Err(e) => return Err(self.corrupt(&e.to_string())),
+        };
+        if tag != WAL_FRAME_TAG {
+            return Err(self.corrupt(&format!("unexpected frame tag {tag} in wal segment")));
+        }
+        let op = WalOp::decode_bin(&payload)
+            .map_err(|e| self.corrupt(&format!("undecodable op: {e}")))?;
+        let frame_len = rl_wire::HEADER_LEN as u64 + u64::from(len);
+        self.pos += frame_len;
+        Ok(Some(ReadFrame { op, frame_len }))
+    }
+
+    fn corrupt(&self, msg: &str) -> StoreError {
+        StoreError::io(
+            "read",
+            &self.path,
+            std::io::Error::new(std::io::ErrorKind::InvalidData, msg),
+        )
     }
 
     /// Byte offset of the cursor (start of the next undecoded frame).
@@ -493,32 +686,56 @@ pub fn replay(path: &Path) -> Result<ReplaySegment, StoreError> {
             torn_bytes: bytes.len() as u64,
         });
     }
-    if bytes[..WAL_MAGIC.len()] != WAL_MAGIC {
+    let Some(format) = WalFormat::from_magic(&bytes[..WAL_MAGIC.len()]) else {
         return Err(StoreError::NotAWal {
             path: path.to_path_buf(),
             msg: format!("bad magic {:?}", &bytes[..WAL_MAGIC.len()]),
         });
-    }
+    };
     let mut ops = Vec::new();
     let mut pos = WAL_MAGIC.len();
-    // Stops at clean EOF or the first torn header.
-    while let Some(header) = bytes.get(pos..pos + 8) {
-        let len = u32::from_le_bytes(header[0..4].try_into().unwrap());
-        let crc = u32::from_le_bytes(header[4..8].try_into().unwrap());
-        if len > MAX_FRAME_LEN {
-            break; // torn length prefix
+    match format {
+        // Stops at clean EOF or the first torn header.
+        WalFormat::V1Json => {
+            while let Some(header) = bytes.get(pos..pos + 8) {
+                let len = u32::from_le_bytes(header[0..4].try_into().unwrap());
+                let crc = u32::from_le_bytes(header[4..8].try_into().unwrap());
+                if len > MAX_FRAME_LEN {
+                    break; // torn length prefix
+                }
+                let Some(payload) = bytes.get(pos + 8..pos + 8 + len as usize) else {
+                    break; // torn payload
+                };
+                if crc32(payload) != crc {
+                    break; // corrupt frame
+                }
+                let Ok(op) = serde_json::from_slice::<WalOp>(payload) else {
+                    break; // CRC-valid but undecodable: treat as end of log
+                };
+                ops.push(op);
+                pos += 8 + len as usize;
+            }
         }
-        let Some(payload) = bytes.get(pos + 8..pos + 8 + len as usize) else {
-            break; // torn payload
-        };
-        if crc32(payload) != crc {
-            break; // corrupt frame
+        WalFormat::V2Binary => {
+            while pos < bytes.len() {
+                // Any parse failure — torn header, short payload, bad
+                // CRC, wrong tag, undecodable op — ends the valid
+                // prefix; same longest-valid-prefix semantics as v1.
+                let Ok(Some((tag, payload, consumed))) =
+                    rl_wire::peek_frame(&bytes[pos..], MAX_FRAME_LEN)
+                else {
+                    break;
+                };
+                if tag != WAL_FRAME_TAG {
+                    break;
+                }
+                let Ok(op) = WalOp::decode_bin(payload) else {
+                    break;
+                };
+                ops.push(op);
+                pos += consumed;
+            }
         }
-        let Ok(op) = serde_json::from_slice::<WalOp>(payload) else {
-            break; // CRC-valid but undecodable: treat as end of log
-        };
-        ops.push(op);
-        pos += 8 + len as usize;
     }
     Ok(ReplaySegment {
         valid_len: pos as u64,
@@ -780,6 +997,96 @@ mod tests {
         let mut reader = WalReader::open(&path).unwrap();
         assert!(reader.next_frame().is_err());
         std::fs::remove_file(&path).unwrap();
+    }
+
+    /// Hand-encodes a v1 (CRC'd-JSON) segment, byte-identical to what the
+    /// pre-upgrade WAL wrote — the compatibility fixture for mixed-format
+    /// recovery.
+    fn write_v1_segment(path: &Path, ops: &[WalOp]) {
+        let mut bytes = WAL_MAGIC.to_vec();
+        for op in ops {
+            let payload = serde_json::to_string(op).unwrap().into_bytes();
+            bytes.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+            bytes.extend_from_slice(&crc32(&payload).to_le_bytes());
+            bytes.extend_from_slice(&payload);
+        }
+        std::fs::write(path, bytes).unwrap();
+    }
+
+    #[test]
+    fn new_segments_are_v2_binary() {
+        let path = tmp("v2.log");
+        let wal = Wal::create(&path, SyncPolicy::Never).unwrap();
+        assert_eq!(wal.format(), WalFormat::V2Binary);
+        drop(wal);
+        let head = std::fs::read(&path).unwrap();
+        assert_eq!(&head[..8], &WAL_MAGIC_V2);
+        assert_eq!(
+            WalReader::open(&path).unwrap().format(),
+            WalFormat::V2Binary
+        );
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn v1_segment_replays_and_stays_v1_on_reopen() {
+        let path = tmp("v1-compat.log");
+        let ops = vec![
+            WalOp::Insert(rec(1)),
+            WalOp::Observe(rec(2)),
+            WalOp::Delete(1),
+        ];
+        write_v1_segment(&path, &ops);
+
+        // Replay decodes the JSON frames.
+        let seg = replay(&path).unwrap();
+        assert_eq!(seg.ops, ops);
+        assert_eq!(seg.torn_bytes, 0);
+
+        // The tailer reads them too (replication from an old segment).
+        let mut reader = WalReader::open(&path).unwrap();
+        assert_eq!(reader.format(), WalFormat::V1Json);
+        for want in &ops {
+            assert_eq!(&reader.next_frame().unwrap().unwrap().op, want);
+        }
+        assert!(reader.next_frame().unwrap().is_none());
+
+        // Reopening for append keeps the segment v1: the new frame must
+        // be readable by the same v1 replay.
+        let mut wal = Wal::open_append(&path, SyncPolicy::Never, seg.valid_len).unwrap();
+        assert_eq!(wal.format(), WalFormat::V1Json);
+        wal.append(&WalOp::Insert(rec(9))).unwrap();
+        drop(wal);
+        let seg = replay(&path).unwrap();
+        assert_eq!(seg.ops.len(), 4);
+        assert_eq!(seg.ops[3], WalOp::Insert(rec(9)));
+        assert_eq!(seg.torn_bytes, 0);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn binary_op_codec_roundtrips() {
+        let ops = [
+            WalOp::Insert(Record::new(u64::MAX, ["", "Ünïcode", "x"])),
+            WalOp::Observe(Record {
+                id: 0,
+                fields: Vec::new(),
+            }),
+            WalOp::Delete(42),
+        ];
+        for op in &ops {
+            let mut buf = Vec::new();
+            op.encode_bin(&mut buf);
+            assert_eq!(&WalOp::decode_bin(&buf).unwrap(), op);
+            // Every truncation is rejected, and trailing bytes are too.
+            for cut in 0..buf.len() {
+                assert!(WalOp::decode_bin(&buf[..cut]).is_err(), "cut {cut}");
+            }
+            let mut longer = buf.clone();
+            longer.push(0);
+            assert!(WalOp::decode_bin(&longer).is_err());
+        }
+        assert!(WalOp::decode_bin(&[99]).is_err(), "unknown tag");
     }
 
     #[test]

@@ -1,0 +1,110 @@
+//! Mixed-format recovery (acceptance gate of the wire PR): a data
+//! directory written by the pre-upgrade store — v1 CRC'd-JSON WAL
+//! segments — must keep recovering after the upgrade, while every *new*
+//! segment the upgraded store creates uses the v2 binary format. A
+//! directory can therefore hold both formats side by side, and replay
+//! must walk them in order.
+
+use cbv_hb::Record;
+use rl_store::wal::{crc32, replay};
+use rl_store::{segment_path, Store, StoreOptions, WalFormat, WalOp, WAL_MAGIC, WAL_MAGIC_V2};
+use std::path::{Path, PathBuf};
+
+fn scratch(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("rl-store-mixed-{}-{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn rec(id: u64) -> Record {
+    Record::new(id, [format!("FIRST{id}"), format!("LAST{id}")])
+}
+
+/// Byte-identical to what the pre-upgrade (PR 4–6) WAL wrote.
+fn write_v1_segment(path: &Path, ops: &[WalOp]) {
+    let mut bytes = WAL_MAGIC.to_vec();
+    for op in ops {
+        let payload = serde_json::to_string(op).unwrap().into_bytes();
+        bytes.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        bytes.extend_from_slice(&crc32(&payload).to_le_bytes());
+        bytes.extend_from_slice(&payload);
+    }
+    std::fs::write(path, bytes).unwrap();
+}
+
+#[test]
+fn v1_directory_recovers_and_new_segments_are_v2() {
+    let dir = scratch("upgrade");
+    let old_ops = vec![
+        WalOp::Insert(rec(1)),
+        WalOp::Insert(rec(2)),
+        WalOp::Delete(1),
+    ];
+    write_v1_segment(&segment_path(&dir, 1), &old_ops);
+
+    // The upgraded store opens the old directory and replays the JSON ops.
+    let (mut store, recovery) = Store::open(&dir, StoreOptions::default()).unwrap();
+    assert_eq!(recovery.ops, old_ops);
+    assert!(recovery.snapshot.is_none());
+
+    // Appends continue into the *v1* segment (a segment never mixes
+    // formats internally)…
+    store.append(&WalOp::Insert(rec(3))).unwrap();
+    let head = std::fs::read(segment_path(&dir, 1)).unwrap();
+    assert_eq!(&head[..8], &WAL_MAGIC);
+    assert_eq!(
+        replay(&segment_path(&dir, 1)).unwrap().ops.len(),
+        4,
+        "v1 segment with a post-upgrade append still replays in full"
+    );
+
+    // …while rotation starts a fresh v2 segment.
+    let rotated = store.rotate().unwrap();
+    assert_eq!(rotated, 1);
+    store.append(&WalOp::Observe(rec(4))).unwrap();
+    store.append(&WalOp::Delete(2)).unwrap();
+    store.sync().unwrap();
+    let head = std::fs::read(segment_path(&dir, 2)).unwrap();
+    assert_eq!(&head[..8], &WAL_MAGIC_V2);
+    assert_eq!(
+        replay(&segment_path(&dir, 2)).unwrap().ops,
+        vec![WalOp::Observe(rec(4)), WalOp::Delete(2)]
+    );
+    drop(store);
+
+    // A restart replays both formats, in order, as one log.
+    let (_store, recovery) = Store::open(&dir, StoreOptions::default()).unwrap();
+    assert_eq!(
+        recovery.ops,
+        vec![
+            WalOp::Insert(rec(1)),
+            WalOp::Insert(rec(2)),
+            WalOp::Delete(1),
+            WalOp::Insert(rec(3)),
+            WalOp::Observe(rec(4)),
+            WalOp::Delete(2),
+        ]
+    );
+    assert_eq!(recovery.report.segments_replayed, 2);
+    assert_eq!(recovery.report.truncated_bytes, 0);
+}
+
+#[test]
+fn torn_v1_tail_still_truncates_to_valid_prefix() {
+    let dir = scratch("torn-v1");
+    let ops = vec![WalOp::Insert(rec(1)), WalOp::Insert(rec(2))];
+    let seg = segment_path(&dir, 1);
+    write_v1_segment(&seg, &ops);
+    // Tear: append half a v1 header.
+    let mut bytes = std::fs::read(&seg).unwrap();
+    let good = bytes.len() as u64;
+    bytes.extend_from_slice(&[44, 0, 0, 0, 9]);
+    std::fs::write(&seg, &bytes).unwrap();
+
+    let (store, recovery) = Store::open(&dir, StoreOptions::default()).unwrap();
+    assert_eq!(recovery.ops, ops);
+    assert_eq!(recovery.report.truncated_bytes, 5);
+    assert_eq!(std::fs::metadata(&seg).unwrap().len(), good);
+    assert_eq!(store.active_format(), WalFormat::V1Json);
+}

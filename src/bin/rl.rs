@@ -40,11 +40,12 @@ fn usage() -> ! {
          [--k K] [--delta D] [--blocking random|covering] [--shards N] \
          [--workers N] [--queue N] [--snapshot PATH] [--slow-ms MS] [--seed S] \
          [--data-dir DIR] [--checkpoint-every SECS] [--wal-sync-ms MS] \
-         [--allow-replicas] [--replicate-from HOST:PORT] [--max-subscriptions N]\n  \
-         rl promote [--addr HOST:PORT] [--timeout-ms MS]\n  \
+         [--allow-replicas] [--replicate-from HOST:PORT] [--max-subscriptions N] \
+         [--no-reactor]\n  \
+         rl promote [--addr HOST:PORT] [--timeout-ms MS] [--json]\n  \
          rl client --cmd stats|metrics|dedup-status|repl-status|shutdown|snapshot|index|insert|delete|probe|stream|watch \
          [--addr HOST:PORT] [--input F.csv] [--out M.csv] [--path SNAP] [--ids 1,2,...] \
-         [--header] [--id-column N] [--timeout-ms MS] [--prometheus]\n  \
+         [--header] [--id-column N] [--timeout-ms MS] [--prometheus] [--json]\n  \
          rl client --cmd watch --rule EXPR [--window N | --window-ms MS] \
          [--late drop|apply] [--cap N] [--limit N] [--addr HOST:PORT]"
     );
@@ -83,7 +84,7 @@ fn parse_flags(args: &[String]) -> HashMap<String, String> {
         // Boolean flags take no value.
         if matches!(
             key.as_str(),
-            "header" | "report" | "prometheus" | "allow-replicas"
+            "header" | "report" | "prometheus" | "allow-replicas" | "no-reactor" | "json"
         ) {
             flags.insert(key, "true".into());
             i += 1;
@@ -471,6 +472,9 @@ fn serve(flags: &HashMap<String, String>) -> Result<(), String> {
     };
     let replicate_from = flags.get("replicate-from").cloned();
     let allow_replicas = flags.contains_key("allow-replicas");
+    // The readiness-driven reactor (Linux) is the default; --no-reactor
+    // forces the classic thread-per-connection accept loop.
+    let reactor = !flags.contains_key("no-reactor");
     if allow_replicas && replicate_from.is_some() {
         // Follower fan-out (a replica re-serving the stream) is future
         // work; today a node is a primary or a follower, not both.
@@ -520,6 +524,7 @@ fn serve(flags: &HashMap<String, String>) -> Result<(), String> {
             ReplRole::Standalone
         },
         max_subscriptions,
+        reactor,
     };
 
     // Follower mode: the data directory is seeded from the primary's
@@ -696,7 +701,12 @@ fn promote(flags: &HashMap<String, String>) -> Result<(), String> {
     } else {
         Some(std::time::Duration::from_millis(timeout_ms))
     };
-    let mut client = Client::connect_with_timeout(&*addr, timeout).map_err(|e| e.to_string())?;
+    let mut client = if flags.contains_key("json") {
+        Client::connect_with_timeout(&*addr, timeout)
+    } else {
+        Client::connect_binary_with_timeout(&*addr, timeout)
+    }
+    .map_err(|e| e.to_string())?;
     let (head_seq, was_follower) = client.promote().map_err(|e| e.to_string())?;
     if was_follower {
         eprintln!("{addr} promoted to primary at op seq {head_seq}");
@@ -730,7 +740,15 @@ fn client(flags: &HashMap<String, String>) -> Result<(), String> {
     } else {
         Some(std::time::Duration::from_millis(timeout_ms))
     };
-    let mut client = Client::connect_with_timeout(&*addr, timeout).map_err(|e| e.to_string())?;
+    // Binary (protocol v7) by default, with transparent JSON fallback on
+    // old servers; --json forces the line protocol (e.g. for debugging
+    // with a packet capture).
+    let mut client = if flags.contains_key("json") {
+        Client::connect_with_timeout(&*addr, timeout)
+    } else {
+        Client::connect_binary_with_timeout(&*addr, timeout)
+    }
+    .map_err(|e| e.to_string())?;
 
     let read_file = |key: &str| -> Result<Vec<Record>, String> {
         let path = req(flags, key)?;

