@@ -192,11 +192,24 @@ fn main() {
     // the primary keeps writing, and promote latency (docs/REPLICATION.md).
     let repl = run_replication(opts.clone());
     println!();
-    println!("| records | bootstrap secs | stream secs | shipped/sec | promote ms |");
-    println!("|---|---|---|---|---|");
     println!(
-        "| {} | {:.3} | {:.3} | {:.0} | {:.1} |",
-        repl.records, repl.bootstrap_secs, repl.stream_secs, repl.shipped_per_sec, repl.promote_ms,
+        "| records | bootstrap secs | stream secs | shipped/sec | promote ms | \
+         lease ms | election ms | quorum ins/sec | quorum overhead | acked | applied |"
+    );
+    println!("|---|---|---|---|---|---|---|---|---|---|---|");
+    println!(
+        "| {} | {:.3} | {:.3} | {:.0} | {:.1} | {} | {:.0} | {:.0} | {:.2}x | {} | {} |",
+        repl.records,
+        repl.bootstrap_secs,
+        repl.stream_secs,
+        repl.shipped_per_sec,
+        repl.promote_ms,
+        repl.lease_ms,
+        repl.election_ms,
+        repl.quorum_inserts_per_sec,
+        repl.quorum_overhead_vs_async,
+        repl.acked_writes,
+        repl.applied_after_failover,
     );
     write_json(&opts.out, "BENCH_replication", &[repl]);
 
@@ -404,6 +417,22 @@ struct ReplRow {
     shipped_per_sec: f64,
     /// `Promote` round trip on the follower after the primary is gone.
     promote_ms: f64,
+    /// Lease the drill primary granted on heartbeats (protocol v8).
+    lease_ms: u64,
+    /// Primary death → the auto-failover follower answering as primary:
+    /// lease expiry + election + self-promote, measured by polling.
+    election_ms: f64,
+    /// Insert throughput with `--sync-replicas 1` (each ack waits for the
+    /// follower's durability ack).
+    quorum_inserts_per_sec: f64,
+    /// Async ship+apply rate over quorum insert rate (1.0 = quorum acks
+    /// are free; higher = the ack wait costs that factor).
+    quorum_overhead_vs_async: f64,
+    /// Records whose quorum-acked insert succeeded before the kill.
+    acked_writes: u64,
+    /// Records the new primary serves after failover — the acked-write
+    /// audit passes when this covers every acked write.
+    applied_after_failover: u64,
 }
 
 /// Polls `client` until it reports `applied_seq >= target` with zero
@@ -505,12 +534,14 @@ fn run_replication(opts: Opts) -> ReplRow {
     pc.shutdown().expect("shutdown primary");
     primary.wait();
     let start = Instant::now();
-    let (_, was_follower) = fc.promote().expect("promote");
+    let (_, was_follower, epoch) = fc.promote().expect("promote");
     let promote_ms = start.elapsed().as_secs_f64() * 1e3;
     if opts.smoke {
         assert!(was_follower, "promote hit a non-follower");
+        assert!(epoch >= 1, "promote did not bump the epoch");
         let s = fc.repl_status().expect("repl status");
         assert_eq!(s.role, "primary", "promote did not flip the role");
+        assert_eq!(s.epoch, epoch, "repl status disagrees on the epoch");
     }
     fc.shutdown().expect("shutdown follower");
     follower.wait();
@@ -518,12 +549,147 @@ fn run_replication(opts: Opts) -> ReplRow {
     let _ = std::fs::remove_dir_all(&fdir);
 
     let shipped = second.len() as u64;
+    let shipped_per_sec = shipped as f64 / stream_secs;
+    let drill = run_failover_drill(&opts, shipped_per_sec);
+
     ReplRow {
         records: opts.records,
         bootstrap_secs,
         stream_secs,
-        shipped_per_sec: shipped as f64 / stream_secs,
+        shipped_per_sec,
         promote_ms,
+        lease_ms: drill.lease_ms,
+        election_ms: drill.election_ms,
+        quorum_inserts_per_sec: drill.quorum_inserts_per_sec,
+        quorum_overhead_vs_async: drill.quorum_overhead_vs_async,
+        acked_writes: drill.acked_writes,
+        applied_after_failover: drill.applied_after_failover,
+    }
+}
+
+/// The failover-drill measurements folded into [`ReplRow`].
+struct DrillNumbers {
+    lease_ms: u64,
+    election_ms: f64,
+    quorum_inserts_per_sec: f64,
+    quorum_overhead_vs_async: f64,
+    acked_writes: u64,
+    applied_after_failover: u64,
+}
+
+/// Self-healing drill (protocol v8): a quorum-acked primary granting
+/// leases, an auto-failover follower, then the primary dies mid-stream.
+/// Measures the quorum-ack overhead on inserts and the election latency
+/// (death → the follower answering as primary), and audits that every
+/// quorum-acked write survived the failover. Under `--smoke` the audit
+/// and the `election < 2× lease` bound are hard gates.
+fn run_failover_drill(opts: &Opts, async_shipped_per_sec: f64) -> DrillNumbers {
+    // Long enough that the in-process drain below (whose listen backlog
+    // still accepts connects while dying, costing the election's
+    // liveness probe its full timeout) fits inside the 2x-lease gate; a
+    // SIGKILLed process gets instant connection refusals instead, and
+    // that path elects in milliseconds (tests/server_replication.rs).
+    let lease_ms: u64 = 2_000;
+    let pid = std::process::id();
+    let pdir = std::env::temp_dir().join(format!("rl-drill-primary-{pid}"));
+    let fdir = std::env::temp_dir().join(format!("rl-drill-follower-{pid}"));
+    let _ = std::fs::remove_dir_all(&pdir);
+    let _ = std::fs::remove_dir_all(&fdir);
+    let config = |dir: &PathBuf, role: ReplRole| ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        workers: 1,
+        queue_capacity: 256,
+        repl_role: role,
+        durability: Some(DurabilityConfig {
+            data_dir: dir.clone(),
+            sync: SyncPolicy::GroupCommit(Duration::from_millis(5)),
+            checkpoint_every: None,
+        }),
+        ..ServerConfig::default()
+    };
+    let seed = opts.seed;
+    let mut primary_config = config(&pdir, ReplRole::Primary);
+    primary_config.lease_ms = lease_ms;
+    primary_config.sync_replicas = 1;
+    primary_config.quorum_timeout = Duration::from_secs(10);
+    let primary = Server::spawn_durable(|| Ok(bench_pipeline(seed, 1)), primary_config)
+        .expect("spawn primary");
+    let primary_addr = primary.local_addr().to_string();
+
+    let mut follower_config =
+        FollowerConfig::new(primary_addr.clone(), config(&fdir, ReplRole::Standalone));
+    follower_config.auto_failover = true;
+    let follower = Follower::spawn(follower_config).expect("spawn follower");
+    let mut fc = Client::connect(follower.local_addr()).expect("connect follower");
+
+    // Quorum inserts stall without a connected follower; wait for the
+    // subscription to land before the write phase starts.
+    let mut pc = Client::connect(&*primary_addr).expect("connect primary");
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while pc.repl_status().expect("repl status").followers == 0 {
+        assert!(Instant::now() < deadline, "follower never subscribed");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+
+    // Every insert below waits for the follower's durability ack before
+    // returning — so by construction, every acked record exists on the
+    // node about to win the election.
+    let corpus: Vec<Record> = (0..opts.records).map(|i| record(i, i)).collect();
+    let mut acked: u64 = 0;
+    let start = Instant::now();
+    for chunk in corpus.chunks(500) {
+        pc.insert(chunk).expect("quorum insert");
+        acked += chunk.len() as u64;
+    }
+    let quorum_secs = start.elapsed().as_secs_f64();
+    let quorum_rate = acked as f64 / quorum_secs;
+
+    // The primary dies mid-lease. (The process-level SIGKILL variant
+    // lives in tests/server_replication.rs; in-process shutdown is the
+    // closest this bench can get.) The clock starts at the kill, not
+    // after the drain: election_ms is the whole write-unavailability
+    // window — session break, lease run-out, election, promote.
+    let start = Instant::now();
+    primary.shutdown();
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        if let Ok(s) = fc.repl_status() {
+            if s.role == "primary" {
+                break;
+            }
+        }
+        assert!(Instant::now() < deadline, "auto-failover never promoted");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    let election_ms = start.elapsed().as_secs_f64() * 1e3;
+    primary.wait();
+
+    let applied = fc.stats().expect("stats").indexed as u64;
+    if opts.smoke {
+        assert_eq!(
+            applied, acked,
+            "acked-write audit failed: {acked} quorum-acked inserts, {applied} survived"
+        );
+        let bound = 2.0 * lease_ms as f64;
+        assert!(
+            election_ms < bound,
+            "election took {election_ms:.0} ms, bound is {bound:.0} ms (2x the {lease_ms} ms lease)"
+        );
+        let s = fc.repl_status().expect("repl status");
+        assert!(s.epoch >= 1, "failover did not bump the epoch");
+    }
+    fc.shutdown().expect("shutdown follower");
+    follower.wait();
+    let _ = std::fs::remove_dir_all(&pdir);
+    let _ = std::fs::remove_dir_all(&fdir);
+
+    DrillNumbers {
+        lease_ms,
+        election_ms,
+        quorum_inserts_per_sec: quorum_rate,
+        quorum_overhead_vs_async: async_shipped_per_sec / quorum_rate,
+        acked_writes: acked,
+        applied_after_failover: applied,
     }
 }
 

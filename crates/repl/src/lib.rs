@@ -18,10 +18,15 @@
 //! resume from the local WAL without re-bootstrapping, and `Promote` is
 //! just a role flip plus a segment rotation.
 //!
-//! Shipping is asynchronous: the primary acknowledges writers without
-//! waiting for any follower. A promote therefore only preserves every
-//! acknowledged mutation if the follower had caught up (lag 0) — the
-//! failover runbook in `docs/REPLICATION.md` spells this out.
+//! Shipping is asynchronous by default: the primary acknowledges writers
+//! without waiting for any follower (`--sync-replicas N` upgrades that to
+//! quorum acks, see `docs/REPLICATION.md`). Protocol v8 adds
+//! self-healing: the primary grants **leases** on its heartbeats, and a
+//! follower running with [`FollowerConfig::auto_failover`] holds a
+//! deterministic **election** when its lease expires — the reachable
+//! follower with the highest applied sequence (ties broken by smallest
+//! address) promotes itself, bumping the **primary epoch** so the old
+//! primary's frames are fenced everywhere if it comes back.
 
 use rl_server::{
     ApplyError, Client, ClientError, DurabilityConfig, ReplHandle, ReplRole, Reply, Request,
@@ -29,7 +34,7 @@ use rl_server::{
 };
 use rl_store::{scan_segments, Checkpoint, CHECKPOINT_FILE};
 use std::io::ErrorKind;
-use std::time::{Duration, SystemTime, UNIX_EPOCH};
+use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
 
 /// Follower tuning. Wraps the embedded server's own config (which must
 /// carry a [`DurabilityConfig`]: the local WAL is what makes restarts and
@@ -53,6 +58,14 @@ pub struct FollowerConfig {
     /// Connection attempts for the initial checkpoint bootstrap before
     /// `spawn` gives up (each retry backs off like a reconnect).
     pub bootstrap_attempts: u32,
+    /// Hold an election when the primary's lease expires (protocol v8).
+    /// Off by default: without it, failover stays a manual `rl promote`.
+    pub auto_failover: bool,
+    /// The other replica addresses (host:port) consulted during an
+    /// election. The follower only promotes itself when no reachable peer
+    /// is already primary or better positioned (higher applied sequence,
+    /// ties broken by smallest address). Its own address is skipped.
+    pub peers: Vec<String>,
 }
 
 impl FollowerConfig {
@@ -66,6 +79,8 @@ impl FollowerConfig {
             backoff_base: Duration::from_millis(100),
             backoff_cap: Duration::from_secs(5),
             bootstrap_attempts: 10,
+            auto_failover: false,
+            peers: Vec::new(),
         }
     }
 }
@@ -97,9 +112,15 @@ impl Follower {
                 "a follower requires durability (its local WAL mirrors the primary)",
             ));
         };
-        if needs_bootstrap(&durability) {
-            bootstrap(&config, &durability)?;
-        }
+        // A bootstrap is live contact with the primary, so it doubles as
+        // the first lease grant: without it, a primary that dies before
+        // the subscription's first heartbeat would leave the lease unset
+        // and auto-failover permanently inert.
+        let seed_lease_ms = if needs_bootstrap(&durability) {
+            bootstrap(&config, &durability)?
+        } else {
+            0
+        };
         let server = Server::spawn_durable(
             || {
                 Err(std::io::Error::other(
@@ -109,9 +130,10 @@ impl Follower {
             server_config,
         )?;
         let handle = server.repl_handle();
+        let self_addr = server.local_addr().to_string();
         let apply = std::thread::Builder::new()
             .name("rl-repl-apply".into())
-            .spawn(move || apply_loop(&handle, &config))
+            .spawn(move || apply_loop(&handle, &config, &self_addr, seed_lease_ms))
             .expect("spawn apply loop");
         Ok(Self {
             server,
@@ -154,8 +176,10 @@ fn needs_bootstrap(durability: &DurabilityConfig) -> bool {
 
 /// Fetches the primary's checkpoint and installs it as the data
 /// directory's starting point, retrying with backoff while the primary
-/// is unreachable.
-fn bootstrap(config: &FollowerConfig, durability: &DurabilityConfig) -> std::io::Result<()> {
+/// is unreachable. Returns the primary's lease grant (`lease_ms`, 0 if
+/// it grants none) so the caller can start the failover clock from this
+/// contact.
+fn bootstrap(config: &FollowerConfig, durability: &DurabilityConfig) -> std::io::Result<u64> {
     let mut backoff = Backoff::new(config.backoff_base, config.backoff_cap);
     let mut last_err = String::new();
     for attempt in 0..config.bootstrap_attempts.max(1) {
@@ -181,7 +205,10 @@ fn bootstrap(config: &FollowerConfig, durability: &DurabilityConfig) -> std::io:
                     "rl-repl: bootstrapped from {} (checkpoint at op seq {})",
                     config.primary_addr, ckpt.ops
                 );
-                return Ok(());
+                // Best effort: an error here just means the lease gets
+                // seeded on the first subscription instead.
+                let grant = client.repl_status().map(|s| s.lease_ms).unwrap_or(0);
+                return Ok(grant);
             }
             Err(e) => last_err = e,
         }
@@ -209,11 +236,69 @@ fn fetch_checkpoint(client: &mut Client) -> Result<Checkpoint, String> {
     Ok(ckpt)
 }
 
+/// The primary's lease, as granted on its stream heartbeats. Any applied
+/// frame or heartbeat from the primary renews it; when it runs out and
+/// the session is down, the primary is presumed dead and (under
+/// `auto_failover`) an election runs.
+struct Lease {
+    /// Last grant size seen (0 = the primary grants no leases, so
+    /// automatic failover never triggers).
+    lease_ms: u64,
+    deadline: Option<Instant>,
+}
+
+impl Lease {
+    fn new() -> Self {
+        Self {
+            lease_ms: 0,
+            deadline: None,
+        }
+    }
+
+    /// Renews from a heartbeat grant (`lease_ms > 0` replaces the grant
+    /// size) or from frame progress (`lease_ms == 0` reuses the last
+    /// grant).
+    fn renew(&mut self, lease_ms: u64) {
+        if lease_ms > 0 {
+            self.lease_ms = lease_ms;
+        }
+        if self.lease_ms > 0 {
+            self.deadline = Some(Instant::now() + Duration::from_millis(self.lease_ms));
+        }
+    }
+
+    /// True only when a grant existed and has run out.
+    fn expired(&self) -> bool {
+        matches!(self.deadline, Some(d) if Instant::now() >= d)
+    }
+}
+
+/// An election's outcome, from this follower's point of view.
+enum Election {
+    /// This node promoted itself (the new epoch is logged by the caller).
+    Promoted,
+    /// Another node is (or is becoming) primary at this address —
+    /// re-point the subscription there.
+    Retarget(String),
+    /// Someone better positioned should win, or nobody is reachable;
+    /// keep reconnecting and re-electing.
+    Defer,
+}
+
 /// The follower's long-running loop: subscribe, apply, and on any
 /// failure reconnect with capped exponential backoff. Exits when the
-/// server shuts down or the node stops being a follower (promote).
-fn apply_loop(handle: &ReplHandle, config: &FollowerConfig) {
+/// server shuts down or the node stops being a follower (promote —
+/// manual, or won here when `auto_failover` is on and the primary's
+/// lease lapses).
+fn apply_loop(handle: &ReplHandle, config: &FollowerConfig, self_addr: &str, seed_lease_ms: u64) {
     let mut backoff = Backoff::new(config.backoff_base, config.backoff_cap);
+    let mut lease = Lease::new();
+    // The bootstrap's grant, if any: the failover clock starts at the
+    // last live contact, which may predate the first subscription.
+    lease.renew(seed_lease_ms);
+    // The subscription target: starts at the configured primary, moves
+    // when an election (or a promoted peer) says the role did.
+    let mut primary_addr = config.primary_addr.clone();
     let mut first = true;
     while !handle.is_shutdown() && handle.role().is_follower() {
         if !first {
@@ -223,30 +308,154 @@ fn apply_loop(handle: &ReplHandle, config: &FollowerConfig) {
             }
         }
         first = false;
-        match run_session(handle, config, &mut backoff) {
+        match run_session(handle, config, &primary_addr, &mut backoff, &mut lease) {
             Ok(()) => break, // clean exit: shutdown or promoted
             Err(e) => {
-                if !handle.is_shutdown() {
-                    eprintln!("rl-repl: session with {} ended: {e}", config.primary_addr);
+                if handle.is_shutdown() {
+                    break;
+                }
+                eprintln!("rl-repl: session with {primary_addr} ended: {e}");
+                if config.auto_failover && lease.expired() {
+                    match run_election(handle, config, self_addr, &primary_addr) {
+                        Election::Promoted => break,
+                        Election::Retarget(addr) => {
+                            eprintln!("rl-repl: following new primary at {addr}");
+                            primary_addr = addr;
+                            lease = Lease::new();
+                            backoff.reset();
+                        }
+                        Election::Defer => {}
+                    }
                 }
             }
         }
     }
 }
 
+/// Decides who should be primary now that the lease on `primary_addr`
+/// has expired, by polling actual replication state rather than voting:
+/// the reachable node with the highest applied sequence must win (it has
+/// the most acknowledged history), ties broken by smallest address so
+/// every participant picks the same winner. Polls are best-effort with
+/// short timeouts; an unreachable peer simply doesn't count — worst case
+/// two nodes promote and the epoch bump fences the loser's writers away.
+fn run_election(
+    handle: &ReplHandle,
+    config: &FollowerConfig,
+    self_addr: &str,
+    primary_addr: &str,
+) -> Election {
+    let started = Instant::now();
+    let poll_timeout = config.request_timeout.min(Duration::from_secs(1));
+    // The lease can lapse on a blip the TCP session didn't survive; if
+    // the primary still answers as primary, this was not its death.
+    if let Some(status) = peer_status(primary_addr, poll_timeout) {
+        if status.role != "follower" {
+            return Election::Defer;
+        }
+    }
+    let my_applied = handle.op_seq();
+    for peer in &config.peers {
+        if peer == self_addr || peer == primary_addr {
+            continue;
+        }
+        let Some(status) = peer_status(peer, poll_timeout) else {
+            continue;
+        };
+        if status.role == "primary" {
+            return Election::Retarget(peer.clone());
+        }
+        let better_seq = status.applied_seq > my_applied;
+        let tie_break = status.applied_seq == my_applied && peer.as_str() < self_addr;
+        if status.role == "follower" && (better_seq || tie_break) {
+            // The better-positioned peer runs the same deterministic
+            // rule and will promote itself; a later election round
+            // finds it as primary and retargets.
+            return Election::Defer;
+        }
+    }
+    // Nobody reachable beats this node: promote through the local server
+    // (the same path a manual `rl promote` takes, so every invariant —
+    // resync window, epoch bump, segment rotation — holds).
+    match Client::connect_with_timeout(self_addr, Some(poll_timeout)).and_then(|mut c| c.promote())
+    {
+        Ok((head_seq, _, epoch)) => {
+            eprintln!(
+                "rl-repl: lease expired; won election in {:?} — promoted to primary at op \
+                 seq {head_seq} (epoch {epoch})",
+                started.elapsed()
+            );
+            Election::Promoted
+        }
+        Err(e) => {
+            eprintln!("rl-repl: self-promote failed ({e}); will retry");
+            Election::Defer
+        }
+    }
+}
+
+/// One best-effort `ReplStatus` poll of a peer. Single-shot: a hung or
+/// half-dead peer (e.g. a dying primary whose listen backlog still
+/// accepts) costs one `timeout`, never a retry's worth on top.
+fn peer_status(addr: &str, timeout: Duration) -> Option<rl_server::ReplStatusReply> {
+    let mut client = Client::connect_with_timeout(addr, Some(timeout)).ok()?;
+    client.repl_status_once().ok()
+}
+
+/// Fetches a fresh checkpoint over a reconnected client and installs it,
+/// with the resync window flagged so a concurrent `Promote` is refused
+/// rather than crowning a half-loaded store.
+fn resync_from_primary(handle: &ReplHandle, client: &mut Client) -> Result<(), String> {
+    handle.set_resyncing(true);
+    let result = client
+        .reconnect()
+        .map_err(|e| format!("reconnect: {e}"))
+        .and_then(|()| fetch_checkpoint(client))
+        .and_then(|ckpt| handle.resync(ckpt));
+    handle.set_resyncing(false);
+    result
+}
+
 /// One connected session: subscribe from the local op sequence and apply
 /// the stream, resyncing from a fresh checkpoint when the primary's
 /// retained log no longer reaches back to our position.
+///
+/// The reconnect backoff resets only on *progress* — an applied frame, or
+/// a heartbeat after the stream's greeting heartbeat. The greeting
+/// arrives before the primary has validated our position at all, so
+/// counting it as progress would let a doomed session (one that dies
+/// right after greeting, every time) hot-loop reconnects at the base
+/// delay forever.
 fn run_session(
     handle: &ReplHandle,
     config: &FollowerConfig,
+    primary_addr: &str,
     backoff: &mut Backoff,
+    lease: &mut Lease,
 ) -> Result<(), String> {
-    let mut client = Client::connect_binary_with_timeout(
-        config.primary_addr.as_str(),
-        Some(config.request_timeout),
-    )
-    .map_err(|e| format!("connect: {e}"))?;
+    // A granted lease caps how long the primary may go silent, so it
+    // also caps how long this follower waits on it: a hung-but-listening
+    // primary (frozen process, dying listener whose backlog still
+    // accepts) must not stall the reconnect — and therefore the election
+    // behind it — for the full request timeout. Floored at 1 s so a
+    // short lease never times out the stream between 500 ms heartbeats.
+    let contact_timeout = if lease.lease_ms > 0 {
+        config
+            .request_timeout
+            .min(Duration::from_millis(lease.lease_ms).max(Duration::from_secs(1)))
+    } else {
+        config.request_timeout
+    };
+    let mut client = Client::connect_binary_with_timeout(primary_addr, Some(contact_timeout))
+        .map_err(|e| format!("connect: {e}"))?;
+    // Seed the lease on first contact rather than waiting for a stream
+    // heartbeat: a primary can die right after a follower attaches, and
+    // a grant learned only from heartbeats would never start ticking —
+    // leaving auto-failover inert in exactly the crash it exists for.
+    if config.auto_failover {
+        let status = client.repl_status().map_err(|e| format!("status: {e}"))?;
+        lease.renew(status.lease_ms);
+    }
     loop {
         if handle.is_shutdown() || !handle.role().is_follower() {
             return Ok(());
@@ -254,17 +463,31 @@ fn run_session(
         client
             .send(&Request::Subscribe {
                 from_seq: handle.op_seq(),
+                epoch: handle.epoch(),
             })
             .map_err(|e| format!("subscribe: {e}"))?;
+        let mut greeted = false;
         loop {
             if handle.is_shutdown() || !handle.role().is_follower() {
                 return Ok(());
             }
             match client.recv() {
-                Ok(Reply::WalFrame { seq, op }) => {
-                    match handle.apply(seq, &op) {
-                        Ok(()) => backoff.reset(),
+                Ok(Reply::WalFrame { seq, op, epoch }) => {
+                    match handle.apply(seq, &op, epoch) {
+                        Ok(()) => {
+                            backoff.reset();
+                            lease.renew(0);
+                            // Durable and applied: report it upstream for
+                            // `--sync-replicas` quorums. A write failure
+                            // will resurface on the next recv.
+                            let _ = client.send_ack(seq);
+                        }
                         Err(ApplyError::Retry(e)) => return Err(e),
+                        Err(ApplyError::StaleEpoch(e)) => {
+                            // The sender is a fenced ex-primary; its whole
+                            // stream is poison, not just this frame.
+                            return Err(e);
+                        }
                         Err(ApplyError::Resync(e)) => {
                             // The local WAL and index disagree (e.g. an op
                             // went durable but failed to apply); a plain
@@ -272,9 +495,7 @@ fn run_session(
                             // forever. Re-bootstrap resets both from a
                             // fresh primary checkpoint.
                             eprintln!("rl-repl: {e}; re-bootstrapping from a fresh checkpoint");
-                            client.reconnect().map_err(|e| format!("reconnect: {e}"))?;
-                            let ckpt = fetch_checkpoint(&mut client)?;
-                            handle.resync(ckpt)?;
+                            resync_from_primary(handle, &mut client)?;
                             break;
                         }
                     }
@@ -282,9 +503,27 @@ fn run_session(
                 Ok(Reply::Heartbeat {
                     head_seq,
                     lag_bytes,
+                    epoch,
+                    lease_ms,
                 }) => {
+                    let known = handle.epoch();
+                    if epoch < known {
+                        return Err(format!(
+                            "heartbeat carries epoch {epoch} but this follower has \
+                             observed epoch {known}; the sender is a fenced ex-primary"
+                        ));
+                    }
+                    if epoch > known {
+                        handle
+                            .observe_epoch(epoch)
+                            .map_err(|e| format!("epoch adoption failed: {e}"))?;
+                    }
                     handle.update_lag(head_seq, lag_bytes);
-                    backoff.reset();
+                    lease.renew(lease_ms);
+                    if greeted {
+                        backoff.reset();
+                    }
+                    greeted = true;
                 }
                 Ok(Reply::ResyncRequired { base_ops }) => {
                     eprintln!(
@@ -295,9 +534,7 @@ fn run_session(
                     // The primary closes the subscription after this
                     // line; fetch the checkpoint over a new connection,
                     // then resubscribe on it.
-                    client.reconnect().map_err(|e| format!("reconnect: {e}"))?;
-                    let ckpt = fetch_checkpoint(&mut client)?;
-                    handle.resync(ckpt)?;
+                    resync_from_primary(handle, &mut client)?;
                     break;
                 }
                 Ok(other) => return Err(format!("unexpected stream reply: {other:?}")),

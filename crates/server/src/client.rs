@@ -42,8 +42,22 @@
 //!
 //! A read replica answers mutations with a typed `NotPrimary` error that
 //! carries the primary's address. The client follows it transparently —
-//! reconnects to the primary and resends, once per call. This is safe for
-//! mutations too: the follower rejected the request without applying it.
+//! reconnects to the primary and resends, up to [`Client::MAX_REDIRECT_HOPS`]
+//! hops per call (a failover can legitimately chain two redirects while
+//! cluster state settles; an endless chain means the cluster is
+//! partitioned and surfaces as [`ClientError::RedirectLoop`]). This is
+//! safe for mutations too: every hop's rejection was issued without
+//! applying.
+//!
+//! ## Read-your-writes (protocol v8)
+//!
+//! Mutation replies carry `applied_seq` — the WAL position the mutation
+//! landed at. The client remembers the highest one as its session token;
+//! when a later [`Client::probe`] or [`Client::stats`] hits a follower
+//! that has not yet applied that position, the client briefly waits for
+//! the follower to catch up and, failing that, redirects the read to the
+//! primary. Reads on this client therefore always observe this client's
+//! own completed writes, even through a load-balanced replica.
 
 use crate::protocol::{
     wire, ErrorCode, ReplStatusReply, Reply, Request, RequestError, Response, StatsReply,
@@ -75,6 +89,11 @@ pub enum ClientError {
     FrameCorrupt(String),
     /// The server rejected the request (typed: backpressure, parse, …).
     Server(RequestError),
+    /// `NotPrimary` redirects chained past [`Client::MAX_REDIRECT_HOPS`]
+    /// hops without reaching a node that accepts writes — the cluster has
+    /// no settled primary (mid-failover, or a partition). The request was
+    /// never applied anywhere; retry once the cluster converges.
+    RedirectLoop(String),
 }
 
 impl std::fmt::Display for ClientError {
@@ -85,6 +104,7 @@ impl std::fmt::Display for ClientError {
             ClientError::Protocol(msg) => write!(f, "protocol: {msg}"),
             ClientError::FrameCorrupt(msg) => write!(f, "corrupt frame: {msg}"),
             ClientError::Server(e) => write!(f, "server: {e}"),
+            ClientError::RedirectLoop(msg) => write!(f, "redirect loop: {msg}"),
         }
     }
 }
@@ -130,8 +150,9 @@ enum Conn {
 enum BinMsg {
     /// An id-enveloped [`Response`].
     Response(u64, Response),
-    /// A replicated WAL frame from a `Subscribe` stream.
-    Wal(u64, rl_store::WalOp),
+    /// A replicated WAL frame from a `Subscribe` stream: `(seq, epoch,
+    /// op)`. Legacy `TAG_WAL` frames carry epoch 0 implicitly.
+    Wal(u64, u64, rl_store::WalOp),
     /// Raw checkpoint bytes from a `FetchCheckpoint` transfer.
     Chunk(Vec<u8>),
 }
@@ -150,6 +171,13 @@ pub struct Client {
     timeout: Option<Duration>,
     /// Re-negotiate binary framing after every reconnect.
     want_binary: bool,
+    /// Read-your-writes session token: the highest `applied_seq` any
+    /// mutation reply on this client has carried (protocol v8).
+    session_seq: u64,
+    /// The session token already confirmed applied on the connected node;
+    /// reads skip the catch-up poll while `session_seq` hasn't advanced
+    /// past it. Reset on every redirect/address change.
+    session_checked: u64,
 }
 
 impl Client {
@@ -158,6 +186,17 @@ impl Client {
 
     /// Pause before the single retry of an idempotent read.
     pub const RETRY_BACKOFF: Duration = Duration::from_millis(50);
+
+    /// Most `NotPrimary` redirects followed per call before giving up
+    /// with [`ClientError::RedirectLoop`]. A mid-failover cluster can
+    /// legitimately chain two (old primary → stale pointer → new
+    /// primary); three nodes each pointing elsewhere means nobody holds
+    /// the write role.
+    pub const MAX_REDIRECT_HOPS: usize = 3;
+
+    /// Longest a read blocks waiting for a follower to catch up to this
+    /// client's session token before falling back to the primary.
+    pub const READ_YOUR_WRITES_WAIT: Duration = Duration::from_secs(1);
 
     /// Connects to a running server with [`Self::DEFAULT_TIMEOUT`] on
     /// reads and writes. The connection speaks JSON (protocol ≤6); use
@@ -186,6 +225,8 @@ impl Client {
             addrs,
             timeout,
             want_binary: false,
+            session_seq: 0,
+            session_checked: 0,
         })
     }
 
@@ -349,28 +390,48 @@ impl Client {
         }
     }
 
-    /// Follows a `NotPrimary { primary_addr }` rejection to the primary
-    /// and resends — once; the target is expected to actually be the
-    /// primary, so a second redirect fails. Safe for mutations: the
-    /// follower rejected without applying. Any other server error passes
-    /// through.
+    /// Follows `NotPrimary { primary_addr }` rejections to the primary
+    /// and resends, up to [`Self::MAX_REDIRECT_HOPS`] hops — during a
+    /// failover the first target may itself answer `NotPrimary` while
+    /// roles settle. Nodes endlessly pointing at each other surface as
+    /// [`ClientError::RedirectLoop`] instead of an unbounded chase. Safe
+    /// for mutations: every hop's rejection was issued without applying.
+    /// Any other server error passes through.
     fn follow_redirect(
         &mut self,
         request: &Request,
-        err: RequestError,
+        mut err: RequestError,
     ) -> Result<Reply, ClientError> {
+        let mut visited: Vec<String> = Vec::new();
+        for _ in 0..Self::MAX_REDIRECT_HOPS {
+            if err.code != ErrorCode::NotPrimary {
+                return Err(ClientError::Server(err));
+            }
+            let Some(primary) = err.primary_addr.clone() else {
+                return Err(ClientError::Server(err));
+            };
+            visited.push(primary.clone());
+            let Ok(addrs) = primary.to_socket_addrs().map(Vec::from_iter) else {
+                return Err(ClientError::Server(err));
+            };
+            self.addrs = addrs;
+            // A different node knows nothing of this session's reads.
+            self.session_checked = 0;
+            self.reconnect()?;
+            match self.call_once(request) {
+                Ok(reply) => return Ok(reply),
+                Err(ClientError::Server(next)) => err = next,
+                Err(e) => return Err(e),
+            }
+        }
         if err.code != ErrorCode::NotPrimary {
             return Err(ClientError::Server(err));
         }
-        let Some(primary) = err.primary_addr.clone() else {
-            return Err(ClientError::Server(err));
-        };
-        let Ok(addrs) = primary.to_socket_addrs().map(Vec::from_iter) else {
-            return Err(ClientError::Server(err));
-        };
-        self.addrs = addrs;
-        self.reconnect()?;
-        self.call_once(request)
+        Err(ClientError::RedirectLoop(format!(
+            "gave up after {} NotPrimary hops ({}); no node accepts writes",
+            Self::MAX_REDIRECT_HOPS,
+            visited.join(" -> ")
+        )))
     }
 
     /// Writes one request without reading a reply. With [`Self::recv`],
@@ -439,7 +500,7 @@ impl Client {
                 BinMsg::Response(_, response) => {
                     response.into_result().map_err(ClientError::Server)
                 }
-                BinMsg::Wal(seq, op) => Ok(Reply::WalFrame { seq, op }),
+                BinMsg::Wal(seq, epoch, op) => Ok(Reply::WalFrame { seq, op, epoch }),
                 BinMsg::Chunk(_) => Err(ClientError::Protocol(
                     "unexpected checkpoint chunk frame outside a transfer".into(),
                 )),
@@ -601,7 +662,11 @@ impl Client {
             Reply::Indexed {
                 accepted,
                 total_indexed,
-            } => Ok((accepted, total_indexed)),
+                applied_seq,
+            } => {
+                self.note_applied(applied_seq);
+                Ok((accepted, total_indexed))
+            }
             other => Err(unexpected("Indexed", &other)),
         }
     }
@@ -619,7 +684,11 @@ impl Client {
             Reply::Indexed {
                 accepted,
                 total_indexed,
-            } => Ok((accepted, total_indexed)),
+                applied_seq,
+            } => {
+                self.note_applied(applied_seq);
+                Ok((accepted, total_indexed))
+            }
             other => Err(unexpected("Indexed", &other)),
         }
     }
@@ -634,7 +703,11 @@ impl Client {
             Reply::Deleted {
                 removed,
                 total_indexed,
-            } => Ok((removed, total_indexed)),
+                applied_seq,
+            } => {
+                self.note_applied(applied_seq);
+                Ok((removed, total_indexed))
+            }
             other => Err(unexpected("Deleted", &other)),
         }
     }
@@ -648,6 +721,7 @@ impl Client {
         &mut self,
         records: &[Record],
     ) -> Result<(Vec<(u64, u64)>, MatchStats), ClientError> {
+        self.ensure_read_your_writes()?;
         match self.call(&Request::Probe {
             records: records.to_vec(),
         })? {
@@ -665,7 +739,13 @@ impl Client {
         match self.call(&Request::Stream {
             record: record.clone(),
         })? {
-            Reply::Observed { matches } => Ok(matches),
+            Reply::Observed {
+                matches,
+                applied_seq,
+            } => {
+                self.note_applied(applied_seq);
+                Ok(matches)
+            }
             other => Err(unexpected("Observed", &other)),
         }
     }
@@ -686,9 +766,94 @@ impl Client {
     /// # Errors
     /// See [`Self::call`].
     pub fn stats(&mut self) -> Result<StatsReply, ClientError> {
+        self.ensure_read_your_writes()?;
         match self.call(&Request::Stats)? {
             Reply::Stats(stats) => Ok(stats),
             other => Err(unexpected("Stats", &other)),
+        }
+    }
+
+    /// Records a mutation reply's `applied_seq` as the session token. A
+    /// zero means the server predates v8 or runs without a WAL — nothing
+    /// to track.
+    fn note_applied(&mut self, applied_seq: u64) {
+        if applied_seq > self.session_seq {
+            self.session_seq = applied_seq;
+        }
+    }
+
+    /// The read-your-writes session token: the WAL position of this
+    /// client's latest acknowledged mutation (0 before any mutation, or
+    /// against a pre-v8 / WAL-less server).
+    pub fn session_seq(&self) -> u64 {
+        self.session_seq
+    }
+
+    /// Read-your-writes gate: when this client has written past what it
+    /// last confirmed on the connected node, make sure the node has
+    /// applied up to the session token before the read goes out. On a
+    /// caught-up node (or a primary) this costs one `ReplStatus`
+    /// round-trip per new token. A lagging follower gets
+    /// [`Self::READ_YOUR_WRITES_WAIT`] to catch up; if it is still
+    /// behind, the read is redirected to the primary it names.
+    fn ensure_read_your_writes(&mut self) -> Result<(), ClientError> {
+        let token = self.session_seq;
+        if token <= self.session_checked {
+            return Ok(());
+        }
+        let deadline = std::time::Instant::now() + Self::READ_YOUR_WRITES_WAIT;
+        loop {
+            let status = self.repl_status()?;
+            if status.role != "follower" || status.applied_seq >= token {
+                self.session_checked = token;
+                return Ok(());
+            }
+            if std::time::Instant::now() >= deadline {
+                // Still behind: hop to the primary, which by definition
+                // has everything this client wrote.
+                let Some(primary) = status.primary_addr else {
+                    // No primary to fall back to (it is down and failover
+                    // has not settled); serve the stale read rather than
+                    // failing it.
+                    self.session_checked = token;
+                    return Ok(());
+                };
+                let Ok(addrs) = primary.to_socket_addrs().map(Vec::from_iter) else {
+                    self.session_checked = token;
+                    return Ok(());
+                };
+                self.addrs = addrs;
+                self.reconnect()?;
+                self.session_checked = token;
+                return Ok(());
+            }
+            std::thread::sleep(Duration::from_millis(20));
+        }
+    }
+
+    /// Sends a durability ack ([`wire::TAG_ACK`]) up a binary `Subscribe`
+    /// stream: this follower has applied and WAL-logged through `seq`.
+    /// The primary counts it toward `--sync-replicas` quorums. A no-op on
+    /// JSON connections (the line protocol has no follower→primary lane).
+    ///
+    /// # Errors
+    /// I/O or timeout writing the frame.
+    pub fn send_ack(&mut self, seq: u64) -> Result<(), ClientError> {
+        match self.conn_mut() {
+            Conn::Json { .. } => Ok(()),
+            Conn::Binary {
+                writer,
+                payload,
+                wbuf,
+                ..
+            } => {
+                wire::encode_ack(seq, payload);
+                wbuf.clear();
+                rl_wire::encode_frame_into(wire::TAG_ACK, payload, wbuf);
+                writer.write_all(wbuf)?;
+                writer.flush()?;
+                Ok(())
+            }
         }
     }
 
@@ -729,18 +894,34 @@ impl Client {
         }
     }
 
+    /// Single-shot [`Self::repl_status`]: one request, one reply, no
+    /// reconnect-and-retry on a transient failure. For liveness probes
+    /// (failover elections) where a hung peer must cost at most one
+    /// timeout, not a retry's worth on top.
+    ///
+    /// # Errors
+    /// Any transport or server error, verbatim.
+    pub fn repl_status_once(&mut self) -> Result<ReplStatusReply, ClientError> {
+        match self.call_once(&Request::ReplStatus)? {
+            Reply::ReplStatus(status) => Ok(status),
+            other => Err(unexpected("ReplStatus", &other)),
+        }
+    }
+
     /// Promotes the connected follower to primary (protocol v5).
     /// Idempotent on a node that is already primary. Returns
-    /// `(head_seq, was_follower)`.
+    /// `(head_seq, was_follower, epoch)` — a fresh promotion bumps the
+    /// primary epoch (protocol v8), fencing the old primary's frames.
     ///
     /// # Errors
     /// See [`Self::call`].
-    pub fn promote(&mut self) -> Result<(u64, bool), ClientError> {
+    pub fn promote(&mut self) -> Result<(u64, bool, u64), ClientError> {
         match self.call(&Request::Promote)? {
             Reply::Promoted {
                 head_seq,
                 was_follower,
-            } => Ok((head_seq, was_follower)),
+                epoch,
+            } => Ok((head_seq, was_follower, epoch)),
             other => Err(unexpected("Promoted", &other)),
         }
     }
@@ -843,7 +1024,12 @@ fn read_bin_msg(frames: &mut FrameReader<Box<dyn Read + Send>>) -> Result<BinMsg
         Ok(Some((wire::TAG_WAL, payload))) => {
             let (seq, op) = wire::decode_wal(payload)
                 .map_err(|e| ClientError::Protocol(format!("decode wal frame: {e}")))?;
-            Ok(BinMsg::Wal(seq, op))
+            Ok(BinMsg::Wal(seq, 0, op))
+        }
+        Ok(Some((wire::TAG_WAL_E, payload))) => {
+            let (seq, epoch, op) = wire::decode_wal_epoch(payload)
+                .map_err(|e| ClientError::Protocol(format!("decode wal frame: {e}")))?;
+            Ok(BinMsg::Wal(seq, epoch, op))
         }
         Ok(Some((wire::TAG_CHUNK, payload))) => Ok(BinMsg::Chunk(payload.to_vec())),
         Ok(Some((tag, _))) => Err(ClientError::Protocol(format!("unexpected frame tag {tag}"))),
@@ -932,7 +1118,7 @@ fn is_transient(error: &ClientError) -> bool {
         ),
         ClientError::Protocol(msg) => msg == "server closed the connection",
         ClientError::FrameCorrupt(_) => true,
-        ClientError::Server(_) => false,
+        ClientError::Server(_) | ClientError::RedirectLoop(_) => false,
     }
 }
 

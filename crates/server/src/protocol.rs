@@ -46,7 +46,14 @@ use serde::{Deserialize, Serialize};
 /// requests in flight per connection), raw checkpoint chunk frames, and
 /// binary WAL frames; the JSON protocol is unchanged and remains the
 /// first-line negotiation surface, so v6 clients and servers interoperate.
-pub const PROTOCOL_VERSION: u32 = 7;
+/// Version 8 added self-healing replication: primary **epochs** stamped
+/// into `Subscribe`/`WalFrame`/`Heartbeat` (and the new epoch-stamped
+/// binary WAL tag), the `StaleEpoch` error fencing demoted primaries,
+/// lease grants on heartbeats (`lease_ms`) driving `--auto-failover`
+/// elections, follower durability acks enabling `--sync-replicas N`
+/// quorum writes (with the `QuorumTimeout` error), and `applied_seq` on
+/// mutation replies for read-your-writes sessions.
+pub const PROTOCOL_VERSION: u32 = 8;
 
 /// The first protocol version that speaks `rl-wire` binary frames. An
 /// `Upgraded` answer below this stays on JSON.
@@ -95,8 +102,18 @@ pub enum Request {
     /// [`Reply::Heartbeat`] lines while idle. The connection stays in
     /// streaming mode until either side closes it. A `from_seq` outside
     /// the primary's retained log is answered with
-    /// [`Reply::ResyncRequired`].
-    Subscribe { from_seq: u64 },
+    /// [`Reply::ResyncRequired`]. Protocol v8 adds `epoch`: the highest
+    /// primary epoch the subscriber has observed. A sender whose own epoch
+    /// is *lower* is a demoted/restarted stale primary and must refuse the
+    /// stream with [`ErrorCode::StaleEpoch`] instead of shipping frames a
+    /// successor already superseded.
+    Subscribe {
+        from_seq: u64,
+        /// Highest primary epoch the subscriber knows (0 from pre-v8
+        /// followers, which predate epochs entirely).
+        #[serde(default)]
+        epoch: u64,
+    },
     /// Replication state (protocol v5): role, applied/head op sequences,
     /// lag, connected followers.
     ReplStatus,
@@ -171,6 +188,16 @@ pub enum ErrorCode {
     /// for mutations — the follower rejected without applying anything).
     /// Protocol v5+.
     NotPrimary,
+    /// The peer's primary epoch is behind this node's: a demoted or
+    /// restarted old primary tried to ship frames (or serve a
+    /// subscription) that a newer epoch has superseded. The stale node
+    /// must stand down and re-join as a follower. Protocol v8+.
+    StaleEpoch,
+    /// The mutation is durable locally but fewer than the configured
+    /// `--sync-replicas` followers confirmed it within the bounded wait.
+    /// It may still replicate; the caller decides whether the weaker
+    /// guarantee is failure. Protocol v8+.
+    QuorumTimeout,
 }
 
 impl std::fmt::Display for ErrorCode {
@@ -184,6 +211,8 @@ impl std::fmt::Display for ErrorCode {
             ErrorCode::Unavailable => "unavailable",
             ErrorCode::Storage => "storage",
             ErrorCode::NotPrimary => "not-primary",
+            ErrorCode::StaleEpoch => "stale-epoch",
+            ErrorCode::QuorumTimeout => "quorum-timeout",
         };
         f.write_str(s)
     }
@@ -256,6 +285,11 @@ pub enum Reply {
         accepted: usize,
         /// Records indexed since startup (restored records included).
         total_indexed: usize,
+        /// Global op sequence of the last WAL frame this request appended
+        /// (0 without durability). The client keeps the maximum as its
+        /// read-your-writes session token. Protocol v8+.
+        #[serde(default)]
+        applied_seq: u64,
     },
     /// Response to `Probe`.
     Matches {
@@ -268,6 +302,9 @@ pub enum Reply {
     Observed {
         /// Ids of previously indexed records matching the observed one.
         matches: Vec<u64>,
+        /// Read-your-writes token, as on [`Reply::Indexed`]. Protocol v8+.
+        #[serde(default)]
+        applied_seq: u64,
     },
     /// Response to `DedupStatus`.
     DedupStatus {
@@ -288,6 +325,9 @@ pub enum Reply {
         removed: usize,
         /// Records remaining in the index.
         total_indexed: usize,
+        /// Read-your-writes token, as on [`Reply::Indexed`]. Protocol v8+.
+        #[serde(default)]
+        applied_seq: u64,
     },
     /// Response to `Snapshot`.
     Snapshotted {
@@ -318,6 +358,11 @@ pub enum Reply {
         /// The logged mutation, applied through the same path recovery
         /// uses.
         op: rl_store::WalOp,
+        /// Primary epoch the frame was written under (protocol v8; 0 from
+        /// pre-epoch history). A follower rejects frames below its known
+        /// epoch with `StaleEpoch` and adopts any higher epoch it sees.
+        #[serde(default)]
+        epoch: u64,
     },
     /// Keep-alive in a `Subscribe` stream when the follower is caught up
     /// (protocol v5). Also carries the lag a not-yet-caught-up follower
@@ -327,6 +372,15 @@ pub enum Reply {
         head_seq: u64,
         /// WAL bytes between the subscriber's position and the head.
         lag_bytes: u64,
+        /// The sender's primary epoch (protocol v8).
+        #[serde(default)]
+        epoch: u64,
+        /// Lease grant (protocol v8): how long the follower may treat this
+        /// primary as alive. 0 means no lease (auto-failover disabled on
+        /// the primary); a follower with `--auto-failover` runs an
+        /// election when the last grant expires without fresh traffic.
+        #[serde(default)]
+        lease_ms: u64,
     },
     /// Terminal response in a `Subscribe` stream when `from_seq` falls
     /// outside the primary's retained log — the follower must re-bootstrap
@@ -345,6 +399,11 @@ pub enum Reply {
         head_seq: u64,
         /// False when the node was already primary (idempotent call).
         was_follower: bool,
+        /// The primary epoch after the promote (protocol v8): bumped and
+        /// made durable before the role flip when `was_follower`,
+        /// unchanged on an idempotent call.
+        #[serde(default)]
+        epoch: u64,
     },
     /// First line of a `SubscribeMatches` stream (protocol v6).
     Subscribed {
@@ -410,6 +469,16 @@ pub struct ReplStatusReply {
     pub followers: u64,
     /// Times this follower's subscription reconnected since startup.
     pub reconnects: u64,
+    /// Highest primary epoch this node has held or observed (protocol
+    /// v8; 0 on pre-epoch directories).
+    #[serde(default)]
+    pub epoch: u64,
+    /// The failover lease this node grants its followers on heartbeats
+    /// (protocol v8): `--lease-ms` on a primary, 0 = no leases. Reported
+    /// so a follower can seed its lease on first contact instead of
+    /// waiting for a heartbeat a dying primary might never send.
+    #[serde(default)]
+    pub lease_ms: u64,
 }
 
 /// Service counters reported by the `Stats` command.
@@ -481,10 +550,21 @@ pub mod wire {
     pub const TAG_REQUEST: u8 = 1;
     /// Frame tag: an id-enveloped [`Response`].
     pub const TAG_RESPONSE: u8 = 2;
-    /// Frame tag: a replicated WAL frame (`seq` + binary op).
+    /// Frame tag: a replicated WAL frame (`seq` + binary op), implicitly
+    /// epoch 0. Kept for pre-epoch history so v7 followers keep decoding.
     pub const TAG_WAL: u8 = 3;
     /// Frame tag: raw checkpoint bytes.
     pub const TAG_CHUNK: u8 = 4;
+    /// Frame tag: an epoch-stamped replicated WAL frame (protocol v8) —
+    /// `seq u64 LE | epoch u64 LE | binary op`. Used whenever the frame's
+    /// epoch is non-zero; a separate tag keeps the encoding unconditional
+    /// instead of versioned.
+    pub const TAG_WAL_E: u8 = 5;
+    /// Frame tag: a follower durability ack (protocol v8) — `seq u64 LE`,
+    /// sent *upstream* on the subscription connection after the follower
+    /// has WAL-logged and applied everything through `seq`. Feeds the
+    /// primary's `--sync-replicas` quorum wait.
+    pub const TAG_ACK: u8 = 6;
 
     /// Request id marking unsolicited (server-pushed) responses.
     pub const PUSH_ID: u64 = 0;
@@ -554,17 +634,23 @@ pub mod wire {
             Response::Ok(Reply::Indexed {
                 accepted,
                 total_indexed,
+                applied_seq,
             }) => {
                 payload.push(BODY_INDEXED);
                 payload.extend_from_slice(&(*accepted as u64).to_le_bytes());
                 payload.extend_from_slice(&(*total_indexed as u64).to_le_bytes());
+                payload.extend_from_slice(&applied_seq.to_le_bytes());
             }
-            Response::Ok(Reply::Observed { matches }) => {
+            Response::Ok(Reply::Observed {
+                matches,
+                applied_seq,
+            }) => {
                 payload.push(BODY_OBSERVED);
                 payload.extend_from_slice(&(matches.len() as u32).to_le_bytes());
                 for id in matches {
                     payload.extend_from_slice(&id.to_le_bytes());
                 }
+                payload.extend_from_slice(&applied_seq.to_le_bytes());
             }
             other => {
                 payload.push(BODY_JSON);
@@ -633,10 +719,14 @@ pub mod wire {
                 let mut cur = Cursor(body);
                 let accepted = cur.u64()? as usize;
                 let total_indexed = cur.u64()? as usize;
+                // v8 appended `applied_seq`; tolerate its absence so a v8
+                // client still decodes a pre-v8 server's reply.
+                let applied_seq = cur.u64_or_zero()?;
                 cur.finish()?;
                 Response::Ok(Reply::Indexed {
                     accepted,
                     total_indexed,
+                    applied_seq,
                 })
             }
             BODY_OBSERVED => {
@@ -646,8 +736,12 @@ pub mod wire {
                 for _ in 0..n {
                     matches.push(cur.u64()?);
                 }
+                let applied_seq = cur.u64_or_zero()?;
                 cur.finish()?;
-                Response::Ok(Reply::Observed { matches })
+                Response::Ok(Reply::Observed {
+                    matches,
+                    applied_seq,
+                })
             }
             other => return Err(format!("unknown response body format {other}")),
         };
@@ -714,6 +808,14 @@ pub mod wire {
         fn u64(&mut self) -> Result<u64, String> {
             Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
         }
+        /// Reads a trailing `u64` that older peers do not send: returns 0
+        /// on an exhausted body, errors only on a *partial* field.
+        fn u64_or_zero(&mut self) -> Result<u64, String> {
+            if self.0.is_empty() {
+                return Ok(0);
+            }
+            self.u64()
+        }
         fn finish(&self) -> Result<(), String> {
             if self.0.is_empty() {
                 Ok(())
@@ -738,6 +840,45 @@ pub mod wire {
         let (seq, body) = split_id(payload)?;
         let op = rl_store::WalOp::decode_bin(body)?;
         Ok((seq, op))
+    }
+
+    /// Encodes a [`TAG_WAL_E`] payload into `payload` (cleared first):
+    /// `seq u64 LE | epoch u64 LE | binary op`.
+    pub fn encode_wal_epoch(seq: u64, epoch: u64, op: &rl_store::WalOp, payload: &mut Vec<u8>) {
+        payload.clear();
+        payload.extend_from_slice(&seq.to_le_bytes());
+        payload.extend_from_slice(&epoch.to_le_bytes());
+        op.encode_bin(payload);
+    }
+
+    /// Decodes a [`TAG_WAL_E`] payload into `(seq, epoch, op)`.
+    ///
+    /// # Errors
+    /// A description of the malformation.
+    pub fn decode_wal_epoch(payload: &[u8]) -> Result<(u64, u64, rl_store::WalOp), String> {
+        let (seq, rest) = split_id(payload)?;
+        let (epoch, body) = split_id(rest)?;
+        let op = rl_store::WalOp::decode_bin(body)?;
+        Ok((seq, epoch, op))
+    }
+
+    /// Encodes a [`TAG_ACK`] payload into `payload` (cleared first): the
+    /// follower's durable `seq` as `u64 LE`.
+    pub fn encode_ack(seq: u64, payload: &mut Vec<u8>) {
+        payload.clear();
+        payload.extend_from_slice(&seq.to_le_bytes());
+    }
+
+    /// Decodes a [`TAG_ACK`] payload.
+    ///
+    /// # Errors
+    /// A description of the malformation.
+    pub fn decode_ack(payload: &[u8]) -> Result<u64, String> {
+        let (seq, rest) = split_id(payload)?;
+        if !rest.is_empty() {
+            return Err(format!("{} trailing bytes after ack", rest.len()));
+        }
+        Ok(seq)
     }
 
     fn split_id(payload: &[u8]) -> Result<(u64, &[u8]), String> {
@@ -784,7 +925,10 @@ mod tests {
             },
             Request::Delete { ids: vec![1, 2, 3] },
             Request::FetchCheckpoint,
-            Request::Subscribe { from_seq: 42 },
+            Request::Subscribe {
+                from_seq: 42,
+                epoch: 3,
+            },
             Request::ReplStatus,
             Request::Promote,
             Request::SubscribeMatches {
@@ -823,6 +967,7 @@ mod tests {
             Response::Ok(Reply::Deleted {
                 removed: 2,
                 total_indexed: 7,
+                applied_seq: 4,
             }),
             Response::Err(RequestError::new(ErrorCode::Storage, "wal append failed")),
             Response::Ok(Reply::CheckpointMeta {
@@ -836,10 +981,13 @@ mod tests {
             Response::Ok(Reply::WalFrame {
                 seq: 9,
                 op: rl_store::WalOp::Delete(3),
+                epoch: 2,
             }),
             Response::Ok(Reply::Heartbeat {
                 head_seq: 12,
                 lag_bytes: 88,
+                epoch: 2,
+                lease_ms: 3000,
             }),
             Response::Ok(Reply::ResyncRequired { base_ops: 100 }),
             Response::Ok(Reply::ReplStatus(ReplStatusReply {
@@ -851,10 +999,13 @@ mod tests {
                 lag_bytes: 88,
                 followers: 0,
                 reconnects: 1,
+                epoch: 2,
+                lease_ms: 0,
             })),
             Response::Ok(Reply::Promoted {
                 head_seq: 12,
                 was_follower: true,
+                epoch: 3,
             }),
             Response::Ok(Reply::Subscribed {
                 sub_id: 1,
@@ -895,7 +1046,14 @@ mod tests {
 
         let op = rl_store::WalOp::Insert(Record::new(9, ["X", "Y"]));
         wire::encode_wal(1234, &op, &mut payload);
-        assert_eq!(wire::decode_wal(&payload).unwrap(), (1234, op));
+        assert_eq!(wire::decode_wal(&payload).unwrap(), (1234, op.clone()));
+
+        wire::encode_wal_epoch(1234, 5, &op, &mut payload);
+        assert_eq!(wire::decode_wal_epoch(&payload).unwrap(), (1234, 5, op));
+
+        wire::encode_ack(777, &mut payload);
+        assert_eq!(wire::decode_ack(&payload).unwrap(), 777);
+        assert!(wire::decode_ack(&[0; 12]).is_err(), "trailing ack bytes");
 
         assert!(wire::decode_request(&[1, 2, 3]).is_err(), "short envelope");
         assert!(
@@ -946,9 +1104,11 @@ mod tests {
             Response::Ok(Reply::Indexed {
                 accepted: 3,
                 total_indexed: 99,
+                applied_seq: 120,
             }),
             Response::Ok(Reply::Observed {
                 matches: vec![4, 5, 6],
+                applied_seq: 121,
             }),
             Response::Err(RequestError::new(ErrorCode::Linkage, "bad arity")),
         ];
@@ -976,6 +1136,51 @@ mod tests {
         assert_eq!(ErrorCode::ShuttingDown.to_string(), "shutting-down");
         assert_eq!(ErrorCode::Storage.to_string(), "storage");
         assert_eq!(ErrorCode::NotPrimary.to_string(), "not-primary");
+        assert_eq!(ErrorCode::StaleEpoch.to_string(), "stale-epoch");
+        assert_eq!(ErrorCode::QuorumTimeout.to_string(), "quorum-timeout");
+    }
+
+    #[test]
+    fn binary_bodies_tolerate_missing_applied_seq() {
+        // A pre-v8 peer's Indexed/Observed body stops before the
+        // trailing applied_seq; v8 decodes it as 0 instead of erroring.
+        let mut payload = Vec::new();
+        wire::encode_response(
+            9,
+            &Response::Ok(Reply::Indexed {
+                accepted: 3,
+                total_indexed: 99,
+                applied_seq: 7,
+            }),
+            &mut payload,
+        )
+        .unwrap();
+        let short = &payload[..payload.len() - 8];
+        assert_eq!(
+            wire::decode_response(short).unwrap().1,
+            Response::Ok(Reply::Indexed {
+                accepted: 3,
+                total_indexed: 99,
+                applied_seq: 0,
+            })
+        );
+        wire::encode_response(
+            9,
+            &Response::Ok(Reply::Observed {
+                matches: vec![4, 5],
+                applied_seq: 7,
+            }),
+            &mut payload,
+        )
+        .unwrap();
+        let short = &payload[..payload.len() - 8];
+        assert_eq!(
+            wire::decode_response(short).unwrap().1,
+            Response::Ok(Reply::Observed {
+                matches: vec![4, 5],
+                applied_seq: 0,
+            })
+        );
     }
 
     #[test]

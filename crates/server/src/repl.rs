@@ -14,12 +14,15 @@
 //! helpers) lives in the `rl-repl` crate, driving the server through
 //! [`crate::server::ReplHandle`].
 
-use crate::protocol::{ErrorCode, Reply, RequestError, Response};
+use crate::protocol::{wire, ErrorCode, Reply, RequestError, Response};
 use crate::server::{run_checkpoint, ConnWriter, Inner};
 use parking_lot::Mutex;
 use rl_store::{scan_segments, segment_path, StoreError, WalReader, CHECKPOINT_FILE};
+use rl_wire::FrameReader;
+use std::collections::HashMap;
+use std::net::TcpStream;
 use std::path::Path;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -52,12 +55,20 @@ pub enum ApplyError {
     /// checkpoint re-bootstrap ([`crate::server::ReplHandle::resync`])
     /// restores a consistent pair.
     Resync(String),
+    /// The frame's epoch is below what this follower has already seen
+    /// (protocol v8): a demoted or restarted old primary's zombie stream.
+    /// Nothing was applied. Drop the subscription and keep backing off —
+    /// reconnects keep failing until the sender is fenced or a lease
+    /// election installs a new primary.
+    StaleEpoch(String),
 }
 
 impl std::fmt::Display for ApplyError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            ApplyError::Retry(msg) | ApplyError::Resync(msg) => f.write_str(msg),
+            ApplyError::Retry(msg) | ApplyError::Resync(msg) | ApplyError::StaleEpoch(msg) => {
+                f.write_str(msg)
+            }
         }
     }
 }
@@ -125,10 +136,26 @@ pub struct ReplState {
     pub(crate) reconnects: AtomicU64,
     /// Live `Subscribe` streams served (primaries).
     pub(crate) followers: AtomicU64,
+    /// The node's primary epoch (protocol v8): mirrors the store's epoch
+    /// so role/staleness checks never need the store lock. Bumped by
+    /// promote, raised by followers adopting stream epochs.
+    pub(crate) epoch: AtomicU64,
+    /// Set while a follower replaces its state from a fetched checkpoint
+    /// (bootstrap / resync, including the network transfer). Promote
+    /// refuses with `Unavailable` while it is up rather than racing the
+    /// recovery load.
+    pub(crate) resyncing: AtomicBool,
+    /// Per-subscription durable positions reported by follower acks
+    /// ([`wire::TAG_ACK`]), keyed by [`FollowerGuard`] id. Quorum writes
+    /// wait on `ack_cv` until enough entries reach their seq.
+    /// (std primitives: the vendored `parking_lot` shim has no condvar.)
+    pub(crate) acks: std::sync::Mutex<HashMap<u64, u64>>,
+    pub(crate) ack_cv: std::sync::Condvar,
+    next_follower_id: AtomicU64,
 }
 
 impl ReplState {
-    pub(crate) fn new(role: ReplRole, applied_seq: u64) -> Self {
+    pub(crate) fn new(role: ReplRole, applied_seq: u64, epoch: u64) -> Self {
         Self {
             role: Mutex::new(role),
             head_seq: AtomicU64::new(applied_seq),
@@ -136,12 +163,73 @@ impl ReplState {
             lag_bytes: AtomicU64::new(0),
             reconnects: AtomicU64::new(0),
             followers: AtomicU64::new(0),
+            epoch: AtomicU64::new(epoch),
+            resyncing: AtomicBool::new(false),
+            acks: std::sync::Mutex::new(HashMap::new()),
+            ack_cv: std::sync::Condvar::new(),
+            next_follower_id: AtomicU64::new(1),
         }
     }
 
     /// The node's current role.
     pub fn role(&self) -> ReplRole {
         self.role.lock().clone()
+    }
+
+    /// The node's current primary epoch.
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::SeqCst)
+    }
+}
+
+/// Records one follower's durable position and wakes quorum waiters.
+pub(crate) fn publish_ack(inner: &Inner, follower_id: u64, seq: u64) {
+    let mut acks = inner.repl.acks.lock().unwrap_or_else(|e| e.into_inner());
+    let slot = acks.entry(follower_id).or_insert(0);
+    if seq <= *slot {
+        return;
+    }
+    *slot = seq;
+    drop(acks);
+    inner.repl.ack_cv.notify_all();
+}
+
+/// Blocks until `sync_replicas` followers have acked durability through
+/// `seq`, or the quorum timeout passes. Called *after* the local
+/// append+apply released the state lock: the mutation IS durable locally
+/// either way; a timeout only means its replication is unconfirmed.
+pub(crate) fn await_quorum(inner: &Inner, seq: u64) -> Result<(), RequestError> {
+    let need = inner.config.sync_replicas;
+    if need == 0 || seq == 0 || inner.store.is_none() {
+        return Ok(());
+    }
+    if !inner.repl.role.lock().is_primary() {
+        return Ok(());
+    }
+    let deadline = Instant::now() + inner.config.quorum_timeout;
+    let mut acks = inner.repl.acks.lock().unwrap_or_else(|e| e.into_inner());
+    loop {
+        let confirmed = acks.values().filter(|&&s| s >= seq).count();
+        if confirmed >= need {
+            return Ok(());
+        }
+        let now = Instant::now();
+        if inner.shutdown.load(Ordering::SeqCst) || now >= deadline {
+            return Err(RequestError::new(
+                ErrorCode::QuorumTimeout,
+                format!(
+                    "mutation is durable locally at op seq {seq}, but only {confirmed} of \
+                     {need} replica ack(s) arrived within {:?}",
+                    inner.config.quorum_timeout
+                ),
+            ));
+        }
+        let (guard, _timeout) = inner
+            .repl
+            .ack_cv
+            .wait_timeout(acks, deadline - now)
+            .unwrap_or_else(|e| e.into_inner());
+        acks = guard;
     }
 }
 
@@ -219,12 +307,30 @@ enum StreamEnd {
     Closed,
 }
 
-/// Serves one `Subscribe { from_seq }` request: streams `WalFrame` lines
-/// from the retained log, heartbeating while caught up, until either side
-/// goes away. Consumes the connection.
-pub(crate) fn serve_subscribe(inner: &Arc<Inner>, writer: &mut ConnWriter, from_seq: u64) {
+/// Serves one `Subscribe { from_seq, epoch }` request: streams `WalFrame`
+/// lines from the retained log, heartbeating while caught up, until
+/// either side goes away. Consumes the connection.
+pub(crate) fn serve_subscribe(
+    inner: &Arc<Inner>,
+    writer: &mut ConnWriter,
+    from_seq: u64,
+    epoch: u64,
+) {
     if let Some(err) = require_primary(inner, "subscription") {
         let _ = writer.write_response(&Response::Err(err));
+        return;
+    }
+    // A subscriber that has seen a higher epoch than this node proves this
+    // node's primacy ended: refuse instead of streaming a stale fork.
+    let our_epoch = inner.repl.epoch();
+    if epoch > our_epoch {
+        let _ = writer.write_response(&Response::Err(RequestError::new(
+            ErrorCode::StaleEpoch,
+            format!(
+                "subscriber is at epoch {epoch} but this node is at {our_epoch}; \
+                 this primary is stale and must stand down"
+            ),
+        )));
         return;
     }
     if inner.store.is_none() {
@@ -237,8 +343,8 @@ pub(crate) fn serve_subscribe(inner: &Arc<Inner>, writer: &mut ConnWriter, from_
     let _ = writer
         .stream()
         .set_write_timeout(Some(SUBSCRIBE_WRITE_TIMEOUT));
-    let _guard = FollowerGuard::new(inner);
-    match stream_frames(inner, writer, from_seq) {
+    let guard = FollowerGuard::new(inner);
+    match stream_frames(inner, writer, from_seq, guard.id) {
         StreamEnd::Resync(base_ops) => {
             let _ = writer.write_response(&Response::Ok(Reply::ResyncRequired { base_ops }));
         }
@@ -254,7 +360,12 @@ pub(crate) fn serve_subscribe(inner: &Arc<Inner>, writer: &mut ConnWriter, from_
 /// The sender loop: position in the retained log by counting frames from
 /// the checkpoint watermark, then ship every frame past `from_seq`,
 /// advancing across rotations and polling the active segment's tail.
-fn stream_frames(inner: &Arc<Inner>, writer: &mut ConnWriter, from_seq: u64) -> StreamEnd {
+fn stream_frames(
+    inner: &Arc<Inner>,
+    writer: &mut ConnWriter,
+    from_seq: u64,
+    follower_id: u64,
+) -> StreamEnd {
     let (dir, base, head) = {
         let store = inner.store.as_ref().expect("checked by caller").lock();
         (store.dir().to_path_buf(), store.base_ops(), store.op_seq())
@@ -262,6 +373,17 @@ fn stream_frames(inner: &Arc<Inner>, writer: &mut ConnWriter, from_seq: u64) -> 
     if from_seq < base || from_seq > head {
         return StreamEnd::Resync(base);
     }
+    // Binary subscribers send durability acks ([`wire::TAG_ACK`]) back up
+    // this connection; poll for them on a cloned read half while caught
+    // up. The short read timeout doubles as the tail-poll sleep. JSON
+    // followers send no acks and keep the plain sleep.
+    let mut ack_frames: Option<FrameReader<TcpStream>> = writer
+        .binary_stream()
+        .and_then(|s| s.try_clone().ok())
+        .map(|clone| {
+            let _ = clone.set_read_timeout(Some(SUBSCRIBE_POLL));
+            FrameReader::new(clone)
+        });
     // Tell the follower the head immediately: with no traffic it would
     // otherwise wait a full heartbeat interval to learn its lag is 0.
     if write_heartbeat(inner, writer, &dir, None).is_err() {
@@ -303,7 +425,7 @@ fn stream_frames(inner: &Arc<Inner>, writer: &mut ConnWriter, from_seq: u64) -> 
             Ok(Some(frame)) => {
                 last_seq += 1;
                 if last_seq >= next {
-                    if writer.write_wal(last_seq, &frame.op).is_err() {
+                    if writer.write_wal(last_seq, &frame.op, frame.epoch).is_err() {
                         return StreamEnd::Gone;
                     }
                     next = last_seq + 1;
@@ -358,11 +480,48 @@ fn stream_frames(inner: &Arc<Inner>, writer: &mut ConnWriter, from_seq: u64) -> 
                             }
                             last_heartbeat = Instant::now();
                         }
-                        std::thread::sleep(SUBSCRIBE_POLL);
+                        match ack_frames.as_mut() {
+                            // The blocking-with-timeout ack read IS the
+                            // tail poll: frames wake it immediately, the
+                            // timeout caps the poll latency.
+                            Some(frames) => {
+                                if drain_acks(inner, frames, follower_id).is_err() {
+                                    return StreamEnd::Gone;
+                                }
+                            }
+                            None => std::thread::sleep(SUBSCRIBE_POLL),
+                        }
                     }
                 }
             }
             Err(e) => return StreamEnd::Corrupt(format!("read frame: {e}")),
+        }
+    }
+}
+
+/// Drains every follower ack currently readable on the subscription's
+/// read half, publishing the newest durable position for quorum waiters.
+/// `Err(())` means the follower hung up or broke framing (end the
+/// stream). The final read blocks up to the socket's read timeout, which
+/// is what paces the caught-up tail poll.
+fn drain_acks(
+    inner: &Inner,
+    frames: &mut FrameReader<TcpStream>,
+    follower_id: u64,
+) -> Result<(), ()> {
+    loop {
+        match frames.read_frame() {
+            Ok(Some((tag, payload))) if tag == wire::TAG_ACK => {
+                if let Ok(seq) = wire::decode_ack(payload) {
+                    publish_ack(inner, follower_id, seq);
+                }
+            }
+            // A subscriber must only send acks after subscribing; any
+            // other tag is a framing bug with no resync point.
+            Ok(Some(_)) => return Err(()),
+            Ok(None) => return Err(()),
+            Err(e) if e.is_would_block() => return Ok(()),
+            Err(_) => return Err(()),
         }
     }
 }
@@ -417,6 +576,11 @@ fn write_heartbeat(
     writer.write_response(&Response::Ok(Reply::Heartbeat {
         head_seq,
         lag_bytes,
+        epoch: inner.repl.epoch(),
+        // The lease grant (protocol v8): a follower running with
+        // --auto-failover may elect a new primary once this many
+        // milliseconds pass without stream progress. 0 = no lease.
+        lease_ms: inner.config.lease_ms,
     }))
 }
 
@@ -438,16 +602,19 @@ fn require_primary(inner: &Inner, what: &str) -> Option<RequestError> {
     }
 }
 
-/// Tracks one live subscription in the followers gauge.
+/// Tracks one live subscription in the followers gauge and owns its slot
+/// in the quorum-ack map.
 struct FollowerGuard<'a> {
     inner: &'a Arc<Inner>,
+    id: u64,
 }
 
 impl<'a> FollowerGuard<'a> {
     fn new(inner: &'a Arc<Inner>) -> Self {
         let n = inner.repl.followers.fetch_add(1, Ordering::SeqCst) + 1;
         inner.metrics.repl_followers.set(n as i64);
-        Self { inner }
+        let id = inner.repl.next_follower_id.fetch_add(1, Ordering::SeqCst);
+        Self { inner, id }
     }
 }
 
@@ -455,6 +622,16 @@ impl Drop for FollowerGuard<'_> {
     fn drop(&mut self) {
         let n = self.inner.repl.followers.fetch_sub(1, Ordering::SeqCst) - 1;
         self.inner.metrics.repl_followers.set(n as i64);
+        // Wake quorum waiters counting on this follower: its acks are
+        // gone, and they should re-evaluate (and eventually time out)
+        // rather than sleep the full bound.
+        self.inner
+            .repl
+            .acks
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .remove(&self.id);
+        self.inner.repl.ack_cv.notify_all();
     }
 }
 

@@ -115,6 +115,19 @@ pub struct ServerConfig {
     /// still negotiates the binary protocol but serves one request at a
     /// time per connection.
     pub reactor: bool,
+    /// Lease duration granted to followers on every subscription
+    /// heartbeat (protocol v8), in milliseconds. A follower running with
+    /// `--auto-failover` elects a new primary once a granted lease
+    /// expires without stream progress. 0 disables lease grants.
+    pub lease_ms: u64,
+    /// Hold each mutation reply until this many followers confirm the
+    /// frame durable (protocol v8 quorum acks). 0 replies after local
+    /// durability only (the pre-v8 behaviour).
+    pub sync_replicas: usize,
+    /// Bounded wait for the quorum acks before a typed
+    /// [`ErrorCode::QuorumTimeout`] reply (the mutation is still durable
+    /// locally).
+    pub quorum_timeout: Duration,
 }
 
 impl Default for ServerConfig {
@@ -129,6 +142,9 @@ impl Default for ServerConfig {
             repl_role: ReplRole::Standalone,
             max_subscriptions: 64,
             reactor: true,
+            lease_ms: 0,
+            sync_replicas: 0,
+            quorum_timeout: Duration::from_secs(2),
         }
     }
 }
@@ -309,15 +325,27 @@ impl ConnWriter {
         }
     }
 
+    /// The socket when the connection is in binary mode (the ack read
+    /// half of a v8 subscription), `None` on JSON.
+    pub(crate) fn binary_stream(&self) -> Option<&TcpStream> {
+        match self {
+            ConnWriter::Json(_) => None,
+            ConnWriter::Binary { stream, .. } => Some(stream),
+        }
+    }
+
     /// Ships one replicated WAL op: a JSON `WalFrame` line, or a compact
-    /// [`wire::TAG_WAL`] frame carrying the binary op encoding.
-    pub(crate) fn write_wal(&mut self, seq: u64, op: &WalOp) -> std::io::Result<()> {
+    /// [`wire::TAG_WAL`] / [`wire::TAG_WAL_E`] frame carrying the binary
+    /// op encoding. Epoch-0 frames keep the pre-v8 tag so v7 followers
+    /// decode unchanged history.
+    pub(crate) fn write_wal(&mut self, seq: u64, op: &WalOp, epoch: u64) -> std::io::Result<()> {
         match self {
             ConnWriter::Json(stream) => write_response(
                 stream,
                 &Response::Ok(Reply::WalFrame {
                     seq,
                     op: op.clone(),
+                    epoch,
                 }),
             ),
             ConnWriter::Binary {
@@ -326,9 +354,15 @@ impl ConnWriter {
                 frame,
                 ..
             } => {
-                wire::encode_wal(seq, op, payload);
+                let tag = if epoch == 0 {
+                    wire::encode_wal(seq, op, payload);
+                    wire::TAG_WAL
+                } else {
+                    wire::encode_wal_epoch(seq, epoch, op, payload);
+                    wire::TAG_WAL_E
+                };
                 frame.clear();
-                rl_wire::encode_frame_into(wire::TAG_WAL, payload, frame);
+                rl_wire::encode_frame_into(tag, payload, frame);
                 stream.write_all(frame)?;
                 stream.flush()
             }
@@ -535,6 +569,7 @@ impl Server {
         let repl = ReplState::new(
             config.repl_role.clone(),
             store.as_ref().map(Store::op_seq).unwrap_or(0),
+            store.as_ref().map(Store::epoch).unwrap_or(0),
         );
         let subs = SubHub::new(
             pipeline.schema().clone(),
@@ -765,9 +800,9 @@ pub(crate) fn serve_streaming(
                 Err(_) => ConnFlow::Close,
             }
         }
-        Request::Subscribe { from_seq } => {
+        Request::Subscribe { from_seq, epoch } => {
             inner.metrics.record_streaming(ReqType::Subscribe);
-            crate::repl::serve_subscribe(inner, writer, from_seq);
+            crate::repl::serve_subscribe(inner, writer, from_seq, epoch);
             // A subscription consumes the connection: when the stream
             // ends (either side went away) there is no framing left to
             // resynchronize on, so close.
@@ -1105,6 +1140,7 @@ fn execute(inner: &Arc<Inner>, request: Request) -> Response {
             if let Some(err) = reject_if_follower(inner) {
                 return Response::Err(err);
             }
+            let mut applied_seq = 0;
             if inner.store.is_some() {
                 // Validate before logging so the WAL never holds an op
                 // that will fail again at replay.
@@ -1112,8 +1148,9 @@ fn execute(inner: &Arc<Inner>, request: Request) -> Response {
                     return Response::Err(RequestError::new(ErrorCode::Linkage, e.to_string()));
                 }
                 let ops: Vec<WalOp> = records.iter().cloned().map(WalOp::Insert).collect();
-                if let Err(e) = log_mutation(inner, &ops) {
-                    return Response::Err(e);
+                match log_mutation(inner, &ops) {
+                    Ok(seq) => applied_seq = seq,
+                    Err(e) => return Response::Err(e),
                 }
             }
             match state.pipeline.index(&records) {
@@ -1126,9 +1163,17 @@ fn execute(inner: &Arc<Inner>, request: Request) -> Response {
                     for record in &records {
                         inner.subs.observe(&inner.metrics, record);
                     }
+                    // Quorum waits happen after the lock is released:
+                    // acks arrive independently, and other requests must
+                    // not stall behind the bounded wait.
+                    drop(state);
+                    if let Err(e) = crate::repl::await_quorum(inner, applied_seq) {
+                        return Response::Err(e);
+                    }
                     Response::Ok(Reply::Indexed {
                         accepted: records.len(),
                         total_indexed,
+                        applied_seq,
                     })
                 }
                 Err(e) => Response::Err(RequestError::new(ErrorCode::Linkage, e.to_string())),
@@ -1139,10 +1184,12 @@ fn execute(inner: &Arc<Inner>, request: Request) -> Response {
             if let Some(err) = reject_if_follower(inner) {
                 return Response::Err(err);
             }
+            let mut applied_seq = 0;
             if inner.store.is_some() {
                 let ops: Vec<WalOp> = ids.iter().map(|&id| WalOp::Delete(id)).collect();
-                if let Err(e) = log_mutation(inner, &ops) {
-                    return Response::Err(e);
+                match log_mutation(inner, &ops) {
+                    Ok(seq) => applied_seq = seq,
+                    Err(e) => return Response::Err(e),
                 }
             }
             match state.pipeline.delete(&ids) {
@@ -1152,9 +1199,14 @@ fn execute(inner: &Arc<Inner>, request: Request) -> Response {
                     for &id in &ids {
                         inner.subs.remove(id);
                     }
+                    drop(state);
+                    if let Err(e) = crate::repl::await_quorum(inner, applied_seq) {
+                        return Response::Err(e);
+                    }
                     Response::Ok(Reply::Deleted {
                         removed,
                         total_indexed,
+                        applied_seq,
                     })
                 }
                 Err(e) => Response::Err(RequestError::new(ErrorCode::Linkage, e.to_string())),
@@ -1172,6 +1224,7 @@ fn execute(inner: &Arc<Inner>, request: Request) -> Response {
             if let Some(err) = reject_if_follower(inner) {
                 return Response::Err(err);
             }
+            let mut applied_seq = 0;
             if inner.store.is_some() {
                 if let Err(e) = state.pipeline.schema().embed(&record) {
                     return Response::Err(RequestError::new(ErrorCode::Linkage, e.to_string()));
@@ -1179,8 +1232,9 @@ fn execute(inner: &Arc<Inner>, request: Request) -> Response {
                 // Logged as `Observe` (not `Insert`): replay re-runs the
                 // match-then-index round, rebuilding the stream pairs and
                 // the dedup forest deterministically.
-                if let Err(e) = log_mutation(inner, &[WalOp::Observe(record.clone())]) {
-                    return Response::Err(e);
+                match log_mutation(inner, &[WalOp::Observe(record.clone())]) {
+                    Ok(seq) => applied_seq = seq,
+                    Err(e) => return Response::Err(e),
                 }
             }
             let t0 = Instant::now();
@@ -1200,7 +1254,14 @@ fn execute(inner: &Arc<Inner>, request: Request) -> Response {
                         .indexed_records
                         .set(state.pipeline.indexed_len() as i64);
                     inner.subs.observe(&inner.metrics, &record);
-                    Response::Ok(Reply::Observed { matches })
+                    drop(state);
+                    if let Err(e) = crate::repl::await_quorum(inner, applied_seq) {
+                        return Response::Err(e);
+                    }
+                    Response::Ok(Reply::Observed {
+                        matches,
+                        applied_seq,
+                    })
                 }
                 Err(e) => Response::Err(RequestError::new(ErrorCode::Linkage, e.to_string())),
             }
@@ -1273,6 +1334,8 @@ fn execute(inner: &Arc<Inner>, request: Request) -> Response {
                 lag_bytes: if head_seq > applied { lag_bytes } else { 0 },
                 followers: inner.repl.followers.load(Ordering::SeqCst),
                 reconnects: inner.repl.reconnects.load(Ordering::SeqCst),
+                epoch: inner.repl.epoch(),
+                lease_ms: inner.config.lease_ms,
             }))
         }
         Request::Promote => {
@@ -1284,6 +1347,16 @@ fn execute(inner: &Arc<Inner>, request: Request) -> Response {
             let mut role = inner.repl.role.lock();
             match role.clone() {
                 ReplRole::Follower { .. } => {
+                    // A follower mid-bootstrap has an incomplete store —
+                    // promoting it would crown a primary with a torn
+                    // checkpoint. Typed refusal; retry once resync ends.
+                    if inner.repl.resyncing.load(Ordering::SeqCst) {
+                        return Response::Err(RequestError::new(
+                            ErrorCode::Unavailable,
+                            "promote refused: a checkpoint bootstrap/resync is in \
+                             flight; retry once the follower is caught up",
+                        ));
+                    }
                     let Some(store) = &inner.store else {
                         return Response::Err(RequestError::new(
                             ErrorCode::Unavailable,
@@ -1291,29 +1364,39 @@ fn execute(inner: &Arc<Inner>, request: Request) -> Response {
                         ));
                     };
                     let mut store = store.lock();
-                    // Make everything applied so far durable and start
-                    // the primary's write era on a fresh segment; the
+                    // Start the new primary's write era: bump the epoch
+                    // and persist the marker on a fresh segment in one
+                    // durable step, so a restart (or the fenced old
+                    // primary's frames) can never roll the era back. The
                     // follower's WAL mirrors the old primary's frames, so
                     // op sequencing continues seamlessly.
-                    if let Err(e) = store.rotate() {
-                        return Response::Err(RequestError::new(
-                            ErrorCode::Storage,
-                            format!("promote failed: {e}"),
-                        ));
-                    }
+                    let epoch = match store.bump_epoch() {
+                        Ok(e) => e,
+                        Err(e) => {
+                            return Response::Err(RequestError::new(
+                                ErrorCode::Storage,
+                                format!("promote failed: {e}"),
+                            ));
+                        }
+                    };
                     let head_seq = store.op_seq();
                     *role = ReplRole::Primary;
+                    inner.repl.epoch.store(epoch, Ordering::SeqCst);
                     inner.metrics.repl_lag_frames.set(0);
                     inner.metrics.repl_lag_bytes.set(0);
-                    eprintln!("rl-server: promoted to primary at op seq {head_seq}");
+                    eprintln!(
+                        "rl-server: promoted to primary at op seq {head_seq} (epoch {epoch})"
+                    );
                     Response::Ok(Reply::Promoted {
                         head_seq,
                         was_follower: true,
+                        epoch,
                     })
                 }
                 ReplRole::Primary => Response::Ok(Reply::Promoted {
                     head_seq: inner.store.as_ref().map(|s| s.lock().op_seq()).unwrap_or(0),
                     was_follower: false,
+                    epoch: inner.repl.epoch(),
                 }),
                 ReplRole::Standalone => Response::Err(RequestError::new(
                     ErrorCode::Unavailable,
@@ -1381,9 +1464,11 @@ fn observe(state: &mut ServerState, record: &Record) -> cbv_hb::error::Result<Ve
 /// applied (acknowledge-after-durable). The batch is logged
 /// all-or-nothing, so a Storage error means NO record of a multi-record
 /// request is durable — never a silent prefix that resurfaces at replay.
-fn log_mutation(inner: &Inner, ops: &[WalOp]) -> Result<(), RequestError> {
+/// Returns the op sequence of the batch's last frame (the reply's
+/// `applied_seq`), 0 without a store.
+fn log_mutation(inner: &Inner, ops: &[WalOp]) -> Result<u64, RequestError> {
     let Some(store) = &inner.store else {
-        return Ok(());
+        return Ok(0);
     };
     let mut store = store.lock();
     if let Err(e) = store.append_batch(ops) {
@@ -1394,7 +1479,7 @@ fn log_mutation(inner: &Inner, ops: &[WalOp]) -> Result<(), RequestError> {
     }
     inner.metrics.wal_appends.add(ops.len() as u64);
     inner.metrics.wal_bytes.set(store.wal_bytes() as i64);
-    Ok(())
+    Ok(store.op_seq())
 }
 
 /// Applies one recovered WAL op to the state, with the same semantics the
@@ -1514,8 +1599,11 @@ impl ReplHandle {
     /// [`ApplyError::Retry`] means drop the subscription and resubscribe
     /// from [`Self::op_seq`]; [`ApplyError::Resync`] means the local WAL
     /// and index disagree and the caller must re-bootstrap via
-    /// [`Self::resync`].
-    pub fn apply(&self, seq: u64, op: &WalOp) -> Result<(), ApplyError> {
+    /// [`Self::resync`]; [`ApplyError::StaleEpoch`] means the frame was
+    /// written by a fenced (demoted) primary and the session must end —
+    /// reconnecting to the same node will keep failing until it stands
+    /// down or catches up past the current epoch.
+    pub fn apply(&self, seq: u64, op: &WalOp, epoch: u64) -> Result<(), ApplyError> {
         let inner = &self.inner;
         let mut state = inner.state.write();
         if !inner.repl.role.lock().is_follower() {
@@ -1526,6 +1614,25 @@ impl ReplHandle {
         let Some(store) = &inner.store else {
             return Err(ApplyError::Retry("no data directory".into()));
         };
+        // Epoch fencing: a frame from an older era than this follower has
+        // observed comes from a demoted primary that does not yet know it
+        // lost — refusing it is what makes failover safe against split
+        // brain. A newer era is legitimate news (a promotion happened);
+        // adopt it durably before the frame lands in the local WAL.
+        let known = inner.repl.epoch();
+        if epoch < known {
+            return Err(ApplyError::StaleEpoch(format!(
+                "frame {seq} carries epoch {epoch} but this follower has \
+                 observed epoch {known}; the sender is a fenced ex-primary"
+            )));
+        }
+        if epoch > known {
+            store
+                .lock()
+                .observe_epoch(epoch)
+                .map_err(|e| ApplyError::Retry(format!("epoch adoption failed: {e}")))?;
+            inner.repl.epoch.store(epoch, Ordering::SeqCst);
+        }
         // Validate before logging (the primary's own pattern): a record
         // the local schema cannot embed must never enter the local WAL,
         // where it would fail again at every replay.
@@ -1600,10 +1707,16 @@ impl ReplHandle {
         let mut pipeline = ShardedPipeline::from_state(ckpt.snapshot.state.clone())
             .map_err(|e| format!("checkpoint snapshot rejected: {e}"))?;
         pipeline.attach_metrics(Arc::clone(&inner.metrics.pipeline));
-        store
-            .lock()
-            .reset_to_checkpoint(&ckpt)
-            .map_err(|e| format!("data directory reset failed: {e}"))?;
+        {
+            let mut store = store.lock();
+            store
+                .reset_to_checkpoint(&ckpt)
+                .map_err(|e| format!("data directory reset failed: {e}"))?;
+            // The checkpoint may come from a newer era than any frame we
+            // saw; mirror whatever the store adopted so epoch fencing
+            // judges future frames against the freshest known era.
+            inner.repl.epoch.store(store.epoch(), Ordering::SeqCst);
+        }
         let mut dedup = UnionFind::new();
         for &(a, b) in &ckpt.snapshot.stream_pairs {
             dedup.union(a, b);
@@ -1652,6 +1765,36 @@ impl ReplHandle {
     pub fn note_reconnect(&self) {
         self.inner.repl.reconnects.fetch_add(1, Ordering::SeqCst);
         self.inner.metrics.repl_reconnects.inc();
+    }
+
+    /// The highest primary epoch this node has observed. Subscriptions
+    /// present it so a fenced ex-primary refuses to serve them.
+    pub fn epoch(&self) -> u64 {
+        self.inner.repl.epoch()
+    }
+
+    /// Durably adopts a newer primary epoch learned out-of-band (a
+    /// heartbeat, not a frame). Raise-only; older values are ignored.
+    pub fn observe_epoch(&self, epoch: u64) -> Result<(), String> {
+        if epoch <= self.inner.repl.epoch() {
+            return Ok(());
+        }
+        let Some(store) = &self.inner.store else {
+            return Err("no data directory".into());
+        };
+        store
+            .lock()
+            .observe_epoch(epoch)
+            .map_err(|e| e.to_string())?;
+        self.inner.repl.epoch.store(epoch, Ordering::SeqCst);
+        Ok(())
+    }
+
+    /// Marks a checkpoint bootstrap/resync window. While set, `Promote`
+    /// is refused with `Unavailable` — promoting a half-bootstrapped
+    /// follower would crown a primary with torn state.
+    pub fn set_resyncing(&self, resyncing: bool) {
+        self.inner.repl.resyncing.store(resyncing, Ordering::SeqCst);
     }
 }
 

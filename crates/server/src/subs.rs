@@ -365,6 +365,8 @@ fn stream_events(
                     let line = Reply::Heartbeat {
                         head_seq: 0,
                         lag_bytes: 0,
+                        epoch: 0,
+                        lease_ms: 0,
                     };
                     if writer.write_response(&Response::Ok(line)).is_err() {
                         return;

@@ -65,7 +65,11 @@ fn segment_gap_forces_resync_not_mislabeled_frames() {
     drop(alien);
 
     let mut sub = Client::connect(server.local_addr()).unwrap();
-    sub.send(&Request::Subscribe { from_seq: 0 }).unwrap();
+    sub.send(&Request::Subscribe {
+        from_seq: 0,
+        epoch: 0,
+    })
+    .unwrap();
     let mut frames = Vec::new();
     loop {
         match sub.recv().unwrap() {

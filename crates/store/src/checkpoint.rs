@@ -34,6 +34,12 @@ pub struct Checkpoint {
     /// existed read back as 0, which only costs a follower one resync.
     #[serde(default)]
     pub ops: u64,
+    /// Primary epoch the store held when the checkpoint was written.
+    /// Recovery starts its epoch floor here, so stale-primary frames never
+    /// replay even when every epoch marker has been pruned with its
+    /// segment; pre-epoch checkpoints read back as 0.
+    #[serde(default)]
+    pub epoch: u64,
     /// The embedded index snapshot (validated with the same rules as a
     /// standalone snapshot file).
     pub snapshot: Snapshot,
@@ -47,6 +53,7 @@ impl Checkpoint {
             version: CHECKPOINT_VERSION,
             wal_seq,
             ops: 0,
+            epoch: 0,
             snapshot,
         }
     }
@@ -54,6 +61,12 @@ impl Checkpoint {
     /// Sets the global op-sequence watermark the snapshot covers.
     pub fn with_ops(mut self, ops: u64) -> Self {
         self.ops = ops;
+        self
+    }
+
+    /// Sets the primary epoch the snapshot was exported under.
+    pub fn with_epoch(mut self, epoch: u64) -> Self {
+        self.epoch = epoch;
         self
     }
 

@@ -38,6 +38,6 @@ pub use store::{
     scan_segments, segment_path, Recovery, RecoveryReport, Store, StoreOptions, CHECKPOINT_FILE,
 };
 pub use wal::{
-    crc32, ReadFrame, SyncPolicy, Wal, WalFormat, WalOp, WalReader, WAL_FRAME_TAG, WAL_MAGIC,
-    WAL_MAGIC_V2,
+    crc32, replay_from_epoch, ReadFrame, SyncPolicy, Wal, WalFormat, WalOp, WalReader,
+    WAL_EPOCH_MARK_TAG, WAL_FRAME_EPOCH_TAG, WAL_FRAME_TAG, WAL_MAGIC, WAL_MAGIC_V2,
 };

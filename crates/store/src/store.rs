@@ -30,7 +30,7 @@
 use crate::checkpoint::Checkpoint;
 use crate::error::StoreError;
 use crate::snapshot::{Snapshot, SnapshotError};
-use crate::wal::{replay, SyncPolicy, Wal, WalOp};
+use crate::wal::{replay_from_epoch, SyncPolicy, Wal, WalOp};
 use std::path::{Path, PathBuf};
 use std::time::Duration;
 
@@ -76,6 +76,9 @@ pub struct RecoveryReport {
     pub segments_replayed: u64,
     /// Bytes dropped from torn/corrupt frames (0 on a clean shutdown).
     pub truncated_bytes: u64,
+    /// Primary epoch recovered (checkpoint epoch or any higher epoch seen
+    /// in the replayed tail).
+    pub epoch: u64,
     /// Wall-clock time spent loading the checkpoint and scanning the WAL.
     pub duration: Duration,
 }
@@ -103,6 +106,11 @@ pub struct Store {
     /// `op_seq` captured at [`Store::begin_checkpoint`]'s rotation, so
     /// [`Store::commit_checkpoint`] stamps the matching watermark.
     pending_ckpt_ops: Option<u64>,
+    /// Primary epoch: stamped into every appended frame, bumped by
+    /// [`Store::bump_epoch`] on promote, adopted from the stream by
+    /// [`Store::observe_epoch`] on a follower. Recovered as the maximum of
+    /// the checkpoint's epoch and every epoch seen in the replayed tail.
+    epoch: u64,
     opts: StoreOptions,
 }
 
@@ -189,10 +197,13 @@ impl Store {
         // same spot and never replay segments appended *after* this
         // recovery, silently dropping acknowledged writes.
         let mut quarantine: Vec<u64> = Vec::new();
+        // The epoch floor rises across segments: a frame stamped below it
+        // (stale-primary residue) ends the valid prefix like a tear.
+        let mut epoch = checkpoint.as_ref().map(|c| c.epoch).unwrap_or(0);
         for (i, &seq) in seqs.iter().enumerate() {
             let path = segment_path(dir, seq);
             let last = i == seqs.len() - 1;
-            let seg = match replay(&path) {
+            let seg = match replay_from_epoch(&path, epoch) {
                 Ok(seg) => seg,
                 Err(StoreError::NotAWal { path, msg }) => {
                     eprintln!(
@@ -221,6 +232,7 @@ impl Store {
             }
             report.replayed_ops += seg.ops.len() as u64;
             report.segments_replayed += 1;
+            epoch = seg.max_epoch;
             ops.extend(seg.ops);
             if last {
                 reuse = Some((seq, seg.valid_len));
@@ -267,7 +279,7 @@ impl Store {
             }
         }
 
-        let (seq, wal) = match (reuse, abandoned_after) {
+        let (mut seq, mut wal) = match (reuse, abandoned_after) {
             (_, Some(max)) => {
                 let seq = max + 1;
                 (seq, Wal::create(&segment_path(dir, seq), opts.sync)?)
@@ -281,6 +293,14 @@ impl Store {
                 (seq, Wal::create(&segment_path(dir, seq), opts.sync)?)
             }
         };
+        if epoch > 0 && wal.format() == crate::wal::WalFormat::V1Json {
+            // An epoch'd store must never append un-stamped v1 frames (the
+            // floor would truncate them on the next replay); leave the v1
+            // segment behind and continue on a fresh v2 one.
+            seq += 1;
+            wal = Wal::create(&segment_path(dir, seq), opts.sync)?;
+        }
+        wal.set_epoch(epoch);
 
         let prior_bytes = scan_segments(dir)?
             .into_iter()
@@ -293,6 +313,7 @@ impl Store {
             .sum();
 
         report.duration = started.elapsed();
+        report.epoch = epoch;
         let base_ops = checkpoint.as_ref().map(|c| c.ops).unwrap_or(0);
         let store = Self {
             dir: dir.to_path_buf(),
@@ -303,6 +324,7 @@ impl Store {
             op_seq: base_ops + ops.len() as u64,
             base_ops,
             pending_ckpt_ops: None,
+            epoch,
             opts,
         };
         let recovery = Recovery {
@@ -370,10 +392,56 @@ impl Store {
         self.wal.sync()?;
         let covered = self.seq;
         self.seq += 1;
-        let next = Wal::create(&segment_path(&self.dir, self.seq), self.opts.sync)?;
+        let mut next = Wal::create(&segment_path(&self.dir, self.seq), self.opts.sync)?;
+        next.set_epoch(self.epoch);
         let old = std::mem::replace(&mut self.wal, next);
         self.prior_bytes += old.len();
         Ok(covered)
+    }
+
+    /// The current primary epoch (0 until the first promote in the
+    /// directory's history).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Promotes this store to a new primary epoch: bumps the epoch,
+    /// rotates to a fresh segment, and makes the bump durable with an
+    /// epoch marker frame **before returning** — so no mutation can be
+    /// acknowledged at the new epoch until a crashed restart would recover
+    /// it. A crash before the marker lands merely loses the bump, which is
+    /// safe: nothing was accepted under it. Returns the new epoch.
+    ///
+    /// # Errors
+    /// Returns [`StoreError::Io`] on rotation, marker append, or fsync
+    /// failure; the epoch is **not** considered bumped in that case.
+    pub fn bump_epoch(&mut self) -> Result<u64, StoreError> {
+        let next = self.epoch + 1;
+        self.rotate()?;
+        self.wal.append_marker(next)?;
+        self.wal.sync()?;
+        self.epoch = next;
+        Ok(next)
+    }
+
+    /// Adopts a higher epoch observed on the replication stream (a
+    /// follower learning its primary was re-elected). Subsequent local
+    /// appends are stamped with it; lower or equal epochs are no-ops. If
+    /// the active segment is a pre-upgrade v1 file (which cannot carry
+    /// stamps), it is rotated out first.
+    ///
+    /// # Errors
+    /// Returns [`StoreError::Io`] if the protective rotation fails.
+    pub fn observe_epoch(&mut self, epoch: u64) -> Result<(), StoreError> {
+        if epoch <= self.epoch {
+            return Ok(());
+        }
+        if self.wal.format() == crate::wal::WalFormat::V1Json {
+            self.rotate()?;
+        }
+        self.epoch = epoch;
+        self.wal.set_epoch(epoch);
+        Ok(())
     }
 
     /// Phase 2 of a checkpoint: atomically publish `checkpoint.snap` and
@@ -394,6 +462,7 @@ impl Store {
         let ops = self.pending_ckpt_ops.take().unwrap_or(self.op_seq);
         Checkpoint::new(covered, snapshot)
             .with_ops(ops)
+            .with_epoch(self.epoch)
             .save(&self.dir.join(CHECKPOINT_FILE))?;
         self.base_ops = ops;
         let mut pruned = false;
@@ -490,6 +559,10 @@ impl Store {
         self.base_ops = ckpt.ops;
         self.op_seq = ckpt.ops;
         self.pending_ckpt_ops = None;
+        // The shipped checkpoint carries the primary's epoch; the save
+        // above already made it durable here.
+        self.epoch = self.epoch.max(ckpt.epoch);
+        self.wal.set_epoch(self.epoch);
         Ok(())
     }
 }
@@ -497,6 +570,7 @@ impl Store {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::wal::replay;
     use cbv_hb::sharded::ShardedPipeline;
     use cbv_hb::{AttributeSpec, LinkageConfig, Record, RecordSchema, Rule};
     use rand::rngs::StdRng;
@@ -872,6 +946,77 @@ mod tests {
         let (_, recov) = Store::open(&dir, StoreOptions::default()).unwrap();
         assert!(recov.snapshot.is_some());
         assert!(recov.ops.is_empty());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn bump_epoch_rotates_and_survives_restart() {
+        let dir = fresh_dir("epoch-bump");
+        let (mut store, _) = Store::open(&dir, StoreOptions::default()).unwrap();
+        store.append(&WalOp::Insert(rec(1))).unwrap();
+        assert_eq!(store.epoch(), 0);
+        let before = store.active_seq();
+        assert_eq!(store.bump_epoch().unwrap(), 1);
+        assert!(store.active_seq() > before, "bump starts a fresh segment");
+        store.append(&WalOp::Insert(rec(2))).unwrap();
+        assert_eq!(store.op_seq(), 2, "the marker consumed no op sequence");
+        drop(store);
+
+        // No checkpoint yet: the bump survives purely via the marker.
+        let (store, recov) = Store::open(&dir, StoreOptions::default()).unwrap();
+        assert_eq!(store.epoch(), 1);
+        assert_eq!(recov.report.epoch, 1);
+        assert_eq!(
+            recov.ops,
+            vec![WalOp::Insert(rec(1)), WalOp::Insert(rec(2))]
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn checkpoint_carries_epoch_and_reset_adopts_it() {
+        let dir = fresh_dir("epoch-ckpt");
+        let (mut store, _) = Store::open(&dir, StoreOptions::default()).unwrap();
+        store.bump_epoch().unwrap();
+        store.append(&WalOp::Insert(rec(1))).unwrap();
+        let covered = store.begin_checkpoint().unwrap();
+        store
+            .commit_checkpoint(sample_snapshot(&[1]), covered)
+            .unwrap();
+        drop(store);
+        let ckpt = Checkpoint::load(&dir.join(CHECKPOINT_FILE)).unwrap();
+        assert_eq!(ckpt.epoch, 1);
+        // The marker segment was pruned with the checkpoint; the epoch now
+        // survives via the checkpoint field alone.
+        let (store, _) = Store::open(&dir, StoreOptions::default()).unwrap();
+        assert_eq!(store.epoch(), 1);
+        drop(store);
+
+        // A follower resetting to a shipped checkpoint adopts its epoch.
+        let dir2 = fresh_dir("epoch-reset");
+        let (mut follower, _) = Store::open(&dir2, StoreOptions::default()).unwrap();
+        follower.reset_to_checkpoint(&ckpt).unwrap();
+        assert_eq!(follower.epoch(), 1);
+        follower.append(&WalOp::Insert(rec(2))).unwrap();
+        drop(follower);
+        let (follower, _) = Store::open(&dir2, StoreOptions::default()).unwrap();
+        assert_eq!(follower.epoch(), 1, "stamped frames carry it forward");
+        std::fs::remove_dir_all(&dir).unwrap();
+        std::fs::remove_dir_all(&dir2).unwrap();
+    }
+
+    #[test]
+    fn observe_epoch_raises_and_ignores_lower() {
+        let dir = fresh_dir("epoch-observe");
+        let (mut store, _) = Store::open(&dir, StoreOptions::default()).unwrap();
+        store.observe_epoch(3).unwrap();
+        assert_eq!(store.epoch(), 3);
+        store.observe_epoch(2).unwrap();
+        assert_eq!(store.epoch(), 3, "epochs never go backwards");
+        store.append(&WalOp::Insert(rec(1))).unwrap();
+        drop(store);
+        let (store, _) = Store::open(&dir, StoreOptions::default()).unwrap();
+        assert_eq!(store.epoch(), 3);
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -48,7 +48,21 @@ pub const WAL_MAGIC: [u8; 8] = *b"RLWAL1\0\0";
 pub const WAL_MAGIC_V2: [u8; 8] = *b"RLWAL2\0\0";
 
 /// `rl-wire` frame tag for a binary-encoded [`WalOp`] in a v2 segment.
+/// Carries no epoch: frames written while the store's epoch is 0 use this
+/// tag, keeping pre-epoch segments byte-identical.
 pub const WAL_FRAME_TAG: u8 = 1;
+
+/// `rl-wire` frame tag for an epoch-stamped op: payload is
+/// `epoch u64 LE | binary WalOp`. Written for every op once the store's
+/// primary epoch is non-zero, so replay and the replication sender can
+/// fence frames from a demoted primary.
+pub const WAL_FRAME_EPOCH_TAG: u8 = 2;
+
+/// `rl-wire` frame tag persisting an epoch bump: payload is `epoch u64 LE`
+/// alone. Written as the first frame of the fresh segment a promote
+/// rotates to; it carries no op and consumes no op sequence, it only makes
+/// the bump durable before any mutation is accepted at the new epoch.
+pub const WAL_EPOCH_MARK_TAG: u8 = 3;
 
 /// Frames larger than this are treated as corruption, not allocation
 /// requests (a torn length prefix can decode to anything).
@@ -217,6 +231,10 @@ pub struct Wal {
     unsynced: u64,
     /// Frame format, fixed at create/open time by the segment magic.
     format: WalFormat,
+    /// Primary epoch stamped into appended frames. 0 writes legacy
+    /// [`WAL_FRAME_TAG`] frames; non-zero writes [`WAL_FRAME_EPOCH_TAG`]
+    /// frames. The store keeps this in sync with its own epoch.
+    epoch: u64,
     /// Set when a failed append left torn bytes on disk that could not be
     /// rolled back. A poisoned segment rejects every further append:
     /// anything written after the tear would be silently dropped by
@@ -254,6 +272,7 @@ impl Wal {
             unsynced: 0,
             poisoned: false,
             format: WalFormat::V2Binary,
+            epoch: 0,
         })
     }
 
@@ -303,12 +322,63 @@ impl Wal {
             unsynced: 0,
             poisoned: false,
             format,
+            epoch: 0,
         })
     }
 
     /// The segment's frame format (decided by its magic header).
     pub fn format(&self) -> WalFormat {
         self.format
+    }
+
+    /// Sets the primary epoch stamped into subsequent appends. Only
+    /// meaningful on v2 segments; v1 frames have no epoch field and are
+    /// always read back as epoch 0 (the store rotates to a v2 segment
+    /// before ever raising the epoch, so this never loses a stamp).
+    pub fn set_epoch(&mut self, epoch: u64) {
+        self.epoch = epoch;
+    }
+
+    /// The epoch currently stamped into appends.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Appends an epoch-bump marker frame (no op, no op-sequence): the
+    /// durable record that this segment's writer holds `epoch`. Also
+    /// raises the stamp for subsequent appends.
+    ///
+    /// # Errors
+    /// Returns [`StoreError::Io`] on write failure or when the segment is
+    /// v1 (markers only exist in the v2 framing; the store rotates before
+    /// bumping, so a v1 target is a logic error surfaced loudly).
+    pub fn append_marker(&mut self, epoch: u64) -> Result<(), StoreError> {
+        if self.format != WalFormat::V2Binary {
+            return Err(StoreError::io(
+                "append",
+                &self.path,
+                std::io::Error::other("epoch markers require a v2 segment"),
+            ));
+        }
+        if self.poisoned {
+            return Err(StoreError::io(
+                "append",
+                &self.path,
+                std::io::Error::other("segment poisoned by an earlier failed append"),
+            ));
+        }
+        let mut buf = Vec::new();
+        rl_wire::encode_frame_into(WAL_EPOCH_MARK_TAG, &epoch.to_le_bytes(), &mut buf);
+        if let Err(e) = self.file.write_all(&buf) {
+            if self.rollback_to_len().is_err() {
+                self.poisoned = true;
+            }
+            return Err(StoreError::io("append", &self.path, e));
+        }
+        self.len += buf.len() as u64;
+        self.unsynced += 1;
+        self.epoch = epoch;
+        Ok(())
     }
 
     /// Appends one framed op and applies the sync policy. Returns the
@@ -355,8 +425,14 @@ impl Wal {
             payload.clear();
             match self.format {
                 WalFormat::V2Binary => {
-                    op.encode_bin(&mut payload);
-                    rl_wire::encode_frame_into(WAL_FRAME_TAG, &payload, &mut buf);
+                    if self.epoch == 0 {
+                        op.encode_bin(&mut payload);
+                        rl_wire::encode_frame_into(WAL_FRAME_TAG, &payload, &mut buf);
+                    } else {
+                        payload.extend_from_slice(&self.epoch.to_le_bytes());
+                        op.encode_bin(&mut payload);
+                        rl_wire::encode_frame_into(WAL_FRAME_EPOCH_TAG, &payload, &mut buf);
+                    }
                 }
                 WalFormat::V1Json => {
                     payload = serde_json::to_string(op)
@@ -453,6 +529,9 @@ pub struct ReadFrame {
     pub op: WalOp,
     /// Framed size on disk (header + payload), for byte-lag accounting.
     pub frame_len: u64,
+    /// Primary epoch the frame was written under (0 for legacy frames and
+    /// every v1 frame).
+    pub epoch: u64,
 }
 
 /// A cursor over one WAL segment for *tailing*: unlike [`replay`], which
@@ -468,6 +547,10 @@ pub struct WalReader {
     file: File,
     pos: u64,
     format: WalFormat,
+    /// Highest epoch seen so far (markers included). A later frame with a
+    /// lower epoch is stale-primary residue recovery should have
+    /// truncated; the reader reports it as corruption rather than ship it.
+    cur_epoch: u64,
 }
 
 impl WalReader {
@@ -492,12 +575,18 @@ impl WalReader {
             file,
             pos: WAL_MAGIC.len() as u64,
             format,
+            cur_epoch: 0,
         })
     }
 
     /// The segment's frame format (decided by its magic header).
     pub fn format(&self) -> WalFormat {
         self.format
+    }
+
+    /// Highest epoch observed so far (epoch-bump markers included).
+    pub fn epoch(&self) -> u64 {
+        self.cur_epoch
     }
 
     /// Decodes the next complete frame at the cursor. `Ok(None)` means no
@@ -562,50 +651,98 @@ impl WalReader {
         })?;
         let frame_len = 8 + u64::from(len);
         self.pos += frame_len;
-        Ok(Some(ReadFrame { op, frame_len }))
+        Ok(Some(ReadFrame {
+            op,
+            frame_len,
+            epoch: 0,
+        }))
     }
 
     fn next_frame_v2(&mut self) -> Result<Option<ReadFrame>, StoreError> {
-        let mut header = [0u8; rl_wire::HEADER_LEN];
-        match read_full(&mut self.file, &mut header) {
-            Ok(true) => {}
-            Ok(false) => return Ok(None),
-            Err(e) => return Err(StoreError::io("read", &self.path, e)),
+        // Loops only to skip epoch-bump markers (at most a handful per
+        // segment); every op frame returns.
+        loop {
+            let mut header = [0u8; rl_wire::HEADER_LEN];
+            match read_full(&mut self.file, &mut header) {
+                Ok(true) => {}
+                Ok(false) => return Ok(None),
+                Err(e) => return Err(StoreError::io("read", &self.path, e)),
+            }
+            // Magic/version damage at a frame boundary can never heal into a
+            // valid frame — appends land header-first — so it is corruption,
+            // not an append in flight.
+            if header[0..2] != rl_wire::MAGIC || header[2] != rl_wire::WIRE_VERSION {
+                return Err(self.corrupt("bad frame header (corrupt segment)"));
+            }
+            let len = u32::from_le_bytes(header[4..8].try_into().unwrap());
+            if len > MAX_FRAME_LEN {
+                return Err(self.corrupt(&format!(
+                    "frame length {len} exceeds maximum (corrupt segment)"
+                )));
+            }
+            let mut payload = vec![0u8; len as usize];
+            match read_full(&mut self.file, &mut payload) {
+                Ok(true) => {}
+                Ok(false) => return Ok(None),
+                Err(e) => return Err(StoreError::io("read", &self.path, e)),
+            }
+            let tag = match rl_wire::verify_frame(&header, &payload) {
+                Ok(tag) => tag,
+                // A CRC mismatch with all bytes present can still be an
+                // append whose payload write is racing us; report "nothing
+                // yet", as the v1 path does.
+                Err(rl_wire::WireError::Corrupt { .. }) => return Ok(None),
+                Err(e) => return Err(self.corrupt(&e.to_string())),
+            };
+            let frame_len = rl_wire::HEADER_LEN as u64 + u64::from(len);
+            let (epoch, op_bytes) = match tag {
+                WAL_FRAME_TAG => (0u64, payload.as_slice()),
+                WAL_FRAME_EPOCH_TAG => {
+                    if payload.len() < 8 {
+                        return Err(self.corrupt("epoch frame shorter than its epoch field"));
+                    }
+                    let epoch = u64::from_le_bytes(payload[..8].try_into().unwrap());
+                    (epoch, &payload[8..])
+                }
+                WAL_EPOCH_MARK_TAG => {
+                    if payload.len() != 8 {
+                        return Err(self.corrupt("malformed epoch marker"));
+                    }
+                    let epoch = u64::from_le_bytes(payload[..8].try_into().unwrap());
+                    if epoch < self.cur_epoch {
+                        return Err(self.corrupt(&format!(
+                            "stale-epoch marker ({epoch} after {})",
+                            self.cur_epoch
+                        )));
+                    }
+                    self.cur_epoch = epoch;
+                    self.pos += frame_len;
+                    continue;
+                }
+                other => {
+                    return Err(
+                        self.corrupt(&format!("unexpected frame tag {other} in wal segment"))
+                    )
+                }
+            };
+            if epoch < self.cur_epoch {
+                // Recovery truncates stale-primary residue; finding it here
+                // means the file is inconsistent — never ship it.
+                return Err(self.corrupt(&format!(
+                    "stale-epoch frame ({epoch} after {})",
+                    self.cur_epoch
+                )));
+            }
+            let op = WalOp::decode_bin(op_bytes)
+                .map_err(|e| self.corrupt(&format!("undecodable op: {e}")))?;
+            self.cur_epoch = epoch;
+            self.pos += frame_len;
+            return Ok(Some(ReadFrame {
+                op,
+                frame_len,
+                epoch,
+            }));
         }
-        // Magic/version damage at a frame boundary can never heal into a
-        // valid frame — appends land header-first — so it is corruption,
-        // not an append in flight.
-        if header[0..2] != rl_wire::MAGIC || header[2] != rl_wire::WIRE_VERSION {
-            return Err(self.corrupt("bad frame header (corrupt segment)"));
-        }
-        let len = u32::from_le_bytes(header[4..8].try_into().unwrap());
-        if len > MAX_FRAME_LEN {
-            return Err(self.corrupt(&format!(
-                "frame length {len} exceeds maximum (corrupt segment)"
-            )));
-        }
-        let mut payload = vec![0u8; len as usize];
-        match read_full(&mut self.file, &mut payload) {
-            Ok(true) => {}
-            Ok(false) => return Ok(None),
-            Err(e) => return Err(StoreError::io("read", &self.path, e)),
-        }
-        let tag = match rl_wire::verify_frame(&header, &payload) {
-            Ok(tag) => tag,
-            // A CRC mismatch with all bytes present can still be an
-            // append whose payload write is racing us; report "nothing
-            // yet", as the v1 path does.
-            Err(rl_wire::WireError::Corrupt { .. }) => return Ok(None),
-            Err(e) => return Err(self.corrupt(&e.to_string())),
-        };
-        if tag != WAL_FRAME_TAG {
-            return Err(self.corrupt(&format!("unexpected frame tag {tag} in wal segment")));
-        }
-        let op = WalOp::decode_bin(&payload)
-            .map_err(|e| self.corrupt(&format!("undecodable op: {e}")))?;
-        let frame_len = rl_wire::HEADER_LEN as u64 + u64::from(len);
-        self.pos += frame_len;
-        Ok(Some(ReadFrame { op, frame_len }))
     }
 
     fn corrupt(&self, msg: &str) -> StoreError {
@@ -663,17 +800,34 @@ pub struct ReplaySegment {
     pub valid_len: u64,
     /// Bytes past the valid prefix (0 for a clean segment).
     pub torn_bytes: u64,
+    /// Highest primary epoch seen in the valid prefix (markers included),
+    /// at least the `min_epoch` the scan started from.
+    pub max_epoch: u64,
 }
 
 /// Scans a segment, decoding frames until the end of file or the first
 /// torn/corrupt frame. Never fails on a torn tail — that is the expected
 /// crash signature — only on an unreadable file or a foreign header.
+/// Equivalent to [`replay_from_epoch`] with a floor of 0.
 ///
 /// # Errors
 /// Returns [`StoreError::Io`] when the file cannot be read and
 /// [`StoreError::NotAWal`] when it starts with something other than the
 /// WAL magic (8 or more bytes of it).
 pub fn replay(path: &Path) -> Result<ReplaySegment, StoreError> {
+    replay_from_epoch(path, 0)
+}
+
+/// [`replay`] with an epoch floor: a frame stamped with an epoch lower
+/// than `min_epoch` — or lower than any epoch seen earlier in the segment
+/// — is **stale-primary residue** and ends the valid prefix exactly like a
+/// torn frame. This is the fencing half of recovery: ops a demoted primary
+/// appended after its successor took over are truncated, never replayed.
+/// Epochs only ever rise within the valid prefix.
+///
+/// # Errors
+/// Same as [`replay`].
+pub fn replay_from_epoch(path: &Path, min_epoch: u64) -> Result<ReplaySegment, StoreError> {
     let mut bytes = Vec::new();
     File::open(path)
         .and_then(|mut f| f.read_to_end(&mut bytes))
@@ -684,6 +838,7 @@ pub fn replay(path: &Path) -> Result<ReplaySegment, StoreError> {
             ops: Vec::new(),
             valid_len: 0,
             torn_bytes: bytes.len() as u64,
+            max_epoch: min_epoch,
         });
     }
     let Some(format) = WalFormat::from_magic(&bytes[..WAL_MAGIC.len()]) else {
@@ -694,10 +849,16 @@ pub fn replay(path: &Path) -> Result<ReplaySegment, StoreError> {
     };
     let mut ops = Vec::new();
     let mut pos = WAL_MAGIC.len();
+    let mut epoch = min_epoch;
     match format {
-        // Stops at clean EOF or the first torn header.
+        // Stops at clean EOF or the first torn header. v1 frames carry no
+        // epoch (they are all epoch 0), so a non-zero floor makes the
+        // whole segment stale.
         WalFormat::V1Json => {
-            while let Some(header) = bytes.get(pos..pos + 8) {
+            while epoch == 0 && pos < bytes.len() {
+                let Some(header) = bytes.get(pos..pos + 8) else {
+                    break;
+                };
                 let len = u32::from_le_bytes(header[0..4].try_into().unwrap());
                 let crc = u32::from_le_bytes(header[4..8].try_into().unwrap());
                 if len > MAX_FRAME_LEN {
@@ -719,20 +880,52 @@ pub fn replay(path: &Path) -> Result<ReplaySegment, StoreError> {
         WalFormat::V2Binary => {
             while pos < bytes.len() {
                 // Any parse failure — torn header, short payload, bad
-                // CRC, wrong tag, undecodable op — ends the valid
-                // prefix; same longest-valid-prefix semantics as v1.
+                // CRC, wrong tag, undecodable op, stale epoch — ends the
+                // valid prefix; same longest-valid-prefix semantics as v1.
                 let Ok(Some((tag, payload, consumed))) =
                     rl_wire::peek_frame(&bytes[pos..], MAX_FRAME_LEN)
                 else {
                     break;
                 };
-                if tag != WAL_FRAME_TAG {
-                    break;
+                match tag {
+                    WAL_FRAME_TAG => {
+                        if epoch > 0 {
+                            break; // un-stamped frame after a bump: stale
+                        }
+                        let Ok(op) = WalOp::decode_bin(payload) else {
+                            break;
+                        };
+                        ops.push(op);
+                    }
+                    WAL_FRAME_EPOCH_TAG => {
+                        let Some(fe) = payload
+                            .get(..8)
+                            .map(|b| u64::from_le_bytes(b.try_into().unwrap()))
+                        else {
+                            break;
+                        };
+                        if fe < epoch {
+                            break; // stale-epoch frame
+                        }
+                        let Ok(op) = WalOp::decode_bin(&payload[8..]) else {
+                            break;
+                        };
+                        epoch = fe;
+                        ops.push(op);
+                    }
+                    WAL_EPOCH_MARK_TAG => {
+                        let Some(fe) = (payload.len() == 8)
+                            .then(|| u64::from_le_bytes(payload.try_into().unwrap()))
+                        else {
+                            break;
+                        };
+                        if fe < epoch {
+                            break; // stale marker
+                        }
+                        epoch = fe;
+                    }
+                    _ => break,
                 }
-                let Ok(op) = WalOp::decode_bin(payload) else {
-                    break;
-                };
-                ops.push(op);
                 pos += consumed;
             }
         }
@@ -741,6 +934,7 @@ pub fn replay(path: &Path) -> Result<ReplaySegment, StoreError> {
         valid_len: pos as u64,
         torn_bytes: (bytes.len() - pos) as u64,
         ops,
+        max_epoch: epoch,
     })
 }
 
@@ -1087,6 +1281,80 @@ mod tests {
             assert!(WalOp::decode_bin(&longer).is_err());
         }
         assert!(WalOp::decode_bin(&[99]).is_err(), "unknown tag");
+    }
+
+    #[test]
+    fn epoch_frames_roundtrip_and_marker_is_skipped() {
+        let path = tmp("epoch.log");
+        let mut wal = Wal::create(&path, SyncPolicy::Never).unwrap();
+        wal.append(&WalOp::Insert(rec(1))).unwrap(); // epoch 0 → legacy tag
+        wal.append_marker(2).unwrap(); // bump persists, no op-seq consumed
+        assert_eq!(wal.epoch(), 2);
+        wal.append(&WalOp::Insert(rec(2))).unwrap(); // stamped frame
+        drop(wal);
+
+        let seg = replay(&path).unwrap();
+        assert_eq!(
+            seg.ops,
+            vec![WalOp::Insert(rec(1)), WalOp::Insert(rec(2))],
+            "marker carries no op"
+        );
+        assert_eq!(seg.max_epoch, 2);
+        assert_eq!(seg.torn_bytes, 0);
+
+        let mut reader = WalReader::open(&path).unwrap();
+        let f1 = reader.next_frame().unwrap().unwrap();
+        assert_eq!((f1.op, f1.epoch), (WalOp::Insert(rec(1)), 0));
+        let f2 = reader.next_frame().unwrap().unwrap();
+        assert_eq!((f2.op, f2.epoch), (WalOp::Insert(rec(2)), 2));
+        assert_eq!(reader.epoch(), 2);
+        assert!(reader.next_frame().unwrap().is_none());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn stale_epoch_frame_ends_the_valid_prefix() {
+        let path = tmp("stale-epoch.log");
+        let mut wal = Wal::create(&path, SyncPolicy::Never).unwrap();
+        wal.append_marker(1).unwrap();
+        wal.append(&WalOp::Insert(rec(1))).unwrap();
+        let good = wal.len();
+        // A demoted primary's zombie append: stamped below the segment's
+        // high epoch.
+        wal.set_epoch(0);
+        wal.append(&WalOp::Insert(rec(2))).unwrap();
+        drop(wal);
+
+        let seg = replay(&path).unwrap();
+        assert_eq!(seg.ops, vec![WalOp::Insert(rec(1))]);
+        assert_eq!(seg.valid_len, good);
+        assert!(seg.torn_bytes > 0, "stale frame truncated like a tear");
+        assert_eq!(seg.max_epoch, 1);
+
+        // The tailer refuses to ship stale residue.
+        let mut reader = WalReader::open(&path).unwrap();
+        assert!(reader.next_frame().unwrap().is_some());
+        let err = reader.next_frame().unwrap_err();
+        assert!(err.to_string().contains("stale-epoch"), "{err}");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn replay_epoch_floor_fences_older_frames() {
+        let path = tmp("epoch-floor.log");
+        let mut wal = Wal::create(&path, SyncPolicy::Never).unwrap();
+        wal.set_epoch(3);
+        wal.append(&WalOp::Insert(rec(1))).unwrap();
+        drop(wal);
+        // At or below the stamp the frame replays; above it, it is stale.
+        let seg = replay_from_epoch(&path, 3).unwrap();
+        assert_eq!(seg.ops.len(), 1);
+        assert_eq!(seg.max_epoch, 3);
+        let seg = replay_from_epoch(&path, 5).unwrap();
+        assert!(seg.ops.is_empty());
+        assert_eq!(seg.max_epoch, 5);
+        assert!(seg.torn_bytes > 0);
+        std::fs::remove_file(&path).unwrap();
     }
 
     #[test]

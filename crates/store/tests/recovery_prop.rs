@@ -94,4 +94,61 @@ proptest! {
 
         std::fs::remove_dir_all(&dir).unwrap();
     }
+
+    /// Fencing property (satellite of the self-healing-replication PR): a
+    /// WAL holding frames stamped with arbitrary epochs replays **exactly
+    /// the longest prefix with non-decreasing epochs** — the first frame
+    /// stamped below an epoch seen earlier (stale-primary residue) ends
+    /// the log like a torn frame, and everything after it is truncated.
+    #[test]
+    fn mixed_epoch_replay_stops_at_the_first_stale_frame(
+        stamped in proptest::collection::vec((op_strategy(), 0u64..4), 1..32),
+    ) {
+        let dir = scratch_dir();
+        std::fs::create_dir_all(&dir).unwrap();
+        let seg = dir.join("wal-000001.log");
+        let mut wal = Wal::create(&seg, SyncPolicy::Never).unwrap();
+        for (op, epoch) in &stamped {
+            // Forge a writer that stamps whatever epoch the case says —
+            // including one *below* what it wrote before, which is
+            // exactly what a demoted primary's zombie appends look like.
+            wal.set_epoch(*epoch);
+            wal.append(op).unwrap();
+        }
+        wal.sync().unwrap();
+        drop(wal);
+
+        // Expected: the longest prefix where epochs never decrease.
+        let mut high = 0u64;
+        let mut keep = 0usize;
+        for (_, epoch) in &stamped {
+            if *epoch < high {
+                break;
+            }
+            high = *epoch;
+            keep += 1;
+        }
+        let expected: Vec<WalOp> = stamped[..keep].iter().map(|(op, _)| op.clone()).collect();
+
+        let seg_replay = rl_store::replay_from_epoch(&seg, 0).unwrap();
+        prop_assert_eq!(&seg_replay.ops, &expected);
+        prop_assert_eq!(seg_replay.max_epoch, high);
+        prop_assert_eq!(seg_replay.torn_bytes > 0, keep < stamped.len());
+
+        // Store-level recovery applies the same fence and keeps working
+        // at the recovered (highest) epoch afterwards.
+        let (mut store, recovery) = Store::open(&dir, StoreOptions::default()).unwrap();
+        prop_assert_eq!(&recovery.ops, &expected);
+        prop_assert_eq!(store.epoch(), high);
+        let extra = WalOp::Delete(u64::MAX);
+        store.append(&extra).unwrap();
+        drop(store);
+        let (_store2, again) = Store::open(&dir, StoreOptions::default()).unwrap();
+        let mut expected_after: Vec<WalOp> = expected.clone();
+        expected_after.push(extra);
+        prop_assert_eq!(again.ops, expected_after);
+        prop_assert_eq!(again.report.epoch, high);
+
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
 }

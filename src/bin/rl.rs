@@ -84,7 +84,13 @@ fn parse_flags(args: &[String]) -> HashMap<String, String> {
         // Boolean flags take no value.
         if matches!(
             key.as_str(),
-            "header" | "report" | "prometheus" | "allow-replicas" | "no-reactor" | "json"
+            "header"
+                | "report"
+                | "prometheus"
+                | "allow-replicas"
+                | "no-reactor"
+                | "json"
+                | "auto-failover"
         ) {
             flags.insert(key, "true".into());
             i += 1;
@@ -472,6 +478,31 @@ fn serve(flags: &HashMap<String, String>) -> Result<(), String> {
     };
     let replicate_from = flags.get("replicate-from").cloned();
     let allow_replicas = flags.contains_key("allow-replicas");
+    // Self-healing replication knobs (protocol v8). On a primary:
+    // --lease-ms grants failover leases on heartbeats, --sync-replicas
+    // holds mutation acks for N follower confirmations. On a follower:
+    // --auto-failover runs an election when the lease expires, --peers
+    // lists the other replicas it consults.
+    let lease_ms = parse_or("lease-ms", 0)? as u64;
+    let sync_replicas = parse_or("sync-replicas", 0)?;
+    let quorum_timeout_ms = parse_or("quorum-timeout-ms", 2_000)?.max(1) as u64;
+    let auto_failover = flags.contains_key("auto-failover");
+    let peers: Vec<String> = flags
+        .get("peers")
+        .map(|s| {
+            s.split(',')
+                .map(str::trim)
+                .filter(|p| !p.is_empty())
+                .map(str::to_string)
+                .collect()
+        })
+        .unwrap_or_default();
+    if auto_failover && replicate_from.is_none() {
+        return Err("--auto-failover only applies to followers (--replicate-from)".into());
+    }
+    if sync_replicas > 0 && !allow_replicas {
+        return Err("--sync-replicas only applies to primaries (--allow-replicas)".into());
+    }
     // The readiness-driven reactor (Linux) is the default; --no-reactor
     // forces the classic thread-per-connection accept loop.
     let reactor = !flags.contains_key("no-reactor");
@@ -525,6 +556,9 @@ fn serve(flags: &HashMap<String, String>) -> Result<(), String> {
         },
         max_subscriptions,
         reactor,
+        lease_ms,
+        sync_replicas,
+        quorum_timeout: std::time::Duration::from_millis(quorum_timeout_ms),
     };
 
     // Follower mode: the data directory is seeded from the primary's
@@ -532,12 +566,16 @@ fn serve(flags: &HashMap<String, String>) -> Result<(), String> {
     // needed; the node serves reads and redirects mutations.
     if let Some(primary) = replicate_from {
         let dir = data_dir.as_ref().expect("checked above");
-        let follower = Follower::spawn(FollowerConfig::new(primary.clone(), config))
-            .map_err(|e| format!("cannot start follower: {e}"))?;
+        let mut follower_config = FollowerConfig::new(primary.clone(), config);
+        follower_config.auto_failover = auto_failover;
+        follower_config.peers = peers;
+        let follower =
+            Follower::spawn(follower_config).map_err(|e| format!("cannot start follower: {e}"))?;
         eprintln!(
-            "rl-server listening on {} (follower of {primary}, data dir {}); \
+            "rl-server listening on {} (follower of {primary}{}, data dir {}); \
              send {{\"Shutdown\":null}} to stop, {{\"Promote\":null}} to promote",
             follower.local_addr(),
+            if auto_failover { ", auto-failover" } else { "" },
             dir.display()
         );
         follower.wait();
@@ -707,11 +745,11 @@ fn promote(flags: &HashMap<String, String>) -> Result<(), String> {
         Client::connect_binary_with_timeout(&*addr, timeout)
     }
     .map_err(|e| e.to_string())?;
-    let (head_seq, was_follower) = client.promote().map_err(|e| e.to_string())?;
+    let (head_seq, was_follower, epoch) = client.promote().map_err(|e| e.to_string())?;
     if was_follower {
-        eprintln!("{addr} promoted to primary at op seq {head_seq}");
+        eprintln!("{addr} promoted to primary at op seq {head_seq} (epoch {epoch})");
     } else {
-        eprintln!("{addr} is already primary (op seq {head_seq})");
+        eprintln!("{addr} is already primary (op seq {head_seq}, epoch {epoch})");
     }
     Ok(())
 }

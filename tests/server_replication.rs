@@ -266,10 +266,13 @@ fn promote_after_primary_sigkill_loses_nothing() {
     primary.kill().unwrap();
     primary.wait().unwrap();
 
-    let (head_seq, was_follower) = fc.promote().unwrap();
+    let (head_seq, was_follower, epoch) = fc.promote().unwrap();
     assert!(was_follower, "promote should flip a follower");
     assert_eq!(head_seq, head, "promoted head matches the last synced seq");
-    assert_eq!(fc.repl_status().unwrap().role, "primary");
+    assert_eq!(epoch, 1, "first promote bumps the epoch from 0 to 1");
+    let status = fc.repl_status().unwrap();
+    assert_eq!(status.role, "primary");
+    assert_eq!(status.epoch, 1);
 
     // Every acknowledged mutation must be visible on the promoted node.
     let stats = fc.stats().unwrap();
@@ -296,6 +299,117 @@ fn promote_after_primary_sigkill_loses_nothing() {
     assert_eq!(fc.insert(&fresh).unwrap().0, 3);
     assert!(probe_one(&mut fc, &fresh[0], 9000).contains(&fresh[0].id));
 
+    fc.shutdown().unwrap();
+    follower.wait().unwrap();
+    std::fs::remove_dir_all(&pdir).unwrap();
+    std::fs::remove_dir_all(&fdir).unwrap();
+}
+
+/// The self-healing path end to end (protocol v8): a lease-granting
+/// primary is SIGKILLed, its auto-failover follower elects itself (epoch
+/// bump included) without losing an acknowledged write, and when the old
+/// primary restarts on its stale directory, the new epoch fences it —
+/// a subscriber carrying the new epoch gets a typed `StaleEpoch` refusal
+/// instead of stale frames.
+#[test]
+fn auto_failover_elects_follower_and_fences_the_restarted_primary() {
+    use record_linkage::server::{ErrorCode, Request};
+
+    let pdir = fresh_dir("fence-primary");
+    let fdir = fresh_dir("fence-follower");
+    let lease_ms = 500u64;
+    let (mut primary, paddr) = spawn_rl_serve(&pdir, &["--allow-replicas", "--lease-ms", "500"]);
+    let mut pc = Client::connect(&*paddr).unwrap();
+
+    // Acked writes the failover must preserve.
+    let acked = records(31, 0, 20);
+    assert_eq!(pc.insert(&acked).unwrap().0, 20);
+
+    let (mut follower, faddr) =
+        spawn_rl_serve(&fdir, &["--replicate-from", &paddr, "--auto-failover"]);
+    let mut fc = Client::connect(&*faddr).unwrap();
+    let head = pc.repl_status().unwrap().applied_seq;
+    wait_caught_up(&mut fc, head);
+
+    // The primary dies hard mid-lease: SIGKILL, no drain, no goodbye.
+    primary.kill().unwrap();
+    primary.wait().unwrap();
+
+    // The follower's lease runs out and it must elect itself — no manual
+    // `rl promote` anywhere in this test.
+    let started = Instant::now();
+    let deadline = Instant::now() + Duration::from_secs(15);
+    loop {
+        if let Ok(status) = fc.repl_status() {
+            if status.role == "primary" {
+                assert!(status.epoch >= 1, "election must bump the epoch");
+                break;
+            }
+        }
+        assert!(
+            Instant::now() < deadline,
+            "auto-failover never promoted the follower"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    let election = started.elapsed();
+    // Generous sanity bound (the tight `2x lease` gate runs in
+    // server_bench --smoke): kill → promoted well under ten leases.
+    assert!(
+        election < Duration::from_millis(10 * lease_ms),
+        "election took {election:?}"
+    );
+    let new_epoch = fc.repl_status().unwrap().epoch;
+
+    // Acked-write audit: everything the dead primary confirmed survives
+    // on the elected node, which now accepts writes of its own.
+    let stats = fc.stats().unwrap();
+    assert_eq!(stats.indexed, 20, "acked inserts lost across failover");
+    for (i, rec) in acked.iter().enumerate() {
+        assert!(
+            probe_one(&mut fc, rec, 5000 + i as u64).contains(&rec.id),
+            "lost acked insert {}",
+            rec.id
+        );
+    }
+    let fresh = records(32, 3000, 4);
+    assert_eq!(fc.insert(&fresh).unwrap().0, 4);
+
+    // The old primary restarts on its pre-failover directory: same data,
+    // stale epoch 0, still configured as a primary.
+    let (mut old, oaddr) = spawn_rl_serve(&pdir, &["--allow-replicas", "--lease-ms", "500"]);
+    let mut oc = Client::connect(&*oaddr).unwrap();
+    let old_status = oc.repl_status().unwrap();
+    assert_eq!(old_status.role, "primary", "the stale node still believes");
+    assert!(
+        old_status.epoch < new_epoch,
+        "the restarted primary must be on the old epoch"
+    );
+
+    // Fencing, end to end: a subscriber that has observed the new epoch
+    // presents it, and the stale primary must refuse to serve — typed
+    // `StaleEpoch`, not a silent stream of superseded frames.
+    let err = oc
+        .call(&Request::Subscribe {
+            from_seq: 0,
+            epoch: new_epoch,
+        })
+        .expect_err("a stale primary must not serve a newer-epoch subscriber");
+    match err {
+        record_linkage::server::ClientError::Server(e) => {
+            assert_eq!(e.code, ErrorCode::StaleEpoch, "typed stale-epoch refusal");
+        }
+        other => panic!("expected a typed StaleEpoch refusal, got {other}"),
+    }
+
+    // The new primary meanwhile still answers with the bumped epoch.
+    assert_eq!(fc.repl_status().unwrap().epoch, new_epoch);
+
+    // A refused subscriber's connection is closed; reconnect to stop the
+    // stale node.
+    let oc = Client::connect(&*oaddr).unwrap();
+    oc.shutdown().unwrap();
+    old.wait().unwrap();
     fc.shutdown().unwrap();
     follower.wait().unwrap();
     std::fs::remove_dir_all(&pdir).unwrap();
