@@ -141,6 +141,7 @@ impl Linker for CbvHbLinker {
                 None => BlockingMode::RuleAware,
             },
             rule: self.rule(),
+            block: Default::default(),
         };
         let mut pipeline =
             LinkagePipeline::new(schema, config, &mut rng).expect("valid paper configuration");

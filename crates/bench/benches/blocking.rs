@@ -49,6 +49,7 @@ fn bench_k_tradeoff(c: &mut Criterion) {
                     delta: 0.1,
                     mode: BlockingMode::RecordLevel { theta: 4, k },
                     rule,
+                    block: Default::default(),
                 };
                 let mut pipe = LinkagePipeline::new(s, config, &mut rng).unwrap();
                 pipe.index(&p.a).unwrap();

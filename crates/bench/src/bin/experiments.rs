@@ -430,6 +430,7 @@ fn fig7(opts: &Opts) {
                     l: l_design,
                 },
                 rule,
+                block: Default::default(),
             };
             let (res, _) =
                 run_pipeline(schema, config, &pair, &pair.ground_truth.clone(), &mut rng);
@@ -793,6 +794,7 @@ fn guarantee(opts: &Opts) {
                 delta,
                 mode: cbv_hb::pipeline::BlockingMode::RecordLevel { theta: 4, k: 30 },
                 rule,
+                block: Default::default(),
             };
             let t0 = Instant::now();
             let mut p = LinkagePipeline::new(schema, config, &mut rng).expect("valid");
@@ -1180,6 +1182,7 @@ fn scale(opts: &Opts) {
             delta: 0.1,
             mode: BlockingMode::RecordLevel { theta: 4, k: 30 },
             rule,
+            block: Default::default(),
         };
         let mut p = LinkagePipeline::new(schema, config, &mut rng).expect("valid");
         p.index(&pair.a).expect("ok");

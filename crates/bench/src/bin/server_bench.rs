@@ -3,6 +3,7 @@
 //! ```text
 //! server_bench [--records N] [--probes P] [--clients C] [--seed S]
 //!              [--pipeline DEPTH] [--batch N] [--out DIR] [--smoke]
+//!              [--records-sweep]
 //! ```
 //!
 //! For each shard count in {1, 4, 8} the harness spawns an `rl-server`
@@ -33,6 +34,18 @@
 //! `rl_sub_deliver_seconds` histogram, and window-eviction throughput
 //! under churn, reported to `<out>/results/BENCH_stream.json`.
 //!
+//! A fifth phase, enabled by `--records-sweep`, measures the blocking
+//! store backends (docs/BLOCKSTORE.md): for each record count in the
+//! sweep and each backend (`memory`, `mmap`) it runs an isolated child
+//! process (so resident memory is attributable to one backend at one
+//! scale), indexes the corpus, compacts the store (for `mmap`, probes
+//! are then served from the memory-mapped generation on disk), and
+//! measures per-probe p50/p99 latency, `VmRSS`, and bytes on disk,
+//! reported to `<out>/results/BENCH_blockstore.json`. The match results
+//! of every probe are folded into an order-independent hash; the two
+//! backends must produce identical hashes at every scale, and the mmap
+//! p99 must stay within 5x of the in-memory p99.
+//!
 //! `--smoke` shrinks the run for CI, and after each run fetches the
 //! server's `Metrics` snapshot and asserts the observability layer saw
 //! the traffic (nonzero per-type request counts and latency samples);
@@ -43,13 +56,13 @@
 //! and the eviction churn reached the exported counters.
 
 use cbv_hb::sharded::ShardedPipeline;
-use cbv_hb::{AttributeSpec, LinkageConfig, Record, RecordSchema, Rule};
+use cbv_hb::{AttributeSpec, BlockStoreKind, LinkageConfig, Record, RecordSchema, Rule};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use rl_bench::report::write_json;
 use rl_repl::{Follower, FollowerConfig};
 use rl_server::{Client, DurabilityConfig, ReplRole, Server, ServerConfig, SyncPolicy};
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 use std::path::PathBuf;
 use std::time::{Duration, Instant};
 use textdist::Alphabet;
@@ -87,6 +100,8 @@ struct Opts {
     seed: u64,
     out: PathBuf,
     smoke: bool,
+    records_sweep: bool,
+    sweep_only: bool,
 }
 
 fn main() {
@@ -99,8 +114,15 @@ fn main() {
         seed: 42,
         out: PathBuf::from("."),
         smoke: false,
+        records_sweep: false,
+        sweep_only: false,
     };
     let rest: Vec<String> = std::env::args().skip(1).collect();
+    // Internal re-exec entry: one blockstore sweep case in a process of
+    // its own, so VmRSS measures exactly one backend at one scale.
+    if rest.first().map(String::as_str) == Some("--sweep-child") {
+        return sweep_child(&rest[1..]);
+    }
     let mut i = 0;
     while i < rest.len() {
         let need = |i: usize| {
@@ -122,12 +144,31 @@ fn main() {
                 i += 1;
                 continue;
             }
+            "--records-sweep" => {
+                opts.records_sweep = true;
+                i += 1;
+                continue;
+            }
+            "--sweep-only" => {
+                opts.records_sweep = true;
+                opts.sweep_only = true;
+                i += 1;
+                continue;
+            }
             other => panic!("unknown flag {other}"),
         }
         i += 2;
     }
     assert!(opts.pipeline >= 1, "--pipeline must be >= 1");
     assert!(opts.batch >= 1, "--batch must be >= 1");
+
+    // `--sweep-only`: just the blockstore phase (the CI smoke job runs
+    // the other phases separately under metrics-smoke).
+    if opts.sweep_only {
+        let sweep = run_records_sweep(&opts);
+        write_json(&opts.out, "BENCH_blockstore", &sweep);
+        return;
+    }
 
     let mut rows = Vec::new();
     println!("| mode | shards | indexed | probes | clients | depth | batch | secs | probes/sec |");
@@ -232,6 +273,250 @@ fn main() {
         stream.evictions_per_sec,
     );
     write_json(&opts.out, "BENCH_stream", &[stream]);
+
+    // Blockstore phase (opt-in: it re-execs itself per case and the full
+    // sweep indexes up to a million records per backend).
+    if opts.records_sweep {
+        let sweep = run_records_sweep(&opts);
+        write_json(&opts.out, "BENCH_blockstore", &sweep);
+    }
+}
+
+/// One (backend, record count) cell of the blockstore sweep, measured in
+/// an isolated child process.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct SweepRow {
+    /// `memory` or `mmap` (the disk-resident store, probed post-compact
+    /// so buckets come off the memory-mapped generation).
+    backend: String,
+    records: u64,
+    probes: u64,
+    index_secs: f64,
+    /// Time to merge the delta overlay into a sealed on-disk generation
+    /// (0 work for the in-memory backend, which compacts in place).
+    compact_secs: f64,
+    probe_p50_us: f64,
+    probe_p99_us: f64,
+    /// Probes that found at least one match (expected: all of them — the
+    /// probe corpus is exact twins of indexed records).
+    matched: u64,
+    /// FNV-1a over the sorted (probe, match) pairs of every probe: the
+    /// backends must agree on this hash exactly, or mmap changed results.
+    match_hash: u64,
+    /// `VmRSS` of the child after the probe phase, kilobytes.
+    rss_kb: u64,
+    /// Bytes in sealed blockstore generations on disk (0 for memory).
+    on_disk_bytes: u64,
+}
+
+/// Child entry (`--sweep-child BACKEND RECORDS PROBES SEED DIR`): runs
+/// one sweep case and prints the row as `SWEEP_RESULT <json>`.
+fn sweep_child(args: &[String]) {
+    let [backend, records, probes, seed, dir] = args else {
+        panic!("--sweep-child wants BACKEND RECORDS PROBES SEED DIR, got {args:?}");
+    };
+    let row = run_sweep_case(
+        backend,
+        records.parse().expect("RECORDS"),
+        probes.parse().expect("PROBES"),
+        seed.parse().expect("SEED"),
+        dir,
+    );
+    println!(
+        "SWEEP_RESULT {}",
+        serde_json::to_string(&row).expect("serialize sweep row")
+    );
+}
+
+fn run_sweep_case(backend: &str, records: u64, probes: u64, seed: u64, dir: &str) -> SweepRow {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let schema = RecordSchema::build(
+        Alphabet::linkage(),
+        vec![
+            AttributeSpec::new("FirstName", 2, 64, false, 5),
+            AttributeSpec::new("LastName", 2, 64, false, 5),
+        ],
+        &mut rng,
+    );
+    let rule = Rule::and([Rule::pred(0, 4), Rule::pred(1, 4)]);
+    let mut config = LinkageConfig::rule_aware(rule);
+    match backend {
+        "memory" => {}
+        "mmap" => {
+            config.block.kind = BlockStoreKind::Mmap;
+            config.block.dir = Some(dir.to_string());
+        }
+        other => panic!("unknown sweep backend {other}"),
+    }
+    let mut pipeline =
+        ShardedPipeline::new(schema, config, 1, &mut rng).expect("build sweep pipeline");
+
+    let corpus: Vec<Record> = (0..records).map(|i| record(i, i)).collect();
+    let start = Instant::now();
+    for chunk in corpus.chunks(1_000) {
+        pipeline.index(chunk).expect("index");
+    }
+    let index_secs = start.elapsed().as_secs_f64();
+    // Seal the write path: for mmap this merges the in-memory delta into
+    // an on-disk generation, so the probe loop below reads buckets
+    // through the mapping — the disk-residency this phase exists to
+    // measure. The memory backend just scrubs tombstones (there are
+    // none), keeping the two rows procedurally identical.
+    let start = Instant::now();
+    pipeline.compact_stores().expect("compact stores");
+    let compact_secs = start.elapsed().as_secs_f64();
+
+    let mut lat_ns: Vec<u64> = Vec::with_capacity(probes as usize);
+    let mut all_pairs: Vec<(u64, u64)> = Vec::new();
+    let mut matched = 0u64;
+    for i in 0..probes {
+        let src = i % records;
+        let probe = record(1_000_000 + src, src);
+        let t = Instant::now();
+        let (pairs, _) = pipeline.link(std::slice::from_ref(&probe)).expect("probe");
+        lat_ns.push(t.elapsed().as_nanos() as u64);
+        matched += u64::from(!pairs.is_empty());
+        all_pairs.extend(pairs);
+    }
+    // Order-independent digest of the full match relation.
+    all_pairs.sort_unstable();
+    all_pairs.dedup();
+    let mut match_hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for (a, b) in &all_pairs {
+        for v in [*a, *b] {
+            match_hash ^= v;
+            match_hash = match_hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    lat_ns.sort_unstable();
+    let quantile = |p: f64| {
+        let idx = ((lat_ns.len() - 1) as f64 * p).round() as usize;
+        lat_ns[idx] as f64 / 1e3
+    };
+    let on_disk_bytes = pipeline
+        .blocking_stats()
+        .map(|stats| stats.iter().map(|s| s.on_disk_bytes).sum())
+        .unwrap_or(0);
+
+    SweepRow {
+        backend: backend.to_string(),
+        records,
+        probes,
+        index_secs,
+        compact_secs,
+        probe_p50_us: quantile(0.50),
+        probe_p99_us: quantile(0.99),
+        matched,
+        match_hash,
+        rss_kb: vm_rss_kb(),
+        on_disk_bytes,
+    }
+}
+
+/// Resident set size of this process in kilobytes (0 where
+/// `/proc/self/status` is unavailable).
+fn vm_rss_kb() -> u64 {
+    std::fs::read_to_string("/proc/self/status")
+        .ok()
+        .and_then(|s| {
+            s.lines()
+                .find(|l| l.starts_with("VmRSS:"))
+                .and_then(|l| l.split_whitespace().nth(1))
+                .and_then(|kb| kb.parse().ok())
+        })
+        .unwrap_or(0)
+}
+
+/// Record counts for the blockstore sweep. The full run climbs to a
+/// million records per backend; smoke keeps CI under a few seconds.
+fn sweep_sizes(smoke: bool) -> Vec<u64> {
+    if smoke {
+        vec![500, 2_000]
+    } else {
+        vec![10_000, 100_000, 1_000_000]
+    }
+}
+
+fn run_records_sweep(opts: &Opts) -> Vec<SweepRow> {
+    let exe = std::env::current_exe().expect("current exe");
+    let probes = opts.probes.max(200);
+    let mut rows: Vec<SweepRow> = Vec::new();
+    println!();
+    println!(
+        "| backend | records | index secs | compact secs | p50 us | p99 us | rss kb | disk bytes |"
+    );
+    println!("|---|---|---|---|---|---|---|---|");
+    for n in sweep_sizes(opts.smoke) {
+        let mut pair: Vec<SweepRow> = Vec::new();
+        for backend in ["memory", "mmap"] {
+            let dir = std::env::temp_dir()
+                .join(format!("rl-blockstore-sweep-{}-{n}", std::process::id()));
+            let _ = std::fs::remove_dir_all(&dir);
+            let out = std::process::Command::new(&exe)
+                .arg("--sweep-child")
+                .arg(backend)
+                .arg(n.to_string())
+                .arg(probes.to_string())
+                .arg(opts.seed.to_string())
+                .arg(dir.to_string_lossy().into_owned())
+                .output()
+                .expect("spawn sweep child");
+            let stdout = String::from_utf8_lossy(&out.stdout);
+            assert!(
+                out.status.success(),
+                "sweep child {backend}@{n} failed:\n{stdout}\n{}",
+                String::from_utf8_lossy(&out.stderr)
+            );
+            let json = stdout
+                .lines()
+                .find_map(|l| l.strip_prefix("SWEEP_RESULT "))
+                .unwrap_or_else(|| panic!("sweep child {backend}@{n} printed no result"));
+            let row: SweepRow = serde_json::from_str(json).expect("parse sweep row");
+            let _ = std::fs::remove_dir_all(&dir);
+            println!(
+                "| {} | {} | {:.3} | {:.3} | {:.1} | {:.1} | {} | {} |",
+                row.backend,
+                row.records,
+                row.index_secs,
+                row.compact_secs,
+                row.probe_p50_us,
+                row.probe_p99_us,
+                row.rss_kb,
+                row.on_disk_bytes,
+            );
+            pair.push(row);
+        }
+        let (mem, mmap) = (&pair[0], &pair[1]);
+        // Equivalence is the point of the sweep, so it gates every run,
+        // not just smoke: both backends must produce the identical match
+        // relation for the identical probe stream.
+        assert_eq!(
+            (mem.match_hash, mem.matched),
+            (mmap.match_hash, mmap.matched),
+            "mmap backend changed match results at {n} records"
+        );
+        assert_eq!(mem.matched, probes, "probe twins must all match at {n}");
+        assert!(
+            mmap.on_disk_bytes > 0,
+            "mmap backend left no sealed generation on disk at {n}"
+        );
+        // Latency gate with an absolute floor: at smoke scales the
+        // in-memory p99 is a handful of microseconds and scheduler noise
+        // would dominate a pure ratio.
+        let bound_us = 5.0 * mem.probe_p99_us.max(100.0);
+        assert!(
+            mmap.probe_p99_us <= bound_us,
+            "mmap p99 {:.1}us exceeds 5x in-memory bound {bound_us:.1}us at {n} records",
+            mmap.probe_p99_us,
+        );
+        println!(
+            "sweep: {n} records — hashes match ({:#018x}), mmap p99 {:.1}us vs mem {:.1}us, \
+             mmap rss {} kb vs mem {} kb",
+            mem.match_hash, mmap.probe_p99_us, mem.probe_p99_us, mmap.rss_kb, mem.rss_kb,
+        );
+        rows.extend(pair);
+    }
+    rows
 }
 
 #[derive(Debug, Clone, Serialize)]

@@ -28,12 +28,14 @@ use crate::rule::{Pred, Rule};
 use crate::schema::{EmbeddedRecord, RecordSchema};
 use rand::Rng;
 use rl_bitvec::BitVec;
+use rl_blockstore::{BlockPolicy, StoreKind, TableSet};
 use rl_lsh::backend::{Backend, BackendKind, BlockingBackend};
 use rl_lsh::hashfn::KeyAccumulator;
 use rl_lsh::params::{and_probability, base_success_probability, optimal_l, or_probability};
-use rl_lsh::{BitSampleFamily, BitSampler, BlockingTable, CoveringFamily};
+use rl_lsh::{BitSampleFamily, BitSampler, CoveringFamily};
 use serde::{Deserialize, Serialize};
 use std::collections::HashSet;
+use std::path::Path;
 
 /// Where a backend samples its bits from.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -82,7 +84,10 @@ pub struct BlockingStructure {
     /// The sub-families whose table-`l` keys are concatenated to form table
     /// `l`'s composite key. All families share the same `L`.
     families: Vec<SubFamily>,
-    tables: Vec<BlockingTable>,
+    /// The `L` blocking tables, behind the storage abstraction: heap
+    /// hash maps by default, a disk-resident mmap store when configured
+    /// via [`BlockingStructure::configure_store`].
+    store: TableSet,
     /// Per-table collision probability for a pair within the thresholds
     /// (1.0 for covering structures — the collision is guaranteed).
     p_collide: f64,
@@ -130,7 +135,7 @@ impl BlockingStructure {
                 source: Source::Record,
                 backend: Backend::RandomSampling(family),
             }],
-            tables: (0..l).map(|_| BlockingTable::new()).collect(),
+            store: TableSet::memory(l),
             p_collide,
             conjuncts: Vec::new(),
             probe_flips: 0,
@@ -167,7 +172,7 @@ impl BlockingStructure {
                 source: Source::Record,
                 backend: Backend::RandomSampling(family),
             }],
-            tables: (0..l).map(|_| BlockingTable::new()).collect(),
+            store: TableSet::memory(l),
             p_collide: p.powi(k as i32),
             conjuncts: Vec::new(),
             probe_flips: 0,
@@ -215,7 +220,7 @@ impl BlockingStructure {
                 source: Source::Record,
                 backend: Backend::RandomSampling(family),
             }],
-            tables: (0..l).map(|_| BlockingTable::new()).collect(),
+            store: TableSet::memory(l),
             p_collide,
             conjuncts: Vec::new(),
             probe_flips: flips,
@@ -277,7 +282,7 @@ impl BlockingStructure {
         Ok(Self {
             label: format!("attr-level({label},L={l})"),
             families,
-            tables: (0..l).map(|_| BlockingTable::new()).collect(),
+            store: TableSet::memory(l),
             p_collide,
             conjuncts: conjuncts.to_vec(),
             probe_flips: 0,
@@ -308,7 +313,7 @@ impl BlockingStructure {
                 source: Source::Record,
                 backend: Backend::Covering(family),
             }],
-            tables: (0..l).map(|_| BlockingTable::new()).collect(),
+            store: TableSet::memory(l),
             p_collide: 1.0,
             conjuncts: Vec::new(),
             probe_flips: 0,
@@ -368,7 +373,7 @@ impl BlockingStructure {
                 source,
                 backend: Backend::Covering(family),
             }],
-            tables: (0..l).map(|_| BlockingTable::new()).collect(),
+            store: TableSet::memory(l),
             p_collide: 1.0,
             conjuncts: conjuncts.to_vec(),
             probe_flips: 0,
@@ -377,7 +382,77 @@ impl BlockingStructure {
 
     /// Number of blocking groups `L`.
     pub fn l(&self) -> usize {
-        self.tables.len()
+        self.store.num_tables()
+    }
+
+    /// Switches this structure's (empty) tables to the storage backend
+    /// and policy in `cfg`, rooting a disk store under `dir`.
+    ///
+    /// Covering structures guarantee zero false negatives, so the lossy
+    /// knobs are neutralised for them: a `Drop` cap becomes `Chain` and
+    /// the per-probe top-k bound is disabled (ISSUE: off by default for
+    /// the covering backend to preserve zero-FN).
+    pub fn configure_store(
+        &mut self,
+        cfg: &crate::pipeline::BlockStoreConfig,
+        dir: Option<&Path>,
+    ) -> Result<()> {
+        use crate::pipeline::BlockStoreKind;
+        let mut policy = BlockPolicy {
+            max_block_size: cfg.max_block_size,
+            cap_mode: cfg.cap_mode.into(),
+            probe_top_k: cfg.probe_top_k,
+            compact_dead_ratio: cfg.compact_dead_ratio,
+        };
+        if self.backend_kind() == BackendKind::Covering {
+            policy.probe_top_k = 0;
+            if policy.cap_mode == rl_blockstore::CapMode::Drop {
+                policy.cap_mode = rl_blockstore::CapMode::Chain;
+            }
+        }
+        let kind = match cfg.kind {
+            BlockStoreKind::Memory => StoreKind::Memory,
+            BlockStoreKind::Mmap => StoreKind::Mmap,
+        };
+        self.store
+            .convert(kind, dir)
+            .map_err(|e| Error::Store(e.to_string()))?;
+        self.store.set_policy(policy);
+        Ok(())
+    }
+
+    /// Re-roots an (empty) disk-resident store at `dir` — sharded
+    /// pipelines call this so each shard's clone of the plan writes its
+    /// generation files under its own subdirectory.
+    pub fn rehome_store(&mut self, dir: &Path) -> Result<()> {
+        self.store
+            .rehome(dir)
+            .map_err(|e| Error::Store(e.to_string()))
+    }
+
+    /// True when a deserialized disk store lost its generation file and
+    /// must be rebuilt by re-inserting every record.
+    pub fn needs_rebuild(&self) -> bool {
+        self.store.needs_rebuild()
+    }
+
+    /// The disk store's generation directory (`None` for in-memory).
+    pub fn store_dir(&self) -> Option<&Path> {
+        self.store.dir()
+    }
+
+    /// Drops all blocking entries (hash functions keep their draws), the
+    /// first step of a rebuild.
+    pub fn clear_tables(&mut self) {
+        self.store.clear();
+    }
+
+    /// Compacts the underlying store: scrubs tombstones in memory, or
+    /// merges the delta overlay into the next on-disk generation.
+    pub fn compact_store(&mut self) -> Result<()> {
+        self.store
+            .compact()
+            .map_err(|e| Error::Store(e.to_string()))
     }
 
     /// Per-table collision probability for an in-threshold pair.
@@ -435,15 +510,27 @@ impl BlockingStructure {
 
     /// Hashes `rec` into all `L` tables (the indexing pass for data set A).
     pub fn insert(&mut self, rec: &EmbeddedRecord) {
-        for l in 0..self.tables.len() {
+        for l in 0..self.l() {
             let key = self.key(rec, l);
-            self.tables[l].insert(key, rec.id);
+            self.store.insert(l, key, rec.id);
+        }
+    }
+
+    /// Removes `rec` from every table (tombstone + lazy per-bucket
+    /// scrub): the record's keys are recomputed, so the exact buckets it
+    /// occupies are the ones scrub-checked.
+    pub fn remove(&mut self, rec: &EmbeddedRecord) {
+        for l in 0..self.l() {
+            let key = self.key(rec, l);
+            self.store.remove(l, key, rec.id);
         }
     }
 
     /// Ids co-blocked with `rec` in table `l` (the bucket `rec` maps to).
-    pub fn bucket(&self, rec: &EmbeddedRecord, l: usize) -> &[u64] {
-        self.tables[l].get(self.key(rec, l))
+    pub fn bucket(&self, rec: &EmbeddedRecord, l: usize) -> Vec<u64> {
+        let mut out = Vec::new();
+        self.store.probe_into(l, self.key(rec, l), &mut out);
+        out
     }
 
     /// The de-duplicated union of co-blocked ids across all tables
@@ -455,15 +542,31 @@ impl BlockingStructure {
     }
 
     /// Extends `out` with co-blocked ids (avoids re-allocating per call).
-    pub fn candidates_into(&self, rec: &EmbeddedRecord, out: &mut HashSet<u64>) {
-        for l in 0..self.tables.len() {
-            out.extend(self.bucket(rec, l).iter().copied());
+    /// Returns `true` when the store's per-probe top-k bound cut the
+    /// candidate set short (callers surface this as a typed
+    /// `CandidatesTruncated` note).
+    pub fn candidates_into(&self, rec: &EmbeddedRecord, out: &mut HashSet<u64>) -> bool {
+        let top_k = self.store.policy().probe_top_k;
+        let mut scratch = Vec::new();
+        for l in 0..self.l() {
+            scratch.clear();
+            let base = self.key(rec, l);
+            self.store.probe_into(l, base, &mut scratch);
             if self.probe_flips > 0 {
-                let base = self.key(rec, l);
                 let k_bits: usize = self.families.iter().map(|f| f.key_bits(l)).sum();
-                self.probe_neighbours(l, base, k_bits, self.probe_flips, 0, out);
+                self.probe_neighbours(l, base, k_bits, self.probe_flips, 0, &mut scratch);
+            }
+            for &id in &scratch {
+                // Deterministic truncation: tables in order, ids in
+                // insertion order, so both storage backends cut at the
+                // same candidate.
+                if top_k > 0 && out.len() >= top_k && !out.contains(&id) {
+                    return true;
+                }
+                out.insert(id);
             }
         }
+        false
     }
 
     /// Recursively visits keys with up to `budget` more flipped bits,
@@ -475,14 +578,14 @@ impl BlockingStructure {
         k_bits: usize,
         budget: u32,
         from: usize,
-        out: &mut HashSet<u64>,
+        out: &mut Vec<u64>,
     ) {
         if budget == 0 {
             return;
         }
         for i in from..k_bits {
             let flipped = key ^ (1u128 << i);
-            out.extend(self.tables[l].get(flipped).iter().copied());
+            self.store.probe_into(l, flipped, out);
             self.probe_neighbours(l, flipped, k_bits, budget - 1, i + 1, out);
         }
     }
@@ -498,7 +601,7 @@ impl BlockingStructure {
     /// fused samplers for random sampling (constant across tables), the
     /// mean kept-width (≈ m/2, capped at 128 per sub-key) for covering.
     pub fn mean_key_bits(&self) -> usize {
-        let l = self.tables.len();
+        let l = self.l();
         if l == 0 {
             return 0;
         }
@@ -508,37 +611,47 @@ impl BlockingStructure {
         total / l
     }
 
-    /// Read access to the underlying tables (profiling/diagnostics).
-    pub fn tables(&self) -> &[BlockingTable] {
-        &self.tables
+    /// Folds every live `(table, bucket_size)` pair into `f`
+    /// (profiling/diagnostics — replaces direct table access, which the
+    /// storage abstraction no longer exposes).
+    pub fn for_each_bucket(&self, f: impl FnMut(usize, usize)) {
+        self.store.for_each_bucket(f);
+    }
+
+    /// Folds every live `(table, key, live_ids)` entry into `f`, ids in
+    /// insertion order (key fingerprinting, exhaustive exports).
+    pub fn for_each_entry(&self, f: impl FnMut(usize, u128, &[u64])) {
+        self.store.for_each_entry(f);
     }
 
     /// Total non-empty buckets across tables (diagnostics).
     pub fn num_buckets(&self) -> usize {
-        self.tables.iter().map(BlockingTable::num_buckets).sum()
+        self.store.stats().buckets
     }
 
     /// Largest bucket across tables (the paper's over-population
     /// diagnostic).
     pub fn max_bucket(&self) -> usize {
-        self.tables
-            .iter()
-            .map(BlockingTable::max_bucket)
-            .max()
-            .unwrap_or(0)
+        self.store.stats().max_bucket
     }
 
     /// Snapshot of this structure's blocking diagnostics (the server's
     /// Stats reporting).
     pub fn stats(&self) -> StructureStats {
+        let s = self.store.stats();
         StructureStats {
             label: self.label.clone(),
             backend: self.backend_kind().to_string(),
             l: self.l(),
             key_bits: self.mean_key_bits(),
-            buckets: self.tables.iter().map(BlockingTable::bucket_count).sum(),
-            entries: self.tables.iter().map(BlockingTable::num_entries).sum(),
-            max_bucket: self.max_bucket(),
+            buckets: s.buckets,
+            entries: s.entries as usize,
+            max_bucket: s.max_bucket,
+            store: self.store.kind().to_string(),
+            size_histogram: s.size_histogram,
+            dead_entries: s.dead_entries,
+            dropped: s.dropped,
+            on_disk_bytes: s.on_disk_bytes,
         }
     }
 }
@@ -562,6 +675,23 @@ pub struct StructureStats {
     pub entries: usize,
     /// Largest single bucket.
     pub max_bucket: usize,
+    /// Storage backend tag (`"memory"` or `"mmap"`).
+    #[serde(default)]
+    pub store: String,
+    /// Log₂-binned live bucket sizes: bin `i` counts buckets holding
+    /// `2^i ..= 2^(i+1) − 1` ids (see [`StructureStats::p99_bucket`]).
+    #[serde(default)]
+    pub size_histogram: Vec<u64>,
+    /// Tombstoned ids still occupying bucket slots (awaiting lazy scrub
+    /// or compaction).
+    #[serde(default)]
+    pub dead_entries: u64,
+    /// Inserts discarded by a `drop`-mode block cap.
+    #[serde(default)]
+    pub dropped: u64,
+    /// Bytes of the store's on-disk generation file (0 for memory).
+    #[serde(default)]
+    pub on_disk_bytes: u64,
 }
 
 impl StructureStats {
@@ -573,6 +703,35 @@ impl StructureStats {
         self.buckets += other.buckets;
         self.entries += other.entries;
         self.max_bucket = self.max_bucket.max(other.max_bucket);
+        if self.size_histogram.len() < other.size_histogram.len() {
+            self.size_histogram.resize(other.size_histogram.len(), 0);
+        }
+        for (i, c) in other.size_histogram.iter().enumerate() {
+            self.size_histogram[i] += c;
+        }
+        self.dead_entries += other.dead_entries;
+        self.dropped += other.dropped;
+        self.on_disk_bytes += other.on_disk_bytes;
+    }
+
+    /// Upper bound on the size of 99% of this structure's buckets, read
+    /// off the log₂ histogram (the operator-facing skew signal: a probe
+    /// rarely scans more than this many ids per table).
+    pub fn p99_bucket(&self) -> usize {
+        let total: u64 = self.size_histogram.iter().sum();
+        if total == 0 {
+            return 0;
+        }
+        let target = (total as f64 * 0.99).ceil() as u64;
+        let mut cum = 0u64;
+        for (bin, &count) in self.size_histogram.iter().enumerate() {
+            cum += count;
+            if cum >= target {
+                let bound = (1usize << (bin + 1)) - 1;
+                return bound.min(self.max_bucket);
+            }
+        }
+        self.max_bucket
     }
 }
 
@@ -703,7 +862,7 @@ impl BlockingPlan {
         let sizes: Vec<usize> = schema.specs().iter().map(|s| s.m).collect();
         config.rule.validate(&sizes)?;
         config.validate()?;
-        match config.mode {
+        let mut plan = match config.mode {
             BlockingMode::RecordLevel { theta, k } => {
                 Self::record_level(schema, theta, k, config.delta, rng)
             }
@@ -713,7 +872,9 @@ impl BlockingPlan {
             BlockingMode::RuleAware => Self::compile(schema, &config.rule, config.delta, rng),
             BlockingMode::Covering { theta } => Self::covering_record_level(schema, theta, rng),
             BlockingMode::CoveringRuleAware => Self::compile_covering(schema, &config.rule, rng),
-        }
+        }?;
+        plan.configure_stores(&config.block)?;
+        Ok(plan)
     }
 
     /// Wraps a single record-level structure as a plan (standard HB mode).
@@ -771,6 +932,72 @@ impl BlockingPlan {
         }
     }
 
+    /// Removes a record from every structure's tables (tombstone + lazy
+    /// per-bucket scrub). Callers must pass the same embedding that was
+    /// inserted so the keys resolve to the same buckets.
+    pub fn remove(&mut self, rec: &EmbeddedRecord) {
+        for s in &mut self.structures {
+            s.remove(rec);
+        }
+    }
+
+    /// Applies a block-store configuration to every (empty) structure.
+    /// Disk-resident structures are rooted at `<dir>/s<i>` so each
+    /// structure's generation files stay separate.
+    pub fn configure_stores(&mut self, cfg: &crate::pipeline::BlockStoreConfig) -> Result<()> {
+        let base = cfg.dir.as_ref().map(Path::new);
+        for (i, s) in self.structures.iter_mut().enumerate() {
+            let dir = base.map(|b| b.join(format!("s{i}")));
+            s.configure_store(cfg, dir.as_deref())?;
+        }
+        Ok(())
+    }
+
+    /// The root directory the plan's disk stores were configured under
+    /// (the parent of structure 0's `s0` directory); `None` when all
+    /// stores are in-memory.
+    pub fn store_root(&self) -> Option<std::path::PathBuf> {
+        self.structures
+            .first()
+            .and_then(BlockingStructure::store_dir)
+            .and_then(Path::parent)
+            .map(Path::to_path_buf)
+    }
+
+    /// Re-roots every (empty) disk-resident store under
+    /// `<dir>/shard-<shard>/s<i>` — one subtree per shard clone.
+    pub fn rehome_stores(&mut self, dir: &Path, shard: usize) -> Result<()> {
+        let shard_dir = dir.join(format!("shard-{shard}"));
+        for (i, s) in self.structures.iter_mut().enumerate() {
+            s.rehome_store(&shard_dir.join(format!("s{i}")))?;
+        }
+        Ok(())
+    }
+
+    /// True when any structure's deserialized disk store lost its
+    /// generation file: the plan must be rebuilt (cleared + re-inserted)
+    /// before serving probes.
+    pub fn needs_rebuild(&self) -> bool {
+        self.structures.iter().any(BlockingStructure::needs_rebuild)
+    }
+
+    /// Drops every structure's blocking entries (hash draws are kept):
+    /// step one of a rebuild from the record store.
+    pub fn clear_for_rebuild(&mut self) {
+        for s in &mut self.structures {
+            s.clear_tables();
+        }
+    }
+
+    /// Compacts every structure's store (tombstone scrub / next on-disk
+    /// generation).
+    pub fn compact(&mut self) -> Result<()> {
+        for s in &mut self.structures {
+            s.compact_store()?;
+        }
+        Ok(())
+    }
+
     /// Indexes a batch.
     pub fn insert_all(&mut self, recs: &[EmbeddedRecord]) {
         for r in recs {
@@ -787,10 +1014,12 @@ impl BlockingPlan {
     /// are over-excluded. Prefer [`Self::candidates_verified`], which
     /// confirms each exclusion hint with a cheap single-attribute distance.
     pub fn candidates(&self, rec: &EmbeddedRecord) -> HashSet<u64> {
+        let mut truncated = false;
         self.eval(
             &self.expr,
             rec,
             None::<&fn(u64) -> Option<&'static EmbeddedRecord>>,
+            &mut truncated,
         )
     }
 
@@ -803,25 +1032,53 @@ impl BlockingPlan {
     where
         F: Fn(u64) -> Option<&'s EmbeddedRecord>,
     {
-        self.eval(&self.expr, rec, Some(&lookup))
+        self.candidates_verified_counted(rec, lookup).0
     }
 
-    fn eval<'s, F>(&self, expr: &PlanExpr, rec: &EmbeddedRecord, lookup: Option<&F>) -> HashSet<u64>
+    /// As [`Self::candidates_verified`], also reporting whether any
+    /// structure's per-probe top-k bound truncated its candidate stream
+    /// (surfaced to clients as a `CandidatesTruncated` note).
+    pub fn candidates_verified_counted<'s, F>(
+        &self,
+        rec: &EmbeddedRecord,
+        lookup: F,
+    ) -> (HashSet<u64>, bool)
+    where
+        F: Fn(u64) -> Option<&'s EmbeddedRecord>,
+    {
+        let mut truncated = false;
+        let set = self.eval(&self.expr, rec, Some(&lookup), &mut truncated);
+        (set, truncated)
+    }
+
+    fn eval<'s, F>(
+        &self,
+        expr: &PlanExpr,
+        rec: &EmbeddedRecord,
+        lookup: Option<&F>,
+        truncated: &mut bool,
+    ) -> HashSet<u64>
     where
         F: Fn(u64) -> Option<&'s EmbeddedRecord>,
     {
         match expr {
-            PlanExpr::Leaf(i) => self.structures[*i].candidates(rec),
+            PlanExpr::Leaf(i) => {
+                let mut out = HashSet::new();
+                *truncated |= self.structures[*i].candidates_into(rec, &mut out);
+                out
+            }
             PlanExpr::Or(children) => {
                 let mut out = HashSet::new();
                 for c in children {
-                    out.extend(self.eval(c, rec, lookup));
+                    out.extend(self.eval(c, rec, lookup, truncated));
                 }
                 out
             }
             PlanExpr::And { children, negated } => {
-                let mut sets: Vec<HashSet<u64>> =
-                    children.iter().map(|c| self.eval(c, rec, lookup)).collect();
+                let mut sets: Vec<HashSet<u64>> = children
+                    .iter()
+                    .map(|c| self.eval(c, rec, lookup, truncated))
+                    .collect();
                 // Intersect starting from the smallest set.
                 sets.sort_by_key(HashSet::len);
                 let mut iter = sets.into_iter();

@@ -38,6 +38,9 @@ pub enum Error {
         /// Fields required by the schema.
         expected: usize,
     },
+    /// A blocking-store operation failed (disk-resident tables:
+    /// I/O, corruption, or a reconfigure on a non-empty store).
+    Store(String),
     /// A record id is already present in the index. Raised by
     /// [`crate::stream::StreamMatcher::observe`], which refuses to
     /// silently re-index an id; use
@@ -65,6 +68,7 @@ impl fmt::Display for Error {
                 "threshold {theta} for attribute {attr} exceeds its c-vector size {m}"
             ),
             Error::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
+            Error::Store(msg) => write!(f, "blocking store: {msg}"),
             Error::FieldCountMismatch { found, expected } => write!(
                 f,
                 "record has {found} fields but the schema defines {expected}"

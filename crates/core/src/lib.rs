@@ -49,7 +49,9 @@ pub mod stream;
 pub use cvector::{optimal_m, CVectorEmbedder};
 pub use error::Error;
 pub use metrics::LinkageQuality;
-pub use pipeline::{LinkageConfig, LinkagePipeline, LinkageResult};
+pub use pipeline::{
+    BlockCapMode, BlockStoreConfig, BlockStoreKind, LinkageConfig, LinkagePipeline, LinkageResult,
+};
 pub use record::Record;
 pub use rule::Rule;
 pub use rule_parser::parse_rule;

@@ -71,6 +71,11 @@ pub struct MatchStats {
     pub distance_computations: u64,
     /// Pairs classified as matches (`|M̂|`).
     pub matched: u64,
+    /// Probes whose candidate set was cut short by the per-probe top-k
+    /// bound (`probe_top_k`): recall may be reduced for these probes.
+    /// Absent (zero) in stats from before the bounded-probe knob.
+    #[serde(default)]
+    pub truncated: u64,
 }
 
 /// A store of embedded records from data set A, addressable by id —
@@ -105,6 +110,12 @@ impl RecordStore {
         self.records.remove(&id).is_some()
     }
 
+    /// Iterates over all stored records (rebuild of a lost blocking
+    /// store: every record is re-inserted into the cleared plan).
+    pub fn iter(&self) -> impl Iterator<Item = &EmbeddedRecord> {
+        self.records.values()
+    }
+
     /// Number of stored records.
     pub fn len(&self) -> usize {
         self.records.len()
@@ -126,8 +137,9 @@ pub fn match_record(
     classifier: &Classifier,
     stats: &mut MatchStats,
 ) -> Vec<u64> {
-    let candidates = plan.candidates_verified(probe, |id| store.get(id));
+    let (candidates, truncated) = plan.candidates_verified_counted(probe, |id| store.get(id));
     stats.candidates += candidates.len() as u64;
+    stats.truncated += u64::from(truncated);
     let mut out = Vec::new();
     for id in candidates {
         let Some(a) = store.get(id) else { continue };
@@ -156,8 +168,7 @@ pub fn match_structure_literal(
     let mut seen: HashSet<u64> = HashSet::new(); // the paper's UniqueCollection C
     let mut out = Vec::new();
     for l in 0..structure.l() {
-        let id_list = structure.bucket(probe, l);
-        for &id in id_list {
+        for id in structure.bucket(probe, l) {
             if dedup && !seen.insert(id) {
                 continue;
             }

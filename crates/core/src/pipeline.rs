@@ -58,6 +58,86 @@ pub enum BlockingMode {
     CoveringRuleAware,
 }
 
+/// Which storage backend holds the blocking tables.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BlockStoreKind {
+    /// Heap-resident hash tables (the historical behaviour).
+    #[default]
+    Memory,
+    /// Disk-resident, memory-mapped generation files (`rl-blockstore`):
+    /// blocking tables can exceed RAM; requires a directory.
+    Mmap,
+}
+
+/// What happens to an insert into a bucket at the size cap.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BlockCapMode {
+    /// Keep every id; the cap only chunks on-disk postings segments
+    /// (overflow-block chaining). Lossless — the default.
+    #[default]
+    Chain,
+    /// Discard inserts into a full bucket (a hard skew bound; lossy).
+    /// Ignored for covering structures, whose zero-false-negative
+    /// guarantee must hold.
+    Drop,
+}
+
+impl From<BlockCapMode> for rl_blockstore::CapMode {
+    fn from(m: BlockCapMode) -> Self {
+        match m {
+            BlockCapMode::Chain => rl_blockstore::CapMode::Chain,
+            BlockCapMode::Drop => rl_blockstore::CapMode::Drop,
+        }
+    }
+}
+
+/// Blocking-table storage configuration: backend choice plus the
+/// robustness knobs of "Scalable Blocking for Very Large Databases"
+/// (block capping, bounded probes, tombstone scrub threshold).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BlockStoreConfig {
+    /// Storage backend for the blocking tables.
+    #[serde(default)]
+    pub kind: BlockStoreKind,
+    /// Directory for generation files (required for
+    /// [`BlockStoreKind::Mmap`]; each structure uses `<dir>/s<i>`, each
+    /// shard `<dir>/shard-<j>/s<i>`).
+    #[serde(default)]
+    pub dir: Option<String>,
+    /// Per-block size cap (0 = unlimited).
+    #[serde(default)]
+    pub max_block_size: usize,
+    /// Behaviour at the cap.
+    #[serde(default)]
+    pub cap_mode: BlockCapMode,
+    /// Per-probe distinct-candidate bound (0 = unbounded). Truncated
+    /// probes are flagged in match stats and reply notes. Forced off for
+    /// covering structures to preserve zero false negatives.
+    #[serde(default)]
+    pub probe_top_k: usize,
+    /// Scrub a bucket when its tombstoned fraction reaches this ratio
+    /// (0.0 disables lazy compaction).
+    #[serde(default = "default_compact_dead_ratio")]
+    pub compact_dead_ratio: f64,
+}
+
+fn default_compact_dead_ratio() -> f64 {
+    0.3
+}
+
+impl Default for BlockStoreConfig {
+    fn default() -> Self {
+        Self {
+            kind: BlockStoreKind::Memory,
+            dir: None,
+            max_block_size: 0,
+            cap_mode: BlockCapMode::Chain,
+            probe_top_k: 0,
+            compact_dead_ratio: default_compact_dead_ratio(),
+        }
+    }
+}
+
 /// Pipeline configuration.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct LinkageConfig {
@@ -68,6 +148,10 @@ pub struct LinkageConfig {
     /// Classification rule applied to candidate pairs — and, in
     /// [`BlockingMode::RuleAware`], compiled into the blocking plan.
     pub rule: Rule,
+    /// Blocking-table storage (absent in configs from before the
+    /// disk-resident store: defaults to in-memory, unbounded).
+    #[serde(default)]
+    pub block: BlockStoreConfig,
 }
 
 impl LinkageConfig {
@@ -77,6 +161,7 @@ impl LinkageConfig {
             delta: 0.1,
             mode: BlockingMode::RuleAware,
             rule,
+            block: BlockStoreConfig::default(),
         }
     }
 
@@ -86,6 +171,7 @@ impl LinkageConfig {
             delta: 0.1,
             mode: BlockingMode::RecordLevel { theta, k },
             rule,
+            block: BlockStoreConfig::default(),
         }
     }
 
@@ -97,6 +183,7 @@ impl LinkageConfig {
             delta: 0.1,
             mode: BlockingMode::Covering { theta },
             rule,
+            block: BlockStoreConfig::default(),
         }
     }
 
@@ -106,6 +193,7 @@ impl LinkageConfig {
             delta: 0.1,
             mode: BlockingMode::CoveringRuleAware,
             rule,
+            block: BlockStoreConfig::default(),
         }
     }
 
@@ -139,6 +227,17 @@ impl LinkageConfig {
                 }
             }
             BlockingMode::RuleAware | BlockingMode::CoveringRuleAware => {}
+        }
+        if self.block.kind == BlockStoreKind::Mmap && self.block.dir.is_none() {
+            return Err(crate::Error::InvalidParameter(
+                "block store kind \"mmap\" requires a directory (--block-dir)".into(),
+            ));
+        }
+        if !(0.0..=1.0).contains(&self.block.compact_dead_ratio) {
+            return Err(crate::Error::InvalidParameter(format!(
+                "compact_dead_ratio = {} is outside 0.0..=1.0",
+                self.block.compact_dead_ratio
+            )));
         }
         Ok(())
     }
@@ -418,6 +517,7 @@ impl LinkagePipeline {
             result.stats.candidates += stats.candidates;
             result.stats.distance_computations += stats.distance_computations;
             result.stats.matched += stats.matched;
+            result.stats.truncated += stats.truncated;
         }
         let elapsed = t0.elapsed();
         result.timings.match_nanos = elapsed.as_nanos();
@@ -456,7 +556,7 @@ impl LinkagePipeline {
         let state: PersistedPipeline = serde_json::from_reader(reader)
             .map_err(|e| crate::Error::InvalidParameter(format!("deserialize pipeline: {e}")))?;
         let classifier = Classifier::Rule(state.config.rule.clone());
-        Ok(Self {
+        let mut pipeline = Self {
             schema: state.schema,
             config: state.config,
             plan: state.plan,
@@ -465,7 +565,41 @@ impl LinkagePipeline {
             indexed: state.indexed,
             index_timings: PhaseTimings::default(),
             metrics: None,
-        })
+        };
+        // A disk-resident store whose generation file vanished (torn file,
+        // moved snapshot) deserializes as empty-with-flag: rebuild the
+        // blocking entries from the record store, which is authoritative.
+        if pipeline.plan.needs_rebuild() {
+            pipeline.rebuild_blocking()?;
+        }
+        Ok(pipeline)
+    }
+
+    /// Rebuilds every blocking structure from the record store: clears
+    /// the tables (hash draws are kept, so keys land in the same buckets)
+    /// and re-inserts every stored record.
+    ///
+    /// # Errors
+    /// Returns [`crate::Error::Store`] when a disk store cannot be
+    /// rewritten.
+    pub fn rebuild_blocking(&mut self) -> Result<()> {
+        self.plan.clear_for_rebuild();
+        for rec in self.store.iter() {
+            self.plan.insert(rec);
+        }
+        // Persist the rebuilt tables so the next open maps a fresh
+        // generation instead of replaying the rebuild.
+        self.plan.compact()
+    }
+
+    /// Compacts every blocking structure's store: scrubs tombstones, and
+    /// for disk-resident stores merges the delta overlay into the next
+    /// on-disk generation (bounding resident memory).
+    ///
+    /// # Errors
+    /// Returns [`crate::Error::Store`] on I/O failure.
+    pub fn compact_blocking(&mut self) -> Result<()> {
+        self.plan.compact()
     }
 
     /// Multi-party linkage: links every later data set against all earlier

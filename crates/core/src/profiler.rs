@@ -39,15 +39,21 @@ pub fn profile_structure(s: &BlockingStructure) -> StructureProfile {
     let mut buckets = 0usize;
     let mut entries = 0usize;
     let mut max_bucket = 0usize;
+    // Per-table Σ size² and Σ size, accumulated in one storage walk (the
+    // store may be disk-resident, so buckets are visited, not borrowed).
+    let mut sum_sq = vec![0.0f64; s.l()];
+    let mut table_entries = vec![0usize; s.l()];
+    s.for_each_bucket(|table, len| {
+        buckets += 1;
+        entries += len;
+        max_bucket = max_bucket.max(len);
+        sum_sq[table] += (len * len) as f64;
+        table_entries[table] += len;
+    });
     let mut expected = 0.0f64;
-    for table in s.tables() {
-        buckets += table.num_buckets();
-        let table_entries = table.num_entries();
-        entries += table_entries;
-        max_bucket = max_bucket.max(table.max_bucket());
-        if table_entries > 0 {
-            let sum_sq: f64 = table.iter().map(|(_, b)| (b.len() * b.len()) as f64).sum();
-            expected += sum_sq / table_entries as f64;
+    for (sq, n) in sum_sq.iter().zip(&table_entries) {
+        if *n > 0 {
+            expected += sq / *n as f64;
         }
     }
     let mean_bucket = if buckets == 0 {

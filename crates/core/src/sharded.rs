@@ -35,6 +35,9 @@ enum Command {
         ids: Vec<u64>,
         reply: Sender<usize>,
     },
+    Compact {
+        reply: Sender<std::result::Result<(), String>>,
+    },
     Export {
         reply: Sender<ShardState>,
     },
@@ -137,11 +140,23 @@ fn shard_worker(
                 let _ = reply.send((matches, stats));
             }
             Command::Delete { ids, reply } => {
-                // Tombstone delete: the record leaves the store, so it can
-                // never be retrieved as a candidate again; its blocking
-                // bucket entries linger until the plan is rebuilt (restore).
-                let removed = ids.iter().filter(|&&id| store.remove(id)).count();
+                // Tombstone delete: the record leaves the store (so it can
+                // never be retrieved as a candidate again) *and* its
+                // blocking bucket entries are tombstoned, with the lazy
+                // per-bucket scrub reclaiming dead slots once a bucket's
+                // dead ratio crosses the configured threshold.
+                let mut removed = 0;
+                for &id in &ids {
+                    if let Some(rec) = store.get(id).cloned() {
+                        plan.remove(&rec);
+                        store.remove(id);
+                        removed += 1;
+                    }
+                }
                 let _ = reply.send(removed);
+            }
+            Command::Compact { reply } => {
+                let _ = reply.send(plan.compact().map_err(|e| e.to_string()));
             }
             Command::Export { reply } => {
                 let _ = reply.send(ShardState {
@@ -188,8 +203,19 @@ impl ShardedPipeline {
         num_shards: usize,
     ) -> Self {
         assert!(num_shards > 0, "need at least one shard");
+        // Disk-resident plans re-root each shard's clone under its own
+        // `shard-<i>/` subtree so generation files never collide.
+        let store_root = plan.store_root();
         let shards = (0..num_shards)
-            .map(|i| spawn_shard(i, plan.clone(), RecordStore::new(), classifier.clone()))
+            .map(|i| {
+                let mut shard_plan = plan.clone();
+                if let Some(root) = &store_root {
+                    shard_plan
+                        .rehome_stores(root, i)
+                        .expect("cannot shard a populated disk-resident plan");
+                }
+                spawn_shard(i, shard_plan, RecordStore::new(), classifier.clone())
+            })
             .collect();
         Self {
             schema,
@@ -228,8 +254,22 @@ impl ShardedPipeline {
             .shards
             .into_iter()
             .enumerate()
-            .map(|(i, s)| spawn_shard(i, s.plan, s.store, state.classifier.clone()))
-            .collect();
+            .map(|(i, mut s)| {
+                // A shard whose disk store lost its generation file comes
+                // back empty-with-flag: rebuild its blocking entries from
+                // the record store (authoritative) before serving probes.
+                if s.plan.needs_rebuild() {
+                    s.plan.clear_for_rebuild();
+                    for rec in s.store.iter() {
+                        s.plan.insert(rec);
+                    }
+                    s.plan
+                        .compact()
+                        .map_err(|e| Error::InvalidParameter(format!("shard {i} rebuild: {e}")))?;
+                }
+                Ok(spawn_shard(i, s.plan, s.store, state.classifier.clone()))
+            })
+            .collect::<Result<Vec<_>>>()?;
         Ok(Self {
             schema: state.schema,
             classifier: state.classifier,
@@ -320,9 +360,10 @@ impl ShardedPipeline {
         Ok(())
     }
 
-    /// Deletes records by id across all shards (tombstone semantics: the
-    /// record can never match again; its stale blocking-bucket entries are
-    /// reclaimed on the next snapshot restore). Ids live in exactly one
+    /// Deletes records by id across all shards. The record leaves the
+    /// shard's store and its blocking-bucket entries are tombstoned;
+    /// buckets are scrubbed lazily per the store's dead-ratio policy, and
+    /// fully on the next [`ShardedPipeline::compact_stores`]. Ids live in exactly one
     /// shard, so the broadcast removes each at most once; unknown ids are
     /// ignored. Returns how many records were actually removed.
     ///
@@ -383,6 +424,7 @@ impl ShardedPipeline {
             stats.candidates += s.candidates;
             stats.distance_computations += s.distance_computations;
             stats.matched += s.matched;
+            stats.truncated += s.truncated;
         }
         matches.sort_unstable();
         if let Some(m) = &self.metrics {
@@ -425,6 +467,32 @@ impl ShardedPipeline {
             }
         }
         Ok(merged)
+    }
+
+    /// Compacts every shard's blocking stores: scrubs tombstones, and for
+    /// disk-resident stores merges the delta overlay into the next on-disk
+    /// generation (bounding each shard's resident memory).
+    ///
+    /// # Errors
+    /// Returns [`Error::Store`] on a shard's compaction failure, or
+    /// [`Error::InvalidParameter`] if a shard worker died.
+    pub fn compact_stores(&mut self) -> Result<()> {
+        let mut pending = Vec::with_capacity(self.shards.len());
+        for shard in &self.shards {
+            let (reply_tx, reply_rx) = bounded(1);
+            shard
+                .sender
+                .send(Command::Compact { reply: reply_tx })
+                .map_err(|_| Error::InvalidParameter("shard worker died".into()))?;
+            pending.push(reply_rx);
+        }
+        for reply_rx in pending {
+            reply_rx
+                .recv()
+                .map_err(|_| Error::InvalidParameter("shard worker died".into()))?
+                .map_err(Error::Store)?;
+        }
+        Ok(())
     }
 
     /// The embedding schema shared by all shards.

@@ -560,7 +560,7 @@ impl Client {
                         continue;
                     };
                     match response.into_result() {
-                        Ok(Reply::Matches { pairs, stats }) => {
+                        Ok(Reply::Matches { pairs, stats, .. }) => {
                             results[slot] = Some((pairs, stats));
                         }
                         Ok(other) => {
@@ -725,7 +725,7 @@ impl Client {
         match self.call(&Request::Probe {
             records: records.to_vec(),
         })? {
-            Reply::Matches { pairs, stats } => Ok((pairs, stats)),
+            Reply::Matches { pairs, stats, .. } => Ok((pairs, stats)),
             other => Err(unexpected("Matches", &other)),
         }
     }

@@ -189,6 +189,20 @@ pub struct ServerMetrics {
     /// Observe-to-delivery latency for match events
     /// (`rl_sub_deliver_seconds`).
     pub sub_deliver: Arc<Histogram>,
+    /// Largest live blocking bucket across structures and shards
+    /// (`rl_block_max_bucket`). Refreshed on every `Stats` request.
+    pub block_max_bucket: Arc<Gauge>,
+    /// p99 bucket occupancy across structures (`rl_block_p99_bucket`):
+    /// 99% of live buckets hold at most this many ids.
+    pub block_p99_bucket: Arc<Gauge>,
+    /// Tombstoned ids still occupying bucket slots
+    /// (`rl_block_dead_entries`); falls on lazy scrub / compaction.
+    pub block_dead_entries: Arc<Gauge>,
+    /// Inserts discarded by a `drop` block cap (`rl_block_dropped`).
+    pub block_dropped: Arc<Gauge>,
+    /// Bytes of on-disk blocking generations (`rl_block_disk_bytes`);
+    /// 0 for the in-memory store.
+    pub block_disk_bytes: Arc<Gauge>,
     /// Pipeline phase timers (embed / block / match, stream observe),
     /// shared with the `ShardedPipeline` so shard workers record into
     /// the same histograms.
@@ -304,6 +318,31 @@ impl ServerMetrics {
             &[],
             Unit::Seconds,
         );
+        let block_max_bucket = registry.gauge(
+            "block_max_bucket",
+            "Largest live blocking bucket across structures and shards",
+            &[],
+        );
+        let block_p99_bucket = registry.gauge(
+            "block_p99_bucket",
+            "p99 blocking-bucket occupancy (99% of live buckets are at most this large)",
+            &[],
+        );
+        let block_dead_entries = registry.gauge(
+            "block_dead_entries",
+            "Tombstoned ids still occupying blocking-bucket slots",
+            &[],
+        );
+        let block_dropped = registry.gauge(
+            "block_dropped",
+            "Inserts discarded by a drop-mode block cap",
+            &[],
+        );
+        let block_disk_bytes = registry.gauge(
+            "block_disk_bytes",
+            "Bytes of on-disk blocking-table generation files",
+            &[],
+        );
         let pipeline = PipelineMetrics::register(&registry);
         Arc::new(Self {
             registry,
@@ -329,8 +368,28 @@ impl ServerMetrics {
             sub_lagged,
             window_evictions,
             sub_deliver,
+            block_max_bucket,
+            block_p99_bucket,
+            block_dead_entries,
+            block_dropped,
+            block_disk_bytes,
             pipeline,
         })
+    }
+
+    /// Refreshes the blocking-store gauges from merged structure stats
+    /// (called whenever the server aggregates them, e.g. on `Stats`).
+    pub fn update_block_gauges(&self, blocking: &[cbv_hb::blocking::StructureStats]) {
+        self.block_max_bucket
+            .set(blocking.iter().map(|s| s.max_bucket).max().unwrap_or(0) as i64);
+        self.block_p99_bucket
+            .set(blocking.iter().map(|s| s.p99_bucket()).max().unwrap_or(0) as i64);
+        self.block_dead_entries
+            .set(blocking.iter().map(|s| s.dead_entries).sum::<u64>() as i64);
+        self.block_dropped
+            .set(blocking.iter().map(|s| s.dropped).sum::<u64>() as i64);
+        self.block_disk_bytes
+            .set(blocking.iter().map(|s| s.on_disk_bytes).sum::<u64>() as i64);
     }
 
     /// One streaming request (`FetchCheckpoint` / `Subscribe`): served

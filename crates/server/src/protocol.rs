@@ -52,8 +52,15 @@ use serde::{Deserialize, Serialize};
 /// lease grants on heartbeats (`lease_ms`) driving `--auto-failover`
 /// elections, follower durability acks enabling `--sync-replicas N`
 /// quorum writes (with the `QuorumTimeout` error), and `applied_seq` on
-/// mutation replies for read-your-writes sessions.
-pub const PROTOCOL_VERSION: u32 = 8;
+/// mutation replies for read-your-writes sessions. Version 9 added the
+/// disk-resident blocking store's probe degradation signal: a
+/// `truncated` counter on probe stats (binary `Matches` bodies append
+/// it; absent means 0) and typed advisory `notes` on [`Reply::Matches`]
+/// ([`ReplyNote::CandidatesTruncated`] when the server's per-probe
+/// top-k bound cut candidate sets short), plus `store`, per-structure
+/// block-size histograms, and tombstone counters in the Stats blocking
+/// section.
+pub const PROTOCOL_VERSION: u32 = 9;
 
 /// The first protocol version that speaks `rl-wire` binary frames. An
 /// `Upgraded` answer below this stays on JSON.
@@ -276,6 +283,31 @@ impl std::fmt::Display for RequestError {
 
 impl std::error::Error for RequestError {}
 
+/// A typed advisory attached to a reply: the request succeeded, but the
+/// server applied a degradation the client should know about.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ReplyNote {
+    /// Candidate sets were cut short by the server's per-probe top-k
+    /// bound (`--block-top-k`): recall may be reduced for these probes.
+    CandidatesTruncated {
+        /// Number of probes in this request whose candidates were
+        /// truncated.
+        probes: u64,
+    },
+}
+
+/// The notes a [`Reply::Matches`] carries for `stats`: one
+/// [`ReplyNote::CandidatesTruncated`] when any probe was truncated.
+pub fn truncation_notes(stats: &MatchStats) -> Vec<ReplyNote> {
+    if stats.truncated > 0 {
+        vec![ReplyNote::CandidatesTruncated {
+            probes: stats.truncated,
+        }]
+    } else {
+        Vec::new()
+    }
+}
+
 /// A successful reply payload, tagged by kind.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum Reply {
@@ -297,6 +329,11 @@ pub enum Reply {
         pairs: Vec<(u64, u64)>,
         /// Matching counters for this probe.
         stats: MatchStats,
+        /// Typed advisory notes (absent from pre-v9 peers). The binary
+        /// body derives these from `stats` on decode, so construct them
+        /// with [`truncation_notes`] to keep both paths consistent.
+        #[serde(default)]
+        notes: Vec<ReplyNote>,
     },
     /// Response to `Stream`.
     Observed {
@@ -620,7 +657,7 @@ pub mod wire {
         payload.clear();
         payload.extend_from_slice(&id.to_le_bytes());
         match resp {
-            Response::Ok(Reply::Matches { pairs, stats }) => {
+            Response::Ok(Reply::Matches { pairs, stats, .. }) => {
                 payload.push(BODY_MATCHES);
                 payload.extend_from_slice(&(pairs.len() as u32).to_le_bytes());
                 for (a, b) in pairs {
@@ -630,6 +667,9 @@ pub mod wire {
                 payload.extend_from_slice(&stats.candidates.to_le_bytes());
                 payload.extend_from_slice(&stats.distance_computations.to_le_bytes());
                 payload.extend_from_slice(&stats.matched.to_le_bytes());
+                // v9 appended the truncated-probe counter; notes are
+                // re-derived from it on decode.
+                payload.extend_from_slice(&stats.truncated.to_le_bytes());
             }
             Response::Ok(Reply::Indexed {
                 accepted,
@@ -711,9 +751,17 @@ pub mod wire {
                     candidates: cur.u64()?,
                     distance_computations: cur.u64()?,
                     matched: cur.u64()?,
+                    // v9 appended `truncated`; tolerate its absence so a
+                    // v9 client still decodes a pre-v9 server's reply.
+                    truncated: cur.u64_or_zero()?,
                 };
                 cur.finish()?;
-                Response::Ok(Reply::Matches { pairs, stats })
+                let notes = super::truncation_notes(&stats);
+                Response::Ok(Reply::Matches {
+                    pairs,
+                    stats,
+                    notes,
+                })
             }
             BODY_INDEXED => {
                 let mut cur = Cursor(body);
@@ -961,6 +1009,7 @@ mod tests {
             Response::Ok(Reply::Matches {
                 pairs: vec![(1, 10)],
                 stats: MatchStats::default(),
+                notes: vec![],
             }),
             Response::Err(RequestError::new(ErrorCode::Backpressure, "queue full")),
             Response::Ok(Reply::Metrics(rl_obs::MetricsSnapshot::default())),
@@ -1095,11 +1144,29 @@ mod tests {
                     candidates: 5,
                     distance_computations: 5,
                     matched: 2,
+                    truncated: 0,
                 },
+                notes: vec![],
+            }),
+            Response::Ok(Reply::Matches {
+                pairs: vec![(3, 30)],
+                stats: MatchStats {
+                    candidates: 7,
+                    distance_computations: 7,
+                    matched: 1,
+                    truncated: 2,
+                },
+                notes: truncation_notes(&MatchStats {
+                    candidates: 7,
+                    distance_computations: 7,
+                    matched: 1,
+                    truncated: 2,
+                }),
             }),
             Response::Ok(Reply::Matches {
                 pairs: vec![],
                 stats: MatchStats::default(),
+                notes: vec![],
             }),
             Response::Ok(Reply::Indexed {
                 accepted: 3,

@@ -1215,7 +1215,14 @@ fn execute(inner: &Arc<Inner>, request: Request) -> Response {
         Request::Probe { records } => {
             let state = inner.state.read();
             match state.pipeline.link(&records) {
-                Ok((pairs, stats)) => Response::Ok(Reply::Matches { pairs, stats }),
+                Ok((pairs, stats)) => {
+                    let notes = crate::protocol::truncation_notes(&stats);
+                    Response::Ok(Reply::Matches {
+                        pairs,
+                        stats,
+                        notes,
+                    })
+                }
                 Err(e) => Response::Err(RequestError::new(ErrorCode::Linkage, e.to_string())),
             }
         }
@@ -1277,6 +1284,7 @@ fn execute(inner: &Arc<Inner>, request: Request) -> Response {
         Request::Stats => {
             let state = inner.state.read();
             let blocking = state.pipeline.blocking_stats().unwrap_or_default();
+            inner.metrics.update_block_gauges(&blocking);
             Response::Ok(Reply::Stats(StatsReply {
                 protocol_version: PROTOCOL_VERSION,
                 shards: state.pipeline.num_shards(),
@@ -1540,6 +1548,17 @@ pub(crate) fn run_checkpoint(inner: &Inner) -> Result<(), rl_store::StoreError> 
     let Some(store) = &inner.store else {
         return Ok(());
     };
+    // Compact disk-resident blocking stores first (write lock, released
+    // before the export window): merging the delta overlay into a fresh
+    // generation bounds the overlay the exported snapshot has to carry
+    // and scrubs tombstoned ids. Failure costs disk space, not
+    // correctness, so it only warns.
+    {
+        let mut state = inner.state.write();
+        if let Err(e) = state.pipeline.compact_stores() {
+            eprintln!("rl-server: blocking-store compaction failed: {e}");
+        }
+    }
     // The state read lock excludes mutations (which hold write) for the
     // rotate + export window, so the exported snapshot covers exactly the
     // segments up to the rotation watermark.

@@ -24,10 +24,13 @@ use std::path::{Path, PathBuf};
 /// Format magic: identifies a file as an rl-server snapshot.
 pub const SNAPSHOT_MAGIC: &str = "RLSNAP1";
 
-/// Current snapshot format version. Version 2 serializes the blocking
-/// backend (random-sampling or covering) inside each shard's plan; version
-/// 1 files predate pluggable backends and cannot be read.
-pub const SNAPSHOT_VERSION: u32 = 2;
+/// Current snapshot format version. Version 3 serializes each blocking
+/// structure's tables as a pluggable block store (in-memory buckets or
+/// an mmap manifest + delta overlay); version 2 serialized raw
+/// `tables` arrays (readable only by pre-blockstore builds), and version
+/// 1 files predate pluggable backends. Neither older version can be
+/// read.
+pub const SNAPSHOT_VERSION: u32 = 3;
 
 /// Errors raised while saving or loading snapshots (and checkpoints,
 /// which embed them). Every variant's Display names the offending file,
@@ -210,7 +213,7 @@ impl Snapshot {
         }
         if self.version != SNAPSHOT_VERSION {
             let hint = if self.version < SNAPSHOT_VERSION {
-                "; the file predates the blocking-backend field — re-index and snapshot again"
+                "; the file predates the pluggable block store — re-index and snapshot again"
             } else {
                 ""
             };
@@ -368,7 +371,7 @@ mod tests {
         match Snapshot::load(&path) {
             Err(SnapshotError::Format { msg, .. }) => {
                 assert!(msg.contains("unsupported version 1"), "{msg}");
-                assert!(msg.contains("predates the blocking-backend field"), "{msg}");
+                assert!(msg.contains("predates the pluggable block store"), "{msg}");
             }
             other => panic!("expected format error, got {other:?}"),
         }

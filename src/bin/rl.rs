@@ -41,7 +41,9 @@ fn usage() -> ! {
          [--workers N] [--queue N] [--snapshot PATH] [--slow-ms MS] [--seed S] \
          [--data-dir DIR] [--checkpoint-every SECS] [--wal-sync-ms MS] \
          [--allow-replicas] [--replicate-from HOST:PORT] [--max-subscriptions N] \
-         [--no-reactor]\n  \
+         [--no-reactor] [--block-store memory|mmap] [--block-dir DIR] \
+         [--block-cap N] [--block-cap-mode chain|drop] [--block-top-k N] \
+         [--block-compact-ratio R]\n  \
          rl promote [--addr HOST:PORT] [--timeout-ms MS] [--json]\n  \
          rl client --cmd stats|metrics|dedup-status|repl-status|shutdown|snapshot|index|insert|delete|probe|stream|watch \
          [--addr HOST:PORT] [--input F.csv] [--out M.csv] [--path SNAP] [--ids 1,2,...] \
@@ -148,6 +150,50 @@ fn parse_blocking_mode(flags: &HashMap<String, String>) -> Result<BlockingMode, 
             "unknown blocking backend {other:?} (random|covering)"
         )),
     }
+}
+
+/// Resolves the `--block-*` flags into a [`BlockStoreConfig`].
+///
+/// `--block-store mmap` moves the blocking tables onto disk
+/// (memory-mapped generation files under `--block-dir`); the remaining
+/// knobs bound skew and probe cost: `--block-cap` caps bucket size
+/// (`--block-cap-mode drop` makes the cap lossy), `--block-top-k` bounds
+/// distinct candidates per probe (truncated probes are flagged in reply
+/// notes), and `--block-compact-ratio` sets the lazy tombstone-scrub
+/// threshold.
+fn parse_block_config(flags: &HashMap<String, String>) -> Result<BlockStoreConfig, String> {
+    let kind = match flags.get("block-store").map(String::as_str) {
+        None | Some("memory") => BlockStoreKind::Memory,
+        Some("mmap") => BlockStoreKind::Mmap,
+        Some(other) => return Err(format!("unknown block store {other:?} (memory|mmap)")),
+    };
+    let cap_mode = match flags.get("block-cap-mode").map(String::as_str) {
+        None | Some("chain") => BlockCapMode::Chain,
+        Some("drop") => BlockCapMode::Drop,
+        Some(other) => return Err(format!("unknown cap mode {other:?} (chain|drop)")),
+    };
+    let parse_usize = |key: &str| -> Result<usize, String> {
+        flags
+            .get(key)
+            .map(|s| s.parse())
+            .transpose()
+            .map_err(|_| format!("--{key} must be an integer"))
+            .map(|v| v.unwrap_or(0))
+    };
+    let default_ratio = BlockStoreConfig::default().compact_dead_ratio;
+    Ok(BlockStoreConfig {
+        kind,
+        dir: flags.get("block-dir").cloned(),
+        max_block_size: parse_usize("block-cap")?,
+        cap_mode,
+        probe_top_k: parse_usize("block-top-k")?,
+        compact_dead_ratio: flags
+            .get("block-compact-ratio")
+            .map(|s| s.parse())
+            .transpose()
+            .map_err(|_| "--block-compact-ratio must be a number".to_string())?
+            .unwrap_or(default_ratio),
+    })
 }
 
 fn generate(flags: &HashMap<String, String>) -> Result<(), String> {
@@ -294,7 +340,13 @@ fn link(flags: &HashMap<String, String>) -> Result<(), String> {
     let schema = RecordSchema::build(Alphabet::linkage(), specs, &mut rng);
 
     let mode = parse_blocking_mode(flags)?;
-    let config = LinkageConfig { delta, mode, rule };
+    let block = parse_block_config(flags)?;
+    let config = LinkageConfig {
+        delta,
+        mode,
+        rule,
+        block,
+    };
     let mut pipeline = LinkagePipeline::new(schema, config, &mut rng).map_err(|e| e.to_string())?;
 
     if flags.contains_key("report") {
@@ -395,6 +447,7 @@ fn dedup(flags: &HashMap<String, String>) -> Result<(), String> {
         delta,
         mode: BlockingMode::RuleAware,
         rule,
+        block: Default::default(),
     };
     let result = deduplicate(&schema, &config, &records, &mut rng).map_err(|e| e.to_string())?;
     // One cluster per line: comma-separated member ids.
@@ -614,7 +667,20 @@ fn serve(flags: &HashMap<String, String>) -> Result<(), String> {
             // config, so index-shape flags are ignored — say so instead of
             // silently serving an old configuration.
             let ignored: Vec<String> = [
-                "shards", "rule", "fields", "m-bits", "k", "delta", "seed", "blocking",
+                "shards",
+                "rule",
+                "fields",
+                "m-bits",
+                "k",
+                "delta",
+                "seed",
+                "blocking",
+                "block-store",
+                "block-dir",
+                "block-cap",
+                "block-cap-mode",
+                "block-top-k",
+                "block-compact-ratio",
             ]
             .iter()
             .filter(|name| flags.contains_key(**name))
@@ -712,7 +778,13 @@ fn build_serve_pipeline(
         .map(|f| AttributeSpec::new(format!("f{f}"), 2, m_bits, false, k))
         .collect();
     let schema = RecordSchema::build(Alphabet::linkage(), specs, &mut rng);
-    let link_config = LinkageConfig { delta, mode, rule };
+    let block = parse_block_config(flags)?;
+    let link_config = LinkageConfig {
+        delta,
+        mode,
+        rule,
+        block,
+    };
     ShardedPipeline::new(schema, link_config, shards, &mut rng).map_err(|e| e.to_string())
 }
 
@@ -813,8 +885,19 @@ fn client(flags: &HashMap<String, String>) -> Result<(), String> {
             // machine-parseable JSON).
             for s in &stats.blocking {
                 eprintln!(
-                    "blocking: {} backend={} L={} key_bits={} buckets={} max_bucket={}",
-                    s.label, s.backend, s.l, s.key_bits, s.buckets, s.max_bucket
+                    "blocking: {} backend={} store={} L={} key_bits={} buckets={} \
+                     max_bucket={} p99_bucket={} dead={} dropped={} on_disk_bytes={}",
+                    s.label,
+                    s.backend,
+                    s.store,
+                    s.l,
+                    s.key_bits,
+                    s.buckets,
+                    s.max_bucket,
+                    s.p99_bucket(),
+                    s.dead_entries,
+                    s.dropped,
+                    s.on_disk_bytes
                 );
             }
         }

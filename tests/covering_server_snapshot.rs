@@ -116,8 +116,8 @@ fn version_1_snapshot_is_rejected_with_backend_explanation() {
     let path = dir.join("old.snap");
 
     // Forge a version-1 file from a current state; the loader must reject
-    // it with a message explaining that the format predates the
-    // blocking-backend field, not a generic failure.
+    // it with a message explaining that the format predates the current
+    // index layout, not a generic failure.
     let p = covering_pipeline(32, 1);
     let state = p.export_state().unwrap();
     p.shutdown();
@@ -127,7 +127,7 @@ fn version_1_snapshot_is_rejected_with_backend_explanation() {
     match Snapshot::load(&path) {
         Err(SnapshotError::Format { msg, .. }) => {
             assert!(msg.contains("unsupported version 1"), "{msg}");
-            assert!(msg.contains("predates the blocking-backend field"), "{msg}");
+            assert!(msg.contains("predates the pluggable block store"), "{msg}");
         }
         other => panic!("expected a format error, got {other:?}"),
     }

@@ -44,16 +44,19 @@ fn fingerprint(structures: &[BlockingStructure]) -> u64 {
     };
     for (si, s) in structures.iter().enumerate() {
         mix(si as u64);
-        for (ti, table) in s.tables().iter().enumerate() {
+        // Collect per-table entries through the storage visitor (direct
+        // table access is no longer exposed), then sort per table so the
+        // digest is independent of bucket iteration order.
+        let mut tables: Vec<Vec<(u128, Vec<u64>)>> = vec![Vec::new(); s.l()];
+        s.for_each_entry(|ti, key, ids| tables[ti].push((key, ids.to_vec())));
+        for (ti, entries) in tables.iter_mut().enumerate() {
             mix(ti as u64);
-            let mut entries: Vec<(u128, Vec<u64>)> =
-                table.iter().map(|(k, ids)| (*k, ids.clone())).collect();
             entries.sort_unstable();
             for (key, ids) in entries {
-                mix(key as u64);
-                mix((key >> 64) as u64);
+                mix(*key as u64);
+                mix((*key >> 64) as u64);
                 for id in ids {
-                    mix(id);
+                    mix(*id);
                 }
             }
         }

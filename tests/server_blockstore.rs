@@ -1,0 +1,222 @@
+//! Disk-resident blocking over the wire: a server whose blocking tables
+//! live in an mmap-backed store must answer probes identically to the
+//! in-memory store, report the storage backend through `Stats`, survive
+//! a snapshot → restart cycle even when the blockstore directory is
+//! destroyed (rebuild from the record store), and surface bounded-probe
+//! truncation in `MatchStats`.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use record_linkage::cbv_hb::pipeline::LinkageConfig;
+use record_linkage::cbv_hb::sharded::ShardedPipeline;
+use record_linkage::cbv_hb::{AttributeSpec, BlockStoreKind, Record, RecordSchema, Rule};
+use record_linkage::server::{Client, Server, ServerConfig, Snapshot};
+use std::path::{Path, PathBuf};
+
+fn pipeline(seed: u64, shards: usize, block_dir: Option<&Path>) -> ShardedPipeline {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let schema = RecordSchema::build(
+        record_linkage::textdist::Alphabet::linkage(),
+        vec![
+            AttributeSpec::new("FirstName", 2, 48, false, 5),
+            AttributeSpec::new("LastName", 2, 48, false, 5),
+        ],
+        &mut rng,
+    );
+    let rule = Rule::and([Rule::pred(0, 4), Rule::pred(1, 4)]);
+    let mut config = LinkageConfig::rule_aware(rule);
+    if let Some(dir) = block_dir {
+        config.block.kind = BlockStoreKind::Mmap;
+        config.block.dir = Some(dir.to_string_lossy().into_owned());
+    }
+    ShardedPipeline::new(schema, config, shards, &mut rng).unwrap()
+}
+
+fn records(base: u64) -> Vec<Record> {
+    [
+        ("JOHN", "SMITH"),
+        ("MARY", "JONES"),
+        ("AGNES", "WINTERBOTTOM"),
+        ("GERTRUDE", "KOWALCZYK"),
+        ("HORACE", "FITZWILLIAM"),
+        ("BEATRIX", "OYELARAN"),
+        ("CUTHBERT", "MARCHETTI"),
+    ]
+    .iter()
+    .enumerate()
+    .map(|(i, (f, l))| Record::new(base + i as u64, [*f, *l]))
+    .collect()
+}
+
+fn probes() -> Vec<Record> {
+    let mut probes = records(1000);
+    probes.push(Record::new(2000, ["JON", "SMITH"]));
+    probes.push(Record::new(2001, ["MARIE", "JONES"]));
+    probes
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("rl-blockstore-test-{tag}-{}", std::process::id()))
+}
+
+/// Spawns a server over `p`, indexes the corpus, probes, and returns
+/// (pairs, blocking stats) after a clean shutdown.
+fn serve_and_probe(
+    p: ShardedPipeline,
+) -> (
+    Vec<(u64, u64)>,
+    Vec<record_linkage::cbv_hb::blocking::StructureStats>,
+) {
+    let server = Server::spawn(
+        p,
+        ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            workers: 2,
+            queue_capacity: 16,
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    client.index(&records(0)).unwrap();
+    let (pairs, _) = client.probe(&probes()).unwrap();
+    let stats = client.stats().unwrap().blocking;
+    client.shutdown().unwrap();
+    server.wait();
+    (pairs, stats)
+}
+
+#[test]
+fn mmap_server_answers_identically_to_memory_and_reports_store() {
+    let dir = temp_dir("wire");
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let (mem_pairs, mem_stats) = serve_and_probe(pipeline(71, 2, None));
+    let (mmap_pairs, mmap_stats) = serve_and_probe(pipeline(71, 2, Some(&dir)));
+
+    assert_eq!(
+        mem_pairs, mmap_pairs,
+        "mmap-backed blocking changed probe answers"
+    );
+    for i in 0..7u64 {
+        assert!(
+            mmap_pairs.contains(&(i, 1000 + i)),
+            "blocking missed exact copy {i}"
+        );
+    }
+    assert!(!mmap_stats.is_empty());
+    for s in &mem_stats {
+        assert_eq!(s.store, "memory", "structure {}", s.label);
+    }
+    for s in &mmap_stats {
+        assert_eq!(s.store, "mmap", "structure {}", s.label);
+        // The log2 occupancy histogram rides along in Stats; a populated
+        // index must report at least one live bucket and a sane p99.
+        assert!(s.size_histogram.iter().sum::<u64>() > 0, "{}", s.label);
+        assert!(s.p99_bucket() <= s.max_bucket, "{}", s.label);
+    }
+    // Writes land in the delta overlay until a compaction seals a
+    // generation, so the directory may not have materialized yet.
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn snapshot_restore_rebuilds_destroyed_blockstore() {
+    let dir = temp_dir("rebuild");
+    let snap_dir = temp_dir("rebuild-snap");
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&snap_dir).unwrap();
+    let snap_path = snap_dir.join("index.snap");
+
+    let mut p = pipeline(72, 2, Some(&dir));
+    p.index(&records(0)).unwrap();
+    let (pairs_before, _) = p.link(&probes()).unwrap();
+    // Seal a generation so the tables are genuinely disk-resident before
+    // the snapshot is cut.
+    p.compact_stores().unwrap();
+    let state = p.export_state().unwrap();
+    p.shutdown();
+    Snapshot::new(state, vec![], 0)
+        .unwrap()
+        .save(&snap_path)
+        .unwrap();
+
+    // Destroy the blockstore directory: the snapshot's table state is now
+    // unrecoverable from disk, so the restore path must rebuild every
+    // table from the embedded record store (same hash draws → same keys).
+    std::fs::remove_dir_all(&dir).unwrap();
+    let snap = Snapshot::load(&snap_path).unwrap();
+    let restored = ShardedPipeline::from_state(snap.state).unwrap();
+    let server2 = Server::spawn_with_history(
+        restored,
+        snap.stream_pairs,
+        snap.streamed,
+        ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            workers: 2,
+            queue_capacity: 16,
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
+    let mut client2 = Client::connect(server2.local_addr()).unwrap();
+    let (pairs_after, _) = client2.probe(&probes()).unwrap();
+    assert_eq!(
+        pairs_before, pairs_after,
+        "probe answers changed after blockstore rebuild"
+    );
+    // The rebuild reseals a generation, so the store is disk-resident
+    // again — not silently degraded to memory.
+    let stats = client2.stats().unwrap().blocking;
+    assert!(stats.iter().all(|s| s.store == "mmap"));
+    assert!(
+        stats.iter().map(|s| s.on_disk_bytes).sum::<u64>() > 0,
+        "rebuild left no sealed generation on disk"
+    );
+    client2.shutdown().unwrap();
+    server2.wait();
+    std::fs::remove_dir_all(&dir).unwrap();
+    std::fs::remove_dir_all(&snap_dir).unwrap();
+}
+
+#[test]
+fn bounded_probe_reports_truncation_in_match_stats() {
+    let mut rng = StdRng::seed_from_u64(73);
+    let schema = RecordSchema::build(
+        record_linkage::textdist::Alphabet::linkage(),
+        vec![
+            AttributeSpec::new("FirstName", 2, 48, false, 5),
+            AttributeSpec::new("LastName", 2, 48, false, 5),
+        ],
+        &mut rng,
+    );
+    let rule = Rule::and([Rule::pred(0, 4), Rule::pred(1, 4)]);
+    let mut config = LinkageConfig::rule_aware(rule);
+    config.block.probe_top_k = 1;
+    let p = ShardedPipeline::new(schema, config, 1, &mut rng).unwrap();
+    let server = Server::spawn(
+        p,
+        ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            workers: 1,
+            queue_capacity: 16,
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    // Five copies of the same name land in the same buckets; a top-1
+    // probe bound must cut the candidate list and say so.
+    let dupes: Vec<Record> = (0..5).map(|i| Record::new(i, ["JOHN", "SMITH"])).collect();
+    client.index(&dupes).unwrap();
+    let (pairs, stats) = client
+        .probe(&[Record::new(100, ["JOHN", "SMITH"])])
+        .unwrap();
+    assert_eq!(pairs.len(), 1, "top-1 bound must leave one candidate");
+    assert!(
+        stats.truncated >= 1,
+        "bounded probe did not report truncation: {stats:?}"
+    );
+    client.shutdown().unwrap();
+    server.wait();
+}
