@@ -16,7 +16,11 @@
 //! comparable across the protocol change. Throughput is reported in
 //! probe *records* per second in both modes. Under `--smoke` the run
 //! fails unless the binary mode is strictly faster than the JSON mode
-//! on the same run.
+//! on the same run. An online-resharding drill (protocol v10) rides in
+//! the same output file as a `mode: "reshard-split"` row: a live split
+//! of a populated shard while a writer keeps inserting, gated under
+//! `--smoke` on zero lost or duplicated acknowledged writes across the
+//! cutover and a worst-case write stall under twice the heartbeat.
 //!
 //! A second phase measures the durability subsystem: insert throughput
 //! under each WAL sync policy (in-memory baseline, group commit, fsync
@@ -61,7 +65,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use rl_bench::report::write_json;
 use rl_repl::{Follower, FollowerConfig};
-use rl_server::{Client, DurabilityConfig, ReplRole, Server, ServerConfig, SyncPolicy};
+use rl_server::{Client, DurabilityConfig, ReplRole, ReshardOp, Server, ServerConfig, SyncPolicy};
 use serde::{Deserialize, Serialize};
 use std::path::PathBuf;
 use std::time::{Duration, Instant};
@@ -195,7 +199,37 @@ fn main() {
     if opts.smoke {
         smoke_check_binary_beats_json(&rows);
     }
-    write_json(&opts.out, "BENCH_server", &rows);
+
+    // Reshard phase (protocol v10): a live shard split while a writer
+    // keeps inserting. The row lands in the same BENCH_server.json list
+    // as the probe rows, discriminated by its `mode` tag, so existing
+    // readers keep working. Under `--smoke`, zero lost or duplicated
+    // acknowledged writes across the cutover and a cutover stall under
+    // 2x the heartbeat are hard gates (docs/RESHARD.md).
+    let reshard = run_reshard(&opts);
+    println!();
+    println!(
+        "| seeded | racing | migrated | copy secs | migrated/sec | max stall ms | epoch | shards |"
+    );
+    println!("|---|---|---|---|---|---|---|---|");
+    println!(
+        "| {} | {} | {} | {:.3} | {:.0} | {:.1} | {} | {} -> {} |",
+        reshard.records_seeded,
+        reshard.racing_inserts,
+        reshard.migrated,
+        reshard.copy_secs,
+        reshard.migrated_per_sec,
+        reshard.max_insert_stall_ms,
+        reshard.epoch_after,
+        reshard.shards_before,
+        reshard.shards_after,
+    );
+    let mut server_rows: Vec<serde_json::Value> = rows
+        .iter()
+        .map(|r| serde_json::to_value(r).expect("serialize server row"))
+        .collect();
+    server_rows.push(serde_json::to_value(&reshard).expect("serialize reshard row"));
+    write_json(&opts.out, "BENCH_server", &server_rows);
 
     // Durability phase: WAL-append overhead per sync policy plus
     // cold-restart replay time (see docs/STORAGE.md).
@@ -1301,6 +1335,154 @@ fn smoke_check_binary_beats_json(rows: &[Row]) {
             json.probes_per_sec,
             bin.probes_per_sec / json.probes_per_sec,
         );
+    }
+}
+
+/// The online-resharding drill row (protocol v10), tagged with
+/// `mode: "reshard-split"` so it can share `BENCH_server.json` with the
+/// probe-throughput rows.
+#[derive(Debug, Clone, Serialize)]
+struct ReshardRow {
+    mode: String,
+    shards_before: usize,
+    shards_after: usize,
+    /// Shard-map epoch after the cutover (seed maps start at 1).
+    epoch_after: u64,
+    /// Records indexed before the split started.
+    records_seeded: u64,
+    /// Records whose insert was acknowledged while the migration ran.
+    racing_inserts: u64,
+    /// Records the background copier moved to the target shard.
+    migrated: u64,
+    /// `Reshard` ack to `MigrationStatus` reporting idle: copy + cutover.
+    copy_secs: f64,
+    migrated_per_sec: f64,
+    /// Slowest single racing insert — an upper bound on the write stall
+    /// the cutover's exclusive window imposed.
+    max_insert_stall_ms: f64,
+    /// The operational heartbeat the stall gate is stated against.
+    heartbeat_ms: u64,
+    /// Expected minus found record count after the cutover. Zero means
+    /// no acknowledged write was lost and none was duplicated.
+    lost: i64,
+}
+
+/// Live split under write load: seed a 2-shard server, start a split of
+/// shard 0, and keep a writer inserting (and measuring per-insert
+/// latency) until the migration reports idle. Audits record conservation
+/// and, under `--smoke`, gates on zero lost/duplicated acks and a max
+/// insert stall under `2 x heartbeat_ms`.
+fn run_reshard(opts: &Opts) -> ReshardRow {
+    // The operational heartbeat the runbook assumes (the protocol v8
+    // lease cadence): a cutover that stalls writes for two of these
+    // would read as a dead primary to an auto-failover follower.
+    let heartbeat_ms: u64 = 500;
+    let server = Server::spawn(
+        bench_pipeline(opts.seed ^ 2, 2),
+        ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            workers: 2,
+            queue_capacity: 256,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("spawn reshard server");
+    let addr = server.local_addr();
+    let mut admin = Client::connect(addr).expect("connect admin");
+    let corpus: Vec<Record> = (0..opts.records).map(|i| record(i, i)).collect();
+    for chunk in corpus.chunks(1_000) {
+        admin.insert(chunk).expect("seed insert");
+    }
+    let before = admin.shard_map().expect("shard map");
+
+    let t0 = Instant::now();
+    let (kind, _, _, _) = admin
+        .reshard(ReshardOp::Split { source: 0 })
+        .expect("start split");
+    assert_eq!(kind, "split");
+    // Racing writer: twins of corpus records under fresh ids, so the
+    // presence audit below can probe them back out by source.
+    let mut writer = Client::connect(addr).expect("connect writer");
+    let mut racing: Vec<u64> = Vec::new();
+    let mut max_stall_ms = 0f64;
+    let mut next_id = 10_000_000u64;
+    loop {
+        let batch: Vec<Record> = (0..16)
+            .map(|j| {
+                let id = next_id + j;
+                record(id, id % opts.records.max(1))
+            })
+            .collect();
+        next_id += 16;
+        let t = Instant::now();
+        let (accepted, _) = writer.insert(&batch).expect("racing insert");
+        max_stall_ms = max_stall_ms.max(t.elapsed().as_secs_f64() * 1e3);
+        assert_eq!(accepted, batch.len(), "insert rejected mid-migration");
+        racing.extend(batch.iter().map(|r| r.id));
+        if !admin.migration_status().expect("migration status").active {
+            break;
+        }
+    }
+    let copy_secs = t0.elapsed().as_secs_f64();
+
+    let after = admin.shard_map().expect("shard map");
+    let expected = opts.records + racing.len() as u64;
+    let found: u64 = after.records.iter().sum();
+    let lost = expected as i64 - found as i64;
+    let m = admin.metrics().expect("metrics");
+    let gauge = |name: &str| {
+        m.gauges
+            .iter()
+            .find(|g| g.name == name)
+            .map(|g| g.value)
+            .unwrap_or(i64::MIN)
+    };
+    let migrated = gauge("rl_reshard_migrated_records").max(0) as u64;
+    if opts.smoke {
+        assert_eq!(
+            lost, 0,
+            "acks lost or duplicated across cutover: expected {expected}, found {found} \
+             (per shard: {:?})",
+            after.records
+        );
+        assert_eq!(after.epoch, before.epoch + 1, "cutover must bump the epoch");
+        assert_eq!(after.num_shards, before.num_shards + 1);
+        let bound_ms = 2.0 * heartbeat_ms as f64;
+        assert!(
+            max_stall_ms < bound_ms,
+            "cutover stalled a write for {max_stall_ms:.1} ms, bound is {bound_ms:.0} ms \
+             (2x the {heartbeat_ms} ms heartbeat)"
+        );
+        assert_eq!(gauge("rl_reshard_state"), 0, "migration still marked live");
+        assert_eq!(gauge("rl_reshard_lag_ops"), 0, "lag gauge did not drain");
+        assert!(migrated > 0, "copier moved nothing on a populated split");
+        // Presence audit on a sample of the racing acks: each must probe
+        // back out through the post-cutover map.
+        for &id in racing.iter().take(8) {
+            let probe = record(90_000_000 + id, id % opts.records.max(1));
+            let (pairs, _) = admin.probe(std::slice::from_ref(&probe)).expect("probe");
+            assert!(
+                pairs.iter().any(|&(a, _)| a == id),
+                "racing ack {id} unreachable after cutover"
+            );
+        }
+    }
+    admin.shutdown().expect("shutdown");
+    server.wait();
+
+    ReshardRow {
+        mode: "reshard-split".into(),
+        shards_before: before.num_shards,
+        shards_after: after.num_shards,
+        epoch_after: after.epoch,
+        records_seeded: opts.records,
+        racing_inserts: racing.len() as u64,
+        migrated,
+        copy_secs,
+        migrated_per_sec: migrated as f64 / copy_secs.max(1e-9),
+        max_insert_stall_ms: max_stall_ms,
+        heartbeat_ms,
+        lost,
     }
 }
 

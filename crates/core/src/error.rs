@@ -41,6 +41,10 @@ pub enum Error {
     /// A blocking-store operation failed (disk-resident tables:
     /// I/O, corruption, or a reconfigure on a non-empty store).
     Store(String),
+    /// A shard-map or online-migration failure: planning a split/merge
+    /// against the current [`rl_reshard::ShardMap`], driving a migration,
+    /// or attempting to reshard a populated disk-resident plan in place.
+    Reshard(rl_reshard::ReshardError),
     /// A record id is already present in the index. Raised by
     /// [`crate::stream::StreamMatcher::observe`], which refuses to
     /// silently re-index an id; use
@@ -69,6 +73,7 @@ impl fmt::Display for Error {
             ),
             Error::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
             Error::Store(msg) => write!(f, "blocking store: {msg}"),
+            Error::Reshard(e) => write!(f, "reshard: {e}"),
             Error::FieldCountMismatch { found, expected } => write!(
                 f,
                 "record has {found} fields but the schema defines {expected}"
@@ -82,6 +87,12 @@ impl fmt::Display for Error {
 }
 
 impl std::error::Error for Error {}
+
+impl From<rl_reshard::ReshardError> for Error {
+    fn from(e: rl_reshard::ReshardError) -> Self {
+        Error::Reshard(e)
+    }
+}
 
 impl From<rl_lsh::FamilyError> for Error {
     /// Hash-family construction errors (oversized `K`, covering radius

@@ -9,6 +9,18 @@
 //! unchanged — a pair's A-side lives in exactly one shard, whose plan
 //! delivers the usual `1 − δ` bound.
 //!
+//! Placement is governed by a versioned [`ShardMap`] (`rl-reshard`): record
+//! ids hash through [`key_point`] into a 64-bit keyspace whose ranges are
+//! assigned to shards. Growing or shrinking the cluster is an online
+//! **reshard**: [`ShardedPipeline::begin_reshard`] plans a split or merge,
+//! a [`ReshardDriver`] streams the moved records into the target shard off
+//! the write path, and [`ShardedPipeline::finish_reshard`] cuts over with
+//! an epoch bump. During the migration window, writes into the moved ranges
+//! are dual-applied to both shards and probes fan out as always — the
+//! candidate union keeps CoveringLSH's zero-false-negative guarantee while
+//! a record transiently exists on two shards (duplicate pairs are deduped
+//! at the gather step).
+//!
 //! Communication is message-passing over crossbeam channels, so the same
 //! shape lifts directly to a networked deployment.
 
@@ -20,7 +32,13 @@ use crate::record::Record;
 use crate::schema::{EmbeddedRecord, RecordSchema};
 use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
 use rand::Rng;
+use rl_reshard::{
+    key_point, KeyRange, MigrationStatus, ReshardError, ReshardOp, ReshardPlan, ShardMap,
+};
 use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Instant;
@@ -33,7 +51,7 @@ enum Command {
     },
     Delete {
         ids: Vec<u64>,
-        reply: Sender<usize>,
+        reply: Sender<Vec<u64>>,
     },
     Compact {
         reply: Sender<std::result::Result<(), String>>,
@@ -43,6 +61,37 @@ enum Command {
     },
     Stats {
         reply: Sender<Vec<StructureStats>>,
+    },
+    /// Migration source: page the shard's records within `ranges`, ids
+    /// strictly greater than `after`, ascending, at most `limit`.
+    CollectMigration {
+        ranges: Vec<KeyRange>,
+        after: Option<u64>,
+        limit: usize,
+        reply: Sender<Vec<EmbeddedRecord>>,
+    },
+    /// Migration target: adopt copied records, skipping ids the target
+    /// already owns (a dual-applied write raced ahead of the copy and wrote
+    /// the newer version) and ids deleted since the migration began.
+    MigrateIn {
+        batch: Vec<EmbeddedRecord>,
+        reply: Sender<usize>,
+    },
+    /// Arm the target's delete memory: while a migration is in flight the
+    /// worker remembers every deleted id, so a stale copy collected on the
+    /// source *before* the delete can never resurrect the record here.
+    BeginMigrationTarget,
+    EndMigrationTarget,
+    /// Drop every record whose key point falls in `ranges` (cutover purge
+    /// on the source; abort rollback on the target).
+    PurgeRange {
+        ranges: Vec<KeyRange>,
+        reply: Sender<usize>,
+    },
+    /// Record count, optionally restricted to key ranges.
+    Count {
+        ranges: Option<Vec<KeyRange>>,
+        reply: Sender<usize>,
     },
     Stop,
 }
@@ -71,8 +120,15 @@ pub struct ShardedState {
     pub shards: Vec<ShardState>,
     /// Records indexed so far (across shards).
     pub indexed: usize,
-    /// Round-robin cursor, so restored pipelines keep partitioning evenly.
+    /// Legacy round-robin cursor. Placement is keyspace-hashed now; kept
+    /// (always 0) so old snapshot readers still parse.
     pub next_shard: usize,
+    /// The versioned shard map. Absent in snapshots from before online
+    /// resharding: those restored pipelines get a fresh uniform map, which
+    /// is safe because probes fan out to every shard and deletes broadcast
+    /// — the map only governs *new* placement and migration scope.
+    #[serde(default)]
+    pub map: Option<ShardMap>,
 }
 
 struct Shard {
@@ -94,23 +150,13 @@ fn spawn_shard(
     Shard { sender: tx, handle }
 }
 
-/// A sharded linkage service: partitioned index, fan-out probes.
-pub struct ShardedPipeline {
-    schema: RecordSchema,
-    classifier: Classifier,
-    shards: Vec<Shard>,
-    next_shard: usize,
-    indexed: usize,
-    metrics: Option<Arc<PipelineMetrics>>,
+fn worker_died<T>(_: T) -> Error {
+    Error::InvalidParameter("shard worker died".into())
 }
 
-impl std::fmt::Debug for ShardedPipeline {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("ShardedPipeline")
-            .field("shards", &self.shards.len())
-            .field("indexed", &self.indexed)
-            .finish()
-    }
+fn in_ranges(ranges: &[KeyRange], id: u64) -> bool {
+    let p = key_point(id);
+    ranges.iter().any(|r| r.contains(p))
 }
 
 fn shard_worker(
@@ -121,10 +167,18 @@ fn shard_worker(
 ) {
     let mut plan = plan;
     let mut store = store;
+    // Armed while this worker is a migration target: every id deleted in the
+    // window is remembered so late-arriving copies cannot resurrect it.
+    let mut migration_deletes: Option<HashSet<u64>> = None;
     while let Ok(cmd) = rx.recv() {
         match cmd {
             Command::Index(batch) => {
                 for rec in batch {
+                    if let Some(mem) = migration_deletes.as_mut() {
+                        // A re-insert after a delete is a fresh record; the
+                        // id must not stay tombstoned in the delete memory.
+                        mem.remove(&rec.id);
+                    }
                     plan.insert(&rec);
                     store.insert(rec);
                 }
@@ -145,12 +199,15 @@ fn shard_worker(
                 // blocking bucket entries are tombstoned, with the lazy
                 // per-bucket scrub reclaiming dead slots once a bucket's
                 // dead ratio crosses the configured threshold.
-                let mut removed = 0;
+                let mut removed = Vec::new();
                 for &id in &ids {
                     if let Some(rec) = store.get(id).cloned() {
                         plan.remove(&rec);
                         store.remove(id);
-                        removed += 1;
+                        removed.push(id);
+                    }
+                    if let Some(mem) = migration_deletes.as_mut() {
+                        mem.insert(id);
                     }
                 }
                 let _ = reply.send(removed);
@@ -167,8 +224,168 @@ fn shard_worker(
             Command::Stats { reply } => {
                 let _ = reply.send(plan.stats());
             }
+            Command::CollectMigration {
+                ranges,
+                after,
+                limit,
+                reply,
+            } => {
+                let mut batch: Vec<EmbeddedRecord> = store
+                    .iter()
+                    .filter(|rec| after.is_none_or(|a| rec.id > a))
+                    .filter(|rec| in_ranges(&ranges, rec.id))
+                    .cloned()
+                    .collect();
+                batch.sort_unstable_by_key(|r| r.id);
+                batch.truncate(limit);
+                let _ = reply.send(batch);
+            }
+            Command::MigrateIn { batch, reply } => {
+                let mut adopted = 0;
+                for rec in batch {
+                    if migration_deletes
+                        .as_ref()
+                        .is_some_and(|mem| mem.contains(&rec.id))
+                    {
+                        continue; // deleted since the copy was collected
+                    }
+                    if store.get(rec.id).is_some() {
+                        continue; // dual-applied write already landed here
+                    }
+                    plan.insert(&rec);
+                    store.insert(rec);
+                    adopted += 1;
+                }
+                let _ = reply.send(adopted);
+            }
+            Command::BeginMigrationTarget => {
+                migration_deletes = Some(HashSet::new());
+            }
+            Command::EndMigrationTarget => {
+                migration_deletes = None;
+            }
+            Command::PurgeRange { ranges, reply } => {
+                let victims: Vec<EmbeddedRecord> = store
+                    .iter()
+                    .filter(|rec| in_ranges(&ranges, rec.id))
+                    .cloned()
+                    .collect();
+                for rec in &victims {
+                    plan.remove(rec);
+                    store.remove(rec.id);
+                }
+                let _ = reply.send(victims.len());
+            }
+            Command::Count { ranges, reply } => {
+                let count = match ranges {
+                    None => store.len(),
+                    Some(ranges) => store
+                        .iter()
+                        .filter(|rec| in_ranges(&ranges, rec.id))
+                        .count(),
+                };
+                let _ = reply.send(count);
+            }
             Command::Stop => break,
         }
+    }
+}
+
+/// An in-flight migration, tracked pipeline-side.
+struct Migration {
+    plan: ReshardPlan,
+    migrated: Arc<AtomicU64>,
+    /// Source records inside the moved ranges when the migration began
+    /// (denominator for progress/lag gauges).
+    total: u64,
+}
+
+/// Drives the copy phase of a migration: page records out of the source,
+/// adopt them on the target. Holds only cloned channel senders, so the
+/// caller can run it from a background thread *without* holding any
+/// pipeline lock — indexing and probing proceed concurrently.
+pub struct ReshardDriver {
+    source: Sender<Command>,
+    target: Sender<Command>,
+    moved: Vec<KeyRange>,
+    cursor: Option<u64>,
+    migrated: Arc<AtomicU64>,
+    done: bool,
+}
+
+impl ReshardDriver {
+    /// Copies the next page of at most `limit` records. Returns `true` once
+    /// the source has drained (no records in the moved ranges beyond the
+    /// cursor) — the migration is then ready for
+    /// [`ShardedPipeline::finish_reshard`].
+    ///
+    /// # Errors
+    /// Returns an internal error if a shard worker died.
+    pub fn copy_batch(&mut self, limit: usize) -> Result<bool> {
+        if self.done {
+            return Ok(true);
+        }
+        let (tx, rx) = bounded(1);
+        self.source
+            .send(Command::CollectMigration {
+                ranges: self.moved.clone(),
+                after: self.cursor,
+                limit: limit.max(1),
+                reply: tx,
+            })
+            .map_err(worker_died)?;
+        let batch = rx.recv().map_err(worker_died)?;
+        if batch.is_empty() {
+            self.done = true;
+            return Ok(true);
+        }
+        self.cursor = batch.last().map(|r| r.id);
+        let copied = batch.len() as u64;
+        let (tx, rx) = bounded(1);
+        self.target
+            .send(Command::MigrateIn { batch, reply: tx })
+            .map_err(worker_died)?;
+        rx.recv().map_err(worker_died)?;
+        self.migrated.fetch_add(copied, Ordering::Relaxed);
+        Ok(false)
+    }
+
+    /// Records copied so far.
+    pub fn migrated(&self) -> u64 {
+        self.migrated.load(Ordering::Relaxed)
+    }
+
+    /// True once the copy has drained the source.
+    pub fn is_done(&self) -> bool {
+        self.done
+    }
+}
+
+/// A sharded linkage service: partitioned index, fan-out probes.
+pub struct ShardedPipeline {
+    schema: RecordSchema,
+    classifier: Classifier,
+    shards: Vec<Shard>,
+    /// Versioned keyspace → shard assignment; governs new placements.
+    map: ShardMap,
+    migration: Option<Migration>,
+    /// An empty clone of the compiled plan (identical hash draws), used to
+    /// synthesize workers for shards created by a split.
+    template: BlockingPlan,
+    /// Root directory of disk-resident stores (`None` for in-memory); new
+    /// shards rehome their stores under `<root>/shard-<i>/`.
+    store_root: Option<PathBuf>,
+    indexed: usize,
+    metrics: Option<Arc<PipelineMetrics>>,
+}
+
+impl std::fmt::Debug for ShardedPipeline {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardedPipeline")
+            .field("shards", &self.shards.len())
+            .field("epoch", &self.map.epoch())
+            .field("indexed", &self.indexed)
+            .finish()
     }
 }
 
@@ -190,41 +407,58 @@ impl ShardedPipeline {
         }
         let plan = BlockingPlan::from_config(&schema, &config, rng)?;
         let classifier = Classifier::Rule(config.rule);
-        Ok(Self::from_parts(schema, plan, classifier, num_shards))
+        Self::from_parts(schema, plan, classifier, num_shards)
     }
 
     /// Builds the service from an already-compiled plan (e.g. to mirror an
     /// existing [`crate::pipeline::LinkagePipeline`] exactly, hash
     /// functions included).
+    ///
+    /// # Errors
+    /// Returns [`Error::Reshard`] with [`ReshardError::RequiresMigration`]
+    /// when the plan is disk-resident and already populated — its on-disk
+    /// generations cannot be re-rooted in place; migrate online instead.
     pub fn from_parts(
         schema: RecordSchema,
         plan: BlockingPlan,
         classifier: Classifier,
         num_shards: usize,
-    ) -> Self {
-        assert!(num_shards > 0, "need at least one shard");
+    ) -> Result<Self> {
+        if num_shards == 0 {
+            return Err(Error::InvalidParameter("need at least one shard".into()));
+        }
         // Disk-resident plans re-root each shard's clone under its own
         // `shard-<i>/` subtree so generation files never collide.
         let store_root = plan.store_root();
+        let mut template = plan.clone();
+        template.clear_for_rebuild();
         let shards = (0..num_shards)
             .map(|i| {
                 let mut shard_plan = plan.clone();
                 if let Some(root) = &store_root {
-                    shard_plan
-                        .rehome_stores(root, i)
-                        .expect("cannot shard a populated disk-resident plan");
+                    shard_plan.rehome_stores(root, i).map_err(|_| {
+                        Error::Reshard(ReshardError::RequiresMigration("the blocking plan".into()))
+                    })?;
                 }
-                spawn_shard(i, shard_plan, RecordStore::new(), classifier.clone())
+                Ok(spawn_shard(
+                    i,
+                    shard_plan,
+                    RecordStore::new(),
+                    classifier.clone(),
+                ))
             })
-            .collect();
-        Self {
+            .collect::<Result<Vec<_>>>()?;
+        Ok(Self {
             schema,
             classifier,
             shards,
-            next_shard: 0,
+            map: ShardMap::uniform(num_shards),
+            migration: None,
+            template,
+            store_root,
             indexed: 0,
             metrics: None,
-        }
+        })
     }
 
     /// Attaches phase-timing metrics. Embed / dispatch / fan-out durations
@@ -242,7 +476,8 @@ impl ShardedPipeline {
     /// pipeline the state was exported from.
     ///
     /// # Errors
-    /// Returns [`Error::InvalidParameter`] when the state has no shards.
+    /// Returns [`Error::InvalidParameter`] when the state has no shards or
+    /// its shard map names more shards than the state carries.
     pub fn from_state(state: ShardedState) -> Result<Self> {
         if state.shards.is_empty() {
             return Err(Error::InvalidParameter(
@@ -250,6 +485,31 @@ impl ShardedPipeline {
             ));
         }
         let num_shards = state.shards.len();
+        let map = match state.map {
+            Some(map) => {
+                map.validate().map_err(Error::Reshard)?;
+                // A worker spawned by an aborted split may outlive the map
+                // (it owns no keyspace), so `<=` rather than `==`.
+                if map.num_shards() > num_shards {
+                    return Err(Error::InvalidParameter(format!(
+                        "shard map names {} shards but the state has {num_shards}",
+                        map.num_shards()
+                    )));
+                }
+                map
+            }
+            // Pre-reshard snapshot: records were placed round-robin. A
+            // uniform map is still correct — probes fan out everywhere and
+            // deletes broadcast, so the map only governs new placements.
+            None => ShardMap::uniform(num_shards),
+        };
+        let mut template = state.shards[0].plan.clone();
+        template.clear_for_rebuild();
+        let store_root = state.shards[0]
+            .plan
+            .store_root()
+            .and_then(|p| p.parent().map(|p| p.to_path_buf()));
+        let classifier = state.classifier.clone();
         let shards = state
             .shards
             .into_iter()
@@ -267,14 +527,17 @@ impl ShardedPipeline {
                         .compact()
                         .map_err(|e| Error::InvalidParameter(format!("shard {i} rebuild: {e}")))?;
                 }
-                Ok(spawn_shard(i, s.plan, s.store, state.classifier.clone()))
+                Ok(spawn_shard(i, s.plan, s.store, classifier.clone()))
             })
             .collect::<Result<Vec<_>>>()?;
         Ok(Self {
             schema: state.schema,
-            classifier: state.classifier,
+            classifier,
             shards,
-            next_shard: state.next_shard % num_shards,
+            map,
+            migration: None,
+            template,
+            store_root,
             indexed: state.indexed,
             metrics: None,
         })
@@ -286,8 +549,15 @@ impl ShardedPipeline {
     /// that is consistent per shard but may stagger across shards.
     ///
     /// # Errors
-    /// Returns [`Error::InvalidParameter`] if a shard worker died.
+    /// Returns [`Error::Reshard`] with [`ReshardError::MigrationInFlight`]
+    /// while a migration is running — a mid-copy export would capture moved
+    /// records on *both* shards with no migration marker to purge them, so
+    /// snapshots wait for cutover or abort. Returns
+    /// [`Error::InvalidParameter`] if a shard worker died.
     pub fn export_state(&self) -> Result<ShardedState> {
+        if self.migration.is_some() {
+            return Err(Error::Reshard(ReshardError::MigrationInFlight));
+        }
         // One reply channel per shard keeps states in shard order, so a
         // restored pipeline reproduces the exact partitioning.
         let mut pending = Vec::with_capacity(self.shards.len());
@@ -296,14 +566,12 @@ impl ShardedPipeline {
             shard
                 .sender
                 .send(Command::Export { reply: reply_tx })
-                .map_err(|_| Error::InvalidParameter("shard worker died".into()))?;
+                .map_err(worker_died)?;
             pending.push(reply_rx);
         }
         let mut states = Vec::with_capacity(self.shards.len());
         for reply_rx in pending {
-            let state = reply_rx
-                .recv()
-                .map_err(|_| Error::InvalidParameter("shard worker died".into()))?;
+            let state = reply_rx.recv().map_err(worker_died)?;
             states.push(state);
         }
         Ok(ShardedState {
@@ -311,11 +579,13 @@ impl ShardedPipeline {
             classifier: self.classifier.clone(),
             shards: states,
             indexed: self.indexed,
-            next_shard: self.next_shard,
+            next_shard: 0,
+            map: Some(self.map.clone()),
         })
     }
 
-    /// Number of shards.
+    /// Number of shard workers (including any spawned for an in-flight or
+    /// aborted split).
     pub fn num_shards(&self) -> usize {
         self.shards.len()
     }
@@ -325,8 +595,55 @@ impl ShardedPipeline {
         self.indexed
     }
 
-    /// Indexes data set A: records are embedded here and dispatched
-    /// round-robin in batches.
+    /// The current shard map (epoch-stamped keyspace assignment).
+    pub fn shard_map(&self) -> &ShardMap {
+        &self.map
+    }
+
+    /// Point-in-time migration status (idle when none is running).
+    pub fn migration_status(&self) -> MigrationStatus {
+        match &self.migration {
+            Some(m) => MigrationStatus {
+                active: true,
+                kind: m.plan.op.kind().to_string(),
+                source: m.plan.source,
+                target: m.plan.target,
+                migrated: m.migrated.load(Ordering::Relaxed),
+                total: m.total,
+                epoch: self.map.epoch(),
+            },
+            None => MigrationStatus::idle(self.map.epoch()),
+        }
+    }
+
+    /// Per-shard record counts, in shard order (operator skew visibility).
+    ///
+    /// # Errors
+    /// Returns an internal error if a shard worker died.
+    pub fn shard_record_counts(&self) -> Result<Vec<usize>> {
+        let mut pending = Vec::with_capacity(self.shards.len());
+        for shard in &self.shards {
+            let (reply_tx, reply_rx) = bounded(1);
+            shard
+                .sender
+                .send(Command::Count {
+                    ranges: None,
+                    reply: reply_tx,
+                })
+                .map_err(worker_died)?;
+            pending.push(reply_rx);
+        }
+        pending
+            .into_iter()
+            .map(|rx| rx.recv().map_err(worker_died))
+            .collect()
+    }
+
+    /// Indexes data set A: records are embedded here and dispatched to the
+    /// shard owning each record's keyspace point. While a migration is in
+    /// flight, writes landing in the moved ranges are **dual-applied** to
+    /// source and target so neither the copy stream nor the cutover can
+    /// lose them.
     ///
     /// # Errors
     /// Returns [`Error::FieldCountMismatch`] on malformed records.
@@ -337,16 +654,26 @@ impl ShardedPipeline {
         let t1 = Instant::now();
         let n = self.shards.len();
         let mut batches: Vec<Vec<EmbeddedRecord>> = vec![Vec::new(); n];
+        let dual = self
+            .migration
+            .as_ref()
+            .map(|m| (m.plan.target, m.plan.moved.as_slice()));
         for rec in embedded {
-            batches[self.next_shard].push(rec);
-            self.next_shard = (self.next_shard + 1) % n;
+            let point = key_point(rec.id);
+            let shard = self.map.shard_of(point);
+            if let Some((target, moved)) = dual {
+                if moved.iter().any(|r| r.contains(point)) {
+                    batches[target].push(rec.clone());
+                }
+            }
+            batches[shard].push(rec);
         }
         for (shard, batch) in self.shards.iter().zip(batches) {
             if !batch.is_empty() {
                 shard
                     .sender
                     .send(Command::Index(batch))
-                    .map_err(|_| Error::InvalidParameter("shard worker died".into()))?;
+                    .map_err(worker_died)?;
             }
         }
         self.indexed += records.len();
@@ -363,9 +690,10 @@ impl ShardedPipeline {
     /// Deletes records by id across all shards. The record leaves the
     /// shard's store and its blocking-bucket entries are tombstoned;
     /// buckets are scrubbed lazily per the store's dead-ratio policy, and
-    /// fully on the next [`ShardedPipeline::compact_stores`]. Ids live in exactly one
-    /// shard, so the broadcast removes each at most once; unknown ids are
-    /// ignored. Returns how many records were actually removed.
+    /// fully on the next [`ShardedPipeline::compact_stores`]. Unknown ids
+    /// are ignored. Returns how many **distinct** records were removed —
+    /// during a migration the same id can transiently live on two shards,
+    /// and the broadcast removes both copies but counts one record.
     ///
     /// # Errors
     /// Returns an internal error if a shard worker died.
@@ -378,22 +706,24 @@ impl ShardedPipeline {
                     ids: ids.to_vec(),
                     reply: reply_tx.clone(),
                 })
-                .map_err(|_| Error::InvalidParameter("shard worker died".into()))?;
+                .map_err(worker_died)?;
         }
         drop(reply_tx);
-        let mut removed = 0;
+        let mut removed_ids: Vec<u64> = Vec::new();
         for _ in 0..self.shards.len() {
-            removed += reply_rx
-                .recv()
-                .map_err(|_| Error::InvalidParameter("shard worker died".into()))?;
+            removed_ids.extend(reply_rx.recv().map_err(worker_died)?);
         }
+        removed_ids.sort_unstable();
+        removed_ids.dedup();
+        let removed = removed_ids.len();
         self.indexed -= removed.min(self.indexed);
         Ok(removed)
     }
 
     /// Probes data set B: every shard receives the full probe batch; the
-    /// matched `(id_A, id_B)` pairs are unioned (partitions are disjoint,
-    /// so no duplicates arise).
+    /// matched `(id_A, id_B)` pairs are unioned and deduped (partitions are
+    /// disjoint in steady state; during a migration's double-live window a
+    /// moved record answers from both shards, and the dedup collapses it).
     ///
     /// # Errors
     /// Returns [`Error::FieldCountMismatch`] on malformed records, or an
@@ -411,15 +741,13 @@ impl ShardedPipeline {
                     batch: embedded.clone(),
                     reply: reply_tx.clone(),
                 })
-                .map_err(|_| Error::InvalidParameter("shard worker died".into()))?;
+                .map_err(worker_died)?;
         }
         drop(reply_tx);
         let mut matches = Vec::new();
         let mut stats = MatchStats::default();
         for _ in 0..self.shards.len() {
-            let (m, s) = reply_rx
-                .recv()
-                .map_err(|_| Error::InvalidParameter("shard worker died".into()))?;
+            let (m, s) = reply_rx.recv().map_err(worker_died)?;
             matches.extend(m);
             stats.candidates += s.candidates;
             stats.distance_computations += s.distance_computations;
@@ -427,6 +755,7 @@ impl ShardedPipeline {
             stats.truncated += s.truncated;
         }
         matches.sort_unstable();
+        matches.dedup();
         if let Some(m) = &self.metrics {
             m.embed.observe_duration(embed);
             // Fan-out + shard lookup + gather: the match phase as the
@@ -434,6 +763,162 @@ impl ShardedPipeline {
             m.matching.observe_duration(t1.elapsed());
         }
         Ok((matches, stats))
+    }
+
+    /// Starts an online reshard: plans the split/merge against the current
+    /// map, spawns (or arms) the target worker, and returns the
+    /// [`ReshardDriver`] that streams the moved records. The shard map is
+    /// **not** changed yet — placements keep following the old map (plus
+    /// dual-apply into the moved ranges) until
+    /// [`ShardedPipeline::finish_reshard`].
+    ///
+    /// # Errors
+    /// Returns [`Error::Reshard`] on planning failures or when a migration
+    /// is already in flight; [`Error::Store`] if the new shard's disk
+    /// stores cannot be created.
+    pub fn begin_reshard(&mut self, op: ReshardOp) -> Result<ReshardDriver> {
+        if self.migration.is_some() {
+            return Err(Error::Reshard(ReshardError::MigrationInFlight));
+        }
+        let plan = self.map.plan(op).map_err(Error::Reshard)?;
+        if plan.target >= self.shards.len() {
+            // Split into a brand-new shard: synthesize a worker from the
+            // empty template (identical hash draws, so probe results are
+            // indistinguishable from any other shard's).
+            debug_assert_eq!(plan.target, self.shards.len());
+            let mut target_plan = self.template.clone();
+            if let Some(root) = &self.store_root {
+                // Residue from a crashed or aborted earlier attempt is
+                // unreferenced by any live plan; clear it before rehoming.
+                let _ = std::fs::remove_dir_all(root.join(format!("shard-{}", plan.target)));
+                target_plan
+                    .rehome_stores(root, plan.target)
+                    .map_err(|e| Error::Store(e.to_string()))?;
+            }
+            self.shards.push(spawn_shard(
+                plan.target,
+                target_plan,
+                RecordStore::new(),
+                self.classifier.clone(),
+            ));
+        }
+        // Arm the target's delete memory before any write can race the copy.
+        self.shards[plan.target]
+            .sender
+            .send(Command::BeginMigrationTarget)
+            .map_err(worker_died)?;
+        let (tx, rx) = bounded(1);
+        self.shards[plan.source]
+            .sender
+            .send(Command::Count {
+                ranges: Some(plan.moved.clone()),
+                reply: tx,
+            })
+            .map_err(worker_died)?;
+        let total = rx.recv().map_err(worker_died)? as u64;
+        let migrated = Arc::new(AtomicU64::new(0));
+        let driver = ReshardDriver {
+            source: self.shards[plan.source].sender.clone(),
+            target: self.shards[plan.target].sender.clone(),
+            moved: plan.moved.clone(),
+            cursor: None,
+            migrated: migrated.clone(),
+            done: false,
+        };
+        self.migration = Some(Migration {
+            plan,
+            migrated,
+            total,
+        });
+        Ok(driver)
+    }
+
+    /// Cuts a drained migration over: installs the successor map (epoch
+    /// bump), purges the moved ranges from the source, and disarms the
+    /// target. Call with writes quiesced (e.g. under the server's state
+    /// write lock) after [`ReshardDriver::copy_batch`] returned `true`;
+    /// channel FIFO then guarantees the purge runs after every dual-applied
+    /// write. Returns the new map epoch.
+    ///
+    /// # Errors
+    /// Returns [`Error::Reshard`] when no migration is running or the copy
+    /// has not drained the source.
+    pub fn finish_reshard(&mut self, driver: &ReshardDriver) -> Result<u64> {
+        if self.migration.is_none() {
+            return Err(Error::Reshard(ReshardError::NoMigration));
+        }
+        if !driver.done {
+            return Err(Error::Reshard(ReshardError::CopyIncomplete));
+        }
+        let mig = self.migration.take().expect("checked above");
+        self.map = mig.plan.new_map.clone();
+        let (tx, rx) = bounded(1);
+        self.shards[mig.plan.source]
+            .sender
+            .send(Command::PurgeRange {
+                ranges: mig.plan.moved.clone(),
+                reply: tx,
+            })
+            .map_err(worker_died)?;
+        rx.recv().map_err(worker_died)?;
+        self.shards[mig.plan.target]
+            .sender
+            .send(Command::EndMigrationTarget)
+            .map_err(worker_died)?;
+        Ok(self.map.epoch())
+    }
+
+    /// Abandons an in-flight migration: purges everything copied or
+    /// dual-applied into the target's moved ranges (the source never
+    /// stopped owning them) and leaves the map untouched. The driver must
+    /// no longer be running. A worker spawned for the split stays alive,
+    /// empty, and is reused by the next split attempt.
+    ///
+    /// # Errors
+    /// Returns [`Error::Reshard`] when no migration is running.
+    pub fn abort_reshard(&mut self) -> Result<()> {
+        let mig = self
+            .migration
+            .take()
+            .ok_or(Error::Reshard(ReshardError::NoMigration))?;
+        let (tx, rx) = bounded(1);
+        self.shards[mig.plan.target]
+            .sender
+            .send(Command::PurgeRange {
+                ranges: mig.plan.moved.clone(),
+                reply: tx,
+            })
+            .map_err(worker_died)?;
+        rx.recv().map_err(worker_died)?;
+        self.shards[mig.plan.target]
+            .sender
+            .send(Command::EndMigrationTarget)
+            .map_err(worker_died)?;
+        Ok(())
+    }
+
+    /// Runs a whole reshard synchronously: begin, drain the copy, cut over.
+    /// This is the WAL-replay / follower path — replaying the committed
+    /// `Reshard` op at its original position in the op stream reproduces
+    /// the exact same record placement the primary reached online.
+    ///
+    /// # Errors
+    /// Propagates [`ShardedPipeline::begin_reshard`] /
+    /// [`ShardedPipeline::finish_reshard`] failures; aborts the migration
+    /// on copy errors.
+    pub fn reshard_sync(&mut self, op: ReshardOp) -> Result<u64> {
+        let mut driver = self.begin_reshard(op)?;
+        loop {
+            match driver.copy_batch(4096) {
+                Ok(true) => break,
+                Ok(false) => {}
+                Err(e) => {
+                    let _ = self.abort_reshard();
+                    return Err(e);
+                }
+            }
+        }
+        self.finish_reshard(&driver)
     }
 
     /// Blocking diagnostics aggregated across shards: one entry per
@@ -450,14 +935,12 @@ impl ShardedPipeline {
             shard
                 .sender
                 .send(Command::Stats { reply: reply_tx })
-                .map_err(|_| Error::InvalidParameter("shard worker died".into()))?;
+                .map_err(worker_died)?;
             pending.push(reply_rx);
         }
         let mut merged: Vec<StructureStats> = Vec::new();
         for reply_rx in pending {
-            let stats = reply_rx
-                .recv()
-                .map_err(|_| Error::InvalidParameter("shard worker died".into()))?;
+            let stats = reply_rx.recv().map_err(worker_died)?;
             if merged.is_empty() {
                 merged = stats;
             } else {
@@ -471,25 +954,27 @@ impl ShardedPipeline {
 
     /// Compacts every shard's blocking stores: scrubs tombstones, and for
     /// disk-resident stores merges the delta overlay into the next on-disk
-    /// generation (bounding each shard's resident memory).
+    /// generation (bounding each shard's resident memory). Takes `&self`
+    /// so a background compaction thread can run it under a read lock
+    /// without stalling probes.
     ///
     /// # Errors
     /// Returns [`Error::Store`] on a shard's compaction failure, or
     /// [`Error::InvalidParameter`] if a shard worker died.
-    pub fn compact_stores(&mut self) -> Result<()> {
+    pub fn compact_stores(&self) -> Result<()> {
         let mut pending = Vec::with_capacity(self.shards.len());
         for shard in &self.shards {
             let (reply_tx, reply_rx) = bounded(1);
             shard
                 .sender
                 .send(Command::Compact { reply: reply_tx })
-                .map_err(|_| Error::InvalidParameter("shard worker died".into()))?;
+                .map_err(worker_died)?;
             pending.push(reply_rx);
         }
         for reply_rx in pending {
             reply_rx
                 .recv()
-                .map_err(|_| Error::InvalidParameter("shard worker died".into()))?
+                .map_err(worker_died)?
                 .map_err(Error::Store)?;
         }
         Ok(())
@@ -572,7 +1057,8 @@ mod tests {
         // use identical hash functions — results must then agree exactly.
         let mut single = LinkagePipeline::new(s.clone(), config.clone(), &mut rng).unwrap();
         let mut sharded =
-            ShardedPipeline::from_parts(s, single.plan().clone(), Classifier::Rule(config.rule), 4);
+            ShardedPipeline::from_parts(s, single.plan().clone(), Classifier::Rule(config.rule), 4)
+                .unwrap();
         let a = records(1, 0, 40);
         sharded.index(&a).unwrap();
         single.index(&a).unwrap();
@@ -646,6 +1132,7 @@ mod tests {
         let restored: ShardedState = serde_json::from_str(&json).unwrap();
         let q = ShardedPipeline::from_state(restored).unwrap();
         assert_eq!(q.indexed_len(), 30);
+        assert_eq!(q.shard_map().epoch(), 1);
         let (after, _) = q.link(&b).unwrap();
         assert_eq!(before, after);
         q.shutdown();
@@ -675,6 +1162,29 @@ mod tests {
                 "missing post-restore pair {i}"
             );
         }
+        q.shutdown();
+    }
+
+    #[test]
+    fn legacy_state_without_map_restores_with_uniform_map() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let s = schema(&mut rng);
+        let mut p =
+            ShardedPipeline::new(s, LinkageConfig::rule_aware(rule()), 2, &mut rng).unwrap();
+        p.index(&records(8, 0, 20)).unwrap();
+        let b = records(8, 600, 20);
+        let (before, _) = p.link(&b).unwrap();
+        let state = p.export_state().unwrap();
+        p.shutdown();
+
+        // A pre-reshard snapshot deserializes with no map field.
+        let mut legacy = state;
+        legacy.map = None;
+        let q = ShardedPipeline::from_state(legacy).unwrap();
+        assert_eq!(q.shard_map().epoch(), 1);
+        assert_eq!(q.shard_map().num_shards(), 2);
+        let (after, _) = q.link(&b).unwrap();
+        assert_eq!(before, after);
         q.shutdown();
     }
 
@@ -738,8 +1248,8 @@ mod tests {
             assert!(before.contains(&(i, 500 + i)), "missing pair {i}");
         }
 
-        // Delete a third of the records (spread across all shards by
-        // round-robin), plus some ids that never existed.
+        // Delete a third of the records (spread across shards by the
+        // keyspace hash), plus some ids that never existed.
         let victims: Vec<u64> = (0..30).filter(|i| i % 3 == 0).collect();
         let removed = p.delete(&victims).unwrap();
         assert_eq!(removed, victims.len());
@@ -772,6 +1282,226 @@ mod tests {
         let s = schema(&mut rng);
         let p = ShardedPipeline::new(s, LinkageConfig::rule_aware(rule()), 2, &mut rng).unwrap();
         assert!(p.link(&[Record::new(1, ["ONLY"])]).is_err());
+        p.shutdown();
+    }
+
+    // ---- online resharding ------------------------------------------------
+
+    #[test]
+    fn split_preserves_probe_results_through_all_phases() {
+        let mut rng = StdRng::seed_from_u64(20);
+        let s = schema(&mut rng);
+        let mut p =
+            ShardedPipeline::new(s, LinkageConfig::rule_aware(rule()), 2, &mut rng).unwrap();
+        p.index(&records(9, 0, 60)).unwrap();
+        let b = records(9, 2000, 60);
+        let (before, _) = p.link(&b).unwrap();
+        assert_eq!(p.shard_map().epoch(), 1);
+
+        let mut driver = p.begin_reshard(ReshardOp::Split { source: 0 }).unwrap();
+        assert!(p.migration_status().active);
+        assert_eq!(p.migration_status().kind, "split");
+        assert_eq!(p.num_shards(), 3, "split spawns the target worker");
+
+        // Drain in tiny pages, checking the double-live window after each:
+        // the union+dedup must keep probe results byte-identical mid-copy.
+        loop {
+            let done = driver.copy_batch(5).unwrap();
+            let (during, _) = p.link(&b).unwrap();
+            assert_eq!(during, before, "probe results changed mid-migration");
+            if done {
+                break;
+            }
+        }
+        let migrated = driver.migrated();
+        assert!(
+            migrated > 0,
+            "nothing migrated — split moved an empty range?"
+        );
+
+        let epoch = p.finish_reshard(&driver).unwrap();
+        assert_eq!(epoch, 2);
+        assert!(!p.migration_status().active);
+        assert_eq!(p.shard_map().num_shards(), 3);
+        let (after, _) = p.link(&b).unwrap();
+        assert_eq!(after, before);
+
+        // The moved records now live on the target and nowhere else.
+        let counts = p.shard_record_counts().unwrap();
+        assert_eq!(
+            counts.iter().sum::<usize>(),
+            60,
+            "purge lost or duplicated records"
+        );
+        assert_eq!(counts[2] as u64, migrated);
+        p.shutdown();
+    }
+
+    #[test]
+    fn writes_and_deletes_during_migration_stay_consistent() {
+        let mut rng = StdRng::seed_from_u64(21);
+        let s = schema(&mut rng);
+        let config = LinkageConfig::rule_aware(rule());
+        // Unsharded oracle: one shard, same compiled plan (identical hash
+        // draws), receiving the identical write/delete sequence.
+        let single = LinkagePipeline::new(s.clone(), config.clone(), &mut rng).unwrap();
+        let classifier = Classifier::Rule(config.rule);
+        let mut oracle =
+            ShardedPipeline::from_parts(s.clone(), single.plan().clone(), classifier.clone(), 1)
+                .unwrap();
+        let mut p = ShardedPipeline::from_parts(s, single.plan().clone(), classifier, 2).unwrap();
+        let a = records(10, 0, 50);
+        p.index(&a).unwrap();
+        oracle.index(&a).unwrap();
+
+        let mut driver = p.begin_reshard(ReshardOp::Split { source: 1 }).unwrap();
+        driver.copy_batch(8).unwrap(); // part of the copy lands first
+
+        // Mid-migration traffic: new inserts (dual-applied when they fall in
+        // the moved ranges) and deletes (broadcast; some hit moved records).
+        let fresh = records(10, 50, 25);
+        p.index(&fresh).unwrap();
+        oracle.index(&fresh).unwrap();
+        let victims: Vec<u64> = (0..75).filter(|i| i % 4 == 0).collect();
+        let removed_sharded = p.delete(&victims).unwrap();
+        let removed_oracle = oracle.delete(&victims).unwrap();
+        assert_eq!(removed_sharded, removed_oracle, "delete counts diverged");
+
+        while !driver.copy_batch(8).unwrap() {}
+        p.finish_reshard(&driver).unwrap();
+
+        let b = records(10, 3000, 75);
+        let (m_sharded, _) = p.link(&b).unwrap();
+        let (m_oracle, _) = oracle.link(&b).unwrap();
+        assert_eq!(m_sharded, m_oracle);
+        let counts = p.shard_record_counts().unwrap();
+        assert_eq!(counts.iter().sum::<usize>(), p.indexed_len());
+        p.shutdown();
+        oracle.shutdown();
+    }
+
+    #[test]
+    fn merge_drains_source_shard() {
+        let mut rng = StdRng::seed_from_u64(22);
+        let s = schema(&mut rng);
+        let mut p =
+            ShardedPipeline::new(s, LinkageConfig::rule_aware(rule()), 3, &mut rng).unwrap();
+        p.index(&records(11, 0, 45)).unwrap();
+        let b = records(11, 4000, 45);
+        let (before, _) = p.link(&b).unwrap();
+
+        let epoch = p
+            .reshard_sync(ReshardOp::Merge {
+                source: 2,
+                target: 0,
+            })
+            .unwrap();
+        assert_eq!(epoch, 2);
+        let counts = p.shard_record_counts().unwrap();
+        assert_eq!(counts[2], 0, "merged-away shard still owns records");
+        assert_eq!(counts.iter().sum::<usize>(), 45);
+        assert!(p.shard_map().ranges_of(2).is_empty());
+        let (after, _) = p.link(&b).unwrap();
+        assert_eq!(after, before);
+
+        // The emptied shard owns no keyspace: splitting it is rejected, and
+        // new inserts never land there.
+        assert!(matches!(
+            p.begin_reshard(ReshardOp::Split { source: 2 }),
+            Err(Error::Reshard(ReshardError::EmptySource(2)))
+        ));
+        p.index(&records(11, 100, 20)).unwrap();
+        assert_eq!(p.shard_record_counts().unwrap()[2], 0);
+        p.shutdown();
+    }
+
+    #[test]
+    fn abort_rolls_back_to_pre_split_state() {
+        let mut rng = StdRng::seed_from_u64(23);
+        let s = schema(&mut rng);
+        let mut p =
+            ShardedPipeline::new(s, LinkageConfig::rule_aware(rule()), 2, &mut rng).unwrap();
+        p.index(&records(12, 0, 40)).unwrap();
+        let b = records(12, 5000, 40);
+        let (before, _) = p.link(&b).unwrap();
+
+        let mut driver = p.begin_reshard(ReshardOp::Split { source: 0 }).unwrap();
+        driver.copy_batch(7).unwrap();
+        // Mid-copy dual-applied write, then abort.
+        p.index(&records(12, 40, 10)).unwrap();
+        drop(driver);
+        p.abort_reshard().unwrap();
+
+        assert_eq!(p.shard_map().epoch(), 1, "abort must not bump the epoch");
+        assert!(!p.migration_status().active);
+        let counts = p.shard_record_counts().unwrap();
+        assert_eq!(counts[2], 0, "abort left records on the target");
+        assert_eq!(counts.iter().sum::<usize>(), 50);
+        // The dual-applied mid-copy batch survived exactly once (on the
+        // source); removing it restores the original index verbatim.
+        let extras: Vec<u64> = (40..50).collect();
+        assert_eq!(p.delete(&extras).unwrap(), 10);
+        let (after, _) = p.link(&b).unwrap();
+        assert_eq!(after, before);
+
+        // A retry reuses the idle spawned worker and completes.
+        let epoch = p.reshard_sync(ReshardOp::Split { source: 0 }).unwrap();
+        assert_eq!(epoch, 2);
+        assert_eq!(p.num_shards(), 3);
+        assert_eq!(p.shard_record_counts().unwrap().iter().sum::<usize>(), 40);
+        p.shutdown();
+    }
+
+    #[test]
+    fn export_rejected_during_migration_and_map_survives_restore() {
+        let mut rng = StdRng::seed_from_u64(24);
+        let s = schema(&mut rng);
+        let mut p =
+            ShardedPipeline::new(s, LinkageConfig::rule_aware(rule()), 2, &mut rng).unwrap();
+        p.index(&records(13, 0, 30)).unwrap();
+        let mut driver = p.begin_reshard(ReshardOp::Split { source: 0 }).unwrap();
+        driver.copy_batch(4).unwrap();
+        assert!(matches!(
+            p.export_state(),
+            Err(Error::Reshard(ReshardError::MigrationInFlight))
+        ));
+        while !driver.copy_batch(64).unwrap() {}
+        p.finish_reshard(&driver).unwrap();
+
+        let b = records(13, 6000, 30);
+        let (before, _) = p.link(&b).unwrap();
+        let state = p.export_state().unwrap();
+        p.shutdown();
+        let q = ShardedPipeline::from_state(state).unwrap();
+        assert_eq!(q.shard_map().epoch(), 2);
+        assert_eq!(q.shard_map().num_shards(), 3);
+        let (after, _) = q.link(&b).unwrap();
+        assert_eq!(after, before);
+        // Replaying the same committed reshard on a restored follower is
+        // how WAL recovery works; the next split must plan deterministically.
+        q.shutdown();
+    }
+
+    #[test]
+    fn second_migration_rejected_while_one_runs() {
+        let mut rng = StdRng::seed_from_u64(25);
+        let s = schema(&mut rng);
+        let mut p =
+            ShardedPipeline::new(s, LinkageConfig::rule_aware(rule()), 2, &mut rng).unwrap();
+        p.index(&records(14, 0, 20)).unwrap();
+        let mut driver = p.begin_reshard(ReshardOp::Split { source: 0 }).unwrap();
+        assert!(matches!(
+            p.begin_reshard(ReshardOp::Split { source: 1 }),
+            Err(Error::Reshard(ReshardError::MigrationInFlight))
+        ));
+        // Finishing before the copy drained is refused; the migration (and
+        // the driver) stay valid and can keep copying.
+        assert!(matches!(
+            p.finish_reshard(&driver),
+            Err(Error::Reshard(ReshardError::CopyIncomplete))
+        ));
+        while !driver.copy_batch(64).unwrap() {}
+        p.finish_reshard(&driver).unwrap();
         p.shutdown();
     }
 }

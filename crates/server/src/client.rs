@@ -60,8 +60,8 @@
 //! own completed writes, even through a load-balanced replica.
 
 use crate::protocol::{
-    wire, ErrorCode, ReplStatusReply, Reply, Request, RequestError, Response, StatsReply,
-    FIRST_BINARY_VERSION, PROTOCOL_VERSION,
+    wire, ErrorCode, ReplStatusReply, Reply, Request, RequestError, Response, ShardMapReply,
+    StatsReply, FIRST_BINARY_VERSION, PROTOCOL_VERSION,
 };
 use cbv_hb::matcher::MatchStats;
 use cbv_hb::Record;
@@ -923,6 +923,54 @@ impl Client {
                 epoch,
             } => Ok((head_seq, was_follower, epoch)),
             other => Err(unexpected("Promoted", &other)),
+        }
+    }
+
+    /// The server's shard map (protocol v10): epoch, range assignments,
+    /// per-shard record counts, and any in-flight migration.
+    ///
+    /// # Errors
+    /// See [`Self::call`]. A pre-v10 server rejects the verb with `Parse`.
+    pub fn shard_map(&mut self) -> Result<ShardMapReply, ClientError> {
+        match self.call(&Request::GetShardMap)? {
+            Reply::ShardMap(map) => Ok(map),
+            other => Err(unexpected("ShardMap", &other)),
+        }
+    }
+
+    /// Starts an online reshard (protocol v10): a split of `source`'s
+    /// widest keyspace range into a brand-new shard, or a merge of
+    /// `source` onto an existing target. Returns `(kind, source, target,
+    /// total)` from the `ReshardStarted` acknowledgement; the copy runs in
+    /// the background — poll [`Self::migration_status`] for completion and
+    /// watch the shard-map epoch bump at cutover.
+    ///
+    /// # Errors
+    /// Typed rejections (follower, migration already in flight, an
+    /// unsplittable or unknown shard), I/O, or protocol errors.
+    pub fn reshard(
+        &mut self,
+        op: rl_reshard::ReshardOp,
+    ) -> Result<(String, usize, usize, u64), ClientError> {
+        match self.call(&Request::Reshard { op })? {
+            Reply::ReshardStarted {
+                kind,
+                source,
+                target,
+                total,
+            } => Ok((kind, source, target, total)),
+            other => Err(unexpected("ReshardStarted", &other)),
+        }
+    }
+
+    /// Progress of the in-flight migration, if any (protocol v10).
+    ///
+    /// # Errors
+    /// See [`Self::call`]. A pre-v10 server rejects the verb with `Parse`.
+    pub fn migration_status(&mut self) -> Result<rl_reshard::MigrationStatus, ClientError> {
+        match self.call(&Request::MigrationStatus)? {
+            Reply::Migration(status) => Ok(status),
+            other => Err(unexpected("Migration", &other)),
         }
     }
 

@@ -80,7 +80,7 @@ pub(crate) mod subs;
 pub use client::{Client, ClientError, WatchEvent};
 pub use metrics::{ReqType, ServerMetrics};
 pub use protocol::{
-    ErrorCode, ReplStatusReply, Reply, Request, RequestError, Response, StatsReply,
+    ErrorCode, ReplStatusReply, Reply, Request, RequestError, Response, ShardMapReply, StatsReply,
     FIRST_BINARY_VERSION, PROTOCOL_VERSION,
 };
 pub use repl::{ApplyError, ReplRole, ReplState};
@@ -91,3 +91,6 @@ pub use rl_store::{Checkpoint, Store, StoreError, StoreOptions, SyncPolicy, WalO
 // Subscription wire types (protocol v6), re-exported so clients need not
 // depend on rl-streamrule directly.
 pub use rl_streamrule::{LateArrival, WindowSpec};
+// Reshard wire types (protocol v10), re-exported so clients need not
+// depend on rl-reshard directly.
+pub use rl_reshard::{MigrationStatus, RangeAssignment, ReshardOp, ShardMap};

@@ -57,10 +57,16 @@ pub enum ReqType {
     /// `Upgrade` requests (protocol v7 binary-wire negotiation; handled
     /// inline on the connection, so no queue-wait/exec samples).
     Upgrade,
+    /// `GetShardMap` requests (protocol v10).
+    GetShardMap,
+    /// `Reshard` requests (protocol v10).
+    Reshard,
+    /// `MigrationStatus` requests (protocol v10).
+    MigrationStatus,
 }
 
 /// All request types, in the order used for per-type metric arrays.
-pub const REQ_TYPES: [ReqType; 17] = [
+pub const REQ_TYPES: [ReqType; 20] = [
     ReqType::Index,
     ReqType::Probe,
     ReqType::Stream,
@@ -78,6 +84,9 @@ pub const REQ_TYPES: [ReqType; 17] = [
     ReqType::SubscribeMatches,
     ReqType::Unsubscribe,
     ReqType::Upgrade,
+    ReqType::GetShardMap,
+    ReqType::Reshard,
+    ReqType::MigrationStatus,
 ];
 
 impl ReqType {
@@ -101,6 +110,9 @@ impl ReqType {
             ReqType::SubscribeMatches => "subscribe_matches",
             ReqType::Unsubscribe => "unsubscribe",
             ReqType::Upgrade => "upgrade",
+            ReqType::GetShardMap => "get_shard_map",
+            ReqType::Reshard => "reshard",
+            ReqType::MigrationStatus => "migration_status",
         }
     }
 
@@ -124,6 +136,9 @@ impl ReqType {
             Request::SubscribeMatches { .. } => ReqType::SubscribeMatches,
             Request::Unsubscribe { .. } => ReqType::Unsubscribe,
             Request::Upgrade { .. } => ReqType::Upgrade,
+            Request::GetShardMap => ReqType::GetShardMap,
+            Request::Reshard { .. } => ReqType::Reshard,
+            Request::MigrationStatus => ReqType::MigrationStatus,
         }
     }
 
@@ -203,6 +218,18 @@ pub struct ServerMetrics {
     /// Bytes of on-disk blocking generations (`rl_block_disk_bytes`);
     /// 0 for the in-memory store.
     pub block_disk_bytes: Arc<Gauge>,
+    /// Online-reshard phase (`rl_reshard_state`): 0 idle, 1 copying,
+    /// 2 cutover.
+    pub reshard_state: Arc<Gauge>,
+    /// Records the background migrator has copied to the target shard
+    /// (`rl_reshard_migrated_records`); resets when a migration starts.
+    pub reshard_migrated: Arc<Gauge>,
+    /// Records still to copy before cutover (`rl_reshard_lag_ops`); 0
+    /// when no migration runs.
+    pub reshard_lag: Arc<Gauge>,
+    /// Background blocking-store compaction sweeps completed
+    /// (`rl_compactions_total`).
+    pub compactions: Arc<Counter>,
     /// Pipeline phase timers (embed / block / match, stream observe),
     /// shared with the `ShardedPipeline` so shard workers record into
     /// the same histograms.
@@ -343,6 +370,26 @@ impl ServerMetrics {
             "Bytes of on-disk blocking-table generation files",
             &[],
         );
+        let reshard_state = registry.gauge(
+            "reshard_state",
+            "Online-reshard phase: 0 idle, 1 copying, 2 cutover",
+            &[],
+        );
+        let reshard_migrated = registry.gauge(
+            "reshard_migrated_records",
+            "Records copied to the target shard by the running migration",
+            &[],
+        );
+        let reshard_lag = registry.gauge(
+            "reshard_lag_ops",
+            "Records still to copy before the reshard cutover",
+            &[],
+        );
+        let compactions = registry.counter(
+            "compactions_total",
+            "Background blocking-store compaction sweeps completed",
+            &[],
+        );
         let pipeline = PipelineMetrics::register(&registry);
         Arc::new(Self {
             registry,
@@ -373,6 +420,10 @@ impl ServerMetrics {
             block_dead_entries,
             block_dropped,
             block_disk_bytes,
+            reshard_state,
+            reshard_migrated,
+            reshard_lag,
+            compactions,
             pipeline,
         })
     }

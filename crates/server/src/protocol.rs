@@ -59,8 +59,17 @@ use serde::{Deserialize, Serialize};
 /// ([`ReplyNote::CandidatesTruncated`] when the server's per-probe
 /// top-k bound cut candidate sets short), plus `store`, per-structure
 /// block-size histograms, and tombstone counters in the Stats blocking
-/// section.
-pub const PROTOCOL_VERSION: u32 = 9;
+/// section. Version 10 added online resharding: the `GetShardMap`,
+/// `Reshard`, and `MigrationStatus` requests with their `ShardMap`,
+/// `ReshardStarted`, and `Migration` replies — a versioned, epoch-stamped
+/// shard map replaces fixed round-robin placement, and a background
+/// migrator splits or merges shards while the server keeps serving
+/// (double-probing source and target until an atomic epoch-bump
+/// cutover). The Stats reply gains `shard_map_epoch` and per-shard
+/// `shard_records` so clients can watch a rebalance converge. The new
+/// verbs ride the JSON body of the binary wire (no new binary bodies),
+/// so v7–v9 peers interoperate untouched.
+pub const PROTOCOL_VERSION: u32 = 10;
 
 /// The first protocol version that speaks `rl-wire` binary frames. An
 /// `Upgraded` answer below this stays on JSON.
@@ -166,6 +175,26 @@ pub enum Request {
         /// Highest protocol version the client supports.
         max_version: u32,
     },
+    /// The current shard map (protocol v10): epoch, range assignments,
+    /// per-shard record counts, and any in-flight migration. Served from
+    /// primaries and followers alike (a follower reports the map it has
+    /// replicated).
+    GetShardMap,
+    /// Start an online reshard (protocol v10): split one shard's widest
+    /// keyspace range into a brand-new shard, or merge one shard's ranges
+    /// onto an existing one. Answered immediately with
+    /// [`Reply::ReshardStarted`]; a background migrator then copies the
+    /// moved records off the write path while reads double-probe source
+    /// and target, and cutover bumps the shard-map epoch atomically (the
+    /// cutover — not the copy — is the WAL-logged, replicated event).
+    /// Rejected with `NotPrimary` on followers and with `Linkage`
+    /// (`migration in flight`) while another migration runs.
+    Reshard {
+        /// The split or merge to perform.
+        op: rl_reshard::ReshardOp,
+    },
+    /// Progress of the in-flight migration, if any (protocol v10).
+    MigrationStatus,
     /// Stop accepting connections, drain queued requests, and exit.
     Shutdown,
 }
@@ -481,6 +510,24 @@ pub enum Reply {
         /// `min(client max_version, server version)`.
         version: u32,
     },
+    /// Response to `GetShardMap` (protocol v10).
+    ShardMap(ShardMapReply),
+    /// Response to `Reshard` (protocol v10): the migration is planned and
+    /// running in the background. Poll `MigrationStatus` (or watch the
+    /// `rl_reshard_state` gauge) for completion; the shard-map epoch in
+    /// `GetShardMap`/`Stats` bumps when cutover lands.
+    ReshardStarted {
+        /// `"split"` or `"merge"`.
+        kind: String,
+        /// The shard records move out of.
+        source: usize,
+        /// The shard records move into (brand-new on a split).
+        target: usize,
+        /// Records the migrator has to copy (snapshot at start).
+        total: u64,
+    },
+    /// Response to `MigrationStatus` (protocol v10).
+    Migration(rl_reshard::MigrationStatus),
     /// Response to `Shutdown`.
     ShuttingDown,
 }
@@ -518,6 +565,25 @@ pub struct ReplStatusReply {
     pub lease_ms: u64,
 }
 
+/// The shard map served by `GetShardMap` (protocol v10).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ShardMapReply {
+    /// Map version; bumps by one at every reshard cutover. 1 is the
+    /// initial uniform map.
+    pub epoch: u64,
+    /// Shards the map assigns keyspace to.
+    pub num_shards: usize,
+    /// The range assignments: each entry owns the keyspace from its
+    /// `start` up to the next entry's start (the last runs to
+    /// `u64::MAX`).
+    pub ranges: Vec<rl_reshard::RangeAssignment>,
+    /// Records currently resident per shard, indexed by shard id. During
+    /// a migration, moved records are counted on both source and target.
+    pub records: Vec<u64>,
+    /// The in-flight migration, if any (`active == false` otherwise).
+    pub migration: rl_reshard::MigrationStatus,
+}
+
 /// Service counters reported by the `Stats` command.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct StatsReply {
@@ -543,6 +609,13 @@ pub struct StatsReply {
     /// `"covering"`) with its `L`, key width, and bucket occupancy
     /// aggregated across shards.
     pub blocking: Vec<StructureStats>,
+    /// Shard-map version (protocol v10; absent — 0 — from older peers).
+    #[serde(default)]
+    pub shard_map_epoch: u64,
+    /// Records resident per shard, indexed by shard id (protocol v10;
+    /// empty from older peers).
+    #[serde(default)]
+    pub shard_records: Vec<u64>,
 }
 
 /// The one-line response envelope.
@@ -993,6 +1066,17 @@ mod tests {
             },
             Request::Unsubscribe { sub_id: 7 },
             Request::Upgrade { max_version: 7 },
+            Request::GetShardMap,
+            Request::Reshard {
+                op: rl_reshard::ReshardOp::Split { source: 0 },
+            },
+            Request::Reshard {
+                op: rl_reshard::ReshardOp::Merge {
+                    source: 2,
+                    target: 1,
+                },
+            },
+            Request::MigrationStatus,
             Request::Shutdown,
         ];
         for req in reqs {
@@ -1068,6 +1152,20 @@ mod tests {
             Response::Ok(Reply::SubscriptionLagged { dropped: 12 }),
             Response::Ok(Reply::Unsubscribed { removed: true }),
             Response::Ok(Reply::Upgraded { version: 7 }),
+            Response::Ok(Reply::ShardMap(ShardMapReply {
+                epoch: 2,
+                num_shards: 3,
+                ranges: rl_reshard::ShardMap::uniform(3).assignments().to_vec(),
+                records: vec![10, 7, 3],
+                migration: rl_reshard::MigrationStatus::idle(2),
+            })),
+            Response::Ok(Reply::ReshardStarted {
+                kind: "split".into(),
+                source: 0,
+                target: 2,
+                total: 40,
+            }),
+            Response::Ok(Reply::Migration(rl_reshard::MigrationStatus::idle(1))),
             Response::Err(
                 RequestError::new(ErrorCode::NotPrimary, "read-only follower")
                     .with_primary("127.0.0.1:7001"),

@@ -33,17 +33,18 @@
 
 use crate::metrics::{ReqType, ServerMetrics};
 use crate::protocol::{
-    wire, ErrorCode, ReplStatusReply, Reply, Request, RequestError, Response, StatsReply,
-    PROTOCOL_VERSION,
+    wire, ErrorCode, ReplStatusReply, Reply, Request, RequestError, Response, ShardMapReply,
+    StatsReply, PROTOCOL_VERSION,
 };
 use crate::repl::{ApplyError, ReplRole, ReplState};
 use crate::snapshot::{Snapshot, SnapshotError};
 use crate::subs::SubHub;
 use cbv_hb::dedup::UnionFind;
-use cbv_hb::sharded::ShardedPipeline;
+use cbv_hb::sharded::{ReshardDriver, ShardedPipeline};
 use cbv_hb::Record;
 use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
 use parking_lot::{Mutex, RwLock};
+use rl_reshard::ReshardOp;
 use rl_store::{Checkpoint, Store, StoreOptions, SyncPolicy, WalOp};
 use rl_wire::FrameReader;
 use std::io::{BufRead, BufReader, Cursor, ErrorKind, Read, Write};
@@ -411,6 +412,10 @@ pub(crate) struct Inner {
     pub(crate) repl: ReplState,
     /// Live match subscriptions (protocol v6; see [`crate::subs`]).
     pub(crate) subs: SubHub,
+    /// The background migrator serving the in-flight `Reshard`, if any
+    /// (protocol v10). A finished thread's handle stays here until the
+    /// next reshard (or shutdown) joins it.
+    reshard_thread: Mutex<Option<std::thread::JoinHandle<()>>>,
 }
 
 /// A running linkage service. Dropping the handle does not stop the
@@ -423,6 +428,7 @@ pub struct Server {
     worker_handles: Vec<std::thread::JoinHandle<()>>,
     checkpoint_handle: Option<std::thread::JoinHandle<()>>,
     wal_sync_handle: Option<std::thread::JoinHandle<()>>,
+    compact_handle: Option<std::thread::JoinHandle<()>>,
 }
 
 impl Server {
@@ -593,6 +599,7 @@ impl Server {
             store: store.map(Mutex::new),
             repl,
             subs,
+            reshard_thread: Mutex::new(None),
         });
 
         let (job_tx, job_rx) = bounded::<Job>(queue_capacity);
@@ -657,6 +664,32 @@ impl Server {
             _ => None,
         };
 
+        // Blocking-store compaction runs on its own thread, off the
+        // checkpoint path: merging delta overlays only needs a state read
+        // lock (shard workers serialize the actual store mutation), so it
+        // no longer stalls mutations behind a write lock before every
+        // checkpoint. Same trigger as the checkpointer — compaction
+        // matters when checkpoints export the overlay it bounds.
+        let compact_handle = match (
+            &inner.store,
+            inner
+                .config
+                .durability
+                .as_ref()
+                .and_then(|d| d.checkpoint_every),
+        ) {
+            (Some(_), Some(every)) => {
+                let inner = Arc::clone(&inner);
+                Some(
+                    std::thread::Builder::new()
+                        .name("rl-compact".into())
+                        .spawn(move || compact_loop(&inner, every))
+                        .expect("spawn compactor"),
+                )
+            }
+            _ => None,
+        };
+
         Ok(Self {
             inner,
             jobs: job_tx,
@@ -664,6 +697,7 @@ impl Server {
             worker_handles,
             checkpoint_handle,
             wal_sync_handle,
+            compact_handle,
         })
     }
 
@@ -703,6 +737,15 @@ impl Server {
             let _ = handle.join();
         }
         if let Some(handle) = self.wal_sync_handle.take() {
+            let _ = handle.join();
+        }
+        if let Some(handle) = self.compact_handle.take() {
+            let _ = handle.join();
+        }
+        // The migrator observes the shutdown flag and aborts its copy (the
+        // un-committed migration deterministically never happened); join it
+        // before the final snapshot so the exported state is settled.
+        if let Some(handle) = self.inner.reshard_thread.lock().take() {
             let _ = handle.join();
         }
         // Group-commit mode may hold acknowledged-but-unsynced frames;
@@ -1296,6 +1339,12 @@ fn execute(inner: &Arc<Inner>, request: Request) -> Response {
                 rejected_backpressure: inner.rejected_backpressure.load(Ordering::Relaxed),
                 uptime_secs: inner.started.elapsed().as_secs(),
                 blocking,
+                shard_map_epoch: state.pipeline.shard_map().epoch(),
+                shard_records: state
+                    .pipeline
+                    .shard_record_counts()
+                    .map(|counts| counts.into_iter().map(|c| c as u64).collect())
+                    .unwrap_or_default(),
             }))
         }
         Request::Metrics => Response::Ok(Reply::Metrics(inner.metrics.snapshot())),
@@ -1417,6 +1466,65 @@ fn execute(inner: &Arc<Inner>, request: Request) -> Response {
             let removed = inner.subs.unsubscribe(sub_id);
             Response::Ok(Reply::Unsubscribed { removed })
         }
+        Request::GetShardMap => {
+            let state = inner.state.read();
+            let map = state.pipeline.shard_map();
+            let records = match state.pipeline.shard_record_counts() {
+                Ok(counts) => counts.into_iter().map(|c| c as u64).collect(),
+                Err(e) => {
+                    return Response::Err(RequestError::new(ErrorCode::Linkage, e.to_string()))
+                }
+            };
+            Response::Ok(Reply::ShardMap(ShardMapReply {
+                epoch: map.epoch(),
+                num_shards: map.num_shards(),
+                ranges: map.assignments().to_vec(),
+                records,
+                migration: state.pipeline.migration_status(),
+            }))
+        }
+        Request::MigrationStatus => {
+            let state = inner.state.read();
+            Response::Ok(Reply::Migration(state.pipeline.migration_status()))
+        }
+        Request::Reshard { op } => {
+            let mut state = inner.state.write();
+            // Only a primary (or standalone) may change the shard map —
+            // followers receive the change as a replicated cutover frame.
+            if let Some(err) = reject_if_follower(inner) {
+                return Response::Err(err);
+            }
+            match state.pipeline.begin_reshard(op) {
+                Ok(driver) => {
+                    let status = state.pipeline.migration_status();
+                    inner.metrics.reshard_state.set(1);
+                    inner.metrics.reshard_migrated.set(0);
+                    inner.metrics.reshard_lag.set(status.total as i64);
+                    drop(state);
+                    // At most one migration runs (begin_reshard enforces
+                    // it), so any previous migrator has finished — join it
+                    // before the new thread takes the slot.
+                    let mut slot = inner.reshard_thread.lock();
+                    if let Some(handle) = slot.take() {
+                        let _ = handle.join();
+                    }
+                    let migrator = Arc::clone(inner);
+                    *slot = Some(
+                        std::thread::Builder::new()
+                            .name("rl-reshard-migrate".into())
+                            .spawn(move || reshard_migrate_loop(&migrator, driver))
+                            .expect("spawn reshard migrator"),
+                    );
+                    Response::Ok(Reply::ReshardStarted {
+                        kind: op.kind().to_string(),
+                        source: status.source,
+                        target: status.target,
+                        total: status.total,
+                    })
+                }
+                Err(e) => Response::Err(RequestError::new(ErrorCode::Linkage, e.to_string())),
+            }
+        }
         // Streaming requests and the protocol negotiation are served
         // inline on the connection (see `serve_streaming` and the conn
         // loops); reaching a worker means a misrouted job.
@@ -1497,6 +1605,27 @@ fn apply_op(state: &mut ServerState, op: &WalOp) -> cbv_hb::error::Result<()> {
         WalOp::Insert(record) => state.pipeline.index(std::slice::from_ref(record)),
         WalOp::Observe(record) => observe(state, record).map(|_| ()),
         WalOp::Delete(id) => state.pipeline.delete(&[*id]).map(|_| ()),
+        // A cutover commit replays as a synchronous reshard at the same
+        // position in the op stream it was logged at: planning is
+        // deterministic, so the recomputed plan (and a split's recomputed
+        // target id) matches what the primary executed.
+        WalOp::Reshard {
+            merge,
+            source,
+            target,
+        } => {
+            let op = if *merge {
+                ReshardOp::Merge {
+                    source: *source as usize,
+                    target: *target as usize,
+                }
+            } else {
+                ReshardOp::Split {
+                    source: *source as usize,
+                }
+            };
+            state.pipeline.reshard_sync(op).map(|_| ())
+        }
     }
 }
 
@@ -1526,6 +1655,129 @@ fn wal_sync_loop(inner: &Arc<Inner>, interval: Duration) {
     }
 }
 
+/// The background migrator for an online reshard: streams the source
+/// shard's moved records into the target in bounded batches (no state
+/// lock held — the shard workers serialize each batch against concurrent
+/// mutations, which are dual-applied to both shards meanwhile), then
+/// commits the cutover under the state write lock: WAL-log the
+/// `Reshard` frame *first* (the commit is the only durable trace of the
+/// migration — a crash before it replays to a world where the migration
+/// never started), then install the new map and purge the source.
+/// Shutdown or a copy failure aborts: the target's partial copy is
+/// purged and the old map stays in force.
+fn reshard_migrate_loop(inner: &Arc<Inner>, mut driver: ReshardDriver) {
+    const BATCH: usize = 512;
+    loop {
+        if inner.shutdown.load(Ordering::SeqCst) {
+            abort_migration(inner, "shutdown requested");
+            return;
+        }
+        match driver.copy_batch(BATCH) {
+            Ok(true) => break,
+            Ok(false) => {
+                let migrated = driver.migrated();
+                inner.metrics.reshard_migrated.set(migrated as i64);
+                let total = inner.state.read().pipeline.migration_status().total;
+                inner
+                    .metrics
+                    .reshard_lag
+                    .set(total.saturating_sub(migrated) as i64);
+            }
+            Err(e) => {
+                eprintln!("rl-server: reshard copy failed: {e}; aborting the migration");
+                abort_migration(inner, "copy failed");
+                return;
+            }
+        }
+    }
+    inner.metrics.reshard_state.set(2);
+    let mut state = inner.state.write();
+    let status = state.pipeline.migration_status();
+    let mut applied_seq = 0;
+    if inner.store.is_some() {
+        let commit = WalOp::Reshard {
+            merge: status.kind == "merge",
+            source: status.source as u64,
+            target: status.target as u64,
+        };
+        match log_mutation(inner, &[commit]) {
+            Ok(seq) => applied_seq = seq,
+            Err(e) => {
+                drop(state);
+                eprintln!(
+                    "rl-server: reshard cutover not durable ({}); aborting the migration",
+                    e.message
+                );
+                abort_migration(inner, "cutover append failed");
+                return;
+            }
+        }
+    }
+    match state.pipeline.finish_reshard(&driver) {
+        Ok(epoch) => {
+            inner.metrics.reshard_migrated.set(driver.migrated() as i64);
+            inner.metrics.reshard_lag.set(0);
+            inner.metrics.reshard_state.set(0);
+            drop(state);
+            if let Err(e) = crate::repl::await_quorum(inner, applied_seq) {
+                eprintln!(
+                    "rl-server: reshard cutover committed locally (epoch {epoch}) but the \
+                     replica quorum timed out: {}",
+                    e.message
+                );
+            }
+            eprintln!(
+                "rl-server: reshard {} of shard {} into {} complete: {} record(s) moved, \
+                 shard map epoch {epoch}",
+                status.kind, status.source, status.target, status.migrated
+            );
+        }
+        Err(e) => {
+            // The commit frame (if any) is already durable: recovery will
+            // replay the reshard even though this process could not apply
+            // it. Surface loudly; the index stays serving on the old map.
+            drop(state);
+            eprintln!("rl-server: reshard cutover failed to apply: {e}");
+            abort_migration(inner, "cutover apply failed");
+        }
+    }
+}
+
+/// Rolls the in-flight migration back (purges the target's partial copy,
+/// keeps the current map) and clears the reshard gauges.
+fn abort_migration(inner: &Arc<Inner>, why: &str) {
+    let mut state = inner.state.write();
+    match state.pipeline.abort_reshard() {
+        Ok(()) => eprintln!("rl-server: migration aborted ({why})"),
+        Err(e) => eprintln!("rl-server: migration abort ({why}) failed: {e}"),
+    }
+    drop(state);
+    inner.metrics.reshard_state.set(0);
+    inner.metrics.reshard_lag.set(0);
+}
+
+/// Background blocking-store compactor: on the checkpoint cadence, merge
+/// each disk-resident structure's delta overlay into a fresh generation
+/// and scrub tombstones. Runs under a state *read* lock — the shard
+/// workers serialize the store mutation — so probes and mutations keep
+/// flowing; the checkpointer no longer does this inline.
+fn compact_loop(inner: &Arc<Inner>, every: Duration) {
+    let mut last = Instant::now();
+    while !inner.shutdown.load(Ordering::SeqCst) {
+        std::thread::sleep(Duration::from_millis(25));
+        if last.elapsed() < every {
+            continue;
+        }
+        last = Instant::now();
+        let state = inner.state.read();
+        if let Err(e) = state.pipeline.compact_stores() {
+            eprintln!("rl-server: blocking-store compaction failed: {e}");
+        } else {
+            inner.metrics.compactions.inc();
+        }
+    }
+}
+
 /// The background checkpointer: every `every`, rotate the WAL, export the
 /// index, and commit a checkpoint that lets recovery skip the pruned log.
 fn checkpoint_loop(inner: &Arc<Inner>, every: Duration) {
@@ -1548,21 +1800,20 @@ pub(crate) fn run_checkpoint(inner: &Inner) -> Result<(), rl_store::StoreError> 
     let Some(store) = &inner.store else {
         return Ok(());
     };
-    // Compact disk-resident blocking stores first (write lock, released
-    // before the export window): merging the delta overlay into a fresh
-    // generation bounds the overlay the exported snapshot has to carry
-    // and scrubs tombstoned ids. Failure costs disk space, not
-    // correctness, so it only warns.
-    {
-        let mut state = inner.state.write();
-        if let Err(e) = state.pipeline.compact_stores() {
-            eprintln!("rl-server: blocking-store compaction failed: {e}");
-        }
-    }
     // The state read lock excludes mutations (which hold write) for the
     // rotate + export window, so the exported snapshot covers exactly the
-    // segments up to the rotation watermark.
+    // segments up to the rotation watermark. (Blocking-store compaction,
+    // which used to run here inline, moved to its own thread — see
+    // `compact_loop`.)
     let state = inner.state.read();
+    // Mid-migration, moved records transiently live on two shards; an
+    // exported snapshot would duplicate them forever. The lock ordering
+    // makes this check stable: cutover needs the state write lock, which
+    // this read lock excludes until the export is done. Skipping costs
+    // replay time, never durability.
+    if state.pipeline.migration_status().active {
+        return Ok(());
+    }
     let covered = store.lock().begin_checkpoint()?;
     let exported = state.pipeline.export_state().map_err(|e| {
         rl_store::StoreError::Snapshot(SnapshotError::Format {
@@ -1687,6 +1938,9 @@ impl ReplHandle {
                 inner.subs.observe(&inner.metrics, record);
             }
             WalOp::Delete(id) => inner.subs.remove(*id),
+            // A reshard moves records between shards without changing the
+            // record set, so subscriptions see nothing.
+            WalOp::Reshard { .. } => {}
         }
         inner
             .metrics

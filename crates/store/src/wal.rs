@@ -101,6 +101,22 @@ pub enum WalOp {
     Observe(Record),
     /// Remove the record with this id (tombstone delete).
     Delete(u64),
+    /// Reshard cutover commit: the shard-map change (split of `source`
+    /// into the new shard `target`, or merge of `source` onto `target`)
+    /// took effect at this position in the op stream. Only the *commit* is
+    /// logged — the copy phase is not, so a crash mid-migration replays to
+    /// a WAL with no `Reshard` op and the migration deterministically
+    /// never happened. Replay applies it as a synchronous reshard, which
+    /// recomputes the identical deterministic plan.
+    Reshard {
+        /// `false` = split, `true` = merge.
+        merge: bool,
+        /// Source shard index.
+        source: u64,
+        /// Target shard index (informational for splits: replay recomputes
+        /// it as the map's next shard id).
+        target: u64,
+    },
 }
 
 /// When appended frames are fsync'd.
@@ -125,6 +141,7 @@ pub use rl_wire::crc32;
 const OP_INSERT: u8 = 1;
 const OP_OBSERVE: u8 = 2;
 const OP_DELETE: u8 = 3;
+const OP_RESHARD: u8 = 4;
 
 impl WalOp {
     /// Appends the compact binary encoding to `out`:
@@ -137,6 +154,16 @@ impl WalOp {
             WalOp::Delete(id) => {
                 out.push(OP_DELETE);
                 out.extend_from_slice(&id.to_le_bytes());
+            }
+            WalOp::Reshard {
+                merge,
+                source,
+                target,
+            } => {
+                out.push(OP_RESHARD);
+                out.push(u8::from(*merge));
+                out.extend_from_slice(&source.to_le_bytes());
+                out.extend_from_slice(&target.to_le_bytes());
             }
         }
     }
@@ -151,6 +178,17 @@ impl WalOp {
         let tag = cur.u8()?;
         let op = match tag {
             OP_DELETE => WalOp::Delete(cur.u64()?),
+            OP_RESHARD => {
+                let flag = cur.u8()?;
+                if flag > 1 {
+                    return Err(format!("bad reshard kind flag {flag}"));
+                }
+                WalOp::Reshard {
+                    merge: flag == 1,
+                    source: cur.u64()?,
+                    target: cur.u64()?,
+                }
+            }
             OP_INSERT | OP_OBSERVE => {
                 let id = cur.u64()?;
                 let nfields = cur.u16()? as usize;
@@ -1267,6 +1305,16 @@ mod tests {
                 fields: Vec::new(),
             }),
             WalOp::Delete(42),
+            WalOp::Reshard {
+                merge: false,
+                source: 0,
+                target: 7,
+            },
+            WalOp::Reshard {
+                merge: true,
+                source: u64::MAX,
+                target: 3,
+            },
         ];
         for op in &ops {
             let mut buf = Vec::new();
@@ -1281,6 +1329,17 @@ mod tests {
             assert!(WalOp::decode_bin(&longer).is_err());
         }
         assert!(WalOp::decode_bin(&[99]).is_err(), "unknown tag");
+        // A reshard frame with a flag that is neither split nor merge is
+        // corruption, not a silent default.
+        let mut bad = Vec::new();
+        WalOp::Reshard {
+            merge: false,
+            source: 1,
+            target: 2,
+        }
+        .encode_bin(&mut bad);
+        bad[1] = 9;
+        assert!(WalOp::decode_bin(&bad).is_err(), "bad reshard flag");
     }
 
     #[test]

@@ -45,7 +45,9 @@ fn usage() -> ! {
          [--block-cap N] [--block-cap-mode chain|drop] [--block-top-k N] \
          [--block-compact-ratio R]\n  \
          rl promote [--addr HOST:PORT] [--timeout-ms MS] [--json]\n  \
-         rl client --cmd stats|metrics|dedup-status|repl-status|shutdown|snapshot|index|insert|delete|probe|stream|watch \
+         rl reshard --mode split|merge --source N [--target N] \
+         [--addr HOST:PORT] [--timeout-ms MS] [--json]\n  \
+         rl client --cmd stats|metrics|dedup-status|repl-status|shard-map|migration-status|shutdown|snapshot|index|insert|delete|probe|stream|watch \
          [--addr HOST:PORT] [--input F.csv] [--out M.csv] [--path SNAP] [--ids 1,2,...] \
          [--header] [--id-column N] [--timeout-ms MS] [--prometheus] [--json]\n  \
          rl client --cmd watch --rule EXPR [--window N | --window-ms MS] \
@@ -65,6 +67,7 @@ fn main() {
         "calibrate" => calibrate(&flags),
         "serve" => serve(&flags),
         "promote" => promote(&flags),
+        "reshard" => reshard(&flags),
         "client" => client(&flags),
         _ => usage(),
     };
@@ -826,6 +829,79 @@ fn promote(flags: &HashMap<String, String>) -> Result<(), String> {
     Ok(())
 }
 
+/// Drives an online reshard end to end (protocol v10): starts the split
+/// or merge, polls the migration until the background copy finishes and
+/// the cutover lands, and reports the new shard-map epoch. The server
+/// keeps serving throughout; Ctrl-C here leaves the migration running.
+fn reshard(flags: &HashMap<String, String>) -> Result<(), String> {
+    use record_linkage::server::{Client, ReshardOp};
+
+    let addr = flags
+        .get("addr")
+        .cloned()
+        .unwrap_or_else(|| "127.0.0.1:7878".into());
+    let timeout_ms: u64 = flags
+        .get("timeout-ms")
+        .map(|s| s.parse())
+        .transpose()
+        .map_err(|_| "--timeout-ms must be an integer".to_string())?
+        .unwrap_or(30_000);
+    let timeout = if timeout_ms == 0 {
+        None
+    } else {
+        Some(std::time::Duration::from_millis(timeout_ms))
+    };
+    let source: usize = req(flags, "source")?
+        .parse()
+        .map_err(|_| "--source must be a shard index".to_string())?;
+    let op = match req(flags, "mode")? {
+        "split" => ReshardOp::Split { source },
+        "merge" => {
+            let target: usize = req(flags, "target")?
+                .parse()
+                .map_err(|_| "--target must be a shard index".to_string())?;
+            ReshardOp::Merge { source, target }
+        }
+        other => return Err(format!("unknown --mode {other:?} (split|merge)")),
+    };
+    let mut client = if flags.contains_key("json") {
+        Client::connect_with_timeout(&*addr, timeout)
+    } else {
+        Client::connect_binary_with_timeout(&*addr, timeout)
+    }
+    .map_err(|e| e.to_string())?;
+
+    let before = client.shard_map().map_err(|e| e.to_string())?;
+    let (kind, src, target, total) = client.reshard(op).map_err(|e| e.to_string())?;
+    eprintln!(
+        "reshard started: {kind} shard {src} -> {target}, {total} record(s) to move \
+         (shard map epoch {})",
+        before.epoch
+    );
+    loop {
+        let status = client.migration_status().map_err(|e| e.to_string())?;
+        if !status.active {
+            break;
+        }
+        eprintln!("  copying: {}/{} record(s)", status.migrated, status.total);
+        std::thread::sleep(std::time::Duration::from_millis(200));
+    }
+    let after = client.shard_map().map_err(|e| e.to_string())?;
+    if after.epoch > before.epoch {
+        eprintln!(
+            "reshard complete: shard map epoch {} -> {}, {} shard(s), per-shard records {:?}",
+            before.epoch, after.epoch, after.num_shards, after.records
+        );
+        Ok(())
+    } else {
+        Err(format!(
+            "reshard did not commit (shard map epoch still {}); the server aborted the \
+             migration — check its log",
+            after.epoch
+        ))
+    }
+}
+
 /// One-shot protocol client: connects, issues a single command, prints the
 /// reply as JSON on stdout (matches as CSV with --out). `watch` is the
 /// exception: it holds the connection open as a match-subscription stream
@@ -881,8 +957,14 @@ fn client(flags: &HashMap<String, String>) -> Result<(), String> {
                 "{}",
                 serde_json::to_string(&stats).map_err(|e| e.to_string())?
             );
-            // Human-readable blocking summary on stderr (stdout stays
+            // Human-readable summaries on stderr (stdout stays
             // machine-parseable JSON).
+            if stats.shard_map_epoch > 0 {
+                eprintln!(
+                    "shard map: epoch={} shards={} records={:?}",
+                    stats.shard_map_epoch, stats.shards, stats.shard_records
+                );
+            }
             for s in &stats.blocking {
                 eprintln!(
                     "blocking: {} backend={} store={} L={} key_bits={} buckets={} \
@@ -914,6 +996,39 @@ fn client(flags: &HashMap<String, String>) -> Result<(), String> {
             println!(
                 "{}",
                 serde_json::to_string(&clusters).map_err(|e| e.to_string())?
+            );
+        }
+        "shard-map" => {
+            let map = client.shard_map().map_err(|e| e.to_string())?;
+            println!(
+                "{}",
+                serde_json::to_string(&map).map_err(|e| e.to_string())?
+            );
+            eprintln!(
+                "epoch={} shards={} ranges={} records={:?}{}",
+                map.epoch,
+                map.num_shards,
+                map.ranges.len(),
+                map.records,
+                if map.migration.active {
+                    format!(
+                        " (migration: {} {} -> {}, {}/{})",
+                        map.migration.kind,
+                        map.migration.source,
+                        map.migration.target,
+                        map.migration.migrated,
+                        map.migration.total
+                    )
+                } else {
+                    String::new()
+                }
+            );
+        }
+        "migration-status" => {
+            let status = client.migration_status().map_err(|e| e.to_string())?;
+            println!(
+                "{}",
+                serde_json::to_string(&status).map_err(|e| e.to_string())?
             );
         }
         "repl-status" => {

@@ -1,0 +1,401 @@
+//! Online resharding over the wire (protocol v10): a live split of a
+//! populated mmap-backed shard under concurrent insert/probe load must
+//! preserve the exact match relation of an unsharded oracle and lose no
+//! acknowledged write across the cutover; a SIGKILL mid-migration must
+//! recover to exactly one of the two legal states (migration never
+//! happened, or the committed cutover replayed); and a merge must drain
+//! its source shard without changing any probe answer.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use record_linkage::cbv_hb::pipeline::LinkageConfig;
+use record_linkage::cbv_hb::sharded::ShardedPipeline;
+use record_linkage::cbv_hb::{AttributeSpec, BlockStoreKind, Record, RecordSchema, Rule};
+use record_linkage::server::{Client, ReshardOp, Server, ServerConfig};
+use std::io::{BufRead, BufReader, Read};
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+fn pipeline(seed: u64, shards: usize, block_dir: Option<&Path>) -> ShardedPipeline {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let schema = RecordSchema::build(
+        record_linkage::textdist::Alphabet::linkage(),
+        vec![
+            AttributeSpec::new("FirstName", 2, 64, false, 5),
+            AttributeSpec::new("LastName", 2, 64, false, 5),
+        ],
+        &mut rng,
+    );
+    let rule = Rule::and([Rule::pred(0, 4), Rule::pred(1, 4)]);
+    let mut config = LinkageConfig::rule_aware(rule);
+    if let Some(dir) = block_dir {
+        config.block.kind = BlockStoreKind::Mmap;
+        config.block.dir = Some(dir.to_string_lossy().into_owned());
+    }
+    ShardedPipeline::new(schema, config, shards, &mut rng).unwrap()
+}
+
+/// A well-spread synthetic name (multiplicative hash), so distinct
+/// indices share few bigrams and the oracle comparison stays exact.
+fn synth_name(salt: u64, i: u64) -> String {
+    let mut x = (i + 1)
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(salt.wrapping_mul(0xA24B_AED4_963E_E407));
+    (0..6)
+        .map(|_| {
+            let c = (b'A' + (x % 26) as u8) as char;
+            x /= 26;
+            c
+        })
+        .collect()
+}
+
+fn records(salt: u64, base: u64, n: u64) -> Vec<Record> {
+    (0..n)
+        .map(|i| Record::new(base + i, [synth_name(salt, i), synth_name(salt ^ 0xF00, i)]))
+        .collect()
+}
+
+fn fresh_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("rl-reshard-{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Probes `all` against the server under fresh probe ids and returns the
+/// sorted (indexed, probe) relation.
+fn wire_relation(client: &mut Client, all: &[Record]) -> Vec<(u64, u64)> {
+    let probes: Vec<Record> = all
+        .iter()
+        .map(|r| Record::new(100_000 + r.id, r.fields.iter().cloned()))
+        .collect();
+    let (mut pairs, _) = client.probe(&probes).unwrap();
+    pairs.sort_unstable();
+    pairs
+}
+
+/// FNV-1a over the sorted pair list — the match-relation hash the
+/// acceptance criterion compares across topologies.
+fn relation_hash(pairs: &[(u64, u64)]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &(a, b) in pairs {
+        for byte in a.to_le_bytes().iter().chain(b.to_le_bytes().iter()) {
+            h ^= u64::from(*byte);
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+    }
+    h
+}
+
+/// Polls `MigrationStatus` until the server reports no active migration.
+fn await_migration(client: &mut Client, deadline: Duration) {
+    let t0 = Instant::now();
+    loop {
+        let status = client.migration_status().unwrap();
+        if !status.active {
+            return;
+        }
+        assert!(
+            t0.elapsed() < deadline,
+            "migration still active after {deadline:?}: {status:?}"
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
+#[test]
+fn live_split_of_mmap_shard_under_load_matches_unsharded_oracle() {
+    let block_dir = fresh_dir("mmap-split");
+    let server = Server::spawn(
+        pipeline(91, 2, Some(&block_dir)),
+        ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            workers: 2,
+            queue_capacity: 32,
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
+    let addr = server.local_addr();
+    let mut client = Client::connect(addr).unwrap();
+
+    // Populate before the split so the source shard is genuinely loaded,
+    // and seal a generation so its tables are disk-resident.
+    let seeded = records(5, 0, 300);
+    assert_eq!(client.insert(&seeded).unwrap(), (300, 300));
+
+    let before = client.shard_map().unwrap();
+    assert_eq!(before.epoch, 1, "fresh map starts at epoch 1");
+    assert_eq!(before.num_shards, 2);
+    assert_eq!(before.records.iter().sum::<u64>(), 300);
+    assert!(!before.migration.active);
+
+    // Concurrent load: a second client keeps inserting and probing while
+    // the migration copies and cuts over. Every acknowledged insert is
+    // collected so the loss check below covers the racing writes too.
+    let writer = std::thread::spawn(move || {
+        let mut c = Client::connect(addr).unwrap();
+        let mut acked = Vec::new();
+        for wave in 0..10u64 {
+            let batch = records(6, 1000 + wave * 10, 10);
+            let (accepted, _) = c.insert(&batch).unwrap();
+            assert_eq!(accepted, 10, "insert rejected during migration");
+            acked.extend(batch.iter().cloned());
+            // Reads during the window double-probe source and target.
+            let (pairs, _) = c
+                .probe(&[Record::new(900_000 + wave, batch[0].fields.iter().cloned())])
+                .unwrap();
+            assert!(
+                pairs.iter().any(|&(a, _)| a == batch[0].id),
+                "probe lost a record mid-migration (wave {wave})"
+            );
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        acked
+    });
+    std::thread::sleep(Duration::from_millis(10));
+
+    let (kind, source, target, _total) = client.reshard(ReshardOp::Split { source: 0 }).unwrap();
+    assert_eq!(kind, "split");
+    assert_eq!(source, 0);
+    assert_eq!(target, 2, "split target is the new shard id");
+    await_migration(&mut client, Duration::from_secs(30));
+    let racing = writer.join().unwrap();
+
+    // The epoch bump is visible over protocol v10, through both the
+    // dedicated GetShardMap verb and the Stats reply.
+    let after = client.shard_map().unwrap();
+    assert_eq!(after.epoch, 2, "cutover bumps the map epoch");
+    assert_eq!(after.num_shards, 3);
+    let total = 300 + racing.len() as u64;
+    assert_eq!(
+        after.records.iter().sum::<u64>(),
+        total,
+        "records lost or duplicated"
+    );
+    assert!(
+        after.records[2] > 0,
+        "split target owns no records: {:?}",
+        after.records
+    );
+    let stats = client.stats().unwrap();
+    assert_eq!(stats.shard_map_epoch, 2);
+    assert_eq!(stats.shard_records.iter().sum::<u64>(), total);
+    assert_eq!(stats.indexed as u64, total);
+
+    // Zero acknowledged-write loss across the cutover, and the exact
+    // match relation of an unsharded oracle built from the same seed
+    // (same hash draws) over the same corpus.
+    let mut all = seeded;
+    all.extend(racing);
+    let wire = wire_relation(&mut client, &all);
+    for rec in &all {
+        assert!(
+            wire.contains(&(rec.id, 100_000 + rec.id)),
+            "acked record {} lost across cutover",
+            rec.id
+        );
+    }
+    let mut oracle = pipeline(91, 1, None);
+    oracle.index(&all).unwrap();
+    let probes: Vec<Record> = all
+        .iter()
+        .map(|r| Record::new(100_000 + r.id, r.fields.iter().cloned()))
+        .collect();
+    let (mut expect, _) = oracle.link(&probes).unwrap();
+    expect.sort_unstable();
+    assert_eq!(
+        relation_hash(&wire),
+        relation_hash(&expect),
+        "match-relation hash diverged from the unsharded oracle"
+    );
+    assert_eq!(
+        wire, expect,
+        "match relation diverged from the unsharded oracle"
+    );
+    oracle.shutdown();
+
+    client.shutdown().unwrap();
+    server.wait();
+    let _ = std::fs::remove_dir_all(&block_dir);
+}
+
+#[test]
+fn merge_over_the_wire_drains_source_and_preserves_matches() {
+    let server = Server::spawn(
+        pipeline(92, 3, None),
+        ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            workers: 2,
+            queue_capacity: 16,
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
+    let mut client = Client::connect(server.local_addr()).unwrap();
+
+    let all = records(9, 0, 120);
+    assert_eq!(client.insert(&all).unwrap(), (120, 120));
+    let before_pairs = wire_relation(&mut client, &all);
+    let before = client.shard_map().unwrap();
+    assert!(
+        before.records[2] > 0,
+        "merge source must start populated: {:?}",
+        before.records
+    );
+
+    let (kind, source, target, total) = client
+        .reshard(ReshardOp::Merge {
+            source: 2,
+            target: 0,
+        })
+        .unwrap();
+    assert_eq!((kind.as_str(), source, target), ("merge", 2, 0));
+    assert_eq!(
+        total, before.records[2],
+        "merge moves the whole source shard"
+    );
+    await_migration(&mut client, Duration::from_secs(30));
+
+    let after = client.shard_map().unwrap();
+    assert_eq!(after.epoch, 2);
+    assert_eq!(
+        after.records[2], 0,
+        "merge left records on the source shard"
+    );
+    assert_eq!(after.records.iter().sum::<u64>(), 120);
+    assert!(
+        after.ranges.iter().all(|r| r.shard != 2),
+        "merged-away shard still owns keyspace: {:?}",
+        after.ranges
+    );
+    let after_pairs = wire_relation(&mut client, &all);
+    assert_eq!(before_pairs, after_pairs, "merge changed probe answers");
+
+    client.shutdown().unwrap();
+    server.wait();
+}
+
+/// Spawns the real `rl` binary in durable serve mode and parses the bound
+/// address off its stderr. A drain thread keeps reading afterwards so the
+/// child never blocks on a full pipe.
+fn spawn_rl_serve(dir: &Path) -> (Child, String) {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_rl"))
+        .args([
+            "serve",
+            "--addr",
+            "127.0.0.1:0",
+            "--rule",
+            "0<=4 & 1<=4",
+            "--fields",
+            "2",
+            "--shards",
+            "2",
+            "--data-dir",
+            dir.to_str().unwrap(),
+            "--checkpoint-every",
+            "1",
+        ])
+        .stdin(Stdio::null())
+        .stdout(Stdio::null())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn rl serve");
+    let mut reader = BufReader::new(child.stderr.take().unwrap());
+    let mut addr = None;
+    for _ in 0..50 {
+        let mut line = String::new();
+        if reader.read_line(&mut line).unwrap() == 0 {
+            break;
+        }
+        if let Some(rest) = line.strip_prefix("rl-server listening on ") {
+            addr = rest.split_whitespace().next().map(str::to_owned);
+            break;
+        }
+    }
+    let addr = addr.expect("server never reported its address");
+    std::thread::spawn(move || {
+        let mut sink = Vec::new();
+        let _ = reader.read_to_end(&mut sink);
+    });
+    (child, addr)
+}
+
+/// Probes every record in `all` and asserts each matches itself — the
+/// acked-write retention check used after each crash recovery below.
+fn assert_all_present(client: &mut Client, all: &[Record]) {
+    let wire = wire_relation(client, all);
+    for rec in all {
+        assert!(
+            wire.contains(&(rec.id, 100_000 + rec.id)),
+            "acked record {} lost across crash recovery",
+            rec.id
+        );
+    }
+}
+
+#[test]
+fn sigkill_during_migration_recovers_or_rolls_back_deterministically() {
+    let dir = fresh_dir("sigkill");
+    let (mut child, addr) = spawn_rl_serve(&dir);
+    let mut client = Client::connect(&*addr).unwrap();
+
+    let all = records(13, 0, 200);
+    assert_eq!(client.insert(&all).unwrap(), (200, 200));
+    assert_eq!(client.shard_map().unwrap().epoch, 1);
+
+    // Start the split, then SIGKILL the server while the background
+    // migrator races the cutover: no drain, no final sync, no snapshot.
+    let (kind, _, _, _) = client.reshard(ReshardOp::Split { source: 0 }).unwrap();
+    assert_eq!(kind, "split");
+    child.kill().unwrap();
+    child.wait().unwrap();
+
+    // Recovery must land in exactly one of two states: the commit frame
+    // never reached the WAL (migration rolled back — epoch 1, old
+    // topology) or it did (replay re-runs the cutover — epoch 2, split
+    // topology). Anything else is a torn migration.
+    let (mut child2, addr2) = spawn_rl_serve(&dir);
+    let mut client2 = Client::connect(&*addr2).unwrap();
+    let map = client2.shard_map().unwrap();
+    match map.epoch {
+        1 => assert_eq!(map.num_shards, 2, "rolled-back split left a stray shard"),
+        2 => assert_eq!(map.num_shards, 3, "committed split missing its target"),
+        e => panic!("recovered into impossible shard-map epoch {e}"),
+    }
+    assert!(!map.migration.active, "recovery resumed a dead migration");
+    assert_eq!(
+        map.records.iter().sum::<u64>(),
+        200,
+        "crash recovery lost or duplicated records: {:?}",
+        map.records
+    );
+    assert_eq!(client2.stats().unwrap().indexed, 200);
+    assert_all_present(&mut client2, &all);
+
+    // Drive the map to epoch 2 (a no-op if the kill landed post-commit),
+    // then restart cleanly: the committed cutover must replay — the
+    // epoch and topology are durable, not session state.
+    if client2.shard_map().unwrap().epoch == 1 {
+        client2.reshard(ReshardOp::Split { source: 0 }).unwrap();
+        await_migration(&mut client2, Duration::from_secs(30));
+    }
+    let committed = client2.shard_map().unwrap();
+    assert_eq!(committed.epoch, 2);
+    assert_eq!(committed.num_shards, 3);
+    client2.shutdown().unwrap();
+    child2.wait().unwrap();
+
+    let (mut child3, addr3) = spawn_rl_serve(&dir);
+    let mut client3 = Client::connect(&*addr3).unwrap();
+    let replayed = client3.shard_map().unwrap();
+    assert_eq!(replayed.epoch, 2, "committed cutover did not replay");
+    assert_eq!(replayed.num_shards, 3);
+    assert_eq!(replayed.records.iter().sum::<u64>(), 200);
+    assert_all_present(&mut client3, &all);
+    client3.shutdown().unwrap();
+    child3.wait().unwrap();
+    std::fs::remove_dir_all(&dir).unwrap();
+}
